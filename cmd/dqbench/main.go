@@ -1,0 +1,57 @@
+// Command dqbench regenerates every table and figure of Fan (PODS 2008)
+// from this reproduction, printing the paper's claim next to the measured
+// outcome for each experiment of the DESIGN.md index (E1–E20). Timing
+// figures for the scaling rows live in the root bench_test.go benchmarks;
+// this command checks the qualitative shape (who wins, what is decidable,
+// where the exponential cliffs are).
+//
+// Usage:
+//
+//	dqbench [-experiment E5] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// experiment is one row of the harness.
+type experiment struct {
+	id    string
+	title string
+	claim string
+	run   func(quick bool) (measured string, pass bool)
+}
+
+func main() {
+	only := flag.String("experiment", "", "run only this experiment id (e.g. E5)")
+	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
+	flag.Parse()
+
+	failures := 0
+	for _, e := range experiments {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		start := time.Now()
+		measured, pass := e.run(*quick)
+		status := "ok"
+		if !pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-4s %-52s [%s, %v]\n", e.id, e.title, status, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("     paper:    %s\n", e.claim)
+		for _, line := range strings.Split(measured, "\n") {
+			fmt.Printf("     measured: %s\n", line)
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("%d experiment(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+// Command dqdetect loads CSV relations and a CFD rule file and reports
+// every violation — the Section 2 use of conditional dependencies:
+// "catch inconsistencies and errors that emerge as violations of the
+// dependencies".
+//
+// Usage:
+//
+//	dqdetect -data customer=customer.csv -rules rules.cfd [-max 20]
+//
+// The rule file uses the cfd text format:
+//
+//	cfd customer: [CC, zip] -> [street]
+//	  44, _ || _
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// dataFlags collects repeated -data rel=path flags.
+type dataFlags map[string]string
+
+func (d dataFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d dataFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want rel=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+func main() {
+	data := dataFlags{}
+	flag.Var(data, "data", "relation=path.csv (repeatable)")
+	rulesPath := flag.String("rules", "", "CFD rule file")
+	max := flag.Int("max", 0, "max violations to print (0 = all)")
+	flag.Parse()
+	if len(data) == 0 || *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	instances := make(map[string]*relation.Instance)
+	schemas := make(map[string]*relation.Schema)
+	for name, path := range data {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := relation.ReadCSV(f, name)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		instances[name] = in
+		schemas[name] = in.Schema()
+		fmt.Printf("loaded %s: %d tuples\n", name, in.Len())
+	}
+
+	rf, err := os.Open(*rulesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := cfd.Parse(rf, schemas)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d CFDs\n", len(rules))
+
+	if ok, _ := cfd.Consistent(rules); !ok {
+		log.Fatal("the rule set is inconsistent: no nonempty instance can satisfy it (fix the rules first)")
+	}
+
+	total := 0
+	for _, c := range rules {
+		in, ok := instances[c.Schema().Name()]
+		if !ok {
+			continue
+		}
+		vs := cfd.Detect(in, c)
+		total += len(vs)
+		if len(vs) > 0 {
+			fmt.Printf("\n%v\n", c)
+			for i, v := range vs {
+				if *max > 0 && i >= *max {
+					fmt.Printf("  ... and %d more\n", len(vs)-i)
+					break
+				}
+				fmt.Printf("  %v\n", v)
+			}
+		}
+	}
+	fmt.Printf("\ntotal violations: %d\n", total)
+	if total > 0 {
+		os.Exit(1)
+	}
+}

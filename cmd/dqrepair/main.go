@@ -1,0 +1,80 @@
+// Command dqrepair loads a CSV relation and a CFD rule file, repairs the
+// data with the Section 5.1 cost-based heuristic, and writes the repaired
+// relation back out.
+//
+// Usage:
+//
+//	dqrepair -data customer=dirty.csv -rules rules.cfd -out clean.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+func main() {
+	dataSpec := flag.String("data", "", "relation=path.csv")
+	rulesPath := flag.String("rules", "", "CFD rule file")
+	out := flag.String("out", "", "output CSV path (default: stdout)")
+	verbose := flag.Bool("v", false, "print each change")
+	flag.Parse()
+	name, path, ok := strings.Cut(*dataSpec, "=")
+	if !ok || *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := relation.ReadCSV(f, name)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rf, err := os.Open(*rulesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := cfd.Parse(rf, map[string]*relation.Schema{name: in.Schema()})
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before := cfd.DetectAll(in, rules)
+	fmt.Fprintf(os.Stderr, "%d tuples, %d violations before repair\n", in.Len(), len(before))
+	report, err := repair.RepairCFDs(in, rules, repair.URepairOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, report)
+	if *verbose {
+		for _, ch := range report.Changes {
+			fmt.Fprintf(os.Stderr, "  %v\n", ch)
+		}
+	}
+	if !cfd.SatisfiesAll(in, rules) {
+		log.Fatal("internal error: repair left violations")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+	}
+	if err := relation.WriteCSV(w, in); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Command fraud reproduces the Section 3.1 fraud-detection scenario:
+// card and billing records for the same customers with unreliable
+// representations, matched with matching dependencies. It derives
+// relative candidate keys from the Example 3.1 MDs (Theorem 4.8's PTIME
+// implication) and shows the paper's claim in action: derived RCKs catch
+// true matches the given rules miss.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/match"
+	"repro/internal/md"
+	"repro/internal/paperdata"
+	"repro/internal/similarity"
+)
+
+func main() {
+	card := paperdata.CardSchema()
+	billing := paperdata.BillingSchema()
+	eq := similarity.Eq()
+	m := similarity.MatchOp()
+	ed := similarity.EditOp(0.8)
+
+	// Example 3.1's MDs φ1–φ4.
+	sigma := []*md.MD{
+		md.MustNew(card, billing, []md.PremiseSpec{{Left: "tel", Right: "phn", Op: eq}},
+			[]string{"addr"}, []string{"post"}, m),
+		md.MustNew(card, billing, []md.PremiseSpec{{Left: "email", Right: "email", Op: m}},
+			[]string{"FN", "LN"}, []string{"FN", "SN"}, m),
+		md.MustNew(card, billing, []md.PremiseSpec{
+			{Left: "LN", Right: "SN", Op: m}, {Left: "addr", Right: "post", Op: m}, {Left: "FN", Right: "FN", Op: m}},
+			paperdata.Yc(), paperdata.Yb(), m),
+		md.MustNew(card, billing, []md.PremiseSpec{
+			{Left: "LN", Right: "SN", Op: m}, {Left: "addr", Right: "post", Op: m}, {Left: "FN", Right: "FN", Op: ed}},
+			paperdata.Yc(), paperdata.Yb(), m),
+	}
+	fmt.Println("=== Σ1: the Example 3.1 matching dependencies ===")
+	for _, rule := range sigma {
+		fmt.Println("  ", rule)
+	}
+
+	fmt.Println("\n=== Derived relative candidate keys (Section 3.3) ===")
+	rcks, err := md.DeriveRCKs(sigma, paperdata.Yc(), paperdata.Yb(), md.DeriveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range rcks {
+		fmt.Println("  ", k)
+	}
+
+	// Generated sources: 15% abbreviated first names, 10% typos, 30%
+	// radically diverged postal addresses.
+	cardIn, billingIn, truth := gen.CardBilling(gen.CardBillingConfig{
+		NPersons: 500, Seed: 2026,
+		AbbrevRate: 0.15, TypoRate: 0.1, AddrDivergeRate: 0.3,
+	})
+	var truthPairs []match.Pair
+	for _, p := range truth {
+		truthPairs = append(truthPairs, match.Pair{L: p[0], R: p[1]})
+	}
+
+	given := []*md.MD{
+		md.MustRelativeKey(card, billing,
+			[]string{"email", "addr"}, []string{"email", "post"},
+			[]similarity.Op{eq, eq}, paperdata.Yc(), paperdata.Yb()),
+		md.MustRelativeKey(card, billing,
+			[]string{"LN", "addr", "FN"}, []string{"SN", "post", "FN"},
+			[]similarity.Op{eq, eq, ed}, paperdata.Yc(), paperdata.Yb()),
+	}
+
+	run := func(name string, rules []*md.MD) match.Quality {
+		matcher := &match.Matcher{
+			Left: cardIn, Right: billingIn,
+			Rules:   rules,
+			TargetL: paperdata.Yc(), TargetR: paperdata.Yb(),
+		}
+		pairs, err := matcher.Pairs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := match.Evaluate(pairs, truthPairs)
+		fmt.Printf("%-22s %v\n", name, q)
+		return q
+	}
+
+	fmt.Println("\n=== Match quality: given rules vs derived RCKs ===")
+	qGiven := run("given rules (rck1,3):", given)
+	qDerived := run("with derived RCKs:", append(append([]*md.MD(nil), given...), rcks...))
+	fmt.Printf("\nrecall gain from derived rules: %.1f%% → %.1f%%\n",
+		qGiven.Recall*100, qDerived.Recall*100)
+
+	// Clusters via the transitive ⇋.
+	matcher := &match.Matcher{
+		Left: cardIn, Right: billingIn,
+		Rules:   append(append([]*md.MD(nil), given...), rcks...),
+		TargetL: paperdata.Yc(), TargetR: paperdata.Yb(),
+	}
+	pairs, _ := matcher.Pairs()
+	fmt.Printf("clusters identified: %d\n", len(match.Cluster(pairs)))
+}

@@ -1,0 +1,361 @@
+// Package algebra implements the SPCU relational algebra fragment the
+// paper's Section 5.2 states its consistent-query-answering results for:
+// selection (σ), projection (π), Cartesian product (×), union (∪) and set
+// difference (−), plus renaming and natural join as conveniences. It also
+// provides conjunctive queries with built-in predicates, the query class of
+// Theorems 5.2 and 5.4.
+//
+// Expressions evaluate over a relation.Database to a fresh
+// relation.Instance; evaluation is set-semantics (duplicates removed).
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Expr is a relational algebra expression. OutSchema resolves the result
+// schema against the database's schemas without evaluating; Eval computes
+// the result instance.
+type Expr interface {
+	// Eval evaluates the expression over db.
+	Eval(db *relation.Database) (*relation.Instance, error)
+	// OutSchema resolves the output schema against db.
+	OutSchema(db *relation.Database) (*relation.Schema, error)
+	// String renders the expression in algebra notation.
+	String() string
+}
+
+// Rel is a base-relation reference.
+type Rel struct{ Name string }
+
+// Eval returns a copy of the named instance (set semantics).
+func (r Rel) Eval(db *relation.Database) (*relation.Instance, error) {
+	in, ok := db.Instance(r.Name)
+	if !ok {
+		return nil, fmt.Errorf("algebra: no relation %q", r.Name)
+	}
+	out := in.Clone()
+	out.Dedup()
+	return out, nil
+}
+
+// OutSchema implements Expr.
+func (r Rel) OutSchema(db *relation.Database) (*relation.Schema, error) {
+	in, ok := db.Instance(r.Name)
+	if !ok {
+		return nil, fmt.Errorf("algebra: no relation %q", r.Name)
+	}
+	return in.Schema(), nil
+}
+
+func (r Rel) String() string { return r.Name }
+
+// Select is σ_pred(Input).
+type Select struct {
+	Pred  Predicate
+	Input Expr
+}
+
+// Eval implements Expr.
+func (s Select) Eval(db *relation.Database) (*relation.Instance, error) {
+	in, err := s.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(in.Schema())
+	for _, t := range in.Tuples() {
+		ok, err := s.Pred.Holds(in.Schema(), t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if _, err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// OutSchema implements Expr.
+func (s Select) OutSchema(db *relation.Database) (*relation.Schema, error) {
+	return s.Input.OutSchema(db)
+}
+
+func (s Select) String() string {
+	return fmt.Sprintf("σ[%s](%s)", s.Pred, s.Input)
+}
+
+// Project is π_Attrs(Input). As renders the result under a new relation
+// name; when empty the input's name is kept.
+type Project struct {
+	Attrs []string
+	As    string
+	Input Expr
+}
+
+// Eval implements Expr.
+func (p Project) Eval(db *relation.Database) (*relation.Instance, error) {
+	in, err := p.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := p.schemaFrom(in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	pos, err := in.Schema().Positions(p.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(schema)
+	seen := make(map[string]bool)
+	for _, t := range in.Tuples() {
+		pt := t.Project(pos)
+		k := pt.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, err := out.Insert(pt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (p Project) schemaFrom(s *relation.Schema) (*relation.Schema, error) {
+	name := p.As
+	if name == "" {
+		name = s.Name()
+	}
+	return s.Project(name, p.Attrs)
+}
+
+// OutSchema implements Expr.
+func (p Project) OutSchema(db *relation.Database) (*relation.Schema, error) {
+	s, err := p.Input.OutSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	return p.schemaFrom(s)
+}
+
+func (p Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Attrs, ","), p.Input)
+}
+
+// Product is Left × Right. Attribute name clashes are resolved by
+// prefixing the right operand's clashing attributes with its relation name
+// and a dot. As names the result relation (default "product").
+type Product struct {
+	Left, Right Expr
+	As          string
+}
+
+func (p Product) outName() string {
+	if p.As != "" {
+		return p.As
+	}
+	return "product"
+}
+
+func (p Product) joinSchemas(ls, rs *relation.Schema) (*relation.Schema, error) {
+	attrs := append([]relation.Attribute(nil), ls.Attrs()...)
+	for _, a := range rs.Attrs() {
+		name := a.Name
+		if _, clash := ls.Lookup(name); clash {
+			name = rs.Name() + "." + name
+		}
+		attrs = append(attrs, relation.Attribute{Name: name, Domain: a.Domain})
+	}
+	return relation.NewSchema(p.outName(), attrs...)
+}
+
+// Eval implements Expr.
+func (p Product) Eval(db *relation.Database) (*relation.Instance, error) {
+	l, err := p.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := p.joinSchemas(l.Schema(), r.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(schema)
+	for _, lt := range l.Tuples() {
+		for _, rt := range r.Tuples() {
+			t := make(relation.Tuple, 0, len(lt)+len(rt))
+			t = append(t, lt...)
+			t = append(t, rt...)
+			if _, err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// OutSchema implements Expr.
+func (p Product) OutSchema(db *relation.Database) (*relation.Schema, error) {
+	ls, err := p.Left.OutSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.Right.OutSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	return p.joinSchemas(ls, rs)
+}
+
+func (p Product) String() string { return fmt.Sprintf("(%s × %s)", p.Left, p.Right) }
+
+// Union is Left ∪ Right (schemas must be arity- and kind-compatible).
+type Union struct{ Left, Right Expr }
+
+// Eval implements Expr.
+func (u Union) Eval(db *relation.Database) (*relation.Instance, error) {
+	l, err := u.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	if err := compatible(l.Schema(), r.Schema()); err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(l.Schema())
+	seen := make(map[string]bool)
+	for _, src := range []*relation.Instance{l, r} {
+		for _, t := range src.Tuples() {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				if _, err := out.Insert(t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// OutSchema implements Expr.
+func (u Union) OutSchema(db *relation.Database) (*relation.Schema, error) {
+	return u.Left.OutSchema(db)
+}
+
+func (u Union) String() string { return fmt.Sprintf("(%s ∪ %s)", u.Left, u.Right) }
+
+// Diff is Left − Right.
+type Diff struct{ Left, Right Expr }
+
+// Eval implements Expr.
+func (d Diff) Eval(db *relation.Database) (*relation.Instance, error) {
+	l, err := d.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := d.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	if err := compatible(l.Schema(), r.Schema()); err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, r.Len())
+	for _, t := range r.Tuples() {
+		drop[t.Key()] = true
+	}
+	out := relation.NewInstance(l.Schema())
+	for _, t := range l.Tuples() {
+		if !drop[t.Key()] {
+			if _, err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// OutSchema implements Expr.
+func (d Diff) OutSchema(db *relation.Database) (*relation.Schema, error) {
+	return d.Left.OutSchema(db)
+}
+
+func (d Diff) String() string { return fmt.Sprintf("(%s − %s)", d.Left, d.Right) }
+
+// Rename renames the result relation and, optionally, attributes
+// (old → new pairs in Attrs).
+type Rename struct {
+	As    string
+	Attrs map[string]string
+	Input Expr
+}
+
+func (r Rename) rename(s *relation.Schema) (*relation.Schema, error) {
+	name := r.As
+	if name == "" {
+		name = s.Name()
+	}
+	attrs := make([]relation.Attribute, s.Arity())
+	for i, a := range s.Attrs() {
+		if n, ok := r.Attrs[a.Name]; ok {
+			a.Name = n
+		}
+		attrs[i] = a
+	}
+	return relation.NewSchema(name, attrs...)
+}
+
+// Eval implements Expr.
+func (r Rename) Eval(db *relation.Database) (*relation.Instance, error) {
+	in, err := r.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := r.rename(in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(schema)
+	for _, t := range in.Tuples() {
+		if _, err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// OutSchema implements Expr.
+func (r Rename) OutSchema(db *relation.Database) (*relation.Schema, error) {
+	s, err := r.Input.OutSchema(db)
+	if err != nil {
+		return nil, err
+	}
+	return r.rename(s)
+}
+
+func (r Rename) String() string { return fmt.Sprintf("ρ[%s](%s)", r.As, r.Input) }
+
+// compatible checks union/difference compatibility (same arity and kinds).
+func compatible(a, b *relation.Schema) error {
+	if a.Arity() != b.Arity() {
+		return fmt.Errorf("algebra: incompatible schemas %s and %s (arity)", a.Name(), b.Name())
+	}
+	for i := 0; i < a.Arity(); i++ {
+		if a.Attr(i).Domain.Kind() != b.Attr(i).Domain.Kind() {
+			return fmt.Errorf("algebra: incompatible schemas %s and %s at position %d", a.Name(), b.Name(), i)
+		}
+	}
+	return nil
+}

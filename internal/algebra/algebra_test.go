@@ -1,0 +1,349 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func testDB() *relation.Database {
+	db := relation.NewDatabase()
+
+	emp := relation.NewInstance(relation.MustSchema("emp",
+		relation.Attr("id", relation.KindInt),
+		relation.Attr("name", relation.KindString),
+		relation.Attr("dept", relation.KindString),
+		relation.Attr("salary", relation.KindInt),
+	))
+	emp.MustInsert(relation.Int(1), relation.Str("ann"), relation.Str("db"), relation.Int(90))
+	emp.MustInsert(relation.Int(2), relation.Str("bob"), relation.Str("db"), relation.Int(70))
+	emp.MustInsert(relation.Int(3), relation.Str("cat"), relation.Str("os"), relation.Int(80))
+	db.Add(emp)
+
+	dept := relation.NewInstance(relation.MustSchema("dept",
+		relation.Attr("name", relation.KindString),
+		relation.Attr("city", relation.KindString),
+	))
+	dept.MustInsert(relation.Str("db"), relation.Str("EDI"))
+	dept.MustInsert(relation.Str("os"), relation.Str("NYC"))
+	db.Add(dept)
+	return db
+}
+
+func TestSelect(t *testing.T) {
+	db := testDB()
+	out, err := Select{Pred: AttrConst{Attr: "dept", Op: OpEq, Const: relation.Str("db")}, Input: Rel{"emp"}}.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("σ[dept=db] = %d rows, want 2", out.Len())
+	}
+	out, err = Select{Pred: AttrConst{Attr: "salary", Op: OpGt, Const: relation.Int(75)}, Input: Rel{"emp"}}.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("σ[salary>75] = %d rows, want 2", out.Len())
+	}
+}
+
+func TestSelectUnknownAttr(t *testing.T) {
+	db := testDB()
+	_, err := Select{Pred: AttrConst{Attr: "nope", Op: OpEq, Const: relation.Int(1)}, Input: Rel{"emp"}}.Eval(db)
+	if err == nil {
+		t.Error("want error for unknown attribute")
+	}
+}
+
+func TestProjectDedups(t *testing.T) {
+	db := testDB()
+	out, err := Project{Attrs: []string{"dept"}, Input: Rel{"emp"}}.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("π[dept] = %d rows, want 2 (set semantics)", out.Len())
+	}
+}
+
+func TestProduct(t *testing.T) {
+	db := testDB()
+	p := Product{Left: Rel{"emp"}, Right: Rel{"dept"}}
+	out, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 {
+		t.Errorf("emp × dept = %d rows, want 6", out.Len())
+	}
+	// Clashing attribute "name" is prefixed.
+	if _, ok := out.Schema().Lookup("dept.name"); !ok {
+		t.Errorf("schema = %v; want dept.name attr", out.Schema())
+	}
+	s, err := p.OutSchema(db)
+	if err != nil || s.Arity() != 6 {
+		t.Errorf("OutSchema = %v, %v", s, err)
+	}
+}
+
+func TestJoinViaSelectProduct(t *testing.T) {
+	db := testDB()
+	join := Select{
+		Pred:  AttrAttr{Left: "dept", Op: OpEq, Right: "dept.name"},
+		Input: Product{Left: Rel{"emp"}, Right: Rel{"dept"}},
+	}
+	out, err := Project{Attrs: []string{"name", "city"}, Input: join}.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("join = %d rows, want 3", out.Len())
+	}
+}
+
+func TestUnionDiff(t *testing.T) {
+	db := testDB()
+	dbNames := Project{Attrs: []string{"dept"}, As: "d", Input: Rel{"emp"}}
+	deptNames := Project{Attrs: []string{"name"}, As: "d", Input: Rel{"dept"}}
+	u, err := Union{Left: dbNames, Right: deptNames}.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 {
+		t.Errorf("union = %d rows, want 2", u.Len())
+	}
+	d, err := Diff{Left: deptNames, Right: dbNames}.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("diff = %d rows, want 0", d.Len())
+	}
+}
+
+func TestUnionIncompatible(t *testing.T) {
+	db := testDB()
+	if _, err := (Union{Left: Rel{"emp"}, Right: Rel{"dept"}}).Eval(db); err == nil {
+		t.Error("want arity incompatibility error")
+	}
+}
+
+func TestRename(t *testing.T) {
+	db := testDB()
+	r := Rename{As: "people", Attrs: map[string]string{"name": "who"}, Input: Rel{"emp"}}
+	out, err := r.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Name() != "people" {
+		t.Errorf("renamed relation = %q", out.Schema().Name())
+	}
+	if _, ok := out.Schema().Lookup("who"); !ok {
+		t.Error("attribute rename lost")
+	}
+}
+
+func TestRelMissing(t *testing.T) {
+	db := testDB()
+	if _, err := (Rel{"ghost"}).Eval(db); err == nil {
+		t.Error("want error for missing relation")
+	}
+	if _, err := (Rel{"ghost"}).OutSchema(db); err == nil {
+		t.Error("want schema error for missing relation")
+	}
+}
+
+func TestPredicateOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		v, w relation.Value
+		want bool
+	}{
+		{OpEq, relation.Int(1), relation.Int(1), true},
+		{OpNe, relation.Int(1), relation.Int(2), true},
+		{OpLt, relation.Int(1), relation.Int(2), true},
+		{OpLe, relation.Int(2), relation.Int(2), true},
+		{OpGt, relation.Str("b"), relation.Str("a"), true},
+		{OpGe, relation.Float(1.5), relation.Int(1), true},
+		{OpEq, relation.Null(), relation.Null(), true},
+		{OpLt, relation.Int(2), relation.Int(1), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.v, c.w); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.v, c.op, c.w, got, c.want)
+		}
+	}
+}
+
+func TestParseCmpOp(t *testing.T) {
+	for s, want := range map[string]CmpOp{"=": OpEq, "==": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe} {
+		got, err := ParseCmpOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseCmpOp(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCmpOp("~"); err == nil {
+		t.Error("want error for unknown op")
+	}
+}
+
+func TestBooleanPredicates(t *testing.T) {
+	db := testDB()
+	emp, _ := db.Instance("emp")
+	s := emp.Schema()
+	t0 := emp.Tuples()[0] // ann, db, 90
+	p := And{
+		AttrConst{Attr: "dept", Op: OpEq, Const: relation.Str("db")},
+		Or{
+			AttrConst{Attr: "salary", Op: OpGt, Const: relation.Int(100)},
+			Not{AttrConst{Attr: "name", Op: OpEq, Const: relation.Str("bob")}},
+		},
+	}
+	ok, err := p.Holds(s, t0)
+	if err != nil || !ok {
+		t.Errorf("compound predicate = %v, %v; want true", ok, err)
+	}
+	if ok, _ := (And{}).Holds(s, t0); !ok {
+		t.Error("empty And should be true")
+	}
+	if ok, _ := (Or{}).Holds(s, t0); ok {
+		t.Error("empty Or should be false")
+	}
+	if ok, _ := (True{}).Holds(s, t0); !ok {
+		t.Error("True should hold")
+	}
+}
+
+func TestCQEval(t *testing.T) {
+	db := testDB()
+	// ans(n, c) :- emp(_, n, d, _), dept(d, c).
+	q := CQ{
+		Head: []Term{V("n"), V("c")},
+		Atoms: []Atom{
+			{Rel: "emp", Terms: []Term{V("i"), V("n"), V("d"), V("s")}},
+			{Rel: "dept", Terms: []Term{V("d"), V("c")}},
+		},
+	}
+	out, err := q.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("cq join = %d rows, want 3", out.Len())
+	}
+	ts := SortedTuples(out)
+	if ts[0][0].StrVal() != "ann" || ts[0][1].StrVal() != "EDI" {
+		t.Errorf("first row = %v", ts[0])
+	}
+}
+
+func TestCQWithConstsAndConds(t *testing.T) {
+	db := testDB()
+	// ans(n) :- emp(_, n, 'db', s), s > 75.
+	q := CQ{
+		Head: []Term{V("n")},
+		Atoms: []Atom{
+			{Rel: "emp", Terms: []Term{V("i"), V("n"), C(relation.Str("db")), V("s")}},
+		},
+		Conds: []Cond{{Left: V("s"), Op: OpGt, Right: C(relation.Int(75))}},
+	}
+	out, err := q.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Tuples()[0][0].StrVal() != "ann" {
+		t.Errorf("result = %v", out.Tuples())
+	}
+}
+
+func TestCQBoolean(t *testing.T) {
+	db := testDB()
+	q := CQ{Atoms: []Atom{{Rel: "emp", Terms: []Term{V("i"), V("n"), C(relation.Str("os")), V("s")}}}}
+	sat, err := q.Satisfied(db)
+	if err != nil || !sat {
+		t.Errorf("sat = %v, %v; want true", sat, err)
+	}
+	out, err := q.Eval(db)
+	if err != nil || out.Len() != 1 {
+		t.Errorf("boolean eval = %v, %v", out, err)
+	}
+	q2 := CQ{Atoms: []Atom{{Rel: "emp", Terms: []Term{V("i"), V("n"), C(relation.Str("hr")), V("s")}}}}
+	sat, err = q2.Satisfied(db)
+	if err != nil || sat {
+		t.Errorf("sat = %v, %v; want false", sat, err)
+	}
+}
+
+func TestCQValidate(t *testing.T) {
+	db := testDB()
+	bad := CQ{Head: []Term{V("x")}, Atoms: []Atom{{Rel: "emp", Terms: []Term{V("i"), V("n"), V("d"), V("s")}}}}
+	if err := bad.Validate(db); err == nil {
+		t.Error("want unsafe-head error")
+	}
+	bad2 := CQ{Atoms: []Atom{{Rel: "ghost", Terms: []Term{V("x")}}}}
+	if err := bad2.Validate(db); err == nil {
+		t.Error("want unknown-relation error")
+	}
+	bad3 := CQ{Atoms: []Atom{{Rel: "dept", Terms: []Term{V("x")}}}}
+	if err := bad3.Validate(db); err == nil {
+		t.Error("want arity error")
+	}
+	bad4 := CQ{
+		Atoms: []Atom{{Rel: "dept", Terms: []Term{V("x"), V("y")}}},
+		Conds: []Cond{{Left: V("z"), Op: OpEq, Right: C(relation.Int(1))}},
+	}
+	if err := bad4.Validate(db); err == nil {
+		t.Error("want unsafe-condition error")
+	}
+}
+
+func TestCQRepeatedVariable(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewInstance(relation.MustSchema("r",
+		relation.Attr("a", relation.KindInt), relation.Attr("b", relation.KindInt)))
+	r.MustInsert(relation.Int(1), relation.Int(1))
+	r.MustInsert(relation.Int(1), relation.Int(2))
+	db.Add(r)
+	q := CQ{Head: []Term{V("x")}, Atoms: []Atom{{Rel: "r", Terms: []Term{V("x"), V("x")}}}}
+	out, err := q.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Tuples()[0][0].IntVal() != 1 {
+		t.Errorf("repeated var result = %v", out.Tuples())
+	}
+}
+
+func TestCQVars(t *testing.T) {
+	q := CQ{
+		Head:  []Term{V("n")},
+		Atoms: []Atom{{Rel: "emp", Terms: []Term{V("i"), V("n"), V("d"), V("s")}}},
+		Conds: []Cond{{Left: V("s"), Op: OpGt, Right: C(relation.Int(0))}},
+	}
+	vars := q.Vars()
+	if len(vars) != 4 || vars[0] != "i" {
+		t.Errorf("vars = %v", vars)
+	}
+}
+
+func TestJoinsNonKeyToKeyFull(t *testing.T) {
+	keys := map[string][]int{"emp": {0}, "dept": {0}}
+	// emp joins dept on dept(name): non-key position in emp (pos 2),
+	// key position 0 in dept, covering dept's full key. OK.
+	good := CQ{Atoms: []Atom{
+		{Rel: "emp", Terms: []Term{V("i"), V("n"), V("d"), V("s")}},
+		{Rel: "dept", Terms: []Term{V("d"), V("c")}},
+	}}
+	if !good.JoinsNonKeyToKeyFull(keys) {
+		t.Error("full non-key-to-key join rejected")
+	}
+	// Join on dept.city (non-key on both sides) is not full.
+	bad := CQ{Atoms: []Atom{
+		{Rel: "emp", Terms: []Term{V("i"), V("x"), V("d"), V("s")}},
+		{Rel: "dept", Terms: []Term{V("d2"), V("x")}},
+	}}
+	if bad.JoinsNonKeyToKeyFull(keys) {
+		t.Error("non-key-to-non-key join accepted")
+	}
+}

@@ -1,0 +1,411 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Term is a variable or constant in a conjunctive query atom.
+type Term struct {
+	Var   string         // non-empty for a variable
+	Const relation.Value // used when Var == ""
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v relation.Value) Term { return Term{Const: v} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return "'" + t.Const.String() + "'"
+}
+
+// Atom is a relation atom R(term1, ..., termk).
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Cond is a built-in comparison between two terms, e.g. x < 5 or x ≠ y.
+type Cond struct {
+	Left  Term
+	Op    CmpOp
+	Right Term
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	return fmt.Sprintf("%s%s%s", c.Left, c.Op, c.Right)
+}
+
+// CQ is a conjunctive query with built-in predicates:
+//
+//	ans(Head) :- Atoms, Conds.
+//
+// An empty Head makes the query Boolean. OutName and OutAttrs name the
+// answer relation and columns (defaults are "ans" and the head variable
+// names).
+type CQ struct {
+	Head     []Term
+	Atoms    []Atom
+	Conds    []Cond
+	OutName  string
+	OutAttrs []string
+}
+
+// String renders the query in Datalog notation.
+func (q CQ) String() string {
+	head := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		head[i] = t.String()
+	}
+	body := make([]string, 0, len(q.Atoms)+len(q.Conds))
+	for _, a := range q.Atoms {
+		body = append(body, a.String())
+	}
+	for _, c := range q.Conds {
+		body = append(body, c.String())
+	}
+	return fmt.Sprintf("ans(%s) :- %s", strings.Join(head, ","), strings.Join(body, ", "))
+}
+
+// Boolean reports whether the query has an empty head.
+func (q CQ) Boolean() bool { return len(q.Head) == 0 }
+
+// Vars returns the distinct variables of the query, body-first then head,
+// in first-occurrence order.
+func (q CQ) Vars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t Term) {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Terms {
+			add(t)
+		}
+	}
+	for _, c := range q.Conds {
+		add(c.Left)
+		add(c.Right)
+	}
+	for _, t := range q.Head {
+		add(t)
+	}
+	return out
+}
+
+// Validate checks that the query is safe (every head and condition
+// variable occurs in some relation atom) and well-formed against db's
+// schemas.
+func (q CQ) Validate(db *relation.Database) error {
+	bodyVars := make(map[string]bool)
+	for _, a := range q.Atoms {
+		in, ok := db.Instance(a.Rel)
+		if !ok {
+			return fmt.Errorf("algebra: query references unknown relation %q", a.Rel)
+		}
+		if len(a.Terms) != in.Schema().Arity() {
+			return fmt.Errorf("algebra: atom %s has arity %d, schema wants %d", a, len(a.Terms), in.Schema().Arity())
+		}
+		for _, t := range a.Terms {
+			if t.IsVar() {
+				bodyVars[t.Var] = true
+			}
+		}
+	}
+	for _, t := range q.Head {
+		if t.IsVar() && !bodyVars[t.Var] {
+			return fmt.Errorf("algebra: unsafe head variable %q", t.Var)
+		}
+	}
+	for _, c := range q.Conds {
+		for _, t := range []Term{c.Left, c.Right} {
+			if t.IsVar() && !bodyVars[t.Var] {
+				return fmt.Errorf("algebra: unsafe condition variable %q", t.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// binding maps variable names to values during evaluation.
+type binding map[string]relation.Value
+
+func (b binding) resolve(t Term) (relation.Value, bool) {
+	if !t.IsVar() {
+		return t.Const, true
+	}
+	v, ok := b[t.Var]
+	return v, ok
+}
+
+// Eval evaluates the query over db. For Boolean queries the result has a
+// single zero-arity... Go's relational model needs at least presence, so
+// Boolean queries return an instance of schema ans(sat:bool) containing a
+// single tuple (true) when satisfied and no tuple otherwise.
+func (q CQ) Eval(db *relation.Database) (*relation.Instance, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	outName := q.OutName
+	if outName == "" {
+		outName = "ans"
+	}
+	if q.Boolean() {
+		sat, err := q.Satisfied(db)
+		if err != nil {
+			return nil, err
+		}
+		schema := relation.MustSchema(outName, relation.Attr("sat", relation.KindBool))
+		out := relation.NewInstance(schema)
+		if sat {
+			out.MustInsert(relation.Bool(true))
+		}
+		return out, nil
+	}
+	schema, err := q.outSchema(db, outName)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(schema)
+	seen := make(map[string]bool)
+	err = q.enumerate(db, func(b binding) error {
+		row := make(relation.Tuple, len(q.Head))
+		for i, t := range q.Head {
+			v, ok := b.resolve(t)
+			if !ok {
+				return fmt.Errorf("algebra: unbound head term %s", t)
+			}
+			row[i] = v
+		}
+		if k := row.Key(); !seen[k] {
+			seen[k] = true
+			if _, err := out.Insert(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Satisfied evaluates the query as Boolean: does any satisfying binding
+// exist?
+func (q CQ) Satisfied(db *relation.Database) (bool, error) {
+	if err := q.Validate(db); err != nil {
+		return false, err
+	}
+	found := false
+	err := q.enumerate(db, func(binding) error {
+		found = true
+		return errStop
+	})
+	if err != nil && err != errStop {
+		return false, err
+	}
+	return found, nil
+}
+
+var errStop = fmt.Errorf("algebra: stop enumeration")
+
+// enumerate backtracks over atoms, invoking fn for every satisfying
+// binding. fn may return errStop to cut the search.
+func (q CQ) enumerate(db *relation.Database, fn func(binding) error) error {
+	b := make(binding)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(q.Atoms) {
+			for _, c := range q.Conds {
+				lv, ok1 := b.resolve(c.Left)
+				rv, ok2 := b.resolve(c.Right)
+				if !ok1 || !ok2 {
+					return fmt.Errorf("algebra: unbound condition %s", c)
+				}
+				if !c.Op.Apply(lv, rv) {
+					return nil
+				}
+			}
+			return fn(b)
+		}
+		atom := q.Atoms[i]
+		in, _ := db.Instance(atom.Rel)
+		for _, t := range in.Tuples() {
+			var bound []string
+			ok := true
+			for j, term := range atom.Terms {
+				if !term.IsVar() {
+					if !t[j].Equal(term.Const) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, exists := b[term.Var]; exists {
+					if !v.Equal(t[j]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				b[term.Var] = t[j]
+				bound = append(bound, term.Var)
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					for _, v := range bound {
+						delete(b, v)
+					}
+					return err
+				}
+			}
+			for _, v := range bound {
+				delete(b, v)
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// outSchema builds the answer schema: output attribute kinds come from the
+// first body occurrence of each head variable (constants keep their own
+// kind).
+func (q CQ) outSchema(db *relation.Database, outName string) (*relation.Schema, error) {
+	kindOf := make(map[string]relation.Kind)
+	for _, a := range q.Atoms {
+		in, _ := db.Instance(a.Rel)
+		for j, t := range a.Terms {
+			if t.IsVar() {
+				if _, ok := kindOf[t.Var]; !ok {
+					kindOf[t.Var] = in.Schema().Attr(j).Domain.Kind()
+				}
+			}
+		}
+	}
+	attrs := make([]relation.Attribute, len(q.Head))
+	used := make(map[string]int)
+	for i, t := range q.Head {
+		var name string
+		var kind relation.Kind
+		if t.IsVar() {
+			name, kind = t.Var, kindOf[t.Var]
+		} else {
+			name, kind = fmt.Sprintf("c%d", i), t.Const.Kind()
+		}
+		if i < len(q.OutAttrs) && q.OutAttrs[i] != "" {
+			name = q.OutAttrs[i]
+		}
+		if n := used[name]; n > 0 {
+			name = fmt.Sprintf("%s_%d", name, n)
+		}
+		used[name]++
+		attrs[i] = relation.Attr(name, kind)
+	}
+	return relation.NewSchema(outName, attrs...)
+}
+
+// JoinsNonKeyToKeyFull is a helper for the Ctree query class of
+// Theorem 5.2 (Fuxman–Miller): it reports, for a query whose atoms all
+// have primary keys given by keys[rel] (attribute positions), whether
+// every join variable that occurs in a non-key position of one atom covers
+// the entire key of every other atom it occurs in. This is a conservative
+// syntactic check used by the cqa package's rewriting eligibility test.
+func (q CQ) JoinsNonKeyToKeyFull(keys map[string][]int) bool {
+	// occurrence lists per variable: (atom, position)
+	type occ struct{ atom, pos int }
+	occs := make(map[string][]occ)
+	for ai, a := range q.Atoms {
+		for pi, t := range a.Terms {
+			if t.IsVar() {
+				occs[t.Var] = append(occs[t.Var], occ{ai, pi})
+			}
+		}
+	}
+	isKeyPos := func(rel string, pos int) bool {
+		for _, p := range keys[rel] {
+			if p == pos {
+				return true
+			}
+		}
+		return false
+	}
+	for _, os := range occs {
+		if len(os) < 2 {
+			continue
+		}
+		// A variable shared across atoms joins them. For every pair of
+		// distinct atoms (A, B) it joins, if it sits at a non-key position
+		// of A then its occurrences in B must cover B's entire key.
+		for _, oa := range os {
+			if isKeyPos(q.Atoms[oa.atom].Rel, oa.pos) {
+				continue
+			}
+			for bi := range q.Atoms {
+				if bi == oa.atom {
+					continue
+				}
+				joinsB := false
+				coveredKey := make(map[int]bool)
+				for _, ob := range os {
+					if ob.atom != bi {
+						continue
+					}
+					joinsB = true
+					if isKeyPos(q.Atoms[bi].Rel, ob.pos) {
+						coveredKey[ob.pos] = true
+					}
+				}
+				if !joinsB {
+					continue
+				}
+				key := keys[q.Atoms[bi].Rel]
+				if len(key) == 0 || len(coveredKey) < len(key) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SortedTuples returns the result tuples of an instance sorted
+// lexicographically; a convenience for deterministic test assertions.
+func SortedTuples(in *relation.Instance) []relation.Tuple {
+	ts := in.Tuples()
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if c := ts[i][k].Compare(ts[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return ts
+}

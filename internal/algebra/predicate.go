@@ -1,0 +1,205 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// CmpOp is a built-in comparison predicate: =, ≠, <, ≤, >, ≥ — the
+// predicates denial constraints and conjunctive queries range over
+// (Section 2.3 of the paper).
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator symbol.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "≠"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "≤"
+	case OpGt:
+		return ">"
+	case OpGe:
+		return "≥"
+	default:
+		return "?"
+	}
+}
+
+// ParseCmpOp parses an ASCII operator token (=, !=, <, <=, >, >=).
+func ParseCmpOp(s string) (CmpOp, error) {
+	switch s {
+	case "=", "==":
+		return OpEq, nil
+	case "!=", "<>", "≠":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=", "≤":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=", "≥":
+		return OpGe, nil
+	default:
+		return OpEq, fmt.Errorf("algebra: unknown comparison operator %q", s)
+	}
+}
+
+// Apply evaluates v op w. Comparisons involving null are false except
+// null = null and null ≥/≤ null, matching two-valued semantics over the
+// Compare order.
+func (op CmpOp) Apply(v, w relation.Value) bool {
+	c := v.Compare(w)
+	eq := v.Equal(w)
+	switch op {
+	case OpEq:
+		return eq
+	case OpNe:
+		return !eq
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate is a boolean selection condition over a tuple.
+type Predicate interface {
+	// Holds evaluates the predicate on tuple t of schema s.
+	Holds(s *relation.Schema, t relation.Tuple) (bool, error)
+	String() string
+}
+
+// AttrConst compares attribute Attr against constant Const.
+type AttrConst struct {
+	Attr  string
+	Op    CmpOp
+	Const relation.Value
+}
+
+// Holds implements Predicate.
+func (p AttrConst) Holds(s *relation.Schema, t relation.Tuple) (bool, error) {
+	i, ok := s.Lookup(p.Attr)
+	if !ok {
+		return false, fmt.Errorf("algebra: predicate references unknown attribute %q", p.Attr)
+	}
+	return p.Op.Apply(t[i], p.Const), nil
+}
+
+func (p AttrConst) String() string { return fmt.Sprintf("%s%s%s", p.Attr, p.Op, p.Const) }
+
+// AttrAttr compares two attributes of the same tuple.
+type AttrAttr struct {
+	Left  string
+	Op    CmpOp
+	Right string
+}
+
+// Holds implements Predicate.
+func (p AttrAttr) Holds(s *relation.Schema, t relation.Tuple) (bool, error) {
+	i, ok := s.Lookup(p.Left)
+	if !ok {
+		return false, fmt.Errorf("algebra: predicate references unknown attribute %q", p.Left)
+	}
+	j, ok := s.Lookup(p.Right)
+	if !ok {
+		return false, fmt.Errorf("algebra: predicate references unknown attribute %q", p.Right)
+	}
+	return p.Op.Apply(t[i], t[j]), nil
+}
+
+func (p AttrAttr) String() string { return fmt.Sprintf("%s%s%s", p.Left, p.Op, p.Right) }
+
+// And is the conjunction of its operands (true when empty).
+type And []Predicate
+
+// Holds implements Predicate.
+func (ps And) Holds(s *relation.Schema, t relation.Tuple) (bool, error) {
+	for _, p := range ps {
+		ok, err := p.Holds(s, t)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (ps And) String() string {
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += " ∧ "
+		}
+		out += p.String()
+	}
+	return out
+}
+
+// Or is the disjunction of its operands (false when empty).
+type Or []Predicate
+
+// Holds implements Predicate.
+func (ps Or) Holds(s *relation.Schema, t relation.Tuple) (bool, error) {
+	for _, p := range ps {
+		ok, err := p.Holds(s, t)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (ps Or) String() string {
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += " ∨ "
+		}
+		out += p.String()
+	}
+	return "(" + out + ")"
+}
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Holds implements Predicate.
+func (n Not) Holds(s *relation.Schema, t relation.Tuple) (bool, error) {
+	ok, err := n.P.Holds(s, t)
+	return !ok, err
+}
+
+func (n Not) String() string { return "¬(" + n.P.String() + ")" }
+
+// True is the always-true predicate.
+type True struct{}
+
+// Holds implements Predicate.
+func (True) Holds(*relation.Schema, relation.Tuple) (bool, error) { return true, nil }
+
+func (True) String() string { return "true" }

@@ -1,0 +1,249 @@
+package cfd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// This file implements a sound inference system for CFDs in normal form,
+// reflecting the finite axiomatizability result of Theorem 4.6(a). Every
+// rule is sound for the CFD semantics; soundness is property-tested
+// against the semantic decision procedure (Implies). The system is used to
+// derive new cleaning rules syntactically, the way Section 4.1 motivates
+// ("it reveals insight into implication analysis and helps us understand
+// how cleaning rules interact").
+//
+// Rules, on normal-form CFDs (single pattern row, single RHS attribute):
+//
+//	Refl:   ⊢ (X∪A → A, tp)            when tp[A_RHS] ≍ tp[A_LHS]
+//	Aug:    (X → A, tp) ⊢ (XB → A, tp+'_')
+//	Tight:  (X → A, tp) ⊢ (X → A, tp')  when tp'[X] ⊑ tp[X] (more specific)
+//	Weak:   (X → A, tp‖c) ⊢ (X → A, tp‖_)
+//	Trans:  (X → B, tp1), (BZ → A, tp2) ⊢ (XZ → A, tp1[X]⊓tp2[Z] ‖ tp2[A])
+//	        when tp2[B] is '_' or equals the constant tp1[B_RHS]
+//
+// where ⊑ is "each cell equal or a constant refining '_'" and ⊓ is the
+// cell-wise meet (constant beats wildcard; incompatible constants make the
+// rule inapplicable).
+
+// Derivation records one inference step for provenance.
+type Derivation struct {
+	Rule    string
+	From    []*CFD
+	Derived *CFD
+}
+
+// String renders the step.
+func (d Derivation) String() string {
+	froms := make([]string, len(d.From))
+	for i, f := range d.From {
+		froms[i] = f.String()
+	}
+	return fmt.Sprintf("%s: %s ⊢ %s", d.Rule, strings.Join(froms, " ; "), d.Derived)
+}
+
+// cellMeet returns the meet of two pattern cells: the more specific cell,
+// or ok=false when both are distinct constants.
+func cellMeet(a, b Cell) (Cell, bool) {
+	switch {
+	case a.IsWildcard():
+		return b, true
+	case b.IsWildcard():
+		return a, true
+	case a.Value().Equal(b.Value()):
+		return a, true
+	default:
+		return Cell{}, false
+	}
+}
+
+// normalKey canonicalizes a normal-form CFD for deduplication: LHS
+// attributes sorted by position with their cells.
+func normalKey(c *CFD) string {
+	row := c.tableau[0]
+	type pc struct {
+		pos  int
+		cell Cell
+	}
+	ps := make([]pc, len(c.lhs))
+	for i, p := range c.lhs {
+		ps[i] = pc{p, row.LHS[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].pos < ps[j].pos })
+	var b strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%d=%s|", p.pos, p.cell)
+	}
+	fmt.Fprintf(&b, ">%d=%s", c.rhs[0], row.RHS[0])
+	return b.String()
+}
+
+// Closure computes the set of normal-form CFDs derivable from Σ with the
+// inference rules, bounded by maxDerived results (the closure is infinite
+// under Aug/Tight without a bound; derivations that only add attributes or
+// constants already mentioned in Σ are generated, which keeps the space
+// finite and relevant). It returns the derived CFDs and their derivations.
+func Closure(set []*CFD, maxDerived int) ([]*CFD, []Derivation) {
+	work := NormalizeSet(set)
+	seen := make(map[string]bool, len(work))
+	for _, c := range work {
+		seen[normalKey(c)] = true
+	}
+	var derivations []Derivation
+
+	add := func(rule string, from []*CFD, c *CFD) bool {
+		k := normalKey(c)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		work = append(work, c)
+		derivations = append(derivations, Derivation{Rule: rule, From: from, Derived: c})
+		return true
+	}
+
+	if len(work) == 0 {
+		return nil, nil
+	}
+	schema := work[0].schema
+
+	// Constants mentioned per position, for Tight instantiation.
+	rows, _, _ := normalizeRows(work)
+	consts := constantsAt(rows)
+
+	for pass := 0; ; pass++ {
+		grew := false
+		n := len(work)
+		for i := 0; i < n && len(derivations) < maxDerived; i++ {
+			c1 := work[i]
+			row1 := c1.tableau[0]
+
+			// Weak: drop an RHS constant to '_'.
+			if !row1.RHS[0].IsWildcard() {
+				d := c1.Clone()
+				d.tableau[0].RHS[0] = Any()
+				if add("Weak", []*CFD{c1}, d) {
+					grew = true
+				}
+			}
+
+			// Tight: refine one LHS wildcard to a mentioned constant.
+			for j, cell := range row1.LHS {
+				if !cell.IsWildcard() {
+					continue
+				}
+				for _, v := range consts[c1.lhs[j]] {
+					if len(derivations) >= maxDerived {
+						break
+					}
+					d := c1.Clone()
+					d.tableau[0].LHS[j] = Const(v)
+					if add("Tight", []*CFD{c1}, d) {
+						grew = true
+					}
+				}
+			}
+
+			// Trans with every other rule.
+			for k := 0; k < n && len(derivations) < maxDerived; k++ {
+				c2 := work[k]
+				row2 := c2.tableau[0]
+				// c1: X → B; c2: Z → A with B ∈ Z.
+				b := c1.rhs[0]
+				bIdx := -1
+				for j, p := range c2.lhs {
+					if p == b {
+						bIdx = j
+						break
+					}
+				}
+				if bIdx < 0 {
+					continue
+				}
+				bCell := row2.LHS[bIdx]
+				if !bCell.IsWildcard() {
+					if row1.RHS[0].IsWildcard() || !row1.RHS[0].Value().Equal(bCell.Value()) {
+						continue
+					}
+				}
+				// Derived LHS: X ∪ (Z \ {B}), cell-wise meet on overlap.
+				posCell := make(map[int]Cell)
+				ok := true
+				for j, p := range c1.lhs {
+					posCell[p] = row1.LHS[j]
+				}
+				for j, p := range c2.lhs {
+					if p == b {
+						continue
+					}
+					if prev, exists := posCell[p]; exists {
+						m, compat := cellMeet(prev, row2.LHS[j])
+						if !compat {
+							ok = false
+							break
+						}
+						posCell[p] = m
+					} else {
+						posCell[p] = row2.LHS[j]
+					}
+				}
+				if !ok || len(posCell) == 0 {
+					continue
+				}
+				var lhsNames []string
+				var lhsCells []Cell
+				ps := make([]int, 0, len(posCell))
+				for p := range posCell {
+					ps = append(ps, p)
+				}
+				sort.Ints(ps)
+				for _, p := range ps {
+					lhsNames = append(lhsNames, schema.Attr(p).Name)
+					lhsCells = append(lhsCells, posCell[p])
+				}
+				d, err := New(schema, lhsNames, []string{schema.Attr(c2.rhs[0]).Name},
+					PatternRow{LHS: lhsCells, RHS: []Cell{row2.RHS[0]}})
+				if err != nil {
+					continue
+				}
+				if add("Trans", []*CFD{c1, c2}, d) {
+					grew = true
+				}
+			}
+		}
+		if !grew || len(derivations) >= maxDerived {
+			break
+		}
+	}
+	return work, derivations
+}
+
+// Reflexive builds the axiom-scheme instance (X∪{A} → A, tp) with tp[A]
+// identical on both sides; it is trivially valid.
+func Reflexive(schema *relation.Schema, lhs []string, a string, cells []Cell, aCell Cell) (*CFD, error) {
+	names := append(append([]string(nil), lhs...), a)
+	row := PatternRow{LHS: append(append([]Cell(nil), cells...), aCell), RHS: []Cell{aCell}}
+	return New(schema, names, []string{a}, row)
+}
+
+// Augment applies the Aug rule: extend the LHS of a normal-form CFD with
+// an extra attribute carrying '_'.
+func Augment(c *CFD, attr string) (*CFD, error) {
+	if len(c.tableau) != 1 || len(c.rhs) != 1 {
+		return nil, fmt.Errorf("cfd: Augment needs normal form")
+	}
+	for _, n := range c.LHSNames() {
+		if n == attr {
+			return nil, fmt.Errorf("cfd: attribute %q already in LHS", attr)
+		}
+	}
+	names := append(append([]string(nil), c.LHSNames()...), attr)
+	row := PatternRow{
+		LHS: append(append([]Cell(nil), c.tableau[0].LHS...), Any()),
+		RHS: append([]Cell(nil), c.tableau[0].RHS...),
+	}
+	return New(c.schema, names, c.RHSNames(), row)
+}

@@ -1,0 +1,289 @@
+// Package cfd implements conditional functional dependencies (CFDs) as
+// defined in Section 2.1 of Fan (PODS 2008): a CFD on a relation schema R
+// is a pair R(X → Y, Tp) of an embedded functional dependency X → Y and a
+// pattern tableau Tp whose rows mix constants and the unnamed variable '_'.
+// An instance D satisfies the CFD iff for every pattern row tp and every
+// pair of tuples t1, t2 ∈ D:
+//
+//	t1[X] = t2[X] ≍ tp[X]  ⇒  t1[Y] = t2[Y] ≍ tp[Y]
+//
+// where v ≍ c holds iff v = c, and v ≍ _ always holds.
+//
+// The package provides satisfaction checking, violation detection
+// (single-tuple constant violations and tuple-pair variable violations),
+// normalization, the consistency and implication analyses of Section 4.1
+// (with the quadratic special-case algorithms of Theorem 4.3 and the exact
+// exponential procedures matching the NP/coNP bounds of Theorems 4.1 and
+// 4.2), a sound inference system, and minimal covers.
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Cell is one entry of a pattern tuple: either a constant from the
+// attribute's domain or the unnamed variable '_'.
+type Cell struct {
+	wildcard bool
+	value    relation.Value
+}
+
+// Const returns a constant pattern cell.
+func Const(v relation.Value) Cell { return Cell{value: v} }
+
+// Any returns the unnamed-variable cell '_'.
+func Any() Cell { return Cell{wildcard: true} }
+
+// IsWildcard reports whether the cell is '_'.
+func (c Cell) IsWildcard() bool { return c.wildcard }
+
+// Value returns the constant of a non-wildcard cell.
+func (c Cell) Value() relation.Value { return c.value }
+
+// Matches implements the ≍ operator of the paper on a single value.
+func (c Cell) Matches(v relation.Value) bool {
+	return c.wildcard || c.value.Equal(v)
+}
+
+// MatchesCell implements ≍ between two pattern cells (used by the
+// inference system): two cells match iff either is '_' or their constants
+// are equal.
+func (c Cell) MatchesCell(d Cell) bool {
+	return c.wildcard || d.wildcard || c.value.Equal(d.value)
+}
+
+// Equal reports syntactic equality of cells.
+func (c Cell) Equal(d Cell) bool {
+	if c.wildcard != d.wildcard {
+		return false
+	}
+	return c.wildcard || c.value.Equal(d.value)
+}
+
+// String renders the cell ('_' or the constant).
+func (c Cell) String() string {
+	if c.wildcard {
+		return "_"
+	}
+	return c.value.String()
+}
+
+// PatternRow is one pattern tuple tp of a tableau, split into its X
+// (LHS) and Y (RHS) parts.
+type PatternRow struct {
+	LHS []Cell
+	RHS []Cell
+}
+
+// Row is a convenience constructor for a pattern row.
+func Row(lhs []Cell, rhs []Cell) PatternRow { return PatternRow{LHS: lhs, RHS: rhs} }
+
+// String renders the row as "l1, l2 || r1".
+func (r PatternRow) String() string {
+	return cellsString(r.LHS) + " || " + cellsString(r.RHS)
+}
+
+func cellsString(cs []Cell) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// CFD is a conditional functional dependency R(X → Y, Tp).
+type CFD struct {
+	schema  *relation.Schema
+	lhs     []int // positions of X in schema order of declaration
+	rhs     []int // positions of Y
+	tableau []PatternRow
+}
+
+// New builds a CFD over schema with the named LHS and RHS attributes and
+// the given pattern rows. Every row must have len(LHS) == len(lhs
+// attributes) and len(RHS) == len(rhs attributes); constants must be
+// admissible in the attribute domains.
+func New(schema *relation.Schema, lhs, rhs []string, rows ...PatternRow) (*CFD, error) {
+	if len(rhs) == 0 {
+		return nil, fmt.Errorf("cfd: %s: empty RHS", schema.Name())
+	}
+	lp, err := schema.Positions(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("cfd: %v", err)
+	}
+	rp, err := schema.Positions(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("cfd: %v", err)
+	}
+	c := &CFD{schema: schema, lhs: lp, rhs: rp}
+	for i, r := range rows {
+		if len(r.LHS) != len(lp) || len(r.RHS) != len(rp) {
+			return nil, fmt.Errorf("cfd: %s row %d: pattern arity (%d||%d), want (%d||%d)",
+				schema.Name(), i, len(r.LHS), len(r.RHS), len(lp), len(rp))
+		}
+		for j, cell := range r.LHS {
+			if !cell.IsWildcard() && !schema.Attr(lp[j]).Domain.Contains(cell.Value()) {
+				return nil, fmt.Errorf("cfd: %s row %d: constant %v not in dom(%s)",
+					schema.Name(), i, cell.Value(), schema.Attr(lp[j]).Name)
+			}
+		}
+		for j, cell := range r.RHS {
+			if !cell.IsWildcard() && !schema.Attr(rp[j]).Domain.Contains(cell.Value()) {
+				return nil, fmt.Errorf("cfd: %s row %d: constant %v not in dom(%s)",
+					schema.Name(), i, cell.Value(), schema.Attr(rp[j]).Name)
+			}
+		}
+		c.tableau = append(c.tableau, PatternRow{
+			LHS: append([]Cell(nil), r.LHS...),
+			RHS: append([]Cell(nil), r.RHS...),
+		})
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error; for tests and fixtures.
+func MustNew(schema *relation.Schema, lhs, rhs []string, rows ...PatternRow) *CFD {
+	c, err := New(schema, lhs, rhs, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FD builds the traditional functional dependency X → Y as the special
+// case of a CFD whose tableau is the single all-wildcard row (the paper's
+// observation that FDs ⊂ CFDs).
+func FD(schema *relation.Schema, lhs, rhs []string) (*CFD, error) {
+	row := PatternRow{LHS: make([]Cell, len(lhs)), RHS: make([]Cell, len(rhs))}
+	for i := range row.LHS {
+		row.LHS[i] = Any()
+	}
+	for i := range row.RHS {
+		row.RHS[i] = Any()
+	}
+	return New(schema, lhs, rhs, row)
+}
+
+// MustFD is FD that panics on error.
+func MustFD(schema *relation.Schema, lhs, rhs []string) *CFD {
+	c, err := FD(schema, lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Schema returns the schema the CFD is defined on.
+func (c *CFD) Schema() *relation.Schema { return c.schema }
+
+// LHS returns the positions of the X attributes.
+func (c *CFD) LHS() []int { return c.lhs }
+
+// RHS returns the positions of the Y attributes.
+func (c *CFD) RHS() []int { return c.rhs }
+
+// LHSNames returns the X attribute names.
+func (c *CFD) LHSNames() []string { return c.names(c.lhs) }
+
+// RHSNames returns the Y attribute names.
+func (c *CFD) RHSNames() []string { return c.names(c.rhs) }
+
+func (c *CFD) names(pos []int) []string {
+	out := make([]string, len(pos))
+	for i, p := range pos {
+		out[i] = c.schema.Attr(p).Name
+	}
+	return out
+}
+
+// Tableau returns the pattern rows. The result must not be modified.
+func (c *CFD) Tableau() []PatternRow { return c.tableau }
+
+// AddRow appends a pattern row (validated like New).
+func (c *CFD) AddRow(r PatternRow) error {
+	n, err := New(c.schema, c.LHSNames(), c.RHSNames(), r)
+	if err != nil {
+		return err
+	}
+	c.tableau = append(c.tableau, n.tableau[0])
+	return nil
+}
+
+// IsFD reports whether the CFD is a traditional FD: a single all-wildcard
+// pattern row.
+func (c *CFD) IsFD() bool {
+	if len(c.tableau) != 1 {
+		return false
+	}
+	for _, cell := range c.tableau[0].LHS {
+		if !cell.IsWildcard() {
+			return false
+		}
+	}
+	for _, cell := range c.tableau[0].RHS {
+		if !cell.IsWildcard() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the CFD as R([X] -> [Y], { row; row }).
+func (c *CFD) String() string {
+	rows := make([]string, len(c.tableau))
+	for i, r := range c.tableau {
+		rows[i] = r.String()
+	}
+	return fmt.Sprintf("%s([%s] -> [%s], {%s})",
+		c.schema.Name(),
+		strings.Join(c.LHSNames(), ", "),
+		strings.Join(c.RHSNames(), ", "),
+		strings.Join(rows, "; "))
+}
+
+// Clone returns a deep copy.
+func (c *CFD) Clone() *CFD {
+	out := &CFD{
+		schema: c.schema,
+		lhs:    append([]int(nil), c.lhs...),
+		rhs:    append([]int(nil), c.rhs...),
+	}
+	for _, r := range c.tableau {
+		out.tableau = append(out.tableau, PatternRow{
+			LHS: append([]Cell(nil), r.LHS...),
+			RHS: append([]Cell(nil), r.RHS...),
+		})
+	}
+	return out
+}
+
+// Normalize returns an equivalent set of CFDs in normal form: each result
+// has a single RHS attribute and a single pattern row. Normal form is what
+// the static analyses operate on.
+func (c *CFD) Normalize() []*CFD {
+	var out []*CFD
+	for _, row := range c.tableau {
+		for j, rp := range c.rhs {
+			n := &CFD{
+				schema:  c.schema,
+				lhs:     append([]int(nil), c.lhs...),
+				rhs:     []int{rp},
+				tableau: []PatternRow{{LHS: append([]Cell(nil), row.LHS...), RHS: []Cell{row.RHS[j]}}},
+			}
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NormalizeSet normalizes every CFD in a set.
+func NormalizeSet(set []*CFD) []*CFD {
+	var out []*CFD
+	for _, c := range set {
+		out = append(out, c.Normalize()...)
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package cfd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// TestFigure1FDsHold reproduces the paper's first claim about Figure 1:
+// D0 satisfies the traditional FDs f1 and f2, so "no errors are found"
+// when only FDs are used.
+func TestFigure1FDsHold(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	if !cfd.Satisfies(d0, paperdata.F1(s)) {
+		t.Error("D0 should satisfy f1 = [CC,AC,phn] → [street,city,zip]")
+	}
+	if !cfd.Satisfies(d0, paperdata.F2(s)) {
+		t.Error("D0 should satisfy f2 = [CC,AC] → [city]")
+	}
+}
+
+// TestFigure2CFDs reproduces the Figure 2 claims: D0 satisfies ϕ3 but
+// neither ϕ1 nor ϕ2.
+func TestFigure2CFDs(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	if cfd.Satisfies(d0, paperdata.Phi1(s)) {
+		t.Error("D0 should violate ϕ1 (t1, t2 share UK zip but differ in street)")
+	}
+	if cfd.Satisfies(d0, paperdata.Phi2(s)) {
+		t.Error("D0 should violate ϕ2 (city must be EDI for CC=44, AC=131)")
+	}
+	if !cfd.Satisfies(d0, paperdata.Phi3(s)) {
+		t.Error("D0 should satisfy ϕ3")
+	}
+}
+
+// TestFigure2ViolationDetail checks the precise violations the paper
+// narrates: t1 and t2 violate cfd1 (pair) and each of t1, t2 violates
+// cfd2 (single-tuple, city ≠ EDI); t3 violates cfd3 (city ≠ MH).
+func TestFigure2ViolationDetail(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+
+	v1 := cfd.Detect(d0, paperdata.Phi1(s))
+	if len(v1) != 1 {
+		t.Fatalf("ϕ1 violations = %v, want exactly one pair", v1)
+	}
+	if v1[0].Kind != cfd.TuplePair || v1[0].T1 != 0 || v1[0].T2 != 1 {
+		t.Errorf("ϕ1 violation = %+v, want pair (t1,t2) = TIDs (0,1)", v1[0])
+	}
+	if s.Attr(v1[0].Attr).Name != "street" {
+		t.Errorf("ϕ1 clash on %s, want street", s.Attr(v1[0].Attr).Name)
+	}
+
+	v2 := cfd.Detect(d0, paperdata.Phi2(s))
+	single := map[relation.TID]int{}
+	for _, v := range v2 {
+		if v.Kind == cfd.SingleTuple {
+			single[v.T1]++
+			if s.Attr(v.Attr).Name != "city" {
+				t.Errorf("ϕ2 clash on %s, want city", s.Attr(v.Attr).Name)
+			}
+		}
+	}
+	if single[0] == 0 || single[1] == 0 || single[2] == 0 {
+		t.Errorf("ϕ2 single-tuple violations per TID = %v; want all of t1,t2,t3 flagged", single)
+	}
+}
+
+func TestDetectAllSortsAndViolatingTIDs(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	vs := cfd.DetectAll(d0, []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s), paperdata.Phi3(s)})
+	if len(vs) == 0 {
+		t.Fatal("no violations detected")
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i].T1 < vs[i-1].T1 {
+			t.Fatal("DetectAll output not sorted by T1")
+		}
+	}
+	tids := cfd.ViolatingTIDs(vs)
+	if len(tids) != 3 {
+		t.Errorf("violating TIDs = %v; the paper says none of D0's tuples is error-free", tids)
+	}
+}
+
+func TestTraditionalFDAsCFD(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	f := paperdata.F2(s)
+	if !f.IsFD() {
+		t.Error("all-wildcard single-row CFD should report IsFD")
+	}
+	if paperdata.Phi1(s).IsFD() {
+		t.Error("ϕ1 is not a traditional FD")
+	}
+	raw, ok := cfd.AsRawFD(f)
+	if !ok || len(raw.LHS) != 2 || len(raw.RHS) != 1 {
+		t.Errorf("AsRawFD = %+v, %v", raw, ok)
+	}
+	if _, ok := cfd.AsRawFD(paperdata.Phi1(s)); ok {
+		t.Error("AsRawFD should fail on a proper CFD")
+	}
+}
+
+func TestCFDConstructorValidation(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	if _, err := cfd.New(s, []string{"CC"}, nil); err == nil {
+		t.Error("want error for empty RHS")
+	}
+	if _, err := cfd.New(s, []string{"nope"}, []string{"city"}); err == nil {
+		t.Error("want error for unknown LHS attribute")
+	}
+	if _, err := cfd.New(s, []string{"CC"}, []string{"city"},
+		cfd.Row([]cfd.Cell{cfd.Any(), cfd.Any()}, []cfd.Cell{cfd.Any()})); err == nil {
+		t.Error("want error for pattern arity mismatch")
+	}
+	// Constant outside a finite domain.
+	fs := relation.MustSchema("r", relation.FiniteAttr("A", relation.FiniteDom(relation.KindString, relation.Str("x"))))
+	if _, err := cfd.New(fs, []string{"A"}, []string{"A"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("y"))}, []cfd.Cell{cfd.Any()})); err == nil {
+		t.Error("want error for constant outside finite domain")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	phi2 := paperdata.Phi2(s)
+	norm := phi2.Normalize()
+	if len(norm) != 9 { // 3 rows × 3 RHS attributes
+		t.Fatalf("normalized pieces = %d, want 9", len(norm))
+	}
+	for _, n := range norm {
+		if len(n.RHS()) != 1 || len(n.Tableau()) != 1 {
+			t.Errorf("piece not in normal form: %v", n)
+		}
+	}
+	// Normalization preserves satisfaction on D0's complement: build a
+	// clean instance and check both directions.
+	d0 := paperdata.Figure1()
+	allSat := true
+	for _, n := range norm {
+		if !cfd.Satisfies(d0, n) {
+			allSat = false
+		}
+	}
+	if allSat != cfd.Satisfies(d0, phi2) {
+		t.Error("normalization changed satisfaction")
+	}
+}
+
+func TestCellSemantics(t *testing.T) {
+	c := cfd.Const(relation.Str("EDI"))
+	w := cfd.Any()
+	if !w.Matches(relation.Str("anything")) {
+		t.Error("wildcard must match everything")
+	}
+	if !c.Matches(relation.Str("EDI")) || c.Matches(relation.Str("NYC")) {
+		t.Error("constant cell match wrong")
+	}
+	if !c.MatchesCell(w) || !w.MatchesCell(c) || !w.MatchesCell(w) {
+		t.Error("≍ with wildcard cells wrong")
+	}
+	if c.MatchesCell(cfd.Const(relation.Str("NYC"))) {
+		t.Error("distinct constants must not ≍")
+	}
+	if !c.Equal(cfd.Const(relation.Str("EDI"))) || c.Equal(w) {
+		t.Error("cell equality wrong")
+	}
+	if c.String() != "EDI" || w.String() != "_" {
+		t.Errorf("cell strings: %q, %q", c, w)
+	}
+}
+
+func TestAddRowAndClone(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	phi := paperdata.Phi1(s)
+	cp := phi.Clone()
+	if err := cp.AddRow(cfd.Row(
+		[]cfd.Cell{cfd.Const(relation.Int(1)), cfd.Any()},
+		[]cfd.Cell{cfd.Any()})); err != nil {
+		t.Fatal(err)
+	}
+	if len(phi.Tableau()) != 1 || len(cp.Tableau()) != 2 {
+		t.Error("clone shares tableau with original")
+	}
+	if err := cp.AddRow(cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Any()})); err == nil {
+		t.Error("want arity error from AddRow")
+	}
+}
+
+func TestEmptyInstanceSatisfiesEverything(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	empty := relation.NewInstance(s)
+	for _, c := range []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s), paperdata.F1(s)} {
+		if !cfd.Satisfies(empty, c) {
+			t.Errorf("empty instance must satisfy %v", c)
+		}
+	}
+}
+
+func TestSatisfactionClosedUnderSubsets(t *testing.T) {
+	// The foundation of the single/two-tuple characterizations: removing
+	// tuples never breaks satisfaction.
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	deps := []*cfd.CFD{paperdata.Phi3(s), paperdata.F1(s), paperdata.F2(s)}
+	for _, dep := range deps {
+		if !cfd.Satisfies(d0, dep) {
+			t.Fatalf("precondition: D0 ⊨ %v", dep)
+		}
+	}
+	for _, id := range d0.IDs() {
+		sub := d0.Clone()
+		sub.Delete(id)
+		for _, dep := range deps {
+			if !cfd.Satisfies(sub, dep) {
+				t.Errorf("subset (without %d) violates %v", id, dep)
+			}
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	schemas := map[string]*relation.Schema{"customer": s}
+	text := `
+# Figure 2 of the paper
+cfd customer: [CC, zip] -> [street]
+  44, _ || _
+
+cfd customer: [CC, AC, phn] -> [street, city, zip]
+  _, _, _ || _, _, _
+  44, 131, _ || _, EDI, _
+  1, 908, _ || _, MH, _
+`
+	set, err := cfd.ParseString(text, schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("parsed %d CFDs, want 2", len(set))
+	}
+	d0 := paperdata.Figure1()
+	if cfd.Satisfies(d0, set[0]) || cfd.Satisfies(d0, set[1]) {
+		t.Error("parsed CFDs should behave like ϕ1, ϕ2 (violated by D0)")
+	}
+	var sb strings.Builder
+	if err := cfd.Format(&sb, set); err != nil {
+		t.Fatal(err)
+	}
+	again, err := cfd.ParseString(sb.String(), schemas)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	if len(again) != 2 || again[1].String() != set[1].String() {
+		t.Errorf("round trip mismatch:\n%v\n%v", set[1], again[1])
+	}
+}
+
+func TestParseQuotedAndErrors(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	schemas := map[string]*relation.Schema{"customer": s}
+	ok, err := cfd.ParseString("cfd customer: [city] -> [street]\n  'EH4, flat' || _\n", schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ok[0].Tableau()[0].LHS[0].Value().StrVal(); got != "EH4, flat" {
+		t.Errorf("quoted constant = %q", got)
+	}
+	bad := []string{
+		"cfd nope: [A] -> [B]\n",
+		"cfd customer [CC] -> [city]\n",
+		"cfd customer: [CC] [city]\n",
+		"cfd customer: [] -> [city]\n",
+		"  44 || _\n",
+		"cfd customer: [CC] -> [city]\n  44\n",
+		"cfd customer: [CC] -> [city]\n  xx || _\n",
+		"cfd customer: [CC] -> [city]\n",
+	}
+	for _, text := range bad {
+		if _, err := cfd.ParseString(text, schemas); err == nil {
+			t.Errorf("want parse error for %q", text)
+		}
+	}
+}

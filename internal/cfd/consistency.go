@@ -1,0 +1,210 @@
+package cfd
+
+import "repro/internal/relation"
+
+// This file implements the consistency analysis of Section 4.1: deciding
+// whether a set Σ of CFDs admits a nonempty satisfying instance.
+// Example 4.1 of the paper shows the problem is nontrivial once
+// finite-domain attributes occur; Theorem 4.1 pins it NP-complete in
+// general and Theorem 4.3 gives a quadratic algorithm when no
+// finite-domain attribute is involved.
+//
+// Both procedures rest on the single-tuple characterization: CFD
+// satisfaction is universally quantified over tuple pairs, hence closed
+// under subsets, so Σ is consistent iff some single tuple t has {t} ⊨ Σ.
+// For a single tuple the pair condition degenerates to pattern
+// implication: for every row tp, t[X] ≍ tp[X] ⇒ t[Y] ≍ tp[Y].
+
+// Consistent decides whether Σ is consistent, dispatching to the
+// quadratic fixpoint when no effectively finite domain is involved and to
+// the exact exponential search otherwise. The second return value is a
+// witness tuple over the schema when consistent (nil otherwise).
+func Consistent(set []*CFD) (bool, relation.Tuple) {
+	if len(set) == 0 {
+		return true, nil
+	}
+	if !HasFiniteDomainAttrs(set) {
+		return consistentFast(set)
+	}
+	return ConsistentExact(set)
+}
+
+// ConsistentFast runs the quadratic no-finite-domain algorithm of
+// Theorem 4.3. It must only be called when HasFiniteDomainAttrs(set) is
+// false; Consistent performs that dispatch.
+//
+// The algorithm computes the least fixpoint of "forced" attribute
+// bindings: rows whose LHS constant cells are all already forced fire and
+// force their RHS constants. The freest tuple — forced positions take
+// their constants, all others take values fresh from every mentioned
+// constant — satisfies Σ iff the fixpoint is conflict-free, because
+// un-forced fresh values falsify every remaining constant premise and
+// infinite domains always supply such values.
+func ConsistentFast(set []*CFD) (bool, relation.Tuple) {
+	return consistentFast(set)
+}
+
+func consistentFast(set []*CFD) (bool, relation.Tuple) {
+	rows, schema, err := normalizeRows(set)
+	if err != nil {
+		return false, nil
+	}
+	if len(rows) == 0 {
+		return true, nil
+	}
+	forced := make(map[int]relation.Value)
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rows {
+			fires := true
+			for j, cell := range r.lhs {
+				if cell.IsWildcard() {
+					continue
+				}
+				v, ok := forced[r.lhsPos[j]]
+				if !ok || !v.Equal(cell.Value()) {
+					fires = false
+					break
+				}
+			}
+			if !fires || r.rhs.IsWildcard() {
+				continue
+			}
+			if v, ok := forced[r.rhsPos]; ok {
+				if !v.Equal(r.rhs.Value()) {
+					return false, nil // conflicting forced constants
+				}
+				continue
+			}
+			forced[r.rhsPos] = r.rhs.Value()
+			changed = true
+		}
+	}
+	// Build the witness: forced constants, fresh values elsewhere.
+	consts := constantsAt(rows)
+	t := make(relation.Tuple, schema.Arity())
+	for p := 0; p < schema.Arity(); p++ {
+		if v, ok := forced[p]; ok {
+			t[p] = v
+			continue
+		}
+		a := schema.Attr(p)
+		switch {
+		case attrEffectivelyFinite(a):
+			// Unreachable under the documented precondition for involved
+			// attributes; uninvolved finite attributes just take any
+			// domain value.
+			t[p] = domainValuesOf(a)[0]
+		default:
+			t[p] = freshValues(a, consts[p], 1)[0]
+		}
+	}
+	// The fixpoint argument guarantees {t} ⊨ Σ; verify defensively.
+	if !singleTupleSatisfies(rows, t) {
+		return false, nil
+	}
+	return true, t
+}
+
+// ConsistentExact decides consistency by exhaustive search over the
+// single-tuple characterization: each involved attribute ranges over its
+// finite domain, or over the mentioned constants plus one fresh value when
+// infinite. This matches the NP upper bound of Theorem 4.1 and is exact
+// for every input.
+func ConsistentExact(set []*CFD) (bool, relation.Tuple) {
+	rows, schema, err := normalizeRows(set)
+	if err != nil {
+		return false, nil
+	}
+	if len(rows) == 0 {
+		return true, nil
+	}
+	pos := involvedPositions(rows)
+	consts := constantsAt(rows)
+	cands := make([][]relation.Value, len(pos))
+	for i, p := range pos {
+		cands[i] = candidateValues(schema.Attr(p), consts[p], 1)
+	}
+	assign := make(map[int]relation.Value, len(pos))
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == len(pos) {
+			return true
+		}
+		p := pos[i]
+		for _, v := range cands[i] {
+			assign[p] = v
+			if partialOK(rows, assign) && dfs(i+1) {
+				return true
+			}
+		}
+		delete(assign, p)
+		return false
+	}
+	if !dfs(0) {
+		return false, nil
+	}
+	// Complete the witness over uninvolved attributes.
+	t := make(relation.Tuple, schema.Arity())
+	for p := 0; p < schema.Arity(); p++ {
+		if v, ok := assign[p]; ok {
+			t[p] = v
+			continue
+		}
+		a := schema.Attr(p)
+		if attrEffectivelyFinite(a) {
+			t[p] = domainValuesOf(a)[0]
+		} else {
+			t[p] = freshValues(a, nil, 1)[0]
+		}
+	}
+	return true, t
+}
+
+// partialOK checks that no row is already violated under a partial
+// assignment: a row fails only when all its LHS constant cells are
+// assigned and matching, and its RHS cell is a constant whose position is
+// assigned to a different value.
+func partialOK(rows []normalRow, assign map[int]relation.Value) bool {
+	for _, r := range rows {
+		lhsMatched := true
+		for j, cell := range r.lhs {
+			if cell.IsWildcard() {
+				continue
+			}
+			v, ok := assign[r.lhsPos[j]]
+			if !ok {
+				lhsMatched = false // undecided: cannot prune on this row
+				break
+			}
+			if !v.Equal(cell.Value()) {
+				lhsMatched = false
+				break
+			}
+		}
+		if !lhsMatched || r.rhs.IsWildcard() {
+			continue
+		}
+		if v, ok := assign[r.rhsPos]; ok && !v.Equal(r.rhs.Value()) {
+			return false
+		}
+	}
+	return true
+}
+
+// singleTupleSatisfies checks {t} ⊨ Σ via the single-tuple semantics.
+func singleTupleSatisfies(rows []normalRow, t relation.Tuple) bool {
+	for _, r := range rows {
+		match := true
+		for j, cell := range r.lhs {
+			if !cell.Matches(t[r.lhsPos[j]]) {
+				match = false
+				break
+			}
+		}
+		if match && !r.rhs.Matches(t[r.rhsPos]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package cfd
+
+// This file provides the classical linear-time machinery for the
+// traditional-FD special case (Table 1's "FDs: implication O(n)" row):
+// attribute-set closure and FD implication. The discovery and repair
+// packages reuse it.
+
+// RawFD is a plain functional dependency over attribute positions.
+type RawFD struct {
+	LHS []int
+	RHS []int
+}
+
+// AsRawFD converts a CFD that is a traditional FD (single all-wildcard
+// row) into a RawFD. The second result is false otherwise.
+func AsRawFD(c *CFD) (RawFD, bool) {
+	if !c.IsFD() {
+		return RawFD{}, false
+	}
+	return RawFD{LHS: append([]int(nil), c.lhs...), RHS: append([]int(nil), c.rhs...)}, true
+}
+
+// AttrClosure computes the closure of the attribute set start under the
+// given FDs (the textbook fixpoint, linear in the total size of the FDs
+// per pass).
+func AttrClosure(fds []RawFD, start []int) map[int]bool {
+	closure := make(map[int]bool, len(start))
+	for _, p := range start {
+		closure[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			all := true
+			for _, p := range fd.LHS {
+				if !closure[p] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, p := range fd.RHS {
+				if !closure[p] {
+					closure[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// FDImplies decides Σ ⊨ X → Y for traditional FDs via attribute closure.
+func FDImplies(fds []RawFD, lhs, rhs []int) bool {
+	closure := AttrClosure(fds, lhs)
+	for _, p := range rhs {
+		if !closure[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// FDsOf filters a CFD set down to its traditional-FD members as RawFDs.
+func FDsOf(set []*CFD) []RawFD {
+	var out []RawFD
+	for _, c := range set {
+		if fd, ok := AsRawFD(c); ok {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

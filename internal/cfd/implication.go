@@ -1,0 +1,387 @@
+package cfd
+
+import "repro/internal/relation"
+
+// This file implements the implication analysis of Section 4.1:
+// Σ ⊨ ϕ iff every instance satisfying Σ satisfies ϕ. Theorem 4.2 pins the
+// problem coNP-complete in general; Theorem 4.3 gives a quadratic
+// algorithm when no effectively finite domain is involved.
+//
+// Both procedures rest on the two-tuple characterization: CFD satisfaction
+// is closed under subsets, so Σ ⊭ ϕ iff some instance of at most two
+// tuples satisfies Σ and violates ϕ.
+
+// Implies decides Σ ⊨ ϕ, dispatching to the quadratic chase when no
+// effectively finite domain is involved and to the exact search otherwise.
+func Implies(set []*CFD, phi *CFD) bool {
+	all := append(append([]*CFD(nil), set...), phi)
+	if !HasFiniteDomainAttrs(all) {
+		return impliesFast(set, phi)
+	}
+	return ImpliesExact(set, phi)
+}
+
+// ImpliesExact decides Σ ⊨ ϕ by exhaustive two-tuple counterexample
+// search, matching the coNP upper bound of Theorem 4.2. It is exact for
+// every input.
+func ImpliesExact(set []*CFD, phi *CFD) bool {
+	sigma, schema, err := normalizeRows(set)
+	if err != nil {
+		return false
+	}
+	for _, target := range phi.Normalize() {
+		tRows, tSchema, err := normalizeRows([]*CFD{target})
+		if err != nil {
+			return false
+		}
+		if schema == nil {
+			schema = tSchema
+		}
+		if !impliesNormalExact(sigma, schema, tRows[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// impliesNormalExact searches for a ≤2-tuple counterexample to the normal
+// target row. Candidate values per attribute: the full domain when
+// effectively finite, else constants of Σ∪{ϕ} plus two fresh values (two,
+// so that t1 and t2 can disagree on a position with both values fresh).
+func impliesNormalExact(sigma []normalRow, schema *relation.Schema, target normalRow) bool {
+	rows := append(append([]normalRow(nil), sigma...), target)
+	pos := involvedPositions(rows)
+	consts := constantsAt(rows)
+	cands := make([][]relation.Value, len(pos))
+	for i, p := range pos {
+		cands[i] = candidateValues(schema.Attr(p), consts[p], 2)
+	}
+	posIdx := make(map[int]int, len(pos))
+	for i, p := range pos {
+		posIdx[p] = i
+	}
+	// Assignment arrays indexed like pos; nil Value means unassigned.
+	t1 := make([]relation.Value, len(pos))
+	t2 := make([]relation.Value, len(pos))
+
+	inX := make(map[int]bool, len(target.lhsPos))
+	for _, p := range target.lhsPos {
+		inX[p] = true
+	}
+
+	// Order: X positions first (assigned jointly), then the rest of t1,
+	// then the rest of t2.
+	var xIdx, restIdx []int
+	for i, p := range pos {
+		if inX[p] {
+			xIdx = append(xIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+
+	// patternCellAt returns ϕ's LHS cell for position p.
+	cellAt := func(p int) (Cell, bool) {
+		for j, lp := range target.lhsPos {
+			if lp == p {
+				return target.lhs[j], true
+			}
+		}
+		return Cell{}, false
+	}
+
+	counterexample := false
+	var dfsX func(k int)
+	var dfs1 func(k int)
+	var dfs2 func(k int)
+
+	check := func() {
+		// Both tuples fully assigned. Verify {t1,t2} ⊨ Σ and ϕ violated.
+		get := func(t []relation.Value, p int) relation.Value { return t[posIdx[p]] }
+		pairOK := func(ta, tb []relation.Value, r normalRow) bool {
+			// t_a[X'] = t_b[X'] ≍ sp[X'] ⇒ t_a[A'] = t_b[A'] ≍ sp[A']
+			for j, cell := range r.lhs {
+				p := r.lhsPos[j]
+				va, vb := get(ta, p), get(tb, p)
+				if !va.Equal(vb) || !cell.Matches(va) {
+					return true // premise fails
+				}
+			}
+			va, vb := get(ta, r.rhsPos), get(tb, r.rhsPos)
+			return va.Equal(vb) && r.rhs.Matches(va)
+		}
+		for _, r := range sigma {
+			if !pairOK(t1, t1, r) || !pairOK(t2, t2, r) || !pairOK(t1, t2, r) {
+				return
+			}
+		}
+		// ϕ's premise holds by construction (X joint and pattern-matched);
+		// check the conclusion fails.
+		va, vb := get(t1, target.rhsPos), get(t2, target.rhsPos)
+		if va.Equal(vb) && target.rhs.Matches(va) {
+			return
+		}
+		counterexample = true
+	}
+
+	dfs2 = func(k int) {
+		if counterexample {
+			return
+		}
+		if k == len(restIdx) {
+			check()
+			return
+		}
+		i := restIdx[k]
+		for _, v := range cands[i] {
+			t2[i] = v
+			dfs2(k + 1)
+			if counterexample {
+				return
+			}
+		}
+	}
+	dfs1 = func(k int) {
+		if counterexample {
+			return
+		}
+		if k == len(restIdx) {
+			dfs2(0)
+			return
+		}
+		i := restIdx[k]
+		for _, v := range cands[i] {
+			t1[i] = v
+			dfs1(k + 1)
+			if counterexample {
+				return
+			}
+		}
+	}
+	dfsX = func(k int) {
+		if counterexample {
+			return
+		}
+		if k == len(xIdx) {
+			dfs1(0)
+			return
+		}
+		i := xIdx[k]
+		cell, _ := cellAt(pos[i])
+		for _, v := range cands[i] {
+			if !cell.Matches(v) {
+				continue // ϕ's premise must match on X
+			}
+			t1[i], t2[i] = v, v
+			dfsX(k + 1)
+			if counterexample {
+				return
+			}
+		}
+	}
+	dfsX(0)
+	return !counterexample
+}
+
+// impliesFast decides Σ ⊨ ϕ via the deterministic chase of Theorem 4.3,
+// valid when no effectively finite domain is involved. Starting from the
+// freest two-tuple template that triggers ϕ's premise — X positions
+// equated between the tuples and bound to ϕ's pattern constants, all
+// other positions pairwise-distinct and fresh — it applies Σ's rows as
+// equality/constant-generating rules to a fixpoint. Because premises are
+// positive (equalities and constant matches), the freest template fires
+// the fewest rules; a binding conflict therefore rules out every
+// counterexample, and otherwise the canonical instance of the final state
+// is itself a counterexample iff it violates ϕ.
+func impliesFast(set []*CFD, phi *CFD) bool {
+	sigma, schema, err := normalizeRows(set)
+	if err != nil {
+		return false
+	}
+	for _, target := range phi.Normalize() {
+		tRows, tSchema, err := normalizeRows([]*CFD{target})
+		if err != nil {
+			return false
+		}
+		if schema == nil {
+			schema = tSchema
+		}
+		if !impliesNormalFast(sigma, schema, tRows[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// pairState is the symbolic two-tuple chase state: a union-find over the
+// 2·arity cell slots with optional constant bindings per class.
+type pairState struct {
+	parent []int
+	bound  []relation.Value // indexed by root; nil kind (null) = unbound
+	has    []bool
+	arity  int
+	failed bool
+}
+
+func newPairState(arity int) *pairState {
+	s := &pairState{parent: make([]int, 2*arity), bound: make([]relation.Value, 2*arity), has: make([]bool, 2*arity), arity: arity}
+	for i := range s.parent {
+		s.parent[i] = i
+	}
+	return s
+}
+
+func (s *pairState) slot(tuple, pos int) int { return tuple*s.arity + pos }
+
+func (s *pairState) find(i int) int {
+	for s.parent[i] != i {
+		s.parent[i] = s.parent[s.parent[i]]
+		i = s.parent[i]
+	}
+	return i
+}
+
+// union merges two classes; returns true when the state changed.
+func (s *pairState) union(i, j int) bool {
+	ri, rj := s.find(i), s.find(j)
+	if ri == rj {
+		return false
+	}
+	s.parent[rj] = ri
+	if s.has[rj] {
+		if s.has[ri] && !s.bound[ri].Equal(s.bound[rj]) {
+			s.failed = true
+		}
+		s.bound[ri] = s.bound[rj]
+		s.has[ri] = true
+	}
+	return true
+}
+
+// bind binds a class to a constant; returns true when the state changed.
+func (s *pairState) bind(i int, v relation.Value) bool {
+	r := s.find(i)
+	if s.has[r] {
+		if !s.bound[r].Equal(v) {
+			s.failed = true
+		}
+		return false
+	}
+	s.bound[r] = v
+	s.has[r] = true
+	return true
+}
+
+// boundTo reports whether slot i's class is bound, and to what.
+func (s *pairState) boundTo(i int) (relation.Value, bool) {
+	r := s.find(i)
+	return s.bound[r], s.has[r]
+}
+
+// matches reports whether, in the freest interpretation, the slot's value
+// matches a pattern cell: wildcards always match; constants match only
+// when the class is bound to that constant (unbound classes denote fresh
+// values distinct from every constant).
+func (s *pairState) matches(i int, cell Cell) bool {
+	if cell.IsWildcard() {
+		return true
+	}
+	v, ok := s.boundTo(i)
+	return ok && v.Equal(cell.Value())
+}
+
+// equal reports whether two slots denote equal values in the freest
+// interpretation: either the same class, or two classes bound to the same
+// constant.
+func (s *pairState) equal(i, j int) bool {
+	if s.find(i) == s.find(j) {
+		return true
+	}
+	vi, oki := s.boundTo(i)
+	vj, okj := s.boundTo(j)
+	return oki && okj && vi.Equal(vj)
+}
+
+func impliesNormalFast(sigma []normalRow, schema *relation.Schema, target normalRow) bool {
+	st := newPairState(schema.Arity())
+	// Seed: ϕ's premise on X.
+	for j, p := range target.lhsPos {
+		st.union(st.slot(0, p), st.slot(1, p))
+		if cell := target.lhs[j]; !cell.IsWildcard() {
+			st.bind(st.slot(0, p), cell.Value())
+		}
+	}
+	// Chase to fixpoint.
+	for changed := true; changed && !st.failed; {
+		changed = false
+		for _, r := range sigma {
+			// Single-tuple applications (t,t) for t ∈ {t1, t2}.
+			for tup := 0; tup < 2; tup++ {
+				fires := true
+				for j, cell := range r.lhs {
+					if !st.matches(st.slot(tup, r.lhsPos[j]), cell) {
+						fires = false
+						break
+					}
+				}
+				if fires && !r.rhs.IsWildcard() {
+					if st.bind(st.slot(tup, r.rhsPos), r.rhs.Value()) {
+						changed = true
+					}
+				}
+			}
+			// Pair application (t1, t2).
+			fires := true
+			for j, cell := range r.lhs {
+				a, b := st.slot(0, r.lhsPos[j]), st.slot(1, r.lhsPos[j])
+				if !st.equal(a, b) || !st.matches(a, cell) {
+					fires = false
+					break
+				}
+			}
+			if fires {
+				if st.union(st.slot(0, r.rhsPos), st.slot(1, r.rhsPos)) {
+					changed = true
+				}
+				if !r.rhs.IsWildcard() {
+					if st.bind(st.slot(0, r.rhsPos), r.rhs.Value()) {
+						changed = true
+					}
+				}
+			}
+			if st.failed {
+				return true // no counterexample can satisfy Σ
+			}
+		}
+	}
+	if st.failed {
+		return true
+	}
+	// The canonical instance of the final state satisfies Σ; it refutes
+	// Σ ⊨ ϕ iff ϕ's conclusion fails on it.
+	a, b := st.slot(0, target.rhsPos), st.slot(1, target.rhsPos)
+	if !st.equal(a, b) {
+		return false
+	}
+	return st.matches(a, target.rhs)
+}
+
+// MinimalCover returns a cover of Σ with redundant normal-form rows
+// removed: the result is a set of normal-form CFDs that implies (and is
+// implied by) Σ, from which no member can be dropped without losing a
+// consequence. Pattern tableaux blow up the size of CFD sets, so covers
+// matter more than for traditional FDs (Section 4.1 of the paper).
+func MinimalCover(set []*CFD) []*CFD {
+	work := NormalizeSet(set)
+	for i := 0; i < len(work); {
+		rest := make([]*CFD, 0, len(work)-1)
+		rest = append(rest, work[:i]...)
+		rest = append(rest, work[i+1:]...)
+		if len(rest) > 0 && Implies(rest, work[i]) {
+			work = rest
+			continue // re-test the element now at index i
+		}
+		i++
+	}
+	return work
+}

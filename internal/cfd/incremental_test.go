@@ -1,0 +1,79 @@
+package cfd_test
+
+import (
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+func TestDetectTouchedFindsNewViolations(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 200, Seed: 13, ErrorRate: 0})
+	s := in.Schema()
+	phi1 := paperdata.Phi1(s)
+	if len(cfd.Detect(in, phi1)) != 0 {
+		t.Fatal("clean data expected")
+	}
+	// Corrupt one UK tuple's street: its zip group becomes dirty.
+	var victim relation.TID = -1
+	cc := s.MustLookup("CC")
+	street := s.MustLookup("street")
+	for _, id := range in.IDs() {
+		tu, _ := in.Tuple(id)
+		if tu[cc].IntVal() == 44 {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no UK tuple generated")
+	}
+	in.Update(victim, street, relation.Str("Corrupted Way"))
+
+	full := cfd.Detect(in, phi1)
+	inc := cfd.DetectTouched(in, phi1, []relation.TID{victim})
+	if len(full) == 0 {
+		t.Fatal("corruption must violate ϕ1 (zip groups are shared)")
+	}
+	if len(inc) != len(full) {
+		t.Errorf("incremental found %d violations, full %d", len(inc), len(full))
+	}
+	// Touching an unrelated clean tuple reports nothing.
+	var clean relation.TID = -1
+	for _, id := range in.IDs() {
+		tu, _ := in.Tuple(id)
+		if id != victim && tu[cc].IntVal() != 44 {
+			clean = id
+			break
+		}
+	}
+	if got := cfd.DetectTouched(in, phi1, []relation.TID{clean}); len(got) != 0 {
+		t.Errorf("clean US tuple reported %v", got)
+	}
+	// Deleted TIDs are ignored gracefully.
+	in.Delete(victim)
+	_ = cfd.DetectTouched(in, phi1, []relation.TID{victim})
+}
+
+func TestDetectTouchedSingleTupleKind(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	phi2 := paperdata.Phi2(s)
+	// Each of t1, t2, t3 has a single-tuple city violation; touching t3
+	// alone reports only its group.
+	inc := cfd.DetectTouched(d0, phi2, []relation.TID{2})
+	foundT3 := false
+	for _, v := range inc {
+		if v.Kind == cfd.SingleTuple && v.T1 == 2 {
+			foundT3 = true
+		}
+		if v.T1 == 0 && v.T2 == 0 {
+			t.Errorf("t1's own violation reported when touching t3: %v", v)
+		}
+	}
+	if !foundT3 {
+		t.Errorf("t3's violation missing: %v", inc)
+	}
+}

@@ -1,0 +1,184 @@
+package cfd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// ViolationKind distinguishes the two ways a tuple (pair) can violate a
+// CFD, mirroring the two detection queries of Fan et al.: a single tuple
+// matching the LHS pattern but clashing with an RHS constant, or a pair of
+// tuples agreeing on (and matching) the LHS but disagreeing on the RHS.
+type ViolationKind uint8
+
+// The violation kinds.
+const (
+	// SingleTuple: t[X] ≍ tp[X] but t[Y] ̸≍ tp[Y] (constant clash).
+	SingleTuple ViolationKind = iota
+	// TuplePair: t1[X] = t2[X] ≍ tp[X] but t1[Y] ≠ t2[Y].
+	TuplePair
+)
+
+// String names the kind.
+func (k ViolationKind) String() string {
+	if k == SingleTuple {
+		return "single-tuple"
+	}
+	return "tuple-pair"
+}
+
+// Violation records one detected CFD violation.
+type Violation struct {
+	CFD  *CFD
+	Row  int // index into the tableau
+	Kind ViolationKind
+	T1   relation.TID // offending tuple
+	T2   relation.TID // second tuple for TuplePair (== T1 otherwise)
+	Attr int          // schema position of the clashing RHS attribute
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	attr := v.CFD.Schema().Attr(v.Attr).Name
+	if v.Kind == SingleTuple {
+		return fmt.Sprintf("%s: tuple %d violates row %d on %s", v.CFD.Schema().Name(), v.T1, v.Row, attr)
+	}
+	return fmt.Sprintf("%s: tuples %d,%d violate row %d on %s", v.CFD.Schema().Name(), v.T1, v.T2, v.Row, attr)
+}
+
+// Satisfies reports whether the instance satisfies the CFD (D ⊨ ϕ).
+func Satisfies(in *relation.Instance, c *CFD) bool {
+	return len(detect(in, c, true)) == 0
+}
+
+// SatisfiesAll reports whether the instance satisfies every CFD in the set
+// (D ⊨ Σ).
+func SatisfiesAll(in *relation.Instance, set []*CFD) bool {
+	for _, c := range set {
+		if !Satisfies(in, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Detect returns all violations of the CFD in the instance. Pair
+// violations are reported once per offending tuple against a
+// representative of its LHS group (linear in the group size rather than
+// quadratic), which is sufficient to locate every dirty tuple.
+func Detect(in *relation.Instance, c *CFD) []Violation {
+	return detect(in, c, false)
+}
+
+// DetectAll runs Detect for every CFD in the set and returns the combined
+// violations in deterministic order.
+func DetectAll(in *relation.Instance, set []*CFD) []Violation {
+	var out []Violation
+	for _, c := range set {
+		out = append(out, Detect(in, c)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T1 != out[j].T1 {
+			return out[i].T1 < out[j].T1
+		}
+		if out[i].T2 != out[j].T2 {
+			return out[i].T2 < out[j].T2
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}
+
+// detect implements violation detection; with firstOnly it stops at the
+// first violation (satisfaction checking).
+func detect(in *relation.Instance, c *CFD, firstOnly bool) []Violation {
+	var out []Violation
+	ids := in.IDs()
+	// Index the instance once per CFD on the LHS positions; every pattern
+	// row reuses the grouping.
+	ix := relation.BuildIndex(in, c.lhs)
+
+	for rowIdx, row := range c.tableau {
+		// Single-tuple violations: constant RHS cells must bind.
+		hasRHSConst := false
+		for _, cell := range row.RHS {
+			if !cell.IsWildcard() {
+				hasRHSConst = true
+				break
+			}
+		}
+		matchLHS := func(t relation.Tuple) bool {
+			for j, p := range c.lhs {
+				if !row.LHS[j].Matches(t[p]) {
+					return false
+				}
+			}
+			return true
+		}
+		if hasRHSConst {
+			for _, id := range ids {
+				t, _ := in.Tuple(id)
+				if !matchLHS(t) {
+					continue
+				}
+				for j, p := range c.rhs {
+					if !row.RHS[j].Matches(t[p]) {
+						out = append(out, Violation{CFD: c, Row: rowIdx, Kind: SingleTuple, T1: id, T2: id, Attr: p})
+						if firstOnly {
+							return out
+						}
+					}
+				}
+			}
+		}
+		// Pair violations: within each LHS-equal group of tuples matching
+		// the pattern, all tuples must agree on every RHS attribute.
+		var groupViol []Violation
+		stop := false
+		ix.Groups(2, func(_ string, gids []relation.TID) {
+			if stop {
+				return
+			}
+			rep, _ := in.Tuple(gids[0])
+			if !matchLHS(rep) {
+				return // the whole group shares the LHS, so one check suffices
+			}
+			for _, id := range gids[1:] {
+				t, _ := in.Tuple(id)
+				for j, p := range c.rhs {
+					_ = j
+					if !t[p].Equal(rep[p]) {
+						groupViol = append(groupViol, Violation{CFD: c, Row: rowIdx, Kind: TuplePair, T1: gids[0], T2: id, Attr: p})
+						if firstOnly {
+							stop = true
+							return
+						}
+					}
+				}
+			}
+		})
+		out = append(out, groupViol...)
+		if firstOnly && len(out) > 0 {
+			return out
+		}
+	}
+	return out
+}
+
+// ViolatingTIDs returns the distinct TIDs involved in any violation, in
+// ascending order; a convenience for repair algorithms.
+func ViolatingTIDs(vs []Violation) []relation.TID {
+	seen := make(map[relation.TID]bool)
+	for _, v := range vs {
+		seen[v.T1] = true
+		seen[v.T2] = true
+	}
+	out := make([]relation.TID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,190 @@
+package cfd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// This file holds shared machinery for the static analyses: normal-form
+// views of a CFD set, per-attribute constant collection, finite-domain
+// detection and fresh-value construction.
+
+// normalRow is a normal-form CFD: single pattern row, single RHS
+// attribute, with positions resolved against the schema.
+type normalRow struct {
+	lhsPos  []int
+	lhs     []Cell
+	rhsPos  int
+	rhs     Cell
+	src     *CFD // originating CFD (for reporting)
+	srcRow  int
+	srcAttr int
+}
+
+// normalizeRows flattens a CFD set into normal rows and verifies all CFDs
+// share one schema.
+func normalizeRows(set []*CFD) ([]normalRow, *relation.Schema, error) {
+	if len(set) == 0 {
+		return nil, nil, nil
+	}
+	schema := set[0].schema
+	var rows []normalRow
+	for _, c := range set {
+		if c.schema != schema && c.schema.Name() != schema.Name() {
+			return nil, nil, fmt.Errorf("cfd: mixed schemas %s and %s", schema.Name(), c.schema.Name())
+		}
+		for ri, row := range c.tableau {
+			for j, rp := range c.rhs {
+				rows = append(rows, normalRow{
+					lhsPos:  c.lhs,
+					lhs:     row.LHS,
+					rhsPos:  rp,
+					rhs:     row.RHS[j],
+					src:     c,
+					srcRow:  ri,
+					srcAttr: rp,
+				})
+			}
+		}
+	}
+	return rows, schema, nil
+}
+
+// involvedPositions returns the sorted set of attribute positions used by
+// any normal row.
+func involvedPositions(rows []normalRow) []int {
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		for _, p := range r.lhsPos {
+			seen[p] = true
+		}
+		seen[r.rhsPos] = true
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// constantsAt collects the distinct constants mentioned at each attribute
+// position across all rows (LHS and RHS cells).
+func constantsAt(rows []normalRow) map[int][]relation.Value {
+	out := make(map[int][]relation.Value)
+	add := func(pos int, v relation.Value) {
+		for _, w := range out[pos] {
+			if w.Equal(v) {
+				return
+			}
+		}
+		out[pos] = append(out[pos], v)
+	}
+	for _, r := range rows {
+		for j, cell := range r.lhs {
+			if !cell.IsWildcard() {
+				add(r.lhsPos[j], cell.Value())
+			}
+		}
+		if !r.rhs.IsWildcard() {
+			add(r.rhsPos, r.rhs.Value())
+		}
+	}
+	return out
+}
+
+// attrEffectivelyFinite reports whether the attribute's domain is finite
+// for the purposes of the static analyses. Boolean attributes are finite
+// even when their Domain carries no explicit value list, since bool has
+// exactly two values.
+func attrEffectivelyFinite(a relation.Attribute) bool {
+	return a.Domain.Finite() || a.Domain.Kind() == relation.KindBool
+}
+
+// domainValuesOf returns the value list of an effectively finite domain.
+func domainValuesOf(a relation.Attribute) []relation.Value {
+	if a.Domain.Finite() {
+		return a.Domain.Values()
+	}
+	if a.Domain.Kind() == relation.KindBool {
+		return []relation.Value{relation.Bool(false), relation.Bool(true)}
+	}
+	return nil
+}
+
+// HasFiniteDomainAttrs reports whether any attribute position involved in
+// the set has an effectively finite domain. The quadratic fast paths of
+// Theorem 4.3 apply exactly when this is false.
+func HasFiniteDomainAttrs(set []*CFD) bool {
+	rows, schema, err := normalizeRows(set)
+	if err != nil || schema == nil {
+		return false
+	}
+	for _, p := range involvedPositions(rows) {
+		if attrEffectivelyFinite(schema.Attr(p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// freshValues returns n values of the attribute's kind distinct from every
+// value in used (and from each other). It panics for effectively finite
+// domains, which never take this path.
+func freshValues(a relation.Attribute, used []relation.Value, n int) []relation.Value {
+	kind := a.Domain.Kind()
+	out := make([]relation.Value, 0, n)
+	switch kind {
+	case relation.KindInt:
+		var max int64
+		for _, v := range used {
+			if v.Kind() == relation.KindInt && v.IntVal() > max {
+				max = v.IntVal()
+			}
+			if v.Kind() == relation.KindFloat && int64(v.FloatVal()) > max {
+				max = int64(v.FloatVal())
+			}
+		}
+		for i := int64(1); int64(len(out)) < int64(n); i++ {
+			out = append(out, relation.Int(max+i))
+		}
+	case relation.KindFloat:
+		var max float64
+		for _, v := range used {
+			if f := v.FloatVal(); f > max {
+				max = f
+			}
+		}
+		for i := 1; len(out) < n; i++ {
+			out = append(out, relation.Float(max+float64(i)+0.5))
+		}
+	case relation.KindString:
+		taken := make(map[string]bool, len(used))
+		for _, v := range used {
+			taken[v.StrVal()] = true
+		}
+		for i := 0; len(out) < n; i++ {
+			s := fmt.Sprintf("\x02fresh%d", i)
+			if !taken[s] {
+				out = append(out, relation.Str(s))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("cfd: freshValues on kind %v", kind))
+	}
+	return out
+}
+
+// candidateValues returns the per-attribute candidate set for the exact
+// consistency search: the full domain when effectively finite, otherwise
+// the mentioned constants plus extra fresh values.
+func candidateValues(a relation.Attribute, consts []relation.Value, extra int) []relation.Value {
+	if attrEffectivelyFinite(a) {
+		return domainValuesOf(a)
+	}
+	out := append([]relation.Value(nil), consts...)
+	out = append(out, freshValues(a, consts, extra)...)
+	return out
+}

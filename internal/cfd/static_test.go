@@ -1,0 +1,406 @@
+package cfd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// TestExample41Inconsistent reproduces Example 4.1: the CFD pair over a
+// bool attribute has no nonempty satisfying instance.
+func TestExample41Inconsistent(t *testing.T) {
+	_, set := paperdata.Example41()
+	ok, _ := cfd.Consistent(set)
+	if ok {
+		t.Error("Example 4.1 set must be inconsistent")
+	}
+	ok, _ = cfd.ConsistentExact(set)
+	if ok {
+		t.Error("exact procedure disagrees")
+	}
+	// Each CFD alone is consistent.
+	for i, c := range set {
+		if ok, _ := cfd.Consistent([]*cfd.CFD{c}); !ok {
+			t.Errorf("ψ%d alone should be consistent", i+1)
+		}
+	}
+}
+
+// TestExample41NeedsFiniteDomain shows the role of dom(A): with an
+// infinite string domain in place of bool, the same pattern structure is
+// consistent (pick A outside {the constants}).
+func TestExample41NeedsFiniteDomain(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+	)
+	psi1 := cfd.MustNew(s, []string{"A"}, []string{"B"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("a1"))}, []cfd.Cell{cfd.Const(relation.Str("b1"))}),
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("a2"))}, []cfd.Cell{cfd.Const(relation.Str("b2"))}),
+	)
+	psi2 := cfd.MustNew(s, []string{"B"}, []string{"A"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("b1"))}, []cfd.Cell{cfd.Const(relation.Str("a2"))}),
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("b2"))}, []cfd.Cell{cfd.Const(relation.Str("a1"))}),
+	)
+	set := []*cfd.CFD{psi1, psi2}
+	if cfd.HasFiniteDomainAttrs(set) {
+		t.Fatal("no finite domains expected")
+	}
+	ok, witness := cfd.Consistent(set)
+	if !ok {
+		t.Fatal("infinite-domain variant should be consistent")
+	}
+	wi := relation.NewInstance(s)
+	if _, err := wi.Insert(witness); err != nil {
+		t.Fatalf("witness insert: %v", err)
+	}
+	if !cfd.SatisfiesAll(wi, set) {
+		t.Errorf("witness %v does not satisfy the set", witness)
+	}
+}
+
+// TestConsistencyForcedConflict exercises the fixpoint conflict path
+// without finite domains: two unconditional constant rows that disagree.
+func TestConsistencyForcedConflict(t *testing.T) {
+	s := relation.MustSchema("r", relation.Attr("A", relation.KindString), relation.Attr("B", relation.KindString))
+	c1 := cfd.MustNew(s, []string{"A"}, []string{"B"},
+		cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Const(relation.Str("x"))}))
+	c2 := cfd.MustNew(s, []string{"A"}, []string{"B"},
+		cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Const(relation.Str("y"))}))
+	if ok, _ := cfd.Consistent([]*cfd.CFD{c1, c2}); ok {
+		t.Error("wildcard-LHS rows forcing B=x and B=y must be inconsistent")
+	}
+	if ok, _ := cfd.ConsistentExact([]*cfd.CFD{c1, c2}); ok {
+		t.Error("exact procedure disagrees")
+	}
+	// Transitive forcing: A=_ → B=x, B=x → C=z, C=z′ forced elsewhere.
+	s3 := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString), relation.Attr("B", relation.KindString), relation.Attr("C", relation.KindString))
+	d1 := cfd.MustNew(s3, []string{"A"}, []string{"B"},
+		cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Const(relation.Str("x"))}))
+	d2 := cfd.MustNew(s3, []string{"B"}, []string{"C"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("x"))}, []cfd.Cell{cfd.Const(relation.Str("z"))}))
+	d3 := cfd.MustNew(s3, []string{"A"}, []string{"C"},
+		cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Const(relation.Str("w"))}))
+	if ok, _ := cfd.Consistent([]*cfd.CFD{d1, d2, d3}); ok {
+		t.Error("transitive forced conflict missed")
+	}
+	if ok, _ := cfd.Consistent([]*cfd.CFD{d1, d2}); !ok {
+		t.Error("without d3 the set is consistent")
+	}
+}
+
+func TestConsistentWitnessSatisfies(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	set := []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s), paperdata.Phi3(s)}
+	ok, witness := cfd.Consistent(set)
+	if !ok {
+		t.Fatal("Figure 2 CFDs are consistent")
+	}
+	wi := relation.NewInstance(s)
+	if _, err := wi.Insert(witness); err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.SatisfiesAll(wi, set) {
+		t.Errorf("witness %v violates the set", witness)
+	}
+}
+
+func TestEmptySetConsistent(t *testing.T) {
+	if ok, _ := cfd.Consistent(nil); !ok {
+		t.Error("empty set must be consistent")
+	}
+}
+
+// TestImplicationBasics checks textbook consequences in the CFD setting.
+func TestImplicationBasics(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	f1 := paperdata.F1(s) // [CC,AC,phn] → [street,city,zip]
+	f2 := paperdata.F2(s) // [CC,AC] → [city]
+
+	// f2 implies the weaker [CC,AC,phn] → [city] (augmentation).
+	aug := cfd.MustFD(s, []string{"CC", "AC", "phn"}, []string{"city"})
+	if !cfd.Implies([]*cfd.CFD{f2}, aug) {
+		t.Error("f2 ⊨ [CC,AC,phn] → [city]")
+	}
+	// And not vice versa.
+	if cfd.Implies([]*cfd.CFD{aug}, f2) {
+		t.Error("[CC,AC,phn] → [city] ⊭ f2")
+	}
+	// f1 does not imply f2.
+	if cfd.Implies([]*cfd.CFD{f1}, f2) {
+		t.Error("f1 ⊭ f2")
+	}
+	// ϕ1 (conditional) is implied by the unconditional [CC,zip]→[street].
+	uncond := cfd.MustFD(s, []string{"CC", "zip"}, []string{"street"})
+	if !cfd.Implies([]*cfd.CFD{uncond}, paperdata.Phi1(s)) {
+		t.Error("FD ⊨ its conditional restriction")
+	}
+	// But the conditional ϕ1 does not imply the unconditional FD.
+	if cfd.Implies([]*cfd.CFD{paperdata.Phi1(s)}, uncond) {
+		t.Error("ϕ1 ⊭ unconditional [CC,zip]→[street]")
+	}
+}
+
+// TestImplicationPatternUpgrade: a constant RHS follows from a chain of
+// constant rows (transitivity through constants).
+func TestImplicationPatternUpgrade(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+		relation.Attr("C", relation.KindString),
+	)
+	ab := cfd.MustNew(s, []string{"A"}, []string{"B"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("a"))}, []cfd.Cell{cfd.Const(relation.Str("b"))}))
+	bc := cfd.MustNew(s, []string{"B"}, []string{"C"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("b"))}, []cfd.Cell{cfd.Const(relation.Str("c"))}))
+	ac := cfd.MustNew(s, []string{"A"}, []string{"C"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("a"))}, []cfd.Cell{cfd.Const(relation.Str("c"))}))
+	if !cfd.Implies([]*cfd.CFD{ab, bc}, ac) {
+		t.Error("{A=a→B=b, B=b→C=c} ⊨ A=a→C=c")
+	}
+	if cfd.Implies([]*cfd.CFD{ab}, ac) {
+		t.Error("A=a→B=b alone ⊭ A=a→C=c")
+	}
+	// Wildcard transitivity: A→B, B→C ⊨ A→C.
+	fab := cfd.MustFD(s, []string{"A"}, []string{"B"})
+	fbc := cfd.MustFD(s, []string{"B"}, []string{"C"})
+	fac := cfd.MustFD(s, []string{"A"}, []string{"C"})
+	if !cfd.Implies([]*cfd.CFD{fab, fbc}, fac) {
+		t.Error("FD transitivity lost in CFD implication")
+	}
+}
+
+// TestImplicationFiniteDomain: with a two-valued domain, case analysis
+// over the domain yields consequences that fail over infinite domains —
+// the reason implication is coNP-complete in general (Theorem 4.1 vs 4.3).
+func TestImplicationFiniteDomain(t *testing.T) {
+	mk := func(kindBool bool) (*relation.Schema, []*cfd.CFD, *cfd.CFD) {
+		var a relation.Attribute
+		if kindBool {
+			a = relation.FiniteAttr("A", relation.BoolDom())
+		} else {
+			a = relation.Attr("A", relation.KindString)
+		}
+		s := relation.MustSchema("r", a, relation.Attr("B", relation.KindString))
+		var c1, c2 *cfd.CFD
+		if kindBool {
+			c1 = cfd.MustNew(s, []string{"A"}, []string{"B"},
+				cfd.Row([]cfd.Cell{cfd.Const(relation.Bool(true))}, []cfd.Cell{cfd.Const(relation.Str("z"))}))
+			c2 = cfd.MustNew(s, []string{"A"}, []string{"B"},
+				cfd.Row([]cfd.Cell{cfd.Const(relation.Bool(false))}, []cfd.Cell{cfd.Const(relation.Str("z"))}))
+		} else {
+			c1 = cfd.MustNew(s, []string{"A"}, []string{"B"},
+				cfd.Row([]cfd.Cell{cfd.Const(relation.Str("true"))}, []cfd.Cell{cfd.Const(relation.Str("z"))}))
+			c2 = cfd.MustNew(s, []string{"A"}, []string{"B"},
+				cfd.Row([]cfd.Cell{cfd.Const(relation.Str("false"))}, []cfd.Cell{cfd.Const(relation.Str("z"))}))
+		}
+		target := cfd.MustNew(s, []string{"A"}, []string{"B"},
+			cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Const(relation.Str("z"))}))
+		return s, []*cfd.CFD{c1, c2}, target
+	}
+	// Over bool: A is true or false, so B=z always. Implied.
+	_, set, target := mk(true)
+	if !cfd.Implies(set, target) {
+		t.Error("bool case analysis: {A=t→B=z, A=f→B=z} ⊨ A=_→B=z")
+	}
+	// Over strings: A may be neither "true" nor "false". Not implied.
+	_, set, target = mk(false)
+	if cfd.Implies(set, target) {
+		t.Error("string domain: case analysis must fail")
+	}
+}
+
+// TestImplicationFastMatchesExact cross-checks the quadratic chase of
+// Theorem 4.3 against the exhaustive search on random constant-free-domain
+// (infinite-domain) inputs.
+func TestImplicationFastMatchesExact(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+		relation.Attr("C", relation.KindString),
+	)
+	attrs := []string{"A", "B", "C"}
+	consts := []relation.Value{relation.Str("u"), relation.Str("v")}
+	rng := rand.New(rand.NewSource(7))
+	randCell := func() cfd.Cell {
+		if rng.Intn(2) == 0 {
+			return cfd.Any()
+		}
+		return cfd.Const(consts[rng.Intn(len(consts))])
+	}
+	randCFD := func() *cfd.CFD {
+		li := rng.Intn(3)
+		var lhs []string
+		for j, a := range attrs {
+			if j == li || rng.Intn(2) == 0 {
+				lhs = append(lhs, a)
+			}
+		}
+		rhs := attrs[rng.Intn(3)]
+		cells := make([]cfd.Cell, len(lhs))
+		for j := range cells {
+			cells[j] = randCell()
+		}
+		return cfd.MustNew(s, lhs, []string{rhs}, cfd.Row(cells, []cfd.Cell{randCell()}))
+	}
+	agree, disagreeAt := 0, -1
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(3)
+		var set []*cfd.CFD
+		for i := 0; i < n; i++ {
+			set = append(set, randCFD())
+		}
+		phi := randCFD()
+		fast := cfd.Implies(set, phi) // dispatches to chase (no finite domains)
+		exact := cfd.ImpliesExact(set, phi)
+		if fast == exact {
+			agree++
+		} else if disagreeAt < 0 {
+			disagreeAt = trial
+			t.Errorf("trial %d: fast=%v exact=%v\nΣ=%v\nϕ=%v", trial, fast, exact, set, phi)
+		}
+	}
+	if agree != 200 {
+		t.Errorf("agreement %d/200", agree)
+	}
+}
+
+// TestConsistencyFastMatchesExact cross-checks the fixpoint against the
+// search on random infinite-domain inputs.
+func TestConsistencyFastMatchesExact(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+	)
+	consts := []relation.Value{relation.Str("x"), relation.Str("y")}
+	rng := rand.New(rand.NewSource(11))
+	randCell := func() cfd.Cell {
+		if rng.Intn(3) == 0 {
+			return cfd.Any()
+		}
+		return cfd.Const(consts[rng.Intn(len(consts))])
+	}
+	for trial := 0; trial < 300; trial++ {
+		var set []*cfd.CFD
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				set = append(set, cfd.MustNew(s, []string{"A"}, []string{"B"},
+					cfd.Row([]cfd.Cell{randCell()}, []cfd.Cell{randCell()})))
+			} else {
+				set = append(set, cfd.MustNew(s, []string{"B"}, []string{"A"},
+					cfd.Row([]cfd.Cell{randCell()}, []cfd.Cell{randCell()})))
+			}
+		}
+		fastOK, _ := cfd.ConsistentFast(set)
+		exactOK, _ := cfd.ConsistentExact(set)
+		if fastOK != exactOK {
+			t.Fatalf("trial %d: fast=%v exact=%v for %v", trial, fastOK, exactOK, set)
+		}
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	f2 := paperdata.F2(s)
+	aug := cfd.MustFD(s, []string{"CC", "AC", "phn"}, []string{"city"}) // implied by f2
+	cover := cfd.MinimalCover([]*cfd.CFD{f2, aug})
+	if len(cover) != 1 {
+		t.Fatalf("cover size = %d, want 1 (aug is redundant): %v", len(cover), cover)
+	}
+	// The cover still implies the removed member.
+	if !cfd.Implies(cover, aug) {
+		t.Error("cover lost a consequence")
+	}
+	// Nothing redundant: independent CFDs survive.
+	set := []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi3(s)}
+	cover2 := cfd.MinimalCover(set)
+	if len(cover2) != 2 {
+		t.Errorf("independent set shrank to %d", len(cover2))
+	}
+}
+
+func TestClosureSoundness(t *testing.T) {
+	// Every CFD derived by the inference system must be semantically
+	// implied (soundness of the axiomatization, Theorem 4.6(a)).
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+		relation.Attr("C", relation.KindString),
+	)
+	ab := cfd.MustNew(s, []string{"A"}, []string{"B"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("a"))}, []cfd.Cell{cfd.Const(relation.Str("b"))}))
+	bc := cfd.MustNew(s, []string{"B"}, []string{"C"},
+		cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Any()}))
+	base := []*cfd.CFD{ab, bc}
+	closed, derivations := cfd.Closure(base, 60)
+	if len(closed) <= 2 {
+		t.Fatalf("closure derived nothing: %v", closed)
+	}
+	for _, d := range derivations {
+		if !cfd.ImpliesExact(base, d.Derived) {
+			t.Errorf("UNSOUND %s", d)
+		}
+	}
+	// Trans must fire: A=a → C via B.
+	foundTrans := false
+	for _, d := range derivations {
+		if d.Rule == "Trans" {
+			foundTrans = true
+		}
+	}
+	if !foundTrans {
+		t.Error("no Trans derivation produced")
+	}
+}
+
+func TestAugmentAndReflexive(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	phi1 := paperdata.Phi1(s).Normalize()[0]
+	augmented, err := cfd.Augment(phi1, "AC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.Implies([]*cfd.CFD{phi1}, augmented) {
+		t.Error("Aug must be sound")
+	}
+	if _, err := cfd.Augment(phi1, "CC"); err == nil {
+		t.Error("want error augmenting with existing attribute")
+	}
+	refl, err := cfd.Reflexive(s, []string{"CC"}, "zip", []cfd.Cell{cfd.Any()}, cfd.Any())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.Implies(nil, refl) {
+		t.Error("Refl instance must be valid (implied by the empty set)")
+	}
+}
+
+func TestFDClosureImplies(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	fds := cfd.FDsOf([]*cfd.CFD{paperdata.F1(s), paperdata.F2(s)})
+	if len(fds) != 2 {
+		t.Fatalf("FDsOf = %d", len(fds))
+	}
+	key := []int{s.MustLookup("CC"), s.MustLookup("AC"), s.MustLookup("phn")}
+	closure := cfd.AttrClosure(fds, key)
+	for _, a := range []string{"street", "city", "zip"} {
+		if !closure[s.MustLookup(a)] {
+			t.Errorf("closure misses %s", a)
+		}
+	}
+	if closure[s.MustLookup("name")] {
+		t.Error("closure must not contain name")
+	}
+	if !cfd.FDImplies(fds, key, []int{s.MustLookup("city")}) {
+		t.Error("FDImplies failed on derivable FD")
+	}
+	if cfd.FDImplies(fds, []int{s.MustLookup("CC")}, []int{s.MustLookup("city")}) {
+		t.Error("FDImplies accepted a non-consequence")
+	}
+}

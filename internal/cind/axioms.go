@@ -1,0 +1,118 @@
+package cind
+
+import (
+	"fmt"
+)
+
+// A sound inference system for CINDs, reflecting Theorem 4.6(a) (CINDs
+// taken alone are finitely axiomatizable). The rules below are sound for
+// the CIND semantics; soundness is property-tested against the chase
+// decision procedure.
+
+// Permute derives (R1[Xσ; Xp] ⊆ R2[Yσ; Yp], Tp) from a CIND by selecting
+// and reordering corresponding (X[i], Y[i]) pairs; idx lists the selected
+// pair indexes in their new order. This generalizes the classical
+// projection-and-permutation rule for INDs.
+func Permute(c *CIND, idx []int) (*CIND, error) {
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("cind: Permute needs at least one pair")
+	}
+	x := make([]string, len(idx))
+	y := make([]string, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= len(c.x) {
+			return nil, fmt.Errorf("cind: Permute index %d out of range", j)
+		}
+		x[i] = c.src.Attr(c.x[j]).Name
+		y[i] = c.dst.Attr(c.y[j]).Name
+	}
+	xp := make([]string, len(c.xp))
+	for i, p := range c.xp {
+		xp[i] = c.src.Attr(p).Name
+	}
+	yp := make([]string, len(c.yp))
+	for i, p := range c.yp {
+		yp[i] = c.dst.Attr(p).Name
+	}
+	return New(c.src, c.dst, x, y, xp, yp, c.tableau...)
+}
+
+// Transit derives (R1[X″; Xp1] ⊆ R3[Z; Zp], rows) from c1 = (R1[X; Xp1] ⊆
+// R2[Y; Yp1], T1) and c2 = (R2[Y′; Xp2] ⊆ R3[Z; Zp], T2), row pair by row
+// pair. A row pair (tp1, tp2) composes when
+//
+//   - every attribute of Y′ occurs in Y (the demanded R2 tuple agrees
+//     with R1's X values there), and
+//   - every pattern attribute of Xp2 occurs in Yp1 with tp1 and tp2
+//     agreeing on its constant (so the demanded R2 tuple is guaranteed to
+//     match tp2's source condition).
+//
+// The derived X″ maps each Y′ attribute back to its X counterpart.
+func Transit(c1, c2 *CIND) (*CIND, error) {
+	if c1.dst.Name() != c2.src.Name() {
+		return nil, fmt.Errorf("cind: Transit needs c1's target = c2's source")
+	}
+	// Map R2 position → index in c1's Y.
+	yIndex := make(map[int]int)
+	for i, p := range c1.y {
+		yIndex[p] = i
+	}
+	// X″ via Y′.
+	x2 := make([]string, len(c2.x))
+	z := make([]string, len(c2.y))
+	for i, p := range c2.x {
+		j, ok := yIndex[p]
+		if !ok {
+			return nil, fmt.Errorf("cind: Transit: %s.%s not covered by c1's Y", c2.src.Name(), c2.src.Attr(p).Name)
+		}
+		x2[i] = c1.src.Attr(c1.x[j]).Name
+		z[i] = c2.dst.Attr(c2.y[i]).Name
+	}
+	// Pattern guarantee: Xp2 ⊆ Yp1 positionally by attribute.
+	yp1Index := make(map[int]int)
+	for i, p := range c1.yp {
+		yp1Index[p] = i
+	}
+	xp := make([]string, len(c1.xp))
+	for i, p := range c1.xp {
+		xp[i] = c1.src.Attr(p).Name
+	}
+	zp := make([]string, len(c2.yp))
+	for i, p := range c2.yp {
+		zp[i] = c2.dst.Attr(p).Name
+	}
+	var rows []PatternRow
+	for _, t1 := range c1.tableau {
+		for _, t2 := range c2.tableau {
+			okRow := true
+			for i, p := range c2.xp {
+				j, ok := yp1Index[p]
+				if !ok || !t1.YpVals[j].Equal(t2.XpVals[i]) {
+					okRow = false
+					break
+				}
+			}
+			if !okRow {
+				continue
+			}
+			rows = append(rows, PatternRow{
+				XpVals: t1.XpVals,
+				YpVals: t2.YpVals,
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("cind: Transit: no composable pattern row pair")
+	}
+	return New(c1.src, c2.dst, x2, z, xp, zp, rows...)
+}
+
+// Reflexive derives the identity CIND R[X; ∅] ⊆ R[X; ∅], which every
+// instance satisfies.
+func Reflexive(c *CIND) (*CIND, error) {
+	x := make([]string, len(c.x))
+	for i, p := range c.x {
+		x[i] = c.src.Attr(p).Name
+	}
+	return New(c.src, c.src, x, x, nil, nil)
+}

@@ -1,0 +1,147 @@
+package cind
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Result is a three-valued answer for the chase-based analyses: the
+// combined CFD+CIND problems are undecidable (Theorems 4.1/4.2), and
+// CIND implication chases can diverge on cyclic sets, so procedures
+// report Unknown when a resource bound is hit before a definite answer.
+type Result int
+
+// The three answers.
+const (
+	No Result = iota
+	Yes
+	Unknown
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case No:
+		return "no"
+	case Yes:
+		return "yes"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultChaseBound is the default limit on chase derivation depth.
+const DefaultChaseBound = 64
+
+// BuildWitness constructs a nonempty database satisfying every CIND in
+// the set — the constructive content of Theorem 4.1's O(1) consistency
+// result. It seeds one tuple in the source relation of the first CIND
+// (or in seedRel when non-empty) and chases insertions to a fixpoint.
+// The chase reuses one designated fresh value per kind, which keeps the
+// active domain — and hence the chase — finite; CINDs only ever demand
+// the existence of tuples, so accidental value coincidences never break
+// satisfaction.
+func BuildWitness(set []*CIND, seedRel string, maxTuples int) (*relation.Database, error) {
+	db := relation.NewDatabase()
+	if len(set) == 0 {
+		return db, nil
+	}
+	schemas := make(map[string]*relation.Schema)
+	for _, c := range set {
+		schemas[c.src.Name()] = c.src
+		schemas[c.dst.Name()] = c.dst
+	}
+	for _, s := range schemas {
+		db.Add(relation.NewInstance(s))
+	}
+	seed := set[0].src
+	if seedRel != "" {
+		s, ok := schemas[seedRel]
+		if !ok {
+			return nil, fmt.Errorf("cind: seed relation %q not mentioned by the set", seedRel)
+		}
+		seed = s
+	}
+	t := make(relation.Tuple, seed.Arity())
+	for i := 0; i < seed.Arity(); i++ {
+		t[i] = placeholder(seed.Attr(i))
+	}
+	if _, err := db.MustInstance(seed.Name()).Insert(t); err != nil {
+		return nil, err
+	}
+	if maxTuples <= 0 {
+		maxTuples = 10000
+	}
+	if err := chaseInsertions(db, set, maxTuples); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// placeholder picks a deterministic value for an attribute: the first
+// finite-domain value, or a per-kind designated fresh value.
+func placeholder(a relation.Attribute) relation.Value {
+	if a.Domain.Finite() {
+		return a.Domain.Values()[0]
+	}
+	switch a.Domain.Kind() {
+	case relation.KindBool:
+		return relation.Bool(false)
+	case relation.KindInt:
+		return relation.Int(0)
+	case relation.KindFloat:
+		return relation.Float(0)
+	default:
+		return relation.Str("\x02w")
+	}
+}
+
+// chaseInsertions repairs every CIND violation by inserting the demanded
+// target tuple until fixpoint or until the database exceeds maxTuples.
+func chaseInsertions(db *relation.Database, set []*CIND, maxTuples int) error {
+	for {
+		vs := DetectAll(db, set)
+		if len(vs) == 0 {
+			return nil
+		}
+		for _, v := range vs {
+			if db.Size() >= maxTuples {
+				return fmt.Errorf("cind: chase exceeded %d tuples", maxTuples)
+			}
+			if err := insertDemanded(db, v); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// insertDemanded inserts the minimal target tuple demanded by a violation:
+// Y positions copy the source X values, Yp positions take the pattern
+// constants, all else placeholder values.
+func insertDemanded(db *relation.Database, v Violation) error {
+	c := v.CIND
+	src := db.MustInstance(c.src.Name())
+	t, ok := src.Tuple(v.TID)
+	if !ok {
+		return nil
+	}
+	dst := db.MustInstance(c.dst.Name())
+	row := c.tableau[v.Row]
+	nt := make(relation.Tuple, c.dst.Arity())
+	for i := 0; i < c.dst.Arity(); i++ {
+		nt[i] = placeholder(c.dst.Attr(i))
+	}
+	for j, p := range c.y {
+		nt[p] = t[c.x[j]]
+	}
+	for j, p := range c.yp {
+		nt[p] = row.YpVals[j]
+	}
+	if !dst.Contains(nt) {
+		if _, err := dst.Insert(nt); err != nil {
+			return fmt.Errorf("cind: chase cannot insert demanded tuple: %v", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package cind
+
+import (
+	"repro/internal/relation"
+)
+
+// Implication for CINDs via the initial chase (Theorem 4.2 pins the
+// problem EXPTIME-complete in general; without finite-domain attributes
+// and for fixed schemas it is PSPACE-complete, Theorems 4.3/4.5).
+//
+// To decide Σ ⊨ ψ for ψ = (R1[X; Xp] ⊆ R2[Y; Yp], tp), seed a single
+// generic tuple t1 in R1: pairwise-distinct fresh values on X (and on all
+// unconstrained attributes), tp's constants on Xp. Chase the seed with
+// Σ's insertion rules, generating genuinely fresh values for
+// unconstrained positions of demanded tuples. The chase is the most
+// general model of Σ containing such a t1:
+//
+//   - If it produces a target witness (t2 ∈ R2 with t2[Y] = t1[X],
+//     t2[Yp] = tp[Yp]), every model of Σ contains a homomorphic image of
+//     the derivation, so Σ ⊨ ψ.
+//   - If it reaches a fixpoint without a witness, the chase result itself
+//     is a countermodel, so Σ ⊭ ψ.
+//   - Cyclic CIND sets can chase forever; past the derivation-depth bound
+//     the answer is Unknown.
+
+// Implies decides Σ ⊨ ψ with the default chase bound.
+func Implies(set []*CIND, psi *CIND) Result {
+	return ImpliesBounded(set, psi, DefaultChaseBound)
+}
+
+// ImpliesBounded decides Σ ⊨ ψ chasing at most depth levels of demanded
+// insertions per pattern row.
+func ImpliesBounded(set []*CIND, psi *CIND, depth int) Result {
+	out := Yes
+	for rowIdx := range psi.tableau {
+		switch impliesRow(set, psi, rowIdx, depth) {
+		case No:
+			return No
+		case Unknown:
+			out = Unknown
+		}
+	}
+	return out
+}
+
+// freshCounter hands out globally distinct chase values per kind.
+type freshCounter struct{ n int }
+
+func (f *freshCounter) next(a relation.Attribute) relation.Value {
+	f.n++
+	if a.Domain.Finite() {
+		// Finite domains have no fresh values; reuse the first element
+		// (a pragmatic choice documented with the Unknown semantics —
+		// chase completeness is stated for infinite domains).
+		return a.Domain.Values()[0]
+	}
+	switch a.Domain.Kind() {
+	case relation.KindBool:
+		return relation.Bool(false)
+	case relation.KindInt:
+		return relation.Int(int64(1_000_000 + f.n))
+	case relation.KindFloat:
+		return relation.Float(float64(1_000_000+f.n) + 0.5)
+	default:
+		return relation.Str(string(rune(0x100000+f.n)) + "χ")
+	}
+}
+
+func impliesRow(set []*CIND, psi *CIND, rowIdx int, depth int) Result {
+	row := psi.tableau[rowIdx]
+	var fresh freshCounter
+
+	schemas := map[string]*relation.Schema{psi.src.Name(): psi.src, psi.dst.Name(): psi.dst}
+	for _, c := range set {
+		schemas[c.src.Name()] = c.src
+		schemas[c.dst.Name()] = c.dst
+	}
+	db := relation.NewDatabase()
+	for _, s := range schemas {
+		db.Add(relation.NewInstance(s))
+	}
+
+	// Seed tuple: fresh everywhere, then Xp constants (which win over X
+	// freshness on overlap, as in the definition).
+	seed := make(relation.Tuple, psi.src.Arity())
+	for i := range seed {
+		seed[i] = fresh.next(psi.src.Attr(i))
+	}
+	for j, p := range psi.xp {
+		seed[p] = row.XpVals[j]
+	}
+	srcInst := db.MustInstance(psi.src.Name())
+	if _, err := srcInst.Insert(seed); err != nil {
+		// The pattern is not realizable in the source domain: ψ holds
+		// vacuously.
+		return Yes
+	}
+
+	// wanted: the witness condition in R2.
+	witnessFound := func() bool {
+		dst := db.MustInstance(psi.dst.Name())
+		for _, t2 := range dst.Tuples() {
+			ok := true
+			for j, p := range psi.y {
+				if !t2[p].Equal(seed[psi.x[j]]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for j, p := range psi.yp {
+				if !t2[p].Equal(row.YpVals[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Chase by levels: each level inserts all currently demanded tuples
+	// with fresh unconstrained values.
+	for level := 0; ; level++ {
+		if witnessFound() {
+			return Yes
+		}
+		vs := DetectAll(db, set)
+		if len(vs) == 0 {
+			return No // fixpoint countermodel
+		}
+		if level >= depth {
+			return Unknown
+		}
+		for _, v := range vs {
+			c := v.CIND
+			src := db.MustInstance(c.src.Name())
+			t, ok := src.Tuple(v.TID)
+			if !ok {
+				continue
+			}
+			prow := c.tableau[v.Row]
+			dst := db.MustInstance(c.dst.Name())
+			nt := make(relation.Tuple, c.dst.Arity())
+			for i := range nt {
+				nt[i] = fresh.next(c.dst.Attr(i))
+			}
+			for j, p := range c.y {
+				nt[p] = t[c.x[j]]
+			}
+			for j, p := range c.yp {
+				nt[p] = prow.YpVals[j]
+			}
+			if _, err := dst.Insert(nt); err != nil {
+				// Demanded tuple outside the target domain: the premise
+				// chain cannot be realized; treat as vacuous for this
+				// branch (the offending source tuple can never exist in a
+				// valid instance).
+				continue
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package cind
+
+import (
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// Interaction of CFDs and CINDs. Theorems 4.1, 4.2 and 4.4: consistency
+// and implication for CFDs and CINDs taken together are undecidable, even
+// without finite-domain attributes, and the combination is not finitely
+// axiomatizable (Theorem 4.6(b)). Following the heuristics of Bravo, Fan
+// and Ma (VLDB 2007) the package therefore ships bounded semi-decision
+// procedures with three-valued answers: Yes and No are definite, Unknown
+// means the resource bound was exhausted first.
+
+// InteractionConsistent checks whether Σcfd ∪ Σcind admits a database
+// whose cfdRel relation is nonempty.
+//
+// Procedure: (1) if the CFD set alone is inconsistent, answer No (sound:
+// any witness restricted to cfdRel would satisfy the CFDs). (2) Otherwise
+// enumerate the CFD consistency witnesses' candidate seed tuples, chase
+// each with the CINDs (shared placeholder values, bounded), and re-check
+// the CFDs on the chase result; a clean result is a witness: Yes.
+// (3) When every candidate fails or a bound is hit, answer Unknown — the
+// exact problem is undecidable, so a definite No is impossible in general.
+func InteractionConsistent(cfds []*cfd.CFD, cinds []*CIND, maxTuples int) (Result, *relation.Database) {
+	ok, witness := cfd.Consistent(cfds)
+	if !ok {
+		return No, nil
+	}
+	if len(cinds) == 0 {
+		db := relation.NewDatabase()
+		if len(cfds) > 0 {
+			in := relation.NewInstance(cfds[0].Schema())
+			if _, err := in.Insert(witness); err == nil {
+				db.Add(in)
+			}
+		}
+		return Yes, db
+	}
+	if len(cfds) == 0 {
+		db, err := BuildWitness(cinds, "", maxTuples)
+		if err != nil {
+			return Unknown, nil
+		}
+		return Yes, db
+	}
+
+	schema := cfds[0].Schema()
+	schemas := map[string]*relation.Schema{schema.Name(): schema}
+	for _, c := range cinds {
+		schemas[c.src.Name()] = c.src
+		schemas[c.dst.Name()] = c.dst
+	}
+
+	db := relation.NewDatabase()
+	for _, s := range schemas {
+		db.Add(relation.NewInstance(s))
+	}
+	in := db.MustInstance(schema.Name())
+	if _, err := in.Insert(witness); err != nil {
+		return Unknown, nil
+	}
+	if maxTuples <= 0 {
+		maxTuples = 10000
+	}
+	if err := chaseInsertions(db, cinds, maxTuples); err != nil {
+		return Unknown, nil
+	}
+	// Re-check the CFDs on every relation they are defined over.
+	for _, c := range cfds {
+		target, ok := db.Instance(c.Schema().Name())
+		if !ok {
+			continue
+		}
+		if !cfd.Satisfies(target, c) {
+			return Unknown, nil
+		}
+	}
+	return Yes, db
+}
+
+// InteractionImplies checks Σcfd ∪ Σcind ⊨ ψ for a CIND ψ, by chasing
+// ψ's generic seed with the CINDs and verifying that no CFD is violated
+// along the way; Yes and No are definite for acyclic inputs within the
+// bound, Unknown otherwise. (The exact problem is undecidable.)
+func InteractionImplies(cfds []*cfd.CFD, cinds []*CIND, psi *CIND, depth int) Result {
+	// If the CFD set is inconsistent, every instance with a nonempty
+	// cfd-relation is excluded; implication over the remaining instances
+	// degenerates to the pure CIND problem restricted to databases with
+	// an empty CFD relation. We answer via the pure CIND chase, which is
+	// sound because it never populates relations beyond demanded tuples.
+	r := ImpliesBounded(cinds, psi, depth)
+	if r == Yes {
+		return Yes
+	}
+	if len(cfds) == 0 {
+		return r
+	}
+	// CFDs can only exclude counter-models, never create witnesses the
+	// CIND chase would miss; a No from the chase may thus be spurious
+	// when the counterexample violates a CFD. Verify the countermodel.
+	if r == No {
+		// Rebuild the chase countermodel and test the CFDs on it.
+		if counterModelSatisfiesCFDs(cfds, cinds, psi, depth) {
+			return No
+		}
+		return Unknown
+	}
+	return Unknown
+}
+
+// counterModelSatisfiesCFDs replays the implication chase to its fixpoint
+// countermodel and checks the CFDs over it.
+func counterModelSatisfiesCFDs(cfds []*cfd.CFD, cinds []*CIND, psi *CIND, depth int) bool {
+	for rowIdx := range psi.tableau {
+		db := chaseCounterModel(cinds, psi, rowIdx, depth)
+		if db == nil {
+			return false
+		}
+		ok := true
+		for _, c := range cfds {
+			if in, exists := db.Instance(c.Schema().Name()); exists {
+				if !cfd.Satisfies(in, c) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// chaseCounterModel mirrors impliesRow but returns the final database at
+// fixpoint (nil when the bound is hit or a witness appears).
+func chaseCounterModel(set []*CIND, psi *CIND, rowIdx, depth int) *relation.Database {
+	row := psi.tableau[rowIdx]
+	var fresh freshCounter
+	schemas := map[string]*relation.Schema{psi.src.Name(): psi.src, psi.dst.Name(): psi.dst}
+	for _, c := range set {
+		schemas[c.src.Name()] = c.src
+		schemas[c.dst.Name()] = c.dst
+	}
+	db := relation.NewDatabase()
+	for _, s := range schemas {
+		db.Add(relation.NewInstance(s))
+	}
+	seed := make(relation.Tuple, psi.src.Arity())
+	for i := range seed {
+		seed[i] = fresh.next(psi.src.Attr(i))
+	}
+	for j, p := range psi.xp {
+		seed[p] = row.XpVals[j]
+	}
+	if _, err := db.MustInstance(psi.src.Name()).Insert(seed); err != nil {
+		return nil
+	}
+	for level := 0; level <= depth; level++ {
+		vs := DetectAll(db, set)
+		if len(vs) == 0 {
+			return db
+		}
+		for _, v := range vs {
+			c := v.CIND
+			src := db.MustInstance(c.src.Name())
+			t, ok := src.Tuple(v.TID)
+			if !ok {
+				continue
+			}
+			prow := c.tableau[v.Row]
+			dst := db.MustInstance(c.dst.Name())
+			nt := make(relation.Tuple, c.dst.Arity())
+			for i := range nt {
+				nt[i] = fresh.next(c.dst.Attr(i))
+			}
+			for j, p := range c.y {
+				nt[p] = t[c.x[j]]
+			}
+			for j, p := range c.yp {
+				nt[p] = prow.YpVals[j]
+			}
+			if _, err := dst.Insert(nt); err != nil {
+				continue
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+
+	"repro/internal/cfd"
+	"repro/internal/cind"
+	"repro/internal/core"
+	"repro/internal/denial"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+func figureRules() (*relation.Schema, *core.Ruleset) {
+	s := paperdata.CustomerSchema()
+	return s, &core.Ruleset{
+		CFDs: []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s), paperdata.Phi3(s)},
+	}
+}
+
+func TestAnalyzeFigureRules(t *testing.T) {
+	_, rules := figureRules()
+	rep := core.Analyze(rules)
+	if !rep.CFDConsistent {
+		t.Error("Figure 2 CFDs are consistent")
+	}
+	if !rep.ECFDConsistent || !rep.CINDsAlwaysConsistent {
+		t.Error("vacuous classes must report consistent")
+	}
+	if rep.CombinedConsistency != cind.Yes {
+		t.Errorf("combined = %v, want yes", rep.CombinedConsistency)
+	}
+	if rep.String() == "" {
+		t.Error("report must render")
+	}
+	// Adding a redundant CFD is reported.
+	s := paperdata.CustomerSchema()
+	rules.CFDs = append(rules.CFDs, cfd.MustFD(s, []string{"CC", "AC", "phn"}, []string{"city"}))
+	rep = core.Analyze(rules)
+	if rep.RedundantCFDs == 0 {
+		t.Error("the augmented FD is implied by ϕ3 and must be counted redundant")
+	}
+	// An inconsistent ruleset is flagged.
+	_, bad := paperdata.Example41()
+	rep = core.Analyze(&core.Ruleset{CFDs: bad})
+	if rep.CFDConsistent {
+		t.Error("Example 4.1 must be flagged inconsistent")
+	}
+}
+
+func TestDetectAcrossClasses(t *testing.T) {
+	_, rules := figureRules()
+	db := relation.NewDatabase()
+	db.Add(paperdata.Figure1())
+	rep, err := core.Detect(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || len(rep.CFD) == 0 {
+		t.Errorf("Figure 1 must show CFD violations: %v", rep)
+	}
+	// Add the Figure 3/4 CIND side.
+	f3 := paperdata.Figure3()
+	for _, name := range f3.Names() {
+		in, _ := f3.Instance(name)
+		db.Add(in)
+	}
+	rules.CINDs = []*cind.CIND{
+		cind.MustNew(paperdata.CDSchema(), paperdata.BookSchema(),
+			[]string{"album", "price"}, []string{"title", "price"},
+			[]string{"genre"}, []string{"format"},
+			cind.PatternRow{
+				XpVals: []relation.Value{relation.Str("a-book")},
+				YpVals: []relation.Value{relation.Str("audio")},
+			}),
+	}
+	rep, err = core.Detect(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CIND) != 1 {
+		t.Errorf("CIND violations = %d, want 1 (t9)", len(rep.CIND))
+	}
+	if rep.Total() != len(rep.CFD)+1 {
+		t.Errorf("total = %d", rep.Total())
+	}
+}
+
+func TestCleanPipeline(t *testing.T) {
+	_, rules := figureRules()
+	db := relation.NewDatabase()
+	db.Add(paperdata.Figure1())
+	rep, err := core.Clean(db, rules, core.CleanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.After != 0 {
+		t.Errorf("residual violations: %d", rep.After)
+	}
+	if rep.Before == 0 {
+		t.Error("dirty input must report violations before")
+	}
+	if rep.String() == "" {
+		t.Error("report renders")
+	}
+	// The repaired instance satisfies all CFDs.
+	in, _ := db.Instance("customer")
+	if !cfd.SatisfiesAll(in, rules.CFDs) {
+		t.Error("clean run left CFD violations")
+	}
+}
+
+func TestCleanWithCINDs(t *testing.T) {
+	db := gen.Orders(gen.OrdersConfig{Books: 20, CDs: 20, Orders: 40, Seed: 3, ViolationRate: 0.2})
+	order := db.MustInstance("order").Schema()
+	book := db.MustInstance("book").Schema()
+	cdS := db.MustInstance("CD").Schema()
+	rules := &core.Ruleset{
+		CINDs: []*cind.CIND{
+			cind.MustNew(order, book, []string{"title", "price"}, []string{"title", "price"},
+				[]string{"type"}, nil,
+				cind.PatternRow{XpVals: []relation.Value{relation.Str("book")}}),
+			cind.MustNew(order, cdS, []string{"title", "price"}, []string{"album", "price"},
+				[]string{"type"}, nil,
+				cind.PatternRow{XpVals: []relation.Value{relation.Str("CD")}}),
+		},
+	}
+	before, err := core.Detect(db, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Clean() {
+		t.Fatal("generator should have injected CIND violations")
+	}
+	rep, err := core.Clean(db, rules, core.CleanOptions{CINDMode: repair.InsertDemanded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.After != 0 {
+		t.Errorf("residual violations: %d", rep.After)
+	}
+	if rep.CINDOps == 0 {
+		t.Error("insertion repair should have added tuples")
+	}
+}
+
+func TestCleanRejectsInconsistentRules(t *testing.T) {
+	_, bad := paperdata.Example41()
+	db := relation.NewDatabase()
+	in := relation.NewInstance(bad[0].Schema())
+	in.MustInsert(relation.Bool(true), relation.Str("b1"))
+	db.Add(in)
+	if _, err := core.Clean(db, &core.Ruleset{CFDs: bad}, core.CleanOptions{}); err == nil {
+		t.Error("cleaning against an inconsistent ruleset must fail")
+	}
+}
+
+func TestCleanDeletesDenialConflicts(t *testing.T) {
+	s := relation.MustSchema("emp",
+		relation.Attr("name", relation.KindString),
+		relation.Attr("mgr", relation.KindString),
+		relation.Attr("salary", relation.KindInt),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("ann"), relation.Str("cat"), relation.Int(90))
+	in.MustInsert(relation.Str("cat"), relation.Str("cat"), relation.Int(80))
+	db := relation.NewDatabase()
+	db.Add(in)
+	dc := denial.DC{
+		Name: "no-higher-than-manager",
+		Atoms: []algebra.Atom{
+			{Rel: "emp", Terms: []algebra.Term{algebra.V("n"), algebra.V("m"), algebra.V("s")}},
+			{Rel: "emp", Terms: []algebra.Term{algebra.V("m"), algebra.V("m2"), algebra.V("s2")}},
+		},
+		Conds: []algebra.Cond{{Left: algebra.V("s"), Op: algebra.OpGt, Right: algebra.V("s2")}},
+	}
+	rules := &core.Ruleset{Denials: []denial.DC{dc}}
+	rep, err := core.Clean(db, rules, core.CleanOptions{DeleteDenialConflicts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.After != 0 {
+		t.Errorf("residual denial conflicts: %d", rep.After)
+	}
+	if rep.Deleted == 0 {
+		t.Error("a deletion was required")
+	}
+	// Without the flag, denial conflicts are reported but kept.
+	db2 := relation.NewDatabase()
+	in2 := in.Clone()
+	in2.MustInsert(relation.Str("ann"), relation.Str("cat"), relation.Int(90))
+	db2.Add(in2)
+	rep2, err := core.Clean(db2, rules, core.CleanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Deleted != 0 || rep2.After == 0 {
+		t.Errorf("default mode must not delete: %v", rep2)
+	}
+}

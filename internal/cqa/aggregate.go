@@ -1,0 +1,156 @@
+package cqa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/denial"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// Scalar aggregation over inconsistent data (Arenas et al., cited as [8]
+// in the paper): since different repairs yield different aggregate
+// values, the consistent answer is the tightest interval [glb, lub]
+// containing the aggregate over every repair.
+
+// AggKind selects the aggregate function.
+type AggKind uint8
+
+// The aggregates.
+const (
+	Count AggKind = iota
+	Sum
+	Min
+	Max
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	default:
+		return "MAX"
+	}
+}
+
+// Range is a [GLB, LUB] interval of aggregate values over all repairs.
+type Range struct {
+	GLB, LUB float64
+}
+
+// AggregateRange computes the consistent-answer interval of the aggregate
+// over attribute attr of relation rel, across all X-repairs of db
+// w.r.t. the denial constraints (exact, by enumeration; maxRepairs as in
+// CertainAnswers).
+func AggregateRange(db *relation.Database, dcs []denial.DC, rel, attr string, kind AggKind, maxRepairs int) (Range, error) {
+	if maxRepairs <= 0 {
+		maxRepairs = 10000
+	}
+	in, ok := db.Instance(rel)
+	if !ok {
+		return Range{}, fmt.Errorf("cqa: no relation %q", rel)
+	}
+	pos, ok := in.Schema().Lookup(attr)
+	if !ok {
+		return Range{}, fmt.Errorf("cqa: no attribute %q", attr)
+	}
+	h, err := repair.BuildHypergraph(db, dcs)
+	if err != nil {
+		return Range{}, err
+	}
+	repairs := h.EnumerateXRepairs(maxRepairs + 1)
+	if len(repairs) > maxRepairs {
+		return Range{}, fmt.Errorf("cqa: more than %d repairs", maxRepairs)
+	}
+	if len(repairs) == 0 {
+		return Range{}, fmt.Errorf("cqa: no repairs")
+	}
+	out := Range{GLB: math.Inf(1), LUB: math.Inf(-1)}
+	for _, kept := range repairs {
+		sub := subDatabase(db, kept)
+		v := aggregate(sub.MustInstance(rel), pos, kind)
+		if v < out.GLB {
+			out.GLB = v
+		}
+		if v > out.LUB {
+			out.LUB = v
+		}
+	}
+	return out, nil
+}
+
+func aggregate(in *relation.Instance, pos int, kind AggKind) float64 {
+	switch kind {
+	case Count:
+		return float64(in.Len())
+	case Sum:
+		s := 0.0
+		for _, t := range in.Tuples() {
+			s += t[pos].FloatVal()
+		}
+		return s
+	case Min:
+		m := math.Inf(1)
+		for _, t := range in.Tuples() {
+			if v := t[pos].FloatVal(); v < m {
+				m = v
+			}
+		}
+		return m
+	default:
+		m := math.Inf(-1)
+		for _, t := range in.Tuples() {
+			if v := t[pos].FloatVal(); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// SumRangeUnderKey computes the SUM(attr) interval under a single primary
+// key in closed form, without enumeration: within a key group, an
+// X-repair keeps exactly the tuples of one duplicate class (tuples that
+// are fully equal do not conflict and survive together), so the bounds
+// sum the per-group minimum and maximum class contributions. This is the
+// PTIME scalar-aggregation result for one key constraint.
+func SumRangeUnderKey(in *relation.Instance, keyAttrs []string, attr string) (Range, error) {
+	s := in.Schema()
+	keyPos, err := s.Positions(keyAttrs)
+	if err != nil {
+		return Range{}, fmt.Errorf("cqa: %v", err)
+	}
+	pos, ok := s.Lookup(attr)
+	if !ok {
+		return Range{}, fmt.Errorf("cqa: no attribute %q", attr)
+	}
+	var r Range
+	ix := relation.BuildIndex(in, keyPos)
+	ix.Groups(1, func(_ string, ids []relation.TID) {
+		// Group tuples into duplicate classes; each class contributes
+		// (class size × value) when chosen.
+		classSum := make(map[string]float64)
+		for _, id := range ids {
+			t, _ := in.Tuple(id)
+			classSum[t.Key()] += t[pos].FloatVal()
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range classSum {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		r.GLB += lo
+		r.LUB += hi
+	})
+	return r, nil
+}

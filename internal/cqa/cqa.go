@@ -1,0 +1,170 @@
+// Package cqa implements consistent query answering (Section 5.2 of Fan,
+// PODS 2008): computing the certain answers of a query — the tuples in
+// the answer over every repair of an inconsistent database — without
+// editing the data. It provides an exact engine by X-repair enumeration
+// (exponential, matching the coNP-/Πp2-hardness landscape of Theorems
+// 5.2–5.4), the PTIME first-order rewriting for key-based
+// selection/projection queries in the style of Fuxman and Miller
+// (Theorem 5.2's Ctree fragment), and scalar aggregation ranges in the
+// style of Arenas et al.
+package cqa
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/denial"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// CertainAnswers computes the certain answers of q over db w.r.t. the
+// denial constraints by enumerating all X-repairs and intersecting the
+// answers. maxRepairs guards the exponential blow-up (0 = 10000); the
+// error reports when the bound is exceeded. For Boolean queries the
+// result instance is nonempty iff the query is certainly true.
+func CertainAnswers(db *relation.Database, dcs []denial.DC, q algebra.CQ, maxRepairs int) (*relation.Instance, int, error) {
+	if maxRepairs <= 0 {
+		maxRepairs = 10000
+	}
+	h, err := repair.BuildHypergraph(db, dcs)
+	if err != nil {
+		return nil, 0, err
+	}
+	repairs := h.EnumerateXRepairs(maxRepairs + 1)
+	if len(repairs) > maxRepairs {
+		return nil, 0, fmt.Errorf("cqa: more than %d repairs", maxRepairs)
+	}
+	if len(repairs) == 0 {
+		return nil, 0, fmt.Errorf("cqa: no repairs (unsatisfiable constraints)")
+	}
+	var result *relation.Instance
+	for _, kept := range repairs {
+		sub := subDatabase(db, kept)
+		ans, err := q.Eval(sub)
+		if err != nil {
+			return nil, 0, err
+		}
+		if result == nil {
+			result = ans
+			continue
+		}
+		result = intersect(result, ans)
+		if result.Len() == 0 {
+			break // early exit: intersection can only shrink
+		}
+	}
+	return result, len(repairs), nil
+}
+
+// CertainlyTrue reports whether a Boolean query holds in every repair.
+func CertainlyTrue(db *relation.Database, dcs []denial.DC, q algebra.CQ, maxRepairs int) (bool, error) {
+	ans, _, err := CertainAnswers(db, dcs, q, maxRepairs)
+	if err != nil {
+		return false, err
+	}
+	return ans.Len() > 0, nil
+}
+
+// subDatabase builds the repair database keeping only the listed tuples.
+func subDatabase(db *relation.Database, kept []denial.TupleRef) *relation.Database {
+	keep := make(map[denial.TupleRef]bool, len(kept))
+	for _, ref := range kept {
+		keep[ref] = true
+	}
+	out := db.Clone()
+	for _, name := range out.Names() {
+		in, _ := out.Instance(name)
+		for _, id := range in.IDs() {
+			if !keep[denial.TupleRef{Rel: name, TID: id}] {
+				in.Delete(id)
+			}
+		}
+	}
+	return out
+}
+
+// intersect keeps the tuples of a that also occur in b.
+func intersect(a, b *relation.Instance) *relation.Instance {
+	present := make(map[string]bool, b.Len())
+	for _, t := range b.Tuples() {
+		present[t.Key()] = true
+	}
+	out := relation.NewInstance(a.Schema())
+	for _, t := range a.Tuples() {
+		if present[t.Key()] {
+			out.MustInsert(t...)
+		}
+	}
+	return out
+}
+
+// CertainByKeyRewriting computes the certain answers of the
+// selection/projection query π_out(σ_pred(R)) under the primary key
+// keyAttrs of R, in PTIME, by the group-based first-order rewriting: a
+// projected row is certain iff some key group has every member satisfying
+// the selection and agreeing on the output attributes. For single-atom
+// queries this is exact (see Fuxman–Miller): if no group guarantees a
+// row, the repair picking each group's failing member omits it.
+func CertainByKeyRewriting(in *relation.Instance, keyAttrs []string, pred algebra.Predicate, outAttrs []string) (*relation.Instance, error) {
+	s := in.Schema()
+	keyPos, err := s.Positions(keyAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("cqa: %v", err)
+	}
+	outPos, err := s.Positions(outAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("cqa: %v", err)
+	}
+	outSchema, err := s.Project("ans", outAttrs)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		pred = algebra.True{}
+	}
+	out := relation.NewInstance(outSchema)
+	seen := make(map[string]bool)
+	ix := relation.BuildIndex(in, keyPos)
+	ix.Groups(1, func(_ string, ids []relation.TID) {
+		var row relation.Tuple
+		ok := true
+		for _, id := range ids {
+			t, _ := in.Tuple(id)
+			holds, err := pred.Holds(s, t)
+			if err != nil || !holds {
+				ok = false
+				break
+			}
+			pt := t.Project(outPos)
+			if row == nil {
+				row = pt
+			} else if !row.Equal(pt) {
+				ok = false
+				break
+			}
+		}
+		if ok && row != nil {
+			if k := row.Key(); !seen[k] {
+				seen[k] = true
+				out.MustInsert(row...)
+			}
+		}
+	})
+	return out, nil
+}
+
+// EligibleForRewriting reports whether a conjunctive query falls in the
+// fragment our rewriting covers exactly: a single atom over a relation
+// with the given key, no repeated variables beyond the usual pattern, and
+// conditions only over that atom's variables — plus the Ctree join
+// condition for multi-atom queries (which we conservatively reject here).
+func EligibleForRewriting(q algebra.CQ, keys map[string][]int) bool {
+	if len(q.Atoms) != 1 {
+		return false
+	}
+	if len(keys[q.Atoms[0].Rel]) == 0 {
+		return false
+	}
+	return q.JoinsNonKeyToKeyFull(keys)
+}

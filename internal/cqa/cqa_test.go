@@ -1,0 +1,283 @@
+package cqa_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cqa"
+	"repro/internal/denial"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// accountsDB builds a small inconsistent instance: account balances with
+// a duplicated key.
+func accountsDB() (*relation.Database, *relation.Instance, []denial.DC) {
+	s := relation.MustSchema("acct",
+		relation.Attr("id", relation.KindInt),
+		relation.Attr("owner", relation.KindString),
+		relation.Attr("balance", relation.KindInt),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Int(1), relation.Str("ann"), relation.Int(100)) // t0
+	in.MustInsert(relation.Int(1), relation.Str("ann"), relation.Int(250)) // t1: conflicting balance
+	in.MustInsert(relation.Int(2), relation.Str("bob"), relation.Int(80))  // t2: clean
+	in.MustInsert(relation.Int(3), relation.Str("cat"), relation.Int(10))  // t3
+	in.MustInsert(relation.Int(3), relation.Str("dan"), relation.Int(10))  // t4: conflicting owner
+	db := relation.NewDatabase()
+	db.Add(in)
+	dcs, err := denial.Key(s, []string{"id"})
+	if err != nil {
+		panic(err)
+	}
+	return db, in, dcs
+}
+
+func TestCertainAnswersEnumeration(t *testing.T) {
+	db, _, dcs := accountsDB()
+	// ans(o) :- acct(i, o, b): owners certain to exist.
+	q := algebra.CQ{
+		Head:  []algebra.Term{algebra.V("o")},
+		Atoms: []algebra.Atom{{Rel: "acct", Terms: []algebra.Term{algebra.V("i"), algebra.V("o"), algebra.V("b")}}},
+	}
+	ans, nRepairs, err := cqa.CertainAnswers(db, dcs, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nRepairs != 4 { // 2 choices for id=1 × 2 choices for id=3
+		t.Errorf("repairs = %d, want 4", nRepairs)
+	}
+	// ann survives in both id=1 repairs; bob is clean. cat/dan each miss
+	// in one repair.
+	got := map[string]bool{}
+	for _, tu := range ans.Tuples() {
+		got[tu[0].StrVal()] = true
+	}
+	if !got["ann"] || !got["bob"] || got["cat"] || got["dan"] {
+		t.Errorf("certain owners = %v, want {ann, bob}", got)
+	}
+}
+
+func TestCertainAnswersBooleanAndConds(t *testing.T) {
+	db, _, dcs := accountsDB()
+	// Is there certainly an account with balance ≥ 100? In every repair,
+	// id=1 keeps a balance of 100 or 250, so yes.
+	q := algebra.CQ{
+		Atoms: []algebra.Atom{{Rel: "acct", Terms: []algebra.Term{algebra.V("i"), algebra.V("o"), algebra.V("b")}}},
+		Conds: []algebra.Cond{{Left: algebra.V("b"), Op: algebra.OpGe, Right: algebra.C(relation.Int(100))}},
+	}
+	ok, err := cqa.CertainlyTrue(db, dcs, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("balance ≥ 100 holds in every repair")
+	}
+	// Is there certainly a balance ≥ 200? Only in the repair keeping 250.
+	q.Conds[0].Right = algebra.C(relation.Int(200))
+	ok, err = cqa.CertainlyTrue(db, dcs, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("balance ≥ 200 fails in the repair keeping 100")
+	}
+}
+
+// TestRewritingMatchesEnumeration cross-checks the PTIME key rewriting
+// against exhaustive enumeration on selection/projection queries.
+func TestCQARewritingMatchesEnumeration(t *testing.T) {
+	db, in, dcs := accountsDB()
+	cases := []struct {
+		name string
+		pred algebra.Predicate
+		out  []string
+	}{
+		{"all-owners", nil, []string{"owner"}},
+		{"rich", algebra.AttrConst{Attr: "balance", Op: algebra.OpGe, Const: relation.Int(50)}, []string{"id"}},
+		{"owner-balance", nil, []string{"owner", "balance"}},
+		{"balance10", algebra.AttrConst{Attr: "balance", Op: algebra.OpEq, Const: relation.Int(10)}, []string{"balance"}},
+	}
+	for _, c := range cases {
+		rew, err := cqa.CertainByKeyRewriting(in, []string{"id"}, c.pred, c.out)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		// Equivalent CQ for the enumeration engine.
+		terms := []algebra.Term{algebra.V("i"), algebra.V("o"), algebra.V("b")}
+		varOf := map[string]string{"id": "i", "owner": "o", "balance": "b"}
+		var head []algebra.Term
+		for _, a := range c.out {
+			head = append(head, algebra.V(varOf[a]))
+		}
+		q := algebra.CQ{Head: head, Atoms: []algebra.Atom{{Rel: "acct", Terms: terms}}}
+		if c.pred != nil {
+			ac := c.pred.(algebra.AttrConst)
+			q.Conds = []algebra.Cond{{Left: algebra.V(varOf[ac.Attr]), Op: ac.Op, Right: algebra.C(ac.Const)}}
+		}
+		enum, _, err := cqa.CertainAnswers(db, dcs, q, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got, want := tuplesKey(rew), tuplesKey(enum); got != want {
+			t.Errorf("%s: rewriting %v vs enumeration %v", c.name, rew.Tuples(), enum.Tuples())
+		}
+	}
+}
+
+func tuplesKey(in *relation.Instance) string {
+	out := ""
+	for _, t := range algebra.SortedTuples(in) {
+		out += t.Key() + ";"
+	}
+	return out
+}
+
+func TestCQAOnExample51Scale(t *testing.T) {
+	// The Example 5.1 family has 2^n repairs; certain answers over it are
+	// the shared (a_i) values.
+	in := gen.Example51(6)
+	db := relation.NewDatabase()
+	db.Add(in)
+	dcs, _ := denial.Key(in.Schema(), []string{"A"})
+	q := algebra.CQ{
+		Head:  []algebra.Term{algebra.V("a")},
+		Atoms: []algebra.Atom{{Rel: "r", Terms: []algebra.Term{algebra.V("a"), algebra.V("b")}}},
+	}
+	ans, n, err := cqa.CertainAnswers(db, dcs, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Errorf("repairs = %d, want 64", n)
+	}
+	if ans.Len() != 6 {
+		t.Errorf("certain a-values = %d, want 6", ans.Len())
+	}
+	// The repair cap triggers.
+	if _, _, err := cqa.CertainAnswers(db, dcs, q, 10); err == nil {
+		t.Error("want cap error with maxRepairs=10")
+	}
+}
+
+func TestEligibleForRewriting(t *testing.T) {
+	keys := map[string][]int{"acct": {0}}
+	single := algebra.CQ{
+		Head:  []algebra.Term{algebra.V("o")},
+		Atoms: []algebra.Atom{{Rel: "acct", Terms: []algebra.Term{algebra.V("i"), algebra.V("o"), algebra.V("b")}}},
+	}
+	if !cqa.EligibleForRewriting(single, keys) {
+		t.Error("single-atom key query should be eligible")
+	}
+	multi := algebra.CQ{Atoms: []algebra.Atom{
+		{Rel: "acct", Terms: []algebra.Term{algebra.V("i"), algebra.V("o"), algebra.V("b")}},
+		{Rel: "acct", Terms: []algebra.Term{algebra.V("j"), algebra.V("o"), algebra.V("c")}},
+	}}
+	if cqa.EligibleForRewriting(multi, keys) {
+		t.Error("multi-atom queries are conservatively rejected")
+	}
+	if cqa.EligibleForRewriting(single, map[string][]int{}) {
+		t.Error("no key: ineligible")
+	}
+}
+
+func TestAggregateRanges(t *testing.T) {
+	db, in, dcs := accountsDB()
+	r, err := cqa.AggregateRange(db, dcs, "acct", "balance", cqa.Sum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id=1 contributes 100 or 250; id=2 contributes 80; id=3 contributes
+	// 10 either way. SUM ∈ [190, 340].
+	if r.GLB != 190 || r.LUB != 340 {
+		t.Errorf("SUM range = %+v, want [190, 340]", r)
+	}
+	// The closed form agrees.
+	cf, err := cqa.SumRangeUnderKey(in, []string{"id"}, "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf != r {
+		t.Errorf("closed form %+v vs enumeration %+v", cf, r)
+	}
+	// COUNT is 3 in every repair: one tuple from each of the id=1 and
+	// id=3 groups plus the clean id=2 tuple.
+	rc, err := cqa.AggregateRange(db, dcs, "acct", "balance", cqa.Count, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.GLB != 3 || rc.LUB != 3 {
+		t.Errorf("COUNT range = %+v, want [3, 3]", rc)
+	}
+	rmin, err := cqa.AggregateRange(db, dcs, "acct", "balance", cqa.Min, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmin.GLB != 10 || rmin.LUB != 10 {
+		t.Errorf("MIN range = %+v, want [10, 10]", rmin)
+	}
+	rmax, err := cqa.AggregateRange(db, dcs, "acct", "balance", cqa.Max, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmax.GLB != 100 || rmax.LUB != 250 {
+		t.Errorf("MAX range = %+v, want [100, 250]", rmax)
+	}
+	for _, k := range []cqa.AggKind{cqa.Count, cqa.Sum, cqa.Min, cqa.Max} {
+		if k.String() == "" {
+			t.Error("AggKind.String empty")
+		}
+	}
+}
+
+func TestSumRangeDuplicateClasses(t *testing.T) {
+	// Duplicate tuples survive together: {(a,5),(a,5),(a,7)} sums to 10
+	// or 7.
+	s := relation.MustSchema("r",
+		relation.Attr("k", relation.KindString),
+		relation.Attr("v", relation.KindInt),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("a"), relation.Int(5))
+	in.MustInsert(relation.Str("a"), relation.Int(5))
+	in.MustInsert(relation.Str("a"), relation.Int(7))
+	db := relation.NewDatabase()
+	db.Add(in)
+	dcs, _ := denial.Key(s, []string{"k"})
+	enum, err := cqa.AggregateRange(db, dcs, "r", "v", cqa.Sum, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := cqa.SumRangeUnderKey(in, []string{"k"}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enum != cf {
+		t.Errorf("enumeration %+v vs closed form %+v", enum, cf)
+	}
+	if cf.GLB != 7 || cf.LUB != 10 {
+		t.Errorf("range = %+v, want [7, 10]", cf)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db, in, dcs := accountsDB()
+	if _, err := cqa.AggregateRange(db, dcs, "ghost", "balance", cqa.Sum, 0); err == nil {
+		t.Error("want error for unknown relation")
+	}
+	if _, err := cqa.AggregateRange(db, dcs, "acct", "ghost", cqa.Sum, 0); err == nil {
+		t.Error("want error for unknown attribute")
+	}
+	if _, err := cqa.SumRangeUnderKey(in, []string{"ghost"}, "balance"); err == nil {
+		t.Error("want error for unknown key attribute")
+	}
+	if _, err := cqa.SumRangeUnderKey(in, []string{"id"}, "ghost"); err == nil {
+		t.Error("want error for unknown aggregate attribute")
+	}
+	if _, err := cqa.CertainByKeyRewriting(in, []string{"ghost"}, nil, []string{"owner"}); err == nil {
+		t.Error("want error for unknown key attribute in rewriting")
+	}
+	if _, err := cqa.CertainByKeyRewriting(in, []string{"id"}, nil, []string{"ghost"}); err == nil {
+		t.Error("want error for unknown output attribute in rewriting")
+	}
+}

@@ -1,0 +1,281 @@
+// Package denial implements denial constraints (Section 2.3 of Fan,
+// PODS 2008): universally quantified sentences
+//
+//	∀x̄1...x̄m ¬(R1(x̄1) ∧ ... ∧ Rm(x̄m) ∧ ϕ(x̄1,...,x̄m))
+//
+// where ϕ is a conjunction of built-in predicates (=, ≠, <, >, ≤, ≥).
+// Traditional FDs and keys are special cases. The Section 5 repair and
+// consistent-query-answering results are largely stated for this class;
+// the repair package consumes the conflicts this package detects.
+package denial
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// DC is a denial constraint. Atoms and Conds form the forbidden
+// conjunction: an instance satisfies the constraint iff no assignment of
+// tuples to atoms satisfies every atom and condition.
+type DC struct {
+	Name  string
+	Atoms []algebra.Atom
+	Conds []algebra.Cond
+}
+
+// String renders the constraint as ¬(body).
+func (d DC) String() string {
+	parts := make([]string, 0, len(d.Atoms)+len(d.Conds))
+	for _, a := range d.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, c := range d.Conds {
+		parts = append(parts, c.String())
+	}
+	name := d.Name
+	if name == "" {
+		name = "dc"
+	}
+	return fmt.Sprintf("%s: ¬(%s)", name, strings.Join(parts, " ∧ "))
+}
+
+// cq views the constraint body as a Boolean conjunctive query.
+func (d DC) cq() algebra.CQ {
+	return algebra.CQ{Atoms: d.Atoms, Conds: d.Conds}
+}
+
+// Validate checks the body against db's schemas.
+func (d DC) Validate(db *relation.Database) error { return d.cq().Validate(db) }
+
+// Satisfies reports whether db satisfies the denial constraint, i.e. the
+// forbidden pattern has no match.
+func Satisfies(db *relation.Database, d DC) bool {
+	sat, err := d.cq().Satisfied(db)
+	return err == nil && !sat
+}
+
+// SatisfiesAll reports db ⊨ Σ.
+func SatisfiesAll(db *relation.Database, set []DC) bool {
+	for _, d := range set {
+		if !Satisfies(db, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleRef identifies one tuple of one relation.
+type TupleRef struct {
+	Rel string
+	TID relation.TID
+}
+
+// String renders the reference.
+func (r TupleRef) String() string { return fmt.Sprintf("%s#%d", r.Rel, r.TID) }
+
+// Conflict is one match of a denial constraint's forbidden pattern: the
+// set of participating tuples. Deleting any member resolves the match
+// (the basis of X-repairs and the conflict hypergraph).
+type Conflict struct {
+	DC     *DC
+	Tuples []TupleRef
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	parts := make([]string, len(c.Tuples))
+	for i, t := range c.Tuples {
+		parts[i] = t.String()
+	}
+	name := "dc"
+	if c.DC != nil && c.DC.Name != "" {
+		name = c.DC.Name
+	}
+	return fmt.Sprintf("%s{%s}", name, strings.Join(parts, ", "))
+}
+
+// Key returns a canonical identity for the conflict's tuple set.
+func (c Conflict) Key() string {
+	parts := make([]string, len(c.Tuples))
+	for i, t := range c.Tuples {
+		parts[i] = t.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// Detect returns every match of the forbidden pattern as a Conflict with
+// the participating tuples deduplicated (a match binding the same tuple
+// to two atoms lists it once). Limit caps the number of conflicts
+// returned (0 = unlimited).
+func Detect(db *relation.Database, d *DC, limit int) ([]Conflict, error) {
+	if err := d.Validate(db); err != nil {
+		return nil, err
+	}
+	var out []Conflict
+	seen := make(map[string]bool)
+	b := make(map[string]relation.Value)
+	refs := make([]TupleRef, 0, len(d.Atoms))
+	var rec func(i int) bool // returns true to stop
+	rec = func(i int) bool {
+		if i == len(d.Atoms) {
+			for _, c := range d.Conds {
+				lv, lok := resolveTerm(b, c.Left)
+				rv, rok := resolveTerm(b, c.Right)
+				if !lok || !rok || !c.Op.Apply(lv, rv) {
+					return false
+				}
+			}
+			conflict := Conflict{DC: d, Tuples: dedupRefs(refs)}
+			k := conflict.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, conflict)
+			}
+			return limit > 0 && len(out) >= limit
+		}
+		atom := d.Atoms[i]
+		in, _ := db.Instance(atom.Rel)
+		for _, id := range in.IDs() {
+			t, _ := in.Tuple(id)
+			var bound []string
+			ok := true
+			for j, term := range atom.Terms {
+				if !term.IsVar() {
+					if !t[j].Equal(term.Const) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, exists := b[term.Var]; exists {
+					if !v.Equal(t[j]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				b[term.Var] = t[j]
+				bound = append(bound, term.Var)
+			}
+			if ok {
+				refs = append(refs, TupleRef{Rel: atom.Rel, TID: id})
+				stop := rec(i + 1)
+				refs = refs[:len(refs)-1]
+				if stop {
+					for _, v := range bound {
+						delete(b, v)
+					}
+					return true
+				}
+			}
+			for _, v := range bound {
+				delete(b, v)
+			}
+		}
+		return false
+	}
+	rec(0)
+	return out, nil
+}
+
+// DetectAll combines Detect over a set of constraints.
+func DetectAll(db *relation.Database, set []DC, limit int) ([]Conflict, error) {
+	var out []Conflict
+	for i := range set {
+		cs, err := Detect(db, &set[i], limit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+		if limit > 0 && len(out) >= limit {
+			return out[:limit], nil
+		}
+	}
+	return out, nil
+}
+
+func resolveTerm(b map[string]relation.Value, t algebra.Term) (relation.Value, bool) {
+	if !t.IsVar() {
+		return t.Const, true
+	}
+	v, ok := b[t.Var]
+	return v, ok
+}
+
+func dedupRefs(refs []TupleRef) []TupleRef {
+	seen := make(map[TupleRef]bool, len(refs))
+	out := make([]TupleRef, 0, len(refs))
+	for _, r := range refs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FromFD expresses the traditional FD X → A over schema s as a denial
+// constraint: two tuples agreeing on X and differing on A are forbidden.
+// (FDs are a special case of denial constraints, Section 2.3.)
+func FromFD(s *relation.Schema, lhs []string, rhs string) (DC, error) {
+	lp, err := s.Positions(lhs)
+	if err != nil {
+		return DC{}, err
+	}
+	rp, ok := s.Lookup(rhs)
+	if !ok {
+		return DC{}, fmt.Errorf("denial: no attribute %q", rhs)
+	}
+	mkTerms := func(suffix string) []algebra.Term {
+		terms := make([]algebra.Term, s.Arity())
+		for i := 0; i < s.Arity(); i++ {
+			shared := false
+			for _, p := range lp {
+				if p == i {
+					shared = true
+					break
+				}
+			}
+			switch {
+			case shared:
+				terms[i] = algebra.V(fmt.Sprintf("x%d", i))
+			case i == rp:
+				terms[i] = algebra.V("y" + suffix)
+			default:
+				terms[i] = algebra.V(fmt.Sprintf("z%d%s", i, suffix))
+			}
+		}
+		return terms
+	}
+	return DC{
+		Name:  fmt.Sprintf("fd:%s:%s->%s", s.Name(), strings.Join(lhs, ","), rhs),
+		Atoms: []algebra.Atom{{Rel: s.Name(), Terms: mkTerms("1")}, {Rel: s.Name(), Terms: mkTerms("2")}},
+		Conds: []algebra.Cond{{Left: algebra.V("y1"), Op: algebra.OpNe, Right: algebra.V("y2")}},
+	}, nil
+}
+
+// Key expresses "X is a key of s" as denial constraints, one per non-key
+// attribute.
+func Key(s *relation.Schema, keyAttrs []string) ([]DC, error) {
+	isKey := make(map[string]bool, len(keyAttrs))
+	for _, a := range keyAttrs {
+		isKey[a] = true
+	}
+	var out []DC
+	for _, a := range s.Attrs() {
+		if isKey[a.Name] {
+			continue
+		}
+		dc, err := FromFD(s, keyAttrs, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dc)
+	}
+	return out, nil
+}

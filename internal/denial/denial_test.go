@@ -1,0 +1,188 @@
+package denial_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/denial"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// salarySchema supports the classic denial-constraint example: no employee
+// may earn more than their manager.
+func salaryDB() *relation.Database {
+	db := relation.NewDatabase()
+	emp := relation.NewInstance(relation.MustSchema("emp",
+		relation.Attr("name", relation.KindString),
+		relation.Attr("mgr", relation.KindString),
+		relation.Attr("salary", relation.KindInt),
+	))
+	emp.MustInsert(relation.Str("ann"), relation.Str("cat"), relation.Int(90))
+	emp.MustInsert(relation.Str("bob"), relation.Str("cat"), relation.Int(70))
+	emp.MustInsert(relation.Str("cat"), relation.Str("cat"), relation.Int(80))
+	db.Add(emp)
+	return db
+}
+
+func salaryDC() denial.DC {
+	// ¬(emp(n, m, s) ∧ emp(m, m2, s2) ∧ s > s2)
+	return denial.DC{
+		Name: "no-higher-than-manager",
+		Atoms: []algebra.Atom{
+			{Rel: "emp", Terms: []algebra.Term{algebra.V("n"), algebra.V("m"), algebra.V("s")}},
+			{Rel: "emp", Terms: []algebra.Term{algebra.V("m"), algebra.V("m2"), algebra.V("s2")}},
+		},
+		Conds: []algebra.Cond{{Left: algebra.V("s"), Op: algebra.OpGt, Right: algebra.V("s2")}},
+	}
+}
+
+func TestDenialSatisfactionAndDetect(t *testing.T) {
+	db := salaryDB()
+	dc := salaryDC()
+	if denial.Satisfies(db, dc) {
+		t.Error("ann (90) earns more than manager cat (80): constraint must fail")
+	}
+	conflicts, err := denial.Detect(db, &dc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %v, want exactly the (ann, cat) pair", conflicts)
+	}
+	if len(conflicts[0].Tuples) != 2 {
+		t.Errorf("conflict size = %d, want 2", len(conflicts[0].Tuples))
+	}
+	// Removing ann resolves it.
+	db.MustInstance("emp").Delete(0)
+	if !denial.Satisfies(db, dc) {
+		t.Error("after deleting ann the constraint must hold")
+	}
+}
+
+func TestDenialSelfJoinDedup(t *testing.T) {
+	// A tuple matched by both atoms appears once in the conflict.
+	db := relation.NewDatabase()
+	r := relation.NewInstance(relation.MustSchema("r",
+		relation.Attr("a", relation.KindInt), relation.Attr("b", relation.KindInt)))
+	r.MustInsert(relation.Int(5), relation.Int(3)) // a > b within one tuple
+	db.Add(r)
+	dc := denial.DC{
+		Atoms: []algebra.Atom{{Rel: "r", Terms: []algebra.Term{algebra.V("a"), algebra.V("b")}}},
+		Conds: []algebra.Cond{{Left: algebra.V("a"), Op: algebra.OpGt, Right: algebra.V("b")}},
+	}
+	conflicts, err := denial.Detect(db, &dc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 || len(conflicts[0].Tuples) != 1 {
+		t.Errorf("conflicts = %v, want one singleton", conflicts)
+	}
+	_ = conflicts[0].String()
+	_ = dc.String()
+}
+
+func TestFromFDMatchesCFDSemantics(t *testing.T) {
+	d0 := paperdata.Figure1()
+	db := relation.NewDatabase()
+	db.Add(d0)
+	s := d0.Schema()
+	// f2: [CC,AC] → city holds on D0.
+	dc, err := denial.FromFD(s, []string{"CC", "AC"}, "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !denial.Satisfies(db, dc) {
+		t.Error("f2 as a denial constraint should hold on D0")
+	}
+	// Break it: t1's city → EDI makes (CC,AC)=(44,131) map to two cities.
+	d0.Update(0, s.MustLookup("city"), relation.Str("EDI"))
+	if denial.Satisfies(db, dc) {
+		t.Error("after the update f2 must fail")
+	}
+	conflicts, err := denial.Detect(db, &dc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 {
+		t.Errorf("conflicts = %v, want one (t1,t2 group)", conflicts)
+	}
+	if _, err := denial.FromFD(s, []string{"CC"}, "nope"); err == nil {
+		t.Error("want error for unknown RHS")
+	}
+	if _, err := denial.FromFD(s, []string{"nope"}, "city"); err == nil {
+		t.Error("want error for unknown LHS")
+	}
+}
+
+func TestKeyConstraints(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("k", relation.KindInt),
+		relation.Attr("v", relation.KindString),
+		relation.Attr("w", relation.KindString),
+	)
+	dcs, err := denial.Key(s, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dcs) != 2 {
+		t.Fatalf("key over 3-ary schema yields %d constraints, want 2", len(dcs))
+	}
+	db := relation.NewDatabase()
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Int(1), relation.Str("x"), relation.Str("p"))
+	in.MustInsert(relation.Int(1), relation.Str("y"), relation.Str("p"))
+	db.Add(in)
+	if denial.SatisfiesAll(db, dcs) {
+		t.Error("duplicate key with differing v must violate")
+	}
+	in.Delete(1)
+	if !denial.SatisfiesAll(db, dcs) {
+		t.Error("single tuple satisfies the key")
+	}
+}
+
+func TestDetectLimit(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewInstance(relation.MustSchema("r", relation.Attr("a", relation.KindInt)))
+	for i := 0; i < 6; i++ {
+		r.MustInsert(relation.Int(int64(i)))
+	}
+	db.Add(r)
+	dc := denial.DC{
+		Atoms: []algebra.Atom{
+			{Rel: "r", Terms: []algebra.Term{algebra.V("x")}},
+			{Rel: "r", Terms: []algebra.Term{algebra.V("y")}},
+		},
+		Conds: []algebra.Cond{{Left: algebra.V("x"), Op: algebra.OpLt, Right: algebra.V("y")}},
+	}
+	all, err := denial.Detect(db, &dc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 15 {
+		t.Errorf("all pairs = %d, want C(6,2)=15", len(all))
+	}
+	few, err := denial.Detect(db, &dc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few) != 4 {
+		t.Errorf("limited = %d, want 4", len(few))
+	}
+	combined, err := denial.DetectAll(db, []denial.DC{dc, dc}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined) != 20 {
+		t.Errorf("DetectAll limit = %d, want 20", len(combined))
+	}
+}
+
+func TestDetectValidates(t *testing.T) {
+	db := relation.NewDatabase()
+	dc := denial.DC{Atoms: []algebra.Atom{{Rel: "ghost", Terms: []algebra.Term{algebra.V("x")}}}}
+	if _, err := denial.Detect(db, &dc, 0); err == nil {
+		t.Error("want validation error for unknown relation")
+	}
+}

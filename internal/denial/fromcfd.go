@@ -1,0 +1,119 @@
+package denial
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/cfd"
+)
+
+// FromCFD compiles a CFD into equivalent denial constraints (one or two
+// per normal-form row): CFDs are universally quantified implications with
+// constants, so each row X → A with pattern tp yields
+//
+//	¬( R(x̄1) ∧ R(x̄2) ∧ x̄1[X] = x̄2[X] ≍ tp[X] ∧ x̄1[A] ≠ x̄2[A] )
+//
+// and, when tp[A] is a constant c,
+//
+//	¬( R(x̄) ∧ x̄[X] ≍ tp[X] ∧ x̄[A] ≠ c ).
+//
+// Pattern constants become constant terms in the atoms; wildcard X cells
+// become shared variables. The compilation makes the X-repair and
+// consistent-query-answering machinery (stated for denial constraints in
+// Section 5) directly available to conditional dependencies.
+func FromCFD(c *cfd.CFD) ([]DC, error) {
+	var out []DC
+	for pieceIdx, piece := range c.Normalize() {
+		s := piece.Schema()
+		row := piece.Tableau()[0]
+		lhs := piece.LHS()
+		a := piece.RHS()[0]
+
+		cellAt := func(pos int) (cfd.Cell, bool) {
+			for j, p := range lhs {
+				if p == pos {
+					return row.LHS[j], true
+				}
+			}
+			return cfd.Cell{}, false
+		}
+		aInX := false
+		for _, p := range lhs {
+			if p == a {
+				aInX = true
+			}
+		}
+
+		// Pair constraint (skipped when A ∈ X: equality on X subsumes it).
+		if !aInX {
+			mkTerms := func(copyTag string) []algebra.Term {
+				terms := make([]algebra.Term, s.Arity())
+				for i := 0; i < s.Arity(); i++ {
+					if cell, inX := cellAt(i); inX {
+						if cell.IsWildcard() {
+							terms[i] = algebra.V(fmt.Sprintf("x%d", i)) // shared
+						} else {
+							terms[i] = algebra.C(cell.Value())
+						}
+						continue
+					}
+					if i == a {
+						terms[i] = algebra.V("y" + copyTag)
+						continue
+					}
+					terms[i] = algebra.V(fmt.Sprintf("z%d%s", i, copyTag))
+				}
+				return terms
+			}
+			out = append(out, DC{
+				Name: fmt.Sprintf("cfd:%s:row%d:pair", s.Name(), pieceIdx),
+				Atoms: []algebra.Atom{
+					{Rel: s.Name(), Terms: mkTerms("1")},
+					{Rel: s.Name(), Terms: mkTerms("2")},
+				},
+				Conds: []algebra.Cond{{Left: algebra.V("y1"), Op: algebra.OpNe, Right: algebra.V("y2")}},
+			})
+		}
+
+		// Single-tuple constraint for a constant RHS cell. The A position
+		// always carries the variable y so the ≠ condition is bound; an
+		// A ∈ X pattern constant becomes an extra equality condition.
+		if !row.RHS[0].IsWildcard() {
+			conds := []algebra.Cond{{Left: algebra.V("y"), Op: algebra.OpNe, Right: algebra.C(row.RHS[0].Value())}}
+			terms := make([]algebra.Term, s.Arity())
+			for i := 0; i < s.Arity(); i++ {
+				if i == a {
+					terms[i] = algebra.V("y")
+					if cell, inX := cellAt(i); inX && !cell.IsWildcard() {
+						conds = append(conds, algebra.Cond{Left: algebra.V("y"), Op: algebra.OpEq, Right: algebra.C(cell.Value())})
+					}
+					continue
+				}
+				if cell, inX := cellAt(i); inX && !cell.IsWildcard() {
+					terms[i] = algebra.C(cell.Value())
+					continue
+				}
+				terms[i] = algebra.V(fmt.Sprintf("w%d", i))
+			}
+			out = append(out, DC{
+				Name:  fmt.Sprintf("cfd:%s:row%d:const", s.Name(), pieceIdx),
+				Atoms: []algebra.Atom{{Rel: s.Name(), Terms: terms}},
+				Conds: conds,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FromCFDs compiles a CFD set.
+func FromCFDs(set []*cfd.CFD) ([]DC, error) {
+	var out []DC
+	for _, c := range set {
+		dcs, err := FromCFD(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dcs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package denial_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfd"
+	"repro/internal/denial"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// TestFromCFDEquivalentOnFigure1: the compiled denial constraints flag
+// exactly the instances the CFDs flag.
+func TestFromCFDEquivalentOnFigure1(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	db := relation.NewDatabase()
+	db.Add(d0)
+	for _, c := range []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s), paperdata.Phi3(s), paperdata.F1(s)} {
+		dcs, err := denial.FromCFD(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := denial.SatisfiesAll(db, dcs), cfd.Satisfies(d0, c); got != want {
+			t.Errorf("%v: denial=%v cfd=%v", c, got, want)
+		}
+	}
+}
+
+// TestFromCFDEquivalentProperty: random instances agree across the two
+// formalisms for a mixed CFD set.
+func TestFromCFDEquivalentProperty(t *testing.T) {
+	s := paperdata.CustomerSchema()
+	set := []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s)}
+	dcs, err := denial.FromCFDs(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		in := gen.Customers(gen.CustomerConfig{N: 30, Seed: seed, ErrorRate: 0.3})
+		db := relation.NewDatabase()
+		db.Add(in)
+		return denial.SatisfiesAll(db, dcs) == cfd.SatisfiesAll(in, set)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFromCFDRHSConstInLHS covers the A ∈ X corner: [A] → [A] with a
+// constant pattern forces the value.
+func TestFromCFDRHSConstInLHS(t *testing.T) {
+	s := relation.MustSchema("r", relation.Attr("A", relation.KindString))
+	// Row (d ‖ c), d ≠ c: any tuple with A = d violates.
+	c := cfd.MustNew(s, []string{"A"}, []string{"A"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("d"))}, []cfd.Cell{cfd.Const(relation.Str("c"))}))
+	dcs, err := denial.FromCFD(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relation.NewDatabase()
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("d"))
+	db.Add(in)
+	if got, want := denial.SatisfiesAll(db, dcs), cfd.Satisfies(in, c); got != want {
+		t.Fatalf("A∈X corner: denial=%v cfd=%v", got, want)
+	}
+	if want := false; cfd.Satisfies(in, c) != want {
+		t.Fatal("precondition: the instance violates the CFD")
+	}
+	in.Update(0, 0, relation.Str("e")) // no longer matches the pattern
+	if !denial.SatisfiesAll(db, dcs) || !cfd.Satisfies(in, c) {
+		t.Error("non-matching tuple must satisfy both")
+	}
+}
+
+// TestXRepairUnderCFDs: the compilation unlocks X-repairs for conditional
+// dependencies — the UK zip/street clash of Figure 1 has exactly two
+// X-repairs (drop t1 or drop t2).
+func TestXRepairUnderCFDs(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	db := relation.NewDatabase()
+	db.Add(d0)
+	dcs, err := denial.FromCFD(paperdata.Phi1(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := repair.BuildHypergraph(db, dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs := h.EnumerateXRepairs(0)
+	if len(repairs) != 2 {
+		t.Fatalf("X-repairs under ϕ1 = %d, want 2", len(repairs))
+	}
+	for _, kept := range repairs {
+		if len(kept) != 2 { // one of t1/t2 dropped, t3 kept
+			t.Errorf("repair keeps %d tuples, want 2", len(kept))
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package discovery implements dependency profiling: discovering FDs and
+// constant CFDs that hold in a given instance. The paper motivates
+// dependency-based cleaning with "profiling methods for dependencies ...
+// for deducing and discovering rules for cleaning the data" (Section 1);
+// this package provides the classic partition-refinement (TANE-style)
+// levelwise search for minimal FDs and a frequent-pattern miner for
+// constant CFDs (CFDMiner-style), both exact on the given instance.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxLHS bounds the size of discovered left-hand sides (default 3).
+	MaxLHS int
+	// MinSupport is the minimum number of tuples a constant pattern must
+	// cover to be reported (default 2).
+	MinSupport int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLHS <= 0 {
+		o.MaxLHS = 3
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 2
+	}
+	return o
+}
+
+// partition is the stripped partition of an attribute set: the tuple
+// groups sharing a projection, singletons dropped.
+type partition struct {
+	groups [][]relation.TID
+	nTotal int // total tuples covered by non-singleton groups
+}
+
+// partitionOf computes the partition of the instance under positions.
+func partitionOf(in *relation.Instance, pos []int) partition {
+	buckets := make(map[string][]relation.TID)
+	for _, id := range in.IDs() {
+		t, _ := in.Tuple(id)
+		buckets[t.KeyOn(pos)] = append(buckets[t.KeyOn(pos)], id)
+	}
+	var p partition
+	var keys []string
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := buckets[k]
+		if len(g) > 1 {
+			p.groups = append(p.groups, g)
+			p.nTotal += len(g)
+		}
+	}
+	return p
+}
+
+// errorOf counts how many tuples would need to change for X → A to hold:
+// within each X-group, all but the plurality A-value are errors.
+func errorOf(in *relation.Instance, lhs []int, a int) int {
+	p := partitionOf(in, lhs)
+	errs := 0
+	for _, g := range p.groups {
+		counts := make(map[string]int)
+		best := 0
+		for _, id := range g {
+			t, _ := in.Tuple(id)
+			k := t[a].Key()
+			counts[k]++
+			if counts[k] > best {
+				best = counts[k]
+			}
+		}
+		errs += len(g) - best
+	}
+	return errs
+}
+
+// DiscoverFDs finds the minimal traditional FDs X → A (|X| ≤ MaxLHS)
+// holding in the instance, returned as CFDs. Minimality: no proper subset
+// of X determines A; trivial FDs (A ∈ X) are excluded.
+func DiscoverFDs(in *relation.Instance, opts Options) []*cfd.CFD {
+	opts = opts.withDefaults()
+	s := in.Schema()
+	n := s.Arity()
+
+	holds := func(lhs []int, a int) bool { return errorOf(in, lhs, a) == 0 }
+
+	// found[a] collects the minimal LHSs per RHS attribute.
+	found := make(map[int][][]int)
+	isMinimal := func(lhs []int, a int) bool {
+		for _, prev := range found[a] {
+			if subset(prev, lhs) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []*cfd.CFD
+	var subsets func(start int, cur []int)
+	levels := make([][][]int, opts.MaxLHS+1)
+	subsets = func(start int, cur []int) {
+		if len(cur) > 0 && len(cur) <= opts.MaxLHS {
+			levels[len(cur)] = append(levels[len(cur)], append([]int(nil), cur...))
+		}
+		if len(cur) == opts.MaxLHS {
+			return
+		}
+		for i := start; i < n; i++ {
+			subsets(i+1, append(cur, i))
+		}
+	}
+	subsets(0, nil)
+
+	for size := 1; size <= opts.MaxLHS; size++ {
+		for _, lhs := range levels[size] {
+			for a := 0; a < n; a++ {
+				if contains(lhs, a) || !isMinimal(lhs, a) {
+					continue
+				}
+				if holds(lhs, a) {
+					found[a] = append(found[a], lhs)
+					out = append(out, cfd.MustFD(s, names(s, lhs), []string{s.Attr(a).Name}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConstantCFD is a discovered constant pattern: when the LHS attributes
+// take the listed constants, the RHS attribute always takes its constant.
+type ConstantCFD struct {
+	LHS     []int
+	LHSVals []relation.Value
+	RHS     int
+	RHSVal  relation.Value
+	Support int
+}
+
+// String renders the discovered rule.
+func (c ConstantCFD) String() string {
+	return fmt.Sprintf("lhs=%v vals=%v → attr %d = %v (support %d)", c.LHS, c.LHSVals, c.RHS, c.RHSVal, c.Support)
+}
+
+// DiscoverConstantCFDs mines constant CFDs: for every LHS set (|X| ≤
+// MaxLHS) and every X-value combination with at least MinSupport tuples,
+// if all covered tuples agree on some attribute A ∉ X, the constant rule
+// (X = x̄ → A = a) is reported. Rules implied by a reported rule with a
+// smaller LHS on the same RHS value are pruned.
+func DiscoverConstantCFDs(in *relation.Instance, opts Options) []*cfd.CFD {
+	opts = opts.withDefaults()
+	s := in.Schema()
+	n := s.Arity()
+
+	var raw []ConstantCFD
+	var lhsSets [][]int
+	var subsets func(start int, cur []int)
+	subsets = func(start int, cur []int) {
+		if len(cur) > 0 && len(cur) <= opts.MaxLHS {
+			lhsSets = append(lhsSets, append([]int(nil), cur...))
+		}
+		if len(cur) == opts.MaxLHS {
+			return
+		}
+		for i := start; i < n; i++ {
+			subsets(i+1, append(cur, i))
+		}
+	}
+	subsets(0, nil)
+
+	for _, lhs := range lhsSets {
+		buckets := make(map[string][]relation.TID)
+		for _, id := range in.IDs() {
+			t, _ := in.Tuple(id)
+			buckets[t.KeyOn(lhs)] = append(buckets[t.KeyOn(lhs)], id)
+		}
+		var keys []string
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := buckets[k]
+			if len(g) < opts.MinSupport {
+				continue
+			}
+			t0, _ := in.Tuple(g[0])
+			for a := 0; a < n; a++ {
+				if contains(lhs, a) {
+					continue
+				}
+				same := true
+				for _, id := range g[1:] {
+					t, _ := in.Tuple(id)
+					if !t[a].Equal(t0[a]) {
+						same = false
+						break
+					}
+				}
+				if !same {
+					continue
+				}
+				raw = append(raw, ConstantCFD{
+					LHS:     lhs,
+					LHSVals: t0.Project(lhs),
+					RHS:     a,
+					RHSVal:  t0[a],
+					Support: len(g),
+				})
+			}
+		}
+	}
+
+	// Prune: a rule is redundant if some reported rule with a subset LHS
+	// (and matching constants there) already forces the same RHS value.
+	pruned := raw[:0]
+	for i, c := range raw {
+		redundant := false
+		for j, d := range raw {
+			if i == j || c.RHS != d.RHS || !c.RHSVal.Equal(d.RHSVal) {
+				continue
+			}
+			if len(d.LHS) < len(c.LHS) && lhsSubsumes(d, c) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			pruned = append(pruned, c)
+		}
+	}
+
+	// Assemble into CFDs, one tableau per (LHS set, RHS attribute).
+	type groupKey struct {
+		lhsKey string
+		rhs    int
+	}
+	grouped := make(map[groupKey][]ConstantCFD)
+	var order []groupKey
+	for _, c := range pruned {
+		k := groupKey{fmt.Sprint(c.LHS), c.RHS}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], c)
+	}
+	var out []*cfd.CFD
+	for _, k := range order {
+		rules := grouped[k]
+		lhsNames := names(s, rules[0].LHS)
+		rhsName := s.Attr(rules[0].RHS).Name
+		var rows []cfd.PatternRow
+		for _, r := range rules {
+			cells := make([]cfd.Cell, len(r.LHSVals))
+			for i, v := range r.LHSVals {
+				cells[i] = cfd.Const(v)
+			}
+			rows = append(rows, cfd.Row(cells, []cfd.Cell{cfd.Const(r.RHSVal)}))
+		}
+		c, err := cfd.New(s, lhsNames, []string{rhsName}, rows...)
+		if err == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// lhsSubsumes reports whether d's LHS (with its constants) is a subset of
+// c's LHS bindings.
+func lhsSubsumes(d, c ConstantCFD) bool {
+	for i, p := range d.LHS {
+		found := false
+		for j, q := range c.LHS {
+			if p == q && d.LHSVals[i].Equal(c.LHSVals[j]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxFDError returns the fraction of tuples that must change for
+// X → A to hold (the g3 error measure of approximate FD discovery).
+func ApproxFDError(in *relation.Instance, lhs []string, rhs string) (float64, error) {
+	s := in.Schema()
+	lp, err := s.Positions(lhs)
+	if err != nil {
+		return 0, fmt.Errorf("discovery: %v", err)
+	}
+	rp, ok := s.Lookup(rhs)
+	if !ok {
+		return 0, fmt.Errorf("discovery: no attribute %q", rhs)
+	}
+	if in.Len() == 0 {
+		return 0, nil
+	}
+	return float64(errorOf(in, lp, rp)) / float64(in.Len()), nil
+}
+
+func names(s *relation.Schema, pos []int) []string {
+	out := make([]string, len(pos))
+	for i, p := range pos {
+		out[i] = s.Attr(p).Name
+	}
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func subset(a, b []int) bool {
+	for _, x := range a {
+		if !contains(b, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package ecfd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/ecfd"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// nySchema models the Section 2.3 New York example: customers with a city
+// (CT) and area code (AC).
+func nySchema() *relation.Schema {
+	return relation.MustSchema("nycust",
+		relation.Attr("CT", relation.KindString),
+		relation.Attr("AC", relation.KindInt),
+	)
+}
+
+// ecfd1: CT ∉ {NYC, LI} → AC — the FD CT → AC holds outside NYC and LI.
+func ecfd1(s *relation.Schema) *ecfd.ECFD {
+	return ecfd.MustNew(s, []string{"CT"}, []string{"AC"},
+		ecfd.Row{
+			LHS: []ecfd.Cell{ecfd.NotIn(relation.Str("NYC"), relation.Str("LI"))},
+			RHS: []ecfd.Cell{ecfd.Any()},
+		})
+}
+
+// ecfd2: CT ∈ {NYC} → AC ∈ {212, 718, 646, 347, 917}.
+func ecfd2(s *relation.Schema) *ecfd.ECFD {
+	return ecfd.MustNew(s, []string{"CT"}, []string{"AC"},
+		ecfd.Row{
+			LHS: []ecfd.Cell{ecfd.In(relation.Str("NYC"))},
+			RHS: []ecfd.Cell{ecfd.In(
+				relation.Int(212), relation.Int(718), relation.Int(646),
+				relation.Int(347), relation.Int(917))},
+		})
+}
+
+// TestECFDNewYorkExample reproduces the Section 2.3 eCFD example.
+func TestECFDNewYorkExample(t *testing.T) {
+	s := nySchema()
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("Albany"), relation.Int(518))
+	in.MustInsert(relation.Str("NYC"), relation.Int(212))
+	in.MustInsert(relation.Str("NYC"), relation.Int(718)) // two ACs in NYC: fine
+	in.MustInsert(relation.Str("LI"), relation.Int(516))
+	in.MustInsert(relation.Str("LI"), relation.Int(631)) // two ACs in LI: fine
+	if !ecfd.SatisfiesAll(in, []*ecfd.ECFD{ecfd1(s), ecfd2(s)}) {
+		t.Fatal("clean NY instance should satisfy ecfd1 and ecfd2")
+	}
+
+	// A second Albany area code breaks ecfd1 (CT ∉ {NYC,LI} → AC).
+	dirty := in.Clone()
+	dirty.MustInsert(relation.Str("Albany"), relation.Int(838))
+	if ecfd.Satisfies(dirty, ecfd1(s)) {
+		t.Error("two Albany area codes must violate ecfd1")
+	}
+	vs := ecfd.Detect(dirty, ecfd1(s))
+	if len(vs) == 0 || vs[0].T1 == vs[0].T2 {
+		t.Errorf("want a pair violation, got %v", vs)
+	}
+
+	// An NYC tuple with area code 555 breaks ecfd2.
+	dirty2 := in.Clone()
+	id := dirty2.MustInsert(relation.Str("NYC"), relation.Int(555))
+	if ecfd.Satisfies(dirty2, ecfd2(s)) {
+		t.Error("NYC with AC 555 must violate ecfd2")
+	}
+	found := false
+	for _, v := range ecfd.Detect(dirty2, ecfd2(s)) {
+		if v.T1 == id && v.T2 == id {
+			found = true
+			if s.Attr(v.Attr).Name != "AC" {
+				t.Errorf("violation attr = %s", s.Attr(v.Attr).Name)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("single-tuple violation for TID %d not reported", id)
+	}
+	_ = vs[0].String()
+}
+
+// TestECFDEnforcesFiniteness demonstrates the Theorem 4.4 phenomenon: an
+// "∈ S" cell confines an infinite-domain attribute to a finite value set,
+// so case analysis over S yields consequences — and inconsistency —
+// without any finite domain declared.
+func TestECFDEnforcesFiniteness(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+	)
+	a1, a2 := relation.Str("a1"), relation.Str("a2")
+	// Every tuple must have A ∈ {a1, a2} ...
+	confine := ecfd.MustNew(s, []string{"A"}, []string{"A"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.Any()}, RHS: []ecfd.Cell{ecfd.In(a1, a2)}})
+	// ... but also A ∉ {a1} and A ∉ {a2}: inconsistent.
+	no1 := ecfd.MustNew(s, []string{"A"}, []string{"A"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.Any()}, RHS: []ecfd.Cell{ecfd.NotIn(a1)}})
+	no2 := ecfd.MustNew(s, []string{"A"}, []string{"A"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.Any()}, RHS: []ecfd.Cell{ecfd.NotIn(a2)}})
+	if ok, _ := ecfd.Consistent([]*ecfd.ECFD{confine, no1, no2}); ok {
+		t.Error("∈{a1,a2} with ∉{a1} and ∉{a2} must be inconsistent")
+	}
+	if ok, _ := ecfd.Consistent([]*ecfd.ECFD{confine, no1}); !ok {
+		t.Error("∈{a1,a2} with ∉{a1} is consistent (A = a2)")
+	}
+
+	// Implication by case analysis over the ∈ set: A∈{a1,a2} everywhere,
+	// A=a1 → B=z, A=a2 → B=z entail B=z unconditionally.
+	z := relation.Str("z")
+	r1 := ecfd.MustNew(s, []string{"A"}, []string{"B"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.Const(a1)}, RHS: []ecfd.Cell{ecfd.Const(z)}})
+	r2 := ecfd.MustNew(s, []string{"A"}, []string{"B"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.Const(a2)}, RHS: []ecfd.Cell{ecfd.Const(z)}})
+	target := ecfd.MustNew(s, []string{"A"}, []string{"B"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.Any()}, RHS: []ecfd.Cell{ecfd.Const(z)}})
+	if !ecfd.Implies([]*ecfd.ECFD{confine, r1, r2}, target) {
+		t.Error("case analysis over ∈{a1,a2} must yield B=z")
+	}
+	if ecfd.Implies([]*ecfd.ECFD{r1, r2}, target) {
+		t.Error("without the confinement the implication must fail")
+	}
+}
+
+// TestECFDAgreesWithCFD cross-checks the eCFD procedures against the cfd
+// package on lifted CFDs: satisfaction, consistency and implication must
+// coincide on the CFD fragment.
+func TestECFDAgreesWithCFD(t *testing.T) {
+	d0 := paperdata.Figure1()
+	s := d0.Schema()
+	for _, c := range []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s), paperdata.Phi3(s), paperdata.F1(s)} {
+		if got, want := ecfd.Satisfies(d0, ecfd.FromCFD(c)), cfd.Satisfies(d0, c); got != want {
+			t.Errorf("satisfaction differs on %v: ecfd=%v cfd=%v", c, got, want)
+		}
+	}
+	// Example 4.1 inconsistency carries over.
+	_, set41 := paperdata.Example41()
+	lifted := []*ecfd.ECFD{ecfd.FromCFD(set41[0]), ecfd.FromCFD(set41[1])}
+	if ok, _ := ecfd.Consistent(lifted); ok {
+		t.Error("lifted Example 4.1 must stay inconsistent")
+	}
+
+	// Random cross-check of implication on the CFD fragment.
+	rs := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+		relation.Attr("C", relation.KindString),
+	)
+	consts := []relation.Value{relation.Str("u"), relation.Str("v")}
+	rng := rand.New(rand.NewSource(23))
+	randCell := func() cfd.Cell {
+		if rng.Intn(2) == 0 {
+			return cfd.Any()
+		}
+		return cfd.Const(consts[rng.Intn(2)])
+	}
+	attrs := []string{"A", "B", "C"}
+	randCFD := func() *cfd.CFD {
+		var lhs []string
+		for j, a := range attrs {
+			if rng.Intn(2) == 0 || (j == 2 && len(lhs) == 0) {
+				lhs = append(lhs, a)
+			}
+		}
+		cells := make([]cfd.Cell, len(lhs))
+		for j := range cells {
+			cells[j] = randCell()
+		}
+		return cfd.MustNew(rs, lhs, []string{attrs[rng.Intn(3)]}, cfd.Row(cells, []cfd.Cell{randCell()}))
+	}
+	for trial := 0; trial < 60; trial++ {
+		var base []*cfd.CFD
+		var liftedSet []*ecfd.ECFD
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			c := randCFD()
+			base = append(base, c)
+			liftedSet = append(liftedSet, ecfd.FromCFD(c))
+		}
+		phi := randCFD()
+		if got, want := ecfd.Implies(liftedSet, ecfd.FromCFD(phi)), cfd.ImpliesExact(base, phi); got != want {
+			t.Fatalf("trial %d: ecfd=%v cfd=%v\nΣ=%v\nϕ=%v", trial, got, want, base, phi)
+		}
+	}
+}
+
+func TestECFDCellSemantics(t *testing.T) {
+	in := ecfd.In(relation.Int(1), relation.Int(2), relation.Int(1))
+	if len(in.Set()) != 2 {
+		t.Error("In should deduplicate")
+	}
+	if !in.Matches(relation.Int(2)) || in.Matches(relation.Int(3)) {
+		t.Error("In membership wrong")
+	}
+	ni := ecfd.NotIn(relation.Str("x"))
+	if ni.Matches(relation.Str("x")) || !ni.Matches(relation.Str("y")) {
+		t.Error("NotIn membership wrong")
+	}
+	if !ecfd.Any().Matches(relation.Null()) {
+		t.Error("Any must match everything")
+	}
+	if ecfd.Const(relation.Int(5)).String() != "5" {
+		t.Errorf("singleton In renders as constant, got %q", ecfd.Const(relation.Int(5)))
+	}
+	if got := ecfd.In(relation.Int(2), relation.Int(1)).String(); got != "in{1,2}" {
+		t.Errorf("In render = %q", got)
+	}
+	if got := ni.String(); got != "notin{x}" {
+		t.Errorf("NotIn render = %q", got)
+	}
+}
+
+func TestECFDValidation(t *testing.T) {
+	s := nySchema()
+	if _, err := ecfd.New(s, []string{"CT"}, nil); err == nil {
+		t.Error("want empty-RHS error")
+	}
+	if _, err := ecfd.New(s, []string{"XX"}, []string{"AC"}); err == nil {
+		t.Error("want unknown-attribute error")
+	}
+	if _, err := ecfd.New(s, []string{"CT"}, []string{"AC"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.Any(), ecfd.Any()}, RHS: []ecfd.Cell{ecfd.Any()}}); err == nil {
+		t.Error("want arity error")
+	}
+	if _, err := ecfd.New(s, []string{"CT"}, []string{"AC"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.In()}, RHS: []ecfd.Cell{ecfd.Any()}}); err == nil {
+		t.Error("want empty-∈-set error")
+	}
+	fs := relation.MustSchema("f", relation.FiniteAttr("A", relation.BoolDom()))
+	if _, err := ecfd.New(fs, []string{"A"}, []string{"A"},
+		ecfd.Row{LHS: []ecfd.Cell{ecfd.In(relation.Int(7))}, RHS: []ecfd.Cell{ecfd.Any()}}); err == nil {
+		t.Error("want domain error")
+	}
+}
+
+func TestECFDConsistencyWitness(t *testing.T) {
+	s := nySchema()
+	set := []*ecfd.ECFD{ecfd1(s), ecfd2(s)}
+	ok, witness := ecfd.Consistent(set)
+	if !ok {
+		t.Fatal("NY eCFDs are consistent")
+	}
+	in := relation.NewInstance(s)
+	if _, err := in.Insert(witness); err != nil {
+		t.Fatal(err)
+	}
+	if !ecfd.SatisfiesAll(in, set) {
+		t.Errorf("witness %v violates the set", witness)
+	}
+	if ok, _ := ecfd.Consistent(nil); !ok {
+		t.Error("empty set consistent")
+	}
+}

@@ -1,0 +1,99 @@
+package ecfd_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecfd"
+	"repro/internal/relation"
+)
+
+func TestECFDParseNYExample(t *testing.T) {
+	s := relation.MustSchema("nycust",
+		relation.Attr("CT", relation.KindString),
+		relation.Attr("AC", relation.KindInt),
+	)
+	schemas := map[string]*relation.Schema{"nycust": s}
+	text := `
+# Section 2.3 of the paper
+ecfd nycust: [CT] -> [AC]
+  notin{NYC,LI} || _
+
+ecfd nycust: [CT] -> [AC]
+  in{NYC} || in{212,718,646,347,917}
+`
+	set, err := ecfd.ParseString(text, schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("parsed %d eCFDs, want 2", len(set))
+	}
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("Albany"), relation.Int(518))
+	in.MustInsert(relation.Str("NYC"), relation.Int(212))
+	if !ecfd.SatisfiesAll(in, set) {
+		t.Error("clean data should satisfy the parsed rules")
+	}
+	in.MustInsert(relation.Str("NYC"), relation.Int(555))
+	if ecfd.Satisfies(in, set[1]) {
+		t.Error("NYC/555 must violate the parsed ecfd2")
+	}
+
+	// Round trip.
+	var sb strings.Builder
+	if err := ecfd.Format(&sb, set); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ecfd.ParseString(sb.String(), schemas)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	if len(again) != 2 || again[0].String() != set[0].String() || again[1].String() != set[1].String() {
+		t.Errorf("round trip mismatch:\n%v\n%v", set, again)
+	}
+}
+
+func TestECFDParseBareConstant(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindInt),
+	)
+	schemas := map[string]*relation.Schema{"r": s}
+	set, err := ecfd.ParseString("ecfd r: [A] -> [B]\n  x || 7\n", schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := set[0].Tableau()[0]
+	if row.LHS[0].Op() != ecfd.OpIn || len(row.LHS[0].Set()) != 1 {
+		t.Errorf("bare constant should parse as singleton In: %v", row.LHS[0])
+	}
+	if !row.RHS[0].Matches(relation.Int(7)) || row.RHS[0].Matches(relation.Int(8)) {
+		t.Error("int constant cell wrong")
+	}
+}
+
+func TestECFDParseErrors(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindInt),
+	)
+	schemas := map[string]*relation.Schema{"r": s}
+	bad := []string{
+		"ecfd ghost: [A] -> [B]\n",
+		"ecfd r [A] -> [B]\n",
+		"ecfd r: [A] [B]\n",
+		"ecfd r: [] -> [B]\n",
+		"  x || 7\n",
+		"ecfd r: [A] -> [B]\n  x\n",
+		"ecfd r: [A] -> [B]\n  x, y || 7\n",
+		"ecfd r: [A] -> [B]\n  x || notanint\n",
+		"ecfd r: [A] -> [B]\n  in{a,b} || in{7,notanint}\n",
+		"ecfd r: [A] -> [B]\n",
+	}
+	for _, text := range bad {
+		if _, err := ecfd.ParseString(text, schemas); err == nil {
+			t.Errorf("want parse error for %q", text)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package ecfd
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Static analyses for eCFDs (Theorem 4.4: consistency NP-complete,
+// implication coNP-complete, with or without finite-domain attributes).
+// Both use the same ≤2-tuple characterizations as CFDs — eCFD satisfaction
+// is still universally quantified over tuple pairs, hence closed under
+// subsets — with candidate sets that include one (consistency) or two
+// (implication) fresh values outside every mentioned set, which is
+// complete because cells only test membership in finite constant sets.
+
+// normalized single-RHS row view.
+type nrow struct {
+	lhsPos []int
+	lhs    []Cell
+	rhsPos int
+	rhs    Cell
+}
+
+func normalize(set []*ECFD) ([]nrow, *relation.Schema) {
+	var rows []nrow
+	var schema *relation.Schema
+	for _, e := range set {
+		if schema == nil {
+			schema = e.schema
+		}
+		for _, r := range e.tableau {
+			for j, rp := range e.rhs {
+				rows = append(rows, nrow{lhsPos: e.lhs, lhs: r.LHS, rhsPos: rp, rhs: r.RHS[j]})
+			}
+		}
+	}
+	return rows, schema
+}
+
+func involved(rows []nrow) []int {
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		for _, p := range r.lhsPos {
+			seen[p] = true
+		}
+		seen[r.rhsPos] = true
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func constsAt(rows []nrow) map[int][]relation.Value {
+	out := make(map[int][]relation.Value)
+	add := func(pos int, vs []relation.Value) {
+	loop:
+		for _, v := range vs {
+			for _, w := range out[pos] {
+				if w.Equal(v) {
+					continue loop
+				}
+			}
+			out[pos] = append(out[pos], v)
+		}
+	}
+	for _, r := range rows {
+		for j, cell := range r.lhs {
+			add(r.lhsPos[j], cell.set)
+		}
+		add(r.rhsPos, r.rhs.set)
+	}
+	return out
+}
+
+func finite(a relation.Attribute) bool {
+	return a.Domain.Finite() || a.Domain.Kind() == relation.KindBool
+}
+
+func domainValues(a relation.Attribute) []relation.Value {
+	if a.Domain.Finite() {
+		return a.Domain.Values()
+	}
+	return []relation.Value{relation.Bool(false), relation.Bool(true)}
+}
+
+// freshOutside returns n values of the attribute's kind distinct from used.
+func freshOutside(a relation.Attribute, used []relation.Value, n int) []relation.Value {
+	out := make([]relation.Value, 0, n)
+	switch a.Domain.Kind() {
+	case relation.KindInt:
+		var max int64
+		for _, v := range used {
+			if v.FloatVal() > float64(max) {
+				max = int64(v.FloatVal()) + 1
+			}
+		}
+		for i := int64(1); len(out) < n; i++ {
+			out = append(out, relation.Int(max+i))
+		}
+	case relation.KindFloat:
+		var max float64
+		for _, v := range used {
+			if v.FloatVal() > max {
+				max = v.FloatVal()
+			}
+		}
+		for i := 1; len(out) < n; i++ {
+			out = append(out, relation.Float(max+float64(i)+0.25))
+		}
+	default:
+		taken := make(map[string]bool)
+		for _, v := range used {
+			taken[v.StrVal()] = true
+		}
+		for i := 0; len(out) < n; i++ {
+			s := "\x02efresh" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			if !taken[s] {
+				out = append(out, relation.Str(s))
+			}
+		}
+	}
+	return out
+}
+
+func candidates(a relation.Attribute, consts []relation.Value, extra int) []relation.Value {
+	if finite(a) {
+		return domainValues(a)
+	}
+	return append(append([]relation.Value(nil), consts...), freshOutside(a, consts, extra)...)
+}
+
+// Consistent decides whether the eCFD set admits a nonempty instance, via
+// exact search over the single-tuple characterization. The second result
+// is a witness tuple when consistent.
+func Consistent(set []*ECFD) (bool, relation.Tuple) {
+	rows, schema := normalize(set)
+	if len(rows) == 0 {
+		return true, nil
+	}
+	pos := involved(rows)
+	consts := constsAt(rows)
+	cands := make([][]relation.Value, len(pos))
+	for i, p := range pos {
+		cands[i] = candidates(schema.Attr(p), consts[p], 1)
+	}
+	assign := make(map[int]relation.Value, len(pos))
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == len(pos) {
+			return true
+		}
+		p := pos[i]
+		for _, v := range cands[i] {
+			assign[p] = v
+			if partialOK(rows, assign) && dfs(i+1) {
+				return true
+			}
+		}
+		delete(assign, p)
+		return false
+	}
+	if !dfs(0) {
+		return false, nil
+	}
+	t := make(relation.Tuple, schema.Arity())
+	for p := 0; p < schema.Arity(); p++ {
+		if v, ok := assign[p]; ok {
+			t[p] = v
+			continue
+		}
+		a := schema.Attr(p)
+		if finite(a) {
+			t[p] = domainValues(a)[0]
+		} else {
+			t[p] = freshOutside(a, nil, 1)[0]
+		}
+	}
+	return true, t
+}
+
+// partialOK prunes assignments that already violate some row on the
+// single-tuple semantics.
+func partialOK(rows []nrow, assign map[int]relation.Value) bool {
+	for _, r := range rows {
+		lhsMatched := true
+		for j, cell := range r.lhs {
+			if cell.op == OpAny {
+				continue
+			}
+			v, ok := assign[r.lhsPos[j]]
+			if !ok || !cell.Matches(v) {
+				lhsMatched = false
+				break
+			}
+		}
+		if !lhsMatched || r.rhs.op == OpAny {
+			continue
+		}
+		if v, ok := assign[r.rhsPos]; ok && !r.rhs.Matches(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies decides Σ ⊨ e by exhaustive ≤2-tuple counterexample search
+// (coNP upper bound of Theorem 4.4).
+func Implies(set []*ECFD, phi *ECFD) bool {
+	sigma, schema := normalize(set)
+	targets, tSchema := normalize([]*ECFD{phi})
+	if schema == nil {
+		schema = tSchema
+	}
+	for _, target := range targets {
+		if !impliesNormal(sigma, schema, target) {
+			return false
+		}
+	}
+	return true
+}
+
+func impliesNormal(sigma []nrow, schema *relation.Schema, target nrow) bool {
+	rows := append(append([]nrow(nil), sigma...), target)
+	pos := involved(rows)
+	consts := constsAt(rows)
+	posIdx := make(map[int]int, len(pos))
+	cands := make([][]relation.Value, len(pos))
+	for i, p := range pos {
+		posIdx[p] = i
+		cands[i] = candidates(schema.Attr(p), consts[p], 2)
+	}
+	inX := make(map[int]bool)
+	cellOnX := make(map[int]Cell)
+	for j, p := range target.lhsPos {
+		inX[p] = true
+		cellOnX[p] = target.lhs[j]
+	}
+	var xIdx, restIdx []int
+	for i, p := range pos {
+		if inX[p] {
+			xIdx = append(xIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+	t1 := make([]relation.Value, len(pos))
+	t2 := make([]relation.Value, len(pos))
+	counterexample := false
+
+	get := func(t []relation.Value, p int) relation.Value { return t[posIdx[p]] }
+	// conclusion applies the eCFD RHS semantics: '_' demands equality,
+	// set cells demand membership of both values.
+	conclusion := func(ta, tb []relation.Value, rhsPos int, rhs Cell) bool {
+		va, vb := get(ta, rhsPos), get(tb, rhsPos)
+		if rhs.op == OpAny {
+			return va.Equal(vb)
+		}
+		return rhs.Matches(va) && rhs.Matches(vb)
+	}
+	pairOK := func(ta, tb []relation.Value, r nrow) bool {
+		for j, cell := range r.lhs {
+			p := r.lhsPos[j]
+			va, vb := get(ta, p), get(tb, p)
+			if !va.Equal(vb) || !cell.Matches(va) {
+				return true
+			}
+		}
+		return conclusion(ta, tb, r.rhsPos, r.rhs)
+	}
+	check := func() {
+		for _, r := range sigma {
+			if !pairOK(t1, t1, r) || !pairOK(t2, t2, r) || !pairOK(t1, t2, r) {
+				return
+			}
+		}
+		if conclusion(t1, t2, target.rhsPos, target.rhs) {
+			return
+		}
+		counterexample = true
+	}
+	var dfs func(stage, k int)
+	dfs = func(stage, k int) {
+		if counterexample {
+			return
+		}
+		switch stage {
+		case 0: // joint X assignment, must match the target pattern
+			if k == len(xIdx) {
+				dfs(1, 0)
+				return
+			}
+			i := xIdx[k]
+			for _, v := range cands[i] {
+				if !cellOnX[pos[i]].Matches(v) {
+					continue
+				}
+				t1[i], t2[i] = v, v
+				dfs(0, k+1)
+				if counterexample {
+					return
+				}
+			}
+		case 1: // t1 rest
+			if k == len(restIdx) {
+				dfs(2, 0)
+				return
+			}
+			i := restIdx[k]
+			for _, v := range cands[i] {
+				t1[i] = v
+				dfs(1, k+1)
+				if counterexample {
+					return
+				}
+			}
+		default: // t2 rest
+			if k == len(restIdx) {
+				check()
+				return
+			}
+			i := restIdx[k]
+			for _, v := range cands[i] {
+				t2[i] = v
+				dfs(2, k+1)
+				if counterexample {
+					return
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+	return !counterexample
+}

@@ -1,0 +1,215 @@
+// Package gen provides deterministic synthetic workload generators for
+// the benchmark harness: customer data in the Figure 1 schema with
+// conflicting UK/US/NL address conventions and configurable error rates
+// (the paper cites enterprise error rates of 1%–5%), order/book/CD
+// databases for the Figure 3/4 CIND experiments, card/billing source
+// pairs with cross-source name and address variation for the Section 3
+// object-identification experiments, and the exponential-repair family of
+// Example 5.1. All generators are seeded and reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// Word pools for synthetic values. Kept deliberately small enough to
+// force collisions (the interesting case for dependencies) but large
+// enough to avoid degenerate instances.
+var (
+	firstNames = []string{"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen"}
+	lastNames  = []string{"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Taylor"}
+	streets    = []string{"Mayfield Rd", "Crichton St", "Mtn Ave", "High St", "Station Rd", "Main St", "Church Ln", "Park Ave", "Victoria Rd", "King St", "Queen St", "Mill Ln", "School Rd", "North Rd", "South St", "Broad Way"}
+	ukCities   = []string{"EDI", "GLA", "LDN", "MAN", "LIV"}
+	usCities   = []string{"MH", "NYC", "LA", "CHI", "SF"}
+	nlCities   = []string{"AMS", "RTM", "UTR"}
+)
+
+// pick returns a deterministic random element.
+func pick[T any](r *rand.Rand, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// typo corrupts a string with a single random edit (substitute, delete or
+// insert) — the classic dirty-data perturbation.
+func typo(r *rand.Rand, s string) string {
+	if s == "" {
+		return "x"
+	}
+	rs := []rune(s)
+	i := r.Intn(len(rs))
+	switch r.Intn(3) {
+	case 0: // substitute
+		rs[i] = rune('a' + r.Intn(26))
+		return string(rs)
+	case 1: // delete
+		return string(append(rs[:i], rs[i+1:]...))
+	default: // insert
+		out := make([]rune, 0, len(rs)+1)
+		out = append(out, rs[:i]...)
+		out = append(out, rune('a'+r.Intn(26)))
+		out = append(out, rs[i:]...)
+		return string(out)
+	}
+}
+
+// CustomerConfig parameterizes the Figure 1-style customer generator.
+type CustomerConfig struct {
+	N         int     // number of tuples
+	Seed      int64   // RNG seed
+	ErrorRate float64 // fraction of tuples corrupted (0–1)
+}
+
+// Customers generates a customer instance that satisfies the Figure 2
+// dependencies (ϕ1–ϕ3) when ErrorRate is 0: UK zip codes functionally
+// determine streets, (44, 131) phones live in EDI, (01, 908) phones live
+// in MH. With a positive ErrorRate, a corresponding fraction of tuples
+// get a corrupted street, city or zip, producing exactly the violation
+// kinds the paper narrates for Figure 1.
+func Customers(cfg CustomerConfig) *relation.Instance {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	schema := paperdata.CustomerSchema()
+	in := relation.NewInstance(schema)
+
+	// UK zip → street assignment (the ϕ1 invariant).
+	nZips := cfg.N/4 + 4
+	zipStreet := make(map[string]string, nZips)
+	zips := make([]string, 0, nZips)
+	for i := 0; i < nZips; i++ {
+		z := fmt.Sprintf("EH%d %dLE", i/10+1, i%10)
+		zipStreet[z] = pick(r, streets)
+		zips = append(zips, z)
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		name := pick(r, firstNames) + " " + pick(r, lastNames)
+		var cc, ac, phn int64
+		var street, city, zip string
+		switch r.Intn(3) {
+		case 0: // UK Edinburgh customer: CC=44, AC=131, city EDI
+			cc, ac = 44, 131
+			phn = int64(1000000 + r.Intn(9000000))
+			zip = pick(r, zips)
+			street = zipStreet[zip]
+			city = "EDI"
+		case 1: // UK elsewhere: zip still determines street
+			cc = 44
+			ac = int64(132 + r.Intn(50))
+			phn = int64(1000000 + r.Intn(9000000))
+			zip = pick(r, zips)
+			street = zipStreet[zip]
+			city = pick(r, ukCities)
+		default: // US Murray Hill customer: CC=01, AC=908, city MH
+			cc, ac = 1, 908
+			phn = int64(1000000 + r.Intn(9000000))
+			zip = fmt.Sprintf("0%d", 7000+r.Intn(999))
+			street = pick(r, streets)
+			city = "MH"
+		}
+		if r.Float64() < cfg.ErrorRate {
+			switch r.Intn(3) {
+			case 0:
+				street = typo(r, street)
+			case 1:
+				city = pick(r, append(append([]string{}, usCities...), ukCities...))
+			default:
+				zip = pick(r, zips)
+			}
+		}
+		in.MustInsert(
+			relation.Int(cc), relation.Int(ac), relation.Int(phn),
+			relation.Str(name), relation.Str(street), relation.Str(city), relation.Str(zip))
+	}
+	return in
+}
+
+// OrdersConfig parameterizes the Figure 3-style order/book/CD generator.
+type OrdersConfig struct {
+	Books         int
+	CDs           int
+	Orders        int
+	Seed          int64
+	ViolationRate float64 // fraction of order/CD tuples left unmatched
+}
+
+// Orders generates a database over the order, book and CD schemas that
+// satisfies the Figure 4 CINDs (ϕ4–ϕ6) up to the configured violation
+// rate: book orders reference existing books, CD orders existing CDs, and
+// audio-book CDs have audio book editions — except for deliberately
+// injected orphans.
+func Orders(cfg OrdersConfig) *relation.Database {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := relation.NewDatabase()
+	book := relation.NewInstance(paperdata.BookSchema())
+	cd := relation.NewInstance(paperdata.CDSchema())
+	order := relation.NewInstance(paperdata.OrderSchema())
+	db.Add(book)
+	db.Add(cd)
+	db.Add(order)
+
+	formats := []string{"hard-cover", "paper-cover"}
+	genres := []string{"country", "rock", "jazz", "classical"}
+
+	type item struct {
+		title string
+		price float64
+	}
+	var bookItems, cdItems []item
+	for i := 0; i < cfg.Books; i++ {
+		it := item{title: fmt.Sprintf("Book Title %d", i), price: float64(5+r.Intn(30)) + 0.99}
+		bookItems = append(bookItems, it)
+		book.MustInsert(relation.Str(fmt.Sprintf("b%04d", i)), relation.Str(it.title),
+			relation.Float(it.price), relation.Str(pick(r, formats)))
+	}
+	for i := 0; i < cfg.CDs; i++ {
+		it := item{title: fmt.Sprintf("Album %d", i), price: float64(4+r.Intn(20)) + 0.94}
+		cdItems = append(cdItems, it)
+		genre := pick(r, genres)
+		if r.Intn(5) == 0 { // some CDs are audio books
+			genre = "a-book"
+			if r.Float64() >= cfg.ViolationRate {
+				// Provide the demanded audio edition (ϕ6).
+				book.MustInsert(relation.Str(fmt.Sprintf("ba%04d", i)), relation.Str(it.title),
+					relation.Float(it.price), relation.Str("audio"))
+			}
+		}
+		cd.MustInsert(relation.Str(fmt.Sprintf("c%04d", i)), relation.Str(it.title),
+			relation.Float(it.price), relation.Str(genre))
+	}
+	for i := 0; i < cfg.Orders; i++ {
+		if len(bookItems) > 0 && (len(cdItems) == 0 || r.Intn(2) == 0) {
+			it := pick(r, bookItems)
+			if r.Float64() < cfg.ViolationRate {
+				it = item{title: fmt.Sprintf("Ghost Book %d", i), price: 1.99} // ϕ4 violation
+			}
+			order.MustInsert(relation.Str(fmt.Sprintf("a%05d", i)), relation.Str(it.title),
+				relation.Str("book"), relation.Float(it.price))
+		} else if len(cdItems) > 0 {
+			it := pick(r, cdItems)
+			if r.Float64() < cfg.ViolationRate {
+				it = item{title: fmt.Sprintf("Ghost Album %d", i), price: 0.99} // ϕ5 violation
+			}
+			order.MustInsert(relation.Str(fmt.Sprintf("a%05d", i)), relation.Str(it.title),
+				relation.Str("CD"), relation.Float(it.price))
+		}
+	}
+	return db
+}
+
+// Example51 builds the instance Dn of Example 5.1 over R(A, B): tuples
+// (a_i, b) and (a_i, b′) for i ∈ [1, n]. With the key A → B, Dn has 2n
+// tuples and 2^n repairs.
+func Example51(n int) *relation.Instance {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	for i := 1; i <= n; i++ {
+		a := fmt.Sprintf("a%d", i)
+		in.MustInsert(relation.Str(a), relation.Str("b"))
+		in.MustInsert(relation.Str(a), relation.Str("b'"))
+	}
+	return in
+}

@@ -1,0 +1,337 @@
+// Package match implements the object identification pipeline of
+// Section 3.1 of Fan (PODS 2008): deciding which tuples of two unreliable
+// sources refer to the same real-world object, using matching
+// dependencies and relative (candidate) keys as matching rules. The
+// pipeline is blocking → rule evaluation (either direct relative-key
+// comparison or MD fixpoint inference) → transitive clustering, with
+// precision/recall evaluation against a ground truth — the harness behind
+// the paper's claim that derived RCKs improve match quality.
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/md"
+	"repro/internal/relation"
+	"repro/internal/similarity"
+)
+
+// Pair identifies a matched (left TID, right TID) tuple pair.
+type Pair struct {
+	L, R relation.TID
+}
+
+// BlockFn assigns blocking keys to a tuple; only pairs sharing at least
+// one key are compared. left reports which side the tuple comes from.
+type BlockFn func(left bool, t relation.Tuple) []string
+
+// SoundexBlocker blocks on the Soundex code of one attribute per side — a
+// standard cheap blocking scheme for person records.
+func SoundexBlocker(leftSchema, rightSchema *relation.Schema, leftAttr, rightAttr string) (BlockFn, error) {
+	lp, ok := leftSchema.Lookup(leftAttr)
+	if !ok {
+		return nil, fmt.Errorf("match: %s has no attribute %q", leftSchema.Name(), leftAttr)
+	}
+	rp, ok := rightSchema.Lookup(rightAttr)
+	if !ok {
+		return nil, fmt.Errorf("match: %s has no attribute %q", rightSchema.Name(), rightAttr)
+	}
+	return func(left bool, t relation.Tuple) []string {
+		p := lp
+		if !left {
+			p = rp
+		}
+		return []string{similarity.Soundex(t[p].StrVal())}
+	}, nil
+}
+
+// Matcher runs matching rules over a pair of instances.
+type Matcher struct {
+	Left, Right *relation.Instance
+	// Rules are the matching rules: MDs over (Left, Right schemas).
+	// Relative keys evaluate premises directly with their similarity
+	// operators; MDs with ⇋ premises participate through the fixpoint
+	// (UseFixpoint).
+	Rules []*md.MD
+	// TargetL, TargetR name the identity lists (Y1, Y2): a pair matches
+	// when every target attribute pair is inferred to match.
+	TargetL, TargetR []string
+	// Blocker, when set, restricts candidate pairs.
+	Blocker BlockFn
+	// UseFixpoint applies MDs with ⇋ premises by per-pair fixpoint
+	// inference (derived facts feed later premises). When false, only
+	// relative keys fire, each evaluated in one shot.
+	UseFixpoint bool
+}
+
+// Pairs returns all matched pairs in deterministic order.
+func (m *Matcher) Pairs() ([]Pair, error) {
+	yl, err := m.Left.Schema().Positions(m.TargetL)
+	if err != nil {
+		return nil, fmt.Errorf("match: %v", err)
+	}
+	yr, err := m.Right.Schema().Positions(m.TargetR)
+	if err != nil {
+		return nil, fmt.Errorf("match: %v", err)
+	}
+	if len(yl) != len(yr) {
+		return nil, fmt.Errorf("match: unbalanced target lists")
+	}
+	for _, rule := range m.Rules {
+		if !m.UseFixpoint && !rule.IsRelativeKey() {
+			return nil, fmt.Errorf("match: rule %v has ⇋ premises; enable UseFixpoint", rule)
+		}
+	}
+	var out []Pair
+	lIDs := m.Left.IDs()
+	rIDs := m.Right.IDs()
+	candidates := m.candidates(lIDs, rIDs)
+	for _, c := range candidates {
+		t1, _ := m.Left.Tuple(c.L)
+		t2, _ := m.Right.Tuple(c.R)
+		if m.pairMatches(t1, t2, yl, yr) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].L != out[j].L {
+			return out[i].L < out[j].L
+		}
+		return out[i].R < out[j].R
+	})
+	return out, nil
+}
+
+// candidates enumerates tuple pairs, via blocking when configured.
+func (m *Matcher) candidates(lIDs, rIDs []relation.TID) []Pair {
+	if m.Blocker == nil {
+		out := make([]Pair, 0, len(lIDs)*len(rIDs))
+		for _, l := range lIDs {
+			for _, r := range rIDs {
+				out = append(out, Pair{l, r})
+			}
+		}
+		return out
+	}
+	buckets := make(map[string][]relation.TID)
+	for _, r := range rIDs {
+		t, _ := m.Right.Tuple(r)
+		for _, k := range m.Blocker(false, t) {
+			buckets[k] = append(buckets[k], r)
+		}
+	}
+	seen := make(map[Pair]bool)
+	var out []Pair
+	for _, l := range lIDs {
+		t, _ := m.Left.Tuple(l)
+		for _, k := range m.Blocker(true, t) {
+			for _, r := range buckets[k] {
+				p := Pair{l, r}
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pairMatches decides whether the tuple pair matches on the target lists.
+func (m *Matcher) pairMatches(t1, t2 relation.Tuple, yl, yr []int) bool {
+	if !m.UseFixpoint {
+		for _, rule := range m.Rules {
+			if !ruleCoversTarget(rule, yl, yr) {
+				continue
+			}
+			if EvaluateKey(rule, t1, t2) {
+				return true
+			}
+		}
+		return false
+	}
+	facts := InferMatches(m.Rules, t1, t2)
+	for i := range yl {
+		if !facts[md.AttrPair{L: yl[i], R: yr[i]}] {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleCoversTarget reports whether the rule's conclusion covers every
+// target pair.
+func ruleCoversTarget(rule *md.MD, yl, yr []int) bool {
+	zl, zr, op := rule.Conclusion()
+	if !op.IsMatch() {
+		return false
+	}
+	covered := make(map[md.AttrPair]bool, len(zl))
+	for i := range zl {
+		covered[md.AttrPair{L: zl[i], R: zr[i]}] = true
+	}
+	for i := range yl {
+		if !covered[md.AttrPair{L: yl[i], R: yr[i]}] {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateKey evaluates a relative key directly on a tuple pair: every
+// premise similarity must hold on the actual values.
+func EvaluateKey(key *md.MD, t1, t2 relation.Tuple) bool {
+	for _, p := range key.Premises() {
+		if !p.Op.Similar(t1[p.Pair.L], t2[p.Pair.R]) {
+			return false
+		}
+	}
+	return true
+}
+
+// InferMatches runs the per-pair fixpoint of Section 3.3's dynamic
+// reading of MDs: a premise holds if its similarity operator accepts the
+// actual values or the pair was already inferred to match (matched values
+// are identified, so any operator subsequently relates them); firing an
+// MD adds its conclusion's pairwise ⇋ facts. The returned set maps
+// attribute pairs to inferred-match status.
+func InferMatches(rules []*md.MD, t1, t2 relation.Tuple) map[md.AttrPair]bool {
+	facts := make(map[md.AttrPair]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, rule := range rules {
+			fires := true
+			for _, p := range rule.Premises() {
+				if facts[p.Pair] {
+					continue
+				}
+				if p.Op.IsMatch() {
+					// ⇋ premises need an inferred fact or value equality.
+					if !t1[p.Pair.L].Equal(t2[p.Pair.R]) {
+						fires = false
+						break
+					}
+					continue
+				}
+				if !p.Op.Similar(t1[p.Pair.L], t2[p.Pair.R]) {
+					fires = false
+					break
+				}
+			}
+			if !fires {
+				continue
+			}
+			zl, zr, op := rule.Conclusion()
+			if !op.IsMatch() {
+				continue
+			}
+			for i := range zl {
+				pr := md.AttrPair{L: zl[i], R: zr[i]}
+				if !facts[pr] {
+					facts[pr] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// Cluster computes the transitive closure of matched pairs across the two
+// relations (the ⇋ operator is transitive) and returns the clusters with
+// at least one tuple from each side, as (left TIDs, right TIDs) pairs in
+// deterministic order.
+func Cluster(pairs []Pair) (clusters [][2][]relation.TID) {
+	parent := make(map[[2]int64]([2]int64))
+	var find func(x [2]int64) [2]int64
+	find = func(x [2]int64) [2]int64 {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	union := func(a, b [2]int64) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, p := range pairs {
+		union([2]int64{0, int64(p.L)}, [2]int64{1, int64(p.R)})
+	}
+	groups := make(map[[2]int64][2][]relation.TID)
+	for node := range parent {
+		root := find(node)
+		g := groups[root]
+		g[node[0]] = append(g[node[0]], relation.TID(node[1]))
+		groups[root] = g
+	}
+	for _, g := range groups {
+		if len(g[0]) == 0 || len(g[1]) == 0 {
+			continue
+		}
+		sort.Slice(g[0], func(i, j int) bool { return g[0][i] < g[0][j] })
+		sort.Slice(g[1], func(i, j int) bool { return g[1][i] < g[1][j] })
+		clusters = append(clusters, g)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0][0] < clusters[j][0][0] })
+	return clusters
+}
+
+// Quality summarizes match quality against a ground truth.
+type Quality struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TruePos   int
+	FalsePos  int
+	FalseNeg  int
+}
+
+// String renders the quality summary.
+func (q Quality) String() string {
+	return fmt.Sprintf("precision=%.3f recall=%.3f f1=%.3f (tp=%d fp=%d fn=%d)",
+		q.Precision, q.Recall, q.F1, q.TruePos, q.FalsePos, q.FalseNeg)
+}
+
+// Evaluate compares matched pairs against the ground truth.
+func Evaluate(got, truth []Pair) Quality {
+	truthSet := make(map[Pair]bool, len(truth))
+	for _, p := range truth {
+		truthSet[p] = true
+	}
+	gotSet := make(map[Pair]bool, len(got))
+	var q Quality
+	for _, p := range got {
+		if gotSet[p] {
+			continue
+		}
+		gotSet[p] = true
+		if truthSet[p] {
+			q.TruePos++
+		} else {
+			q.FalsePos++
+		}
+	}
+	for _, p := range truth {
+		if !gotSet[p] {
+			q.FalseNeg++
+		}
+	}
+	if q.TruePos+q.FalsePos > 0 {
+		q.Precision = float64(q.TruePos) / float64(q.TruePos+q.FalsePos)
+	}
+	if q.TruePos+q.FalseNeg > 0 {
+		q.Recall = float64(q.TruePos) / float64(q.TruePos+q.FalseNeg)
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}

@@ -1,0 +1,161 @@
+package md
+
+import (
+	"sort"
+
+	"repro/internal/similarity"
+)
+
+// Generic implication analysis for MDs (Section 4.2, Theorem 4.8):
+// Σ ⊨m φ iff for every instance and all interpretations of the similarity
+// and matching operators satisfying their generic axioms, enforcing Σ
+// enforces φ. The decision procedure is a PTIME fixpoint closure over
+// "similarity facts" — assertions (attribute pair, operator) known to hold
+// between the generic tuple pair (t1, t2) — applying:
+//
+//   - operator containment: a fact (p, op) yields (p, op′) for every
+//     op′ ⊇ op (equality subsumption is the special case op = '=');
+//   - MD firing: an MD whose premises are all entailed by current facts
+//     adds its conclusion facts; a ⇋ conclusion over lists adds the
+//     pairwise ⇋ facts (the paper's pairwise-iff-listwise axiom for ⇋).
+//
+// The closure is sound for ⊨m; it decides all of the paper's worked
+// examples (Example 4.3) and is the engine behind RCK derivation.
+
+// factSet tracks known facts per attribute pair.
+type factSet map[AttrPair]map[similarity.Op]bool
+
+func (f factSet) add(p AttrPair, op similarity.Op) bool {
+	m, ok := f[p]
+	if !ok {
+		m = make(map[similarity.Op]bool)
+		f[p] = m
+	}
+	if m[op] {
+		return false
+	}
+	m[op] = true
+	return true
+}
+
+// entails reports whether the facts for pair p entail "p related by req":
+// some known fact operator is contained in req.
+func (f factSet) entails(p AttrPair, req similarity.Op) bool {
+	for op := range f[p] {
+		if req.Contains(op) {
+			return true
+		}
+	}
+	return false
+}
+
+// opUniverse collects the operators mentioned by Σ and φ plus equality
+// and ⇋; the containment closure stays within this finite set.
+func opUniverse(set []*MD, phi *MD) []similarity.Op {
+	seen := make(map[similarity.Op]bool)
+	var out []similarity.Op
+	add := func(op similarity.Op) {
+		if !seen[op] {
+			seen[op] = true
+			out = append(out, op)
+		}
+	}
+	add(similarity.Eq())
+	add(similarity.MatchOp())
+	collect := func(m *MD) {
+		if m == nil {
+			return
+		}
+		for _, p := range m.premises {
+			add(p.Op)
+		}
+		_, _, c := m.Conclusion()
+		add(c)
+	}
+	for _, m := range set {
+		collect(m)
+	}
+	collect(phi)
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// closure computes the fixpoint of facts under containment and MD firing.
+func closure(set []*MD, init factSet, universe []similarity.Op) factSet {
+	facts := init
+	for changed := true; changed; {
+		changed = false
+		// Containment closure.
+		for p, ops := range facts {
+			for op := range ops {
+				for _, big := range universe {
+					if big.Contains(op) && !ops[big] {
+						facts.add(p, big)
+						changed = true
+					}
+				}
+			}
+		}
+		// MD firing.
+		for _, m := range set {
+			fires := true
+			for _, prem := range m.premises {
+				if !facts.entails(prem.Pair, prem.Op) {
+					fires = false
+					break
+				}
+			}
+			if !fires {
+				continue
+			}
+			zl, zr, op := m.Conclusion()
+			if op.IsMatch() {
+				for i := range zl {
+					if facts.add(AttrPair{zl[i], zr[i]}, similarity.MatchOp()) {
+						changed = true
+					}
+				}
+			} else if facts.add(AttrPair{zl[0], zr[0]}, op) {
+				changed = true
+			}
+		}
+	}
+	return facts
+}
+
+// Implies decides Σ ⊨m φ via the closure: assume φ's premises as facts
+// and check that φ's conclusion becomes derivable.
+func Implies(set []*MD, phi *MD) bool {
+	universe := opUniverse(set, phi)
+	facts := make(factSet)
+	for _, p := range phi.premises {
+		facts.add(p.Pair, p.Op)
+	}
+	facts = closure(set, facts, universe)
+	zl, zr, op := phi.Conclusion()
+	if op.IsMatch() {
+		for i := range zl {
+			if !facts.entails(AttrPair{zl[i], zr[i]}, similarity.MatchOp()) {
+				return false
+			}
+		}
+		return true
+	}
+	return facts.entails(AttrPair{zl[0], zr[0]}, op)
+}
+
+// MinimalCover removes MDs implied by the rest of the set.
+func MinimalCover(set []*MD) []*MD {
+	work := append([]*MD(nil), set...)
+	for i := 0; i < len(work); {
+		rest := make([]*MD, 0, len(work)-1)
+		rest = append(rest, work[:i]...)
+		rest = append(rest, work[i+1:]...)
+		if len(rest) > 0 && Implies(rest, work[i]) {
+			work = rest
+			continue
+		}
+		i++
+	}
+	return work
+}

@@ -1,0 +1,241 @@
+// Package md implements matching dependencies (MDs) from Section 3 of Fan
+// (PODS 2008): dependencies across two relations defined with
+// domain-specific similarity operators and the matching operator ⇋,
+//
+//	⋀_j R1[X1[j]] ≈j R2[X2[j]]  →  R1[Z1] ⇋ R2[Z2],
+//
+// together with relative keys and relative candidate keys (RCKs), the
+// generic implication analysis of Theorem 4.8 (sound PTIME closure over
+// the operators' generic axioms), and RCK derivation by backward chaining
+// plus minimization — the paper's route to deducing new matching rules
+// from given ones.
+package md
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/similarity"
+)
+
+// AttrPair is a pair of attribute positions, left in R1 and right in R2.
+type AttrPair struct {
+	L, R int
+}
+
+// Premise is one conjunct R1[X1[j]] ≈j R2[X2[j]].
+type Premise struct {
+	Pair AttrPair
+	Op   similarity.Op
+}
+
+// MD is a matching dependency on a pair of relation schemas.
+type MD struct {
+	left, right *relation.Schema
+	premises    []Premise
+	conclL      []int // Z1 positions
+	conclR      []int // Z2 positions
+	conclOp     similarity.Op
+}
+
+// PremiseSpec names one premise for the constructor.
+type PremiseSpec struct {
+	Left  string
+	Right string
+	Op    similarity.Op
+}
+
+// New builds an MD. Premise and conclusion attribute pairs must be
+// kind-compatible; a non-⇋ conclusion operator requires a single
+// conclusion pair (similarity operators have no generic list
+// decomposition axiom, unlike ⇋).
+func New(left, right *relation.Schema, prems []PremiseSpec, conclL, conclR []string, conclOp similarity.Op) (*MD, error) {
+	if len(prems) == 0 {
+		return nil, fmt.Errorf("md: empty premise")
+	}
+	if len(conclL) == 0 || len(conclL) != len(conclR) {
+		return nil, fmt.Errorf("md: conclusion lists must be nonempty and of equal length")
+	}
+	if !conclOp.IsMatch() && len(conclL) != 1 {
+		return nil, fmt.Errorf("md: non-⇋ conclusion must be a single attribute pair")
+	}
+	m := &MD{left: left, right: right, conclOp: conclOp}
+	for _, p := range prems {
+		lp, ok := left.Lookup(p.Left)
+		if !ok {
+			return nil, fmt.Errorf("md: %s has no attribute %q", left.Name(), p.Left)
+		}
+		rp, ok := right.Lookup(p.Right)
+		if !ok {
+			return nil, fmt.Errorf("md: %s has no attribute %q", right.Name(), p.Right)
+		}
+		if left.Attr(lp).Domain.Kind() != right.Attr(rp).Domain.Kind() {
+			return nil, fmt.Errorf("md: %s.%s and %s.%s are not compatible", left.Name(), p.Left, right.Name(), p.Right)
+		}
+		m.premises = append(m.premises, Premise{Pair: AttrPair{lp, rp}, Op: p.Op})
+	}
+	for i := range conclL {
+		lp, ok := left.Lookup(conclL[i])
+		if !ok {
+			return nil, fmt.Errorf("md: %s has no attribute %q", left.Name(), conclL[i])
+		}
+		rp, ok := right.Lookup(conclR[i])
+		if !ok {
+			return nil, fmt.Errorf("md: %s has no attribute %q", right.Name(), conclR[i])
+		}
+		if left.Attr(lp).Domain.Kind() != right.Attr(rp).Domain.Kind() {
+			return nil, fmt.Errorf("md: conclusion pair %s/%s not compatible", conclL[i], conclR[i])
+		}
+		m.conclL = append(m.conclL, lp)
+		m.conclR = append(m.conclR, rp)
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(left, right *relation.Schema, prems []PremiseSpec, conclL, conclR []string, conclOp similarity.Op) *MD {
+	m, err := New(left, right, prems, conclL, conclR, conclOp)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Left returns R1's schema.
+func (m *MD) Left() *relation.Schema { return m.left }
+
+// Right returns R2's schema.
+func (m *MD) Right() *relation.Schema { return m.right }
+
+// Premises returns the premise conjuncts (not to be modified).
+func (m *MD) Premises() []Premise { return m.premises }
+
+// Conclusion returns the Z1, Z2 position lists and the conclusion
+// operator.
+func (m *MD) Conclusion() ([]int, []int, similarity.Op) {
+	return m.conclL, m.conclR, m.conclOp
+}
+
+// IsRelativeKey reports whether the MD is a key relative to its
+// conclusion lists: conclusion operator ⇋ and no ⇋ among the premise
+// operators (Section 3.2).
+func (m *MD) IsRelativeKey() bool {
+	if !m.conclOp.IsMatch() {
+		return false
+	}
+	for _, p := range m.premises {
+		if p.Op.IsMatch() {
+			return false
+		}
+	}
+	return true
+}
+
+// Length returns the number of premise conjuncts (the paper's key
+// length k).
+func (m *MD) Length() int { return len(m.premises) }
+
+// String renders the MD in the paper's notation.
+func (m *MD) String() string {
+	prems := make([]string, len(m.premises))
+	for i, p := range m.premises {
+		prems[i] = fmt.Sprintf("%s[%s] %s %s[%s]",
+			m.left.Name(), m.left.Attr(p.Pair.L).Name, p.Op,
+			m.right.Name(), m.right.Attr(p.Pair.R).Name)
+	}
+	ln := make([]string, len(m.conclL))
+	rn := make([]string, len(m.conclR))
+	for i := range m.conclL {
+		ln[i] = m.left.Attr(m.conclL[i]).Name
+		rn[i] = m.right.Attr(m.conclR[i]).Name
+	}
+	return fmt.Sprintf("%s → %s[%s] %s %s[%s]",
+		strings.Join(prems, " ∧ "),
+		m.left.Name(), strings.Join(ln, ","), m.conclOp, m.right.Name(), strings.Join(rn, ","))
+}
+
+// Clone returns a deep copy.
+func (m *MD) Clone() *MD {
+	return &MD{
+		left:     m.left,
+		right:    m.right,
+		premises: append([]Premise(nil), m.premises...),
+		conclL:   append([]int(nil), m.conclL...),
+		conclR:   append([]int(nil), m.conclR...),
+		conclOp:  m.conclOp,
+	}
+}
+
+// Key canonicalizes the MD for deduplication.
+func (m *MD) Key() string {
+	ps := append([]Premise(nil), m.premises...)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Pair != ps[j].Pair {
+			if ps[i].Pair.L != ps[j].Pair.L {
+				return ps[i].Pair.L < ps[j].Pair.L
+			}
+			return ps[i].Pair.R < ps[j].Pair.R
+		}
+		return ps[i].Op.String() < ps[j].Op.String()
+	})
+	var b strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%d:%d:%s|", p.Pair.L, p.Pair.R, p.Op)
+	}
+	b.WriteString(">>")
+	for i := range m.conclL {
+		fmt.Fprintf(&b, "%d:%d|", m.conclL[i], m.conclR[i])
+	}
+	b.WriteString(m.conclOp.String())
+	return b.String()
+}
+
+// LessEq implements the paper's ψ ≤ ψ′ order on keys relative to the same
+// (Y1, Y2): ψ ≤ ψ′ iff every premise pair of ψ occurs in ψ′ with an
+// operator contained in ψ's (ψ asks fewer, weaker conditions). A relative
+// candidate key is a key with no strictly smaller key.
+func (m *MD) LessEq(other *MD) bool {
+	if m.Length() > other.Length() {
+		return false
+	}
+	for _, p := range m.premises {
+		found := false
+		for _, q := range other.premises {
+			if p.Pair == q.Pair && p.Op.Contains(q.Op) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// RelativeKey builds a key (X1, X2, C) relative to (Y1, Y2) — the
+// Example 3.2 notation — as an MD with conclusion ⇋.
+func RelativeKey(left, right *relation.Schema, x1, x2 []string, ops []similarity.Op, y1, y2 []string) (*MD, error) {
+	if len(x1) != len(x2) || len(x1) != len(ops) {
+		return nil, fmt.Errorf("md: relative key needs |X1| = |X2| = |C|")
+	}
+	prems := make([]PremiseSpec, len(x1))
+	for i := range x1 {
+		if ops[i].IsMatch() {
+			return nil, fmt.Errorf("md: relative keys must not use ⇋ in the hypothesis")
+		}
+		prems[i] = PremiseSpec{Left: x1[i], Right: x2[i], Op: ops[i]}
+	}
+	return New(left, right, prems, y1, y2, similarity.MatchOp())
+}
+
+// MustRelativeKey is RelativeKey that panics on error.
+func MustRelativeKey(left, right *relation.Schema, x1, x2 []string, ops []similarity.Op, y1, y2 []string) *MD {
+	m, err := RelativeKey(left, right, x1, x2, ops, y1, y2)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,301 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/similarity"
+)
+
+// Text format for matching dependencies, one per line:
+//
+//	md card/billing: tel = phn -> addr <=> post
+//	md card/billing: email <=> email -> [FN,LN] <=> [FN,SN]
+//	md card/billing: LN <=> SN, addr <=> post, FN ~edit(0.8) FN -> [FN,LN,addr,tel,email] <=> [FN,SN,post,phn,email]
+//
+// Premises are comma-separated "L <op> R" conjuncts; operators are
+// '=' (equality), '<=>' (the ⇋ matching operator), '~edit(θ)',
+// '~jaro(θ)', '~jw(θ)', '~qgram(q,θ)' and '~soundex'. The conclusion is
+// a single pair or bracketed lists. Blank lines and '#' comments are
+// ignored.
+
+// Parse reads MDs in the text format. Schemas are resolved by the
+// "left/right" relation names in the header.
+func Parse(r io.Reader, schemas map[string]*relation.Schema) ([]*MD, error) {
+	sc := bufio.NewScanner(r)
+	var out []*MD
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !strings.HasPrefix(text, "md ") {
+			return nil, fmt.Errorf("md: line %d: want 'md <left>/<right>: ...'", line)
+		}
+		m, err := parseMD(text[3:], schemas)
+		if err != nil {
+			return nil, fmt.Errorf("md: line %d: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, schemas map[string]*relation.Schema) ([]*MD, error) {
+	return Parse(strings.NewReader(s), schemas)
+}
+
+func parseMD(s string, schemas map[string]*relation.Schema) (*MD, error) {
+	header, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("missing ':' after relations")
+	}
+	leftName, rightName, ok := strings.Cut(strings.TrimSpace(header), "/")
+	if !ok {
+		return nil, fmt.Errorf("want '<left>/<right>', got %q", header)
+	}
+	left, ok := schemas[strings.TrimSpace(leftName)]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %q", leftName)
+	}
+	right, ok := schemas[strings.TrimSpace(rightName)]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %q", rightName)
+	}
+	premPart, conclPart, ok := strings.Cut(rest, "->")
+	if !ok {
+		return nil, fmt.Errorf("missing '->'")
+	}
+	var prems []PremiseSpec
+	for _, conj := range splitConjuncts(premPart) {
+		l, op, r, err := parseConjunct(conj)
+		if err != nil {
+			return nil, err
+		}
+		prems = append(prems, PremiseSpec{Left: l, Right: r, Op: op})
+	}
+	conclL, conclR, conclOp, err := parseConclusion(conclPart)
+	if err != nil {
+		return nil, err
+	}
+	return New(left, right, prems, conclL, conclR, conclOp)
+}
+
+// splitConjuncts splits premises on commas outside parentheses (so that
+// "~qgram(2,0.6)" survives).
+func splitConjuncts(s string) []string {
+	var out []string
+	depth := 0
+	var cur strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case r == ',' && depth == 0:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	out = append(out, cur.String())
+	return out
+}
+
+// parseConjunct parses "L <op> R".
+func parseConjunct(s string) (string, similarity.Op, string, error) {
+	s = strings.TrimSpace(s)
+	// Operator search: "<=>" first (it contains '='), then "~...", then "=".
+	if l, r, ok := strings.Cut(s, "<=>"); ok {
+		return strings.TrimSpace(l), similarity.MatchOp(), strings.TrimSpace(r), nil
+	}
+	if i := strings.Index(s, "~"); i >= 0 {
+		l := strings.TrimSpace(s[:i])
+		rest := s[i+1:]
+		op, r, err := parseSimOp(rest)
+		if err != nil {
+			return "", similarity.Op{}, "", err
+		}
+		return l, op, strings.TrimSpace(r), nil
+	}
+	if l, r, ok := strings.Cut(s, "="); ok {
+		return strings.TrimSpace(l), similarity.Eq(), strings.TrimSpace(r), nil
+	}
+	return "", similarity.Op{}, "", fmt.Errorf("conjunct %q: no operator", s)
+}
+
+// parseSimOp parses "edit(0.8) FN" style operator + right attribute.
+func parseSimOp(s string) (similarity.Op, string, error) {
+	name := s
+	args := ""
+	rest := ""
+	if i := strings.Index(s, "("); i >= 0 {
+		name = s[:i]
+		j := strings.Index(s, ")")
+		if j < i {
+			return similarity.Op{}, "", fmt.Errorf("operator %q: unbalanced parentheses", s)
+		}
+		args = s[i+1 : j]
+		rest = s[j+1:]
+	} else if i := strings.IndexByte(s, ' '); i >= 0 {
+		name = s[:i]
+		rest = s[i:]
+	}
+	name = strings.TrimSpace(name)
+	theta := func() (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(args), 64)
+		if err != nil {
+			return 0, fmt.Errorf("operator %s: bad threshold %q", name, args)
+		}
+		return v, nil
+	}
+	switch name {
+	case "edit":
+		v, err := theta()
+		if err != nil {
+			return similarity.Op{}, "", err
+		}
+		return similarity.EditOp(v), rest, nil
+	case "jaro":
+		v, err := theta()
+		if err != nil {
+			return similarity.Op{}, "", err
+		}
+		return similarity.JaroOp(v), rest, nil
+	case "jw":
+		v, err := theta()
+		if err != nil {
+			return similarity.Op{}, "", err
+		}
+		return similarity.JWOp(v), rest, nil
+	case "qgram":
+		qs, ts, ok := strings.Cut(args, ",")
+		if !ok {
+			return similarity.Op{}, "", fmt.Errorf("qgram wants (q, θ)")
+		}
+		q, err := strconv.Atoi(strings.TrimSpace(qs))
+		if err != nil {
+			return similarity.Op{}, "", fmt.Errorf("qgram: bad q %q", qs)
+		}
+		th, err := strconv.ParseFloat(strings.TrimSpace(ts), 64)
+		if err != nil {
+			return similarity.Op{}, "", fmt.Errorf("qgram: bad θ %q", ts)
+		}
+		return similarity.QGramOp(q, th), rest, nil
+	case "soundex":
+		return similarity.SoundexOp(), rest, nil
+	default:
+		return similarity.Op{}, "", fmt.Errorf("unknown similarity operator %q", name)
+	}
+}
+
+// parseConclusion parses "L <op> R" or "[L1,...] <op> [R1,...]".
+func parseConclusion(s string) ([]string, []string, similarity.Op, error) {
+	s = strings.TrimSpace(s)
+	var opStr string
+	var op similarity.Op
+	switch {
+	case strings.Contains(s, "<=>"):
+		opStr, op = "<=>", similarity.MatchOp()
+	case strings.Contains(s, "~"):
+		// Single-pair similarity conclusion.
+		l, o, r, err := parseConjunct(s)
+		if err != nil {
+			return nil, nil, similarity.Op{}, err
+		}
+		return []string{l}, []string{r}, o, nil
+	case strings.Contains(s, "="):
+		opStr, op = "=", similarity.Eq()
+	default:
+		return nil, nil, similarity.Op{}, fmt.Errorf("conclusion %q: no operator", s)
+	}
+	l, r, _ := strings.Cut(s, opStr)
+	ls, err := parseList(l)
+	if err != nil {
+		return nil, nil, similarity.Op{}, err
+	}
+	rs, err := parseList(r)
+	if err != nil {
+		return nil, nil, similarity.Op{}, err
+	}
+	return ls, rs, op, nil
+}
+
+func parseList(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := s[1 : len(s)-1]
+		parts := strings.Split(inner, ",")
+		out := make([]string, len(parts))
+		for i, p := range parts {
+			out[i] = strings.TrimSpace(p)
+			if out[i] == "" {
+				return nil, fmt.Errorf("empty attribute in list %q", s)
+			}
+		}
+		return out, nil
+	}
+	if s == "" {
+		return nil, fmt.Errorf("empty attribute list")
+	}
+	return []string{s}, nil
+}
+
+// Format renders MDs in the Parse text format.
+func Format(w io.Writer, set []*MD) error {
+	for _, m := range set {
+		var prems []string
+		for _, p := range m.premises {
+			prems = append(prems, fmt.Sprintf("%s %s %s",
+				m.left.Attr(p.Pair.L).Name, opText(p.Op), m.right.Attr(p.Pair.R).Name))
+		}
+		ln := make([]string, len(m.conclL))
+		rn := make([]string, len(m.conclR))
+		for i := range m.conclL {
+			ln[i] = m.left.Attr(m.conclL[i]).Name
+			rn[i] = m.right.Attr(m.conclR[i]).Name
+		}
+		concl := fmt.Sprintf("[%s] %s [%s]", strings.Join(ln, ","), opText(m.conclOp), strings.Join(rn, ","))
+		if len(m.conclL) == 1 {
+			concl = fmt.Sprintf("%s %s %s", ln[0], opText(m.conclOp), rn[0])
+		}
+		if _, err := fmt.Fprintf(w, "md %s/%s: %s -> %s\n",
+			m.left.Name(), m.right.Name(), strings.Join(prems, ", "), concl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func opText(op similarity.Op) string {
+	switch op.Metric {
+	case similarity.Equality:
+		return "="
+	case similarity.Match:
+		return "<=>"
+	case similarity.Edit:
+		return fmt.Sprintf("~edit(%g)", op.Theta)
+	case similarity.JaroM:
+		return fmt.Sprintf("~jaro(%g)", op.Theta)
+	case similarity.JaroWinklerM:
+		return fmt.Sprintf("~jw(%g)", op.Theta)
+	case similarity.QGram:
+		return fmt.Sprintf("~qgram(%d,%g)", op.Q, op.Theta)
+	default:
+		return "~soundex"
+	}
+}

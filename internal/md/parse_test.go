@@ -1,0 +1,120 @@
+package md_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/md"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/similarity"
+)
+
+func mdSchemas() map[string]*relation.Schema {
+	return map[string]*relation.Schema{
+		"card":    paperdata.CardSchema(),
+		"billing": paperdata.BillingSchema(),
+	}
+}
+
+// TestParseSigma1 parses the Example 3.1 MDs from text and checks they
+// drive the same implications as the programmatic fixtures.
+func TestParseSigma1(t *testing.T) {
+	text := `
+# Example 3.1
+md card/billing: tel = phn -> addr <=> post
+md card/billing: email <=> email -> [FN,LN] <=> [FN,SN]
+md card/billing: LN <=> SN, addr <=> post, FN <=> FN -> [FN,LN,addr,tel,email] <=> [FN,SN,post,phn,email]
+md card/billing: LN <=> SN, addr <=> post, FN ~edit(0.8) FN -> [FN,LN,addr,tel,email] <=> [FN,SN,post,phn,email]
+`
+	set, err := md.ParseString(text, mdSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("parsed %d MDs, want 4", len(set))
+	}
+	// The parsed Σ1 implies the paper's rck2.
+	rck2 := md.MustRelativeKey(paperdata.CardSchema(), paperdata.BillingSchema(),
+		[]string{"LN", "tel", "FN"}, []string{"SN", "phn", "FN"},
+		[]similarity.Op{similarity.Eq(), similarity.Eq(), similarity.EditOp(0.8)},
+		paperdata.Yc(), paperdata.Yb())
+	if !md.Implies(set, rck2) {
+		t.Error("parsed Σ1 must imply rck2")
+	}
+
+	// Round trip.
+	var sb strings.Builder
+	if err := md.Format(&sb, set); err != nil {
+		t.Fatal(err)
+	}
+	again, err := md.ParseString(sb.String(), mdSchemas())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	if len(again) != 4 {
+		t.Fatalf("round trip lost MDs")
+	}
+	for i := range set {
+		if set[i].Key() != again[i].Key() {
+			t.Errorf("round trip changed MD %d:\n%v\n%v", i, set[i], again[i])
+		}
+	}
+}
+
+func TestParseOperatorVariants(t *testing.T) {
+	text := `md card/billing: FN ~jaro(0.9) FN, LN ~jw(0.85) SN, addr ~qgram(2,0.6) post, email ~soundex email -> cno <=> cno
+md card/billing: tel = phn -> FN ~edit(0.7) FN
+`
+	set, err := md.ParseString(text, mdSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prems := set[0].Premises()
+	wantOps := []similarity.Op{
+		similarity.JaroOp(0.9), similarity.JWOp(0.85),
+		similarity.QGramOp(2, 0.6), similarity.SoundexOp(),
+	}
+	for i, p := range prems {
+		if p.Op != wantOps[i] {
+			t.Errorf("premise %d op = %v, want %v", i, p.Op, wantOps[i])
+		}
+	}
+	// Similarity conclusion on a single pair.
+	_, _, op := set[1].Conclusion()
+	if op != similarity.EditOp(0.7) {
+		t.Errorf("conclusion op = %v", op)
+	}
+	// Round trip of the exotic line.
+	var sb strings.Builder
+	if err := md.Format(&sb, set); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := md.ParseString(sb.String(), mdSchemas()); err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+}
+
+func TestParseMDErrors(t *testing.T) {
+	bad := []string{
+		"card/billing: tel = phn -> addr <=> post\n",             // missing 'md '
+		"md card: tel = phn -> addr <=> post\n",                  // missing right relation
+		"md ghost/billing: tel = phn -> addr <=> post\n",         // unknown left
+		"md card/ghost: tel = phn -> addr <=> post\n",            // unknown right
+		"md card/billing tel = phn -> addr <=> post\n",           // missing ':'
+		"md card/billing: tel = phn addr <=> post\n",             // missing '->'
+		"md card/billing: tel ? phn -> addr <=> post\n",          // bad operator
+		"md card/billing: tel ~edit(x) phn -> addr <=> post\n",   // bad threshold
+		"md card/billing: tel ~qgram(2) phn -> addr <=> post\n",  // qgram needs θ
+		"md card/billing: tel ~wobble(1) phn -> addr <=> post\n", // unknown metric
+		"md card/billing: tel = phn -> addr\n",                   // no conclusion op
+		"md card/billing: tel = phn -> [FN,LN] <=> [FN]\n",       // unbalanced lists
+		"md card/billing: tel = phn -> [] <=> []\n",              // empty lists
+		"md card/billing: ghost = phn -> addr <=> post\n",        // unknown attribute
+	}
+	for _, text := range bad {
+		if _, err := md.ParseString(text, mdSchemas()); err == nil {
+			t.Errorf("want parse error for %q", text)
+		}
+	}
+}

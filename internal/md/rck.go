@@ -1,0 +1,285 @@
+package md
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/similarity"
+)
+
+// RCK derivation (Section 3.3): derive keys relative to (Y1, Y2) from a
+// set of MDs and minimize them into relative candidate keys, to be used
+// as matching rules on unreliable data. The paper reports (citing [38])
+// that derived RCKs improve both the quality and efficiency of object
+// identification; the match package's benchmarks reproduce that claim.
+
+// DeriveOptions bounds the backward-chaining search.
+type DeriveOptions struct {
+	// MaxDepth bounds resolution steps per candidate (default 8).
+	MaxDepth int
+	// MaxCandidates bounds the number of raw candidates explored
+	// (default 4096).
+	MaxCandidates int
+}
+
+func (o DeriveOptions) withDefaults() DeriveOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 8
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 4096
+	}
+	return o
+}
+
+// DeriveRCKs derives relative candidate keys for (y1, y2) from Σ:
+// backward-chain from the target ⇋ conclusion through Σ's MDs until the
+// open goals contain no ⇋ premise (yielding a relative key), verify each
+// candidate against Σ with Implies, minimize (drop premises, weaken
+// operators along the containment order), and discard keys dominated by
+// strictly smaller ones. Results are deterministic and sorted by length.
+func DeriveRCKs(set []*MD, y1, y2 []string, opts DeriveOptions) ([]*MD, error) {
+	opts = opts.withDefaults()
+	if len(set) == 0 {
+		return nil, fmt.Errorf("md: no MDs to derive from")
+	}
+	left, right := set[0].left, set[0].right
+	yl, err := left.Positions(y1)
+	if err != nil {
+		return nil, fmt.Errorf("md: %v", err)
+	}
+	yr, err := right.Positions(y2)
+	if err != nil {
+		return nil, fmt.Errorf("md: %v", err)
+	}
+	if len(yl) != len(yr) {
+		return nil, fmt.Errorf("md: |Y1| must equal |Y2|")
+	}
+
+	// A goal is a required fact (pair, op). The initial goal set is the
+	// pairwise ⇋ of the target lists.
+	type goal struct {
+		pair AttrPair
+		op   similarity.Op
+	}
+	goalKey := func(gs []goal) string {
+		ss := make([]string, len(gs))
+		for i, g := range gs {
+			ss[i] = fmt.Sprintf("%d:%d:%s", g.pair.L, g.pair.R, g.op)
+		}
+		sort.Strings(ss)
+		out := ""
+		for _, s := range ss {
+			out += s + "|"
+		}
+		return out
+	}
+
+	var initial []goal
+	for i := range yl {
+		initial = append(initial, goal{AttrPair{yl[i], yr[i]}, similarity.MatchOp()})
+	}
+
+	type state struct {
+		goals []goal
+		depth int
+	}
+	queue := []state{{goals: initial}}
+	visited := map[string]bool{goalKey(initial): true}
+	var rawKeys []*MD
+	explored := 0
+
+	hasMatchGoal := func(gs []goal) bool {
+		for _, g := range gs {
+			if g.op.IsMatch() {
+				return true
+			}
+		}
+		return false
+	}
+	mkKey := func(gs []goal) (*MD, error) {
+		// Deduplicate premise goals.
+		seen := make(map[string]bool)
+		var prems []PremiseSpec
+		for _, g := range gs {
+			k := fmt.Sprintf("%d:%d:%s", g.pair.L, g.pair.R, g.op)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			prems = append(prems, PremiseSpec{
+				Left:  left.Attr(g.pair.L).Name,
+				Right: right.Attr(g.pair.R).Name,
+				Op:    g.op,
+			})
+		}
+		return New(left, right, prems, y1, y2, similarity.MatchOp())
+	}
+
+	for len(queue) > 0 && explored < opts.MaxCandidates {
+		st := queue[0]
+		queue = queue[1:]
+		explored++
+		if !hasMatchGoal(st.goals) && len(st.goals) > 0 {
+			if key, err := mkKey(st.goals); err == nil && Implies(set, key) {
+				rawKeys = append(rawKeys, key)
+			}
+			continue
+		}
+		if st.depth >= opts.MaxDepth {
+			continue
+		}
+		// Ground: a ⇋ goal can be discharged directly by an equality
+		// premise, since every operator subsumes equality (this is how
+		// the paper's rck2/rck3 use '=' on LN/SN where the source MDs
+		// demand ⇋).
+		for gi, g := range st.goals {
+			if !g.op.IsMatch() {
+				continue
+			}
+			rest := make([]goal, 0, len(st.goals))
+			rest = append(rest, st.goals[:gi]...)
+			rest = append(rest, st.goals[gi+1:]...)
+			rest = append(rest, goal{g.pair, similarity.Eq()})
+			if k := goalKey(rest); !visited[k] {
+				visited[k] = true
+				queue = append(queue, state{goals: rest, depth: st.depth + 1})
+			}
+		}
+		// Resolve: pick each MD whose conclusion supplies at least one
+		// open goal; replace all goals it supplies with its premises.
+		for _, m := range set {
+			zl, zr, op := m.Conclusion()
+			supplies := func(g goal) bool {
+				if op.IsMatch() {
+					for i := range zl {
+						if (AttrPair{zl[i], zr[i]}) == g.pair && g.op.Contains(similarity.MatchOp()) {
+							return true
+						}
+					}
+					return false
+				}
+				return len(zl) == 1 && (AttrPair{zl[0], zr[0]}) == g.pair && g.op.Contains(op)
+			}
+			any := false
+			var rest []goal
+			for _, g := range st.goals {
+				if supplies(g) {
+					any = true
+				} else {
+					rest = append(rest, g)
+				}
+			}
+			if !any {
+				continue
+			}
+			for _, p := range m.premises {
+				rest = append(rest, goal{p.pairCopy(), p.Op})
+			}
+			k := goalKey(rest)
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, state{goals: rest, depth: st.depth + 1})
+			}
+		}
+	}
+
+	// Weakening and premise-minimization, then dominance filtering.
+	universe := weakeningUniverse(set)
+	var minimized []*MD
+	for _, key := range rawKeys {
+		minimized = append(minimized, minimizeKey(set, key, universe))
+	}
+	return filterCandidates(minimized), nil
+}
+
+func (p Premise) pairCopy() AttrPair { return p.Pair }
+
+// weakeningUniverse lists the candidate operators for weakening premises:
+// everything mentioned in Σ plus equality, without ⇋.
+func weakeningUniverse(set []*MD) []similarity.Op {
+	ops := opUniverse(set, nil)
+	out := ops[:0]
+	for _, op := range ops {
+		if !op.IsMatch() {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// minimizeKey greedily (a) drops premises and (b) weakens premise
+// operators along the containment order, as long as Σ still implies the
+// key. The result is minimal w.r.t. single-step shrinking.
+func minimizeKey(set []*MD, key *MD, universe []similarity.Op) *MD {
+	cur := key.Clone()
+	// Drop premises.
+	for i := 0; i < len(cur.premises); {
+		trial := cur.Clone()
+		trial.premises = append(trial.premises[:i], trial.premises[i+1:]...)
+		if len(trial.premises) > 0 && Implies(set, trial) {
+			cur = trial
+			continue
+		}
+		i++
+	}
+	// Weaken operators: replace each premise op with a strictly weaker
+	// (containing) operator when implication survives.
+	for i := range cur.premises {
+		for {
+			improved := false
+			for _, weaker := range universe {
+				if weaker == cur.premises[i].Op || !weaker.Contains(cur.premises[i].Op) {
+					continue
+				}
+				trial := cur.Clone()
+				trial.premises[i].Op = weaker
+				if Implies(set, trial) {
+					cur = trial
+					improved = true
+					break
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// filterCandidates deduplicates and removes keys strictly dominated by a
+// smaller key (the RCK condition: no ψ′ < ψ).
+func filterCandidates(keys []*MD) []*MD {
+	seen := make(map[string]bool)
+	var uniq []*MD
+	for _, k := range keys {
+		if id := k.Key(); !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, k)
+		}
+	}
+	var out []*MD
+	for i, k := range uniq {
+		dominated := false
+		for j, other := range uniq {
+			if i == j {
+				continue
+			}
+			if other.LessEq(k) && !k.LessEq(other) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Length() != out[j].Length() {
+			return out[i].Length() < out[j].Length()
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}

@@ -1,0 +1,83 @@
+package paperdata_test
+
+import (
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// TestFigure1Values pins the fixture to the exact values printed in the
+// paper's Figure 1.
+func TestFigure1Values(t *testing.T) {
+	in := paperdata.Figure1()
+	if in.Len() != 3 {
+		t.Fatalf("len = %d, want 3", in.Len())
+	}
+	s := in.Schema()
+	want := [][]string{
+		{"44", "131", "1234567", "Mike", "Mayfield", "NYC", "EH4 8LE"},
+		{"44", "131", "3456789", "Rick", "Crichton", "NYC", "EH4 8LE"},
+		{"1", "908", "3456789", "Joe", "Mtn Ave", "NYC", "07974"},
+	}
+	for i, tu := range in.Tuples() {
+		for j, v := range tu {
+			if v.String() != want[i][j] {
+				t.Errorf("t%d[%s] = %v, want %s", i+1, s.Attr(j).Name, v, want[i][j])
+			}
+		}
+	}
+}
+
+// TestFigure3Values pins the order/book/CD fixture to Figure 3.
+func TestFigure3Values(t *testing.T) {
+	db := paperdata.Figure3()
+	order := db.MustInstance("order")
+	if order.Len() != 2 {
+		t.Fatalf("order len = %d", order.Len())
+	}
+	t4 := order.Tuples()[0]
+	if t4[0].StrVal() != "a23" || t4[1].StrVal() != "Snow White" || t4[2].StrVal() != "CD" || t4[3].FloatVal() != 7.99 {
+		t.Errorf("t4 = %v", t4)
+	}
+	book := db.MustInstance("book")
+	t7 := book.Tuples()[1]
+	if t7[3].StrVal() != "paper-cover" {
+		t.Errorf("t7 format = %v, want paper-cover (the reason ϕ6 fails)", t7[3])
+	}
+	cd := db.MustInstance("CD")
+	t9 := cd.Tuples()[1]
+	if t9[3].StrVal() != "a-book" {
+		t.Errorf("t9 genre = %v, want a-book", t9[3])
+	}
+}
+
+func TestSchemasAndIdentityLists(t *testing.T) {
+	card := paperdata.CardSchema()
+	billing := paperdata.BillingSchema()
+	if card.Arity() != 8 || billing.Arity() != 8 {
+		t.Error("Section 3.1 schemas have 8 attributes each")
+	}
+	yc, yb := paperdata.Yc(), paperdata.Yb()
+	if len(yc) != 5 || len(yb) != 5 {
+		t.Fatalf("identity lists: %d/%d, want 5/5", len(yc), len(yb))
+	}
+	for _, a := range yc {
+		if _, ok := card.Lookup(a); !ok {
+			t.Errorf("Yc attribute %q missing from card", a)
+		}
+	}
+	for _, a := range yb {
+		if _, ok := billing.Lookup(a); !ok {
+			t.Errorf("Yb attribute %q missing from billing", a)
+		}
+	}
+	// Example 4.1's schema has the crucial bool domain.
+	s, set := paperdata.Example41()
+	if s.Attr(0).Domain.Kind() != relation.KindBool {
+		t.Error("Example 4.1 needs a bool attribute")
+	}
+	if len(set) != 2 {
+		t.Error("Example 4.1 has two CFDs")
+	}
+}

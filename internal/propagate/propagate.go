@@ -1,0 +1,155 @@
+// Package propagate implements CFD propagation through views (dependency
+// propagation, Section 4.1 of Fan, PODS 2008, Theorem 4.7 and
+// Example 4.2): given source CFDs Σ and a view σ defined as a union of
+// select-project-product (SPC) branches, decide Σ ⊨σ ϕ — whether every
+// view of a Σ-satisfying source database satisfies the view CFD ϕ.
+//
+// The decision procedure pulls a hypothetical view violation of ϕ back
+// through the view into symbolic source tuples (two embeddings of the
+// branch bodies, sharing ϕ's LHS through the heads), chases them with
+// Σ's rows as equality/constant-generating rules over a union-find with
+// constant bindings and disequality constraints, and reports propagation
+// iff every branch pair and every violation shape is inconsistent. The
+// analysis is exact in the absence of finite-domain attributes (the PTIME
+// regime of Theorem 4.7); with finite domains it stays sound for
+// "not propagated" answers and the general problem is coNP-complete.
+package propagate
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// Branch is one SPC branch of a view: a conjunctive body over source
+// relations with a head term per view column. Selections are expressed by
+// constants and shared variables in the atoms (σ and ⋈ via repetition).
+type Branch struct {
+	Atoms []algebra.Atom
+	Head  []algebra.Term
+}
+
+// View is a union of SPC branches with named output columns.
+type View struct {
+	Name     string
+	Cols     []string
+	Branches []Branch
+}
+
+// Schema derives the view's output schema from the source schemas: a head
+// variable takes the kind of its first body occurrence; a head constant
+// its own kind.
+func (v View) Schema(schemas map[string]*relation.Schema) (*relation.Schema, error) {
+	if len(v.Branches) == 0 {
+		return nil, fmt.Errorf("propagate: view %s has no branches", v.Name)
+	}
+	attrs := make([]relation.Attribute, len(v.Cols))
+	b := v.Branches[0]
+	if len(b.Head) != len(v.Cols) {
+		return nil, fmt.Errorf("propagate: branch head arity %d, want %d", len(b.Head), len(v.Cols))
+	}
+	for i, term := range b.Head {
+		kind, err := termKind(term, b, schemas)
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = relation.Attr(v.Cols[i], kind)
+	}
+	return relation.NewSchema(v.Name, attrs...)
+}
+
+func termKind(term algebra.Term, b Branch, schemas map[string]*relation.Schema) (relation.Kind, error) {
+	if !term.IsVar() {
+		return term.Const.Kind(), nil
+	}
+	for _, a := range b.Atoms {
+		s, ok := schemas[a.Rel]
+		if !ok {
+			return 0, fmt.Errorf("propagate: unknown relation %q", a.Rel)
+		}
+		for j, t := range a.Terms {
+			if t.IsVar() && t.Var == term.Var {
+				return s.Attr(j).Domain.Kind(), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("propagate: head variable %q not bound in body", term.Var)
+}
+
+// Eval materializes the view over a database (for testing the view
+// definition itself).
+func (v View) Eval(db *relation.Database, schemas map[string]*relation.Schema) (*relation.Instance, error) {
+	schema, err := v.Schema(schemas)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(schema)
+	seen := make(map[string]bool)
+	for _, b := range v.Branches {
+		q := algebra.CQ{Head: b.Head, Atoms: b.Atoms, OutName: v.Name, OutAttrs: v.Cols}
+		ans, err := q.Eval(db)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ans.Tuples() {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				if _, err := out.Insert(t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Propagates decides Σ ⊨σ ϕ for a view CFD ϕ defined over v's schema.
+func Propagates(schemas map[string]*relation.Schema, sigma []*cfd.CFD, v View, phi *cfd.CFD) (bool, error) {
+	for _, b := range v.Branches {
+		if len(b.Head) != len(v.Cols) {
+			return false, fmt.Errorf("propagate: branch head arity %d, want %d", len(b.Head), len(v.Cols))
+		}
+		for _, a := range b.Atoms {
+			s, ok := schemas[a.Rel]
+			if !ok {
+				return false, fmt.Errorf("propagate: unknown relation %q", a.Rel)
+			}
+			if len(a.Terms) != s.Arity() {
+				return false, fmt.Errorf("propagate: atom %v arity mismatch", a)
+			}
+		}
+	}
+	for _, target := range phi.Normalize() {
+		row := target.Tableau()[0]
+		// Violation shapes: (a) conclusion values differ; (b) conclusion
+		// values equal but clash with a constant RHS pattern.
+		shapes := []violationShape{{diff: true}}
+		if !row.RHS[0].IsWildcard() {
+			shapes = append(shapes, violationShape{notConst: true})
+		}
+		for bi := range v.Branches {
+			for bj := range v.Branches {
+				for _, shape := range shapes {
+					sat, err := violationSatisfiable(schemas, sigma, v, bi, bj, target, shape)
+					if err != nil {
+						return false, err
+					}
+					if sat {
+						return false, nil // counterexample scenario survives
+					}
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// violationShape distinguishes how ϕ's conclusion fails: the two view
+// tuples differ on the RHS attribute (diff), or they agree but the shared
+// value avoids the RHS pattern constant (notConst).
+type violationShape struct {
+	diff     bool
+	notConst bool
+}

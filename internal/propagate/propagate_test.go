@@ -1,0 +1,279 @@
+package propagate_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cfd"
+	"repro/internal/propagate"
+	"repro/internal/relation"
+)
+
+// example42 builds the three-source setting of Example 4.2: R1 (UK), R2
+// (US), R3 (Netherlands), each with zip, street, AC, city, and the union
+// view that adds the country code.
+func example42() (schemas map[string]*relation.Schema, sigma []*cfd.CFD, view propagate.View) {
+	mk := func(name string) *relation.Schema {
+		return relation.MustSchema(name,
+			relation.Attr("zip", relation.KindString),
+			relation.Attr("street", relation.KindString),
+			relation.Attr("AC", relation.KindInt),
+			relation.Attr("city", relation.KindString),
+		)
+	}
+	r1, r2, r3 := mk("R1"), mk("R2"), mk("R3")
+	schemas = map[string]*relation.Schema{"R1": r1, "R2": r2, "R3": r3}
+
+	// Σ0: f3 = R1: zip → street; f3+i = Ri: AC → city.
+	sigma = []*cfd.CFD{
+		cfd.MustFD(r1, []string{"zip"}, []string{"street"}),
+		cfd.MustFD(r1, []string{"AC"}, []string{"city"}),
+		cfd.MustFD(r2, []string{"AC"}, []string{"city"}),
+		cfd.MustFD(r3, []string{"AC"}, []string{"city"}),
+	}
+
+	// σ0: union of the three sources, each branch tagging its country
+	// code (44 UK, 1 US, 31 NL).
+	branch := func(rel string, cc int64) propagate.Branch {
+		return propagate.Branch{
+			Atoms: []algebra.Atom{{Rel: rel, Terms: []algebra.Term{
+				algebra.V("z"), algebra.V("s"), algebra.V("a"), algebra.V("c")}}},
+			Head: []algebra.Term{
+				algebra.C(relation.Int(cc)), algebra.V("z"), algebra.V("s"), algebra.V("a"), algebra.V("c")},
+		}
+	}
+	view = propagate.View{
+		Name: "R",
+		Cols: []string{"CC", "zip", "street", "AC", "city"},
+		Branches: []propagate.Branch{
+			branch("R1", 44), branch("R2", 1), branch("R3", 31),
+		},
+	}
+	return
+}
+
+// TestExample42Propagation reproduces the paper's Example 4.2: the plain
+// FDs f3 and f3+i do NOT propagate to the union view, but the CFDs ϕ7 and
+// ϕ8 (conditioned on the country code) DO.
+func TestExample42Propagation(t *testing.T) {
+	schemas, sigma, view := example42()
+	vs, err := view.Schema(schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// f3 on the view: zip → street, unconditionally. Not propagated
+	// (US zips do not determine streets).
+	f3 := cfd.MustFD(vs, []string{"zip"}, []string{"street"})
+	ok, err := propagate.Propagates(schemas, sigma, view, f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("f3 must NOT propagate: R2 has no zip→street FD")
+	}
+
+	// AC → city unconditionally. Not propagated: area code 20 is London
+	// in the UK and Amsterdam in the Netherlands.
+	acCity := cfd.MustFD(vs, []string{"AC"}, []string{"city"})
+	ok, err = propagate.Propagates(schemas, sigma, view, acCity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("AC→city must NOT propagate across countries")
+	}
+
+	// ϕ7 = R([CC, zip] → [street], {(44, _ ‖ _)}): propagated.
+	phi7 := cfd.MustNew(vs, []string{"CC", "zip"}, []string{"street"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Int(44)), cfd.Any()}, []cfd.Cell{cfd.Any()}))
+	ok, err = propagate.Propagates(schemas, sigma, view, phi7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("ϕ7 must propagate (UK zips determine streets)")
+	}
+
+	// ϕ8 = R([CC, AC] → [city], {(c, _ ‖ _)}) for c ∈ {44, 1, 31}:
+	// propagated.
+	phi8 := cfd.MustNew(vs, []string{"CC", "AC"}, []string{"city"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Int(44)), cfd.Any()}, []cfd.Cell{cfd.Any()}),
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Int(1)), cfd.Any()}, []cfd.Cell{cfd.Any()}),
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Int(31)), cfd.Any()}, []cfd.Cell{cfd.Any()}))
+	ok, err = propagate.Propagates(schemas, sigma, view, phi8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("ϕ8 must propagate (per-country AC→city)")
+	}
+
+	// A CFD for a country code no branch produces propagates vacuously.
+	phiGhost := cfd.MustNew(vs, []string{"CC", "zip"}, []string{"street"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Int(99)), cfd.Any()}, []cfd.Cell{cfd.Any()}))
+	ok, err = propagate.Propagates(schemas, sigma, view, phiGhost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a pattern matching no branch is vacuously propagated")
+	}
+}
+
+// TestPropagationConstantRHS exercises the notConst violation shape:
+// a selection view fixes an attribute, so a constant-RHS view CFD is
+// propagated from the selection itself, without any source dependency.
+func TestPropagationConstantRHS(t *testing.T) {
+	s := relation.MustSchema("src",
+		relation.Attr("a", relation.KindString),
+		relation.Attr("b", relation.KindString),
+	)
+	schemas := map[string]*relation.Schema{"src": s}
+	// View selects b = 'x': every view tuple has b = x.
+	view := propagate.View{
+		Name: "V",
+		Cols: []string{"a", "b"},
+		Branches: []propagate.Branch{{
+			Atoms: []algebra.Atom{{Rel: "src", Terms: []algebra.Term{algebra.V("a"), algebra.C(relation.Str("x"))}}},
+			Head:  []algebra.Term{algebra.V("a"), algebra.C(relation.Str("x"))},
+		}},
+	}
+	vs, err := view.Schema(schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := cfd.MustNew(vs, []string{"a"}, []string{"b"},
+		cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Const(relation.Str("x"))}))
+	ok, err := propagate.Propagates(schemas, nil, view, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("σ_{b=x} must propagate b=x as a view CFD with no source Σ")
+	}
+	// And b = 'y' must not.
+	phiY := cfd.MustNew(vs, []string{"a"}, []string{"b"},
+		cfd.Row([]cfd.Cell{cfd.Any()}, []cfd.Cell{cfd.Const(relation.Str("y"))}))
+	ok, err = propagate.Propagates(schemas, nil, view, phiY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("b=y must not propagate")
+	}
+}
+
+// TestPropagationJoinView: a product/join view propagates FDs through
+// join keys.
+func TestPropagationJoinView(t *testing.T) {
+	emp := relation.MustSchema("emp",
+		relation.Attr("eid", relation.KindInt),
+		relation.Attr("dept", relation.KindString),
+	)
+	dept := relation.MustSchema("dept",
+		relation.Attr("dname", relation.KindString),
+		relation.Attr("city", relation.KindString),
+	)
+	schemas := map[string]*relation.Schema{"emp": emp, "dept": dept}
+	sigma := []*cfd.CFD{
+		cfd.MustFD(emp, []string{"eid"}, []string{"dept"}),
+		cfd.MustFD(dept, []string{"dname"}, []string{"city"}),
+	}
+	view := propagate.View{
+		Name: "ED",
+		Cols: []string{"eid", "dept", "city"},
+		Branches: []propagate.Branch{{
+			Atoms: []algebra.Atom{
+				{Rel: "emp", Terms: []algebra.Term{algebra.V("e"), algebra.V("d")}},
+				{Rel: "dept", Terms: []algebra.Term{algebra.V("d"), algebra.V("c")}},
+			},
+			Head: []algebra.Term{algebra.V("e"), algebra.V("d"), algebra.V("c")},
+		}},
+	}
+	vs, err := view.Schema(schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eid → city propagates: eid → dept (source), join on dept = dname,
+	// dname → city (source).
+	phi := cfd.MustFD(vs, []string{"eid"}, []string{"city"})
+	ok, err := propagate.Propagates(schemas, sigma, view, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("eid→city must propagate through the join")
+	}
+	// city → eid must not.
+	rev := cfd.MustFD(vs, []string{"city"}, []string{"eid"})
+	ok, err = propagate.Propagates(schemas, sigma, view, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("city→eid must not propagate")
+	}
+}
+
+// TestViewEvalMatchesPropagation sanity-checks the view evaluator: a
+// materialized Σ-satisfying source yields a view satisfying the
+// propagated CFDs.
+func TestViewEvalMatchesPropagation(t *testing.T) {
+	schemas, sigma, view := example42()
+	db := relation.NewDatabase()
+	r1 := relation.NewInstance(schemas["R1"])
+	r1.MustInsert(relation.Str("EH4"), relation.Str("Mayfield"), relation.Int(131), relation.Str("EDI"))
+	r1.MustInsert(relation.Str("EH4"), relation.Str("Mayfield"), relation.Int(20), relation.Str("LDN"))
+	db.Add(r1)
+	r2 := relation.NewInstance(schemas["R2"])
+	r2.MustInsert(relation.Str("07974"), relation.Str("Mtn Ave"), relation.Int(908), relation.Str("MH"))
+	db.Add(r2)
+	r3 := relation.NewInstance(schemas["R3"])
+	r3.MustInsert(relation.Str("1011"), relation.Str("Damrak"), relation.Int(20), relation.Str("AMS"))
+	db.Add(r3)
+	for _, c := range sigma {
+		in, _ := db.Instance(c.Schema().Name())
+		if !cfd.Satisfies(in, c) {
+			t.Fatalf("source violates %v", c)
+		}
+	}
+	out, err := view.Eval(db, schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("view rows = %d, want 4", out.Len())
+	}
+	vs := out.Schema()
+	phi7 := cfd.MustNew(vs, []string{"CC", "zip"}, []string{"street"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Int(44)), cfd.Any()}, []cfd.Cell{cfd.Any()}))
+	if !cfd.Satisfies(out, phi7) {
+		t.Error("materialized view violates ϕ7")
+	}
+	// The unconditional AC→city is indeed violated on this view (area
+	// code 20 in both London and Amsterdam) — the paper's point.
+	acCity := cfd.MustFD(vs, []string{"AC"}, []string{"city"})
+	if cfd.Satisfies(out, acCity) {
+		t.Error("expected the AC=20 London/Amsterdam clash on the view")
+	}
+}
+
+func TestPropagateValidation(t *testing.T) {
+	schemas, sigma, view := example42()
+	vs, _ := view.Schema(schemas)
+	phi := cfd.MustFD(vs, []string{"zip"}, []string{"street"})
+	bad := view
+	bad.Branches = append([]propagate.Branch(nil), view.Branches...)
+	bad.Branches[0] = propagate.Branch{
+		Atoms: []algebra.Atom{{Rel: "ghost", Terms: []algebra.Term{algebra.V("x")}}},
+		Head:  view.Branches[0].Head,
+	}
+	if _, err := propagate.Propagates(schemas, sigma, bad, phi); err == nil {
+		t.Error("want error for unknown source relation")
+	}
+	empty := propagate.View{Name: "E", Cols: []string{"a"}}
+	if _, err := empty.Schema(schemas); err == nil {
+		t.Error("want error for empty view")
+	}
+}

@@ -1,0 +1,248 @@
+package propagate
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// The symbolic solver: a union-find over cell slots of the pulled-back
+// source tuples, with per-class constant bindings and disequality
+// constraints. Chasing Σ's rows to a fixpoint either derives a
+// contradiction (the violation scenario is impossible: propagation holds
+// for this case) or leaves a consistent state whose canonical instance is
+// a counterexample in the infinite-domain regime.
+
+// symTuple is one symbolic source tuple: slot ids per attribute.
+type symTuple struct {
+	rel   string
+	slots []int
+}
+
+// solver carries the union-find state.
+type solver struct {
+	parent []int
+	bound  []relation.Value
+	has    []bool
+	// disequalities: slot pairs that must differ, and slot/constant
+	// avoidances.
+	neqPairs  [][2]int
+	neqConsts []struct {
+		slot int
+		val  relation.Value
+	}
+	failed bool
+}
+
+func (s *solver) newSlot() int {
+	id := len(s.parent)
+	s.parent = append(s.parent, id)
+	s.bound = append(s.bound, relation.Value{})
+	s.has = append(s.has, false)
+	return id
+}
+
+func (s *solver) find(i int) int {
+	for s.parent[i] != i {
+		s.parent[i] = s.parent[s.parent[i]]
+		i = s.parent[i]
+	}
+	return i
+}
+
+func (s *solver) union(i, j int) bool {
+	ri, rj := s.find(i), s.find(j)
+	if ri == rj {
+		return false
+	}
+	s.parent[rj] = ri
+	if s.has[rj] {
+		if s.has[ri] && !s.bound[ri].Equal(s.bound[rj]) {
+			s.failed = true
+		}
+		s.bound[ri] = s.bound[rj]
+		s.has[ri] = true
+	}
+	return true
+}
+
+func (s *solver) bind(i int, v relation.Value) bool {
+	r := s.find(i)
+	if s.has[r] {
+		if !s.bound[r].Equal(v) {
+			s.failed = true
+		}
+		return false
+	}
+	s.bound[r] = v
+	s.has[r] = true
+	return true
+}
+
+func (s *solver) boundTo(i int) (relation.Value, bool) {
+	r := s.find(i)
+	return s.bound[r], s.has[r]
+}
+
+// equal reports slot equality in the freest interpretation.
+func (s *solver) equal(i, j int) bool {
+	if s.find(i) == s.find(j) {
+		return true
+	}
+	vi, oki := s.boundTo(i)
+	vj, okj := s.boundTo(j)
+	return oki && okj && vi.Equal(vj)
+}
+
+// matches reports whether slot i matches a CFD pattern cell in the
+// freest interpretation.
+func (s *solver) matches(i int, cell cfd.Cell) bool {
+	if cell.IsWildcard() {
+		return true
+	}
+	v, ok := s.boundTo(i)
+	return ok && v.Equal(cell.Value())
+}
+
+// consistent verifies the disequality constraints after the chase.
+func (s *solver) consistent() bool {
+	if s.failed {
+		return false
+	}
+	for _, p := range s.neqPairs {
+		if s.find(p[0]) == s.find(p[1]) {
+			return false
+		}
+		vi, oki := s.boundTo(p[0])
+		vj, okj := s.boundTo(p[1])
+		if oki && okj && vi.Equal(vj) {
+			return false
+		}
+	}
+	for _, nc := range s.neqConsts {
+		if v, ok := s.boundTo(nc.slot); ok && v.Equal(nc.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// violationSatisfiable builds the two symbolic view embeddings (branches
+// bi and bj), imposes ϕ's premise and the chosen violation shape, chases
+// with Σ, and reports whether a consistent state survives.
+func violationSatisfiable(schemas map[string]*relation.Schema, sigma []*cfd.CFD, v View, bi, bj int, target *cfd.CFD, shape violationShape) (bool, error) {
+	s := &solver{}
+	// Instantiate each branch copy: one slot per variable, constants bind
+	// immediately; atoms become symbolic tuples.
+	var tuples []symTuple
+	headSlots := make([][]int, 2) // per copy, slot per view column
+	for copyIdx, branch := range [2]Branch{v.Branches[bi], v.Branches[bj]} {
+		varSlot := make(map[string]int)
+		slotOf := func(term algebra.Term, kindHint relation.Kind) int {
+			if term.IsVar() {
+				if id, ok := varSlot[term.Var]; ok {
+					return id
+				}
+				id := s.newSlot()
+				varSlot[term.Var] = id
+				return id
+			}
+			id := s.newSlot()
+			s.bind(id, term.Const)
+			_ = kindHint
+			return id
+		}
+		for _, atom := range branch.Atoms {
+			schema := schemas[atom.Rel]
+			st := symTuple{rel: atom.Rel, slots: make([]int, len(atom.Terms))}
+			for j, term := range atom.Terms {
+				st.slots[j] = slotOf(term, schema.Attr(j).Domain.Kind())
+			}
+			tuples = append(tuples, st)
+		}
+		headSlots[copyIdx] = make([]int, len(branch.Head))
+		for k, term := range branch.Head {
+			headSlots[copyIdx][k] = slotOf(term, relation.KindString)
+		}
+	}
+
+	// ϕ's premise: view tuples equal on X and matching the pattern.
+	row := target.Tableau()[0]
+	for j, col := range target.LHS() {
+		a, b := headSlots[0][col], headSlots[1][col]
+		s.union(a, b)
+		if cell := row.LHS[j]; !cell.IsWildcard() {
+			s.bind(a, cell.Value())
+		}
+		if s.failed {
+			return false, nil
+		}
+	}
+	// The violation shape on the RHS attribute.
+	rhsCol := target.RHS()[0]
+	a, b := headSlots[0][rhsCol], headSlots[1][rhsCol]
+	switch {
+	case shape.diff:
+		s.neqPairs = append(s.neqPairs, [2]int{a, b})
+	case shape.notConst:
+		s.union(a, b)
+		if row.RHS[0].IsWildcard() {
+			return false, fmt.Errorf("propagate: notConst shape needs a constant RHS pattern")
+		}
+		s.neqConsts = append(s.neqConsts,
+			struct {
+				slot int
+				val  relation.Value
+			}{a, row.RHS[0].Value()})
+	}
+	if s.failed {
+		return false, nil
+	}
+
+	// Chase with Σ over all symbolic tuple pairs of matching relations.
+	norm := cfd.NormalizeSet(sigma)
+	for changed := true; changed && !s.failed; {
+		changed = false
+		for _, c := range norm {
+			crow := c.Tableau()[0]
+			relName := c.Schema().Name()
+			for ti := range tuples {
+				if tuples[ti].rel != relName {
+					continue
+				}
+				for tj := range tuples {
+					if tuples[tj].rel != relName {
+						continue
+					}
+					fires := true
+					for j, p := range c.LHS() {
+						si, sj := tuples[ti].slots[p], tuples[tj].slots[p]
+						if !s.equal(si, sj) || !s.matches(si, crow.LHS[j]) {
+							fires = false
+							break
+						}
+					}
+					if !fires {
+						continue
+					}
+					rp := c.RHS()[0]
+					si, sj := tuples[ti].slots[rp], tuples[tj].slots[rp]
+					if s.union(si, sj) {
+						changed = true
+					}
+					if !crow.RHS[0].IsWildcard() {
+						if s.bind(si, crow.RHS[0].Value()) {
+							changed = true
+						}
+					}
+					if s.failed {
+						return false, nil
+					}
+				}
+			}
+		}
+	}
+	return s.consistent(), nil
+}

@@ -1,0 +1,92 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV encodes the instance as CSV. The header carries typed column
+// names of the form "name:kind" (e.g. "CC:int"); finite domains are not
+// serialized and must be re-attached by the caller if needed.
+func WriteCSV(w io.Writer, in *Instance) error {
+	cw := csv.NewWriter(w)
+	s := in.Schema()
+	header := make([]string, s.Arity())
+	for i, a := range s.Attrs() {
+		header[i] = a.Name + ":" + a.Domain.Kind().String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, s.Arity())
+	for _, t := range in.Tuples() {
+		for i, v := range t {
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes an instance from CSV produced by WriteCSV (or any CSV
+// whose header uses "name:kind" column labels; a bare "name" defaults to
+// kind string). The relation is given the provided name.
+func ReadCSV(r io.Reader, name string) (*Instance, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv header: %v", err)
+	}
+	attrs := make([]Attribute, len(header))
+	for i, h := range header {
+		colName, kindName, found := strings.Cut(h, ":")
+		kind := KindString
+		if found {
+			k, err := ParseKind(kindName)
+			if err != nil {
+				return nil, fmt.Errorf("relation: column %q: %v", h, err)
+			}
+			kind = k
+		}
+		attrs[i] = Attr(strings.TrimSpace(colName), kind)
+	}
+	schema, err := NewSchema(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	in := NewInstance(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read csv line %d: %v", line, err)
+		}
+		if len(rec) != len(attrs) {
+			return nil, fmt.Errorf("relation: csv line %d: %d fields, want %d", line, len(rec), len(attrs))
+		}
+		t := make(Tuple, len(rec))
+		for i, cell := range rec {
+			v, err := ParseValue(attrs[i].Domain.Kind(), cell)
+			if err != nil {
+				return nil, fmt.Errorf("relation: csv line %d column %s: %v", line, attrs[i].Name, err)
+			}
+			t[i] = v
+		}
+		if _, err := in.Insert(t); err != nil {
+			return nil, fmt.Errorf("relation: csv line %d: %v", line, err)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,48 @@
+package relation
+
+// Index is a hash index over a list of attribute positions of an instance.
+// It maps each projection key to the TIDs whose tuples share that
+// projection. Indexes are built once over a snapshot of the instance; they
+// are the workhorse of violation detection, which groups tuples by the LHS
+// of a dependency.
+type Index struct {
+	pos     []int
+	buckets map[string][]TID
+}
+
+// BuildIndex builds a hash index of in on the given attribute positions.
+func BuildIndex(in *Instance, pos []int) *Index {
+	ix := &Index{pos: append([]int(nil), pos...), buckets: make(map[string][]TID)}
+	for _, id := range in.IDs() {
+		t, _ := in.Tuple(id)
+		k := t.KeyOn(ix.pos)
+		ix.buckets[k] = append(ix.buckets[k], id)
+	}
+	return ix
+}
+
+// Lookup returns the TIDs whose projection equals that of t (a tuple of the
+// indexed instance's full arity).
+func (ix *Index) Lookup(t Tuple) []TID {
+	return ix.buckets[t.KeyOn(ix.pos)]
+}
+
+// LookupKey returns the TIDs stored under a precomputed projection key.
+func (ix *Index) LookupKey(key string) []TID { return ix.buckets[key] }
+
+// Groups invokes fn for every bucket with at least minSize members.
+// Iteration order over buckets is unspecified; callers that need
+// determinism should sort the result themselves.
+func (ix *Index) Groups(minSize int, fn func(key string, ids []TID)) {
+	for k, ids := range ix.buckets {
+		if len(ids) >= minSize {
+			fn(k, ids)
+		}
+	}
+}
+
+// Positions returns the indexed attribute positions.
+func (ix *Index) Positions() []int { return ix.pos }
+
+// Len returns the number of distinct projection keys.
+func (ix *Index) Len() int { return len(ix.buckets) }

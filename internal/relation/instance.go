@@ -1,0 +1,324 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row of values, positionally aligned with a schema.
+type Tuple []Value
+
+// Project returns the sub-tuple at the given positions.
+func (t Tuple) Project(pos []int) Tuple {
+	out := make(Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// Equal reports positional equality of two tuples.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualOn reports whether t and u agree on the given positions.
+func (t Tuple) EqualOn(pos []int, u Tuple) bool {
+	for _, p := range pos {
+		if !t[p].Equal(u[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a hashable identity for the tuple (equal for Equal tuples).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(v.Key())
+		b.WriteByte('\x01')
+	}
+	return b.String()
+}
+
+// KeyOn returns a hashable identity for the projection of t onto pos.
+func (t Tuple) KeyOn(pos []int) string {
+	var b strings.Builder
+	for _, p := range pos {
+		b.WriteString(t[p].Key())
+		b.WriteByte('\x01')
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// TID identifies a tuple within an Instance. TIDs are stable: deleting a
+// tuple does not renumber the others.
+type TID int
+
+// Instance is a (multiset) instance of a schema with stable tuple
+// identifiers and optional per-cell confidence weights in [0,1] used by the
+// Section 5.1 repair cost metric. The zero weight slot means "use the
+// default weight of 1".
+type Instance struct {
+	schema  *Schema
+	tuples  map[TID]Tuple
+	weights map[TID][]float64
+	nextID  TID
+}
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(schema *Schema) *Instance {
+	return &Instance{
+		schema:  schema,
+		tuples:  make(map[TID]Tuple),
+		weights: make(map[TID][]float64),
+	}
+}
+
+// Schema returns the instance's schema.
+func (in *Instance) Schema() *Schema { return in.schema }
+
+// Len returns the number of tuples.
+func (in *Instance) Len() int { return len(in.tuples) }
+
+// Insert adds a tuple and returns its TID. The tuple is validated against
+// the schema's arity and domains.
+func (in *Instance) Insert(t Tuple) (TID, error) {
+	if len(t) != in.schema.Arity() {
+		return 0, fmt.Errorf("relation: %s: tuple arity %d, want %d", in.schema.Name(), len(t), in.schema.Arity())
+	}
+	for i, v := range t {
+		if !in.schema.Attr(i).Domain.Contains(v) {
+			return 0, fmt.Errorf("relation: %s: value %v not in dom(%s)=%v",
+				in.schema.Name(), v, in.schema.Attr(i).Name, in.schema.Attr(i).Domain)
+		}
+	}
+	id := in.nextID
+	in.nextID++
+	in.tuples[id] = t.Clone()
+	return id, nil
+}
+
+// MustInsert is Insert that panics on error; for tests and fixtures.
+func (in *Instance) MustInsert(vals ...Value) TID {
+	id, err := in.Insert(Tuple(vals))
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Delete removes the tuple with the given TID. It reports whether the
+// tuple existed.
+func (in *Instance) Delete(id TID) bool {
+	if _, ok := in.tuples[id]; !ok {
+		return false
+	}
+	delete(in.tuples, id)
+	delete(in.weights, id)
+	return true
+}
+
+// Tuple returns the tuple with the given TID.
+func (in *Instance) Tuple(id TID) (Tuple, bool) {
+	t, ok := in.tuples[id]
+	return t, ok
+}
+
+// Update replaces attribute pos of tuple id with v.
+func (in *Instance) Update(id TID, pos int, v Value) error {
+	t, ok := in.tuples[id]
+	if !ok {
+		return fmt.Errorf("relation: %s: no tuple %d", in.schema.Name(), id)
+	}
+	if !in.schema.Attr(pos).Domain.Contains(v) {
+		return fmt.Errorf("relation: %s: value %v not in dom(%s)", in.schema.Name(), v, in.schema.Attr(pos).Name)
+	}
+	t[pos] = v
+	return nil
+}
+
+// IDs returns the TIDs in ascending order (deterministic iteration).
+func (in *Instance) IDs() []TID {
+	ids := make([]TID, 0, len(in.tuples))
+	for id := range in.tuples {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Tuples returns the tuples in TID order.
+func (in *Instance) Tuples() []Tuple {
+	ids := in.IDs()
+	out := make([]Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = in.tuples[id]
+	}
+	return out
+}
+
+// SetWeight records the confidence weight w(t,A) ∈ [0,1] for cell (id, pos).
+func (in *Instance) SetWeight(id TID, pos int, w float64) error {
+	if _, ok := in.tuples[id]; !ok {
+		return fmt.Errorf("relation: %s: no tuple %d", in.schema.Name(), id)
+	}
+	if w < 0 || w > 1 {
+		return fmt.Errorf("relation: weight %v out of [0,1]", w)
+	}
+	ws, ok := in.weights[id]
+	if !ok {
+		ws = make([]float64, in.schema.Arity())
+		for i := range ws {
+			ws[i] = -1 // -1 means unset ⇒ default
+		}
+		in.weights[id] = ws
+	}
+	ws[pos] = w
+	return nil
+}
+
+// Weight returns the confidence weight for cell (id, pos), defaulting to 1
+// when none was recorded (the paper's "if w(t,A) is not available, a
+// default value is used").
+func (in *Instance) Weight(id TID, pos int) float64 {
+	if ws, ok := in.weights[id]; ok && ws[pos] >= 0 {
+		return ws[pos]
+	}
+	return 1
+}
+
+// Clone returns a deep copy of the instance (same TIDs and weights).
+func (in *Instance) Clone() *Instance {
+	out := NewInstance(in.schema)
+	out.nextID = in.nextID
+	for id, t := range in.tuples {
+		out.tuples[id] = t.Clone()
+	}
+	for id, ws := range in.weights {
+		out.weights[id] = append([]float64(nil), ws...)
+	}
+	return out
+}
+
+// Contains reports whether some tuple of the instance equals t.
+func (in *Instance) Contains(t Tuple) bool {
+	for _, u := range in.tuples {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dedup removes duplicate tuples, keeping the lowest TID of each group,
+// and returns the number removed.
+func (in *Instance) Dedup() int {
+	seen := make(map[string]bool, len(in.tuples))
+	removed := 0
+	for _, id := range in.IDs() {
+		k := in.tuples[id].Key()
+		if seen[k] {
+			in.Delete(id)
+			removed++
+			continue
+		}
+		seen[k] = true
+	}
+	return removed
+}
+
+// String renders the instance as a small table (deterministic order).
+func (in *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", in.schema)
+	for _, id := range in.IDs() {
+		fmt.Fprintf(&b, "  t%d: %s\n", id, in.tuples[id])
+	}
+	return b.String()
+}
+
+// Database is a named collection of instances, one per relation schema.
+type Database struct {
+	instances map[string]*Instance
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{instances: make(map[string]*Instance)}
+}
+
+// Add registers an instance under its schema name; it replaces any
+// previous instance of the same relation.
+func (db *Database) Add(in *Instance) {
+	db.instances[in.Schema().Name()] = in
+}
+
+// Instance returns the instance of the named relation.
+func (db *Database) Instance(name string) (*Instance, bool) {
+	in, ok := db.instances[name]
+	return in, ok
+}
+
+// MustInstance is Instance that panics when the relation is missing.
+func (db *Database) MustInstance(name string) *Instance {
+	in, ok := db.instances[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: database has no relation %q", name))
+	}
+	return in
+}
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.instances))
+	for n := range db.instances {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, in := range db.instances {
+		out.Add(in.Clone())
+	}
+	return out
+}
+
+// Size returns the total number of tuples across all relations.
+func (db *Database) Size() int {
+	n := 0
+	for _, in := range db.instances {
+		n += in.Len()
+	}
+	return n
+}

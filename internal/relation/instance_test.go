@@ -1,0 +1,364 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// customerSchema mirrors the customer schema of Section 2.1 of the paper.
+func customerSchema() *Schema {
+	return MustSchema("customer",
+		Attr("CC", KindInt),
+		Attr("AC", KindInt),
+		Attr("phn", KindInt),
+		Attr("name", KindString),
+		Attr("street", KindString),
+		Attr("city", KindString),
+		Attr("zip", KindString),
+	)
+}
+
+// figure1Instance builds the instance D0 of Figure 1 of the paper.
+func figure1Instance() *Instance {
+	in := NewInstance(customerSchema())
+	in.MustInsert(Int(44), Int(131), Int(1234567), Str("Mike"), Str("Mayfield"), Str("NYC"), Str("EH4 8LE"))
+	in.MustInsert(Int(44), Int(131), Int(3456789), Str("Rick"), Str("Crichton"), Str("NYC"), Str("EH4 8LE"))
+	in.MustInsert(Int(1), Int(908), Int(3456789), Str("Joe"), Str("Mtn Ave"), Str("NYC"), Str("07974"))
+	return in
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := customerSchema()
+	if s.Arity() != 7 {
+		t.Fatalf("arity = %d, want 7", s.Arity())
+	}
+	if i := s.MustLookup("zip"); i != 6 {
+		t.Errorf("zip at %d, want 6", i)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Error("lookup of missing attribute succeeded")
+	}
+	pos, err := s.Positions([]string{"CC", "AC"})
+	if err != nil || pos[0] != 0 || pos[1] != 1 {
+		t.Errorf("Positions = %v, %v", pos, err)
+	}
+	if _, err := s.Positions([]string{"nope"}); err == nil {
+		t.Error("want error for unknown attribute")
+	}
+	if s.HasFiniteDomain() {
+		t.Error("customer schema has no finite domain")
+	}
+}
+
+func TestSchemaDuplicateAttribute(t *testing.T) {
+	if _, err := NewSchema("r", Attr("A", KindInt), Attr("A", KindInt)); err == nil {
+		t.Error("want error for duplicate attribute")
+	}
+	if _, err := NewSchema("", Attr("A", KindInt)); err == nil {
+		t.Error("want error for empty relation name")
+	}
+	if _, err := NewSchema("r", Attribute{Name: "", Domain: Dom(KindInt)}); err == nil {
+		t.Error("want error for empty attribute name")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := customerSchema()
+	p, err := s.Project("addr", []string{"street", "city", "zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 3 || p.Attr(0).Name != "street" {
+		t.Errorf("project = %v", p)
+	}
+	if _, err := s.Project("x", []string{"nope"}); err == nil {
+		t.Error("want error projecting unknown attribute")
+	}
+}
+
+func TestFiniteDomain(t *testing.T) {
+	d := BoolDom()
+	if !d.Finite() || d.Size() != 2 {
+		t.Fatalf("bool domain: finite=%v size=%d", d.Finite(), d.Size())
+	}
+	if !d.Contains(Bool(true)) || d.Contains(Int(1)) {
+		t.Error("bool domain membership wrong")
+	}
+	dd := FiniteDom(KindString, Str("a"), Str("b"), Str("a"))
+	if dd.Size() != 2 {
+		t.Errorf("dedup failed: size=%d", dd.Size())
+	}
+	inf := Dom(KindInt)
+	if inf.Finite() || inf.Size() != -1 {
+		t.Error("infinite domain misreported")
+	}
+	if !inf.Contains(Float(2)) {
+		t.Error("numeric domains accept cross-kind numbers")
+	}
+	if inf.Contains(Str("x")) {
+		t.Error("int domain should reject strings")
+	}
+	if !inf.Contains(Null()) {
+		t.Error("null is admissible everywhere")
+	}
+}
+
+func TestInstanceInsertDelete(t *testing.T) {
+	in := figure1Instance()
+	if in.Len() != 3 {
+		t.Fatalf("len = %d, want 3", in.Len())
+	}
+	ids := in.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if !in.Delete(ids[1]) {
+		t.Fatal("delete failed")
+	}
+	if in.Delete(ids[1]) {
+		t.Fatal("double delete succeeded")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("len after delete = %d", in.Len())
+	}
+	// TIDs are stable after deletion.
+	tu, ok := in.Tuple(ids[2])
+	if !ok || tu[3].StrVal() != "Joe" {
+		t.Errorf("tuple 2 = %v, %v", tu, ok)
+	}
+}
+
+func TestInstanceArityAndDomainChecks(t *testing.T) {
+	in := figure1Instance()
+	if _, err := in.Insert(Tuple{Int(1)}); err == nil {
+		t.Error("want arity error")
+	}
+	if _, err := in.Insert(Tuple{Str("x"), Int(1), Int(1), Str(""), Str(""), Str(""), Str("")}); err == nil {
+		t.Error("want domain error for string in int column")
+	}
+	s := MustSchema("r", FiniteAttr("b", BoolDom()))
+	fin := NewInstance(s)
+	if _, err := fin.Insert(Tuple{Bool(true)}); err != nil {
+		t.Errorf("bool insert: %v", err)
+	}
+	if _, err := fin.Insert(Tuple{Int(2)}); err == nil {
+		t.Error("want finite-domain violation")
+	}
+}
+
+func TestInstanceUpdateAndWeights(t *testing.T) {
+	in := figure1Instance()
+	if err := in.Update(0, 5, Str("EDI")); err != nil {
+		t.Fatal(err)
+	}
+	tu, _ := in.Tuple(0)
+	if tu[5].StrVal() != "EDI" {
+		t.Errorf("update did not stick: %v", tu)
+	}
+	if err := in.Update(99, 0, Int(1)); err == nil {
+		t.Error("want error updating missing tuple")
+	}
+	if in.Weight(0, 5) != 1 {
+		t.Errorf("default weight = %v, want 1", in.Weight(0, 5))
+	}
+	if err := in.SetWeight(0, 5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if in.Weight(0, 5) != 0.25 {
+		t.Errorf("weight = %v", in.Weight(0, 5))
+	}
+	if in.Weight(0, 4) != 1 {
+		t.Errorf("unset sibling weight = %v, want 1", in.Weight(0, 4))
+	}
+	if err := in.SetWeight(0, 5, 2); err == nil {
+		t.Error("want error for weight > 1")
+	}
+	if err := in.SetWeight(42, 0, 0.5); err == nil {
+		t.Error("want error for missing tuple")
+	}
+}
+
+func TestInstanceCloneIndependence(t *testing.T) {
+	in := figure1Instance()
+	in.SetWeight(0, 0, 0.5)
+	cp := in.Clone()
+	cp.Update(0, 3, Str("Changed"))
+	cp.MustInsert(Int(1), Int(2), Int(3), Str("n"), Str("s"), Str("c"), Str("z"))
+	orig, _ := in.Tuple(0)
+	if orig[3].StrVal() != "Mike" {
+		t.Error("clone mutation leaked into original")
+	}
+	if in.Len() != 3 || cp.Len() != 4 {
+		t.Errorf("lens = %d, %d", in.Len(), cp.Len())
+	}
+	if cp.Weight(0, 0) != 0.5 {
+		t.Error("weights not cloned")
+	}
+}
+
+func TestInstanceDedupAndContains(t *testing.T) {
+	s := MustSchema("r", Attr("A", KindInt), Attr("B", KindString))
+	in := NewInstance(s)
+	in.MustInsert(Int(1), Str("x"))
+	in.MustInsert(Int(1), Str("x"))
+	in.MustInsert(Int(2), Str("y"))
+	if !in.Contains(Tuple{Int(1), Str("x")}) {
+		t.Error("contains failed")
+	}
+	if in.Contains(Tuple{Int(3), Str("z")}) {
+		t.Error("contains false positive")
+	}
+	if n := in.Dedup(); n != 1 {
+		t.Errorf("dedup removed %d, want 1", n)
+	}
+	if in.Len() != 2 {
+		t.Errorf("len after dedup = %d", in.Len())
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	tu := Tuple{Int(44), Str("EH4 8LE"), Str("Mayfield")}
+	pr := tu.Project([]int{0, 1})
+	if len(pr) != 2 || !pr[0].Equal(Int(44)) {
+		t.Errorf("project = %v", pr)
+	}
+	u := Tuple{Int(44), Str("EH4 8LE"), Str("Crichton")}
+	if !tu.EqualOn([]int{0, 1}, u) {
+		t.Error("EqualOn on shared prefix failed")
+	}
+	if tu.EqualOn([]int{2}, u) {
+		t.Error("EqualOn on differing attr succeeded")
+	}
+	if tu.Equal(u) {
+		t.Error("Equal on differing tuples")
+	}
+	if !tu.Equal(tu.Clone()) {
+		t.Error("clone not equal")
+	}
+	if tu.Key() == u.Key() {
+		t.Error("distinct tuples share Key")
+	}
+	if tu.KeyOn([]int{0, 1}) != u.KeyOn([]int{0, 1}) {
+		t.Error("KeyOn should agree on shared projection")
+	}
+	if tu.Equal(Tuple{Int(44)}) {
+		t.Error("different arity tuples equal")
+	}
+}
+
+func TestIndexGroups(t *testing.T) {
+	in := figure1Instance()
+	zipPos := []int{in.Schema().MustLookup("CC"), in.Schema().MustLookup("zip")}
+	ix := BuildIndex(in, zipPos)
+	if ix.Len() != 2 {
+		t.Fatalf("index buckets = %d, want 2", ix.Len())
+	}
+	t0, _ := in.Tuple(0)
+	got := ix.Lookup(t0)
+	if len(got) != 2 {
+		t.Errorf("lookup(t0) = %v, want 2 ids", got)
+	}
+	groups := 0
+	ix.Groups(2, func(key string, ids []TID) {
+		groups++
+		if len(ids) != 2 {
+			t.Errorf("group %q has %d ids", key, len(ids))
+		}
+	})
+	if groups != 1 {
+		t.Errorf("groups(2) = %d, want 1", groups)
+	}
+	if len(ix.Positions()) != 2 {
+		t.Error("positions lost")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	db.Add(figure1Instance())
+	if _, ok := db.Instance("customer"); !ok {
+		t.Fatal("customer missing")
+	}
+	if _, ok := db.Instance("nope"); ok {
+		t.Fatal("phantom relation")
+	}
+	if got := db.Names(); len(got) != 1 || got[0] != "customer" {
+		t.Errorf("names = %v", got)
+	}
+	if db.Size() != 3 {
+		t.Errorf("size = %d", db.Size())
+	}
+	cp := db.Clone()
+	cp.MustInstance("customer").Delete(0)
+	if db.MustInstance("customer").Len() != 3 {
+		t.Error("clone mutation leaked")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInstance should panic on missing relation")
+		}
+	}()
+	db.MustInstance("nope")
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := figure1Instance()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != in.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), in.Len())
+	}
+	want := in.Tuples()
+	have := got.Tuples()
+	for i := range want {
+		if !want[i].Equal(have[i]) {
+			t.Errorf("tuple %d: %v != %v", i, have[i], want[i])
+		}
+	}
+	if got.Schema().Attr(0).Domain.Kind() != KindInt {
+		t.Error("typed header lost")
+	}
+}
+
+func TestCSVNullRoundTrip(t *testing.T) {
+	s := MustSchema("r", Attr("A", KindInt), Attr("B", KindString))
+	in := NewInstance(s)
+	in.MustInsert(Null(), Str("x"))
+	in.MustInsert(Int(2), Null())
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := got.Tuples()
+	if !ts[0][0].IsNull() || !ts[1][1].IsNull() {
+		t.Errorf("nulls lost: %v", ts)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("A:int\nx\n"), "r"); err == nil {
+		t.Error("want parse error for non-int cell")
+	}
+	if _, err := ReadCSV(strings.NewReader("A:blob\n1\n"), "r"); err == nil {
+		t.Error("want error for unknown kind")
+	}
+	if _, err := ReadCSV(strings.NewReader("A:int,B:int\n1\n"), "r"); err == nil {
+		t.Error("want error for short row")
+	}
+	// Bare column names default to string.
+	got, err := ReadCSV(strings.NewReader("A,B\nx,y\n"), "r")
+	if err != nil || got.Schema().Attr(0).Domain.Kind() != KindString {
+		t.Errorf("bare header: %v, %v", got, err)
+	}
+}

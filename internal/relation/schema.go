@@ -1,0 +1,232 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Domain describes dom(A) for an attribute: the kind of values it ranges
+// over, and — when finite — the exact set of admissible values. Finite
+// domains are first-class because they change the complexity of the static
+// analyses of conditional dependencies (Theorem 4.1 vs. Theorem 4.3 in the
+// paper).
+type Domain struct {
+	kind   Kind
+	finite []Value // nil ⇒ infinite domain
+}
+
+// Dom returns an infinite domain of the given kind.
+func Dom(kind Kind) Domain { return Domain{kind: kind} }
+
+// FiniteDom returns a finite domain with exactly the listed values.
+// The values are defensively copied and deduplicated.
+func FiniteDom(kind Kind, values ...Value) Domain {
+	seen := make(map[string]bool, len(values))
+	out := make([]Value, 0, len(values))
+	for _, v := range values {
+		if k := v.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return Domain{kind: kind, finite: out}
+}
+
+// BoolDom returns the two-valued boolean domain {false, true}.
+func BoolDom() Domain { return FiniteDom(KindBool, Bool(false), Bool(true)) }
+
+// Kind reports the kind of values in the domain.
+func (d Domain) Kind() Kind { return d.kind }
+
+// Finite reports whether the domain is finite.
+func (d Domain) Finite() bool { return d.finite != nil }
+
+// Values returns the values of a finite domain (nil when infinite). The
+// returned slice must not be modified.
+func (d Domain) Values() []Value { return d.finite }
+
+// Size returns the cardinality of a finite domain and -1 when infinite.
+func (d Domain) Size() int {
+	if d.finite == nil {
+		return -1
+	}
+	return len(d.finite)
+}
+
+// Contains reports whether v is admissible in the domain. Null is always
+// admissible; for infinite domains any value of the right kind (or any
+// number for numeric kinds) is admissible.
+func (d Domain) Contains(v Value) bool {
+	if v.IsNull() {
+		return true
+	}
+	if d.finite != nil {
+		for _, w := range d.finite {
+			if w.Equal(v) {
+				return true
+			}
+		}
+		return false
+	}
+	if v.numeric() && (d.kind == KindInt || d.kind == KindFloat) {
+		return true
+	}
+	return v.Kind() == d.kind
+}
+
+// String renders the domain, e.g. "string" or "bool{false,true}".
+func (d Domain) String() string {
+	if d.finite == nil {
+		return d.kind.String()
+	}
+	parts := make([]string, len(d.finite))
+	for i, v := range d.finite {
+		parts[i] = v.String()
+	}
+	return d.kind.String() + "{" + strings.Join(parts, ",") + "}"
+}
+
+// Attribute is a named, typed column of a relation schema.
+type Attribute struct {
+	Name   string
+	Domain Domain
+}
+
+// Attr is shorthand for an attribute with an infinite domain.
+func Attr(name string, kind Kind) Attribute {
+	return Attribute{Name: name, Domain: Dom(kind)}
+}
+
+// FiniteAttr is shorthand for an attribute with a finite domain.
+func FiniteAttr(name string, d Domain) Attribute {
+	return Attribute{Name: name, Domain: d}
+}
+
+// Schema is a relation schema R(A1:dom1, ..., An:domn). Schemas are
+// immutable after construction.
+type Schema struct {
+	name  string
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema. Attribute names must be non-empty and unique.
+func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: schema needs a name")
+	}
+	s := &Schema{name: name, attrs: append([]Attribute(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relation: schema %s: attribute %d has no name", name, i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("relation: schema %s: duplicate attribute %q", name, a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and fixtures.
+func MustSchema(name string, attrs ...Attribute) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the relation name.
+func (s *Schema) Name() string { return s.name }
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attrs returns the attributes in declaration order. The returned slice
+// must not be modified.
+func (s *Schema) Attrs() []Attribute { return s.attrs }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Lookup returns the position of the named attribute.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustLookup is Lookup that panics when the attribute is missing.
+func (s *Schema) MustLookup(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: schema %s has no attribute %q", s.name, name))
+	}
+	return i
+}
+
+// Positions resolves a list of attribute names to positions.
+func (s *Schema) Positions(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		p, ok := s.index[n]
+		if !ok {
+			return nil, fmt.Errorf("relation: schema %s has no attribute %q", s.name, n)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Names returns the attribute names in declaration order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// HasFiniteDomain reports whether any attribute of the schema has a finite
+// domain. The static analyses use this to pick the fast path of
+// Theorem 4.3.
+func (s *Schema) HasFiniteDomain() bool {
+	for _, a := range s.attrs {
+		if a.Domain.Finite() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the schema as R(A:kind, ...).
+func (s *Schema) String() string {
+	parts := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		parts[i] = a.Name + ":" + a.Domain.String()
+	}
+	return s.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Project returns a new schema with the named attributes, in the given
+// order, under the given relation name.
+func (s *Schema) Project(name string, attrNames []string) (*Schema, error) {
+	attrs := make([]Attribute, len(attrNames))
+	for i, n := range attrNames {
+		p, ok := s.index[n]
+		if !ok {
+			return nil, fmt.Errorf("relation: schema %s has no attribute %q", s.name, n)
+		}
+		attrs[i] = s.attrs[p]
+	}
+	return NewSchema(name, attrs...)
+}
+
+// SortedNames returns the attribute names sorted lexicographically; used
+// for deterministic output.
+func (s *Schema) SortedNames() []string {
+	out := s.Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "⊥"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Int(44), KindInt, "44"},
+		{Int(-7), KindInt, "-7"},
+		{Float(7.99), KindFloat, "7.99"},
+		{Str("EDI"), KindString, "EDI"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: string = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	if !Int(7).Equal(Float(7)) {
+		t.Error("Int(7) should equal Float(7)")
+	}
+	if Int(7).Equal(Float(7.5)) {
+		t.Error("Int(7) should not equal Float(7.5)")
+	}
+	if Int(0).Equal(Str("0")) {
+		t.Error("Int(0) should not equal Str(\"0\")")
+	}
+	if Null().Equal(Int(0)) {
+		t.Error("Null should not equal Int(0)")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("Null should equal Null")
+	}
+}
+
+func TestValueKeyAgreesWithEqual(t *testing.T) {
+	vals := []Value{
+		Null(), Bool(true), Bool(false), Int(0), Int(1), Int(-1),
+		Float(0), Float(1), Float(1.5), Str(""), Str("0"), Str("a"), Str("b"),
+	}
+	for _, v := range vals {
+		for _, w := range vals {
+			if (v.Key() == w.Key()) != v.Equal(w) {
+				t.Errorf("key/equal mismatch for %v vs %v", v, w)
+			}
+		}
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	vals := []Value{Null(), Bool(false), Bool(true), Int(-3), Int(0), Float(0.5), Int(2), Str("a"), Str("b")}
+	for i, v := range vals {
+		for j, w := range vals {
+			got := v.Compare(w)
+			switch {
+			case i == j && got != 0:
+				t.Errorf("%v compare %v = %d, want 0", v, w, got)
+			case i < j && got >= 0 && !v.Equal(w):
+				t.Errorf("%v compare %v = %d, want < 0", v, w, got)
+			case i > j && got <= 0 && !v.Equal(w):
+				t.Errorf("%v compare %v = %d, want > 0", v, w, got)
+			}
+		}
+	}
+}
+
+// randomValue is a quick.Generator helper producing arbitrary values.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Intn(200) - 100))
+	case 3:
+		return Float(float64(r.Intn(100)) / 4)
+	default:
+		letters := []byte("abcdefg")
+		n := r.Intn(5)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return Str(string(b))
+	}
+}
+
+type valuePair struct{ A, B Value }
+
+func (valuePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valuePair{A: randomValue(r), B: randomValue(r)})
+}
+
+func TestValuePropertyCompareSymmetry(t *testing.T) {
+	// Compare is antisymmetric and consistent with Equal.
+	prop := func(p valuePair) bool {
+		c1, c2 := p.A.Compare(p.B), p.B.Compare(p.A)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == p.A.Equal(p.B)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValuePropertyKeyInjective(t *testing.T) {
+	prop := func(p valuePair) bool {
+		return (p.A.Key() == p.B.Key()) == p.A.Equal(p.B)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	cases := []Value{Bool(true), Int(42), Float(2.5), Str("hello world")}
+	for _, v := range cases {
+		got, err := ParseValue(v.Kind(), v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.Kind(), v.String(), err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v → %v", v, got)
+		}
+	}
+}
+
+func TestParseValueEmptyIsNull(t *testing.T) {
+	for _, k := range []Kind{KindBool, KindInt, KindFloat, KindString} {
+		v, err := ParseValue(k, "")
+		if err != nil || !v.IsNull() {
+			t.Errorf("ParseValue(%v, \"\") = %v, %v; want null", k, v, err)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue(KindInt, "x"); err == nil {
+		t.Error("want error parsing int \"x\"")
+	}
+	if _, err := ParseValue(KindBool, "maybe"); err == nil {
+		t.Error("want error parsing bool \"maybe\"")
+	}
+	if _, err := ParseValue(KindFloat, "1..2"); err == nil {
+		t.Error("want error parsing real \"1..2\"")
+	}
+}
+
+func TestGuessValue(t *testing.T) {
+	if v := GuessValue("42"); v.Kind() != KindInt {
+		t.Errorf("GuessValue(42) = %v", v.Kind())
+	}
+	if v := GuessValue("4.25"); v.Kind() != KindFloat {
+		t.Errorf("GuessValue(4.25) = %v", v.Kind())
+	}
+	if v := GuessValue("true"); v.Kind() != KindBool {
+		t.Errorf("GuessValue(true) = %v", v.Kind())
+	}
+	if v := GuessValue("NYC"); v.Kind() != KindString {
+		t.Errorf("GuessValue(NYC) = %v", v.Kind())
+	}
+	if v := GuessValue(""); !v.IsNull() {
+		t.Errorf("GuessValue(\"\") = %v", v)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"int": KindInt, "integer": KindInt, "real": KindFloat, "float": KindFloat,
+		"string": KindString, "text": KindString, "bool": KindBool,
+	} {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("want error for unknown kind")
+	}
+}

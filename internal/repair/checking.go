@@ -1,0 +1,162 @@
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/cind"
+	"repro/internal/denial"
+	"repro/internal/relation"
+)
+
+// Repair checking (Section 5.1, Theorem 5.1): given D, D′ and Σ, is D′ a
+// repair of D? The checks below cover the X- and S-repair models for
+// denial constraints, where the two models coincide ("when only denial
+// constraints are involved, X-repair and S-repair coincide, since tuple
+// insertions do not help").
+
+// IsXRepair reports whether sub is an X-repair of db w.r.t. the denial
+// constraints: a subset (tuple-wise, by TID), consistent, and maximal —
+// no deleted tuple can be restored without a violation.
+func IsXRepair(db, sub *relation.Database, dcs []denial.DC) (bool, error) {
+	// Subset check by TID.
+	for _, name := range sub.Names() {
+		si, _ := sub.Instance(name)
+		oi, ok := db.Instance(name)
+		if !ok {
+			return false, fmt.Errorf("repair: relation %q not in the original", name)
+		}
+		for _, id := range si.IDs() {
+			st, _ := si.Tuple(id)
+			ot, ok := oi.Tuple(id)
+			if !ok || !st.Equal(ot) {
+				return false, nil // not a subset
+			}
+		}
+	}
+	if !denial.SatisfiesAll(sub, dcs) {
+		return false, nil
+	}
+	// Maximality: restoring any deleted tuple must violate.
+	for _, name := range db.Names() {
+		oi, _ := db.Instance(name)
+		si, ok := sub.Instance(name)
+		if !ok {
+			si = relation.NewInstance(oi.Schema())
+		}
+		for _, id := range oi.IDs() {
+			if _, present := si.Tuple(id); present {
+				continue
+			}
+			ot, _ := oi.Tuple(id)
+			trial := sub.Clone()
+			ti, ok := trial.Instance(name)
+			if !ok {
+				ti = relation.NewInstance(oi.Schema())
+				trial.Add(ti)
+			}
+			if _, err := ti.Insert(ot); err != nil {
+				continue
+			}
+			if denial.SatisfiesAll(trial, dcs) {
+				return false, nil // restorable: not maximal
+			}
+		}
+	}
+	return true, nil
+}
+
+// IsSRepairDenial reports whether sub is an S-repair of db w.r.t. denial
+// constraints. For denial constraints insertions never help, so S-repairs
+// are exactly X-repairs.
+func IsSRepairDenial(db, sub *relation.Database, dcs []denial.DC) (bool, error) {
+	return IsXRepair(db, sub, dcs)
+}
+
+// RepairCINDMode selects how CIND violations are resolved.
+type RepairCINDMode uint8
+
+// The CIND repair modes.
+const (
+	// InsertDemanded adds the missing target tuples (the S-repair-style
+	// fix; CINDs are tuple-generating, so insertions resolve them).
+	InsertDemanded RepairCINDMode = iota
+	// DeleteViolating removes unmatched source tuples (the X-repair
+	// fix).
+	DeleteViolating
+)
+
+// RepairCINDs resolves all CIND violations in db, in place. It returns
+// the number of inserted or deleted tuples. Insertion chases to a
+// fixpoint (bounded by maxOps; 0 means 10000); deletion may cascade when
+// a deleted tuple was the match of another source tuple, and iterates to
+// a fixpoint as well.
+func RepairCINDs(db *relation.Database, set []*cind.CIND, mode RepairCINDMode, maxOps int) (int, error) {
+	if maxOps <= 0 {
+		maxOps = 10000
+	}
+	ops := 0
+	for {
+		vs := cind.DetectAll(db, set)
+		if len(vs) == 0 {
+			return ops, nil
+		}
+		for _, v := range vs {
+			if ops >= maxOps {
+				return ops, fmt.Errorf("repair: CIND repair exceeded %d operations", maxOps)
+			}
+			src, _ := db.Instance(v.CIND.Src().Name())
+			switch mode {
+			case InsertDemanded:
+				t, ok := src.Tuple(v.TID)
+				if !ok {
+					continue
+				}
+				dst := db.MustInstance(v.CIND.Dst().Name())
+				nt := demandedTuple(v, t)
+				if !dst.Contains(nt) {
+					if _, err := dst.Insert(nt); err != nil {
+						return ops, fmt.Errorf("repair: %v", err)
+					}
+					ops++
+				}
+			case DeleteViolating:
+				if src.Delete(v.TID) {
+					ops++
+				}
+			}
+		}
+	}
+}
+
+// demandedTuple builds the minimal target tuple demanded by a violation:
+// Y copies the source X values, Yp the pattern constants, and the rest
+// take deterministic filler values.
+func demandedTuple(v cind.Violation, src relation.Tuple) relation.Tuple {
+	c := v.CIND
+	nt := make(relation.Tuple, c.Dst().Arity())
+	for i := 0; i < c.Dst().Arity(); i++ {
+		a := c.Dst().Attr(i)
+		if a.Domain.Finite() {
+			nt[i] = a.Domain.Values()[0]
+			continue
+		}
+		switch a.Domain.Kind() {
+		case relation.KindBool:
+			nt[i] = relation.Bool(false)
+		case relation.KindInt:
+			nt[i] = relation.Int(0)
+		case relation.KindFloat:
+			nt[i] = relation.Float(0)
+		default:
+			nt[i] = relation.Str("unknown")
+		}
+	}
+	for j, p := range c.Y() {
+		nt[p] = src[c.X()[j]]
+	}
+	row := c.Tableau()[v.Row]
+	for j, p := range c.Yp() {
+		nt[p] = row.YpVals[j]
+	}
+	return nt
+}

@@ -1,0 +1,106 @@
+// Package repair implements the Section 5.1 machinery of Fan (PODS 2008):
+// the three repair models (X-repair by tuple deletion, S-repair by
+// symmetric difference, U-repair by value modification), repair checking,
+// the weighted cost metric cost(v, v′) = w(t, A) · dis(v, v′), conflict
+// graphs with exhaustive repair enumeration (Example 5.1's 2^n family),
+// greedy X-repairs, the equivalence-class heuristic U-repair for CFDs and
+// FDs in the style of Bohannon et al. (SIGMOD 2005) and Cong et al.
+// (VLDB 2007), and insertion/deletion repair for CINDs.
+package repair
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/similarity"
+)
+
+// Dis is the value distance underlying the cost metric: lower values mean
+// greater similarity (the paper's dis(v, v′)). Strings use normalized
+// edit distance; numbers use |a−b| / (|a|+|b|+1); values of different
+// kinds (and null vs non-null) are maximally distant (1). dis(v, v) = 0.
+func Dis(v, w relation.Value) float64 {
+	if v.Equal(w) {
+		return 0
+	}
+	switch {
+	case v.Kind() == relation.KindString && w.Kind() == relation.KindString:
+		return 1 - similarity.EditSimilarity(v.StrVal(), w.StrVal())
+	case isNumeric(v) && isNumeric(w):
+		a, b := v.FloatVal(), w.FloatVal()
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		den := abs(a) + abs(b) + 1
+		return d / den
+	default:
+		return 1
+	}
+}
+
+func isNumeric(v relation.Value) bool {
+	return v.Kind() == relation.KindInt || v.Kind() == relation.KindFloat
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Change records one attribute-value modification.
+type Change struct {
+	TID  relation.TID
+	Pos  int
+	From relation.Value
+	To   relation.Value
+	Cost float64
+}
+
+// String renders the change.
+func (c Change) String() string {
+	return fmt.Sprintf("t%d[%d]: %v → %v (cost %.3f)", c.TID, c.Pos, c.From, c.To, c.Cost)
+}
+
+// ChangeCost computes cost(v, v′) = w(t, A) · dis(v, v′) for updating
+// attribute pos of tuple id in the instance (Section 5.1's metric).
+func ChangeCost(in *relation.Instance, id relation.TID, pos int, to relation.Value) float64 {
+	t, ok := in.Tuple(id)
+	if !ok {
+		return 0
+	}
+	return in.Weight(id, pos) * Dis(t[pos], to)
+}
+
+// InstanceCost computes cost(D, D′) for a U-repair: the sum of weighted
+// distances over all modified cells of shared tuples. Tuples present in
+// only one instance contribute their full weighted arity (deletion or
+// insertion is as costly as rewriting every cell maximally).
+func InstanceCost(orig, repaired *relation.Instance) float64 {
+	total := 0.0
+	seen := make(map[relation.TID]bool)
+	for _, id := range orig.IDs() {
+		seen[id] = true
+		ot, _ := orig.Tuple(id)
+		rt, ok := repaired.Tuple(id)
+		if !ok {
+			for pos := range ot {
+				total += orig.Weight(id, pos) * 1
+			}
+			continue
+		}
+		for pos := range ot {
+			if !ot[pos].Equal(rt[pos]) {
+				total += orig.Weight(id, pos) * Dis(ot[pos], rt[pos])
+			}
+		}
+	}
+	for _, id := range repaired.IDs() {
+		if !seen[id] {
+			total += float64(repaired.Schema().Arity())
+		}
+	}
+	return total
+}

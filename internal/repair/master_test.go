@@ -1,0 +1,188 @@
+package repair_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/md"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/repair"
+	"repro/internal/similarity"
+)
+
+// masterFixture builds a clean "truth" customer instance, a master copy
+// of it, a corrupted working copy, and the phone-equality relative key
+// that links them.
+func masterFixture(t *testing.T, n int, corrupt int) (truth, master, dirty *relation.Instance) {
+	t.Helper()
+	s := paperdata.CustomerSchema()
+	truth = relation.NewInstance(s)
+	rng := rand.New(rand.NewSource(99))
+	streets := []string{"Mayfield Rd", "Crichton St", "High St", "Park Ave"}
+	for i := 0; i < n; i++ {
+		zip := relation.Str("EH" + string(rune('0'+i%4)))
+		street := relation.Str(streets[i%4])
+		truth.MustInsert(
+			relation.Int(44), relation.Int(131), relation.Int(int64(1000000+i)),
+			relation.Str("Person"), street, relation.Str("EDI"), zip)
+	}
+	// The generator guarantees ϕ1 on the truth (zip index = street index).
+	master = truth.Clone()
+	dirty = truth.Clone()
+	street := s.MustLookup("street")
+	city := s.MustLookup("city")
+	for i := 0; i < corrupt; i++ {
+		id := relation.TID(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			dirty.Update(id, street, relation.Str("Wrong Way"))
+		} else {
+			dirty.Update(id, city, relation.Str("NYC"))
+		}
+	}
+	return
+}
+
+func customerSigma() []*cfd.CFD {
+	s := paperdata.CustomerSchema()
+	return []*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s)}
+}
+
+func TestRepairWithMasterRestoresTruth(t *testing.T) {
+	truth, master, dirty := masterFixture(t, 24, 8)
+	s := truth.Schema()
+	key := md.MustRelativeKey(s, s,
+		[]string{"phn"}, []string{"phn"},
+		[]similarity.Op{similarity.Eq()},
+		[]string{"street", "city", "zip"}, []string{"street", "city", "zip"})
+	sigma := customerSigma()
+	before := dirty.Clone()
+	if cfd.SatisfiesAll(dirty, sigma) {
+		t.Fatal("fixture should be dirty")
+	}
+	rep, err := repair.RepairWithMaster(dirty, sigma, master, []*md.MD{key}, repair.URepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.SatisfiesAll(dirty, sigma) {
+		t.Fatal("master repair left violations")
+	}
+	if rep.Matched == 0 {
+		t.Error("no master matches found")
+	}
+	restored, corrupted := repair.RestoredAccuracy(before, dirty, truth)
+	if corrupted == 0 {
+		t.Fatal("fixture produced no corrupted cells")
+	}
+	if restored != corrupted {
+		t.Errorf("master repair restored %d/%d corrupted cells; phones are unique keys, want all", restored, corrupted)
+	}
+	_ = rep.String()
+}
+
+// TestMasterBeatsConsensusAccuracy is the paper's point: consensus repair
+// makes the data consistent but cannot know the true values — when the
+// majority of a group is corrupted (the same upstream feed, say), the
+// plurality vote entrenches the error and even rewrites the one correct
+// tuple. Master data restores the truth.
+func TestMasterBeatsConsensusAccuracy(t *testing.T) {
+	truth, master, dirty := masterFixture(t, 12, 0) // groups of exactly 3
+	s := truth.Schema()
+	street := s.MustLookup("street")
+	zip := s.MustLookup("zip")
+	// Corrupt two of the three members of zip group "EH0" to the same
+	// wrong street: the majority is now wrong.
+	var grp []relation.TID
+	for _, id := range dirty.IDs() {
+		tu, _ := dirty.Tuple(id)
+		if tu[zip].StrVal() == "EH0" {
+			grp = append(grp, id)
+		}
+	}
+	if len(grp) < 3 {
+		t.Fatal("fixture needs a group of ≥3")
+	}
+	dirty.Update(grp[0], street, relation.Str("Wrong Way"))
+	dirty.Update(grp[1], street, relation.Str("Wrong Way"))
+
+	key := md.MustRelativeKey(s, s,
+		[]string{"phn"}, []string{"phn"},
+		[]similarity.Op{similarity.Eq()},
+		[]string{"street", "city", "zip"}, []string{"street", "city", "zip"})
+	sigma := customerSigma()
+
+	consensus := dirty.Clone()
+	if _, err := repair.RepairCFDs(consensus, sigma, repair.URepairOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	consensusRestored, corrupted := repair.RestoredAccuracy(dirty, consensus, truth)
+	if corrupted != 2 {
+		t.Fatalf("corrupted cells = %d, want 2", corrupted)
+	}
+	if consensusRestored != 0 {
+		t.Fatalf("the plurality vote should entrench the majority error, restored %d", consensusRestored)
+	}
+	// Consensus also rewrote the one correct tuple to the wrong street.
+	ct, _ := consensus.Tuple(grp[2])
+	if ct[street].StrVal() != "Wrong Way" {
+		t.Errorf("expected the correct tuple to be dragged to the wrong consensus, got %v", ct[street])
+	}
+
+	guided := dirty.Clone()
+	if _, err := repair.RepairWithMaster(guided, sigma, master, []*md.MD{key}, repair.URepairOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	masterRestored, _ := repair.RestoredAccuracy(dirty, guided, truth)
+	if masterRestored != corrupted {
+		t.Errorf("master repair restored %d/%d", masterRestored, corrupted)
+	}
+	if !cfd.SatisfiesAll(guided, sigma) {
+		t.Error("master repair left violations")
+	}
+}
+
+func TestRepairWithMasterFallback(t *testing.T) {
+	truth, master, dirty := masterFixture(t, 12, 4)
+	s := truth.Schema()
+	// Remove half the master tuples: unmatched dirty tuples fall back to
+	// the consensus heuristic, and the result still satisfies Σ.
+	for i, id := range master.IDs() {
+		if i%2 == 0 {
+			master.Delete(id)
+		}
+	}
+	key := md.MustRelativeKey(s, s,
+		[]string{"phn"}, []string{"phn"},
+		[]similarity.Op{similarity.Eq()},
+		[]string{"street", "city", "zip"}, []string{"street", "city", "zip"})
+	sigma := customerSigma()
+	rep, err := repair.RepairWithMaster(dirty, sigma, master, []*md.MD{key}, repair.URepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.SatisfiesAll(dirty, sigma) {
+		t.Fatal("fallback left violations")
+	}
+	if rep.Matched+rep.Unmatched == 0 {
+		t.Error("no dirty tuples processed")
+	}
+	_ = truth
+}
+
+func TestRepairWithMasterValidation(t *testing.T) {
+	truth, master, dirty := masterFixture(t, 6, 2)
+	s := truth.Schema()
+	// ⇋-premise rules are rejected.
+	badKey := md.MustNew(s, s,
+		[]md.PremiseSpec{{Left: "phn", Right: "phn", Op: similarity.MatchOp()}},
+		[]string{"street"}, []string{"street"}, similarity.MatchOp())
+	if _, err := repair.RepairWithMaster(dirty, customerSigma(), master, []*md.MD{badKey}, repair.URepairOptions{}); err == nil {
+		t.Error("⇋-premise rule must be rejected")
+	}
+	// Inconsistent Σ is rejected.
+	_, bad := paperdata.Example41()
+	if _, err := repair.RepairWithMaster(dirty, bad, master, nil, repair.URepairOptions{}); err == nil {
+		t.Error("inconsistent Σ must be rejected")
+	}
+}

@@ -1,0 +1,306 @@
+// Package repr implements condensed representations of repairs
+// (Section 5.3 of Fan, PODS 2008): instead of materializing the possibly
+// exponential set of repairs, a single tableau with labeled variables —
+// a nucleus in the sense of Wijsen — summarizes every U-repair of the FD
+// violations of an instance. Each variable stands for the unknown
+// consensus value of a violating group; every valuation of the variables
+// is a repair, and certain answers to conjunctive queries can be read off
+// the tableau directly. The package also reports the size economics that
+// motivate condensed representations: the nucleus is linear in the data
+// while the repair count grows exponentially (Example 5.1).
+package repr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/cfd"
+	"repro/internal/relation"
+)
+
+// Var is a labeled variable (a marked null) in a v-table cell.
+type Var int
+
+// Cell is a v-table cell: either a constant value or a variable.
+type Cell struct {
+	IsVar bool
+	Var   Var
+	Val   relation.Value
+}
+
+// String renders the cell.
+func (c Cell) String() string {
+	if c.IsVar {
+		return fmt.Sprintf("?%d", c.Var)
+	}
+	return c.Val.String()
+}
+
+// VTable is a tableau with variables over a schema: the condensed
+// representation of all U-repairs of an instance's FD violations.
+type VTable struct {
+	schema *relation.Schema
+	rows   [][]Cell
+	tids   []relation.TID
+	nVars  int
+}
+
+// Schema returns the tableau's schema.
+func (v *VTable) Schema() *relation.Schema { return v.schema }
+
+// Rows returns the number of rows.
+func (v *VTable) Rows() int { return len(v.rows) }
+
+// Vars returns the number of distinct variables.
+func (v *VTable) Vars() int { return v.nVars }
+
+// Row returns the cells of row i (not to be modified).
+func (v *VTable) Row(i int) []Cell { return v.rows[i] }
+
+// String renders the tableau.
+func (v *VTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s nucleus (%d rows, %d vars)\n", v.schema.Name(), len(v.rows), v.nVars)
+	for i, row := range v.rows {
+		parts := make([]string, len(row))
+		for j, c := range row {
+			parts[j] = c.String()
+		}
+		fmt.Fprintf(&b, "  t%d: (%s)\n", v.tids[i], strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Nucleus builds the condensed representation of all U-repairs of the
+// instance w.r.t. a set of traditional FDs (given as CFDs that pass
+// IsFD): for every FD X → A and every X-group whose A-values disagree,
+// the group's A-cells are replaced by one shared variable. The
+// construction iterates to a fixpoint so that FDs whose LHS includes
+// previously rewritten attributes see the variable cells (variable LHS
+// cells group by variable identity).
+func Nucleus(in *relation.Instance, fds []*cfd.CFD) (*VTable, error) {
+	s := in.Schema()
+	var raw []cfd.RawFD
+	for _, c := range fds {
+		fd, ok := cfd.AsRawFD(c)
+		if !ok {
+			return nil, fmt.Errorf("repr: %v is not a traditional FD", c)
+		}
+		raw = append(raw, fd)
+	}
+	v := &VTable{schema: s}
+	for _, id := range in.IDs() {
+		t, _ := in.Tuple(id)
+		row := make([]Cell, len(t))
+		for j, val := range t {
+			row[j] = Cell{Val: val}
+		}
+		v.rows = append(v.rows, row)
+		v.tids = append(v.tids, id)
+	}
+	// Fixpoint: group rows by LHS cells (constants by value, variables by
+	// identity); on RHS disagreement merge into one variable.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range raw {
+			for _, a := range fd.RHS {
+				groups := make(map[string][]int)
+				for i, row := range v.rows {
+					key := cellKey(row, fd.LHS)
+					groups[key] = append(groups[key], i)
+				}
+				var keys []string
+				for k := range groups {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					idx := groups[k]
+					if len(idx) < 2 || agreeOn(v.rows, idx, a) {
+						continue
+					}
+					// Merge: if some member already carries a variable on
+					// a, reuse the smallest such variable; else mint one.
+					varID := Var(-1)
+					for _, i := range idx {
+						if c := v.rows[i][a]; c.IsVar && (varID < 0 || c.Var < varID) {
+							varID = c.Var
+						}
+					}
+					if varID < 0 {
+						varID = Var(v.nVars)
+						v.nVars++
+					}
+					for _, i := range idx {
+						old := v.rows[i][a]
+						if !old.IsVar || old.Var != varID {
+							v.rows[i][a] = Cell{IsVar: true, Var: varID}
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	// Renumber variables densely (merging may strand labels).
+	seen := make(map[Var]Var)
+	for i := range v.rows {
+		for j := range v.rows[i] {
+			if v.rows[i][j].IsVar {
+				nv, ok := seen[v.rows[i][j].Var]
+				if !ok {
+					nv = Var(len(seen))
+					seen[v.rows[i][j].Var] = nv
+				}
+				v.rows[i][j].Var = nv
+			}
+		}
+	}
+	v.nVars = len(seen)
+	return v, nil
+}
+
+func cellKey(row []Cell, pos []int) string {
+	var b strings.Builder
+	for _, p := range pos {
+		c := row[p]
+		if c.IsVar {
+			fmt.Fprintf(&b, "?%d|", c.Var)
+		} else {
+			b.WriteString(c.Val.Key())
+			b.WriteByte('|')
+		}
+	}
+	return b.String()
+}
+
+func agreeOn(rows [][]Cell, idx []int, a int) bool {
+	first := rows[idx[0]][a]
+	for _, i := range idx[1:] {
+		c := rows[i][a]
+		if c.IsVar != first.IsVar {
+			return false
+		}
+		if c.IsVar {
+			if c.Var != first.Var {
+				return false
+			}
+		} else if !c.Val.Equal(first.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Valuate instantiates the tableau under a variable assignment, yielding
+// one U-repair. Missing variables keep a deterministic placeholder
+// derived from the variable index.
+func (v *VTable) Valuate(assign map[Var]relation.Value) *relation.Instance {
+	out := relation.NewInstance(v.schema)
+	for _, row := range v.rows {
+		t := make(relation.Tuple, len(row))
+		for j, c := range row {
+			if !c.IsVar {
+				t[j] = c.Val
+				continue
+			}
+			if val, ok := assign[c.Var]; ok {
+				t[j] = val
+			} else {
+				t[j] = relation.Str(fmt.Sprintf("?%d", c.Var))
+			}
+		}
+		if _, err := out.Insert(t); err == nil {
+			continue
+		}
+	}
+	return out
+}
+
+// CertainAnswers evaluates a conjunctive query on the tableau and returns
+// the answers guaranteed in every valuation (hence in every represented
+// U-repair): the query runs with each variable frozen as a distinct fresh
+// constant, and answer rows mentioning a frozen variable are dropped.
+// Frozen variables only ever join with themselves, so every reported
+// answer survives any valuation (soundness); completeness holds for
+// queries whose certain derivations need no variable cells, and is
+// checked against repair enumeration in the tests.
+func (v *VTable) CertainAnswers(q algebra.CQ) (*relation.Instance, error) {
+	frozen := relation.NewDatabase()
+	in := relation.NewInstance(v.schema)
+	marker := "\x02var:"
+	for _, row := range v.rows {
+		t := make(relation.Tuple, len(row))
+		for j, c := range row {
+			if c.IsVar {
+				t[j] = relation.Str(fmt.Sprintf("%s%d", marker, c.Var))
+			} else {
+				t[j] = c.Val
+			}
+		}
+		if _, err := in.Insert(t); err != nil {
+			// Frozen variables may not fit non-string domains; fall back
+			// to a domain-compatible marker.
+			t2 := make(relation.Tuple, len(row))
+			for j, c := range row {
+				if c.IsVar {
+					t2[j] = freezeAs(v.schema.Attr(j), int(c.Var))
+				} else {
+					t2[j] = c.Val
+				}
+			}
+			if _, err := in.Insert(t2); err != nil {
+				return nil, fmt.Errorf("repr: cannot freeze row: %v", err)
+			}
+		}
+	}
+	frozen.Add(in)
+	ans, err := q.Eval(frozen)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewInstance(ans.Schema())
+	for _, t := range ans.Tuples() {
+		hasVar := false
+		for _, val := range t {
+			if isFrozen(val, marker) {
+				hasVar = true
+				break
+			}
+		}
+		if !hasVar {
+			out.MustInsert(t...)
+		}
+	}
+	return out, nil
+}
+
+// freezeAs produces a domain-compatible frozen constant for non-string
+// attributes (large sentinel values outside realistic active domains).
+func freezeAs(a relation.Attribute, varID int) relation.Value {
+	switch a.Domain.Kind() {
+	case relation.KindInt:
+		return relation.Int(int64(1<<60) + int64(varID))
+	case relation.KindFloat:
+		return relation.Float(1e18 + float64(varID))
+	case relation.KindBool:
+		return relation.Bool(varID%2 == 0)
+	default:
+		return relation.Str(fmt.Sprintf("\x02var:%d", varID))
+	}
+}
+
+func isFrozen(v relation.Value, marker string) bool {
+	switch v.Kind() {
+	case relation.KindString:
+		return strings.HasPrefix(v.StrVal(), marker)
+	case relation.KindInt:
+		return v.IntVal() >= 1<<60
+	case relation.KindFloat:
+		return v.FloatVal() >= 1e18
+	default:
+		return false
+	}
+}

@@ -1,0 +1,211 @@
+package repr_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cfd"
+	"repro/internal/cqa"
+	"repro/internal/denial"
+	"repro/internal/gen"
+	"repro/internal/relation"
+	"repro/internal/repr"
+)
+
+// TestNucleusExample51 builds the nucleus of the Example 5.1 family: n
+// variables summarize 2^n repairs in 2n rows.
+func TestNucleusExample51(t *testing.T) {
+	for _, n := range []int{1, 3, 6, 10} {
+		in := gen.Example51(n)
+		key := cfd.MustFD(in.Schema(), []string{"A"}, []string{"B"})
+		nuc, err := repr.Nucleus(in, []*cfd.CFD{key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nuc.Rows() != 2*n {
+			t.Errorf("n=%d: rows = %d, want %d", n, nuc.Rows(), 2*n)
+		}
+		if nuc.Vars() != n {
+			t.Errorf("n=%d: vars = %d, want %d (one per conflicting group)", n, nuc.Vars(), n)
+		}
+	}
+}
+
+// TestNucleusCertainAnswers: query answers on the nucleus coincide with
+// certain answers by repair enumeration.
+func TestNucleusCertainAnswers(t *testing.T) {
+	in := gen.Example51(4)
+	key := cfd.MustFD(in.Schema(), []string{"A"}, []string{"B"})
+	nuc, err := repr.Nucleus(in, []*cfd.CFD{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := algebra.CQ{
+		Head:  []algebra.Term{algebra.V("a")},
+		Atoms: []algebra.Atom{{Rel: "r", Terms: []algebra.Term{algebra.V("a"), algebra.V("b")}}},
+	}
+	fromNucleus, err := nuc.CertainAnswers(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relation.NewDatabase()
+	db.Add(in)
+	dcs, _ := denial.Key(in.Schema(), []string{"A"})
+	fromEnum, _, err := cqa.CertainAnswers(db, dcs, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := keyOf(fromNucleus), keyOf(fromEnum); got != want {
+		t.Errorf("nucleus answers %v vs enumeration %v", fromNucleus.Tuples(), fromEnum.Tuples())
+	}
+	// A query over the conflicting attribute B returns nothing certain.
+	qb := algebra.CQ{
+		Head:  []algebra.Term{algebra.V("b")},
+		Atoms: []algebra.Atom{{Rel: "r", Terms: []algebra.Term{algebra.V("a"), algebra.V("b")}}},
+	}
+	ansB, err := nuc.CertainAnswers(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enumB, _, err := cqa.CertainAnswers(db, dcs, qb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under U-repairs (value modification) nothing about B is certain;
+	// under X-repair enumeration both b and b' survive in some repair,
+	// but neither in all. Both engines must agree on "nothing certain".
+	if ansB.Len() != 0 || enumB.Len() != 0 {
+		t.Errorf("B answers: nucleus %d, enum %d; want 0, 0", ansB.Len(), enumB.Len())
+	}
+}
+
+func keyOf(in *relation.Instance) string {
+	out := ""
+	for _, t := range algebra.SortedTuples(in) {
+		out += t.Key() + ";"
+	}
+	return out
+}
+
+// TestNucleusMixedCleanDirty: clean groups keep their constants; only
+// dirty groups get variables.
+func TestNucleusMixedCleanDirty(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("k", relation.KindString),
+		relation.Attr("v", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("clean"), relation.Str("x"))
+	in.MustInsert(relation.Str("clean"), relation.Str("x"))
+	in.MustInsert(relation.Str("dirty"), relation.Str("y"))
+	in.MustInsert(relation.Str("dirty"), relation.Str("z"))
+	key := cfd.MustFD(s, []string{"k"}, []string{"v"})
+	nuc, err := repr.Nucleus(in, []*cfd.CFD{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nuc.Vars() != 1 {
+		t.Fatalf("vars = %d, want 1", nuc.Vars())
+	}
+	varCount := 0
+	for i := 0; i < nuc.Rows(); i++ {
+		for _, c := range nuc.Row(i) {
+			if c.IsVar {
+				varCount++
+				if c.String() == "" {
+					t.Error("cell must render")
+				}
+			}
+		}
+	}
+	if varCount != 2 {
+		t.Errorf("variable cells = %d, want 2 (the dirty group)", varCount)
+	}
+	_ = nuc.String()
+}
+
+// TestNucleusTransitiveFDs: rewriting an attribute to a variable feeds
+// FDs whose LHS contains it (variable cells group by identity).
+func TestNucleusTransitiveFDs(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("a", relation.KindString),
+		relation.Attr("b", relation.KindString),
+		relation.Attr("c", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	// a → b conflicts: b becomes ?0 on both rows; then b → c groups the
+	// two rows (same variable) and c conflicts too: ?1.
+	in.MustInsert(relation.Str("a1"), relation.Str("b1"), relation.Str("c1"))
+	in.MustInsert(relation.Str("a1"), relation.Str("b2"), relation.Str("c2"))
+	fds := []*cfd.CFD{
+		cfd.MustFD(s, []string{"a"}, []string{"b"}),
+		cfd.MustFD(s, []string{"b"}, []string{"c"}),
+	}
+	nuc, err := repr.Nucleus(in, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nuc.Vars() != 2 {
+		t.Errorf("vars = %d, want 2 (cascade through b → c)", nuc.Vars())
+	}
+}
+
+func TestNucleusRejectsProperCFDs(t *testing.T) {
+	in := gen.Example51(1)
+	proper := cfd.MustNew(in.Schema(), []string{"A"}, []string{"B"},
+		cfd.Row([]cfd.Cell{cfd.Const(relation.Str("a1"))}, []cfd.Cell{cfd.Any()}))
+	if _, err := repr.Nucleus(in, []*cfd.CFD{proper}); err == nil {
+		t.Error("nucleus construction is specified for traditional FDs")
+	}
+}
+
+// TestValuateYieldsRepairs: every valuation of the nucleus over candidate
+// values satisfies the FDs.
+func TestValuateYieldsRepairs(t *testing.T) {
+	in := gen.Example51(2)
+	key := cfd.MustFD(in.Schema(), []string{"A"}, []string{"B"})
+	nuc, err := repr.Nucleus(in, []*cfd.CFD{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v0 := range []string{"b", "b'"} {
+		for _, v1 := range []string{"b", "b'"} {
+			inst := nuc.Valuate(map[repr.Var]relation.Value{
+				0: relation.Str(v0),
+				1: relation.Str(v1),
+			})
+			if !cfd.Satisfies(inst, key) {
+				t.Errorf("valuation (%s, %s) violates the key", v0, v1)
+			}
+			// Valuations deduplicate the two group rows into... the
+			// tuples (a_i, chosen) appear; instance keeps duplicates as
+			// separate TIDs, which is fine for satisfaction.
+			if inst.Len() != 4 {
+				t.Errorf("valuated rows = %d, want 4", inst.Len())
+			}
+		}
+	}
+	// Unassigned variables take placeholders and still satisfy the FD.
+	inst := nuc.Valuate(nil)
+	if !cfd.Satisfies(inst, key) {
+		t.Error("placeholder valuation violates the key")
+	}
+}
+
+// TestNucleusSizeVsRepairCount is the E19 economics check: nucleus size
+// grows linearly while the repair count grows exponentially.
+func TestNucleusSizeVsRepairCount(t *testing.T) {
+	in := gen.Example51(12)
+	key := cfd.MustFD(in.Schema(), []string{"A"}, []string{"B"})
+	nuc, err := repr.Nucleus(in, []*cfd.CFD{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nuc.Rows() != 24 || nuc.Vars() != 12 {
+		t.Errorf("nucleus = %d rows / %d vars; want 24 / 12", nuc.Rows(), nuc.Vars())
+	}
+	// 2^12 = 4096 repairs would need 8192 rows if materialized.
+	if materialized := (1 << 12) * 12; nuc.Rows() >= materialized {
+		t.Error("nucleus is not smaller than materialization?!")
+	}
+}

@@ -1,0 +1,162 @@
+package repr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// World-set decompositions (WSDs), the Section 5.3 alternative
+// representation the paper discusses (Antova–Koch–Olteanu): a finite set
+// of possible worlds written as the product of independent components.
+// For X-repairs under key constraints the decomposition is natural — each
+// conflicting key group chooses its surviving duplicate class
+// independently — so a WSD of linear size represents the exponentially
+// many repairs of the Example 5.1 family.
+
+// Choice is one local world of a component: the tuples that survive when
+// the choice is taken.
+type Choice struct {
+	Tuples []relation.Tuple
+}
+
+// Component is an independent factor of the world set.
+type Component struct {
+	Choices []Choice
+}
+
+// WSD is a world-set decomposition over one schema: the fixed base tuples
+// crossed with the product of component choices.
+type WSD struct {
+	schema *relation.Schema
+	base   []relation.Tuple
+	comps  []Component
+}
+
+// Schema returns the schema.
+func (w *WSD) Schema() *relation.Schema { return w.schema }
+
+// Components returns the number of components.
+func (w *WSD) Components() int { return len(w.comps) }
+
+// WorldCount returns the number of represented worlds (capped at
+// math.MaxInt64 on overflow, with the second result false).
+func (w *WSD) WorldCount() (int64, bool) {
+	count := int64(1)
+	for _, c := range w.comps {
+		n := int64(len(c.Choices))
+		if n == 0 {
+			return 0, true
+		}
+		if count > math.MaxInt64/n {
+			return math.MaxInt64, false
+		}
+		count *= n
+	}
+	return count, true
+}
+
+// Size returns the number of tuples stored by the decomposition — the
+// measure on which WSDs are exponentially more succinct than enumerating
+// worlds.
+func (w *WSD) Size() int {
+	n := len(w.base)
+	for _, c := range w.comps {
+		for _, ch := range c.Choices {
+			n += len(ch.Tuples)
+		}
+	}
+	return n
+}
+
+// String summarizes the decomposition.
+func (w *WSD) String() string {
+	count, exact := w.WorldCount()
+	suffix := ""
+	if !exact {
+		suffix = "+"
+	}
+	return fmt.Sprintf("WSD over %s: %d base tuples × %d components = %d%s worlds (size %d)",
+		w.schema.Name(), len(w.base), len(w.comps), count, suffix, w.Size())
+}
+
+// Worlds materializes up to limit worlds (0 = all; beware the product).
+func (w *WSD) Worlds(limit int) []*relation.Instance {
+	var out []*relation.Instance
+	choice := make([]int, len(w.comps))
+	for {
+		in := relation.NewInstance(w.schema)
+		for _, t := range w.base {
+			in.MustInsert(t...)
+		}
+		for ci, c := range w.comps {
+			for _, t := range c.Choices[choice[ci]].Tuples {
+				in.MustInsert(t...)
+			}
+		}
+		out = append(out, in)
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(w.comps[i].Choices) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return out
+		}
+	}
+}
+
+// WSDFromKeyRepairs decomposes the X-repair world set of an instance
+// under a key: tuples in clean key groups form the base; each dirty group
+// becomes a component whose choices are its duplicate classes (fully
+// equal tuples survive together; distinct classes conflict pairwise).
+func WSDFromKeyRepairs(in *relation.Instance, keyAttrs []string) (*WSD, error) {
+	s := in.Schema()
+	keyPos, err := s.Positions(keyAttrs)
+	if err != nil {
+		return nil, fmt.Errorf("repr: %v", err)
+	}
+	w := &WSD{schema: s}
+	ix := relation.BuildIndex(in, keyPos)
+	type group struct {
+		key string
+		ids []relation.TID
+	}
+	var groups []group
+	ix.Groups(1, func(k string, ids []relation.TID) {
+		groups = append(groups, group{k, ids})
+	})
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	for _, g := range groups {
+		classes := make(map[string][]relation.Tuple)
+		var order []string
+		for _, id := range g.ids {
+			t, _ := in.Tuple(id)
+			k := t.Key()
+			if _, ok := classes[k]; !ok {
+				order = append(order, k)
+			}
+			classes[k] = append(classes[k], t)
+		}
+		sort.Strings(order)
+		if len(order) == 1 {
+			w.base = append(w.base, classes[order[0]]...)
+			continue
+		}
+		comp := Component{}
+		for _, k := range order {
+			comp.Choices = append(comp.Choices, Choice{Tuples: classes[k]})
+		}
+		w.comps = append(w.comps, comp)
+	}
+	return w, nil
+}

@@ -1,0 +1,136 @@
+package repr_test
+
+import (
+	"testing"
+
+	"repro/internal/denial"
+	"repro/internal/gen"
+	"repro/internal/relation"
+	"repro/internal/repair"
+	"repro/internal/repr"
+)
+
+// TestWSDExample51: the Example 5.1 family decomposes into n independent
+// binary components — linear size for 2^n worlds.
+func TestWSDExample51(t *testing.T) {
+	for _, n := range []int{1, 4, 10} {
+		in := gen.Example51(n)
+		w, err := repr.WSDFromKeyRepairs(in, []string{"A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Components() != n {
+			t.Errorf("n=%d: components = %d", n, w.Components())
+		}
+		count, exact := w.WorldCount()
+		if !exact || count != int64(1)<<n {
+			t.Errorf("n=%d: worlds = %d (exact %v), want 2^%d", n, count, exact, n)
+		}
+		if w.Size() != 2*n {
+			t.Errorf("n=%d: size = %d, want %d (linear)", n, w.Size(), 2*n)
+		}
+		_ = w.String()
+	}
+}
+
+// TestWSDWorldsMatchXRepairs: the materialized worlds coincide with the
+// hypergraph-enumerated X-repairs.
+func TestWSDWorldsMatchXRepairs(t *testing.T) {
+	in := gen.Example51(3)
+	w, err := repr.WSDFromKeyRepairs(in, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := w.Worlds(0)
+	if len(worlds) != 8 {
+		t.Fatalf("worlds = %d", len(worlds))
+	}
+	db := relation.NewDatabase()
+	db.Add(in)
+	dcs, _ := denial.Key(in.Schema(), []string{"A"})
+	h, err := repair.BuildHypergraph(db, dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs := h.EnumerateXRepairs(0)
+	if len(repairs) != len(worlds) {
+		t.Fatalf("repairs = %d vs worlds = %d", len(repairs), len(worlds))
+	}
+	// Compare as sets of canonical tuple multisets.
+	worldKeys := make(map[string]bool)
+	for _, wd := range worlds {
+		worldKeys[instKey(wd)] = true
+	}
+	for _, kept := range repairs {
+		sub := relation.NewInstance(in.Schema())
+		for _, ref := range kept {
+			tu, _ := in.Tuple(ref.TID)
+			sub.MustInsert(tu...)
+		}
+		if !worldKeys[instKey(sub)] {
+			t.Errorf("repair %v not represented by the WSD", kept)
+		}
+	}
+}
+
+func instKey(in *relation.Instance) string {
+	keys := make([]string, 0, in.Len())
+	for _, t := range in.Tuples() {
+		keys = append(keys, t.Key())
+	}
+	// Sort for canonical form.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	out := ""
+	for _, k := range keys {
+		out += k + "|"
+	}
+	return out
+}
+
+// TestWSDMixedGroups: clean groups land in the base; duplicate classes
+// survive together.
+func TestWSDMixedGroups(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("k", relation.KindString),
+		relation.Attr("v", relation.KindInt),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("clean"), relation.Int(1))
+	in.MustInsert(relation.Str("dup"), relation.Int(5))
+	in.MustInsert(relation.Str("dup"), relation.Int(5)) // same class
+	in.MustInsert(relation.Str("dup"), relation.Int(7)) // conflicting class
+	w, err := repr.WSDFromKeyRepairs(in, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Components() != 1 {
+		t.Fatalf("components = %d, want 1", w.Components())
+	}
+	count, _ := w.WorldCount()
+	if count != 2 {
+		t.Errorf("worlds = %d, want 2", count)
+	}
+	worlds := w.Worlds(0)
+	sizes := map[int]bool{}
+	for _, wd := range worlds {
+		sizes[wd.Len()] = true
+	}
+	// One world keeps both (dup,5) tuples + clean = 3; the other keeps
+	// (dup,7) + clean = 2.
+	if !sizes[3] || !sizes[2] {
+		t.Errorf("world sizes = %v, want {2,3}", sizes)
+	}
+	// Limit works.
+	if got := w.Worlds(1); len(got) != 1 {
+		t.Errorf("limited worlds = %d", len(got))
+	}
+	if _, err := repr.WSDFromKeyRepairs(in, []string{"ghost"}); err == nil {
+		t.Error("want error for unknown key attribute")
+	}
+}

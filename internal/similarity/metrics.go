@@ -1,0 +1,242 @@
+// Package similarity implements the domain-specific similarity operators
+// of Section 3.2 of Fan (PODS 2008): a fixed set Θ of binary relations on
+// values that are reflexive, symmetric and subsume equality. The package
+// provides the similarity metrics object-identification practice uses —
+// edit distance, Jaro, Jaro-Winkler, q-grams (see the survey [32] the
+// paper cites) plus Soundex — threshold operators ≈θ over them, the
+// equality operator, the match operator ⇋ placeholder, and the containment
+// partial order between operators that relative-candidate-key derivation
+// relies on.
+package similarity
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete, substitute), computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity returns 1 − dist/maxLen in [0, 1]; identical strings get
+// 1, fully different strings approach 0. Two empty strings are identical
+// (1).
+func EditSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// Jaro returns the Jaro similarity of a and b in [0, 1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	usedB := make([]bool, lb)
+	var matches int
+	matchA := make([]rune, 0, la)
+	for i, c := range ra {
+		lo := max2(0, i-window)
+		hi := min2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !usedB[j] && rb[j] == c {
+				usedB[j] = true
+				matches++
+				matchA = append(matchA, c)
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	matchB := make([]rune, 0, matches)
+	for j, used := range usedB {
+		if used {
+			matchB = append(matchB, rb[j])
+		}
+	}
+	var transpositions int
+	for i := range matchA {
+		if matchA[i] != matchB[i] {
+			transpositions++
+		}
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale 0.1 over at most 4 common prefix runes.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// QGramDice returns the Dice coefficient over the multisets of q-grams of
+// a and b (strings padded with q−1 '#' on both sides). q must be ≥ 1.
+func QGramDice(a, b string, q int) float64 {
+	if q < 1 {
+		q = 2
+	}
+	if a == b {
+		return 1
+	}
+	ga, gb := qgrams(a, q), qgrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(ga))
+	for _, g := range ga {
+		counts[g]++
+	}
+	shared := 0
+	for _, g := range gb {
+		if counts[g] > 0 {
+			counts[g]--
+			shared++
+		}
+	}
+	return 2 * float64(shared) / float64(len(ga)+len(gb))
+}
+
+func qgrams(s string, q int) []string {
+	pad := strings.Repeat("#", q-1)
+	padded := []rune(pad + s + pad)
+	if len(padded) < q {
+		return nil
+	}
+	out := make([]string, 0, len(padded)-q+1)
+	for i := 0; i+q <= len(padded); i++ {
+		out = append(out, string(padded[i:i+q]))
+	}
+	return out
+}
+
+// Soundex returns the classic 4-character American Soundex code of s
+// ("" for strings without a leading letter).
+func Soundex(s string) string {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	var letters []rune
+	for _, r := range s {
+		if unicode.IsLetter(r) && r < 128 {
+			letters = append(letters, r)
+		}
+	}
+	if len(letters) == 0 {
+		return ""
+	}
+	code := func(r rune) byte {
+		switch r {
+		case 'B', 'F', 'P', 'V':
+			return '1'
+		case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+			return '2'
+		case 'D', 'T':
+			return '3'
+		case 'L':
+			return '4'
+		case 'M', 'N':
+			return '5'
+		case 'R':
+			return '6'
+		default:
+			return 0 // vowels, H, W, Y
+		}
+	}
+	out := []byte{byte(letters[0])}
+	prev := code(letters[0])
+	for _, r := range letters[1:] {
+		c := code(r)
+		if c != 0 && c != prev {
+			out = append(out, c)
+			if len(out) == 4 {
+				break
+			}
+		}
+		if r == 'H' || r == 'W' {
+			continue // H and W do not reset the previous code
+		}
+		prev = c
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

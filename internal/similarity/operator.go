@@ -1,0 +1,173 @@
+package similarity
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Metric identifies a similarity metric family.
+type Metric uint8
+
+// The metric families. Equality is the = operator (in Θ by definition);
+// Match is the ⇋ operator, whose interpretation is inferred rather than
+// given (Section 3.3 of the paper) — Similar on Match answers equality
+// only, as the known lower bound of the relation.
+const (
+	Equality Metric = iota
+	Edit
+	JaroM
+	JaroWinklerM
+	QGram
+	SoundexM
+	Match
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case Equality:
+		return "eq"
+	case Edit:
+		return "edit"
+	case JaroM:
+		return "jaro"
+	case JaroWinklerM:
+		return "jw"
+	case QGram:
+		return "qgram"
+	case SoundexM:
+		return "soundex"
+	case Match:
+		return "match"
+	default:
+		return fmt.Sprintf("metric(%d)", uint8(m))
+	}
+}
+
+// Op is a similarity operator in Θ: a metric family with a threshold θ
+// (for score-valued metrics, x ≈θ y iff score(x,y) ≥ θ) and a q-gram
+// size. All operators are reflexive, symmetric and subsume equality —
+// the generic axioms of Section 3.2.
+type Op struct {
+	Metric Metric
+	Theta  float64 // threshold in [0,1] for score metrics
+	Q      int     // q-gram size (QGram only)
+}
+
+// Eq returns the equality operator.
+func Eq() Op { return Op{Metric: Equality} }
+
+// EditOp returns edit-similarity ≥ θ (the paper's ≈d family).
+func EditOp(theta float64) Op { return Op{Metric: Edit, Theta: theta} }
+
+// JaroOp returns Jaro similarity ≥ θ.
+func JaroOp(theta float64) Op { return Op{Metric: JaroM, Theta: theta} }
+
+// JWOp returns Jaro-Winkler similarity ≥ θ.
+func JWOp(theta float64) Op { return Op{Metric: JaroWinklerM, Theta: theta} }
+
+// QGramOp returns q-gram Dice similarity ≥ θ.
+func QGramOp(q int, theta float64) Op { return Op{Metric: QGram, Theta: theta, Q: q} }
+
+// SoundexOp returns the same-soundex-code operator.
+func SoundexOp() Op { return Op{Metric: SoundexM} }
+
+// MatchOp returns the ⇋ operator placeholder.
+func MatchOp() Op { return Op{Metric: Match} }
+
+// IsMatch reports whether the operator is ⇋.
+func (o Op) IsMatch() bool { return o.Metric == Match }
+
+// String renders the operator, e.g. "edit≥0.8".
+func (o Op) String() string {
+	switch o.Metric {
+	case Equality:
+		return "="
+	case Match:
+		return "⇋"
+	case SoundexM:
+		return "soundex"
+	case QGram:
+		return fmt.Sprintf("qgram%d≥%g", o.Q, o.Theta)
+	default:
+		return fmt.Sprintf("%s≥%g", o.Metric, o.Theta)
+	}
+}
+
+// score computes the metric's similarity score for two strings.
+func (o Op) score(a, b string) float64 {
+	switch o.Metric {
+	case Edit:
+		return EditSimilarity(a, b)
+	case JaroM:
+		return Jaro(a, b)
+	case JaroWinklerM:
+		return JaroWinkler(a, b)
+	case QGram:
+		return QGramDice(a, b, o.Q)
+	default:
+		return 0
+	}
+}
+
+// Similar reports whether v ≈ w under the operator. Non-string values
+// compare by equality for every metric (the metrics are string
+// similarities; equality always subsumes). The Match operator answers
+// its known lower bound: equality.
+func (o Op) Similar(v, w relation.Value) bool {
+	if v.Equal(w) {
+		return true // every operator subsumes equality
+	}
+	switch o.Metric {
+	case Equality, Match:
+		return false
+	case SoundexM:
+		if v.Kind() != relation.KindString || w.Kind() != relation.KindString {
+			return false
+		}
+		c1, c2 := Soundex(v.StrVal()), Soundex(w.StrVal())
+		return c1 != "" && c1 == c2
+	default:
+		if v.Kind() != relation.KindString || w.Kind() != relation.KindString {
+			return false
+		}
+		return o.score(v.StrVal(), w.StrVal()) >= o.Theta
+	}
+}
+
+// Contains reports o ⊇ p: every pair related by p is related by o. The
+// order is sound but conservative (incomparable metric families report
+// false):
+//
+//   - equality is contained in every operator;
+//   - within one score family, a lower threshold contains a higher one;
+//   - Jaro-Winkler at θ contains Jaro at θ (JW ≥ Jaro pointwise);
+//   - every operator contains ⇋-as-known (equality lower bound), and ⇋
+//     contains only equality and itself.
+func (o Op) Contains(p Op) bool {
+	if o == p {
+		return true
+	}
+	if p.Metric == Equality {
+		return true
+	}
+	if o.Metric == Equality {
+		return false
+	}
+	if p.Metric == Match {
+		// Known ⇋ facts are equalities, already handled above; a proper
+		// ⇋ is not contained in any similarity operator generically.
+		return false
+	}
+	if o.Metric == Match {
+		return false
+	}
+	if o.Metric == p.Metric && o.Q == p.Q {
+		return o.Theta <= p.Theta
+	}
+	if o.Metric == JaroWinklerM && p.Metric == JaroM {
+		return o.Theta <= p.Theta
+	}
+	return false
+}

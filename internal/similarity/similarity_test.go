@@ -1,0 +1,250 @@
+package similarity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"John Smith", "J. Smith", 3}, // o→'.', delete h, delete n
+		{"same", "same", 0},
+		{"résumé", "resume", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	type pair struct{ A, B string }
+	gen := func(r *rand.Rand) string {
+		letters := []byte("abcd")
+		n := r.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(pair{gen(r), gen(r)})
+		},
+	}
+	// Symmetry, identity, and triangle inequality via a third string.
+	if err := quick.Check(func(p pair) bool {
+		d1, d2 := Levenshtein(p.A, p.B), Levenshtein(p.B, p.A)
+		if d1 != d2 {
+			return false
+		}
+		if (d1 == 0) != (p.A == p.B) {
+			return false
+		}
+		via := Levenshtein(p.A, "") + Levenshtein("", p.B)
+		return d1 <= via
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if got := EditSimilarity("", ""); got != 1 {
+		t.Errorf("empty/empty = %v", got)
+	}
+	if got := EditSimilarity("abcd", "abcd"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := EditSimilarity("abcd", "wxyz"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+	got := EditSimilarity("John", "Jon")
+	if got <= 0.7 || got >= 0.8 {
+		t.Errorf("John/Jon = %v, want 0.75", got)
+	}
+}
+
+func TestJaroAndJaroWinkler(t *testing.T) {
+	if Jaro("", "") != 1 || Jaro("a", "") != 0 {
+		t.Error("Jaro edge cases wrong")
+	}
+	// Classic test vector: MARTHA vs MARHTA = 0.944...
+	if got := Jaro("MARTHA", "MARHTA"); got < 0.94 || got > 0.95 {
+		t.Errorf("Jaro(MARTHA, MARHTA) = %v", got)
+	}
+	// DWAYNE vs DUANE = 0.822...
+	if got := Jaro("DWAYNE", "DUANE"); got < 0.81 || got > 0.83 {
+		t.Errorf("Jaro(DWAYNE, DUANE) = %v", got)
+	}
+	// Jaro-Winkler boosts common prefixes: MARTHA/MARHTA = 0.961...
+	if got := JaroWinkler("MARTHA", "MARHTA"); got < 0.96 || got > 0.97 {
+		t.Errorf("JW(MARTHA, MARHTA) = %v", got)
+	}
+	if jw, j := JaroWinkler("prefix", "prefax"), Jaro("prefix", "prefax"); jw < j {
+		t.Error("JW must dominate Jaro")
+	}
+}
+
+func TestQGramDice(t *testing.T) {
+	if QGramDice("", "", 2) != 1 {
+		t.Error("empty/empty should be 1")
+	}
+	if QGramDice("night", "night", 2) != 1 {
+		t.Error("identical should be 1")
+	}
+	got := QGramDice("night", "nacht", 2)
+	if got <= 0 || got >= 1 {
+		t.Errorf("night/nacht = %v, want strictly between 0 and 1", got)
+	}
+	if QGramDice("ab", "xy", 2) != 0 {
+		t.Error("disjoint bigrams should be 0")
+	}
+	// q < 1 falls back to q=2.
+	if QGramDice("night", "nacht", 0) != got {
+		t.Error("q fallback broken")
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := map[string]string{
+		"Robert":   "R163",
+		"Rupert":   "R163",
+		"Ashcraft": "A261",
+		"Ashcroft": "A261",
+		"Tymczak":  "T522",
+		"Pfister":  "P236",
+		"Honeyman": "H555",
+		"":         "",
+		"123":      "",
+	}
+	for in, want := range cases {
+		if got := Soundex(in); got != want {
+			t.Errorf("Soundex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOperatorAxioms(t *testing.T) {
+	// Section 3.2: every operator in Θ is reflexive, symmetric, and
+	// subsumes equality.
+	ops := []Op{Eq(), EditOp(0.8), JaroOp(0.9), JWOp(0.9), QGramOp(2, 0.6), SoundexOp(), MatchOp()}
+	vals := []relation.Value{
+		relation.Str("John Smith"), relation.Str("J. Smith"), relation.Str("Jon Smith"),
+		relation.Str(""), relation.Int(42), relation.Null(),
+	}
+	for _, op := range ops {
+		for _, v := range vals {
+			if !op.Similar(v, v) {
+				t.Errorf("%v not reflexive on %v", op, v)
+			}
+			for _, w := range vals {
+				if op.Similar(v, w) != op.Similar(w, v) {
+					t.Errorf("%v not symmetric on %v, %v", op, v, w)
+				}
+				if v.Equal(w) && !op.Similar(v, w) {
+					t.Errorf("%v does not subsume equality on %v, %v", op, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestOperatorSimilar(t *testing.T) {
+	ed := EditOp(0.7)
+	if !ed.Similar(relation.Str("John"), relation.Str("Jon")) {
+		t.Error("edit≥0.7 should accept John/Jon (0.75)")
+	}
+	if EditOp(0.8).Similar(relation.Str("John"), relation.Str("Jon")) {
+		t.Error("edit≥0.8 should reject John/Jon")
+	}
+	if ed.Similar(relation.Int(1), relation.Int(2)) {
+		t.Error("non-string values only relate by equality")
+	}
+	if !SoundexOp().Similar(relation.Str("Robert"), relation.Str("Rupert")) {
+		t.Error("soundex should relate Robert/Rupert")
+	}
+	if SoundexOp().Similar(relation.Str("Robert"), relation.Str("Wilson")) {
+		t.Error("soundex should separate Robert/Wilson")
+	}
+	if MatchOp().Similar(relation.Str("a"), relation.Str("b")) {
+		t.Error("⇋'s known lower bound is equality only")
+	}
+}
+
+func TestOperatorContainment(t *testing.T) {
+	cases := []struct {
+		big, small Op
+		want       bool
+	}{
+		{EditOp(0.6), Eq(), true},         // equality in everything
+		{EditOp(0.6), EditOp(0.8), true},  // lower threshold is weaker
+		{EditOp(0.8), EditOp(0.6), false}, //
+		{JaroOp(0.9), EditOp(0.9), false}, // incomparable families
+		{JWOp(0.9), JaroOp(0.9), true},    // JW ≥ Jaro pointwise
+		{JaroOp(0.9), JWOp(0.9), false},   //
+		{Eq(), EditOp(0.5), false},        // equality contains nothing proper
+		{QGramOp(2, 0.5), QGramOp(2, 0.7), true},
+		{QGramOp(2, 0.5), QGramOp(3, 0.7), false}, // different q
+		{EditOp(0.5), MatchOp(), false},           // proper ⇋ is not generically contained
+		{MatchOp(), MatchOp(), true},
+	}
+	for _, c := range cases {
+		if got := c.big.Contains(c.small); got != c.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", c.big, c.small, got, c.want)
+		}
+	}
+	// Containment soundness spot-check: if big.Contains(small) then every
+	// related pair under small is related under big.
+	pairs := [][2]string{{"John", "Jon"}, {"MARTHA", "MARHTA"}, {"abc", "abd"}, {"x", "x"}}
+	bigs := []Op{EditOp(0.5), JWOp(0.85)}
+	smalls := []Op{EditOp(0.9), JaroOp(0.85), Eq()}
+	for _, big := range bigs {
+		for _, small := range smalls {
+			if !big.Contains(small) {
+				continue
+			}
+			for _, p := range pairs {
+				a, b := relation.Str(p[0]), relation.Str(p[1])
+				if small.Similar(a, b) && !big.Similar(a, b) {
+					t.Errorf("containment unsound: %v ⊇ %v but %q~%q differs", big, small, p[0], p[1])
+				}
+			}
+		}
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	for _, c := range []struct {
+		op   Op
+		want string
+	}{
+		{Eq(), "="},
+		{MatchOp(), "⇋"},
+		{SoundexOp(), "soundex"},
+		{EditOp(0.8), "edit≥0.8"},
+		{QGramOp(2, 0.6), "qgram2≥0.6"},
+		{JWOp(0.9), "jw≥0.9"},
+	} {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.op.Metric, got, c.want)
+		}
+	}
+	if Metric(99).String() == "" {
+		t.Error("unknown metric must render")
+	}
+}
