@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	dqcheck -data customer=customer.csv -rules rules.cfd
+//	dqcheck -data customer=customer.csv -rules rules.cfd [-validate]
 //
-// The -data CSVs are only read for their schemas.
+// The -data CSVs are read for their schemas; with -validate the loaded
+// instances are additionally checked against the rules on the parallel
+// detection engine, streaming the violations into a per-relation count
+// (full scan either way: a clean relation cannot be confirmed cheaper).
 package main
 
 import (
@@ -15,9 +18,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/cfd"
+	"repro/internal/detect"
 	"repro/internal/relation"
 )
 
@@ -38,6 +43,8 @@ func main() {
 	data := dataFlags{}
 	flag.Var(data, "data", "relation=path.csv (schema source, repeatable)")
 	rulesPath := flag.String("rules", "", "CFD rule file")
+	validate := flag.Bool("validate", false, "also check the -data instances against the rules")
+	workers := flag.Int("workers", 0, "validation worker pool size (0 = one per CPU)")
 	flag.Parse()
 	if len(data) == 0 || *rulesPath == "" {
 		flag.Usage()
@@ -45,6 +52,7 @@ func main() {
 	}
 
 	schemas := make(map[string]*relation.Schema)
+	instances := make(map[string]*relation.Instance)
 	for name, path := range data {
 		f, err := os.Open(path)
 		if err != nil {
@@ -56,6 +64,7 @@ func main() {
 			log.Fatal(err)
 		}
 		schemas[name] = in.Schema()
+		instances[name] = in
 	}
 
 	rf, err := os.Open(*rulesPath)
@@ -92,6 +101,39 @@ func main() {
 		}
 		if cfd.Implies(rest, a) {
 			fmt.Printf("rule %d is implied by the others: %v\n", i+1, a)
+		}
+	}
+	if *validate {
+		fmt.Println("\n=== Validation (D ⊨ Σ) ===")
+		engine := detect.New(*workers)
+		byRel := make(map[string][]*cfd.CFD)
+		for _, c := range rules {
+			byRel[c.Schema().Name()] = append(byRel[c.Schema().Name()], c)
+		}
+		names := make([]string, 0, len(instances))
+		for name := range instances {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		dirty := false
+		for _, name := range names {
+			in, set := instances[name], byRel[name]
+			if len(set) == 0 {
+				continue
+			}
+			// One streamed pass serves both outcomes without buffering
+			// or sorting violations that are only ever counted.
+			count := 0
+			engine.DetectAllStream(in, set, func(cfd.Violation) { count++ })
+			if count == 0 {
+				fmt.Printf("%s: satisfies all %d rules\n", name, len(set))
+				continue
+			}
+			dirty = true
+			fmt.Printf("%s: VIOLATED (%d violations; run dqdetect for the full report)\n", name, count)
+		}
+		if dirty {
+			os.Exit(1)
 		}
 	}
 	fmt.Println("done")

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	dqdetect -data customer=customer.csv -rules rules.cfd [-max 20]
+//	dqdetect -data customer=customer.csv -rules rules.cfd [-max 20] [-workers 8]
+//
+// Detection runs on the internal/detect engine: rules over the same
+// relation share LHS indexes and fan out across a worker pool (-workers,
+// default one per CPU).
 //
 // The rule file uses the cfd text format:
 //
@@ -21,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/cfd"
+	"repro/internal/detect"
 	"repro/internal/relation"
 )
 
@@ -43,6 +48,7 @@ func main() {
 	flag.Var(data, "data", "relation=path.csv (repeatable)")
 	rulesPath := flag.String("rules", "", "CFD rule file")
 	max := flag.Int("max", 0, "max violations to print (0 = all)")
+	workers := flag.Int("workers", 0, "detection worker pool size (0 = one per CPU)")
 	flag.Parse()
 	if len(data) == 0 || *rulesPath == "" {
 		flag.Usage()
@@ -81,13 +87,28 @@ func main() {
 		log.Fatal("the rule set is inconsistent: no nonempty instance can satisfy it (fix the rules first)")
 	}
 
-	total := 0
+	// Batch the rules per relation so the engine can share LHS indexes
+	// across them. The stream delivers each CFD's violations as one
+	// contiguous run in Σ order, so per-rule reports fall out without a
+	// global re-sort.
+	engine := detect.New(*workers)
+	byRel := make(map[string][]*cfd.CFD)
 	for _, c := range rules {
-		in, ok := instances[c.Schema().Name()]
+		byRel[c.Schema().Name()] = append(byRel[c.Schema().Name()], c)
+	}
+	perCFD := make(map[*cfd.CFD][]cfd.Violation)
+	for name, set := range byRel {
+		in, ok := instances[name]
 		if !ok {
 			continue
 		}
-		vs := cfd.Detect(in, c)
+		engine.DetectAllStream(in, set, func(v cfd.Violation) {
+			perCFD[v.CFD] = append(perCFD[v.CFD], v)
+		})
+	}
+	total := 0
+	for _, c := range rules {
+		vs := perCFD[c]
 		total += len(vs)
 		if len(vs) > 0 {
 			fmt.Printf("\n%v\n", c)

@@ -1,0 +1,98 @@
+package repro_test
+
+// Benchmarks for the internal/detect engine (DESIGN.md E22): sequential
+// per-CFD detection (legacy cfd.DetectAll, one index build per CFD) vs
+// the engine with one worker (index sharing only) vs the engine with one
+// worker per CPU (index sharing + parallel fan-out), on gen-produced
+// dirty customer instances of 10k–500k tuples and 1–64 CFDs drawn from
+// two LHS position sets. The speedup claimed in EXPERIMENTS.md is
+// measured here, not asserted:
+//
+//	go test -run '^$' -bench EngineDetectAll -benchmem .
+//
+// The 500k-tuple tier is skipped under -short so the CI smoke stays fast.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/detect"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// engineBenchSigma builds k CFDs over the customer schema drawn from two
+// LHS position sets — [CC, zip] → street and [CC, AC] → city — with
+// rotating country-code pattern constants, so an engine plan of k CFDs
+// needs only 2 index builds where the sequential path needs k.
+func engineBenchSigma(s *relation.Schema, k int) []*cfd.CFD {
+	ccs := []int64{44, 1, 31, 49, 33, 39, 34, 46}
+	out := make([]*cfd.CFD, 0, k)
+	for i := 0; i < k; i++ {
+		cc := cfd.Const(relation.Int(ccs[i%len(ccs)]))
+		if i%2 == 0 {
+			out = append(out, cfd.MustNew(s, []string{"CC", "zip"}, []string{"street"},
+				cfd.Row([]cfd.Cell{cc, cfd.Any()}, []cfd.Cell{cfd.Any()})))
+		} else {
+			out = append(out, cfd.MustNew(s, []string{"CC", "AC"}, []string{"city"},
+				cfd.Row([]cfd.Cell{cc, cfd.Any()}, []cfd.Cell{cfd.Any()})))
+		}
+	}
+	return out
+}
+
+func BenchmarkEngineDetectAll(b *testing.B) {
+	for _, n := range []int{10000, 100000, 500000} {
+		if n > 100000 && testing.Short() {
+			continue
+		}
+		in := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
+		s := in.Schema()
+		for _, k := range []int{1, 8, 64} {
+			sigma := engineBenchSigma(s, k)
+			b.Run(fmt.Sprintf("n=%d/cfds=%d/seq", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfd.DetectAll(in, sigma)
+				}
+			})
+			b.Run(fmt.Sprintf("n=%d/cfds=%d/shared", n, k), func(b *testing.B) {
+				e := detect.New(1)
+				for i := 0; i < b.N; i++ {
+					e.DetectAll(in, sigma)
+				}
+			})
+			b.Run(fmt.Sprintf("n=%d/cfds=%d/parallel", n, k), func(b *testing.B) {
+				e := detect.New(runtime.GOMAXPROCS(0))
+				for i := 0; i < b.N; i++ {
+					e.DetectAll(in, sigma)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineSatisfiesAll measures the early-cancel path: the dirty
+// instance violates the very first rule, so the engine's cancellation
+// skips almost the whole batch while the legacy loop at least pays one
+// full index build and scan per preceding clean rule.
+func BenchmarkEngineSatisfiesAll(b *testing.B) {
+	n := 100000
+	if testing.Short() {
+		n = 10000
+	}
+	in := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
+	sigma := engineBenchSigma(in.Schema(), 16)
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfd.SatisfiesAll(in, sigma)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		e := detect.New(0)
+		for i := 0; i < b.N; i++ {
+			e.SatisfiesAll(in, sigma)
+		}
+	})
+}

@@ -8,7 +8,8 @@
 // repairing, consistent query answering, and condensed representations of
 // repairs — together with every substrate they need (in-memory relational
 // engine, SPCU algebra, similarity operators, object identification,
-// dependency discovery, synthetic dirty-data generators).
+// dependency discovery, synthetic dirty-data generators, and a parallel
+// index-sharing violation-detection engine in internal/detect).
 //
 // See DESIGN.md for the system inventory and the per-experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and the examples/

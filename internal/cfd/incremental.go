@@ -1,8 +1,6 @@
 package cfd
 
 import (
-	"sort"
-
 	"repro/internal/relation"
 )
 
@@ -19,12 +17,15 @@ import (
 // result is exactly Detect(in, c) filtered to groups touching the set —
 // at the cost of the touched groups only.
 func DetectTouched(in *relation.Instance, c *CFD, touched []relation.TID) []Violation {
-	touchedSet := make(map[relation.TID]bool, len(touched))
-	for _, id := range touched {
-		touchedSet[id] = true
-	}
+	return DetectTouchedWithIndex(in, c, relation.BuildIndex(in, c.lhs), touched)
+}
+
+// DetectTouchedWithIndex is DetectTouched over a caller-supplied index on
+// the CFD's LHS positions (rebuilt if built on different positions); the
+// batch engine uses it to share one index across an incremental batch.
+func DetectTouchedWithIndex(in *relation.Instance, c *CFD, ix *relation.Index, touched []relation.TID) []Violation {
+	ix = lhsIndex(in, c, ix)
 	var out []Violation
-	ix := relation.BuildIndex(in, c.lhs)
 
 	for rowIdx, row := range c.tableau {
 		matchLHS := func(t relation.Tuple) bool {
@@ -86,17 +87,6 @@ func DetectTouched(in *relation.Instance, c *CFD, touched []relation.TID) []Viol
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Row != out[j].Row {
-			return out[i].Row < out[j].Row
-		}
-		if out[i].T1 != out[j].T1 {
-			return out[i].T1 < out[j].T1
-		}
-		if out[i].T2 != out[j].T2 {
-			return out[i].T2 < out[j].T2
-		}
-		return out[i].Attr < out[j].Attr
-	})
+	sortDetectOrder(out)
 	return out
 }

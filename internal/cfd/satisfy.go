@@ -50,7 +50,14 @@ func (v Violation) String() string {
 
 // Satisfies reports whether the instance satisfies the CFD (D ⊨ ϕ).
 func Satisfies(in *relation.Instance, c *CFD) bool {
-	return len(detect(in, c, true)) == 0
+	return SatisfiesWithIndex(in, c, relation.BuildIndex(in, c.lhs))
+}
+
+// SatisfiesWithIndex is Satisfies over a caller-supplied LHS index,
+// letting batch engines build the index once and share it across every
+// CFD (and tableau row) with the same LHS position set.
+func SatisfiesWithIndex(in *relation.Instance, c *CFD, ix *relation.Index) bool {
+	return len(detect(in, c, lhsIndex(in, c, ix), modeFirstOnly)) == 0
 }
 
 // SatisfiesAll reports whether the instance satisfies every CFD in the set
@@ -64,41 +71,107 @@ func SatisfiesAll(in *relation.Instance, set []*CFD) bool {
 	return true
 }
 
-// Detect returns all violations of the CFD in the instance. Pair
-// violations are reported once per offending tuple against a
-// representative of its LHS group (linear in the group size rather than
-// quadratic), which is sufficient to locate every dirty tuple.
+// Detect returns all violations of the CFD in the instance, sorted by
+// (Row, T1, T2, Attr). Pair violations are reported once per offending
+// tuple against a representative of its LHS group (linear in the group
+// size rather than quadratic), which is sufficient to locate every dirty
+// tuple.
 func Detect(in *relation.Instance, c *CFD) []Violation {
-	return detect(in, c, false)
+	return DetectWithIndex(in, c, relation.BuildIndex(in, c.lhs))
+}
+
+// DetectWithIndex is Detect over a caller-supplied index on the CFD's LHS
+// positions; if the index was built on different positions it is rebuilt.
+// The engine in internal/detect uses this entry point to share one index
+// across all CFDs grouped on the same LHS position set.
+func DetectWithIndex(in *relation.Instance, c *CFD, ix *relation.Index) []Violation {
+	return detect(in, c, lhsIndex(in, c, ix), modeRepresentative)
+}
+
+// lhsIndex validates that ix is an index on c's LHS positions, rebuilding
+// it when it is not (or is nil).
+func lhsIndex(in *relation.Instance, c *CFD, ix *relation.Index) *relation.Index {
+	if ix == nil {
+		return relation.BuildIndex(in, c.lhs)
+	}
+	pos := ix.Positions()
+	if len(pos) != len(c.lhs) {
+		return relation.BuildIndex(in, c.lhs)
+	}
+	for i, p := range pos {
+		if p != c.lhs[i] {
+			return relation.BuildIndex(in, c.lhs)
+		}
+	}
+	return ix
 }
 
 // DetectAll runs Detect for every CFD in the set and returns the combined
-// violations in deterministic order.
+// violations in deterministic order (see SortViolations).
 func DetectAll(in *relation.Instance, set []*CFD) []Violation {
 	var out []Violation
 	for _, c := range set {
 		out = append(out, Detect(in, c)...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].T1 != out[j].T1 {
-			return out[i].T1 < out[j].T1
-		}
-		if out[i].T2 != out[j].T2 {
-			return out[i].T2 < out[j].T2
-		}
-		return out[i].Attr < out[j].Attr
-	})
+	SortViolations(out)
 	return out
 }
 
-// detect implements violation detection; with firstOnly it stops at the
-// first violation (satisfaction checking).
-func detect(in *relation.Instance, c *CFD, firstOnly bool) []Violation {
+// SortViolations sorts a combined violation slice into the canonical
+// reporting order: (T1, T2, Attr, Row), stably, so violations of distinct
+// CFDs that tie on all four keys keep the Σ order they were gathered in.
+// Both DetectAll and the parallel engine in internal/detect merge through
+// this comparator, which is what makes their outputs identical.
+func SortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		if vs[i].T1 != vs[j].T1 {
+			return vs[i].T1 < vs[j].T1
+		}
+		if vs[i].T2 != vs[j].T2 {
+			return vs[i].T2 < vs[j].T2
+		}
+		if vs[i].Attr != vs[j].Attr {
+			return vs[i].Attr < vs[j].Attr
+		}
+		return vs[i].Row < vs[j].Row
+	})
+}
+
+// DetectExhaustiveWithIndex is DetectWithIndex with exhaustive pair
+// reporting: where Detect reports each offending tuple once against its
+// group representative (linear in the group size, sufficient to locate
+// every dirty tuple), this variant emits a violation for every pair of
+// group members disagreeing on an RHS attribute (quadratic in the group
+// size). Conflict hypergraphs need the exhaustive form — with only
+// representative pairs, deleting the representative would disconnect
+// tuples that still conflict with each other. Output is sorted like
+// Detect, with pairs oriented T1 < T2.
+func DetectExhaustiveWithIndex(in *relation.Instance, c *CFD, ix *relation.Index) []Violation {
+	return detect(in, c, lhsIndex(in, c, ix), modeExhaustive)
+}
+
+// detectMode selects how detect reports pair violations.
+type detectMode uint8
+
+const (
+	// modeRepresentative reports each offending tuple once against its
+	// group representative — linear in the group size, enough to locate
+	// every dirty tuple.
+	modeRepresentative detectMode = iota
+	// modeFirstOnly stops at the first violation (satisfaction checking).
+	modeFirstOnly
+	// modeExhaustive reports every pair of group members disagreeing on
+	// an RHS attribute (pairs oriented T1 < T2) — quadratic in the group
+	// size, required for complete conflict hypergraphs, where
+	// representative-only pairs would disconnect tuples that still
+	// conflict with each other.
+	modeExhaustive
+)
+
+// detect implements violation detection over a prebuilt LHS index.
+func detect(in *relation.Instance, c *CFD, ix *relation.Index, mode detectMode) []Violation {
 	var out []Violation
 	ids := in.IDs()
-	// Index the instance once per CFD on the LHS positions; every pattern
-	// row reuses the grouping.
-	ix := relation.BuildIndex(in, c.lhs)
 
 	for rowIdx, row := range c.tableau {
 		// Single-tuple violations: constant RHS cells must bind.
@@ -126,7 +199,7 @@ func detect(in *relation.Instance, c *CFD, firstOnly bool) []Violation {
 				for j, p := range c.rhs {
 					if !row.RHS[j].Matches(t[p]) {
 						out = append(out, Violation{CFD: c, Row: rowIdx, Kind: SingleTuple, T1: id, T2: id, Attr: p})
-						if firstOnly {
+						if mode == modeFirstOnly {
 							return out
 						}
 					}
@@ -135,36 +208,63 @@ func detect(in *relation.Instance, c *CFD, firstOnly bool) []Violation {
 		}
 		// Pair violations: within each LHS-equal group of tuples matching
 		// the pattern, all tuples must agree on every RHS attribute.
-		var groupViol []Violation
-		stop := false
-		ix.Groups(2, func(_ string, gids []relation.TID) {
-			if stop {
-				return
-			}
+		ix.GroupsWhile(2, func(_ string, gids []relation.TID) bool {
 			rep, _ := in.Tuple(gids[0])
 			if !matchLHS(rep) {
-				return // the whole group shares the LHS, so one check suffices
+				return true // the whole group shares the LHS, so one check suffices
+			}
+			if mode == modeExhaustive {
+				for i, id1 := range gids {
+					t1, _ := in.Tuple(id1)
+					for _, id2 := range gids[i+1:] {
+						t2, _ := in.Tuple(id2)
+						for _, p := range c.rhs {
+							if !t1[p].Equal(t2[p]) {
+								out = append(out, Violation{CFD: c, Row: rowIdx, Kind: TuplePair, T1: id1, T2: id2, Attr: p})
+							}
+						}
+					}
+				}
+				return true
 			}
 			for _, id := range gids[1:] {
 				t, _ := in.Tuple(id)
-				for j, p := range c.rhs {
-					_ = j
+				for _, p := range c.rhs {
 					if !t[p].Equal(rep[p]) {
-						groupViol = append(groupViol, Violation{CFD: c, Row: rowIdx, Kind: TuplePair, T1: gids[0], T2: id, Attr: p})
-						if firstOnly {
-							stop = true
-							return
+						out = append(out, Violation{CFD: c, Row: rowIdx, Kind: TuplePair, T1: gids[0], T2: id, Attr: p})
+						if mode == modeFirstOnly {
+							return false
 						}
 					}
 				}
 			}
+			return true
 		})
-		out = append(out, groupViol...)
-		if firstOnly && len(out) > 0 {
+		if mode == modeFirstOnly && len(out) > 0 {
 			return out
 		}
 	}
+	sortDetectOrder(out)
 	return out
+}
+
+// sortDetectOrder sorts one CFD's violations into the canonical per-CFD
+// order (Row, T1, T2, Attr); Index.Groups iterates buckets in map order,
+// so Detect would otherwise be nondeterministic on its own, not only
+// before DetectAll's global merge.
+func sortDetectOrder(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Row != vs[j].Row {
+			return vs[i].Row < vs[j].Row
+		}
+		if vs[i].T1 != vs[j].T1 {
+			return vs[i].T1 < vs[j].T1
+		}
+		if vs[i].T2 != vs[j].T2 {
+			return vs[i].T2 < vs[j].T2
+		}
+		return vs[i].Attr < vs[j].Attr
+	})
 }
 
 // ViolatingTIDs returns the distinct TIDs involved in any violation, in

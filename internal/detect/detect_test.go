@@ -1,0 +1,186 @@
+package detect
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// sigmaFigure2 is the paper's Figure 2 rule set plus the plain FDs of
+// Figure 1 — five CFDs over three distinct LHS position sets, so the plan
+// must share indexes.
+func sigmaFigure2(s *relation.Schema) []*cfd.CFD {
+	return []*cfd.CFD{
+		paperdata.F1(s),
+		paperdata.F2(s),
+		paperdata.Phi1(s),
+		paperdata.Phi2(s),
+		paperdata.Phi3(s),
+	}
+}
+
+// legacyDetectAll is the reference result: the sequential per-CFD path.
+func legacyDetectAll(in *relation.Instance, set []*cfd.CFD) []cfd.Violation {
+	return cfd.DetectAll(in, set)
+}
+
+func TestPlanSharesIndexes(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 50, Seed: 1, ErrorRate: 0.1})
+	sigma := sigmaFigure2(in.Schema())
+	tasks := plan(in, sigma)
+	if len(tasks) != len(sigma) {
+		t.Fatalf("plan made %d tasks, want %d", len(tasks), len(sigma))
+	}
+	distinct := make(map[*sharedIndex]bool)
+	for _, tk := range tasks {
+		distinct[tk.ix] = true
+	}
+	// F1/Phi2 share [CC, AC, phn]; F2/Phi3 share [CC, AC]; Phi1 alone
+	// uses [CC, zip]: 3 indexes for 5 CFDs.
+	if len(distinct) != 3 {
+		t.Fatalf("plan built %d shared indexes, want 3", len(distinct))
+	}
+}
+
+func TestDetectAllMatchesLegacy(t *testing.T) {
+	for _, n := range []int{0, 1, 50, 500, 2000} {
+		for _, rate := range []float64{0, 0.05, 0.3} {
+			for _, workers := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("n=%d/rate=%.2f/workers=%d", n, rate, workers), func(t *testing.T) {
+					in := gen.Customers(gen.CustomerConfig{N: n, Seed: int64(n) + 7, ErrorRate: rate})
+					sigma := sigmaFigure2(in.Schema())
+					want := legacyDetectAll(in, sigma)
+					got := New(workers).DetectAll(in, sigma)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("engine output diverges from legacy path:\n got %d violations\nwant %d violations", len(got), len(want))
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestDetectAllDeterministic(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 1500, Seed: 42, ErrorRate: 0.2})
+	sigma := sigmaFigure2(in.Schema())
+	e := New(8)
+	first := e.DetectAll(in, sigma)
+	for i := 0; i < 5; i++ {
+		again := e.DetectAll(in, sigma)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d produced a different slice", i)
+		}
+	}
+}
+
+func TestStreamOrderDeterministic(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 1500, Seed: 3, ErrorRate: 0.2})
+	sigma := sigmaFigure2(in.Schema())
+	e := New(8)
+	collect := func() []cfd.Violation {
+		var out []cfd.Violation
+		e.DetectAllStream(in, sigma, func(v cfd.Violation) { out = append(out, v) })
+		return out
+	}
+	first := collect()
+	for i := 0; i < 5; i++ {
+		if again := collect(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("stream %d delivered a different order", i)
+		}
+	}
+	// The stream is the Σ-ordered concatenation of per-CFD Detect results.
+	var want []cfd.Violation
+	for _, c := range sigma {
+		want = append(want, cfd.Detect(in, c)...)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("stream order is not the Σ-ordered concatenation of Detect results")
+	}
+}
+
+func TestSatisfiesAllAgrees(t *testing.T) {
+	for _, rate := range []float64{0, 0.1} {
+		for _, workers := range []int{1, 2, 8} {
+			in := gen.Customers(gen.CustomerConfig{N: 400, Seed: 11, ErrorRate: rate})
+			sigma := sigmaFigure2(in.Schema())
+			want := cfd.SatisfiesAll(in, sigma)
+			if got := New(workers).SatisfiesAll(in, sigma); got != want {
+				t.Fatalf("rate=%v workers=%d: engine says %v, legacy says %v", rate, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestSatisfiesAllEarlyCancel(t *testing.T) {
+	// 64 CFDs, every one violated. With a single worker the feeder must
+	// stop after the first evaluation; the remaining 63 are cancelled.
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("a"), relation.Str("b"))
+	in.MustInsert(relation.Str("a"), relation.Str("b'"))
+	var sigma []*cfd.CFD
+	for i := 0; i < 64; i++ {
+		sigma = append(sigma, cfd.MustFD(s, []string{"A"}, []string{"B"}))
+	}
+	ok, evaluated := New(1).satisfiesAll(in, sigma)
+	if ok {
+		t.Fatal("instance satisfies a violated key")
+	}
+	if evaluated != 1 {
+		t.Fatalf("evaluated %d CFDs after the first violation, want 1", evaluated)
+	}
+	// With many workers the count may exceed 1 (in-flight tasks finish)
+	// but cancellation must still keep it well below the full batch.
+	ok, evaluated = New(4).satisfiesAll(in, sigma)
+	if ok {
+		t.Fatal("parallel run missed the violation")
+	}
+	if evaluated >= 64 {
+		t.Fatalf("parallel run evaluated all %d CFDs; early cancel is broken", evaluated)
+	}
+}
+
+func TestDetectTouchedMatchesLegacy(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 800, Seed: 23, ErrorRate: 0})
+	sigma := sigmaFigure2(in.Schema())
+	street := in.Schema().MustLookup("street")
+	city := in.Schema().MustLookup("city")
+	in.Update(3, street, relation.Str("Wrong St"))
+	in.Update(10, city, relation.Str("Nowhere"))
+	touched := []relation.TID{3, 10}
+
+	var want []cfd.Violation
+	for _, c := range sigma {
+		want = append(want, cfd.DetectTouched(in, c, touched)...)
+	}
+	cfd.SortViolations(want)
+
+	for _, workers := range []int{1, 2, 8} {
+		got := New(workers).DetectTouched(in, sigma, touched)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: incremental batch diverges from legacy path", workers)
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 10, Seed: 1, ErrorRate: 0})
+	e := New(0)
+	if vs := e.DetectAll(in, nil); len(vs) != 0 {
+		t.Fatalf("empty Σ produced %d violations", len(vs))
+	}
+	if !e.SatisfiesAll(in, nil) {
+		t.Fatal("every instance satisfies the empty Σ")
+	}
+	if vs := e.DetectTouched(in, nil, []relation.TID{0}); len(vs) != 0 {
+		t.Fatalf("empty Σ produced %d incremental violations", len(vs))
+	}
+}

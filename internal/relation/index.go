@@ -41,6 +41,17 @@ func (ix *Index) Groups(minSize int, fn func(key string, ids []TID)) {
 	}
 }
 
+// GroupsWhile is Groups with early termination: iteration stops as soon
+// as fn returns false. Satisfaction checking uses it to abandon the scan
+// at the first violation instead of visiting every remaining bucket.
+func (ix *Index) GroupsWhile(minSize int, fn func(key string, ids []TID) bool) {
+	for k, ids := range ix.buckets {
+		if len(ids) >= minSize && !fn(k, ids) {
+			return
+		}
+	}
+}
+
 // Positions returns the indexed attribute positions.
 func (ix *Index) Positions() []int { return ix.pos }
 

@@ -1,0 +1,35 @@
+package relation
+
+import "testing"
+
+// GroupsWhile must stop visiting buckets as soon as fn returns false —
+// the primitive behind first-violation satisfaction checking.
+func TestGroupsWhileStops(t *testing.T) {
+	s := MustSchema("r",
+		Attr("A", KindString),
+		Attr("B", KindString),
+	)
+	in := NewInstance(s)
+	for i := 0; i < 20; i++ {
+		a := Str(string(rune('a' + i%10))) // 10 buckets of 2 tuples each
+		in.MustInsert(a, Str("x"))
+		in.MustInsert(a, Str("y"))
+	}
+	ix := BuildIndex(in, []int{0})
+	calls := 0
+	ix.GroupsWhile(2, func(string, []TID) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("GroupsWhile visited %d buckets after fn returned false, want 1", calls)
+	}
+	calls = 0
+	ix.GroupsWhile(2, func(string, []TID) bool {
+		calls++
+		return true
+	})
+	if calls != 10 {
+		t.Fatalf("GroupsWhile visited %d buckets, want all 10", calls)
+	}
+}

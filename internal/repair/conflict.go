@@ -3,9 +3,16 @@ package repair
 import (
 	"sort"
 
+	"repro/internal/cfd"
 	"repro/internal/denial"
+	"repro/internal/detect"
 	"repro/internal/relation"
 )
+
+// detectEngine is the package's batch violation-detection engine: repair
+// gathers violations through it so index building is shared across Σ and
+// the per-CFD scans run on the worker pool.
+var detectEngine = detect.New(0)
 
 // Conflict hypergraph machinery for X-repairs of denial constraints:
 // vertices are tuples, hyperedges the conflicts (matches of a forbidden
@@ -48,6 +55,43 @@ func BuildHypergraph(db *relation.Database, dcs []denial.DC) (*Hypergraph, error
 		h.Edges = append(h.Edges, edge)
 	}
 	return h, nil
+}
+
+// BuildCFDHypergraph assembles the conflict hypergraph of a single
+// instance w.r.t. a set of CFDs, gathering the violations through the
+// parallel detection engine: vertices are the instance's tuples and every
+// violation contributes a hyperedge — {t} for a single-tuple constant
+// clash, {t1, t2} for a pair violation (deduplicated across RHS
+// attributes and pattern rows, which add no new conflicts between the
+// same tuples). Gathering uses the engine's exhaustive pair mode, so
+// conflicts between non-representative group members are present and
+// every enumerated X-repair really satisfies Σ.
+func BuildCFDHypergraph(in *relation.Instance, sigma []*cfd.CFD) *Hypergraph {
+	name := in.Schema().Name()
+	h := &Hypergraph{index: make(map[denial.TupleRef]int)}
+	for _, id := range in.IDs() {
+		ref := denial.TupleRef{Rel: name, TID: id}
+		h.index[ref] = len(h.Vertices)
+		h.Vertices = append(h.Vertices, ref)
+	}
+	seen := make(map[[2]int]bool)
+	for _, v := range detectEngine.DetectAllExhaustive(in, sigma) {
+		a := h.index[denial.TupleRef{Rel: name, TID: v.T1}]
+		b := h.index[denial.TupleRef{Rel: name, TID: v.T2}]
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		if a == b {
+			h.Edges = append(h.Edges, []int{a})
+			continue
+		}
+		h.Edges = append(h.Edges, []int{a, b})
+	}
+	return h
 }
 
 // EnumerateXRepairs enumerates all X-repairs (maximal independent vertex

@@ -61,7 +61,7 @@ func RepairWithMaster(in *relation.Instance, sigma []*cfd.CFD, master *relation.
 		}
 	}
 
-	dirtyTIDs := cfd.ViolatingTIDs(cfd.DetectAll(in, sigma))
+	dirtyTIDs := cfd.ViolatingTIDs(detectEngine.DetectAll(in, sigma))
 	masterIDs := master.IDs()
 	for _, id := range dirtyTIDs {
 		t, ok := in.Tuple(id)

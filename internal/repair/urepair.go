@@ -66,7 +66,7 @@ func RepairCFDs(in *relation.Instance, sigma []*cfd.CFD, opts URepairOptions) (U
 			}
 		}
 		if !changed {
-			if !cfd.SatisfiesAll(in, sigma) {
+			if !detectEngine.SatisfiesAll(in, sigma) {
 				return report, fmt.Errorf("repair: fixpoint reached but Σ still violated")
 			}
 			for _, ch := range report.Changes {
@@ -75,7 +75,7 @@ func RepairCFDs(in *relation.Instance, sigma []*cfd.CFD, opts URepairOptions) (U
 			return report, nil
 		}
 	}
-	if cfd.SatisfiesAll(in, sigma) {
+	if detectEngine.SatisfiesAll(in, sigma) {
 		for _, ch := range report.Changes {
 			report.Cost += ch.Cost
 		}
