@@ -7,9 +7,11 @@
 //
 //	dqdetect -data customer=customer.csv -rules rules.cfd [-max 20] [-workers 8]
 //
-// Detection runs on the internal/detect engine: rules over the same
-// relation share LHS indexes and fan out across a worker pool (-workers,
-// default one per CPU).
+// Detection runs on the internal/detect engine: each relation is frozen
+// once into a columnar snapshot, rules over the same relation share LHS
+// code indexes, and per-rule work fans out across a worker pool
+// (-workers, default one per CPU). -legacy pins the engine to the
+// string-keyed index path for comparison runs.
 //
 // The rule file uses the cfd text format:
 //
@@ -49,6 +51,7 @@ func main() {
 	rulesPath := flag.String("rules", "", "CFD rule file")
 	max := flag.Int("max", 0, "max violations to print (0 = all)")
 	workers := flag.Int("workers", 0, "detection worker pool size (0 = one per CPU)")
+	legacy := flag.Bool("legacy", false, "use the string-keyed index path instead of columnar snapshots")
 	flag.Parse()
 	if len(data) == 0 || *rulesPath == "" {
 		flag.Usage()
@@ -91,7 +94,7 @@ func main() {
 	// across them. The stream delivers each CFD's violations as one
 	// contiguous run in Σ order, so per-rule reports fall out without a
 	// global re-sort.
-	engine := detect.New(*workers)
+	engine := &detect.Engine{Workers: *workers, Legacy: *legacy}
 	byRel := make(map[string][]*cfd.CFD)
 	for _, c := range rules {
 		byRel[c.Schema().Name()] = append(byRel[c.Schema().Name()], c)

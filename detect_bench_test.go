@@ -1,12 +1,20 @@
 package repro_test
 
-// Benchmarks for the internal/detect engine (DESIGN.md E22): sequential
-// per-CFD detection (legacy cfd.DetectAll, one index build per CFD) vs
-// the engine with one worker (index sharing only) vs the engine with one
-// worker per CPU (index sharing + parallel fan-out), on gen-produced
-// dirty customer instances of 10k–500k tuples and 1–64 CFDs drawn from
-// two LHS position sets. The speedup claimed in EXPERIMENTS.md is
-// measured here, not asserted:
+// Benchmarks for the internal/detect engine (DESIGN.md E22), four modes:
+//
+//	seq       legacy cfd.DetectAll — one string-keyed index build per CFD
+//	shared    engine, 1 worker, string-keyed indexes shared per LHS group
+//	parallel  engine, one worker per CPU, string-keyed indexes
+//	codec     engine, 1 worker, columnar snapshot + CodeIndex (the
+//	          default engine path); the version-keyed snapshot cache is
+//	          warm, so this is the steady-state serving cost
+//	codeccold codec with the cache defeated every iteration — the cost
+//	          of freezing, interning and indexing a batch from scratch
+//
+// on gen-produced dirty customer instances of 10k–500k tuples and 1–64
+// CFDs drawn from two LHS position sets. Every mode reports allocations;
+// the speedup and allocs/op drop claimed in EXPERIMENTS.md are measured
+// here, not asserted:
 //
 //	go test -run '^$' -bench EngineDetectAll -benchmem .
 //
@@ -53,19 +61,44 @@ func BenchmarkEngineDetectAll(b *testing.B) {
 		for _, k := range []int{1, 8, 64} {
 			sigma := engineBenchSigma(s, k)
 			b.Run(fmt.Sprintf("n=%d/cfds=%d/seq", n, k), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					cfd.DetectAll(in, sigma)
 				}
 			})
 			b.Run(fmt.Sprintf("n=%d/cfds=%d/shared", n, k), func(b *testing.B) {
-				e := detect.New(1)
+				b.ReportAllocs()
+				e := detect.NewLegacy(1)
 				for i := 0; i < b.N; i++ {
 					e.DetectAll(in, sigma)
 				}
 			})
 			b.Run(fmt.Sprintf("n=%d/cfds=%d/parallel", n, k), func(b *testing.B) {
-				e := detect.New(runtime.GOMAXPROCS(0))
+				b.ReportAllocs()
+				e := detect.NewLegacy(runtime.GOMAXPROCS(0))
 				for i := 0; i < b.N; i++ {
+					e.DetectAll(in, sigma)
+				}
+			})
+			b.Run(fmt.Sprintf("n=%d/cfds=%d/codec", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				e := detect.New(1)
+				e.DetectAll(in, sigma) // warm the snapshot cache: this mode measures steady state
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.DetectAll(in, sigma)
+				}
+			})
+			// codeccold defeats the version-keyed snapshot cache with a
+			// no-op Update before each run: the cost of freezing the
+			// snapshot and interning/indexing from scratch every batch.
+			b.Run(fmt.Sprintf("n=%d/cfds=%d/codeccold", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				e := detect.New(1)
+				t0, _ := in.Tuple(0)
+				v := t0[0]
+				for i := 0; i < b.N; i++ {
+					in.Update(0, 0, v)
 					e.DetectAll(in, sigma)
 				}
 			})
@@ -85,12 +118,23 @@ func BenchmarkEngineSatisfiesAll(b *testing.B) {
 	in := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
 	sigma := engineBenchSigma(in.Schema(), 16)
 	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cfd.SatisfiesAll(in, sigma)
 		}
 	})
 	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		e := detect.NewLegacy(0)
+		for i := 0; i < b.N; i++ {
+			e.SatisfiesAll(in, sigma)
+		}
+	})
+	b.Run("codec", func(b *testing.B) {
+		b.ReportAllocs()
 		e := detect.New(0)
+		e.SatisfiesAll(in, sigma) // warm the snapshot cache: this mode measures steady state
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			e.SatisfiesAll(in, sigma)
 		}

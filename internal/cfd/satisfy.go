@@ -2,6 +2,7 @@ package cfd
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/relation"
@@ -91,17 +92,8 @@ func DetectWithIndex(in *relation.Instance, c *CFD, ix *relation.Index) []Violat
 // lhsIndex validates that ix is an index on c's LHS positions, rebuilding
 // it when it is not (or is nil).
 func lhsIndex(in *relation.Instance, c *CFD, ix *relation.Index) *relation.Index {
-	if ix == nil {
+	if ix == nil || !slices.Equal(ix.Positions(), c.lhs) {
 		return relation.BuildIndex(in, c.lhs)
-	}
-	pos := ix.Positions()
-	if len(pos) != len(c.lhs) {
-		return relation.BuildIndex(in, c.lhs)
-	}
-	for i, p := range pos {
-		if p != c.lhs[i] {
-			return relation.BuildIndex(in, c.lhs)
-		}
 	}
 	return ix
 }

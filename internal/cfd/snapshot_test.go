@@ -1,0 +1,153 @@
+package cfd
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// fig1 rebuilds the Figure 1 instance locally (paperdata imports cfd, so
+// tests here cannot use it without a cycle).
+func fig1() *relation.Instance {
+	s := relation.MustSchema("customer",
+		relation.Attr("CC", relation.KindInt),
+		relation.Attr("AC", relation.KindInt),
+		relation.Attr("phn", relation.KindInt),
+		relation.Attr("name", relation.KindString),
+		relation.Attr("street", relation.KindString),
+		relation.Attr("city", relation.KindString),
+		relation.Attr("zip", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Int(44), relation.Int(131), relation.Int(1234567),
+		relation.Str("Mike"), relation.Str("Mayfield"), relation.Str("NYC"), relation.Str("EH4 8LE"))
+	in.MustInsert(relation.Int(44), relation.Int(131), relation.Int(3456789),
+		relation.Str("Rick"), relation.Str("Crichton"), relation.Str("NYC"), relation.Str("EH4 8LE"))
+	in.MustInsert(relation.Int(1), relation.Int(908), relation.Int(3456789),
+		relation.Str("Joe"), relation.Str("Mtn Ave"), relation.Str("NYC"), relation.Str("07974"))
+	return in
+}
+
+// snapDetect runs the snapshot path end to end for one CFD.
+func snapDetect(in *relation.Instance, c *CFD) []Violation {
+	snap := relation.NewSnapshot(in)
+	return DetectWithSnapshot(snap, c, relation.BuildCodeIndex(snap, c.LHS()))
+}
+
+func TestSnapshotDetectMatchesLegacyOnFigure1(t *testing.T) {
+	in := fig1()
+	s := in.Schema()
+	cases := []*CFD{
+		MustFD(s, []string{"CC", "AC", "phn"}, []string{"street", "city", "zip"}),
+		MustFD(s, []string{"CC", "AC"}, []string{"city"}),
+		MustNew(s, []string{"CC", "zip"}, []string{"street"},
+			Row([]Cell{Const(relation.Int(44)), Any()}, []Cell{Any()})),
+		MustNew(s, []string{"CC", "AC", "phn"}, []string{"street", "city", "zip"},
+			Row([]Cell{Any(), Any(), Any()}, []Cell{Any(), Any(), Any()}),
+			Row([]Cell{Const(relation.Int(44)), Const(relation.Int(131)), Any()},
+				[]Cell{Any(), Const(relation.Str("EDI")), Any()}),
+			Row([]Cell{Const(relation.Int(1)), Const(relation.Int(908)), Any()},
+				[]Cell{Any(), Const(relation.Str("MH")), Any()})),
+	}
+	for i, c := range cases {
+		want := Detect(in, c)
+		got := snapDetect(in, c)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: snapshot path diverges:\n got %v\nwant %v", i, got, want)
+		}
+		snap := relation.NewSnapshot(in)
+		if s, l := SatisfiesWithSnapshot(snap, c, nil), Satisfies(in, c); s != l {
+			t.Errorf("case %d: SatisfiesWithSnapshot = %v, legacy = %v", i, s, l)
+		}
+	}
+}
+
+// TestSnapshotDetectMissingLHSConstant covers the dictionary-miss prune:
+// an LHS constant that never occurs in the column matches no tuple, so
+// the pattern row contributes nothing on either path.
+func TestSnapshotDetectMissingLHSConstant(t *testing.T) {
+	in := fig1()
+	c := MustNew(in.Schema(), []string{"CC", "zip"}, []string{"street"},
+		Row([]Cell{Const(relation.Int(999)), Any()}, []Cell{Any()}))
+	if want, got := Detect(in, c), snapDetect(in, c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("missing-LHS-constant row: got %v, want %v", got, want)
+	}
+	if len(snapDetect(in, c)) != 0 {
+		t.Fatal("a pattern row matching no tuple produced violations")
+	}
+}
+
+// TestSnapshotDetectMissingRHSConstant covers the other miss direction:
+// an RHS constant absent from the column can never bind, so every
+// LHS-matching tuple is a single-tuple violation.
+func TestSnapshotDetectMissingRHSConstant(t *testing.T) {
+	in := fig1()
+	c := MustNew(in.Schema(), []string{"CC"}, []string{"city"},
+		Row([]Cell{Const(relation.Int(44))}, []Cell{Const(relation.Str("EDI"))}))
+	want := Detect(in, c)
+	got := snapDetect(in, c)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("missing-RHS-constant: got %v, want %v", got, want)
+	}
+	if len(got) != 2 { // t1 and t2 have CC=44, city=NYC ≠ EDI
+		t.Fatalf("got %d violations, want 2: %v", len(got), got)
+	}
+}
+
+func TestSnapshotDetectTouchedMatchesLegacy(t *testing.T) {
+	in := fig1()
+	s := in.Schema()
+	c := MustFD(s, []string{"CC", "AC"}, []string{"street"})
+	street := s.MustLookup("street")
+	in.Update(0, street, relation.Str("Elsewhere"))
+	for _, touched := range [][]relation.TID{{0}, {1}, {0, 1, 2}, {99}, nil} {
+		want := DetectTouched(in, c, touched)
+		snap := relation.NewSnapshot(in)
+		got := DetectTouchedWithSnapshot(snap, c, relation.BuildCodeIndex(snap, c.LHS()), touched)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("touched %v: got %v, want %v", touched, got, want)
+		}
+	}
+}
+
+// TestSnapshotExhaustiveMatchesLegacy checks the quadratic pair mode the
+// conflict hypergraph depends on.
+func TestSnapshotExhaustiveMatchesLegacy(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("a"), relation.Str("x"))
+	in.MustInsert(relation.Str("a"), relation.Str("y"))
+	in.MustInsert(relation.Str("a"), relation.Str("z"))
+	in.MustInsert(relation.Str("b"), relation.Str("x"))
+	c := MustFD(s, []string{"A"}, []string{"B"})
+	want := DetectExhaustiveWithIndex(in, c, nil)
+	snap := relation.NewSnapshot(in)
+	got := DetectExhaustiveWithSnapshot(snap, c, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("exhaustive pairs diverge:\n got %v\nwant %v", got, want)
+	}
+	if len(got) != 3 { // pairs (0,1), (0,2), (1,2) on B
+		t.Fatalf("got %d pairs, want 3", len(got))
+	}
+}
+
+// TestLhsCodeIndexRebuilds checks the validation mirror of lhsIndex: a
+// nil, foreign-snapshot or wrong-position index is rebuilt, not misused.
+func TestLhsCodeIndexRebuilds(t *testing.T) {
+	in := fig1()
+	c := MustFD(in.Schema(), []string{"CC", "AC"}, []string{"city"})
+	snap := relation.NewSnapshot(in)
+	wrong := relation.BuildCodeIndex(snap, []int{0, 6})
+	other := relation.NewSnapshot(in)
+	foreign := relation.BuildCodeIndex(other, c.LHS())
+	want := Detect(in, c)
+	for name, cx := range map[string]*relation.CodeIndex{"nil": nil, "wrongPos": wrong, "foreignSnap": foreign} {
+		if got := DetectWithSnapshot(snap, c, cx); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: got %v, want %v", name, got, want)
+		}
+	}
+}

@@ -3,25 +3,32 @@
 // ("catch inconsistencies and errors that emerge as violations of the
 // dependencies") made to run as fast as the hardware allows.
 //
-// The engine improves on calling cfd.Detect in a loop in two ways:
+// The engine improves on calling cfd.Detect in a loop in three ways:
 //
-//  1. Index sharing. Detection groups tuples by the LHS of a dependency,
-//     and building that hash index costs a full pass over the instance —
-//     for FD-rich rule sets it dominates the run time. The engine plans a
+//  1. Columnar snapshots. By default a batch freezes the instance once
+//     into a relation.Snapshot — dense per-attribute arrays of
+//     dictionary codes — and every group index is a relation.CodeIndex
+//     hashing fixed-width code sequences to uint64. No per-tuple heap
+//     strings, no map lookup per tuple, value equality as an integer
+//     compare. The string-keyed relation.Index path remains available
+//     (Legacy) as the compatibility/oracle path.
+//
+//  2. Index sharing. Detection groups tuples by the LHS of a dependency,
+//     and building that index costs a full pass over the instance — for
+//     FD-rich rule sets it dominates the run time. The engine plans a
 //     batch by grouping CFDs on identical LHS position sets and builds
-//     each relation.Index exactly once, lazily, sharing it across every
-//     CFD and tableau row of the group.
+//     each index exactly once, lazily, sharing it (and the snapshot)
+//     across every CFD and tableau row of the group.
 //
-//  2. Parallelism. Per-CFD work fans out across a configurable worker
+//  3. Parallelism. Per-CFD work fans out across a configurable worker
 //     pool (default runtime.GOMAXPROCS(0)). Violations stream through a
 //     reorder buffer to a Sink in deterministic Σ order, and DetectAll
 //     merges them with exactly the comparator of cfd.DetectAll, so the
-//     parallel engine's output is byte-identical to the legacy sequential
-//     path.
+//     engine's output is byte-identical to the legacy sequential path.
 //
 // SatisfiesAll additionally cancels early: the first violation found by
-// any worker stops the remaining work, including index builds that have
-// not started yet.
+// any worker stops the remaining work, including snapshot and index
+// builds that have not started yet.
 package detect
 
 import (
@@ -35,17 +42,26 @@ import (
 )
 
 // Engine schedules batch violation detection. The zero value is valid and
-// uses one worker per available CPU; engines are stateless across calls
-// and safe for concurrent use.
+// uses one worker per available CPU and the columnar snapshot path;
+// engines are stateless across calls and safe for concurrent use.
 type Engine struct {
 	// Workers is the size of the worker pool; <= 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Legacy forces the string-keyed relation.Index path instead of the
+	// columnar snapshot/CodeIndex path. The outputs are byte-identical;
+	// the legacy path exists as the oracle for equivalence testing and
+	// for A/B benchmarking of the representations.
+	Legacy bool
 }
 
 // New returns an engine with the given worker-pool size (<= 0 means one
-// worker per available CPU).
+// worker per available CPU), running on the columnar snapshot path.
 func New(workers int) *Engine { return &Engine{Workers: workers} }
+
+// NewLegacy returns an engine pinned to the string-keyed relation.Index
+// path — the oracle/compatibility configuration.
+func NewLegacy(workers int) *Engine { return &Engine{Workers: workers, Legacy: true} }
 
 func (e *Engine) workers() int {
 	if e != nil && e.Workers > 0 {
@@ -66,15 +82,34 @@ type task struct {
 	ix *sharedIndex
 }
 
-// sharedIndex lazily builds a relation.Index on first use and shares it
-// across every task of the same LHS group. Laziness matters for early
-// cancellation: a SatisfiesAll run that finds a violation in its first
-// group never pays for the others' indexes.
+// sharedSnapshot lazily resolves the instance's version-keyed snapshot
+// (relation.SnapshotOf) on first use; the whole batch shares one
+// snapshot, whatever the number of LHS groups, and an unchanged instance
+// reuses the previous batch's interned columns and group indexes.
+// Laziness keeps early-cancelled runs from paying even the cache probe.
+type sharedSnapshot struct {
+	once sync.Once
+	in   *relation.Instance
+	snap *relation.Snapshot
+}
+
+func (s *sharedSnapshot) get() *relation.Snapshot {
+	s.once.Do(func() { s.snap = relation.SnapshotOf(s.in) })
+	return s.snap
+}
+
+// sharedIndex lazily builds the LHS group index on first use and shares
+// it across every task of the same LHS group: a relation.CodeIndex over
+// the batch snapshot on the snapshot path, a relation.Index otherwise.
+// Laziness matters for early cancellation: a SatisfiesAll run that finds
+// a violation in its first group never pays for the others' indexes.
 type sharedIndex struct {
 	once sync.Once
 	in   *relation.Instance
+	snap *sharedSnapshot // nil on the legacy path
 	pos  []int
 	ix   *relation.Index
+	cx   *relation.CodeIndex
 }
 
 func (s *sharedIndex) get() *relation.Index {
@@ -82,16 +117,26 @@ func (s *sharedIndex) get() *relation.Index {
 	return s.ix
 }
 
+func (s *sharedIndex) getCode() *relation.CodeIndex {
+	s.once.Do(func() { s.cx = s.snap.get().CodeIndexOn(s.pos) })
+	return s.cx
+}
+
 // plan groups the batch by identical LHS position sets: one sharedIndex
-// per distinct set, one task per CFD, in Σ order.
-func plan(in *relation.Instance, set []*cfd.CFD) []task {
+// per distinct set, one task per CFD, in Σ order; on the snapshot path
+// every group additionally shares one lazily built snapshot.
+func (e *Engine) plan(in *relation.Instance, set []*cfd.CFD) []task {
+	var snap *sharedSnapshot
+	if !e.legacy() { // nil-safe: a nil *Engine behaves like the zero value
+		snap = &sharedSnapshot{in: in}
+	}
 	groups := make(map[string]*sharedIndex)
 	tasks := make([]task, 0, len(set))
 	for _, c := range set {
 		key := lhsKey(c.LHS())
 		ix, ok := groups[key]
 		if !ok {
-			ix = &sharedIndex{in: in, pos: c.LHS()}
+			ix = &sharedIndex{in: in, snap: snap, pos: c.LHS()}
 			groups[key] = ix
 		}
 		tasks = append(tasks, task{c: c, ix: ix})
@@ -110,7 +155,7 @@ func lhsKey(pos []int) string {
 
 // DetectAll returns every violation of the set in the instance, in the
 // same deterministic order as cfd.DetectAll (with which it is
-// output-identical), using index sharing and the worker pool.
+// output-identical), using snapshot/index sharing and the worker pool.
 func (e *Engine) DetectAll(in *relation.Instance, set []*cfd.CFD) []cfd.Violation {
 	var out []cfd.Violation
 	e.DetectAllStream(in, set, func(v cfd.Violation) { out = append(out, v) })
@@ -118,14 +163,32 @@ func (e *Engine) DetectAll(in *relation.Instance, set []*cfd.CFD) []cfd.Violatio
 	return out
 }
 
+// runDetect is the single representation-dispatch point of the detect
+// entry points: it plans the batch and runs it through the reorder
+// buffer with either the string-keyed or the snapshot-backed per-task
+// evaluator, according to Engine.Legacy.
+func (e *Engine) runDetect(in *relation.Instance, set []*cfd.CFD, sink Sink,
+	legacyEval func(*relation.Instance, *cfd.CFD, *relation.Index) []cfd.Violation,
+	snapEval func(*relation.Snapshot, *cfd.CFD, *relation.CodeIndex) []cfd.Violation,
+) {
+	tasks := e.plan(in, set)
+	if e.legacy() {
+		e.runOrdered(tasks, sink, func(t task) []cfd.Violation {
+			return legacyEval(in, t.c, t.ix.get())
+		})
+		return
+	}
+	e.runOrdered(tasks, sink, func(t task) []cfd.Violation {
+		return snapEval(t.ix.snap.get(), t.c, t.ix.getCode())
+	})
+}
+
 // DetectAllStream runs DetectAll but delivers violations to sink as they
 // are merged: each CFD's violations arrive as a contiguous run, CFDs in Σ
 // order, each run sorted by (Row, T1, T2, Attr) — a deterministic stream
 // regardless of worker count or scheduling.
 func (e *Engine) DetectAllStream(in *relation.Instance, set []*cfd.CFD, sink Sink) {
-	e.runOrdered(plan(in, set), sink, func(t task) []cfd.Violation {
-		return cfd.DetectWithIndex(in, t.c, t.ix.get())
-	})
+	e.runDetect(in, set, sink, cfd.DetectWithIndex, cfd.DetectWithSnapshot)
 }
 
 // DetectAllExhaustive is DetectAll with exhaustive pair reporting (see
@@ -135,22 +198,26 @@ func (e *Engine) DetectAllStream(in *relation.Instance, set []*cfd.CFD, sink Sin
 // construction requires this form.
 func (e *Engine) DetectAllExhaustive(in *relation.Instance, set []*cfd.CFD) []cfd.Violation {
 	var out []cfd.Violation
-	e.runOrdered(plan(in, set), func(v cfd.Violation) { out = append(out, v) }, func(t task) []cfd.Violation {
-		return cfd.DetectExhaustiveWithIndex(in, t.c, t.ix.get())
-	})
+	e.runDetect(in, set, func(v cfd.Violation) { out = append(out, v) },
+		cfd.DetectExhaustiveWithIndex, cfd.DetectExhaustiveWithSnapshot)
 	cfd.SortViolations(out)
 	return out
 }
 
 // DetectTouched returns the violations of the set whose witnesses involve
 // at least one touched tuple (see cfd.DetectTouched), merged in the
-// canonical order, sharing indexes and the worker pool across the batch.
-// It is the batch entry point for incremental detection after updates.
+// canonical order, sharing the snapshot, indexes and the worker pool
+// across the batch. It is the batch entry point for incremental detection
+// after updates.
 func (e *Engine) DetectTouched(in *relation.Instance, set []*cfd.CFD, touched []relation.TID) []cfd.Violation {
 	var out []cfd.Violation
-	e.runOrdered(plan(in, set), func(v cfd.Violation) { out = append(out, v) }, func(t task) []cfd.Violation {
-		return cfd.DetectTouchedWithIndex(in, t.c, t.ix.get(), touched)
-	})
+	e.runDetect(in, set, func(v cfd.Violation) { out = append(out, v) },
+		func(in *relation.Instance, c *cfd.CFD, ix *relation.Index) []cfd.Violation {
+			return cfd.DetectTouchedWithIndex(in, c, ix, touched)
+		},
+		func(snap *relation.Snapshot, c *cfd.CFD, cx *relation.CodeIndex) []cfd.Violation {
+			return cfd.DetectTouchedWithSnapshot(snap, c, cx, touched)
+		})
 	cfd.SortViolations(out)
 	return out
 }
@@ -163,10 +230,20 @@ func (e *Engine) SatisfiesAll(in *relation.Instance, set []*cfd.CFD) bool {
 	return ok
 }
 
+func (e *Engine) legacy() bool { return e != nil && e.Legacy }
+
+// satisfies evaluates one task on the configured representation.
+func (e *Engine) satisfies(in *relation.Instance, t task) bool {
+	if e.legacy() {
+		return cfd.SatisfiesWithIndex(in, t.c, t.ix.get())
+	}
+	return cfd.SatisfiesWithSnapshot(t.ix.snap.get(), t.c, t.ix.getCode())
+}
+
 // satisfiesAll additionally reports how many CFDs were actually
 // evaluated, which the tests use to observe early cancellation.
 func (e *Engine) satisfiesAll(in *relation.Instance, set []*cfd.CFD) (bool, int64) {
-	tasks := plan(in, set)
+	tasks := e.plan(in, set)
 	var violated atomic.Bool
 	var evaluated atomic.Int64
 	nw := e.workers()
@@ -176,7 +253,7 @@ func (e *Engine) satisfiesAll(in *relation.Instance, set []*cfd.CFD) (bool, int6
 	if nw <= 1 {
 		for _, t := range tasks {
 			evaluated.Add(1)
-			if !cfd.SatisfiesWithIndex(in, t.c, t.ix.get()) {
+			if !e.satisfies(in, t) {
 				return false, evaluated.Load()
 			}
 		}
@@ -193,7 +270,7 @@ func (e *Engine) satisfiesAll(in *relation.Instance, set []*cfd.CFD) (bool, int6
 					continue // drain: a violation was already found
 				}
 				evaluated.Add(1)
-				if !cfd.SatisfiesWithIndex(in, t.c, t.ix.get()) {
+				if !e.satisfies(in, t) {
 					violated.Store(true)
 				}
 			}

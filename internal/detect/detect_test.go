@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -32,7 +33,7 @@ func legacyDetectAll(in *relation.Instance, set []*cfd.CFD) []cfd.Violation {
 func TestPlanSharesIndexes(t *testing.T) {
 	in := gen.Customers(gen.CustomerConfig{N: 50, Seed: 1, ErrorRate: 0.1})
 	sigma := sigmaFigure2(in.Schema())
-	tasks := plan(in, sigma)
+	tasks := New(0).plan(in, sigma)
 	if len(tasks) != len(sigma) {
 		t.Fatalf("plan made %d tasks, want %d", len(tasks), len(sigma))
 	}
@@ -168,6 +169,115 @@ func TestDetectTouchedMatchesLegacy(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("workers=%d: incremental batch diverges from legacy path", workers)
 		}
+	}
+}
+
+// TestCodecMatchesLegacyEngine pits the default snapshot/CodeIndex path
+// against the string-keyed oracle path on randomized instances across
+// every engine entry point; outputs must be byte-identical.
+func TestCodecMatchesLegacyEngine(t *testing.T) {
+	for _, n := range []int{0, 1, 200, 1500} {
+		for _, rate := range []float64{0, 0.05, 0.3} {
+			for _, workers := range []int{1, 4} {
+				t.Run(fmt.Sprintf("n=%d/rate=%.2f/workers=%d", n, rate, workers), func(t *testing.T) {
+					in := gen.Customers(gen.CustomerConfig{N: n, Seed: int64(n)*31 + 5, ErrorRate: rate})
+					sigma := sigmaFigure2(in.Schema())
+					codec, legacy := New(workers), NewLegacy(workers)
+					if got, want := codec.DetectAll(in, sigma), legacy.DetectAll(in, sigma); !reflect.DeepEqual(got, want) {
+						t.Fatalf("DetectAll diverges: %d vs %d violations", len(got), len(want))
+					}
+					if got, want := codec.DetectAllExhaustive(in, sigma), legacy.DetectAllExhaustive(in, sigma); !reflect.DeepEqual(got, want) {
+						t.Fatalf("DetectAllExhaustive diverges: %d vs %d violations", len(got), len(want))
+					}
+					if got, want := codec.SatisfiesAll(in, sigma), legacy.SatisfiesAll(in, sigma); got != want {
+						t.Fatalf("SatisfiesAll diverges: codec %v, legacy %v", got, want)
+					}
+					var touched []relation.TID
+					for _, id := range in.IDs() {
+						if int(id)%7 == 0 {
+							touched = append(touched, id)
+						}
+					}
+					if got, want := codec.DetectTouched(in, sigma, touched), legacy.DetectTouched(in, sigma, touched); !reflect.DeepEqual(got, want) {
+						t.Fatalf("DetectTouched diverges: %d vs %d violations", len(got), len(want))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDetectionAfterUpdateRebuilds asserts the staleness contract: the
+// engine snapshots per call, so detection after an Update reflects the
+// new data rather than stale groups, and a snapshot taken before the
+// update is detectably stale.
+func TestDetectionAfterUpdateRebuilds(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindString),
+		relation.Attr("B", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	in.MustInsert(relation.Str("a"), relation.Str("x"))
+	in.MustInsert(relation.Str("a"), relation.Str("x"))
+	sigma := []*cfd.CFD{cfd.MustFD(s, []string{"A"}, []string{"B"})}
+	e := New(2)
+	if vs := e.DetectAll(in, sigma); len(vs) != 0 {
+		t.Fatalf("clean instance yielded %d violations", len(vs))
+	}
+	snap := relation.NewSnapshot(in)
+	if err := in.Update(1, 1, relation.Str("y")); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Stale() {
+		t.Fatal("pre-update snapshot not reported stale")
+	}
+	got := e.DetectAll(in, sigma)
+	if len(got) == 0 {
+		t.Fatal("detection after update found nothing: engine read stale groups")
+	}
+	want := cfd.DetectAll(in, sigma)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-update engine output diverges from legacy: %d vs %d", len(got), len(want))
+	}
+}
+
+// TestCodecMatchesLegacyOnNaN pins the NaN corner: the dictionary folds
+// all NaN data values onto one code (like Value.Key on the legacy path),
+// so NaN-keyed LHS groups form, while Value.Equal-based RHS comparison
+// still treats NaN ≠ NaN — the two paths must agree exactly.
+func TestCodecMatchesLegacyOnNaN(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attr("A", relation.KindFloat),
+		relation.Attr("B", relation.KindString),
+	)
+	in := relation.NewInstance(s)
+	nan := math.NaN()
+	in.MustInsert(relation.Float(nan), relation.Str("x"))
+	in.MustInsert(relation.Float(nan), relation.Str("y"))
+	in.MustInsert(relation.Float(2.5), relation.Str("x"))
+	sigma := []*cfd.CFD{cfd.MustFD(s, []string{"A"}, []string{"B"})}
+	want := NewLegacy(1).DetectAll(in, sigma)
+	got := New(1).DetectAll(in, sigma)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NaN handling diverges: codec %d violations, legacy %d", len(got), len(want))
+	}
+	if len(want) != 1 {
+		t.Fatalf("legacy oracle found %d violations, want 1 (the NaN pair disagreeing on B)", len(want))
+	}
+}
+
+// TestNilEngine pins the PR 1 contract that a nil *Engine behaves like
+// the zero value on every entry point.
+func TestNilEngine(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 50, Seed: 1, ErrorRate: 0.1})
+	sigma := sigmaFigure2(in.Schema())
+	var e *Engine
+	want := cfd.DetectAll(in, sigma)
+	if got := e.DetectAll(in, sigma); !reflect.DeepEqual(got, want) {
+		t.Fatal("nil engine DetectAll diverges from legacy")
+	}
+	if e.SatisfiesAll(in, sigma) != cfd.SatisfiesAll(in, sigma) {
+		t.Fatal("nil engine SatisfiesAll diverges from legacy")
 	}
 }
 

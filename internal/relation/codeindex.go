@@ -1,0 +1,220 @@
+package relation
+
+// CodeIndex is the columnar counterpart of Index: a hash index over a
+// list of attribute positions of a Snapshot, grouping rows that share a
+// projection. Where Index materializes one heap string per tuple and
+// buckets in a map[string][]TID, CodeIndex hashes the fixed-width code
+// sequence of each row to a uint64 and groups rows through a flat
+// open-addressing table into a single shared arena — a handful of
+// pointer-free arrays instead of hundreds of thousands of heap strings
+// and per-bucket slices. Hash collisions are verified, never trusted:
+// rows join a group only if their code sequences are actually equal.
+//
+// It offers the same contract as Index — Groups / GroupsWhile iteration
+// with a minimum group size and early termination, plus Lookup —
+// except that groups are handed out as dense row indexes (ascending, so
+// rows[0] is the lowest-TID representative); Snapshot.TID converts back.
+type CodeIndex struct {
+	snap *Snapshot
+	pos  []int
+	hash codeHasher
+	// Groups are spans of one arena: group g holds the rows
+	// arena[starts[g]:starts[g+1]], ascending. rowGroup inverts the
+	// mapping; table is the open-addressing probe table (slot = group
+	// ordinal + 1, 0 = empty) kept for Lookup.
+	arena    []int32
+	starts   []int32
+	rowGroup []int32
+	table    []int32
+	mask     uint64
+}
+
+// codeHasher hashes a projected code sequence; injectable so tests can
+// force probe collisions and exercise the verification path.
+type codeHasher func(codes []uint32) uint64
+
+// FNV-1a 64-bit parameters; each 32-bit code is folded in as four bytes.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashCodes is the production hasher: FNV-1a over the bytes of the code
+// sequence.
+func hashCodes(codes []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range codes {
+		h = (h ^ uint64(c&0xff)) * fnvPrime64
+		h = (h ^ uint64((c>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((c>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(c>>24)) * fnvPrime64
+	}
+	return h
+}
+
+// BuildCodeIndex builds a code index of the snapshot on the given
+// attribute positions, interning the touched columns if needed.
+func BuildCodeIndex(snap *Snapshot, pos []int) *CodeIndex {
+	return buildCodeIndex(snap, pos, hashCodes)
+}
+
+func buildCodeIndex(snap *Snapshot, pos []int, hash codeHasher) *CodeIndex {
+	n := snap.Len()
+	cx := &CodeIndex{
+		snap: snap,
+		pos:  append([]int(nil), pos...),
+		hash: hash,
+	}
+	cols := make([][]uint32, len(cx.pos))
+	for i, p := range cx.pos {
+		cols[i] = snap.Col(p) // interns the column on first touch
+	}
+	if n == 0 {
+		cx.starts = []int32{0}
+		return cx
+	}
+	// Probe table at load factor <= 1/2, power-of-two sized.
+	size := uint64(16)
+	for size < uint64(n)*2 {
+		size *= 2
+	}
+	cx.table = make([]int32, size)
+	cx.mask = size - 1
+	cx.rowGroup = make([]int32, n)
+	var reps []int32   // group ordinal -> first (representative) row
+	var counts []int32 // group ordinal -> member count
+	codes := make([]uint32, len(cx.pos))
+	for row := 0; row < n; row++ {
+		for i := range cols {
+			codes[i] = cols[i][row]
+		}
+		idx := hash(codes) & cx.mask
+		for {
+			e := cx.table[idx]
+			if e == 0 {
+				gi := int32(len(reps))
+				cx.table[idx] = gi + 1
+				reps = append(reps, int32(row))
+				counts = append(counts, 1)
+				cx.rowGroup[row] = gi
+				break
+			}
+			gi := e - 1
+			rep := reps[gi]
+			same := true
+			for i := range cols {
+				if cols[i][rep] != codes[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				cx.rowGroup[row] = gi
+				counts[gi]++
+				break
+			}
+			idx = (idx + 1) & cx.mask
+		}
+	}
+	// Lay the groups out contiguously: prefix-sum the counts into span
+	// starts, then fill the arena in row order (groups stay ascending).
+	g := len(reps)
+	cx.starts = make([]int32, g+1)
+	for i, c := range counts {
+		cx.starts[i+1] = cx.starts[i] + c
+	}
+	cur := counts // reuse as fill cursors
+	copy(cur, cx.starts[:g])
+	cx.arena = make([]int32, n)
+	for row := 0; row < n; row++ {
+		gi := cx.rowGroup[row]
+		cx.arena[cur[gi]] = int32(row)
+		cur[gi]++
+	}
+	return cx
+}
+
+// group returns the member rows of group ordinal gi.
+func (cx *CodeIndex) group(gi int32) []int32 {
+	return cx.arena[cx.starts[gi]:cx.starts[gi+1]]
+}
+
+// Groups invokes fn for every group with at least minSize members. Rows
+// within a group ascend (so rows[0] has the lowest TID); groups iterate
+// in first-appearance order — deterministic, unlike Index.Groups' map
+// order.
+func (cx *CodeIndex) Groups(minSize int, fn func(rows []int32)) {
+	for gi := 0; gi+1 < len(cx.starts); gi++ {
+		if rows := cx.group(int32(gi)); len(rows) >= minSize {
+			fn(rows)
+		}
+	}
+}
+
+// GroupsWhile is Groups with early termination: iteration stops as soon
+// as fn returns false.
+func (cx *CodeIndex) GroupsWhile(minSize int, fn func(rows []int32) bool) {
+	for gi := 0; gi+1 < len(cx.starts); gi++ {
+		if rows := cx.group(int32(gi)); len(rows) >= minSize && !fn(rows) {
+			return
+		}
+	}
+}
+
+// GroupOf returns the group (member rows) of the given row.
+func (cx *CodeIndex) GroupOf(row int) []int32 { return cx.group(cx.rowGroup[row]) }
+
+// GroupOrdinal returns the dense ordinal of row's group, usable for
+// O(1) seen-group deduplication.
+func (cx *CodeIndex) GroupOrdinal(row int) int32 { return cx.rowGroup[row] }
+
+// Lookup returns the TIDs whose projection equals that of t (a tuple of
+// the snapshot's full arity), like Index.Lookup. If any projected value
+// of t never occurs in its column, no group can match and Lookup returns
+// nil without probing.
+func (cx *CodeIndex) Lookup(t Tuple) []TID {
+	if len(cx.table) == 0 {
+		return nil
+	}
+	codes := make([]uint32, len(cx.pos))
+	for i, p := range cx.pos {
+		c, ok := cx.snap.Dict(p).Code(t[p])
+		if !ok {
+			return nil
+		}
+		codes[i] = c
+	}
+	idx := cx.hash(codes) & cx.mask
+	for {
+		e := cx.table[idx]
+		if e == 0 {
+			return nil
+		}
+		rows := cx.group(e - 1)
+		rep := int(rows[0])
+		match := true
+		for i, p := range cx.pos {
+			if cx.snap.cols[p][rep] != codes[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out := make([]TID, len(rows))
+			for i, r := range rows {
+				out[i] = cx.snap.ids[r]
+			}
+			return out
+		}
+		idx = (idx + 1) & cx.mask
+	}
+}
+
+// Positions returns the indexed attribute positions.
+func (cx *CodeIndex) Positions() []int { return cx.pos }
+
+// Len returns the number of distinct projection groups.
+func (cx *CodeIndex) Len() int { return len(cx.starts) - 1 }
+
+// Snapshot returns the snapshot the index was built over.
+func (cx *CodeIndex) Snapshot() *Snapshot { return cx.snap }

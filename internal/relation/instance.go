@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Tuple is a row of values, positionally aligned with a schema.
@@ -85,11 +86,24 @@ type TID int
 // identifiers and optional per-cell confidence weights in [0,1] used by the
 // Section 5.1 repair cost metric. The zero weight slot means "use the
 // default weight of 1".
+//
+// Every mutation of tuple data (Insert, Delete, Update) bumps a version
+// counter. Derived read structures built over the instance — Index,
+// Snapshot, CodeIndex — capture the version at build time, so staleness is
+// detectable (Snapshot.Stale) instead of silent.
 type Instance struct {
 	schema  *Schema
 	tuples  map[TID]Tuple
 	weights map[TID][]float64
 	nextID  TID
+	version uint64
+
+	// mu guards the derived-state caches below. Instances are
+	// single-writer (mutations are not thread-safe), but detection reads
+	// them from many goroutines at once; the caches must tolerate that.
+	mu        sync.Mutex
+	ids       []TID     // cached sorted TID slice; nil when invalidated
+	snapCache *Snapshot // version-keyed columnar snapshot (SnapshotOf)
 }
 
 // NewInstance returns an empty instance of the schema.
@@ -122,6 +136,15 @@ func (in *Instance) Insert(t Tuple) (TID, error) {
 	id := in.nextID
 	in.nextID++
 	in.tuples[id] = t.Clone()
+	in.version++
+	in.mu.Lock()
+	if in.ids != nil {
+		// The new TID is strictly larger than every existing one, so the
+		// cached sorted slice stays sorted. Appending never overwrites an
+		// element visible through a previously returned slice.
+		in.ids = append(in.ids, id)
+	}
+	in.mu.Unlock()
 	return id, nil
 }
 
@@ -142,6 +165,10 @@ func (in *Instance) Delete(id TID) bool {
 	}
 	delete(in.tuples, id)
 	delete(in.weights, id)
+	in.version++
+	in.mu.Lock()
+	in.ids = nil
+	in.mu.Unlock()
 	return true
 }
 
@@ -151,7 +178,12 @@ func (in *Instance) Tuple(id TID) (Tuple, bool) {
 	return t, ok
 }
 
-// Update replaces attribute pos of tuple id with v.
+// Update replaces attribute pos of tuple id with v. Like Insert and
+// Delete it bumps the instance version, so indexes and snapshots built
+// before the update are detectably stale rather than silently wrong.
+// The stored tuple is replaced copy-on-write, never mutated in place:
+// snapshots (and any Tuple result) taken before the update keep the
+// pre-update values instead of changing under their readers.
 func (in *Instance) Update(id TID, pos int, v Value) error {
 	t, ok := in.tuples[id]
 	if !ok {
@@ -160,18 +192,57 @@ func (in *Instance) Update(id TID, pos int, v Value) error {
 	if !in.schema.Attr(pos).Domain.Contains(v) {
 		return fmt.Errorf("relation: %s: value %v not in dom(%s)", in.schema.Name(), v, in.schema.Attr(pos).Name)
 	}
-	t[pos] = v
+	nt := t.Clone()
+	nt[pos] = v
+	in.tuples[id] = nt
+	in.version++
 	return nil
 }
 
-// IDs returns the TIDs in ascending order (deterministic iteration).
+// Version returns the mutation counter: it changes whenever Insert,
+// Delete or Update changes tuple data. Derived structures (Index,
+// Snapshot, CodeIndex) record the version they were built at; comparing
+// against Version detects staleness.
+func (in *Instance) Version() uint64 { return in.version }
+
+// IDs returns the TIDs in ascending order (deterministic iteration). The
+// slice is cached between mutations — callers must not modify it. A fresh
+// slice is built only after a Delete (Insert extends the cache in place,
+// since new TIDs always sort last). Safe for concurrent readers.
 func (in *Instance) IDs() []TID {
-	ids := make([]TID, 0, len(in.tuples))
-	for id := range in.tuples {
-		ids = append(ids, id)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.ids == nil {
+		ids := make([]TID, 0, len(in.tuples))
+		for id := range in.tuples {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		in.ids = ids
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return in.ids
+}
+
+// SnapshotOf returns the version-keyed cached columnar snapshot of the
+// instance, building one when none exists or the data has changed since
+// the last build. Snapshots are immutable, so repeated detection over an
+// unchanged instance (the steady state of a serving system) reuses the
+// interned columns and group indexes outright; any Insert, Delete or
+// Update bumps the version and the next call rebuilds. Safe for
+// concurrent readers; concurrent cache misses may build twice, last
+// stored wins (both results are equivalent).
+func SnapshotOf(in *Instance) *Snapshot {
+	in.mu.Lock()
+	if s := in.snapCache; s != nil && s.version == in.version {
+		in.mu.Unlock()
+		return s
+	}
+	in.mu.Unlock()
+	s := NewSnapshot(in)
+	in.mu.Lock()
+	in.snapCache = s
+	in.mu.Unlock()
+	return s
 }
 
 // Tuples returns the tuples in TID order.
@@ -218,6 +289,7 @@ func (in *Instance) Weight(id TID, pos int) float64 {
 func (in *Instance) Clone() *Instance {
 	out := NewInstance(in.schema)
 	out.nextID = in.nextID
+	out.version = in.version
 	for id, t := range in.tuples {
 		out.tuples[id] = t.Clone()
 	}

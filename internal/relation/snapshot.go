@@ -1,0 +1,178 @@
+package relation
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Snapshot is a frozen columnar view of an Instance: tuples in ascending
+// TID order are laid out as dense per-attribute arrays of dictionary
+// codes. It is the representation the batch detection engine runs on —
+// projection keys hash fixed-width code sequences instead of building
+// per-tuple strings, value equality is an integer compare, and iteration
+// is a linear array walk instead of a map lookup per TID.
+//
+// Columns are interned lazily, one attribute at a time, on first touch
+// (Col, Dict, Code, Value, or an index build): a batch whose rules
+// mention three of seven attributes never pays for the other four. Lazy
+// builds are synchronized, so a snapshot is safe for concurrent readers.
+//
+// A snapshot is genuinely frozen: it holds the tuple set as of build
+// time, and Instance.Update replaces tuples copy-on-write, so later
+// mutations never change values under a snapshot's readers (columns may
+// safely be interned even after the instance moved on). The snapshot
+// captures the instance version at build time; mutating the instance
+// makes it detectably stale (Stale), and readers that need freshness
+// rebuild — SnapshotOf does so automatically — rather than reading
+// outdated groups.
+type Snapshot struct {
+	source  *Instance
+	schema  *Schema
+	version uint64
+	ids     []TID      // row -> TID, ascending
+	tuples  []Tuple    // row -> tuple, frozen at build time
+	once    []sync.Once
+	cols    [][]uint32 // cols[attr][row], nil until interned
+	dicts   []*Dict    // one per attribute, nil until interned
+
+	// cxMu guards cxCache, the per-position-set CodeIndex cache
+	// (CodeIndexOn). Snapshots are immutable, so a group index never
+	// goes stale while its snapshot is live; batches and repeated runs
+	// share them.
+	cxMu    sync.Mutex
+	cxCache map[string]*CodeIndex
+}
+
+// NewSnapshot freezes the instance into columnar form. The constructor
+// itself is a single cheap pass (collecting the tuple pointers in TID
+// order); per-attribute dictionary interning happens lazily on first use
+// of each column.
+func NewSnapshot(in *Instance) *Snapshot {
+	arity := in.Schema().Arity()
+	// Aliasing the cached IDs slice is safe: the instance never mutates
+	// the visible range of a handed-out slice (Insert appends past it,
+	// Delete replaces it wholesale).
+	ids := in.IDs()
+	s := &Snapshot{
+		source:  in,
+		schema:  in.Schema(),
+		version: in.Version(),
+		ids:     ids,
+		tuples:  make([]Tuple, len(ids)),
+		once:    make([]sync.Once, arity),
+		cols:    make([][]uint32, arity),
+		dicts:   make([]*Dict, arity),
+	}
+	for row, id := range s.ids {
+		t, _ := in.Tuple(id)
+		s.tuples[row] = t
+	}
+	return s
+}
+
+// ensure interns column p if it has not been yet.
+func (s *Snapshot) ensure(p int) {
+	s.once[p].Do(func() {
+		d := NewDict()
+		col := make([]uint32, len(s.tuples))
+		for row, t := range s.tuples {
+			col[row] = d.Intern(t[p])
+		}
+		s.cols[p] = col
+		s.dicts[p] = d
+	})
+}
+
+// Schema returns the snapshotted schema.
+func (s *Snapshot) Schema() *Schema { return s.schema }
+
+// Len returns the number of rows (tuples) frozen.
+func (s *Snapshot) Len() int { return len(s.ids) }
+
+// TID maps a dense row index back to the tuple identifier.
+func (s *Snapshot) TID(row int) TID { return s.ids[row] }
+
+// TupleAt returns the frozen tuple at a dense row index — an array
+// access, unlike Instance.Tuple's map lookup. The tuple must not be
+// modified.
+func (s *Snapshot) TupleAt(row int) Tuple { return s.tuples[row] }
+
+// Row maps a tuple identifier to its dense row index by binary search
+// over the ascending TID array.
+func (s *Snapshot) Row(id TID) (int, bool) {
+	row := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	if row < len(s.ids) && s.ids[row] == id {
+		return row, true
+	}
+	return 0, false
+}
+
+// Code returns the dictionary code of cell (row, pos). Hot loops should
+// hoist Col(pos) instead of calling Code per cell.
+func (s *Snapshot) Code(row, pos int) uint32 {
+	s.ensure(pos)
+	return s.cols[pos][row]
+}
+
+// Col returns the full code column of attribute pos (row-indexed),
+// interning it on first touch. The slice must not be modified.
+func (s *Snapshot) Col(pos int) []uint32 {
+	s.ensure(pos)
+	return s.cols[pos]
+}
+
+// Dict returns the dictionary of attribute pos, interning the column on
+// first touch.
+func (s *Snapshot) Dict(pos int) *Dict {
+	s.ensure(pos)
+	return s.dicts[pos]
+}
+
+// Value decodes cell (row, pos) back to a Value Equal to the original.
+func (s *Snapshot) Value(row, pos int) Value {
+	s.ensure(pos)
+	return s.dicts[pos].Value(s.cols[pos][row])
+}
+
+// CodeIndexOn returns the snapshot's CodeIndex on the given attribute
+// positions, building and caching it on first request. Since snapshots
+// are immutable the cached index can never go stale; every batch (and
+// every repeated run over an unchanged instance, via SnapshotOf) shares
+// it. Concurrent first requests may build twice; the last stored wins
+// and both are equivalent.
+func (s *Snapshot) CodeIndexOn(pos []int) *CodeIndex {
+	key := posKey(pos)
+	s.cxMu.Lock()
+	if cx, ok := s.cxCache[key]; ok {
+		s.cxMu.Unlock()
+		return cx
+	}
+	s.cxMu.Unlock()
+	cx := BuildCodeIndex(s, pos)
+	s.cxMu.Lock()
+	if s.cxCache == nil {
+		s.cxCache = make(map[string]*CodeIndex)
+	}
+	s.cxCache[key] = cx
+	s.cxMu.Unlock()
+	return cx
+}
+
+// posKey renders a position list as a compact cache key.
+func posKey(pos []int) string {
+	b := make([]byte, 0, 3*len(pos))
+	for _, p := range pos {
+		b = strconv.AppendInt(b, int64(p), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// Version returns the instance version the snapshot was built at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Stale reports whether the source instance has been mutated (Insert,
+// Delete or Update) since the snapshot was built.
+func (s *Snapshot) Stale() bool { return s.source.Version() != s.version }
+

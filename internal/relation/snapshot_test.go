@@ -1,0 +1,204 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestDictInternEqualitySemantics(t *testing.T) {
+	d := NewDict()
+	a := d.Intern(Int(2))
+	if b := d.Intern(Float(2.0)); b != a {
+		t.Errorf("Float(2.0) got code %d, want the Int(2) code %d (Equal values must share a code)", b, a)
+	}
+	if c := d.Intern(Float(2.5)); c == a {
+		t.Error("Float(2.5) shares a code with Int(2)")
+	}
+	n1 := d.Intern(Null())
+	if n2 := d.Intern(Null()); n2 != n1 {
+		t.Error("nulls interned to different codes")
+	}
+	s1 := d.Intern(Str("x"))
+	if s2 := d.Intern(Str("x")); s2 != s1 {
+		t.Error("equal strings interned to different codes")
+	}
+	if d.Intern(Str("y")) == s1 {
+		t.Error("distinct strings share a code")
+	}
+	if got := d.Value(a); !got.Equal(Int(2)) {
+		t.Errorf("decode(%d) = %v, want a value Equal to 2", a, got)
+	}
+	if _, ok := d.Code(Str("never")); ok {
+		t.Error("Code reported a hit for a value never interned")
+	}
+	if code, ok := d.Code(Float(2)); !ok || code != a {
+		t.Errorf("Code(Float(2)) = %d,%v; want %d,true", code, ok, a)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := figure1Instance()
+	snap := NewSnapshot(in)
+	if snap.Len() != in.Len() {
+		t.Fatalf("snapshot has %d rows, instance %d tuples", snap.Len(), in.Len())
+	}
+	for row := 0; row < snap.Len(); row++ {
+		id := snap.TID(row)
+		back, ok := snap.Row(id)
+		if !ok || back != row {
+			t.Fatalf("Row(TID(%d)) = %d,%v", row, back, ok)
+		}
+		tup, _ := in.Tuple(id)
+		for p := 0; p < in.Schema().Arity(); p++ {
+			if got := snap.Value(row, p); !got.Equal(tup[p]) {
+				t.Errorf("cell (%d,%d) decodes to %v, want %v", row, p, got, tup[p])
+			}
+		}
+	}
+	// Codes agree exactly on Equal cells: t1 and t2 share city and zip.
+	if snap.Code(0, 5) != snap.Code(1, 5) || snap.Code(0, 6) != snap.Code(1, 6) {
+		t.Error("equal cells received different codes")
+	}
+	if snap.Code(0, 4) == snap.Code(1, 4) {
+		t.Error("distinct streets received the same code")
+	}
+}
+
+func TestSnapshotRowOrderIsAscendingTIDs(t *testing.T) {
+	in := figure1Instance()
+	in.Delete(1) // leave a TID gap: rows must be [0, 2]
+	snap := NewSnapshot(in)
+	if snap.Len() != 2 || snap.TID(0) != 0 || snap.TID(1) != 2 {
+		t.Fatalf("rows map to TIDs [%d %d], want [0 2]", snap.TID(0), snap.TID(1))
+	}
+	if _, ok := snap.Row(1); ok {
+		t.Error("deleted TID 1 resolves to a row")
+	}
+}
+
+func TestSnapshotStaleness(t *testing.T) {
+	in := figure1Instance()
+	snap := NewSnapshot(in)
+	if snap.Stale() {
+		t.Fatal("fresh snapshot reports stale")
+	}
+	if err := in.Update(0, 5, Str("EDI")); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Stale() {
+		t.Fatal("snapshot not stale after Update")
+	}
+	snap = NewSnapshot(in)
+	if snap.Stale() {
+		t.Fatal("rebuilt snapshot reports stale")
+	}
+	in.MustInsert(Int(7), Int(7), Int(7), Str("n"), Str("s"), Str("c"), Str("z"))
+	if !snap.Stale() {
+		t.Fatal("snapshot not stale after Insert")
+	}
+	snap = NewSnapshot(in)
+	in.Delete(0)
+	if !snap.Stale() {
+		t.Fatal("snapshot not stale after Delete")
+	}
+}
+
+// TestSnapshotFrozenAcrossUpdate asserts the copy-on-write contract:
+// a snapshot keeps the pre-update values (codes and tuples both), while
+// the rebuilt snapshot sees the new ones.
+func TestSnapshotFrozenAcrossUpdate(t *testing.T) {
+	in := figure1Instance()
+	snap := NewSnapshot(in)
+	before := snap.Value(0, 4) // street of t0
+	if err := in.Update(0, 4, Str("Changed Rd")); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.TupleAt(0)[4]; !got.Equal(before) {
+		t.Fatalf("stale snapshot's tuple changed under it: %v", got)
+	}
+	if got := snap.Value(0, 4); !got.Equal(before) {
+		t.Fatalf("stale snapshot's column changed under it: %v", got)
+	}
+	fresh := NewSnapshot(in)
+	if got := fresh.Value(0, 4); !got.Equal(Str("Changed Rd")) {
+		t.Fatalf("fresh snapshot missed the update: %v", got)
+	}
+}
+
+func TestSnapshotOfCachesByVersion(t *testing.T) {
+	in := figure1Instance()
+	s1 := SnapshotOf(in)
+	if s2 := SnapshotOf(in); s2 != s1 {
+		t.Fatal("SnapshotOf rebuilt for an unchanged instance")
+	}
+	cx1 := s1.CodeIndexOn([]int{0, 1})
+	if cx2 := s1.CodeIndexOn([]int{0, 1}); cx2 != cx1 {
+		t.Fatal("CodeIndexOn rebuilt for the same position set")
+	}
+	if cx3 := s1.CodeIndexOn([]int{0, 6}); cx3 == cx1 {
+		t.Fatal("CodeIndexOn returned the wrong cached index")
+	}
+	if err := in.Update(0, 5, Str("EDI")); err != nil {
+		t.Fatal(err)
+	}
+	s3 := SnapshotOf(in)
+	if s3 == s1 {
+		t.Fatal("SnapshotOf returned a stale snapshot after Update")
+	}
+	if s3.Stale() || !s1.Stale() {
+		t.Fatal("staleness flags wrong after rebuild")
+	}
+	if got := s3.Value(0, 5); !got.Equal(Str("EDI")) {
+		t.Fatalf("rebuilt snapshot decodes %v, want EDI", got)
+	}
+}
+
+func TestInstanceVersionAndIDsCache(t *testing.T) {
+	in := figure1Instance()
+	v0 := in.Version()
+	ids := in.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	// Insert extends the cache and keeps it sorted; version bumps.
+	id := in.MustInsert(Int(7), Int(7), Int(7), Str("n"), Str("s"), Str("c"), Str("z"))
+	if in.Version() == v0 {
+		t.Error("Insert did not bump the version")
+	}
+	ids2 := in.IDs()
+	if len(ids2) != 4 || ids2[3] != id {
+		t.Fatalf("IDs after insert = %v", ids2)
+	}
+	// The previously returned slice is not mutated in its visible range.
+	if len(ids) != 3 {
+		t.Fatalf("earlier IDs slice changed length: %v", ids)
+	}
+	// Delete invalidates; the rebuilt slice is sorted with the gap.
+	v1 := in.Version()
+	in.Delete(1)
+	if in.Version() == v1 {
+		t.Error("Delete did not bump the version")
+	}
+	ids3 := in.IDs()
+	want := []TID{0, 2, id}
+	if len(ids3) != 3 || ids3[0] != want[0] || ids3[1] != want[1] || ids3[2] != want[2] {
+		t.Fatalf("IDs after delete = %v, want %v", ids3, want)
+	}
+	// Update bumps the version but keeps the ID set (cache may survive).
+	v2 := in.Version()
+	if err := in.Update(0, 5, Str("EDI")); err != nil {
+		t.Fatal(err)
+	}
+	if in.Version() == v2 {
+		t.Error("Update did not bump the version")
+	}
+	if got := in.IDs(); len(got) != 3 {
+		t.Fatalf("IDs after update = %v", got)
+	}
+	// Repeated calls return consistent results (the cached path).
+	a, b := in.IDs(), in.IDs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cached IDs unstable: %v vs %v", a, b)
+		}
+	}
+}

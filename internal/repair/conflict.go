@@ -10,8 +10,10 @@ import (
 )
 
 // detectEngine is the package's batch violation-detection engine: repair
-// gathers violations through it so index building is shared across Σ and
-// the per-CFD scans run on the worker pool.
+// gathers violations through it so the columnar snapshot and LHS group
+// indexes are built once and shared across Σ, and the per-CFD scans run
+// on the worker pool. Repair mutates working copies between detection
+// rounds; the engine snapshots per call, so every round sees fresh data.
 var detectEngine = detect.New(0)
 
 // Conflict hypergraph machinery for X-repairs of denial constraints:
