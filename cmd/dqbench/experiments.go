@@ -9,6 +9,7 @@ import (
 	"repro/internal/cind"
 	"repro/internal/cqa"
 	"repro/internal/denial"
+	"repro/internal/detect"
 	"repro/internal/discovery"
 	"repro/internal/ecfd"
 	"repro/internal/gen"
@@ -331,6 +332,21 @@ var experiments = []experiment{
 			rules, caught := discoveryProbe(n)
 			return fmt.Sprintf("mined %d constant-CFD groups; violations caught in dirty data: %d", rules, caught),
 				rules > 0 && caught > 0
+		},
+	},
+	{
+		id:    "E23",
+		title: "Incremental monitoring: Monitor.Apply vs invalidate-and-rebuild",
+		claim: "update batches cost the touched groups, not a full re-freeze; diffs stay exact",
+		run: func(quick bool) (string, bool) {
+			n := 20000
+			if quick {
+				n = 4000
+			}
+			monT, rebuildT, exact := monitorIncrProbe(n, 20, 10)
+			ratio := float64(rebuildT) / float64(monT)
+			return fmt.Sprintf("n=%d, 20 batches of 10 updates: monitor %v, rebuild+retouch %v (%.0fx); exact vs DetectAll: %v",
+				n, monT.Round(time.Microsecond), rebuildT.Round(time.Microsecond), ratio, exact), exact && ratio > 3
 		},
 	},
 }
@@ -815,4 +831,91 @@ func masterRepairProbe() (consRestored, masterRestored, corrupted int, ok bool) 
 	}
 	masterRestored, _ = repair.RestoredAccuracy(dirty, guided, truth)
 	return consRestored, masterRestored, corrupted, cfd.SatisfiesAll(guided, sigma)
+}
+
+// monitorIncrProbe measures the steady-state monitoring cost: `batches`
+// batches of `batchSize` street updates against an n-tuple dirty
+// customer instance under 8 CFDs, once through a stateful
+// detect.Monitor (incremental snapshot/index maintenance) and once
+// through the invalidate-and-rebuild discipline (fresh snapshot + fresh
+// group indexes + DetectTouched per batch). Exactness compares the
+// monitor's maintained violation set against a fresh full DetectAll
+// after every batch.
+func monitorIncrProbe(n, batches, batchSize int) (monitor, rebuild time.Duration, exact bool) {
+	mkSigma := func(s *relation.Schema) []*cfd.CFD {
+		ccs := []int64{44, 1, 31, 49, 33, 39, 34, 46}
+		out := make([]*cfd.CFD, 0, 8)
+		for i := 0; i < 8; i++ {
+			cc := cfd.Const(relation.Int(ccs[i]))
+			if i%2 == 0 {
+				out = append(out, cfd.MustNew(s, []string{"CC", "zip"}, []string{"street"},
+					cfd.Row([]cfd.Cell{cc, cfd.Any()}, []cfd.Cell{cfd.Any()})))
+			} else {
+				out = append(out, cfd.MustNew(s, []string{"CC", "AC"}, []string{"city"},
+					cfd.Row([]cfd.Cell{cc, cfd.Any()}, []cfd.Cell{cfd.Any()})))
+			}
+		}
+		return out
+	}
+	mkOps := func(in *relation.Instance, round int) []detect.Op {
+		street := in.Schema().MustLookup("street")
+		ids := in.IDs()
+		ops := make([]detect.Op, batchSize)
+		for i := range ops {
+			id := ids[(round*7919+i*104729)%len(ids)]
+			ops[i] = detect.Update(id, street, relation.Str(fmt.Sprintf("St %d-%d", round, i)))
+		}
+		return ops
+	}
+
+	// Monitor path.
+	inM := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
+	sigma := mkSigma(inM.Schema())
+	m := detect.NewMonitor(detect.New(1), inM, sigma)
+	checker := detect.New(1)
+	exact = true
+	for r := 0; r < batches; r++ {
+		ops := mkOps(inM, r)
+		start := time.Now()
+		if _, _, err := m.Apply(ops); err != nil {
+			return 0, 0, false
+		}
+		monitor += time.Since(start)
+		got := m.Violations()
+		// Oracle on an independently frozen snapshot: DetectAll(inM)
+		// would resolve SnapshotOf and re-use the monitor's own
+		// incrementally-derived state, making the check circular.
+		want := checker.DetectAllOn(relation.NewSnapshot(inM), sigma)
+		if len(got) != len(want) {
+			exact = false
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					exact = false
+					break
+				}
+			}
+		}
+	}
+
+	// Invalidate-and-rebuild path: same updates on a twin instance; each
+	// batch pays a fresh freeze + intern + index build before the
+	// touched-group scan (PR 2's behavior after any mutation).
+	inR := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
+	e := detect.New(1)
+	for r := 0; r < batches; r++ {
+		ops := mkOps(inR, r)
+		touched := make([]relation.TID, 0, len(ops))
+		for _, op := range ops {
+			if err := inR.Update(op.TID, op.Pos, op.Val); err != nil {
+				return 0, 0, false
+			}
+			touched = append(touched, op.TID)
+		}
+		start := time.Now()
+		snap := relation.NewSnapshot(inR) // invalidation: nothing carried over
+		e.DetectTouchedOn(snap, sigma, touched)
+		rebuild += time.Since(start)
+	}
+	return monitor, rebuild, exact
 }

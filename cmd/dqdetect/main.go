@@ -6,12 +6,28 @@
 // Usage:
 //
 //	dqdetect -data customer=customer.csv -rules rules.cfd [-max 20] [-workers 8]
+//	dqdetect -data customer=customer.csv -rules rules.cfd -follow updates.log
 //
 // Detection runs on the internal/detect engine: each relation is frozen
 // once into a columnar snapshot, rules over the same relation share LHS
 // code indexes, and per-rule work fans out across a worker pool
 // (-workers, default one per CPU). -legacy pins the engine to the
 // string-keyed index path for comparison runs.
+//
+// -follow switches from one-shot batch detection to monitoring: after
+// the initial report, the update log is replayed batch by batch through
+// a stateful detect.Monitor per relation, printing the violations each
+// batch gained and cleared — steady-state cost proportional to the
+// touched groups, not the instance. The log is line-oriented:
+//
+//	insert customer 44,131,1234567,Mike,Mayfield,NYC,EH4 8LE
+//	update customer 3 city=EDI
+//	delete customer 7
+//	commit
+//
+// Comments (#) and blank lines are skipped; "commit" applies the batch
+// accumulated so far (EOF commits the tail implicitly); values parse
+// like the relation's CSV cells.
 //
 // The rule file uses the cfd text format:
 //
@@ -20,10 +36,14 @@
 package main
 
 import (
+	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/cfd"
@@ -52,6 +72,7 @@ func main() {
 	max := flag.Int("max", 0, "max violations to print (0 = all)")
 	workers := flag.Int("workers", 0, "detection worker pool size (0 = one per CPU)")
 	legacy := flag.Bool("legacy", false, "use the string-keyed index path instead of columnar snapshots")
+	follow := flag.String("follow", "", "replay an update log through a stateful monitor after the initial report")
 	flag.Parse()
 	if len(data) == 0 || *rulesPath == "" {
 		flag.Usage()
@@ -93,21 +114,52 @@ func main() {
 	// Batch the rules per relation so the engine can share LHS indexes
 	// across them. The stream delivers each CFD's violations as one
 	// contiguous run in Σ order, so per-rule reports fall out without a
-	// global re-sort.
+	// global re-sort. In -follow mode the monitors are seeded first and
+	// the initial report reads their violation sets, so the full
+	// detection is paid exactly once.
 	engine := &detect.Engine{Workers: *workers, Legacy: *legacy}
 	byRel := make(map[string][]*cfd.CFD)
 	for _, c := range rules {
 		byRel[c.Schema().Name()] = append(byRel[c.Schema().Name()], c)
 	}
 	perCFD := make(map[*cfd.CFD][]cfd.Violation)
-	for name, set := range byRel {
-		in, ok := instances[name]
-		if !ok {
-			continue
+	var monitors map[string]*detect.Monitor
+	if *follow != "" {
+		// One monitor per loaded relation; relations without rules get an
+		// empty-Σ monitor so their ops still apply through the same path.
+		monitors = make(map[string]*detect.Monitor)
+		for name, in := range instances {
+			monitors[name] = detect.NewMonitor(engine, in, byRel[name])
+			for _, v := range monitors[name].Violations() {
+				perCFD[v.CFD] = append(perCFD[v.CFD], v)
+			}
 		}
-		engine.DetectAllStream(in, set, func(v cfd.Violation) {
-			perCFD[v.CFD] = append(perCFD[v.CFD], v)
-		})
+		// Match the batch-mode report: each CFD's run in per-CFD detect
+		// order (Row, T1, T2, Attr), as DetectAllStream delivers it.
+		for _, vs := range perCFD {
+			sort.Slice(vs, func(i, j int) bool {
+				if vs[i].Row != vs[j].Row {
+					return vs[i].Row < vs[j].Row
+				}
+				if vs[i].T1 != vs[j].T1 {
+					return vs[i].T1 < vs[j].T1
+				}
+				if vs[i].T2 != vs[j].T2 {
+					return vs[i].T2 < vs[j].T2
+				}
+				return vs[i].Attr < vs[j].Attr
+			})
+		}
+	} else {
+		for name, set := range byRel {
+			in, ok := instances[name]
+			if !ok {
+				continue
+			}
+			engine.DetectAllStream(in, set, func(v cfd.Violation) {
+				perCFD[v.CFD] = append(perCFD[v.CFD], v)
+			})
+		}
 	}
 	total := 0
 	for _, c := range rules {
@@ -125,7 +177,173 @@ func main() {
 		}
 	}
 	fmt.Printf("\ntotal violations: %d\n", total)
+
+	if *follow != "" {
+		outstanding, err := followLog(*follow, monitors, instances, *max)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if outstanding > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if total > 0 {
 		os.Exit(1)
+	}
+}
+
+// followLog replays the update log through the pre-seeded per-relation
+// monitors, printing each batch's gained/cleared diff, and returns the
+// number of violations outstanding at EOF.
+func followLog(path string, monitors map[string]*detect.Monitor, instances map[string]*relation.Instance, max int) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	batches := make(map[string][]detect.Op) // relation -> pending ops
+	batchNo := 0
+	commit := func() error {
+		if len(batches) == 0 {
+			return nil
+		}
+		batchNo++
+		// Deterministic per-relation order within a batch.
+		names := make([]string, 0, len(batches))
+		for name := range batches {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ops := batches[name]
+			m := monitors[name]
+			gained, cleared, err := m.Apply(ops)
+			if err != nil {
+				return fmt.Errorf("batch %d: %v", batchNo, err)
+			}
+			fmt.Printf("batch %d: %s: %d op(s), +%d violation(s), -%d cleared, %d outstanding\n",
+				batchNo, name, len(ops), len(gained), len(cleared), m.Len())
+			printSome := func(label string, vs []cfd.Violation) {
+				for i, v := range vs {
+					if max > 0 && i >= max {
+						fmt.Printf("  %s ... and %d more\n", label, len(vs)-i)
+						break
+					}
+					fmt.Printf("  %s %v\n", label, v)
+				}
+			}
+			printSome("+", gained)
+			printSome("-", cleared)
+		}
+		batches = make(map[string][]detect.Op)
+		return nil
+	}
+
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if text == "commit" {
+			if err := commit(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		op, rel, err := parseOp(text, instances)
+		if err != nil {
+			return 0, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		batches[rel] = append(batches[rel], op)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if err := commit(); err != nil { // implicit commit of the tail
+		return 0, err
+	}
+	outstanding := 0
+	names := make([]string, 0, len(monitors))
+	for name := range monitors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := monitors[name]
+		if m.Len() > 0 {
+			fmt.Printf("%s: %d violation(s) outstanding\n", name, m.Len())
+		}
+		outstanding += m.Len()
+	}
+	fmt.Printf("replayed %d batch(es); %d violation(s) outstanding\n", batchNo, outstanding)
+	return outstanding, nil
+}
+
+// parseOp parses one update-log line (insert/update/delete) against the
+// loaded relations' schemas.
+func parseOp(text string, instances map[string]*relation.Instance) (detect.Op, string, error) {
+	verb, rest, _ := strings.Cut(text, " ")
+	rel, rest, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	in, ok := instances[rel]
+	if !ok {
+		return detect.Op{}, "", fmt.Errorf("unknown relation %q", rel)
+	}
+	s := in.Schema()
+	rest = strings.TrimSpace(rest)
+	switch verb {
+	case "insert":
+		// The remainder is one CSV record in schema order.
+		cr := csv.NewReader(strings.NewReader(rest))
+		rec, err := cr.Read()
+		if err != nil {
+			return detect.Op{}, "", fmt.Errorf("insert %s: %v", rel, err)
+		}
+		if len(rec) != s.Arity() {
+			return detect.Op{}, "", fmt.Errorf("insert %s: %d fields, want %d", rel, len(rec), s.Arity())
+		}
+		t := make(relation.Tuple, len(rec))
+		for i, cell := range rec {
+			v, err := relation.ParseValue(s.Attr(i).Domain.Kind(), cell)
+			if err != nil {
+				return detect.Op{}, "", fmt.Errorf("insert %s column %s: %v", rel, s.Attr(i).Name, err)
+			}
+			t[i] = v
+		}
+		return detect.Insert(t), rel, nil
+	case "delete":
+		id, err := strconv.Atoi(rest)
+		if err != nil {
+			return detect.Op{}, "", fmt.Errorf("delete %s: bad TID %q", rel, rest)
+		}
+		return detect.Delete(relation.TID(id)), rel, nil
+	case "update":
+		idText, assign, ok := strings.Cut(rest, " ")
+		if !ok {
+			return detect.Op{}, "", fmt.Errorf("update %s: want \"update %s <tid> <attr>=<value>\"", rel, rel)
+		}
+		id, err := strconv.Atoi(idText)
+		if err != nil {
+			return detect.Op{}, "", fmt.Errorf("update %s: bad TID %q", rel, idText)
+		}
+		attr, valText, ok := strings.Cut(assign, "=")
+		if !ok {
+			return detect.Op{}, "", fmt.Errorf("update %s: want <attr>=<value>, got %q", rel, assign)
+		}
+		pos, ok := s.Lookup(strings.TrimSpace(attr))
+		if !ok {
+			return detect.Op{}, "", fmt.Errorf("update %s: no attribute %q", rel, attr)
+		}
+		v, err := relation.ParseValue(s.Attr(pos).Domain.Kind(), valText)
+		if err != nil {
+			return detect.Op{}, "", fmt.Errorf("update %s.%s: %v", rel, attr, err)
+		}
+		return detect.Update(relation.TID(id), pos, v), rel, nil
+	default:
+		return detect.Op{}, "", fmt.Errorf("unknown op %q (want insert/update/delete/commit)", verb)
 	}
 }

@@ -106,6 +106,101 @@ func BenchmarkEngineDetectAll(b *testing.B) {
 	}
 }
 
+// incrOps builds one deterministic update batch for the incremental
+// benchmarks: half the updates rewrite street (an RHS attribute — group
+// structure untouched, the best case for index splicing), half rewrite
+// zip (an LHS attribute of the [CC, zip] rules — tuples move between
+// groups). Values rotate through bounded pools so dictionaries do not
+// grow without bound across benchmark iterations.
+func incrOps(in *relation.Instance, round, size int) []detect.Op {
+	s := in.Schema()
+	street, zip := s.MustLookup("street"), s.MustLookup("zip")
+	ids := in.IDs()
+	ops := make([]detect.Op, size)
+	for i := range ops {
+		id := ids[(round*7919+i*104729)%len(ids)]
+		if i%2 == 0 {
+			ops[i] = detect.Update(id, street, relation.Str(fmt.Sprintf("St %d", (round+i)%997)))
+		} else {
+			ops[i] = detect.Update(id, zip, relation.Str(fmt.Sprintf("EH%d %dLE", (round+i)%25+1, i%10)))
+		}
+	}
+	return ops
+}
+
+// applyOps applies a batch directly to the instance (the non-monitor
+// modes) and returns the touched TIDs.
+func applyOps(b *testing.B, in *relation.Instance, ops []detect.Op) []relation.TID {
+	touched := make([]relation.TID, len(ops))
+	for i, op := range ops {
+		if err := in.Update(op.TID, op.Pos, op.Val); err != nil {
+			b.Fatal(err)
+		}
+		touched[i] = op.TID
+	}
+	return touched
+}
+
+// BenchmarkMonitorIncr measures the steady-state cost of absorbing one
+// update batch, in three disciplines (DESIGN.md E23):
+//
+//	monitor  stateful detect.Monitor: snapshot and group indexes caught
+//	         up via the changelog (structural sharing + O(|Δ|) intern),
+//	         DetectTouched diffed on the touched groups only
+//	rebuild  invalidate-and-rebuild (PR 2's behavior after a mutation):
+//	         fresh snapshot freeze + column interning + index builds,
+//	         then DetectTouched on the batch
+//	full     fresh snapshot plus a full DetectAll — the batch-detection
+//	         baseline with no incremental machinery at all
+//
+// across 100k/500k tuples × batch sizes {1, 10, 1000} × {1, 8, 64}
+// CFDs. The 500k tier is skipped under -short.
+func BenchmarkMonitorIncr(b *testing.B) {
+	for _, n := range []int{100000, 500000} {
+		if n > 100000 && testing.Short() {
+			continue
+		}
+		s := gen.Customers(gen.CustomerConfig{N: 1, Seed: 1, ErrorRate: 0}).Schema()
+		for _, k := range []int{1, 8, 64} {
+			sigma := engineBenchSigma(s, k)
+			for _, bs := range []int{1, 10, 1000} {
+				b.Run(fmt.Sprintf("n=%d/cfds=%d/batch=%d/monitor", n, k, bs), func(b *testing.B) {
+					b.ReportAllocs()
+					in := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
+					m := detect.NewMonitor(detect.New(1), in, sigma)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := m.Apply(incrOps(in, i, bs)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.Run(fmt.Sprintf("n=%d/cfds=%d/batch=%d/rebuild", n, k, bs), func(b *testing.B) {
+					b.ReportAllocs()
+					in := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
+					e := detect.New(1)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						touched := applyOps(b, in, incrOps(in, i, bs))
+						snap := relation.NewSnapshot(in) // nothing carried over
+						e.DetectTouchedOn(snap, sigma, touched)
+					}
+				})
+				b.Run(fmt.Sprintf("n=%d/cfds=%d/batch=%d/full", n, k, bs), func(b *testing.B) {
+					b.ReportAllocs()
+					in := gen.Customers(gen.CustomerConfig{N: n, Seed: 17, ErrorRate: 0.05})
+					e := detect.New(1)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						applyOps(b, in, incrOps(in, i, bs))
+						e.DetectAllOn(relation.NewSnapshot(in), sigma)
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkEngineSatisfiesAll measures the early-cancel path: the dirty
 // instance violates the very first rule, so the engine's cancellation
 // skips almost the whole batch while the legacy loop at least pays one

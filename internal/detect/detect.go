@@ -87,14 +87,24 @@ type task struct {
 // snapshot, whatever the number of LHS groups, and an unchanged instance
 // reuses the previous batch's interned columns and group indexes.
 // Laziness keeps early-cancelled runs from paying even the cache probe.
+// The *On entry points preset the snapshot instead (a Monitor detecting
+// against a specific maintained snapshot, possibly not the instance's
+// latest).
 type sharedSnapshot struct {
-	once sync.Once
-	in   *relation.Instance
-	snap *relation.Snapshot
+	once   sync.Once
+	in     *relation.Instance
+	preset *relation.Snapshot
+	snap   *relation.Snapshot
 }
 
 func (s *sharedSnapshot) get() *relation.Snapshot {
-	s.once.Do(func() { s.snap = relation.SnapshotOf(s.in) })
+	s.once.Do(func() {
+		if s.preset != nil {
+			s.snap = s.preset
+		} else {
+			s.snap = relation.SnapshotOf(s.in)
+		}
+	})
 	return s.snap
 }
 
@@ -126,9 +136,16 @@ func (s *sharedIndex) getCode() *relation.CodeIndex {
 // per distinct set, one task per CFD, in Σ order; on the snapshot path
 // every group additionally shares one lazily built snapshot.
 func (e *Engine) plan(in *relation.Instance, set []*cfd.CFD) []task {
+	return e.planOn(in, nil, set)
+}
+
+// planOn is plan with an optional caller-supplied snapshot: when preset
+// is non-nil the snapshot path runs on it (and its cached group
+// indexes) instead of resolving relation.SnapshotOf.
+func (e *Engine) planOn(in *relation.Instance, preset *relation.Snapshot, set []*cfd.CFD) []task {
 	var snap *sharedSnapshot
 	if !e.legacy() { // nil-safe: a nil *Engine behaves like the zero value
-		snap = &sharedSnapshot{in: in}
+		snap = &sharedSnapshot{in: in, preset: preset}
 	}
 	groups := make(map[string]*sharedIndex)
 	tasks := make([]task, 0, len(set))
@@ -171,7 +188,16 @@ func (e *Engine) runDetect(in *relation.Instance, set []*cfd.CFD, sink Sink,
 	legacyEval func(*relation.Instance, *cfd.CFD, *relation.Index) []cfd.Violation,
 	snapEval func(*relation.Snapshot, *cfd.CFD, *relation.CodeIndex) []cfd.Violation,
 ) {
-	tasks := e.plan(in, set)
+	e.runDetectOn(in, nil, set, sink, legacyEval, snapEval)
+}
+
+// runDetectOn is runDetect with an optional caller-supplied snapshot
+// (see planOn).
+func (e *Engine) runDetectOn(in *relation.Instance, preset *relation.Snapshot, set []*cfd.CFD, sink Sink,
+	legacyEval func(*relation.Instance, *cfd.CFD, *relation.Index) []cfd.Violation,
+	snapEval func(*relation.Snapshot, *cfd.CFD, *relation.CodeIndex) []cfd.Violation,
+) {
+	tasks := e.planOn(in, preset, set)
 	if e.legacy() {
 		e.runOrdered(tasks, sink, func(t task) []cfd.Violation {
 			return legacyEval(in, t.c, t.ix.get())
@@ -222,11 +248,63 @@ func (e *Engine) DetectTouched(in *relation.Instance, set []*cfd.CFD, touched []
 	return out
 }
 
+// The *On entry points run detection against a caller-supplied snapshot
+// — the maintained snapshot of a Monitor, or any snapshot the caller
+// wants to hold fixed across calls (repair iterations) — instead of
+// resolving relation.SnapshotOf internally. Cached group indexes of the
+// snapshot are shared exactly as on the default path. On a Legacy
+// engine they fall back to the string-keyed path over the snapshot's
+// source instance, which is only equivalent while the snapshot is
+// current (snap.Stale() == false).
+
+// DetectAllOn is DetectAll evaluated on the given snapshot.
+func (e *Engine) DetectAllOn(snap *relation.Snapshot, set []*cfd.CFD) []cfd.Violation {
+	var out []cfd.Violation
+	e.runDetectOn(snap.Source(), snap, set, func(v cfd.Violation) { out = append(out, v) },
+		cfd.DetectWithIndex, cfd.DetectWithSnapshot)
+	cfd.SortViolations(out)
+	return out
+}
+
+// DetectAllExhaustiveOn is DetectAllExhaustive evaluated on the given
+// snapshot.
+func (e *Engine) DetectAllExhaustiveOn(snap *relation.Snapshot, set []*cfd.CFD) []cfd.Violation {
+	var out []cfd.Violation
+	e.runDetectOn(snap.Source(), snap, set, func(v cfd.Violation) { out = append(out, v) },
+		cfd.DetectExhaustiveWithIndex, cfd.DetectExhaustiveWithSnapshot)
+	cfd.SortViolations(out)
+	return out
+}
+
+// DetectTouchedOn is DetectTouched evaluated on the given snapshot:
+// touched TIDs absent from the snapshot are skipped, so the same
+// touched list can be diffed against a pre-batch and a post-batch
+// snapshot (the Monitor's core move).
+func (e *Engine) DetectTouchedOn(snap *relation.Snapshot, set []*cfd.CFD, touched []relation.TID) []cfd.Violation {
+	var out []cfd.Violation
+	e.runDetectOn(snap.Source(), snap, set, func(v cfd.Violation) { out = append(out, v) },
+		func(in *relation.Instance, c *cfd.CFD, ix *relation.Index) []cfd.Violation {
+			return cfd.DetectTouchedWithIndex(in, c, ix, touched)
+		},
+		func(s *relation.Snapshot, c *cfd.CFD, cx *relation.CodeIndex) []cfd.Violation {
+			return cfd.DetectTouchedWithSnapshot(s, c, cx, touched)
+		})
+	cfd.SortViolations(out)
+	return out
+}
+
 // SatisfiesAll reports whether the instance satisfies every CFD of the
 // set (D ⊨ Σ), cancelling outstanding work as soon as any worker finds a
 // violation.
 func (e *Engine) SatisfiesAll(in *relation.Instance, set []*cfd.CFD) bool {
 	ok, _ := e.satisfiesAll(in, set)
+	return ok
+}
+
+// SatisfiesAllOn is SatisfiesAll evaluated on the given snapshot, with
+// the same early cancellation.
+func (e *Engine) SatisfiesAllOn(snap *relation.Snapshot, set []*cfd.CFD) bool {
+	ok, _ := e.satisfiesAllOn(snap.Source(), snap, set)
 	return ok
 }
 
@@ -243,7 +321,11 @@ func (e *Engine) satisfies(in *relation.Instance, t task) bool {
 // satisfiesAll additionally reports how many CFDs were actually
 // evaluated, which the tests use to observe early cancellation.
 func (e *Engine) satisfiesAll(in *relation.Instance, set []*cfd.CFD) (bool, int64) {
-	tasks := e.plan(in, set)
+	return e.satisfiesAllOn(in, nil, set)
+}
+
+func (e *Engine) satisfiesAllOn(in *relation.Instance, preset *relation.Snapshot, set []*cfd.CFD) (bool, int64) {
+	tasks := e.planOn(in, preset, set)
 	var violated atomic.Bool
 	var evaluated atomic.Int64
 	nw := e.workers()

@@ -1,0 +1,272 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// randomOp draws one random mutation for the customer schema: inserts
+// of fresh customers, deletes, and updates that churn both LHS
+// attributes (zip, CC, AC — moving tuples between groups) and RHS
+// attributes (street, city), regularly introducing never-seen values so
+// the shared dictionaries keep growing. dead tracks TIDs deleted by
+// earlier ops of a batch generated before the batch is applied.
+func randomOp(r *rand.Rand, in *relation.Instance, fresh *int, dead map[relation.TID]bool) Op {
+	var ids []relation.TID
+	for _, id := range in.IDs() {
+		if !dead[id] {
+			ids = append(ids, id)
+		}
+	}
+	switch k := r.Intn(10); {
+	case k < 2 || len(ids) == 0: // insert
+		*fresh++
+		zip := fmt.Sprintf("EH%d %dLE", r.Intn(4)+1, r.Intn(4))
+		if r.Intn(4) == 0 {
+			zip = fmt.Sprintf("ZZ%d", *fresh) // brand-new zip: Dict growth
+		}
+		return Insert(relation.Tuple{
+			relation.Int(int64([]int{44, 1}[r.Intn(2)])),
+			relation.Int(int64(131 + r.Intn(3))),
+			relation.Int(int64(1000000 + r.Intn(50))),
+			relation.Str(fmt.Sprintf("name-%d", *fresh)),
+			relation.Str(fmt.Sprintf("st%d", r.Intn(4))),
+			relation.Str([]string{"EDI", "MH", "NYC"}[r.Intn(3)]),
+			relation.Str(zip),
+		})
+	case k < 4: // delete
+		id := ids[r.Intn(len(ids))]
+		dead[id] = true
+		return Delete(id)
+	default: // update
+		id := ids[r.Intn(len(ids))]
+		pos := []int{0, 1, 4, 5, 6}[r.Intn(5)] // CC, AC, street, city, zip
+		var v relation.Value
+		switch pos {
+		case 0:
+			v = relation.Int(int64([]int{44, 1, 31}[r.Intn(3)]))
+		case 1:
+			v = relation.Int(int64(131 + r.Intn(4)))
+		case 4:
+			if r.Intn(3) == 0 {
+				*fresh++
+				v = relation.Str(fmt.Sprintf("new-street-%d", *fresh))
+			} else {
+				v = relation.Str(fmt.Sprintf("st%d", r.Intn(4)))
+			}
+		case 5:
+			v = relation.Str([]string{"EDI", "MH", "NYC", "LDN"}[r.Intn(4)])
+		default:
+			if r.Intn(3) == 0 {
+				*fresh++
+				v = relation.Str(fmt.Sprintf("ZZ%d", *fresh))
+			} else {
+				v = relation.Str(fmt.Sprintf("EH%d %dLE", r.Intn(4)+1, r.Intn(4)))
+			}
+		}
+		return Update(id, pos, v)
+	}
+}
+
+// monitorOracleRounds drives random batches through Monitor.Apply and
+// asserts, after every batch, that the maintained violation set is
+// byte-identical to a fresh detection over the mutated instance — on
+// both the columnar engine and the string-keyed legacy oracle — and
+// that the gained/cleared diff exactly accounts for the set change.
+func monitorOracleRounds(t *testing.T, seed int64, n, rounds, maxBatch int, changelogCap int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	in := gen.Customers(gen.CustomerConfig{N: n, Seed: seed, ErrorRate: 0.15})
+	if changelogCap != 0 {
+		in.SetChangelogCap(changelogCap)
+	}
+	sigma := sigmaFigure2(in.Schema())
+	m := NewMonitor(New(2), in, sigma)
+
+	prev := m.Violations()
+	fresh := 0
+	for round := 0; round < rounds; round++ {
+		batch := make([]Op, 1+r.Intn(maxBatch))
+		dead := make(map[relation.TID]bool)
+		for i := range batch {
+			batch[i] = randomOp(r, in, &fresh, dead)
+		}
+		gained, cleared, err := m.Apply(batch)
+		if err != nil {
+			t.Fatalf("seed %d round %d: Apply: %v", seed, round, err)
+		}
+		got := m.Violations()
+
+		// Oracle 1: the engine's fresh full detection (columnar path).
+		want := New(1).DetectAll(in, sigma)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d round %d: monitor has %d violations, fresh DetectAll %d:\nmonitor %v\nfresh   %v",
+				seed, round, len(got), len(want), got, want)
+		}
+		// Oracle 2: the string-keyed legacy path, fully independent of
+		// snapshots, dictionaries and the changelog.
+		if legacy := NewLegacy(1).DetectAll(in, sigma); !reflect.DeepEqual(got, legacy) {
+			t.Fatalf("seed %d round %d: monitor diverges from the legacy oracle", seed, round)
+		}
+
+		// The diff must exactly transform prev into got.
+		next := make(map[cfd.Violation]struct{}, len(prev))
+		for _, v := range prev {
+			next[v] = struct{}{}
+		}
+		for _, v := range cleared {
+			if _, ok := next[v]; !ok {
+				t.Fatalf("seed %d round %d: cleared violation %v was not held", seed, round, v)
+			}
+			delete(next, v)
+		}
+		for _, v := range gained {
+			if _, ok := next[v]; ok {
+				t.Fatalf("seed %d round %d: gained violation %v was already held", seed, round, v)
+			}
+			next[v] = struct{}{}
+		}
+		if len(next) != len(got) {
+			t.Fatalf("seed %d round %d: prev - cleared + gained has %d violations, set has %d",
+				seed, round, len(next), len(got))
+		}
+		for _, v := range got {
+			if _, ok := next[v]; !ok {
+				t.Fatalf("seed %d round %d: %v in set but not in prev - cleared + gained", seed, round, v)
+			}
+		}
+		prev = got
+	}
+}
+
+func TestMonitorMatchesFreshDetection(t *testing.T) {
+	for _, seed := range []int64{3, 17, 91} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			monitorOracleRounds(t, seed, 300, 60, 8, 0)
+		})
+	}
+}
+
+// TestMonitorManySmallBatches is the steady-state serving shape: long
+// run of tiny batches against one instance.
+func TestMonitorManySmallBatches(t *testing.T) {
+	monitorOracleRounds(t, 7, 150, 150, 2, 0)
+}
+
+// TestMonitorChangelogFallback shrinks the changelog below the batch
+// size so Sync regularly finds the log truncated and must take the
+// full-resync path — which must preserve exactness and the diff
+// contract all the same.
+func TestMonitorChangelogFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	in := gen.Customers(gen.CustomerConfig{N: 120, Seed: 5, ErrorRate: 0.2})
+	in.SetChangelogCap(6)
+	sigma := sigmaFigure2(in.Schema())
+	m := NewMonitor(nil, in, sigma)
+	fresh := 0
+	for round := 0; round < 25; round++ {
+		batch := make([]Op, 10) // always larger than the cap
+		dead := make(map[relation.TID]bool)
+		for i := range batch {
+			batch[i] = randomOp(r, in, &fresh, dead)
+		}
+		if _, _, err := m.Apply(batch); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got, want := m.Violations(), New(1).DetectAll(in, sigma); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: monitor diverges after changelog fallback", round)
+		}
+	}
+	if m.FullSyncs() == 0 {
+		t.Fatal("changelog cap of 6 with batches of 10 never forced a full resync")
+	}
+}
+
+// TestMonitorExternalMutations mutates the instance directly and relies
+// on Sync to pick the changes up from the changelog.
+func TestMonitorExternalMutations(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 100, Seed: 9, ErrorRate: 0.1})
+	sigma := sigmaFigure2(in.Schema())
+	m := NewMonitor(nil, in, sigma)
+	r := rand.New(rand.NewSource(11))
+	fresh := 0
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 3; i++ {
+			// Ops are applied immediately, so in.IDs() is always current
+			// and no cross-op bookkeeping is needed.
+			op := randomOp(r, in, &fresh, map[relation.TID]bool{})
+			switch op.Kind {
+			case OpInsert:
+				in.Insert(op.Tuple)
+			case OpDelete:
+				in.Delete(op.TID)
+			case OpUpdate:
+				if err := in.Update(op.TID, op.Pos, op.Val); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		m.Sync()
+		if got, want := m.Violations(), New(1).DetectAll(in, sigma); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: monitor missed external mutations", round)
+		}
+	}
+}
+
+// TestMonitorLegacyEngineUpgraded pins the constructor contract: a
+// Legacy engine is upgraded to the columnar path rather than silently
+// detecting the pre-batch state against the mutated instance.
+func TestMonitorLegacyEngineUpgraded(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 50, Seed: 2, ErrorRate: 0.1})
+	sigma := sigmaFigure2(in.Schema())
+	m := NewMonitor(NewLegacy(3), in, sigma)
+	if m.Engine().Legacy {
+		t.Fatal("monitor kept the legacy engine")
+	}
+	if m.Engine().Workers != 3 {
+		t.Fatalf("monitor dropped the worker count: %d", m.Engine().Workers)
+	}
+}
+
+// TestMonitorEmptyBatch: no ops, no diff.
+func TestMonitorEmptyBatch(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 30, Seed: 4, ErrorRate: 0.3})
+	m := NewMonitor(nil, in, sigmaFigure2(in.Schema()))
+	gained, cleared, err := m.Apply(nil)
+	if err != nil || len(gained) != 0 || len(cleared) != 0 {
+		t.Fatalf("empty batch: gained %v cleared %v err %v", gained, cleared, err)
+	}
+}
+
+// TestMonitorBadOp: a failing op reports an error but leaves the
+// monitor consistent with whatever prefix was applied.
+func TestMonitorBadOp(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 30, Seed: 6, ErrorRate: 0.2})
+	sigma := sigmaFigure2(in.Schema())
+	m := NewMonitor(nil, in, sigma)
+	id := in.IDs()[0]
+	_, _, err := m.Apply([]Op{
+		Update(id, 4, relation.Str("applied-before-failure")),
+		Update(relation.TID(999999), 4, relation.Str("x")), // no such tuple
+		Update(id, 5, relation.Str("skipped")),
+	})
+	if err == nil {
+		t.Fatal("updating a missing tuple did not error")
+	}
+	if got, want := m.Violations(), New(1).DetectAll(in, sigma); !reflect.DeepEqual(got, want) {
+		t.Fatal("monitor inconsistent after failed op")
+	}
+	t1, _ := in.Tuple(id)
+	if !t1[4].Equal(relation.Str("applied-before-failure")) {
+		t.Fatal("prefix op was not applied")
+	}
+	if t1[5].Equal(relation.Str("skipped")) {
+		t.Fatal("op after the failure was applied")
+	}
+}

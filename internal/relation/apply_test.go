@@ -1,0 +1,336 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mutateRandom applies one random mutation batch to the instance:
+// inserts (including brand-new values that force Dict growth), updates
+// (drawn both from the small collision-heavy domains and from fresh
+// values), and deletes. Returns the number of ops applied.
+func mutateRandom(r *rand.Rand, in *Instance, ops int, fresh *int) int {
+	applied := 0
+	for i := 0; i < ops; i++ {
+		ids := in.IDs()
+		switch k := r.Intn(10); {
+		case k < 3 || len(ids) == 0: // insert
+			*fresh++
+			in.MustInsert(
+				Int(int64(r.Intn(3))), Int(int64(r.Intn(4))), Int(int64(*fresh)),
+				Str(fmt.Sprintf("n%d", r.Intn(6))), Str(fmt.Sprintf("s%d", r.Intn(3))),
+				Str(fmt.Sprintf("c%d", r.Intn(2))), Str(fmt.Sprintf("z%d", r.Intn(4))),
+			)
+			applied++
+		case k < 5: // delete
+			in.Delete(ids[r.Intn(len(ids))])
+			applied++
+		default: // update, sometimes with a never-seen value (Dict growth)
+			id := ids[r.Intn(len(ids))]
+			pos := r.Intn(in.Schema().Arity())
+			var v Value
+			switch in.Schema().Attr(pos).Domain.Kind() {
+			case KindInt:
+				if r.Intn(3) == 0 {
+					*fresh++
+					v = Int(int64(1000 + *fresh))
+				} else {
+					v = Int(int64(r.Intn(4)))
+				}
+			default:
+				if r.Intn(3) == 0 {
+					*fresh++
+					v = Str(fmt.Sprintf("new-%d", *fresh))
+				} else {
+					v = Str(fmt.Sprintf("v%d", r.Intn(4)))
+				}
+			}
+			if err := in.Update(id, pos, v); err != nil {
+				t := fmt.Sprintf("update t%d.%d = %v: %v", id, pos, v, err)
+				panic(t)
+			}
+			applied++
+		}
+	}
+	return applied
+}
+
+// assertSnapshotsEqual compares a maintained snapshot against a freshly
+// frozen one cell by cell (decoded values, not codes: the shared
+// dictionaries legitimately assign different code numbers than a fresh
+// build).
+func assertSnapshotsEqual(t *testing.T, round int, got, want *Snapshot) {
+	t.Helper()
+	if !reflect.DeepEqual(got.ids, want.ids) {
+		t.Fatalf("round %d: ids diverge:\n got %v\nwant %v", round, got.ids, want.ids)
+	}
+	if got.Version() != want.Version() {
+		t.Fatalf("round %d: version = %d, want %d", round, got.Version(), want.Version())
+	}
+	for p := 0; p < got.Schema().Arity(); p++ {
+		for row := 0; row < want.Len(); row++ {
+			g, w := got.Value(row, p), want.Value(row, p)
+			if !g.Equal(w) {
+				t.Fatalf("round %d: cell (%d,%d) = %v, want %v", round, row, p, g, w)
+			}
+		}
+	}
+}
+
+// TestSnapshotApplyMatchesFresh drives random mutation batches through
+// Snapshot.Apply and asserts the maintained snapshot is cell-identical
+// to a fresh NewSnapshot of the mutated instance, across many rounds
+// (so deltas chain: shared dictionaries keep growing, columns keep
+// being spliced).
+func TestSnapshotApplyMatchesFresh(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(60, seed)
+		snap := NewSnapshot(in)
+		// Pre-intern a few columns so Apply exercises both the shared
+		// and the lazy paths; leave the rest unbuilt.
+		snap.Col(0)
+		snap.Col(5)
+		fresh := 0
+		for round := 0; round < 40; round++ {
+			v0 := snap.Version()
+			mutateRandom(r, in, 1+r.Intn(8), &fresh)
+			entries, ok := in.ChangesSince(v0)
+			if !ok {
+				t.Fatalf("round %d: changelog lost %d versions", round, in.Version()-v0)
+			}
+			snap = snap.Apply(entries)
+			if snap.Stale() {
+				t.Fatalf("round %d: applied snapshot still stale", round)
+			}
+			assertSnapshotsEqual(t, round, snap, NewSnapshot(in))
+		}
+	}
+}
+
+// TestSnapshotApplySharesUntouchedColumns asserts the structural
+// sharing contract: an update-only delta leaves untouched interned
+// columns aliased to the old snapshot's backing arrays, and shares the
+// dictionary of touched ones.
+func TestSnapshotApplySharesUntouchedColumns(t *testing.T) {
+	in := randomInstance(50, 3)
+	snap := NewSnapshot(in)
+	for p := 0; p < in.Schema().Arity(); p++ {
+		snap.Col(p)
+	}
+	v0 := snap.Version()
+	id := in.IDs()[0]
+	if err := in.Update(id, 3, Str("fresh-name")); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := in.ChangesSince(v0)
+	ns := snap.Apply(entries)
+	for p := 0; p < in.Schema().Arity(); p++ {
+		if p == 3 {
+			if &ns.cols[p][0] == &snap.cols[p][0] {
+				t.Fatalf("touched column %d still aliases the old array", p)
+			}
+		} else if &ns.cols[p][0] != &snap.cols[p][0] {
+			t.Fatalf("untouched column %d was copied", p)
+		}
+		if ns.dicts[p] != snap.dicts[p] {
+			t.Fatalf("column %d dictionary not shared", p)
+		}
+	}
+	// The old snapshot still decodes its frozen (pre-update) value.
+	row, _ := snap.Row(id)
+	if got := snap.Value(row, 3); got.Equal(Str("fresh-name")) {
+		t.Fatalf("old snapshot sees the new value %v", got)
+	}
+}
+
+// TestCodeIndexApplyMatchesBuild chains random deltas through the
+// cxCache migration (Snapshot.Apply -> CodeIndex apply) and asserts the
+// maintained group index always matches both a fresh BuildCodeIndex and
+// the string-keyed Index oracle — including under a constant hash that
+// forces every probe into one collision chain.
+func TestCodeIndexApplyMatchesBuild(t *testing.T) {
+	posSets := [][]int{{0}, {0, 1}, {5, 6}, {2, 3, 4}}
+	hashers := map[string]codeHasher{
+		"fnv":     hashCodes,
+		"collide": func([]uint32) uint64 { return 42 },
+	}
+	for hname, h := range hashers {
+		for _, seed := range []int64{11, 23} {
+			t.Run(fmt.Sprintf("%s/seed=%d", hname, seed), func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed))
+				in := randomInstance(80, seed)
+				snap := NewSnapshot(in)
+				// Seed the cache with indexes built under the chosen hasher
+				// so migration inherits it.
+				for _, pos := range posSets {
+					cx := buildCodeIndex(snap, pos, h)
+					snap.cxMu.Lock()
+					if snap.cxCache == nil {
+						snap.cxCache = make(map[string]*CodeIndex)
+					}
+					snap.cxCache[posKey(pos)] = cx
+					snap.cxMu.Unlock()
+				}
+				fresh := 0
+				for round := 0; round < 30; round++ {
+					v0 := snap.Version()
+					mutateRandom(r, in, 1+r.Intn(6), &fresh)
+					entries, ok := in.ChangesSince(v0)
+					if !ok {
+						t.Fatalf("round %d: changelog truncated", round)
+					}
+					snap = snap.Apply(entries)
+					for _, pos := range posSets {
+						cx := snap.CodeIndexOn(pos) // the migrated index
+						ix := BuildIndex(in, pos)
+						if got, want := codeIndexGroupSets(cx), indexGroupSets(ix); !reflect.DeepEqual(got, want) {
+							t.Fatalf("round %d pos %v: groups diverge:\n got %v\nwant %v", round, pos, got, want)
+						}
+						ids := in.IDs()
+						for i := 0; i < 10 && i < len(ids); i++ {
+							tup, _ := in.Tuple(ids[r.Intn(len(ids))])
+							if got, want := cx.Lookup(tup), ix.Lookup(tup); !reflect.DeepEqual(got, want) {
+								t.Fatalf("round %d pos %v: Lookup(%v) = %v, want %v", round, pos, tup, got, want)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChangelogBasics pins the ChangesSince contract: contiguity,
+// truncation, disabled logging, and cache eviction on truncation.
+func TestChangelogBasics(t *testing.T) {
+	in := NewInstance(customerSchema())
+	if _, ok := in.ChangesSince(0); !ok {
+		t.Fatal("empty instance cannot answer ChangesSince(0)")
+	}
+	id := in.MustInsert(Int(1), Int(2), Int(3), Str("a"), Str("b"), Str("c"), Str("d"))
+	in.Update(id, 3, Str("a2"))
+	in.Delete(id)
+	entries, ok := in.ChangesSince(0)
+	if !ok || len(entries) != 3 {
+		t.Fatalf("ChangesSince(0) = %v, %v; want 3 entries", entries, ok)
+	}
+	want := []ChangeEntry{
+		{Version: 1, Op: ChangeInsert, TID: id, Pos: -1},
+		{Version: 2, Op: ChangeUpdate, TID: id, Pos: 3},
+		{Version: 3, Op: ChangeDelete, TID: id, Pos: -1},
+	}
+	if !reflect.DeepEqual(entries, want) {
+		t.Fatalf("entries = %v, want %v", entries, want)
+	}
+	if sub, ok := in.ChangesSince(2); !ok || len(sub) != 1 || sub[0].Op != ChangeDelete {
+		t.Fatalf("ChangesSince(2) = %v, %v", sub, ok)
+	}
+	if _, ok := in.ChangesSince(99); ok {
+		t.Fatal("ChangesSince beyond the current version succeeded")
+	}
+
+	// Truncation: a tiny cap drops old entries and strands old readers.
+	in2 := NewInstance(customerSchema())
+	in2.SetChangelogCap(4)
+	for i := 0; i < 10; i++ {
+		in2.MustInsert(Int(int64(i)), Int(0), Int(0), Str(""), Str(""), Str(""), Str(""))
+	}
+	if _, ok := in2.ChangesSince(0); ok {
+		t.Fatal("truncated changelog still answers ChangesSince(0)")
+	}
+	if got, ok := in2.ChangesSince(in2.Version() - 1); !ok || len(got) != 1 {
+		t.Fatalf("recent ChangesSince = %v, %v", got, ok)
+	}
+
+	// Disabled logging (n <= 0, including the 0 boundary): nothing is
+	// retained, and logging does not silently resume on later mutations.
+	in3 := NewInstance(customerSchema())
+	in3.SetChangelogCap(0)
+	in3.MustInsert(Int(1), Int(0), Int(0), Str(""), Str(""), Str(""), Str(""))
+	if _, ok := in3.ChangesSince(0); ok {
+		t.Fatal("disabled changelog answered ChangesSince")
+	}
+	if in3.ChangelogLen() != 0 {
+		t.Fatalf("disabled changelog retained %d entries", in3.ChangelogLen())
+	}
+	// With logging disabled, a mutation strands the cached snapshot and
+	// must evict it (there is no truncation event to do it later).
+	SnapshotOf(in3)
+	in3.MustInsert(Int(2), Int(0), Int(0), Str(""), Str(""), Str(""), Str(""))
+	in3.mu.Lock()
+	alive := in3.snapCache
+	in3.mu.Unlock()
+	if alive != nil {
+		t.Fatal("stranded snapshot still cached under disabled logging")
+	}
+}
+
+// TestSnapshotCacheEvictedOnTruncation asserts the bounded-cache
+// satellite: when the changelog is truncated past the cached snapshot's
+// version, the snapshot is dropped instead of being pinned forever.
+func TestSnapshotCacheEvictedOnTruncation(t *testing.T) {
+	in := randomInstance(20, 9)
+	in.SetChangelogCap(8)
+	s := SnapshotOf(in)
+	if in.snapCache != s {
+		t.Fatal("SnapshotOf did not cache")
+	}
+	// Fewer mutations than the cap: the cache must survive (it can still
+	// catch up).
+	fresh := 0
+	mutateRandom(rand.New(rand.NewSource(1)), in, 3, &fresh)
+	in.mu.Lock()
+	alive := in.snapCache
+	in.mu.Unlock()
+	if alive != s {
+		t.Fatal("cache evicted while the changelog still reached it")
+	}
+	// Blow past the cap: truncation strands the snapshot and must evict.
+	mutateRandom(rand.New(rand.NewSource(2)), in, 20, &fresh)
+	in.mu.Lock()
+	alive = in.snapCache
+	in.mu.Unlock()
+	if alive != nil {
+		t.Fatal("stranded snapshot still cached after changelog truncation")
+	}
+}
+
+// TestSnapshotOfCatchesUp asserts SnapshotOf's delta path: after a
+// small mutation batch the returned snapshot shares untouched columns
+// with its predecessor instead of re-interning them.
+func TestSnapshotOfCatchesUp(t *testing.T) {
+	in := randomInstance(100, 13)
+	s1 := SnapshotOf(in)
+	for p := 0; p < in.Schema().Arity(); p++ {
+		s1.Col(p)
+	}
+	id := in.IDs()[3]
+	if err := in.Update(id, 6, Str("z-new")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := SnapshotOf(in)
+	if s2 == s1 {
+		t.Fatal("SnapshotOf returned the stale snapshot")
+	}
+	if s2.Stale() {
+		t.Fatal("SnapshotOf result is stale")
+	}
+	if &s2.cols[0][0] != &s1.cols[0][0] {
+		t.Fatal("catch-up did not share the untouched column")
+	}
+	assertSnapshotsEqual(t, 0, s2, NewSnapshot(in))
+	// A delta larger than the instance falls back to a full rebuild
+	// (fresh dictionaries, nothing shared).
+	for i := 0; i < 120; i++ {
+		fresh := i
+		mutateRandom(rand.New(rand.NewSource(int64(i))), in, 1, &fresh)
+	}
+	s3 := SnapshotOf(in)
+	if s3.dicts[0] == s2.dicts[0] && s3.cols[0] != nil {
+		t.Log("large delta unexpectedly shared dictionaries (heuristic changed?)")
+	}
+	assertSnapshotsEqual(t, 1, s3, NewSnapshot(in))
+}

@@ -1,5 +1,7 @@
 package relation
 
+import "sort"
+
 // CodeIndex is the columnar counterpart of Index: a hash index over a
 // list of attribute positions of a Snapshot, grouping rows that share a
 // projection. Where Index materializes one heap string per tuple and
@@ -191,6 +193,13 @@ func (cx *CodeIndex) Lookup(t Tuple) []TID {
 			return nil
 		}
 		rows := cx.group(e - 1)
+		if len(rows) == 0 {
+			// A group emptied by delta maintenance (apply): its slot stays
+			// in the probe chain but it has no representative to verify
+			// against, so it can never match.
+			idx = (idx + 1) & cx.mask
+			continue
+		}
 		rep := int(rows[0])
 		match := true
 		for i, p := range cx.pos {
@@ -208,6 +217,237 @@ func (cx *CodeIndex) Lookup(t Tuple) []TID {
 		}
 		idx = (idx + 1) & cx.mask
 	}
+}
+
+// apply derives the group index of ns — the snapshot produced by
+// cx.Snapshot().Apply with net delta d, row map rowMap (old row -> new
+// row, -1 = deleted) and firstNew carried rows — by splicing the
+// touched rows out of and into their groups instead of rebuilding:
+//
+//   - If the delta neither inserts nor deletes rows nor updates any
+//     indexed position, the whole index is shared structurally (same
+//     arena, spans, probe table) — O(1).
+//   - Otherwise only the moved rows (updated on an indexed position, or
+//     inserted) are hashed and probed; every other row keeps its group
+//     assignment, remapped by a straight copy. Group ordinals are
+//     preserved, so the probe table is carried over verbatim; new
+//     groups append. A group whose members all leave keeps its slot in
+//     the probe chain but can never match again (no representative) —
+//     when such dead groups outnumber the live ones the index falls
+//     back to a full rebuild, as it does when the delta stops being
+//     small relative to the snapshot.
+//
+// Hash collisions remain verified, never trusted: a moved row joins a
+// group only after its code sequence is compared against a group
+// member's (codes are comparable across the two snapshots because
+// Snapshot.Apply shares the append-only dictionaries).
+func (cx *CodeIndex) apply(ns *Snapshot, d *Delta, rowMap []int32, firstNew int) *CodeIndex {
+	// movedOld: old rows leaving their group because an indexed position
+	// was updated (deleted rows are handled via rowMap).
+	var movedOld map[int32]bool
+	var movedNew []int32 // new rows to (re)place, ascending
+	for id, ps := range d.Updated {
+		touched := false
+		for _, p := range ps {
+			for _, q := range cx.pos {
+				if p == q {
+					touched = true
+					break
+				}
+			}
+			if touched {
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		row, ok := cx.snap.Row(id)
+		if !ok {
+			continue
+		}
+		if movedOld == nil {
+			movedOld = make(map[int32]bool)
+		}
+		movedOld[int32(row)] = true
+		if rowMap == nil { // identity: structural delta
+			movedNew = append(movedNew, int32(row))
+		} else {
+			movedNew = append(movedNew, rowMap[row])
+		}
+	}
+	if len(d.Inserted) == 0 && len(d.Deleted) == 0 && len(movedNew) == 0 {
+		// Nothing the index can see changed: share everything.
+		return &CodeIndex{snap: ns, pos: cx.pos, hash: cx.hash,
+			arena: cx.arena, starts: cx.starts, rowGroup: cx.rowGroup,
+			table: cx.table, mask: cx.mask}
+	}
+	nNew := ns.Len()
+	if len(cx.table) == 0 || len(movedNew)+len(d.Inserted)+len(d.Deleted) > nNew/4 {
+		return buildCodeIndex(ns, cx.pos, cx.hash)
+	}
+	sort.Slice(movedNew, func(i, j int) bool { return movedNew[i] < movedNew[j] })
+	for nr := firstNew; nr < nNew; nr++ {
+		movedNew = append(movedNew, int32(nr))
+	}
+
+	G := len(cx.starts) - 1
+	counts := make([]int32, G, G+len(movedNew))
+	var newRowGroup []int32
+	if rowMap == nil {
+		// Structural delta: rows did not shift, so group assignments
+		// memcpy over, counts fall out of the span widths, and only the
+		// moved rows leave their groups.
+		newRowGroup = append([]int32(nil), cx.rowGroup...)
+		for i := range counts {
+			counts[i] = cx.starts[i+1] - cx.starts[i]
+		}
+		for _, nr := range movedNew {
+			counts[cx.rowGroup[nr]]--
+		}
+	} else {
+		// Carry over every surviving, unmoved row with its old group.
+		newRowGroup = make([]int32, nNew)
+		for oldRow, gi := range cx.rowGroup {
+			nr := rowMap[oldRow]
+			if nr < 0 || movedOld[int32(oldRow)] {
+				continue
+			}
+			newRowGroup[nr] = gi
+			counts[gi]++
+		}
+	}
+
+	// Place the moved rows through a copy of the probe table. Old group
+	// keys are read from the old snapshot's frozen columns (any old
+	// member row carries the key, even one that just left); new groups'
+	// keys from the new snapshot.
+	oldCols := make([][]uint32, len(cx.pos))
+	newCols := make([][]uint32, len(cx.pos))
+	for i, p := range cx.pos {
+		oldCols[i] = cx.snap.Col(p)
+		newCols[i] = ns.Col(p)
+	}
+	// The probe table is shared until a write is needed (a batch whose
+	// moved rows all land in existing groups — the common steady state —
+	// never copies it).
+	table := cx.table
+	tableOwned := false
+	mask := cx.mask
+	var newReps []int32 // group ordinal - G -> representative new row
+	matches := func(gi int32, codes []uint32) bool {
+		if int(gi) < G {
+			rows := cx.group(gi)
+			if len(rows) == 0 {
+				return false // dead before this delta: key unrecoverable
+			}
+			rep := rows[0]
+			for i := range codes {
+				if oldCols[i][rep] != codes[i] {
+					return false
+				}
+			}
+			return true
+		}
+		rep := newReps[int(gi)-G]
+		for i := range codes {
+			if newCols[i][rep] != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	codes := make([]uint32, len(cx.pos))
+	for _, nr := range movedNew {
+		for i := range newCols {
+			codes[i] = newCols[i][nr]
+		}
+		// Keep the load factor <= 1/2 counting every slot ever assigned
+		// (dead groups still occupy probe slots).
+		if uint64(len(counts)+1)*2 > uint64(len(table)) {
+			size := uint64(len(table)) * 2
+			table = make([]int32, size)
+			tableOwned = true
+			mask = size - 1
+			reseat := make([]uint32, len(cx.pos))
+			for gi := 0; gi < len(counts); gi++ {
+				var rep int32
+				if gi < G {
+					rows := cx.group(int32(gi))
+					if len(rows) == 0 {
+						continue // dead: drop from the grown table
+					}
+					rep = rows[0]
+					for i := range reseat {
+						reseat[i] = oldCols[i][rep]
+					}
+				} else {
+					rep = newReps[gi-G]
+					for i := range reseat {
+						reseat[i] = newCols[i][rep]
+					}
+				}
+				idx := cx.hash(reseat) & mask
+				for table[idx] != 0 {
+					idx = (idx + 1) & mask
+				}
+				table[idx] = int32(gi) + 1
+			}
+		}
+		idx := cx.hash(codes) & mask
+		for {
+			e := table[idx]
+			if e == 0 {
+				if !tableOwned {
+					table = append([]int32(nil), table...)
+					tableOwned = true
+				}
+				gi := int32(len(counts))
+				table[idx] = gi + 1
+				counts = append(counts, 1)
+				newReps = append(newReps, nr)
+				newRowGroup[nr] = gi
+				break
+			}
+			if matches(e-1, codes) {
+				newRowGroup[nr] = e - 1
+				counts[e-1]++
+				break
+			}
+			idx = (idx + 1) & mask
+		}
+	}
+
+	// Dead-group hygiene: when emptied groups outnumber live ones the
+	// spliced index wastes probe slots and span bookkeeping — rebuild.
+	empty := 0
+	for _, c := range counts {
+		if c == 0 {
+			empty++
+		}
+	}
+	if empty*2 > len(counts) {
+		return buildCodeIndex(ns, cx.pos, cx.hash)
+	}
+
+	// Lay the groups out contiguously again (groups keep their ordinal,
+	// rows ascend within each span because the fill walks rows in order).
+	G2 := len(counts)
+	starts := make([]int32, G2+1)
+	for i, c := range counts {
+		starts[i+1] = starts[i] + c
+	}
+	cur := counts // reuse as fill cursors
+	copy(cur, starts[:G2])
+	arena := make([]int32, nNew)
+	rg := newRowGroup
+	for nr := 0; nr < nNew; nr++ {
+		gi := rg[nr]
+		arena[cur[gi]] = int32(nr)
+		cur[gi]++
+	}
+	return &CodeIndex{snap: ns, pos: cx.pos, hash: cx.hash,
+		arena: arena, starts: starts, rowGroup: rg, table: table, mask: mask}
 }
 
 // Positions returns the indexed attribute positions.

@@ -1,5 +1,7 @@
 package relation
 
+import "sync"
+
 // Dict is a per-attribute dictionary interning Values as dense uint32
 // codes: two values receive the same code iff they are Equal. Snapshots
 // build one Dict per attribute so that tuple cells become fixed-width
@@ -11,7 +13,18 @@ package relation
 // integral float equals the same integer) and then dispatched by kind to
 // Go's fast int64/string map paths; the rare remaining kinds (null,
 // bool, non-integral floats) go through a small fallback map.
+//
+// Dict is append-only: a code, once assigned, never changes meaning.
+// That is what makes incremental snapshot maintenance sound — when
+// Snapshot.Apply derives a new snapshot it shares the old snapshot's
+// dictionaries and interns only the changed cells, and every code held
+// by the old snapshot's columns (and by any CodeIndex over them) stays
+// valid. Because an old snapshot's readers may look codes up while a
+// catch-up appends, the maps are guarded by an RWMutex; the bulk
+// interning of a whole column during a snapshot build runs on a private
+// unpublished Dict and pays no locking per cell.
 type Dict struct {
+	mu    sync.RWMutex
 	ints  map[int64]uint32  // KindInt (and integral floats, canonicalized)
 	strs  map[string]uint32 // KindString
 	other map[Value]uint32  // null, bool, non-integral floats
@@ -52,6 +65,14 @@ func canonicalValue(v Value) Value {
 // slot); within-group RHS comparisons still use Value.Equal, under
 // which NaN ≠ NaN, so detection semantics match the legacy path.
 func (d *Dict) Intern(v Value) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.intern(v)
+}
+
+// intern is Intern without the lock, for bulk column builds over a
+// not-yet-published Dict.
+func (d *Dict) intern(v Value) uint32 {
 	c := canonicalValue(v)
 	if c.kind == KindFloat && c.f != c.f { // NaN
 		if d.nan != nil {
@@ -97,6 +118,8 @@ func (d *Dict) Intern(v Value) uint32 {
 // uses the miss case to prune pattern rows whose constants do not occur
 // in the column at all.
 func (d *Dict) Code(v Value) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	c := canonicalValue(v)
 	if c.kind == KindFloat && c.f != c.f { // NaN
 		if d.nan != nil {
@@ -119,7 +142,15 @@ func (d *Dict) Code(v Value) (uint32, bool) {
 
 // Value decodes a code back to a value Equal to every value interned
 // under it (the first one interned is returned verbatim).
-func (d *Dict) Value(code uint32) Value { return d.vals[code] }
+func (d *Dict) Value(code uint32) Value {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vals[code]
+}
 
 // Len returns the number of distinct values interned.
-func (d *Dict) Len() int { return len(d.vals) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vals)
+}

@@ -104,6 +104,12 @@ type Instance struct {
 	mu        sync.Mutex
 	ids       []TID     // cached sorted TID slice; nil when invalidated
 	snapCache *Snapshot // version-keyed columnar snapshot (SnapshotOf)
+
+	// Bounded changelog (see changelog.go): entries for versions
+	// (logStart, version], oldest dropped when the cap is exceeded.
+	log      []ChangeEntry
+	logStart uint64 // version just before the earliest retained entry
+	logCap   int    // 0 = defaultChangelogCap, < 0 = disabled
 }
 
 // NewInstance returns an empty instance of the schema.
@@ -144,6 +150,7 @@ func (in *Instance) Insert(t Tuple) (TID, error) {
 		// element visible through a previously returned slice.
 		in.ids = append(in.ids, id)
 	}
+	in.logAppend(ChangeInsert, id, -1)
 	in.mu.Unlock()
 	return id, nil
 }
@@ -168,6 +175,7 @@ func (in *Instance) Delete(id TID) bool {
 	in.version++
 	in.mu.Lock()
 	in.ids = nil
+	in.logAppend(ChangeDelete, id, -1)
 	in.mu.Unlock()
 	return true
 }
@@ -196,6 +204,9 @@ func (in *Instance) Update(id TID, pos int, v Value) error {
 	nt[pos] = v
 	in.tuples[id] = nt
 	in.version++
+	in.mu.Lock()
+	in.logAppend(ChangeUpdate, id, pos)
+	in.mu.Unlock()
 	return nil
 }
 
@@ -224,25 +235,48 @@ func (in *Instance) IDs() []TID {
 }
 
 // SnapshotOf returns the version-keyed cached columnar snapshot of the
-// instance, building one when none exists or the data has changed since
-// the last build. Snapshots are immutable, so repeated detection over an
-// unchanged instance (the steady state of a serving system) reuses the
-// interned columns and group indexes outright; any Insert, Delete or
-// Update bumps the version and the next call rebuilds. Safe for
-// concurrent readers; concurrent cache misses may build twice, last
+// instance, building one when none exists. Snapshots are immutable, so
+// repeated detection over an unchanged instance (the steady state of a
+// serving system) reuses the interned columns and group indexes
+// outright. When the instance has been mutated since the last build,
+// the cached snapshot catches up through the changelog instead of
+// rebuilding: Snapshot.Apply shares every unchanged code column and
+// group index and re-interns only the changed cells, so a batch of k
+// updates against an n-tuple instance costs O(k) dictionary work plus
+// array copies, not a fresh O(n) freeze-intern-index pass. A cache that
+// has fallen behind a truncated changelog — or further behind than half
+// the instance — falls back to the full rebuild. Safe for concurrent
+// readers; concurrent cache misses may build (or catch up) twice, last
 // stored wins (both results are equivalent).
 func SnapshotOf(in *Instance) *Snapshot {
 	in.mu.Lock()
-	if s := in.snapCache; s != nil && s.version == in.version {
-		in.mu.Unlock()
+	s := in.snapCache
+	v := in.version
+	in.mu.Unlock()
+	if s != nil && s.version == v {
 		return s
 	}
-	in.mu.Unlock()
-	s := NewSnapshot(in)
+	if s != nil {
+		if entries, ok := in.ChangesSince(s.version); ok && catchUpWorthwhile(len(entries), len(s.ids)) {
+			s = s.Apply(entries)
+		} else {
+			s = NewSnapshot(in)
+		}
+	} else {
+		s = NewSnapshot(in)
+	}
 	in.mu.Lock()
 	in.snapCache = s
 	in.mu.Unlock()
 	return s
+}
+
+// catchUpWorthwhile decides delta catch-up vs full rebuild: replaying a
+// delta comparable in size to the instance costs more than a fresh
+// build (every touched cell pays a hash probe on the catch-up path but
+// rides the bulk intern on the build path).
+func catchUpWorthwhile(deltaLen, rows int) bool {
+	return deltaLen <= rows/2+64
 }
 
 // Tuples returns the tuples in TID order.
@@ -286,10 +320,14 @@ func (in *Instance) Weight(id TID, pos int) float64 {
 }
 
 // Clone returns a deep copy of the instance (same TIDs and weights).
+// The changelog is not copied: the clone starts with an empty log, so
+// derived structures of the original cannot catch up against the clone.
 func (in *Instance) Clone() *Instance {
 	out := NewInstance(in.schema)
 	out.nextID = in.nextID
 	out.version = in.version
+	out.logStart = in.version
+	out.logCap = in.logCap
 	for id, t := range in.tuples {
 		out.tuples[id] = t.Clone()
 	}

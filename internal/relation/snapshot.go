@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Snapshot is a frozen columnar view of an Instance: tuples in ascending
@@ -30,11 +31,13 @@ type Snapshot struct {
 	source  *Instance
 	schema  *Schema
 	version uint64
-	ids     []TID      // row -> TID, ascending
-	tuples  []Tuple    // row -> tuple, frozen at build time
+	ids     []TID         // row -> TID, ascending
+	tuples  []Tuple       // row -> tuple, frozen at build time
+	over    map[int]Tuple // sparse overlay of updated rows over a shared tuples array (Apply)
 	once    []sync.Once
-	cols    [][]uint32 // cols[attr][row], nil until interned
-	dicts   []*Dict    // one per attribute, nil until interned
+	built   []atomic.Bool // built[attr]: cols/dicts[attr] published (set after once fires)
+	cols    [][]uint32    // cols[attr][row], nil until interned
+	dicts   []*Dict       // one per attribute, nil until interned
 
 	// cxMu guards cxCache, the per-position-set CodeIndex cache
 	// (CodeIndexOn). Snapshots are immutable, so a group index never
@@ -61,6 +64,7 @@ func NewSnapshot(in *Instance) *Snapshot {
 		ids:     ids,
 		tuples:  make([]Tuple, len(ids)),
 		once:    make([]sync.Once, arity),
+		built:   make([]atomic.Bool, arity),
 		cols:    make([][]uint32, arity),
 		dicts:   make([]*Dict, arity),
 	}
@@ -71,16 +75,24 @@ func NewSnapshot(in *Instance) *Snapshot {
 	return s
 }
 
-// ensure interns column p if it has not been yet.
+// ensure interns column p if it has not been yet. The fresh Dict is
+// private until published, so the bulk pass pays no per-cell locking.
 func (s *Snapshot) ensure(p int) {
 	s.once[p].Do(func() {
 		d := NewDict()
-		col := make([]uint32, len(s.tuples))
-		for row, t := range s.tuples {
-			col[row] = d.Intern(t[p])
+		col := make([]uint32, len(s.ids))
+		if s.over == nil {
+			for row, t := range s.tuples {
+				col[row] = d.intern(t[p])
+			}
+		} else {
+			for row := range col {
+				col[row] = d.intern(s.TupleAt(row)[p])
+			}
 		}
 		s.cols[p] = col
 		s.dicts[p] = d
+		s.built[p].Store(true)
 	})
 }
 
@@ -94,9 +106,17 @@ func (s *Snapshot) Len() int { return len(s.ids) }
 func (s *Snapshot) TID(row int) TID { return s.ids[row] }
 
 // TupleAt returns the frozen tuple at a dense row index — an array
-// access, unlike Instance.Tuple's map lookup. The tuple must not be
-// modified.
-func (s *Snapshot) TupleAt(row int) Tuple { return s.tuples[row] }
+// access, unlike Instance.Tuple's map lookup (snapshots derived by
+// Apply may route a few recently-updated rows through a sparse
+// overlay). The tuple must not be modified.
+func (s *Snapshot) TupleAt(row int) Tuple {
+	if s.over != nil {
+		if t, ok := s.over[row]; ok {
+			return t
+		}
+	}
+	return s.tuples[row]
+}
 
 // Row maps a tuple identifier to its dense row index by binary search
 // over the ascending TID array.
@@ -172,7 +192,203 @@ func posKey(pos []int) string {
 // Version returns the instance version the snapshot was built at.
 func (s *Snapshot) Version() uint64 { return s.version }
 
+// Source returns the instance the snapshot was frozen from.
+func (s *Snapshot) Source() *Instance { return s.source }
+
 // Stale reports whether the source instance has been mutated (Insert,
 // Delete or Update) since the snapshot was built.
 func (s *Snapshot) Stale() bool { return s.source.Version() != s.version }
 
+// Apply derives the snapshot of the source instance's current state
+// from this snapshot plus the changelog entries recorded since it was
+// built (exactly the slice ChangesSince(s.Version()) returns). It is
+// the incremental-maintenance counterpart of NewSnapshot: instead of
+// re-freezing and re-interning the whole instance it
+//
+//   - structurally shares every interned code column untouched by the
+//     delta (same backing array — zero work) when no row was inserted
+//     or deleted, and otherwise splices columns with a straight copy
+//     (no per-cell hashing);
+//   - shares the per-attribute dictionaries outright — Dict is
+//     append-only, so every code frozen into the old columns stays
+//     valid — and interns only the changed cells (O(|Δ|) hash work);
+//   - migrates every cached CodeIndex to the new snapshot via the same
+//     splice-not-rebuild strategy (see CodeIndex apply).
+//
+// The old snapshot remains fully usable (its columns are never written;
+// shared dictionaries only grow), which is what lets the detect.Monitor
+// diff detection results between the pre- and post-batch snapshots.
+//
+// Apply must not run concurrently with mutations of the source
+// instance (the usual single-writer contract); concurrent readers of
+// either snapshot are fine.
+func (s *Snapshot) Apply(entries []ChangeEntry) *Snapshot {
+	if len(entries) == 0 {
+		return s
+	}
+	d := NetDelta(entries)
+	in := s.source
+	arity := s.schema.Arity()
+	nOld := len(s.ids)
+	// structural: no row was inserted or deleted, so row indexes are
+	// stable and everything row-shaped can be shared or memcpy'd.
+	structural := len(d.Inserted) == 0 && len(d.Deleted) == 0
+
+	ns := &Snapshot{
+		source:  in,
+		schema:  s.schema,
+		version: entries[len(entries)-1].Version,
+		once:    make([]sync.Once, arity),
+		built:   make([]atomic.Bool, arity),
+		cols:    make([][]uint32, arity),
+		dicts:   make([]*Dict, arity),
+	}
+
+	// rowMap: old row -> new row, -1 for deleted rows; nil means the
+	// identity (structural deltas). Surviving rows keep their relative
+	// order; inserted TIDs are strictly larger than every pre-existing
+	// TID, so they all append at the tail.
+	var rowMap []int32
+	firstNew := nOld
+	if structural {
+		ns.ids = s.ids // shared: immutable
+		// Updated tuples ride a sparse overlay over the shared tuples
+		// array (the instance replaces tuples copy-on-write, so the
+		// current pointer reflects every update of the delta). The
+		// overlay is copied forward each Apply (the old snapshot's
+		// readers share the old map), so it is compacted into a flat
+		// copy once it stops being small relative to the batch — that
+		// keeps the per-batch copy O(|Δ|) and amortizes the flat copies
+		// over many batches, instead of letting a long stream of small
+		// batches accumulate an ever-growing map that each batch re-pays.
+		over := make(map[int]Tuple, len(s.over)+len(d.Updated))
+		for row, t := range s.over {
+			over[row] = t
+		}
+		for id := range d.Updated {
+			if t, ok := in.Tuple(id); ok {
+				row, _ := s.Row(id)
+				over[row] = t
+			}
+		}
+		if len(over) > max(256, 4*len(d.Updated)) || len(over) > nOld/8+64 {
+			flat := make([]Tuple, nOld)
+			copy(flat, s.tuples)
+			for row, t := range over {
+				flat[row] = t
+			}
+			ns.tuples = flat
+		} else {
+			ns.tuples = s.tuples
+			ns.over = over
+		}
+	} else {
+		deleted := make(map[TID]bool, len(d.Deleted))
+		for _, id := range d.Deleted {
+			deleted[id] = true
+		}
+		rowMap = make([]int32, nOld)
+		newIDs := make([]TID, 0, nOld-len(d.Deleted)+len(d.Inserted))
+		tuples := make([]Tuple, 0, nOld-len(d.Deleted)+len(d.Inserted))
+		for row, id := range s.ids {
+			if deleted[id] {
+				rowMap[row] = -1
+				continue
+			}
+			rowMap[row] = int32(len(newIDs))
+			newIDs = append(newIDs, id)
+			tuples = append(tuples, s.TupleAt(row))
+		}
+		firstNew = len(newIDs)
+		for _, id := range d.Inserted {
+			t, _ := in.Tuple(id)
+			newIDs = append(newIDs, id)
+			tuples = append(tuples, t)
+		}
+		for id := range d.Updated {
+			if t, ok := in.Tuple(id); ok {
+				row, _ := s.Row(id)
+				tuples[rowMap[row]] = t
+			}
+		}
+		ns.ids = newIDs
+		ns.tuples = tuples
+	}
+	// newRowOf maps a surviving pre-existing TID to its new row.
+	newRowOf := func(id TID) int32 {
+		row, _ := s.Row(id)
+		if rowMap == nil {
+			return int32(row)
+		}
+		return rowMap[row]
+	}
+
+	// Columns. Only columns the old snapshot interned are materialized;
+	// the rest stay lazy on the new snapshot too.
+	posTouched := make([]bool, arity)
+	for _, ps := range d.Updated {
+		for _, p := range ps {
+			posTouched[p] = true
+		}
+	}
+	for p := 0; p < arity; p++ {
+		if !s.built[p].Load() {
+			continue
+		}
+		dict := s.dicts[p]
+		if structural && !posTouched[p] {
+			// Untouched column, same rows: share the backing array.
+			ns.cols[p] = s.cols[p]
+			ns.dicts[p] = dict
+			ns.once[p].Do(func() {})
+			ns.built[p].Store(true)
+			continue
+		}
+		col := make([]uint32, len(ns.ids))
+		old := s.cols[p]
+		if structural {
+			copy(col, old)
+		} else {
+			for row, c := range old {
+				if nr := rowMap[row]; nr >= 0 {
+					col[nr] = c
+				}
+			}
+		}
+		for id, ps := range d.Updated {
+			for _, q := range ps {
+				if q == p {
+					nr := newRowOf(id)
+					col[nr] = dict.Intern(ns.TupleAt(int(nr))[p])
+					break
+				}
+			}
+		}
+		for i := range d.Inserted {
+			nr := firstNew + i
+			col[nr] = dict.Intern(ns.tuples[nr][p])
+		}
+		ns.cols[p] = col
+		ns.dicts[p] = dict
+		ns.once[p].Do(func() {})
+		ns.built[p].Store(true)
+	}
+
+	// Migrate the cached group indexes: every index the old snapshot
+	// carried is spliced onto the new one, so steady-state detection
+	// (the Monitor, or SnapshotOf-backed engines) never rebuilds an
+	// index it already had.
+	s.cxMu.Lock()
+	oldCache := make(map[string]*CodeIndex, len(s.cxCache))
+	for k, cx := range s.cxCache {
+		oldCache[k] = cx
+	}
+	s.cxMu.Unlock()
+	if len(oldCache) > 0 {
+		ns.cxCache = make(map[string]*CodeIndex, len(oldCache))
+		for k, cx := range oldCache {
+			ns.cxCache[k] = cx.apply(ns, &d, rowMap, firstNew)
+		}
+	}
+	return ns
+}

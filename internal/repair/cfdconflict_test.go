@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cfd"
 	"repro/internal/denial"
+	"repro/internal/detect"
 	"repro/internal/gen"
 	"repro/internal/relation"
 )
@@ -73,6 +74,35 @@ func TestBuildCFDHypergraphExhaustivePairs(t *testing.T) {
 			t.Fatalf("enumerated repair %v violates the key", kept)
 		}
 	}
+}
+
+// BuildCFDHypergraphOn over a detect.Monitor's maintained snapshot must
+// agree with the from-scratch path, across a mutation that the monitor
+// absorbs incrementally.
+func TestBuildCFDHypergraphOnMonitorSnapshot(t *testing.T) {
+	in := gen.Customers(gen.CustomerConfig{N: 200, Seed: 31, ErrorRate: 0.1})
+	s := in.Schema()
+	sigma := []*cfd.CFD{
+		cfd.MustFD(s, []string{"CC", "zip"}, []string{"street"}),
+		cfd.MustFD(s, []string{"CC", "AC"}, []string{"city"}),
+	}
+	m := detect.NewMonitor(nil, in, sigma)
+	check := func() {
+		t.Helper()
+		got := BuildCFDHypergraphOn(m.Snapshot(), sigma)
+		want := BuildCFDHypergraph(in, sigma)
+		if len(got.Vertices) != len(want.Vertices) || len(got.Edges) != len(want.Edges) {
+			t.Fatalf("hypergraph on monitor snapshot has %d vertices / %d edges, fresh build %d / %d",
+				len(got.Vertices), len(got.Edges), len(want.Vertices), len(want.Edges))
+		}
+	}
+	check()
+	id := in.IDs()[0]
+	tup, _ := in.Tuple(id)
+	if _, _, err := m.Apply([]detect.Op{detect.Update(id, 4, relation.Str(tup[4].StrVal()+"-x"))}); err != nil {
+		t.Fatal(err)
+	}
+	check()
 }
 
 // Single-tuple constant violations must become unary hyperedges: the only

@@ -60,24 +60,36 @@ func BuildHypergraph(db *relation.Database, dcs []denial.DC) (*Hypergraph, error
 }
 
 // BuildCFDHypergraph assembles the conflict hypergraph of a single
-// instance w.r.t. a set of CFDs, gathering the violations through the
-// parallel detection engine: vertices are the instance's tuples and every
-// violation contributes a hyperedge — {t} for a single-tuple constant
-// clash, {t1, t2} for a pair violation (deduplicated across RHS
-// attributes and pattern rows, which add no new conflicts between the
-// same tuples). Gathering uses the engine's exhaustive pair mode, so
-// conflicts between non-representative group members are present and
-// every enumerated X-repair really satisfies Σ.
+// instance w.r.t. a set of CFDs over the instance's current snapshot
+// (relation.SnapshotOf — cached, and caught up via the changelog after
+// mutations rather than re-frozen). Callers that already hold a
+// snapshot or a detect.Monitor should use BuildCFDHypergraphOn with it.
 func BuildCFDHypergraph(in *relation.Instance, sigma []*cfd.CFD) *Hypergraph {
-	name := in.Schema().Name()
+	return BuildCFDHypergraphOn(relation.SnapshotOf(in), sigma)
+}
+
+// BuildCFDHypergraphOn assembles the conflict hypergraph of a frozen
+// snapshot w.r.t. a set of CFDs, gathering the violations through the
+// parallel detection engine: vertices are the snapshot's tuples and
+// every violation contributes a hyperedge — {t} for a single-tuple
+// constant clash, {t1, t2} for a pair violation (deduplicated across
+// RHS attributes and pattern rows, which add no new conflicts between
+// the same tuples). Gathering uses the engine's exhaustive pair mode,
+// so conflicts between non-representative group members are present and
+// every enumerated X-repair really satisfies Σ. Detection shares the
+// snapshot's cached group indexes, so iterating repair loops that keep
+// the snapshot warm (e.g. through a detect.Monitor) pay only for the
+// violation scan.
+func BuildCFDHypergraphOn(snap *relation.Snapshot, sigma []*cfd.CFD) *Hypergraph {
+	name := snap.Schema().Name()
 	h := &Hypergraph{index: make(map[denial.TupleRef]int)}
-	for _, id := range in.IDs() {
-		ref := denial.TupleRef{Rel: name, TID: id}
+	for row := 0; row < snap.Len(); row++ {
+		ref := denial.TupleRef{Rel: name, TID: snap.TID(row)}
 		h.index[ref] = len(h.Vertices)
 		h.Vertices = append(h.Vertices, ref)
 	}
 	seen := make(map[[2]int]bool)
-	for _, v := range detectEngine.DetectAllExhaustive(in, sigma) {
+	for _, v := range detectEngine.DetectAllExhaustiveOn(snap, sigma) {
 		a := h.index[denial.TupleRef{Rel: name, TID: v.T1}]
 		b := h.index[denial.TupleRef{Rel: name, TID: v.T2}]
 		if a > b {

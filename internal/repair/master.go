@@ -61,7 +61,10 @@ func RepairWithMaster(in *relation.Instance, sigma []*cfd.CFD, master *relation.
 		}
 	}
 
-	dirtyTIDs := cfd.ViolatingTIDs(detectEngine.DetectAll(in, sigma))
+	// Detect over the instance's cached snapshot: during iterating repair
+	// runs the snapshot catches up from the changelog after each in-place
+	// Update instead of being re-frozen per call.
+	dirtyTIDs := cfd.ViolatingTIDs(detectEngine.DetectAllOn(relation.SnapshotOf(in), sigma))
 	masterIDs := master.IDs()
 	for _, id := range dirtyTIDs {
 		t, ok := in.Tuple(id)

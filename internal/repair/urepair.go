@@ -66,7 +66,10 @@ func RepairCFDs(in *relation.Instance, sigma []*cfd.CFD, opts URepairOptions) (U
 			}
 		}
 		if !changed {
-			if !detectEngine.SatisfiesAll(in, sigma) {
+			// The snapshot behind SatisfiesAllOn catches up from the
+			// changelog across passes (each pass's Updates are a small
+			// delta), so per-pass checking is incremental, not a re-freeze.
+			if !detectEngine.SatisfiesAllOn(relation.SnapshotOf(in), sigma) {
 				return report, fmt.Errorf("repair: fixpoint reached but Σ still violated")
 			}
 			for _, ch := range report.Changes {
@@ -75,7 +78,7 @@ func RepairCFDs(in *relation.Instance, sigma []*cfd.CFD, opts URepairOptions) (U
 			return report, nil
 		}
 	}
-	if detectEngine.SatisfiesAll(in, sigma) {
+	if detectEngine.SatisfiesAllOn(relation.SnapshotOf(in), sigma) {
 		for _, ch := range report.Changes {
 			report.Cost += ch.Cost
 		}
