@@ -349,6 +349,25 @@ var experiments = []experiment{
 				n, monT.Round(time.Microsecond), rebuildT.Round(time.Microsecond), ratio, exact), exact && ratio > 3
 		},
 	},
+	{
+		id:    "E24",
+		title: "Mixed-class detection: CFDs+CINDs+eCFDs on one engine",
+		claim: "one DBSnapshot serves every class; CIND detection sheds its per-rule index builds and string probes",
+		run: func(quick bool) (string, bool) {
+			n := 20000
+			if quick {
+				n = 4000
+			}
+			engineT, legacyT, identical := mixedDetectProbe(n)
+			ratio := float64(legacyT) / float64(engineT)
+			// Identity gates; the ratio is reported, not asserted — this
+			// row runs in CI, and a one-shot wall-clock ratio on a shared
+			// runner is noise, not signal (BenchmarkDetectMixed carries
+			// the measured speedup tables).
+			return fmt.Sprintf("n=%d orders: mixed engine batch %v, per-class legacy detectors %v (%.1fx); per-class streams byte-identical: %v",
+				n, engineT.Round(time.Microsecond), legacyT.Round(time.Microsecond), ratio, identical), identical
+		},
+	},
 }
 
 // --- probe helpers -------------------------------------------------------
@@ -831,6 +850,66 @@ func masterRepairProbe() (consRestored, masterRestored, corrupted int, ok bool) 
 	}
 	masterRestored, _ = repair.RestoredAccuracy(dirty, guided, truth)
 	return consRestored, masterRestored, corrupted, cfd.SatisfiesAll(guided, sigma)
+}
+
+// mixedDetectProbe measures one warm mixed-class engine batch against
+// the per-class legacy detectors on an order/book/CD database, and
+// verifies the engine's per-class streams are byte-identical to them.
+func mixedDetectProbe(n int) (engine, legacy time.Duration, identical bool) {
+	db := gen.Orders(gen.OrdersConfig{Books: n / 4, CDs: n / 4, Orders: n, Seed: 17, ViolationRate: 0.05})
+	order := db.MustInstance("order")
+	s := order.Schema()
+	cfds := []*cfd.CFD{
+		cfd.MustFD(s, []string{"title"}, []string{"price"}),
+		cfd.MustFD(s, []string{"title", "price", "type"}, []string{"asin"}),
+	}
+	phi4, phi5, phi6 := figure4CINDs()
+	cinds := []*cind.CIND{phi4, phi5, phi6}
+	ecfds := []*ecfd.ECFD{
+		ecfd.MustNew(s, []string{"title"}, []string{"type"},
+			ecfd.Row{LHS: []ecfd.Cell{ecfd.Any()},
+				RHS: []ecfd.Cell{ecfd.In(relation.Str("book"), relation.Str("CD"))}}),
+	}
+	var cs []detect.Constraint
+	cs = append(cs, detect.WrapCFDs(cfds)...)
+	cs = append(cs, detect.WrapCINDs(cinds)...)
+	cs = append(cs, detect.WrapECFDs(ecfds)...)
+
+	e := detect.New(1)
+	e.DetectBatch(db, cs) // warm the DBSnapshot and shared indexes
+	start := time.Now()
+	got := e.DetectBatch(db, cs)
+	engine = time.Since(start)
+
+	start = time.Now()
+	wantCFD := cfd.DetectAll(order, cfds)
+	wantCIND := cind.DetectAll(db, cinds)
+	wantECFD := ecfd.DetectAll(order, ecfds)
+	legacy = time.Since(start)
+
+	gotCFD, gotCIND, gotECFD := detect.SplitViolations(got)
+	identical = len(gotCFD) == len(wantCFD) && len(gotCIND) == len(wantCIND) && len(gotECFD) == len(wantECFD)
+	if identical {
+		for i := range gotCFD {
+			if gotCFD[i] != wantCFD[i] {
+				identical = false
+				break
+			}
+		}
+		for i := range gotCIND {
+			if gotCIND[i] != wantCIND[i] {
+				identical = false
+				break
+			}
+		}
+		for i := range gotECFD {
+			if gotECFD[i] != wantECFD[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	return engine, legacy, identical
 }
 
 // monitorIncrProbe measures the steady-state monitoring cost: `batches`

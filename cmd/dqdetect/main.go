@@ -1,24 +1,28 @@
-// Command dqdetect loads CSV relations and a CFD rule file and reports
-// every violation — the Section 2 use of conditional dependencies:
-// "catch inconsistencies and errors that emerge as violations of the
-// dependencies".
+// Command dqdetect loads CSV relations and rule files — CFDs, CINDs and
+// eCFDs — and reports every violation: the Section 2 use of conditional
+// dependencies, "catch inconsistencies and errors that emerge as
+// violations of the dependencies", over the whole dependency family.
 //
 // Usage:
 //
-//	dqdetect -data customer=customer.csv -rules rules.cfd [-max 20] [-workers 8]
-//	dqdetect -data customer=customer.csv -rules rules.cfd -follow updates.log
+//	dqdetect -data customer=customer.csv -cfds rules.cfd [-max 20] [-workers 8]
+//	dqdetect -data order=order.csv -data book=book.csv -cinds rules.cind -ecfds rules.ecfd
+//	dqdetect -data customer=customer.csv -cfds rules.cfd -follow updates.log
 //
-// Detection runs on the internal/detect engine: each relation is frozen
-// once into a columnar snapshot, rules over the same relation share LHS
-// code indexes, and per-rule work fans out across a worker pool
-// (-workers, default one per CPU). -legacy pins the engine to the
-// string-keyed index path for comparison runs.
+// Detection runs on the internal/detect engine: the whole database is
+// frozen once into a columnar DBSnapshot, rules of every class share
+// group indexes by (relation, position set), and per-rule work fans out
+// across a worker pool (-workers, default one per CPU). -legacy pins
+// the engine to the string-keyed index path for comparison runs.
+// -rules is an alias of -cfds, kept for compatibility.
 //
 // -follow switches from one-shot batch detection to monitoring: after
 // the initial report, the update log is replayed batch by batch through
-// a stateful detect.Monitor per relation, printing the violations each
-// batch gained and cleared — steady-state cost proportional to the
-// touched groups, not the instance. The log is line-oriented:
+// one stateful detect.DBMonitor over the whole database, printing the
+// violations each batch gained and cleared — steady-state cost
+// proportional to the touched groups, not the instances. A batch may
+// mix relations (a CIND's source and target in one commit); the log is
+// line-oriented:
 //
 //	insert customer 44,131,1234567,Mike,Mayfield,NYC,EH4 8LE
 //	update customer 3 city=EDI
@@ -29,10 +33,16 @@
 // accumulated so far (EOF commits the tail implicitly); values parse
 // like the relation's CSV cells.
 //
-// The rule file uses the cfd text format:
+// Rule files use the class text formats:
 //
 //	cfd customer: [CC, zip] -> [street]
 //	  44, _ || _
+//
+//	cind order[title, price; type] <= book[title, price; format]
+//	  book ||
+//
+//	ecfd customer: [city] -> [AC]
+//	  notin{NYC,LI} || _
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -47,7 +58,9 @@ import (
 	"strings"
 
 	"repro/internal/cfd"
+	"repro/internal/cind"
 	"repro/internal/detect"
+	"repro/internal/ecfd"
 	"repro/internal/relation"
 )
 
@@ -68,17 +81,24 @@ func (d dataFlags) Set(v string) error {
 func main() {
 	data := dataFlags{}
 	flag.Var(data, "data", "relation=path.csv (repeatable)")
-	rulesPath := flag.String("rules", "", "CFD rule file")
-	max := flag.Int("max", 0, "max violations to print (0 = all)")
+	cfdsPath := flag.String("cfds", "", "CFD rule file")
+	rulesPath := flag.String("rules", "", "alias of -cfds")
+	cindsPath := flag.String("cinds", "", "CIND rule file")
+	ecfdsPath := flag.String("ecfds", "", "eCFD rule file")
+	max := flag.Int("max", 0, "max violations to print per rule (0 = all)")
 	workers := flag.Int("workers", 0, "detection worker pool size (0 = one per CPU)")
 	legacy := flag.Bool("legacy", false, "use the string-keyed index path instead of columnar snapshots")
 	follow := flag.String("follow", "", "replay an update log through a stateful monitor after the initial report")
 	flag.Parse()
-	if len(data) == 0 || *rulesPath == "" {
+	if *cfdsPath == "" {
+		*cfdsPath = *rulesPath
+	}
+	if len(data) == 0 || (*cfdsPath == "" && *cindsPath == "" && *ecfdsPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	db := relation.NewDatabase()
 	instances := make(map[string]*relation.Instance)
 	schemas := make(map[string]*relation.Schema)
 	for name, path := range data {
@@ -91,82 +111,65 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		db.Add(in)
 		instances[name] = in
 		schemas[name] = in.Schema()
 		fmt.Printf("loaded %s: %d tuples\n", name, in.Len())
 	}
 
-	rf, err := os.Open(*rulesPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rules, err := cfd.Parse(rf, schemas)
-	rf.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("loaded %d CFDs\n", len(rules))
-
-	if ok, _ := cfd.Consistent(rules); !ok {
-		log.Fatal("the rule set is inconsistent: no nonempty instance can satisfy it (fix the rules first)")
-	}
-
-	// Batch the rules per relation so the engine can share LHS indexes
-	// across them. The stream delivers each CFD's violations as one
-	// contiguous run in Σ order, so per-rule reports fall out without a
-	// global re-sort. In -follow mode the monitors are seeded first and
-	// the initial report reads their violation sets, so the full
-	// detection is paid exactly once.
-	engine := &detect.Engine{Workers: *workers, Legacy: *legacy}
-	byRel := make(map[string][]*cfd.CFD)
-	for _, c := range rules {
-		byRel[c.Schema().Name()] = append(byRel[c.Schema().Name()], c)
-	}
-	perCFD := make(map[*cfd.CFD][]cfd.Violation)
-	var monitors map[string]*detect.Monitor
-	if *follow != "" {
-		// One monitor per loaded relation; relations without rules get an
-		// empty-Σ monitor so their ops still apply through the same path.
-		monitors = make(map[string]*detect.Monitor)
-		for name, in := range instances {
-			monitors[name] = detect.NewMonitor(engine, in, byRel[name])
-			for _, v := range monitors[name].Violations() {
-				perCFD[v.CFD] = append(perCFD[v.CFD], v)
-			}
+	// Assemble the mixed batch Σ: CFDs, then CINDs, then eCFDs, each in
+	// file order.
+	var rules []detect.Constraint
+	if *cfdsPath != "" {
+		cfds := parseRules(*cfdsPath, schemas, cfd.Parse)
+		fmt.Printf("loaded %d CFDs\n", len(cfds))
+		if ok, _ := cfd.Consistent(cfds); !ok {
+			log.Fatal("the CFD set is inconsistent: no nonempty instance can satisfy it (fix the rules first)")
 		}
-		// Match the batch-mode report: each CFD's run in per-CFD detect
-		// order (Row, T1, T2, Attr), as DetectAllStream delivers it.
-		for _, vs := range perCFD {
-			sort.Slice(vs, func(i, j int) bool {
-				if vs[i].Row != vs[j].Row {
-					return vs[i].Row < vs[j].Row
-				}
-				if vs[i].T1 != vs[j].T1 {
-					return vs[i].T1 < vs[j].T1
-				}
-				if vs[i].T2 != vs[j].T2 {
-					return vs[i].T2 < vs[j].T2
-				}
-				return vs[i].Attr < vs[j].Attr
-			})
+		rules = append(rules, detect.WrapCFDs(cfds)...)
+	}
+	if *cindsPath != "" {
+		cinds := parseRules(*cindsPath, schemas, cind.Parse)
+		fmt.Printf("loaded %d CINDs\n", len(cinds))
+		rules = append(rules, detect.WrapCINDs(cinds)...)
+	}
+	if *ecfdsPath != "" {
+		ecfds := parseRules(*ecfdsPath, schemas, ecfd.Parse)
+		fmt.Printf("loaded %d eCFDs\n", len(ecfds))
+		rules = append(rules, detect.WrapECFDs(ecfds)...)
+	}
+
+	// One detection pass for the whole mixed batch: every rule reads the
+	// same DBSnapshot, rules sharing a (relation, position set) share one
+	// group index, and the stream delivers each rule's violations as one
+	// contiguous run in Σ order, so per-rule reports fall out without a
+	// global re-sort. In -follow mode the monitor is seeded first and the
+	// initial report reads its violation set, so the full detection is
+	// paid exactly once.
+	engine := &detect.Engine{Workers: *workers, Legacy: *legacy}
+	perDep := make(map[any][]detect.Violation)
+	var monitor *detect.DBMonitor
+	if *follow != "" {
+		monitor = detect.NewDBMonitor(engine, db, rules)
+		for _, v := range monitor.Violations() {
+			perDep[depOf(v)] = append(perDep[depOf(v)], v)
+		}
+		// Match the batch-mode report: each rule's run in per-rule detect
+		// order, as the stream delivers it.
+		for _, vs := range perDep {
+			sortDetectOrder(vs)
 		}
 	} else {
-		for name, set := range byRel {
-			in, ok := instances[name]
-			if !ok {
-				continue
-			}
-			engine.DetectAllStream(in, set, func(v cfd.Violation) {
-				perCFD[v.CFD] = append(perCFD[v.CFD], v)
-			})
-		}
+		engine.DetectBatchStream(db, rules, func(v detect.Violation) {
+			perDep[depOf(v)] = append(perDep[depOf(v)], v)
+		})
 	}
 	total := 0
 	for _, c := range rules {
-		vs := perCFD[c]
+		vs := perDep[c.Dep()]
 		total += len(vs)
 		if len(vs) > 0 {
-			fmt.Printf("\n%v\n", c)
+			fmt.Printf("\n%v\n", c.Dep())
 			for i, v := range vs {
 				if *max > 0 && i >= *max {
 					fmt.Printf("  ... and %d more\n", len(vs)-i)
@@ -179,7 +182,7 @@ func main() {
 	fmt.Printf("\ntotal violations: %d\n", total)
 
 	if *follow != "" {
-		outstanding, err := followLog(*follow, monitors, instances, *max)
+		outstanding, err := followLog(*follow, monitor, instances, *max)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -193,51 +196,110 @@ func main() {
 	}
 }
 
-// followLog replays the update log through the pre-seeded per-relation
-// monitors, printing each batch's gained/cleared diff, and returns the
-// number of violations outstanding at EOF.
-func followLog(path string, monitors map[string]*detect.Monitor, instances map[string]*relation.Instance, max int) (int, error) {
+// parseRules opens and parses one rule file with the class parser.
+func parseRules[T any](path string, schemas map[string]*relation.Schema,
+	parse func(r io.Reader, schemas map[string]*relation.Schema) ([]T, error)) []T {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rules, err := parse(f, schemas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rules
+}
+
+// depOf returns the dependency a violation is attributed to.
+func depOf(v detect.Violation) any {
+	switch v := v.(type) {
+	case cfd.Violation:
+		return v.CFD
+	case cind.Violation:
+		return v.CIND
+	case ecfd.Violation:
+		return v.ECFD
+	}
+	return nil
+}
+
+// sortDetectOrder sorts one rule's violations into its class's per-rule
+// detect order — (Row, T1, T2, Attr), with a CIND's TID standing in for
+// T1 — the order the engine stream delivers contiguous runs in.
+func sortDetectOrder(vs []detect.Violation) {
+	key := func(v detect.Violation) (int, relation.TID, relation.TID, int) {
+		switch v := v.(type) {
+		case cfd.Violation:
+			return v.Row, v.T1, v.T2, v.Attr
+		case cind.Violation:
+			return v.Row, v.TID, 0, 0
+		case ecfd.Violation:
+			return v.Row, v.T1, v.T2, v.Attr
+		}
+		return 0, 0, 0, 0
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		r1, a1, b1, p1 := key(vs[i])
+		r2, a2, b2, p2 := key(vs[j])
+		if r1 != r2 {
+			return r1 < r2
+		}
+		if a1 != a2 {
+			return a1 < a2
+		}
+		if b1 != b2 {
+			return b1 < b2
+		}
+		return p1 < p2
+	})
+}
+
+// followLog replays the update log through the pre-seeded database
+// monitor — each commit is one multi-relation batch — printing each
+// batch's gained/cleared diff, and returns the number of violations
+// outstanding at EOF.
+func followLog(path string, m *detect.DBMonitor, instances map[string]*relation.Instance, max int) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
 
-	batches := make(map[string][]detect.Op) // relation -> pending ops
+	var batch []detect.DBOp
 	batchNo := 0
 	commit := func() error {
-		if len(batches) == 0 {
+		if len(batch) == 0 {
 			return nil
 		}
 		batchNo++
-		// Deterministic per-relation order within a batch.
-		names := make([]string, 0, len(batches))
-		for name := range batches {
+		gained, cleared, err := m.Apply(batch)
+		if err != nil {
+			return fmt.Errorf("batch %d: %v", batchNo, err)
+		}
+		rels := make(map[string]bool)
+		for _, op := range batch {
+			rels[op.Rel] = true
+		}
+		names := make([]string, 0, len(rels))
+		for name := range rels {
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		for _, name := range names {
-			ops := batches[name]
-			m := monitors[name]
-			gained, cleared, err := m.Apply(ops)
-			if err != nil {
-				return fmt.Errorf("batch %d: %v", batchNo, err)
-			}
-			fmt.Printf("batch %d: %s: %d op(s), +%d violation(s), -%d cleared, %d outstanding\n",
-				batchNo, name, len(ops), len(gained), len(cleared), m.Len())
-			printSome := func(label string, vs []cfd.Violation) {
-				for i, v := range vs {
-					if max > 0 && i >= max {
-						fmt.Printf("  %s ... and %d more\n", label, len(vs)-i)
-						break
-					}
-					fmt.Printf("  %s %v\n", label, v)
+		fmt.Printf("batch %d: %s: %d op(s), +%d violation(s), -%d cleared, %d outstanding\n",
+			batchNo, strings.Join(names, ","), len(batch), len(gained), len(cleared), m.Len())
+		printSome := func(label string, vs []detect.Violation) {
+			for i, v := range vs {
+				if max > 0 && i >= max {
+					fmt.Printf("  %s ... and %d more\n", label, len(vs)-i)
+					break
 				}
+				fmt.Printf("  %s %v\n", label, v)
 			}
-			printSome("+", gained)
-			printSome("-", cleared)
 		}
-		batches = make(map[string][]detect.Op)
+		printSome("+", gained)
+		printSome("-", cleared)
+		batch = nil
 		return nil
 	}
 
@@ -255,11 +317,11 @@ func followLog(path string, monitors map[string]*detect.Monitor, instances map[s
 			}
 			continue
 		}
-		op, rel, err := parseOp(text, instances)
+		op, err := parseOp(text, instances)
 		if err != nil {
 			return 0, fmt.Errorf("%s:%d: %v", path, line, err)
 		}
-		batches[rel] = append(batches[rel], op)
+		batch = append(batch, op)
 	}
 	if err := sc.Err(); err != nil {
 		return 0, err
@@ -267,31 +329,18 @@ func followLog(path string, monitors map[string]*detect.Monitor, instances map[s
 	if err := commit(); err != nil { // implicit commit of the tail
 		return 0, err
 	}
-	outstanding := 0
-	names := make([]string, 0, len(monitors))
-	for name := range monitors {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		m := monitors[name]
-		if m.Len() > 0 {
-			fmt.Printf("%s: %d violation(s) outstanding\n", name, m.Len())
-		}
-		outstanding += m.Len()
-	}
-	fmt.Printf("replayed %d batch(es); %d violation(s) outstanding\n", batchNo, outstanding)
-	return outstanding, nil
+	fmt.Printf("replayed %d batch(es); %d violation(s) outstanding\n", batchNo, m.Len())
+	return m.Len(), nil
 }
 
 // parseOp parses one update-log line (insert/update/delete) against the
 // loaded relations' schemas.
-func parseOp(text string, instances map[string]*relation.Instance) (detect.Op, string, error) {
+func parseOp(text string, instances map[string]*relation.Instance) (detect.DBOp, error) {
 	verb, rest, _ := strings.Cut(text, " ")
 	rel, rest, _ := strings.Cut(strings.TrimSpace(rest), " ")
 	in, ok := instances[rel]
 	if !ok {
-		return detect.Op{}, "", fmt.Errorf("unknown relation %q", rel)
+		return detect.DBOp{}, fmt.Errorf("unknown relation %q", rel)
 	}
 	s := in.Schema()
 	rest = strings.TrimSpace(rest)
@@ -301,49 +350,49 @@ func parseOp(text string, instances map[string]*relation.Instance) (detect.Op, s
 		cr := csv.NewReader(strings.NewReader(rest))
 		rec, err := cr.Read()
 		if err != nil {
-			return detect.Op{}, "", fmt.Errorf("insert %s: %v", rel, err)
+			return detect.DBOp{}, fmt.Errorf("insert %s: %v", rel, err)
 		}
 		if len(rec) != s.Arity() {
-			return detect.Op{}, "", fmt.Errorf("insert %s: %d fields, want %d", rel, len(rec), s.Arity())
+			return detect.DBOp{}, fmt.Errorf("insert %s: %d fields, want %d", rel, len(rec), s.Arity())
 		}
 		t := make(relation.Tuple, len(rec))
 		for i, cell := range rec {
 			v, err := relation.ParseValue(s.Attr(i).Domain.Kind(), cell)
 			if err != nil {
-				return detect.Op{}, "", fmt.Errorf("insert %s column %s: %v", rel, s.Attr(i).Name, err)
+				return detect.DBOp{}, fmt.Errorf("insert %s column %s: %v", rel, s.Attr(i).Name, err)
 			}
 			t[i] = v
 		}
-		return detect.Insert(t), rel, nil
+		return detect.InsertInto(rel, t), nil
 	case "delete":
 		id, err := strconv.Atoi(rest)
 		if err != nil {
-			return detect.Op{}, "", fmt.Errorf("delete %s: bad TID %q", rel, rest)
+			return detect.DBOp{}, fmt.Errorf("delete %s: bad TID %q", rel, rest)
 		}
-		return detect.Delete(relation.TID(id)), rel, nil
+		return detect.DeleteFrom(rel, relation.TID(id)), nil
 	case "update":
 		idText, assign, ok := strings.Cut(rest, " ")
 		if !ok {
-			return detect.Op{}, "", fmt.Errorf("update %s: want \"update %s <tid> <attr>=<value>\"", rel, rel)
+			return detect.DBOp{}, fmt.Errorf("update %s: want \"update %s <tid> <attr>=<value>\"", rel, rel)
 		}
 		id, err := strconv.Atoi(idText)
 		if err != nil {
-			return detect.Op{}, "", fmt.Errorf("update %s: bad TID %q", rel, idText)
+			return detect.DBOp{}, fmt.Errorf("update %s: bad TID %q", rel, idText)
 		}
 		attr, valText, ok := strings.Cut(assign, "=")
 		if !ok {
-			return detect.Op{}, "", fmt.Errorf("update %s: want <attr>=<value>, got %q", rel, assign)
+			return detect.DBOp{}, fmt.Errorf("update %s: want <attr>=<value>, got %q", rel, assign)
 		}
 		pos, ok := s.Lookup(strings.TrimSpace(attr))
 		if !ok {
-			return detect.Op{}, "", fmt.Errorf("update %s: no attribute %q", rel, attr)
+			return detect.DBOp{}, fmt.Errorf("update %s: no attribute %q", rel, attr)
 		}
 		v, err := relation.ParseValue(s.Attr(pos).Domain.Kind(), valText)
 		if err != nil {
-			return detect.Op{}, "", fmt.Errorf("update %s.%s: %v", rel, attr, err)
+			return detect.DBOp{}, fmt.Errorf("update %s.%s: %v", rel, attr, err)
 		}
-		return detect.Update(relation.TID(id), pos, v), rel, nil
+		return detect.UpdateIn(rel, relation.TID(id), pos, v), nil
 	default:
-		return detect.Op{}, "", fmt.Errorf("unknown op %q (want insert/update/delete/commit)", verb)
+		return detect.DBOp{}, fmt.Errorf("unknown op %q (want insert/update/delete/commit)", verb)
 	}
 }

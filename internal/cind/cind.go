@@ -18,6 +18,8 @@ package cind
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/relation"
@@ -190,49 +192,131 @@ func (v Violation) String() string {
 		v.CIND, v.TID, v.CIND.src.Name(), v.CIND.dst.Name(), v.Row)
 }
 
+// TargetKeyPos returns the target index positions Y ∪ Yp, in the order
+// the detection probe key is built (Y first, then Yp) — the position
+// set whose target-relation index DetectAll and the detection engine
+// share across every CIND with the same target shape.
+func (c *CIND) TargetKeyPos() []int {
+	return append(append(make([]int, 0, len(c.y)+len(c.yp)), c.y...), c.yp...)
+}
+
+// SourceGroupPos returns the source grouping positions X ∪ Xp (X order
+// first, then the Xp positions not already in X): all tuples of one
+// group agree on the embedded-IND key and on every pattern attribute,
+// so the snapshot path evaluates each group with one pattern check and
+// one target probe. A CIND whose X ∪ Xp equals a CFD's LHS position
+// set shares that CFD's group index in the engine planner.
+func (c *CIND) SourceGroupPos() []int {
+	out := append(make([]int, 0, len(c.x)+len(c.xp)), c.x...)
+	for _, p := range c.xp {
+		seen := false
+		for _, q := range c.x {
+			if q == p {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Satisfies reports (D1, D2) ⊨ ψ for the instances of ψ's relations in db.
 func Satisfies(db *relation.Database, c *CIND) bool {
-	return len(detect(db, c, true)) == 0
+	var d detector
+	return len(d.detect(db, c, true)) == 0
 }
 
 // SatisfiesAll reports db ⊨ Σ.
 func SatisfiesAll(db *relation.Database, set []*CIND) bool {
+	var d detector // share target indexes across the set, like DetectAll
 	for _, c := range set {
-		if !Satisfies(db, c) {
+		if len(d.detect(db, c, true)) != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Detect returns all violations of ψ in db: source tuples matching some
-// pattern row with no corresponding target tuple.
+// Detect returns all violations of ψ in db — source tuples matching some
+// pattern row with no corresponding target tuple — in the canonical
+// per-CIND order (Row, then TID).
 func Detect(db *relation.Database, c *CIND) []Violation {
-	return detect(db, c, false)
+	var d detector
+	return d.detect(db, c, false)
 }
 
-// DetectAll combines Detect over a set.
+// DetectAll combines Detect over a set in the canonical reporting order
+// (see SortViolations). One target index per distinct (target relation,
+// key positions) and one probe key buffer are shared across the whole
+// set instead of being rebuilt per CIND.
 func DetectAll(db *relation.Database, set []*CIND) []Violation {
 	var out []Violation
+	var d detector
 	for _, c := range set {
-		out = append(out, Detect(db, c)...)
+		out = append(out, d.detect(db, c, false)...)
 	}
+	SortViolations(out)
 	return out
 }
 
-func detect(db *relation.Database, c *CIND, firstOnly bool) []Violation {
-	var out []Violation
-	src, ok := db.Instance(c.src.Name())
-	if !ok {
-		return nil // missing source relation: vacuously satisfied
+// SortViolations sorts a combined violation slice into the canonical
+// reporting order: (TID, Row), stably, so violations of distinct CINDs
+// that tie on both keys keep the Σ order they were gathered in — the
+// CIND counterpart of cfd.SortViolations, and the comparator the
+// detection engine merges mixed batches with.
+func SortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		if vs[i].TID != vs[j].TID {
+			return vs[i].TID < vs[j].TID
+		}
+		return vs[i].Row < vs[j].Row
+	})
+}
+
+// detector carries the state one detection batch shares across CINDs:
+// the target indexes keyed by (relation, key positions) — building one
+// costs a full pass over the target relation, which used to dominate
+// DetectAll for sets over few targets — and the probe key buffer, so
+// the per-probe cost is appending value keys to a reused []byte instead
+// of a strings.Builder and a projected tuple per source tuple.
+type detector struct {
+	ixs    map[string]*relation.Index
+	keyBuf []byte
+}
+
+// targetIndex returns the shared index of the target relation on keyPos,
+// building it on first request. A missing target relation indexes as
+// empty (every probe misses), matching an empty instance.
+func (d *detector) targetIndex(db *relation.Database, c *CIND, keyPos []int) *relation.Index {
+	key := c.dst.Name()
+	for _, p := range keyPos {
+		key += "," + strconv.Itoa(p)
+	}
+	if ix, ok := d.ixs[key]; ok {
+		return ix
 	}
 	dst, ok := db.Instance(c.dst.Name())
 	if !ok {
 		dst = relation.NewInstance(c.dst) // empty target
 	}
-	// Index the target on Y ∪ Yp once.
-	keyPos := append(append([]int(nil), c.y...), c.yp...)
 	ix := relation.BuildIndex(dst, keyPos)
+	if d.ixs == nil {
+		d.ixs = make(map[string]*relation.Index)
+	}
+	d.ixs[key] = ix
+	return ix
+}
+
+func (d *detector) detect(db *relation.Database, c *CIND, firstOnly bool) []Violation {
+	var out []Violation
+	src, ok := db.Instance(c.src.Name())
+	if !ok {
+		return nil // missing source relation: vacuously satisfied
+	}
+	ix := d.targetIndex(db, c, c.TargetKeyPos())
 	for rowIdx, row := range c.tableau {
 		for _, id := range src.IDs() {
 			t, _ := src.Tuple(id)
@@ -247,17 +331,15 @@ func detect(db *relation.Database, c *CIND, firstOnly bool) []Violation {
 				continue
 			}
 			// Want a target tuple with t2[Y] = t1[X] and t2[Yp] = tp[Yp].
-			want := make(relation.Tuple, 0, len(c.x)+len(c.yp))
+			key := d.keyBuf[:0]
 			for _, p := range c.x {
-				want = append(want, t[p])
+				key = append(t[p].AppendKey(key), '\x01')
 			}
-			want = append(want, row.YpVals...)
-			var key strings.Builder
-			for _, v := range want {
-				key.WriteString(v.Key())
-				key.WriteByte('\x01')
+			for _, v := range row.YpVals {
+				key = append(v.AppendKey(key), '\x01')
 			}
-			if len(ix.LookupKey(key.String())) == 0 {
+			d.keyBuf = key
+			if len(ix.LookupKeyBytes(key)) == 0 {
 				out = append(out, Violation{CIND: c, Row: rowIdx, TID: id})
 				if firstOnly {
 					return out

@@ -1,0 +1,224 @@
+package cind
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Text format for CINDs, mirroring the cfd/ecfd rule files:
+//
+//	cind order[title, price; type] <= book[title, price; format]
+//	  book || audio
+//
+// The header names the embedded IND R1[X] ⊆ R2[Y] with the pattern
+// attribute lists Xp and Yp after the semicolons (an empty or omitted
+// list means no pattern side). Each pattern row gives constants for Xp,
+// then '||', then constants for Yp; a CIND with no pattern attributes
+// and no rows is a traditional IND. Blank lines and '#' comments are
+// ignored; values parse like the relation's CSV cells.
+
+// Parse reads CINDs in the text format; schemas are resolved by relation
+// name.
+func Parse(r io.Reader, schemas map[string]*relation.Schema) ([]*CIND, error) {
+	sc := bufio.NewScanner(r)
+	var out []*CIND
+	// Rows are validated through New, which needs the whole tableau, so
+	// the parser accumulates per-CIND state and flushes on the next
+	// header (or EOF).
+	var hdr *header
+	var rows []PatternRow
+	line, hdrLine := 0, 0
+	flush := func() error {
+		if hdr == nil {
+			return nil
+		}
+		c, err := New(hdr.src, hdr.dst, hdr.x, hdr.y, hdr.xp, hdr.yp, rows...)
+		if err != nil {
+			return fmt.Errorf("cind: line %d: %v", hdrLine, err)
+		}
+		out = append(out, c)
+		hdr, rows = nil, nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if strings.HasPrefix(text, "cind ") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			h, err := parseHeader(text[5:], schemas)
+			if err != nil {
+				return nil, fmt.Errorf("cind: line %d: %v", line, err)
+			}
+			hdr, hdrLine = h, line
+			continue
+		}
+		if hdr == nil {
+			return nil, fmt.Errorf("cind: line %d: pattern row before any 'cind' header", line)
+		}
+		row, err := parsePatternRow(text, hdr)
+		if err != nil {
+			return nil, fmt.Errorf("cind: line %d: %v", line, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, schemas map[string]*relation.Schema) ([]*CIND, error) {
+	return Parse(strings.NewReader(s), schemas)
+}
+
+// header is one parsed 'cind' line before New validates it.
+type header struct {
+	src, dst     *relation.Schema
+	x, xp, y, yp []string
+	xpPos, ypPos []int
+}
+
+func parseHeader(s string, schemas map[string]*relation.Schema) (*header, error) {
+	lhsPart, rhsPart, ok := strings.Cut(s, "<=")
+	if !ok {
+		return nil, fmt.Errorf("header %q: want 'R1[X; Xp] <= R2[Y; Yp]'", s)
+	}
+	src, x, xp, err := parseSide(lhsPart, schemas)
+	if err != nil {
+		return nil, err
+	}
+	dst, y, yp, err := parseSide(rhsPart, schemas)
+	if err != nil {
+		return nil, err
+	}
+	h := &header{src: src, dst: dst, x: x, xp: xp, y: y, yp: yp}
+	if h.xpPos, err = src.Positions(xp); err != nil {
+		return nil, err
+	}
+	if h.ypPos, err = dst.Positions(yp); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// parseSide parses one "rel[A, B; C]" term into its schema, the
+// correspondence attributes and the pattern attributes.
+func parseSide(s string, schemas map[string]*relation.Schema) (*relation.Schema, []string, []string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return nil, nil, nil, fmt.Errorf("term %q: want 'rel[attrs; pattern-attrs]'", s)
+	}
+	schema, ok := schemas[strings.TrimSpace(s[:open])]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown relation %q", strings.TrimSpace(s[:open]))
+	}
+	inner := s[open+1 : len(s)-1]
+	corr, patt, _ := strings.Cut(inner, ";")
+	names, err := splitNames(corr)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("term %q: %v", s, err)
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("term %q: empty attribute list", s)
+	}
+	pnames, err := splitNames(patt)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("term %q: %v", s, err)
+	}
+	return schema, names, pnames, nil
+}
+
+// splitNames splits a comma-separated attribute list; an empty list is
+// allowed (no pattern attributes).
+func splitNames(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+		if out[i] == "" {
+			return nil, fmt.Errorf("empty attribute in %q", s)
+		}
+	}
+	return out, nil
+}
+
+func parsePatternRow(s string, h *header) (PatternRow, error) {
+	xpPart, ypPart, ok := strings.Cut(s, "||")
+	if !ok {
+		return PatternRow{}, fmt.Errorf("pattern row %q: missing '||'", s)
+	}
+	xv, err := parseConsts(xpPart, h.src, h.xpPos)
+	if err != nil {
+		return PatternRow{}, err
+	}
+	yv, err := parseConsts(ypPart, h.dst, h.ypPos)
+	if err != nil {
+		return PatternRow{}, err
+	}
+	return PatternRow{XpVals: xv, YpVals: yv}, nil
+}
+
+func parseConsts(s string, schema *relation.Schema, pos []int) ([]relation.Value, error) {
+	s = strings.TrimSpace(s)
+	var parts []string
+	if s != "" {
+		parts = strings.Split(s, ",")
+	}
+	if len(parts) != len(pos) {
+		return nil, fmt.Errorf("pattern %q: %d cells, want %d", s, len(parts), len(pos))
+	}
+	out := make([]relation.Value, len(parts))
+	for i, cell := range parts {
+		v, err := relation.ParseValue(schema.Attr(pos[i]).Domain.Kind(), strings.TrimSpace(cell))
+		if err != nil {
+			return nil, fmt.Errorf("cell %q for %s: %v", strings.TrimSpace(cell), schema.Attr(pos[i]).Name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Format renders a CIND set in the Parse text format.
+func Format(w io.Writer, set []*CIND) error {
+	names := func(s *relation.Schema, pos []int) string {
+		parts := make([]string, len(pos))
+		for i, p := range pos {
+			parts[i] = s.Attr(p).Name
+		}
+		return strings.Join(parts, ", ")
+	}
+	for _, c := range set {
+		if _, err := fmt.Fprintf(w, "cind %s[%s; %s] <= %s[%s; %s]\n",
+			c.src.Name(), names(c.src, c.x), names(c.src, c.xp),
+			c.dst.Name(), names(c.dst, c.y), names(c.dst, c.yp)); err != nil {
+			return err
+		}
+		if c.IsIND() {
+			continue // the single empty row is implicit
+		}
+		for _, row := range c.tableau {
+			if _, err := fmt.Fprintf(w, "  %s || %s\n", valsString(row.XpVals), valsString(row.YpVals)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package cind_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+func parseSchemas() map[string]*relation.Schema {
+	return map[string]*relation.Schema{
+		"order": paperdata.OrderSchema(),
+		"book":  paperdata.BookSchema(),
+		"CD":    paperdata.CDSchema(),
+	}
+}
+
+func TestParseFigure4(t *testing.T) {
+	text := `
+# Figure 4 CINDs
+cind order[title, price; type] <= book[title, price; ]
+  book ||
+
+cind order[title, price; type] <= CD[album, price;]
+  CD ||
+
+cind CD[album, price; genre] <= book[title, price; format]
+  a-book || audio
+`
+	set, err := cind.ParseString(text, parseSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("parsed %d CINDs, want 3", len(set))
+	}
+	phi4, phi5, phi6 := figure4()
+	for i, want := range []*cind.CIND{phi4, phi5, phi6} {
+		if got := set[i].String(); got != want.String() {
+			t.Errorf("CIND %d parsed as %s, want %s", i, got, want)
+		}
+	}
+
+	// The parsed set behaves like the hand-built one on Figure 3.
+	db := paperdata.Figure3()
+	if !cind.Satisfies(db, set[0]) || !cind.Satisfies(db, set[1]) {
+		t.Error("parsed ϕ4/ϕ5 should hold on D1")
+	}
+	if cind.Satisfies(db, set[2]) {
+		t.Error("parsed ϕ6 should fail on D1")
+	}
+}
+
+func TestParseIND(t *testing.T) {
+	set, err := cind.ParseString("cind order[title] <= book[title]", parseSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || !set[0].IsIND() {
+		t.Fatalf("want one traditional IND, got %v", set)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"cind order[title] <= nosuch[title]",          // unknown relation
+		"cind order[] <= book[title]",                 // empty X
+		"cind order[title] -> book[title]",            // wrong arrow
+		"book ||",                                     // row before header
+		"cind order[title; type] <= book[title]\n||",  // arity mismatch
+		"cind order[title; asin] <= book[title]\nx 1", // missing ||
+	} {
+		if _, err := cind.ParseString(text, parseSchemas()); err == nil {
+			t.Errorf("ParseString(%q) should fail", text)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	phi4, phi5, phi6 := figure4()
+	ind := cind.MustIND(paperdata.OrderSchema(), paperdata.BookSchema(), []string{"title"}, []string{"title"})
+	set := []*cind.CIND{phi4, phi5, phi6, ind}
+	var b strings.Builder
+	if err := cind.Format(&b, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cind.ParseString(b.String(), parseSchemas())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", b.String(), err)
+	}
+	if len(back) != len(set) {
+		t.Fatalf("round trip lost rules: %d -> %d", len(set), len(back))
+	}
+	for i := range set {
+		if set[i].String() != back[i].String() {
+			t.Errorf("round trip changed %s into %s", set[i], back[i])
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package cind
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Snapshot-backed CIND violation detection: the columnar fast path of
+// the detection engine. These entry points mirror the string-keyed
+// detector exactly — same violations, same (Row, TID) order — but run
+// over relation.Snapshots of the source and target relations and probe
+// the target's relation.CodeIndex by code sequence.
+//
+// The representation is applied where it pays:
+//
+//   - Source tuples are grouped by X ∪ Xp (SourceGroupPos), so pattern
+//     matching and the target probe run once per group, not once per
+//     tuple — the whole group shares the embedded-IND key and every
+//     pattern attribute, so one verdict covers all members.
+//   - Pattern constants compile to dictionary codes once per tableau
+//     row; an Xp constant missing from its source column prunes the
+//     row, and a Yp constant missing from its target column fails every
+//     probe of the row without hashing anything.
+//   - Source X values translate to target Y codes through a per-column
+//     memo (source code → target code), so a value shared by many
+//     groups pays the cross-dictionary lookup once; the probe itself is
+//     CodeIndex.HasCodes over a fixed-width code sequence — no string
+//     key is ever built.
+//
+// The string-keyed path (Detect, DetectAll, ...) remains the
+// compatibility/oracle path; randomized tests in internal/detect assert
+// byte-identical output between the two.
+
+// xlat memoizes cross-dictionary code translation for the embedded IND
+// X → Y: tab[i] maps a source code of column x[i] to the target code of
+// the Equal value in column y[i] (0 = not yet translated, -1 = the
+// value never occurs in the target column, else code+1).
+type xlat struct {
+	src, dst *relation.Snapshot
+	x, y     []int
+	tab      [][]int64
+}
+
+func (t *xlat) code(i int, sc uint32) (uint32, bool) {
+	tb := t.tab[i]
+	if tb == nil {
+		tb = make([]int64, t.src.Dict(t.x[i]).Len())
+		t.tab[i] = tb
+	}
+	if int(sc) >= len(tb) {
+		// The shared dictionary grew past the memo (another snapshot is
+		// interning concurrently); translate directly.
+		c, ok := t.dst.Dict(t.y[i]).Code(t.src.Dict(t.x[i]).Value(sc))
+		return c, ok
+	}
+	switch v := tb[sc]; {
+	case v > 0:
+		return uint32(v - 1), true
+	case v < 0:
+		return 0, false
+	}
+	c, ok := t.dst.Dict(t.y[i]).Code(t.src.Dict(t.x[i]).Value(sc))
+	if ok {
+		tb[sc] = int64(c) + 1
+	} else {
+		tb[sc] = -1
+	}
+	return c, ok
+}
+
+// compiledRow is one pattern row compiled against the snapshots: Xp
+// constants as source codes (dead when a constant cannot match any
+// source tuple) and Yp constants as target codes (ypOK false when some
+// constant never occurs in its target column — every probe of the row
+// misses).
+type compiledRow struct {
+	dead    bool
+	xpCodes []uint32
+	ypOK    bool
+	ypCodes []uint32
+}
+
+// compileRow resolves row's constants against the dictionaries. Xp
+// matching is Value.Equal (a NaN constant equals nothing, even though
+// NaN data values share one code), so a NaN or dictionary-missing
+// constant kills the row; Yp matching follows the string-keyed probe,
+// under which NaN keys collide — exactly what the shared NaN code
+// reproduces — so only a dictionary miss fails it.
+func compileRow(src, dst *relation.Snapshot, c *CIND, row PatternRow) compiledRow {
+	out := compiledRow{xpCodes: make([]uint32, len(c.xp)), ypOK: dst != nil, ypCodes: make([]uint32, len(c.yp))}
+	for j, p := range c.xp {
+		v := row.XpVals[j]
+		if v.Kind() == relation.KindFloat && v.FloatVal() != v.FloatVal() {
+			out.dead = true // NaN constant: matches no tuple
+			return out
+		}
+		code, ok := src.Dict(p).Code(v)
+		if !ok {
+			out.dead = true // constant never occurs in the column
+			return out
+		}
+		out.xpCodes[j] = code
+	}
+	if dst == nil {
+		return out
+	}
+	for j, p := range c.yp {
+		code, ok := dst.Dict(p).Code(row.YpVals[j])
+		if !ok {
+			out.ypOK = false
+			return out
+		}
+		out.ypCodes[j] = code
+	}
+	return out
+}
+
+// SatisfiesWithSnapshot is Satisfies on the columnar path. A nil dst
+// stands for a missing target relation (every probe misses), mirroring
+// the empty instance the string-keyed path substitutes.
+func SatisfiesWithSnapshot(src, dst *relation.Snapshot, c *CIND, srcIx, dstIx *relation.CodeIndex) bool {
+	return len(detectSnap(src, dst, c, srcIx, dstIx, true)) == 0
+}
+
+// DetectWithSnapshot is Detect on the columnar path: all violations of
+// the CIND with source and target frozen in the given snapshots, in
+// (Row, TID) order, byte-identical to the string-keyed detector. A nil
+// src (missing source relation) is vacuously satisfied; a nil dst
+// behaves as an empty target.
+func DetectWithSnapshot(src, dst *relation.Snapshot, c *CIND, srcIx, dstIx *relation.CodeIndex) []Violation {
+	return detectSnap(src, dst, c, srcIx, dstIx, false)
+}
+
+// srcGroupIndex validates that srcIx is an index over src on the CIND's
+// source grouping positions, rebuilding it when it is not (or is nil).
+func srcGroupIndex(src *relation.Snapshot, c *CIND, srcIx *relation.CodeIndex) *relation.CodeIndex {
+	if srcIx == nil || srcIx.Snapshot() != src || !slices.Equal(srcIx.Positions(), c.SourceGroupPos()) {
+		return relation.BuildCodeIndex(src, c.SourceGroupPos())
+	}
+	return srcIx
+}
+
+// dstKeyIndex is srcGroupIndex for the target index on Y ∪ Yp.
+func dstKeyIndex(dst *relation.Snapshot, c *CIND, dstIx *relation.CodeIndex) *relation.CodeIndex {
+	if dstIx == nil || dstIx.Snapshot() != dst || !slices.Equal(dstIx.Positions(), c.TargetKeyPos()) {
+		return relation.BuildCodeIndex(dst, c.TargetKeyPos())
+	}
+	return dstIx
+}
+
+func detectSnap(src, dst *relation.Snapshot, c *CIND, srcIx, dstIx *relation.CodeIndex, firstOnly bool) []Violation {
+	if src == nil || src.Len() == 0 {
+		return nil
+	}
+	srcIx = srcGroupIndex(src, c, srcIx)
+	if dst != nil {
+		dstIx = dstKeyIndex(dst, c, dstIx)
+	}
+	// Hoist the grouped source columns: group-representative pattern
+	// checks and probe-key builds below are pure array reads.
+	gpos := srcIx.Positions()
+	gcols := make([][]uint32, len(gpos))
+	for i, p := range gpos {
+		gcols[i] = src.Col(p)
+	}
+	// xpAt[j] locates Xp position c.xp[j] inside the grouped columns.
+	xpAt := make([]int, len(c.xp))
+	for j, p := range c.xp {
+		for i, q := range gpos {
+			if q == p {
+				xpAt[j] = i
+				break
+			}
+		}
+	}
+	xAt := make([]int, len(c.x))
+	for j := range c.x {
+		xAt[j] = j // SourceGroupPos lays X out first, in order
+	}
+
+	xl := &xlat{src: src, dst: dst, x: c.x, y: c.y, tab: make([][]int64, len(c.x))}
+	probe := make([]uint32, len(c.y)+len(c.yp))
+	var out []Violation
+	for rowIdx, row := range c.tableau {
+		cr := compileRow(src, dst, c, row)
+		if cr.dead {
+			continue
+		}
+		copy(probe[len(c.y):], cr.ypCodes)
+		rowStart := len(out)
+		stop := false
+		srcIx.GroupsWhile(1, func(rows []int32) bool {
+			rep := int(rows[0])
+			for j := range c.xp {
+				if gcols[xpAt[j]][rep] != cr.xpCodes[j] {
+					return true // group fails the pattern
+				}
+			}
+			hit := false
+			if cr.ypOK {
+				hit = true
+				for i := range c.x {
+					tc, ok := xl.code(i, gcols[xAt[i]][rep])
+					if !ok {
+						hit = false // source value absent from the target column
+						break
+					}
+					probe[i] = tc
+				}
+				if hit {
+					hit = dstIx.HasCodes(probe)
+				}
+			}
+			if !hit {
+				for _, r := range rows {
+					out = append(out, Violation{CIND: c, Row: rowIdx, TID: src.TID(int(r))})
+					if firstOnly {
+						stop = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if stop {
+			return out
+		}
+		// Groups iterate in first-appearance order; the canonical per-row
+		// order is ascending TID.
+		seg := out[rowStart:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i].TID < seg[j].TID })
+	}
+	return out
+}
+
+// DetectTouchedWithSnapshot returns the violations of c whose source
+// tuple is among the touched TIDs, in (Row, TID) order — the
+// incremental entry point the monitor diffs between a pre- and a
+// post-batch snapshot pair. Touched TIDs missing from the source
+// snapshot (deleted, or inserted after the freeze) are skipped. Probes
+// run per touched tuple, so no source group index is needed; the target
+// index is validated like DetectWithSnapshot's.
+func DetectTouchedWithSnapshot(src, dst *relation.Snapshot, c *CIND, dstIx *relation.CodeIndex, touched []relation.TID) []Violation {
+	if src == nil || len(touched) == 0 {
+		return nil
+	}
+	if dst != nil {
+		dstIx = dstKeyIndex(dst, c, dstIx)
+	}
+	xpCols := make([][]uint32, len(c.xp))
+	for j, p := range c.xp {
+		xpCols[j] = src.Col(p)
+	}
+	xCols := make([][]uint32, len(c.x))
+	for i, p := range c.x {
+		xCols[i] = src.Col(p)
+	}
+	xl := &xlat{src: src, dst: dst, x: c.x, y: c.y, tab: make([][]int64, len(c.x))}
+	probe := make([]uint32, len(c.y)+len(c.yp))
+	var out []Violation
+	for rowIdx, row := range c.tableau {
+		cr := compileRow(src, dst, c, row)
+		if cr.dead {
+			continue
+		}
+		copy(probe[len(c.y):], cr.ypCodes)
+		rowStart := len(out)
+		for _, id := range touched {
+			r, ok := src.Row(id)
+			if !ok {
+				continue
+			}
+			match := true
+			for j := range c.xp {
+				if xpCols[j][r] != cr.xpCodes[j] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			hit := false
+			if cr.ypOK {
+				hit = true
+				for i := range c.x {
+					tc, ok := xl.code(i, xCols[i][r])
+					if !ok {
+						hit = false
+						break
+					}
+					probe[i] = tc
+				}
+				if hit {
+					hit = dstIx.HasCodes(probe)
+				}
+			}
+			if !hit {
+				out = append(out, Violation{CIND: c, Row: rowIdx, TID: id})
+			}
+		}
+		seg := out[rowStart:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i].TID < seg[j].TID })
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package cind_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// snapDetect runs the snapshot-path detector for c over db the way the
+// engine does: one frozen snapshot per relation, shared group indexes.
+func snapDetect(db *relation.Database, c *cind.CIND) []cind.Violation {
+	dbs := relation.NewDBSnapshot(db)
+	src, _ := dbs.Snapshot(c.Src().Name())
+	dst, _ := dbs.Snapshot(c.Dst().Name())
+	var srcIx, dstIx *relation.CodeIndex
+	if src != nil {
+		srcIx = src.CodeIndexOn(c.SourceGroupPos())
+	}
+	if dst != nil {
+		dstIx = dst.CodeIndexOn(c.TargetKeyPos())
+	}
+	return cind.DetectWithSnapshot(src, dst, c, srcIx, dstIx)
+}
+
+// TestSnapshotMatchesLegacy drives randomized order/book/CD databases —
+// including mutation churn that grows the shared dictionaries — through
+// both detectors and asserts byte-identical output per CIND, and
+// identical Satisfies verdicts.
+func TestSnapshotMatchesLegacy(t *testing.T) {
+	phi4, phi5, phi6 := figure4()
+	sigma := []*cind.CIND{phi4, phi5, phi6}
+	for _, seed := range []int64{1, 7, 23} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			db := gen.Orders(gen.OrdersConfig{Books: 40, CDs: 30, Orders: 300, Seed: seed, ViolationRate: 0.2})
+			for round := 0; round < 8; round++ {
+				mutateOrders(r, db)
+				for i, c := range sigma {
+					legacy := cind.Detect(db, c)
+					snap := snapDetect(db, c)
+					if !reflect.DeepEqual(legacy, snap) {
+						t.Fatalf("seed %d round %d ϕ%d: legacy %d violations, snapshot %d:\nlegacy   %v\nsnapshot %v",
+							seed, round, i+4, len(legacy), len(snap), legacy, snap)
+					}
+					dbs := relation.NewDBSnapshot(db)
+					src, _ := dbs.Snapshot(c.Src().Name())
+					dst, _ := dbs.Snapshot(c.Dst().Name())
+					if got, want := cind.SatisfiesWithSnapshot(src, dst, c, nil, nil), cind.Satisfies(db, c); got != want {
+						t.Fatalf("seed %d round %d ϕ%d: SatisfiesWithSnapshot = %v, legacy %v", seed, round, i+4, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// mutateOrders applies a small random batch across the three relations:
+// order churn (source side), book/CD churn (target side), fresh values
+// included so dictionaries grow.
+func mutateOrders(r *rand.Rand, db *relation.Database) {
+	order := db.MustInstance("order")
+	book := db.MustInstance("book")
+	cd := db.MustInstance("CD")
+	for i := 0; i < 10; i++ {
+		switch r.Intn(6) {
+		case 0:
+			order.MustInsert(relation.Str(fmt.Sprintf("x%d", r.Intn(10000))),
+				relation.Str(fmt.Sprintf("Book Title %d", r.Intn(60))),
+				relation.Str([]string{"book", "CD"}[r.Intn(2)]),
+				relation.Float(float64(5+r.Intn(30))+0.99))
+		case 1:
+			ids := order.IDs()
+			if len(ids) > 0 {
+				order.Delete(ids[r.Intn(len(ids))])
+			}
+		case 2:
+			ids := order.IDs()
+			if len(ids) > 0 {
+				// Retitle an order, sometimes to a brand-new string.
+				title := fmt.Sprintf("Book Title %d", r.Intn(60))
+				if r.Intn(3) == 0 {
+					title = fmt.Sprintf("Ghost %d", r.Intn(100000))
+				}
+				order.Update(ids[r.Intn(len(ids))], 1, relation.Str(title))
+			}
+		case 3:
+			book.MustInsert(relation.Str(fmt.Sprintf("nb%d", r.Intn(10000))),
+				relation.Str(fmt.Sprintf("Book Title %d", r.Intn(60))),
+				relation.Float(float64(5+r.Intn(30))+0.99),
+				relation.Str([]string{"hard-cover", "audio"}[r.Intn(2)]))
+		case 4:
+			ids := book.IDs()
+			if len(ids) > 0 {
+				book.Delete(ids[r.Intn(len(ids))])
+			}
+		default:
+			ids := cd.IDs()
+			if len(ids) > 0 {
+				cd.Update(ids[r.Intn(len(ids))], 3, relation.Str([]string{"a-book", "rock"}[r.Intn(2)]))
+			}
+		}
+	}
+}
+
+// TestSnapshotMissingAndEmptyTargets pins the edge semantics: a missing
+// source relation is vacuous, a missing or empty target relation fails
+// every probe, on both paths.
+func TestSnapshotMissingAndEmptyTargets(t *testing.T) {
+	phi4, _, _ := figure4()
+	// Missing target: every matching order tuple violates.
+	db := relation.NewDatabase()
+	order := relation.NewInstance(paperdata.OrderSchema())
+	order.MustInsert(relation.Str("a1"), relation.Str("T1"), relation.Str("book"), relation.Float(9.99))
+	order.MustInsert(relation.Str("a2"), relation.Str("T2"), relation.Str("CD"), relation.Float(7.94))
+	db.Add(order)
+	legacy := cind.Detect(db, phi4)
+	snap := snapDetect(db, phi4)
+	if !reflect.DeepEqual(legacy, snap) {
+		t.Fatalf("missing target: legacy %v, snapshot %v", legacy, snap)
+	}
+	if len(snap) != 1 || snap[0].TID != 0 {
+		t.Fatalf("missing target: want the single 'book' order flagged, got %v", snap)
+	}
+
+	// Empty target relation: same verdicts.
+	db.Add(relation.NewInstance(paperdata.BookSchema()))
+	legacy = cind.Detect(db, phi4)
+	snap = snapDetect(db, phi4)
+	if !reflect.DeepEqual(legacy, snap) {
+		t.Fatalf("empty target: legacy %v, snapshot %v", legacy, snap)
+	}
+
+	// Missing source relation: vacuously satisfied.
+	db2 := relation.NewDatabase()
+	db2.Add(relation.NewInstance(paperdata.BookSchema()))
+	if got := snapDetect(db2, phi4); got != nil {
+		t.Fatalf("missing source: want nil, got %v", got)
+	}
+	if !cind.Satisfies(db2, phi4) {
+		t.Fatal("missing source: legacy path should be vacuous too")
+	}
+}
+
+// TestSnapshotForcedCollisions re-runs an equivalence round with every
+// CodeIndex probe forced into one collision chain, so target matching
+// survives on code verification alone.
+func TestSnapshotForcedCollisions(t *testing.T) {
+	defer relation.SetCodeHasherForTest(func([]uint32) uint64 { return 42 })()
+	phi4, phi5, phi6 := figure4()
+	db := gen.Orders(gen.OrdersConfig{Books: 25, CDs: 20, Orders: 150, Seed: 5, ViolationRate: 0.25})
+	for i, c := range []*cind.CIND{phi4, phi5, phi6} {
+		legacy := cind.Detect(db, c)
+		snap := snapDetect(db, c)
+		if !reflect.DeepEqual(legacy, snap) {
+			t.Fatalf("ϕ%d under forced collisions: legacy %v, snapshot %v", i+4, legacy, snap)
+		}
+	}
+}
+
+// TestDetectTouchedWithSnapshot checks the incremental entry point
+// against the restriction of a full detection to the touched TIDs.
+func TestDetectTouchedWithSnapshot(t *testing.T) {
+	phi4, _, _ := figure4()
+	db := gen.Orders(gen.OrdersConfig{Books: 30, CDs: 20, Orders: 200, Seed: 11, ViolationRate: 0.2})
+	dbs := relation.NewDBSnapshot(db)
+	src, _ := dbs.Snapshot("order")
+	dst, _ := dbs.Snapshot("book")
+	full := cind.DetectWithSnapshot(src, dst, phi4, nil, nil)
+
+	touched := []relation.TID{0, 3, 5, 7, 1000000} // unknown TIDs are skipped
+	inTouched := func(id relation.TID) bool {
+		for _, t := range touched {
+			if t == id {
+				return true
+			}
+		}
+		return false
+	}
+	var want []cind.Violation
+	for _, v := range full {
+		if inTouched(v.TID) {
+			want = append(want, v)
+		}
+	}
+	got := cind.DetectTouchedWithSnapshot(src, dst, phi4, nil, touched)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DetectTouched = %v, want restriction %v", got, want)
+	}
+}
+
+// TestDetectAllCanonicalOrder asserts the satellite contract: DetectAll
+// output is sorted by (TID, Row) with Σ order breaking ties.
+func TestDetectAllCanonicalOrder(t *testing.T) {
+	phi4, phi5, phi6 := figure4()
+	db := gen.Orders(gen.OrdersConfig{Books: 20, CDs: 20, Orders: 150, Seed: 3, ViolationRate: 0.3})
+	vs := cind.DetectAll(db, []*cind.CIND{phi4, phi5, phi6})
+	if len(vs) == 0 {
+		t.Fatal("expected violations at 30% violation rate")
+	}
+	for i := 1; i < len(vs); i++ {
+		a, b := vs[i-1], vs[i]
+		if a.TID > b.TID || (a.TID == b.TID && a.Row > b.Row) {
+			t.Fatalf("DetectAll not in (TID, Row) order at %d: %v before %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/cfd"
+	"repro/internal/cind"
+	"repro/internal/ecfd"
+	"repro/internal/relation"
+)
+
+// The three shipped Constraint implementations. Each is a thin adapter:
+// the scan work lives in the class packages' *WithSnapshot primitives
+// (and their string-keyed legacy twins), and the adapters wire those to
+// the engine's shared snapshots, shared indexes and touched-list
+// protocol.
+
+// box lifts a class's typed violation slice into the mixed stream; any
+// class whose violation type satisfies Violation rides it unchanged.
+func box[T Violation](vs []T) []Violation {
+	out := make([]Violation, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// --- CFDs ----------------------------------------------------------------
+
+type cfdConstraint struct{ c *cfd.CFD }
+
+func (w cfdConstraint) Class() Class     { return ClassCFD }
+func (w cfdConstraint) Dep() any         { return w.c }
+func (w cfdConstraint) Primary() string  { return w.c.Schema().Name() }
+func (w cfdConstraint) Reads() []string  { return []string{w.c.Schema().Name()} }
+func (w cfdConstraint) Reqs() []IndexReq { return []IndexReq{{Rel: w.Primary(), Pos: w.c.LHS()}} }
+
+func (w cfdConstraint) Eval(ctx *Ctx) []Violation {
+	snap := ctx.Snapshot(w.Primary())
+	if snap == nil {
+		return nil
+	}
+	return box(cfd.DetectWithSnapshot(snap, w.c, ctx.Index(w.Primary(), w.c.LHS())))
+}
+
+func (w cfdConstraint) EvalLegacy(db *relation.Database) []Violation {
+	in, ok := db.Instance(w.Primary())
+	if !ok {
+		return nil
+	}
+	return box(cfd.Detect(in, w.c))
+}
+
+func (w cfdConstraint) EvalTouched(ctx *Ctx, touched []relation.TID) []Violation {
+	snap := ctx.Snapshot(w.Primary())
+	if snap == nil {
+		return nil
+	}
+	return box(cfd.DetectTouchedWithSnapshot(snap, w.c, ctx.Index(w.Primary(), w.c.LHS()), touched))
+}
+
+func (w cfdConstraint) Satisfied(ctx *Ctx) bool {
+	snap := ctx.Snapshot(w.Primary())
+	if snap == nil {
+		return true
+	}
+	return cfd.SatisfiesWithSnapshot(snap, w.c, ctx.Index(w.Primary(), w.c.LHS()))
+}
+
+func (w cfdConstraint) Touched(tc *TouchCtx) []relation.TID {
+	return fdTouched(tc, w.Primary(), w.c.LHS(), w.c.RHS())
+}
+
+// --- eCFDs ---------------------------------------------------------------
+
+type ecfdConstraint struct{ e *ecfd.ECFD }
+
+func (w ecfdConstraint) Class() Class     { return ClassECFD }
+func (w ecfdConstraint) Dep() any         { return w.e }
+func (w ecfdConstraint) Primary() string  { return w.e.Schema().Name() }
+func (w ecfdConstraint) Reads() []string  { return []string{w.e.Schema().Name()} }
+func (w ecfdConstraint) Reqs() []IndexReq { return []IndexReq{{Rel: w.Primary(), Pos: w.e.LHS()}} }
+
+func (w ecfdConstraint) Eval(ctx *Ctx) []Violation {
+	snap := ctx.Snapshot(w.Primary())
+	if snap == nil {
+		return nil
+	}
+	return box(ecfd.DetectWithSnapshot(snap, w.e, ctx.Index(w.Primary(), w.e.LHS())))
+}
+
+func (w ecfdConstraint) EvalLegacy(db *relation.Database) []Violation {
+	in, ok := db.Instance(w.Primary())
+	if !ok {
+		return nil
+	}
+	return box(ecfd.Detect(in, w.e))
+}
+
+func (w ecfdConstraint) EvalTouched(ctx *Ctx, touched []relation.TID) []Violation {
+	snap := ctx.Snapshot(w.Primary())
+	if snap == nil {
+		return nil
+	}
+	return box(ecfd.DetectTouchedWithSnapshot(snap, w.e, ctx.Index(w.Primary(), w.e.LHS()), touched))
+}
+
+func (w ecfdConstraint) Satisfied(ctx *Ctx) bool {
+	snap := ctx.Snapshot(w.Primary())
+	if snap == nil {
+		return true
+	}
+	return ecfd.SatisfiesWithSnapshot(snap, w.e, ctx.Index(w.Primary(), w.e.LHS()))
+}
+
+func (w ecfdConstraint) Touched(tc *TouchCtx) []relation.TID {
+	return fdTouched(tc, w.Primary(), w.e.LHS(), w.e.RHS())
+}
+
+// --- CINDs ---------------------------------------------------------------
+
+type cindConstraint struct{ c *cind.CIND }
+
+func (w cindConstraint) Class() Class    { return ClassCIND }
+func (w cindConstraint) Dep() any        { return w.c }
+func (w cindConstraint) Primary() string { return w.c.Src().Name() }
+
+func (w cindConstraint) Reads() []string {
+	src, dst := w.c.Src().Name(), w.c.Dst().Name()
+	if src == dst {
+		return []string{src}
+	}
+	return []string{src, dst}
+}
+
+func (w cindConstraint) Reqs() []IndexReq {
+	return []IndexReq{
+		{Rel: w.c.Src().Name(), Pos: w.c.SourceGroupPos()},
+		{Rel: w.c.Dst().Name(), Pos: w.c.TargetKeyPos()},
+	}
+}
+
+// snapshots resolves the CIND's source and target snapshots and shared
+// indexes; dst stays nil for a missing target relation (every probe
+// misses, like the empty instance the legacy path substitutes).
+func (w cindConstraint) snapshots(ctx *Ctx) (src, dst *relation.Snapshot, srcIx, dstIx *relation.CodeIndex) {
+	src = ctx.Snapshot(w.c.Src().Name())
+	dst = ctx.Snapshot(w.c.Dst().Name())
+	if src != nil {
+		srcIx = ctx.Index(w.c.Src().Name(), w.c.SourceGroupPos())
+	}
+	if dst != nil {
+		dstIx = ctx.Index(w.c.Dst().Name(), w.c.TargetKeyPos())
+	}
+	return
+}
+
+func (w cindConstraint) Eval(ctx *Ctx) []Violation {
+	src, dst, srcIx, dstIx := w.snapshots(ctx)
+	return box(cind.DetectWithSnapshot(src, dst, w.c, srcIx, dstIx))
+}
+
+func (w cindConstraint) EvalLegacy(db *relation.Database) []Violation {
+	return box(cind.Detect(db, w.c))
+}
+
+func (w cindConstraint) EvalTouched(ctx *Ctx, touched []relation.TID) []Violation {
+	src, dst, _, dstIx := w.snapshots(ctx)
+	return box(cind.DetectTouchedWithSnapshot(src, dst, w.c, dstIx, touched))
+}
+
+func (w cindConstraint) Satisfied(ctx *Ctx) bool {
+	src, dst, srcIx, dstIx := w.snapshots(ctx)
+	return cind.SatisfiesWithSnapshot(src, dst, w.c, srcIx, dstIx)
+}
+
+// Touched covers both sides of the inclusion:
+//
+//   - source side: inserted and deleted source TIDs, plus source TIDs
+//     updated on X ∪ Xp — any of these can change which pattern rows
+//     the tuple matches or the key it probes with;
+//   - target side: a target tuple entering, leaving, or changing its
+//     Y ∪ Yp projection can flip the verdict of exactly the source
+//     tuples whose X values equal its Y values, on either side of the
+//     batch — those are found by probing the pre-batch source index on
+//     X with the target tuple's old and new Y projections. (Probing the
+//     old index suffices: a source tuple that itself moved is already
+//     in the list via the source side.) Yp-only changes ride the same
+//     probes, since Y is then unchanged.
+func (w cindConstraint) Touched(tc *TouchCtx) []relation.TID {
+	c := w.c
+	srcRel, dstRel := c.Src().Name(), c.Dst().Name()
+	set := make(map[relation.TID]struct{})
+	srcPos := c.SourceGroupPos()
+	if d := tc.Delta(srcRel); d != nil {
+		for _, id := range d.Inserted {
+			set[id] = struct{}{}
+		}
+		for _, id := range d.Deleted {
+			set[id] = struct{}{}
+		}
+		for id := range d.Updated {
+			if d.Touches(id, srcPos) {
+				set[id] = struct{}{}
+			}
+		}
+	}
+	if d := tc.Delta(dstRel); d != nil && !d.Empty() {
+		oldSrc := tc.Old(srcRel)
+		oldDst, newDst := tc.Old(dstRel), tc.New(dstRel)
+		if oldSrc != nil {
+			srcX := oldSrc.CodeIndexOn(c.X())
+			keyPos := c.TargetKeyPos()
+			vals := make([]relation.Value, len(c.Y()))
+			probe := func(snap *relation.Snapshot, id relation.TID) {
+				if snap == nil {
+					return
+				}
+				r, ok := snap.Row(id)
+				if !ok {
+					return
+				}
+				for i, p := range c.Y() {
+					vals[i] = snap.Value(r, p)
+				}
+				for _, sid := range srcX.LookupValues(vals) {
+					set[sid] = struct{}{}
+				}
+			}
+			for _, id := range d.Inserted {
+				probe(newDst, id)
+			}
+			for _, id := range d.Deleted {
+				probe(oldDst, id)
+			}
+			for id := range d.Updated {
+				if d.Touches(id, keyPos) {
+					probe(oldDst, id)
+					probe(newDst, id)
+				}
+			}
+		}
+	}
+	return sortedTIDs(set)
+}
+
+// --- shared touched-list machinery ---------------------------------------
+
+// fdTouched is the shared CFD/eCFD touched-list builder: both classes
+// group the primary relation by an LHS position set and report
+// violations within groups, so the same delta reasoning applies —
+// every inserted or deleted TID; updated TIDs whose positions intersect
+// LHS ∪ RHS; and the group co-members that keep shrunken or joined
+// groups covered on both sides of the batch (see TouchCtx.CoMembers).
+func fdTouched(tc *TouchCtx, rel string, lhs, rhs []int) []relation.TID {
+	d := tc.Delta(rel)
+	if d == nil || d.Empty() {
+		return nil
+	}
+	set := make(map[relation.TID]struct{})
+	for _, id := range d.Inserted {
+		set[id] = struct{}{}
+	}
+	for _, id := range d.Deleted {
+		set[id] = struct{}{}
+	}
+	for id := range d.Updated {
+		if d.Touches(id, lhs) || d.Touches(id, rhs) {
+			set[id] = struct{}{}
+		}
+	}
+	for _, id := range tc.CoMembers(rel, lhs) {
+		set[id] = struct{}{}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return sortedTIDs(set)
+}
+
+func sortedTIDs(set map[relation.TID]struct{}) []relation.TID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]relation.TID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,363 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// DBMonitor is the mixed-class, multi-relation counterpart of Monitor:
+// it owns an engine, the live DBSnapshot of a whole database, and the
+// current violation set of a mixed constraint batch (CFDs, CINDs,
+// eCFDs), and keeps all of them consistent under a stream of update
+// batches that may touch several relations at once:
+//
+//	gained, cleared, err := m.Apply(batch)
+//
+// routes each relation's ops through its instance changelog, catches
+// the per-relation snapshots up via relation.SnapshotOf (structural
+// sharing, O(|Δ|) dictionary work, spliced group indexes), asks every
+// constraint for the primary-relation TIDs its violations could have
+// changed on (Constraint.Touched — for a CIND that covers updates on
+// both the source and the target side of the inclusion), evaluates
+// those TIDs against both the pre- and the post-batch snapshots, and
+// diffs the results against the stored set.
+//
+// The maintained invariant, asserted by randomized tests: after every
+// Apply, Violations() is exactly Engine.DetectBatch of the mutated
+// database.
+//
+// A DBMonitor is single-writer, like the instances it watches: Apply
+// (and Sync) must not run concurrently with each other or with other
+// mutations of the database. Mutations made between calls outside the
+// monitor are fine — the next Sync picks them up from the changelogs.
+// The relation set is fixed at construction: adding or replacing
+// instances afterwards forces a full resync.
+type DBMonitor struct {
+	engine  *Engine
+	db      *relation.Database
+	cs      []Constraint
+	reads   []string // sorted union of the constraints' Reads()
+	sigma   map[any]int
+	dbs     *relation.DBSnapshot
+	current map[Violation]struct{}
+
+	fullSyncs int // times the changelog fallback forced a full re-detection
+}
+
+// DBOp is one mutation of a DBMonitor batch: an Op aimed at a named
+// relation.
+type DBOp struct {
+	Rel string
+	Op  Op
+}
+
+// InsertInto returns an insert op for the named relation.
+func InsertInto(rel string, t relation.Tuple) DBOp { return DBOp{Rel: rel, Op: Insert(t)} }
+
+// DeleteFrom returns a delete op for the named relation.
+func DeleteFrom(rel string, id relation.TID) DBOp { return DBOp{Rel: rel, Op: Delete(id)} }
+
+// UpdateIn returns a single-cell update op for the named relation.
+func UpdateIn(rel string, id relation.TID, pos int, v relation.Value) DBOp {
+	return DBOp{Rel: rel, Op: Update(id, pos, v)}
+}
+
+// NewDBMonitor builds a monitor over the database and mixed constraint
+// batch, paying one full detection to seed the violation set (and,
+// through it, the DBSnapshot and every shared group index the steady
+// state will reuse). A nil engine gets the default configuration; a
+// Legacy engine is silently upgraded to the columnar path, which the
+// monitor requires (its pre-batch detection must run against frozen
+// snapshots, not the already-mutated instances).
+func NewDBMonitor(e *Engine, db *relation.Database, cs []Constraint) *DBMonitor {
+	if e == nil {
+		e = New(0)
+	}
+	if e.Legacy {
+		e = &Engine{Workers: e.Workers}
+	}
+	m := &DBMonitor{
+		engine:  e,
+		db:      db,
+		cs:      cs,
+		sigma:   sigmaOf(cs),
+		dbs:     relation.DBSnapshotOf(db),
+		current: make(map[Violation]struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		for _, rel := range c.Reads() {
+			if !seen[rel] {
+				seen[rel] = true
+				m.reads = append(m.reads, rel)
+			}
+		}
+	}
+	sort.Strings(m.reads)
+	for _, v := range e.DetectBatchOn(m.dbs, cs) {
+		m.current[v] = struct{}{}
+	}
+	return m
+}
+
+// Apply applies the batch to the database and returns the violations it
+// gained (newly broken) and cleared (newly fixed), each in the
+// canonical mixed order. Ops are applied in sequence; on the first
+// failing op the remaining ops are skipped, the monitor resynchronizes
+// with whatever prefix was applied, and the error is returned alongside
+// the diff.
+func (m *DBMonitor) Apply(batch []DBOp) (gained, cleared []Violation, err error) {
+	for _, op := range batch {
+		in, ok := m.db.Instance(op.Rel)
+		if !ok {
+			err = fmt.Errorf("dbmonitor: no relation %q", op.Rel)
+			break
+		}
+		switch op.Op.Kind {
+		case OpInsert:
+			if _, e := in.Insert(op.Op.Tuple); e != nil {
+				err = fmt.Errorf("dbmonitor: %v", e)
+			}
+		case OpDelete:
+			in.Delete(op.Op.TID)
+		case OpUpdate:
+			if e := in.Update(op.Op.TID, op.Op.Pos, op.Op.Val); e != nil {
+				err = fmt.Errorf("dbmonitor: %v", e)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	gained, cleared = m.Sync()
+	return gained, cleared, err
+}
+
+// Sync brings the monitor up to date with mutations made directly on
+// the database (outside Apply) and returns the violation diff, like
+// Apply without the mutation step.
+func (m *DBMonitor) Sync() (gained, cleared []Violation) {
+	old := m.dbs
+	deltas := make(map[string]*relation.Delta)
+	// Only relations some constraint reads can change the violation set;
+	// mutations elsewhere are ignored (and their changelogs cannot force
+	// a full resync).
+	for _, name := range m.reads {
+		in, ok := m.db.Instance(name)
+		if !ok {
+			continue // never existed: nothing to diff
+		}
+		oldSnap, ok := old.Snapshot(name)
+		if !ok || oldSnap.Source() != in {
+			return m.fullResync() // relation added or replaced since the seed
+		}
+		entries, ok := in.ChangesSince(oldSnap.Version())
+		if !ok {
+			return m.fullResync() // changelog truncated past the snapshot
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		d := relation.NetDelta(entries)
+		deltas[name] = &d
+	}
+	if len(deltas) == 0 {
+		return nil, nil
+	}
+	dbs := relation.DBSnapshotOf(m.db) // per-relation delta catch-up
+	tc := &TouchCtx{db: m.db, old: old, new: dbs, deltas: deltas}
+	touched := make([][]relation.TID, len(m.cs))
+	for i, c := range m.cs {
+		touched[i] = c.Touched(tc)
+	}
+
+	// The stored set equals DetectBatch(old); the touched evaluation on
+	// the old side is its restriction to the touched witnesses, so
+	// replacing that slice with the touched evaluation on the new side
+	// re-establishes the invariant for the new snapshot (violations
+	// outside every touched list carry over — that is Touched's
+	// contract).
+	oldTouched := m.engine.DetectBatchTouchedOn(old, m.cs, touched)
+	newTouched := m.engine.DetectBatchTouchedOn(dbs, m.cs, touched)
+
+	oldSet := make(map[Violation]struct{}, len(oldTouched))
+	for _, v := range oldTouched {
+		oldSet[v] = struct{}{}
+		delete(m.current, v)
+	}
+	for _, v := range newTouched {
+		// Diff against the pre-batch stored set, not oldTouched: a
+		// violation re-reported by the new side that the old side did not
+		// (redundantly) cover is identical to a stored one — not a gain.
+		if _, had := m.current[v]; !had {
+			if _, had := oldSet[v]; !had {
+				gained = append(gained, v)
+			}
+		}
+		m.current[v] = struct{}{}
+	}
+	newSet := make(map[Violation]struct{}, len(newTouched))
+	for _, v := range newTouched {
+		newSet[v] = struct{}{}
+	}
+	for _, v := range oldTouched {
+		if _, still := newSet[v]; !still {
+			cleared = append(cleared, v)
+		}
+	}
+	m.dbs = dbs
+	SortViolations(gained, m.sigma)
+	SortViolations(cleared, m.sigma)
+	return gained, cleared
+}
+
+// fullResync rebuilds the violation set from scratch — the fallback
+// when some bounded changelog no longer reaches back to the monitor's
+// snapshot — and diffs it against the stored set so Apply's contract
+// (exact gained/cleared) holds on this path too.
+func (m *DBMonitor) fullResync() (gained, cleared []Violation) {
+	m.fullSyncs++
+	m.dbs = relation.DBSnapshotOf(m.db)
+	fresh := m.engine.DetectBatchOn(m.dbs, m.cs)
+	freshSet := make(map[Violation]struct{}, len(fresh))
+	for _, v := range fresh {
+		freshSet[v] = struct{}{}
+		if _, had := m.current[v]; !had {
+			gained = append(gained, v)
+		}
+	}
+	for v := range m.current {
+		if _, still := freshSet[v]; !still {
+			cleared = append(cleared, v)
+		}
+	}
+	m.current = freshSet
+	SortViolations(gained, m.sigma)
+	SortViolations(cleared, m.sigma)
+	return gained, cleared
+}
+
+// Violations returns the current violation set in the canonical mixed
+// order — byte-identical to Engine.DetectBatch of the database in its
+// present state.
+func (m *DBMonitor) Violations() []Violation {
+	if len(m.current) == 0 {
+		return nil // matches DetectBatch's nil on a clean database
+	}
+	out := make([]Violation, 0, len(m.current))
+	for v := range m.current {
+		out = append(out, v)
+	}
+	SortViolations(out, m.sigma)
+	return out
+}
+
+// Len returns the size of the current violation set.
+func (m *DBMonitor) Len() int { return len(m.current) }
+
+// Snapshot returns the maintained database snapshot (current as of the
+// last Apply/Sync).
+func (m *DBMonitor) Snapshot() *relation.DBSnapshot { return m.dbs }
+
+// Database returns the watched database.
+func (m *DBMonitor) Database() *relation.Database { return m.db }
+
+// Engine returns the monitor's engine (always on the columnar path).
+func (m *DBMonitor) Engine() *Engine { return m.engine }
+
+// FullSyncs reports how many times the monitor had to fall back to a
+// full re-detection.
+func (m *DBMonitor) FullSyncs() int { return m.fullSyncs }
+
+// TouchCtx is the view Constraint.Touched reasons over: the pre- and
+// post-batch snapshots of every relation, the net delta each relation's
+// changelog recorded between them, and a memo of group co-member lists
+// shared by every constraint grouping on the same (relation, LHS
+// positions).
+type TouchCtx struct {
+	db     *relation.Database
+	old    *relation.DBSnapshot
+	new    *relation.DBSnapshot
+	deltas map[string]*relation.Delta
+	co     map[string][]relation.TID
+}
+
+// Delta returns the net delta of the named relation, or nil when the
+// batch did not touch it.
+func (tc *TouchCtx) Delta(rel string) *relation.Delta { return tc.deltas[rel] }
+
+// Old returns the pre-batch snapshot of the named relation (nil when
+// absent).
+func (tc *TouchCtx) Old(rel string) *relation.Snapshot {
+	s, _ := tc.old.Snapshot(rel)
+	return s
+}
+
+// New returns the post-batch snapshot of the named relation (nil when
+// absent).
+func (tc *TouchCtx) New(rel string) *relation.Snapshot {
+	s, _ := tc.new.Snapshot(rel)
+	return s
+}
+
+// CoMembers returns, for each TID of rel leaving or joining a group of
+// the given position set during the batch, one old co-member of the
+// affected group — the TIDs that keep shrunken groups re-detected on
+// the new side (their representative may have left) and joined groups
+// re-derived on the old side (the mover may have stolen
+// representativeship). Inserted TIDs never need a co-member: fresh TIDs
+// sort after every member, so the destination group keeps its
+// representative. The list is memoized per (relation, position set) —
+// every constraint class grouping on the same LHS shares it.
+func (tc *TouchCtx) CoMembers(rel string, pos []int) []relation.TID {
+	key := relPosKey(rel, pos)
+	if co, ok := tc.co[key]; ok {
+		return co
+	}
+	var co []relation.TID
+	d := tc.deltas[rel]
+	old := tc.Old(rel)
+	in, _ := tc.db.Instance(rel)
+	if d != nil && old != nil && in != nil {
+		deleted := make(map[relation.TID]bool, len(d.Deleted))
+		for _, id := range d.Deleted {
+			deleted[id] = true
+		}
+		cx := old.CodeIndexOn(pos)
+		coMember := func(tid relation.TID) {
+			row, ok := old.Row(tid)
+			if !ok {
+				return
+			}
+			for _, r := range cx.GroupOf(row) {
+				id := old.TID(int(r))
+				if id == tid || deleted[id] || d.Touches(id, pos) {
+					continue // gone or moved itself: cannot vouch for the group
+				}
+				co = append(co, id)
+				return
+			}
+		}
+		for _, id := range d.Deleted {
+			coMember(id)
+		}
+		for id := range d.Updated {
+			if !d.Touches(id, pos) {
+				continue // same group on both sides; id itself covers it
+			}
+			coMember(id)
+			if t, ok := in.Tuple(id); ok {
+				if ids := cx.Lookup(t); len(ids) > 0 {
+					co = append(co, ids[0])
+				}
+			}
+		}
+	}
+	if tc.co == nil {
+		tc.co = make(map[string][]relation.TID)
+	}
+	tc.co[key] = co
+	return co
+}

@@ -1,0 +1,373 @@
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/cind"
+	"repro/internal/ecfd"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// randomDBOp draws one random mutation over the order/book/CD database,
+// churning the CINDs' source side (order inserts/deletes/retitles), the
+// target side (book/CD membership and key updates — including format
+// and genre, the Yp attributes of ϕ6) and the CFD/eCFD attributes, with
+// fresh values so dictionaries keep growing.
+func randomDBOp(r *rand.Rand, db *relation.Database, fresh *int, dead map[string]map[relation.TID]bool) DBOp {
+	// pickID avoids TIDs already deleted by earlier ops of the same
+	// (not-yet-applied) batch.
+	pickID := func(rel string, in *relation.Instance) (relation.TID, bool) {
+		var ids []relation.TID
+		for _, id := range in.IDs() {
+			if !dead[rel][id] {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[r.Intn(len(ids))], true
+	}
+	kill := func(rel string, id relation.TID) DBOp {
+		if dead[rel] == nil {
+			dead[rel] = make(map[relation.TID]bool)
+		}
+		dead[rel][id] = true
+		return DeleteFrom(rel, id)
+	}
+	title := func() relation.Value {
+		if r.Intn(4) == 0 {
+			*fresh++
+			return relation.Str(fmt.Sprintf("Fresh Title %d", *fresh))
+		}
+		return relation.Str(fmt.Sprintf("Book Title %d", r.Intn(40)))
+	}
+	price := func() relation.Value { return relation.Float(float64(5+r.Intn(8)) + 0.99) }
+	switch r.Intn(10) {
+	case 0, 1: // order insert
+		*fresh++
+		return InsertInto("order", relation.Tuple{
+			relation.Str(fmt.Sprintf("a%d", *fresh)), title(),
+			relation.Str([]string{"book", "CD"}[r.Intn(2)]), price()})
+	case 2: // order delete
+		if id, ok := pickID("order", db.MustInstance("order")); ok {
+			return kill("order", id)
+		}
+		return randomDBOp(r, db, fresh, dead)
+	case 3: // order retitle/reprice/retype (X, Xp and CFD attributes)
+		if id, ok := pickID("order", db.MustInstance("order")); ok {
+			switch r.Intn(3) {
+			case 0:
+				return UpdateIn("order", id, 1, title())
+			case 1:
+				return UpdateIn("order", id, 3, price())
+			default:
+				return UpdateIn("order", id, 2, relation.Str([]string{"book", "CD", "vinyl"}[r.Intn(3)]))
+			}
+		}
+		return randomDBOp(r, db, fresh, dead)
+	case 4, 5: // book churn: membership and Y/Yp updates
+		book := db.MustInstance("book")
+		switch r.Intn(3) {
+		case 0:
+			*fresh++
+			return InsertInto("book", relation.Tuple{
+				relation.Str(fmt.Sprintf("b%d", *fresh)), title(), price(),
+				relation.Str([]string{"hard-cover", "audio"}[r.Intn(2)])})
+		case 1:
+			if id, ok := pickID("book", book); ok {
+				return kill("book", id)
+			}
+		default:
+			if id, ok := pickID("book", book); ok {
+				pos := []int{1, 2, 3}[r.Intn(3)] // title, price, format
+				switch pos {
+				case 1:
+					return UpdateIn("book", id, 1, title())
+				case 2:
+					return UpdateIn("book", id, 2, price())
+				default:
+					return UpdateIn("book", id, 3, relation.Str([]string{"hard-cover", "audio", "paper-cover"}[r.Intn(3)]))
+				}
+			}
+		}
+		return randomDBOp(r, db, fresh, dead)
+	default: // CD churn: album/price (ϕ5 target key, ϕ6 source) and genre (ϕ6 Xp)
+		cdIn := db.MustInstance("CD")
+		switch r.Intn(3) {
+		case 0:
+			*fresh++
+			return InsertInto("CD", relation.Tuple{
+				relation.Str(fmt.Sprintf("c%d", *fresh)), title(), price(),
+				relation.Str([]string{"rock", "a-book"}[r.Intn(2)])})
+		case 1:
+			if id, ok := pickID("CD", cdIn); ok && r.Intn(2) == 0 {
+				return kill("CD", id)
+			}
+			if id, ok := pickID("CD", cdIn); ok {
+				return UpdateIn("CD", id, 3, relation.Str([]string{"rock", "a-book", "jazz"}[r.Intn(3)]))
+			}
+		default:
+			if id, ok := pickID("CD", cdIn); ok {
+				if r.Intn(2) == 0 {
+					return UpdateIn("CD", id, 1, title())
+				}
+				return UpdateIn("CD", id, 2, price())
+			}
+		}
+		return randomDBOp(r, db, fresh, dead)
+	}
+}
+
+// dbMonitorOracleRounds drives random multi-relation batches through
+// DBMonitor.Apply and asserts, after every batch, that the maintained
+// mixed violation set is byte-identical to a fresh DetectBatch — and to
+// the per-class legacy detectors — and that gained/cleared exactly
+// account for the change.
+func dbMonitorOracleRounds(t *testing.T, seed int64, orders, rounds, maxBatch, changelogCap int, withECFDs bool) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	db := gen.Orders(gen.OrdersConfig{Books: orders / 8, CDs: orders / 10, Orders: orders, Seed: seed, ViolationRate: 0.1})
+	if changelogCap != 0 {
+		for _, name := range db.Names() {
+			db.MustInstance(name).SetChangelogCap(changelogCap)
+		}
+	}
+	cfds, cinds, ecfds := mixedSigma()
+	if !withECFDs {
+		ecfds = nil
+	}
+	cs := wrapMixed(cfds, cinds, ecfds)
+	m := NewDBMonitor(New(2), db, cs)
+
+	prev := m.Violations()
+	fresh := 0
+	for round := 0; round < rounds; round++ {
+		batch := make([]DBOp, 1+r.Intn(maxBatch))
+		dead := make(map[string]map[relation.TID]bool)
+		for i := range batch {
+			batch[i] = randomDBOp(r, db, &fresh, dead)
+		}
+		gained, cleared, err := m.Apply(batch)
+		if err != nil {
+			t.Fatalf("seed %d round %d: Apply: %v", seed, round, err)
+		}
+		got := m.Violations()
+
+		// Oracle 1: the engine's fresh full mixed detection.
+		want := New(1).DetectBatch(db, cs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d round %d: monitor has %d violations, fresh DetectBatch %d:\nmonitor %v\nfresh   %v",
+				seed, round, len(got), len(want), got, want)
+		}
+		// Oracle 2: the string-keyed per-class legacy detectors,
+		// independent of snapshots, dictionaries and changelogs.
+		gotCFD, gotCIND, gotECFD := SplitViolations(got)
+		order := db.MustInstance("order")
+		if !reflect.DeepEqual(gotCFD, cfd.DetectAll(order, cfds)) {
+			t.Fatalf("seed %d round %d: CFD stream diverges from legacy oracle", seed, round)
+		}
+		if !reflect.DeepEqual(gotCIND, cind.DetectAll(db, cinds)) {
+			t.Fatalf("seed %d round %d: CIND stream diverges from legacy oracle", seed, round)
+		}
+		if withECFDs && !reflect.DeepEqual(gotECFD, ecfd.DetectAll(order, ecfds)) {
+			t.Fatalf("seed %d round %d: eCFD stream diverges from legacy oracle", seed, round)
+		}
+
+		// The diff must exactly transform prev into got.
+		next := make(map[Violation]struct{}, len(prev))
+		for _, v := range prev {
+			next[v] = struct{}{}
+		}
+		for _, v := range cleared {
+			if _, ok := next[v]; !ok {
+				t.Fatalf("seed %d round %d: cleared violation %v was not held", seed, round, v)
+			}
+			delete(next, v)
+		}
+		for _, v := range gained {
+			if _, ok := next[v]; ok {
+				t.Fatalf("seed %d round %d: gained violation %v was already held", seed, round, v)
+			}
+			next[v] = struct{}{}
+		}
+		if len(next) != len(got) {
+			t.Fatalf("seed %d round %d: prev - cleared + gained has %d violations, set has %d",
+				seed, round, len(next), len(got))
+		}
+		for _, v := range got {
+			if _, ok := next[v]; !ok {
+				t.Fatalf("seed %d round %d: %v in set but not in prev - cleared + gained", seed, round, v)
+			}
+		}
+		prev = got
+	}
+}
+
+func TestDBMonitorMatchesFreshDetection(t *testing.T) {
+	for _, seed := range []int64{5, 29, 73} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dbMonitorOracleRounds(t, seed, 300, 25, 12, 0, true)
+		})
+	}
+}
+
+// TestDBMonitorMixedCFDCIND is the acceptance configuration: mixed
+// CFD+CIND sets (no eCFDs), heavier churn.
+func TestDBMonitorMixedCFDCIND(t *testing.T) {
+	for _, seed := range []int64{11, 47} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dbMonitorOracleRounds(t, seed, 400, 30, 20, 0, false)
+		})
+	}
+}
+
+// TestDBMonitorChangelogFallback shrinks the changelogs so batches
+// regularly outrun them, forcing the full-resync path; the contract
+// must hold unchanged.
+func TestDBMonitorChangelogFallback(t *testing.T) {
+	dbMonitorOracleRounds(t, 61, 200, 20, 30, 8, true)
+}
+
+// TestDBMonitorForcedCollisions runs the oracle rounds with every
+// CodeIndex probe in one collision chain.
+func TestDBMonitorForcedCollisions(t *testing.T) {
+	defer relation.SetCodeHasherForTest(func([]uint32) uint64 { return 99 })()
+	dbMonitorOracleRounds(t, 83, 120, 12, 10, 0, true)
+}
+
+// TestDBMonitorExternalMutations: mutations made directly on the
+// database between calls are picked up by Sync.
+func TestDBMonitorExternalMutations(t *testing.T) {
+	db := gen.Orders(gen.OrdersConfig{Books: 20, CDs: 15, Orders: 150, Seed: 17, ViolationRate: 0.1})
+	cfds, cinds, ecfds := mixedSigma()
+	cs := wrapMixed(cfds, cinds, ecfds)
+	m := NewDBMonitor(nil, db, cs)
+
+	// Orphan an order (source side) and delete a referenced book (target
+	// side) behind the monitor's back.
+	order := db.MustInstance("order")
+	order.MustInsert(relation.Str("zz"), relation.Str("No Such Book"), relation.Str("book"), relation.Float(3.99))
+	gained, cleared := m.Sync()
+	if len(gained) == 0 {
+		t.Fatal("orphan insert should gain at least the ϕ4 violation")
+	}
+	_ = cleared
+	if want := New(1).DetectBatch(db, cs); !reflect.DeepEqual(m.Violations(), want) {
+		t.Fatal("monitor diverges after external mutations")
+	}
+	if g, c := m.Sync(); len(g) != 0 || len(c) != 0 {
+		t.Fatalf("idle Sync must be empty, got +%d -%d", len(g), len(c))
+	}
+}
+
+// TestDBMonitorTargetSideUpdates pins the CIND target-side protocol
+// precisely: deleting a referenced target tuple gains exactly the
+// orphaned sources' violations; re-inserting an equal tuple clears
+// them; a Yp-only update (book format) flips ϕ6 verdicts.
+func TestDBMonitorTargetSideUpdates(t *testing.T) {
+	db := relation.NewDatabase()
+	cfds, cinds, ecfds := mixedSigma()
+	order := relation.NewInstance(cfds[0].Schema())
+	book := relation.NewInstance(cinds[0].Dst())
+	cdIn := relation.NewInstance(cinds[1].Dst())
+	db.Add(order)
+	db.Add(book)
+	db.Add(cdIn)
+	t1 := relation.Str("Moby Dick")
+	p1 := relation.Float(10.99)
+	// Both orders share asin too, so the (title, price, type) → asin FD
+	// of the fixture stays clean.
+	order.MustInsert(relation.Str("a1"), t1, relation.Str("book"), p1)
+	order.MustInsert(relation.Str("a1"), t1, relation.Str("book"), p1)
+	bid := book.MustInsert(relation.Str("b1"), t1, p1, relation.Str("hard-cover"))
+	cdID := cdIn.MustInsert(relation.Str("c1"), relation.Str("Whales"), relation.Float(5.99), relation.Str("rock"))
+
+	cs := wrapMixed(cfds, cinds, ecfds)
+	m := NewDBMonitor(New(1), db, cs)
+	if m.Len() != 0 {
+		t.Fatalf("clean fixture should start empty, has %v", m.Violations())
+	}
+
+	// Target delete: both orders orphaned under ϕ4.
+	gained, cleared, err := m.Apply([]DBOp{DeleteFrom("book", bid)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gained) != 2 || len(cleared) != 0 {
+		t.Fatalf("after target delete: +%v -%v, want exactly the two orphans", gained, cleared)
+	}
+	// Equal target re-insert (fresh TID): both clear.
+	gained, cleared, err = m.Apply([]DBOp{InsertInto("book", relation.Tuple{relation.Str("b2"), t1, p1, relation.Str("paper-cover")})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gained) != 0 || len(cleared) != 2 {
+		t.Fatalf("after target re-insert: +%v -%v, want the two orphans cleared", gained, cleared)
+	}
+	// Yp-only flip: turning the CD into an audio book demands an audio
+	// edition (ϕ6) — one gained violation; granting the edition via a
+	// Yp-only book format update clears it.
+	if _, _, err := m.Apply([]DBOp{
+		UpdateIn("CD", cdID, 1, t1), UpdateIn("CD", cdID, 2, p1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gained, _, err = m.Apply([]DBOp{UpdateIn("CD", cdID, 3, relation.Str("a-book"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gained) != 1 {
+		t.Fatalf("a-book flip should gain the ϕ6 violation, got %v", gained)
+	}
+	bookIDs := book.IDs()
+	gained, cleared, err = m.Apply([]DBOp{UpdateIn("book", bookIDs[len(bookIDs)-1], 3, relation.Str("audio"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleared) != 1 || len(gained) != 0 {
+		t.Fatalf("audio format grant should clear the ϕ6 violation, got +%v -%v", gained, cleared)
+	}
+	if want := New(1).DetectBatch(db, cs); !reflect.DeepEqual(m.Violations(), want) {
+		t.Fatal("monitor diverges at the end of the scripted scenario")
+	}
+}
+
+// TestDBMonitorBadOp: a failing op mid-batch reports the error and the
+// monitor resynchronizes with the applied prefix.
+func TestDBMonitorBadOp(t *testing.T) {
+	db := gen.Orders(gen.OrdersConfig{Books: 10, CDs: 5, Orders: 40, Seed: 2, ViolationRate: 0})
+	cfds, cinds, ecfds := mixedSigma()
+	cs := wrapMixed(cfds, cinds, ecfds)
+	m := NewDBMonitor(nil, db, cs)
+	_, _, err := m.Apply([]DBOp{
+		InsertInto("order", relation.Tuple{relation.Str("x"), relation.Str("No Such"), relation.Str("book"), relation.Float(1.99)}),
+		{Rel: "nosuch", Op: Delete(0)},
+		InsertInto("order", relation.Tuple{relation.Str("y"), relation.Str("Skipped"), relation.Str("book"), relation.Float(1.99)}),
+	})
+	if err == nil {
+		t.Fatal("expected an error for the unknown relation")
+	}
+	if want := New(1).DetectBatch(db, cs); !reflect.DeepEqual(m.Violations(), want) {
+		t.Fatal("monitor out of sync after failed batch")
+	}
+}
+
+// TestDBMonitorLegacyEngineUpgraded mirrors the Monitor behavior: a
+// Legacy engine is upgraded to the columnar path.
+func TestDBMonitorLegacyEngineUpgraded(t *testing.T) {
+	db := gen.Orders(gen.OrdersConfig{Books: 5, CDs: 5, Orders: 20, Seed: 1, ViolationRate: 0.2})
+	_, cinds, _ := mixedSigma()
+	m := NewDBMonitor(NewLegacy(3), db, WrapCINDs(cinds))
+	if m.Engine().Legacy {
+		t.Fatal("DBMonitor must upgrade a Legacy engine")
+	}
+	if m.Engine().Workers != 3 {
+		t.Fatal("worker count should carry over")
+	}
+}

@@ -29,6 +29,17 @@
 // SatisfiesAll additionally cancels early: the first violation found by
 // any worker stops the remaining work, including snapshot and index
 // builds that have not started yet.
+//
+// The engine core is constraint-class-agnostic: planning, index
+// sharing, fan-out and the deterministic merge run over the Constraint
+// interface (see constraint.go), with CFDs, CINDs and eCFDs shipped as
+// its implementations. Mixed batches evaluate through one shared
+// relation.DBSnapshot (Engine.DetectBatch), requirements deduplicate by
+// (relation, position set) across classes, and the stateful DBMonitor
+// maintains a mixed violation set incrementally across multi-relation
+// update batches — including the target side of CIND inclusions. The
+// CFD-typed entry points below (DetectAll, SatisfiesAll, ...) remain
+// the unboxed fast path for CFD-only workloads and the Monitor.
 package detect
 
 import (
@@ -198,15 +209,21 @@ func (e *Engine) runDetectOn(in *relation.Instance, preset *relation.Snapshot, s
 	snapEval func(*relation.Snapshot, *cfd.CFD, *relation.CodeIndex) []cfd.Violation,
 ) {
 	tasks := e.planOn(in, preset, set)
-	if e.legacy() {
-		e.runOrdered(tasks, sink, func(t task) []cfd.Violation {
-			return legacyEval(in, t.c, t.ix.get())
-		})
-		return
-	}
-	e.runOrdered(tasks, sink, func(t task) []cfd.Violation {
+	eval := func(t task) []cfd.Violation {
 		return snapEval(t.ix.snap.get(), t.c, t.ix.getCode())
-	})
+	}
+	if e.legacy() {
+		eval = func(t task) []cfd.Violation {
+			return legacyEval(in, t.c, t.ix.get())
+		}
+	}
+	runOrdered(e.workers(), len(tasks),
+		func(i int) []cfd.Violation { return eval(tasks[i]) },
+		func(vs []cfd.Violation) {
+			for _, v := range vs {
+				sink(v)
+			}
+		})
 }
 
 // DetectAllStream runs DetectAll but delivers violations to sink as they
@@ -326,94 +343,103 @@ func (e *Engine) satisfiesAll(in *relation.Instance, set []*cfd.CFD) (bool, int6
 
 func (e *Engine) satisfiesAllOn(in *relation.Instance, preset *relation.Snapshot, set []*cfd.CFD) (bool, int64) {
 	tasks := e.planOn(in, preset, set)
-	var violated atomic.Bool
-	var evaluated atomic.Int64
-	nw := e.workers()
-	if nw > len(tasks) {
-		nw = len(tasks)
-	}
-	if nw <= 1 {
-		for _, t := range tasks {
-			evaluated.Add(1)
-			if !e.satisfies(in, t) {
-				return false, evaluated.Load()
-			}
-		}
-		return true, evaluated.Load()
-	}
-	queue := make(chan task)
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range queue {
-				if violated.Load() {
-					continue // drain: a violation was already found
-				}
-				evaluated.Add(1)
-				if !e.satisfies(in, t) {
-					violated.Store(true)
-				}
-			}
-		}()
-	}
-	for _, t := range tasks {
-		if violated.Load() {
-			break
-		}
-		queue <- t
-	}
-	close(queue)
-	wg.Wait()
-	return !violated.Load(), evaluated.Load()
+	return runCancel(e.workers(), len(tasks), func(i int) bool {
+		return e.satisfies(in, tasks[i])
+	})
 }
 
-// runOrdered fans the tasks out across the worker pool and delivers each
-// task's result batch to sink in task order through a reorder buffer:
-// batch i is streamed only after batches 0..i-1, whatever order the
-// workers finish in.
-func (e *Engine) runOrdered(tasks []task, sink Sink, eval func(task) []cfd.Violation) {
-	nw := e.workers()
-	if nw > len(tasks) {
-		nw = len(tasks)
+// runOrdered is the constraint-class-agnostic scheduler under every
+// batch entry point: it fans n tasks out across a pool of workers
+// goroutines and delivers each task's result batch to emit in task
+// order through a reorder buffer — batch i is emitted only after
+// batches 0..i-1, whatever order the workers finish in. The result type
+// is opaque (a []cfd.Violation on the CFD entry points, a []Violation
+// on the mixed-class ones), so every class pays zero boxing it did not
+// ask for.
+func runOrdered[R any](workers, n int, eval func(int) R, emit func(R)) {
+	if workers > n {
+		workers = n
 	}
-	if nw <= 1 {
-		for _, t := range tasks {
-			for _, v := range eval(t) {
-				sink(v)
-			}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			emit(eval(i))
 		}
 		return
 	}
-	results := make([][]cfd.Violation, len(tasks))
-	ready := make([]bool, len(tasks))
+	results := make([]R, n)
+	ready := make([]bool, n)
 	var mu sync.Mutex
 	next := 0
 	queue := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range queue {
-				r := eval(tasks[i])
+				r := eval(i)
 				mu.Lock()
 				results[i], ready[i] = r, true
-				for next < len(tasks) && ready[next] {
-					for _, v := range results[next] {
-						sink(v)
-					}
-					results[next] = nil
+				for next < n && ready[next] {
+					emit(results[next])
+					var zero R
+					results[next] = zero
 					next++
 				}
 				mu.Unlock()
 			}
 		}()
 	}
-	for i := range tasks {
+	for i := 0; i < n; i++ {
 		queue <- i
 	}
 	close(queue)
 	wg.Wait()
+}
+
+// runCancel evaluates n tasks on the pool, cancelling outstanding work
+// as soon as any task reports false; it returns whether every evaluated
+// task reported true and how many tasks were actually evaluated (the
+// observable for early-cancellation tests).
+func runCancel(workers, n int, eval func(int) bool) (ok bool, evaluated int64) {
+	var failed atomic.Bool
+	var count atomic.Int64
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			count.Add(1)
+			if !eval(i) {
+				return false, count.Load()
+			}
+		}
+		return true, count.Load()
+	}
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if failed.Load() {
+					continue // drain: a violation was already found
+				}
+				count.Add(1)
+				if !eval(i) {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+	return !failed.Load(), count.Load()
 }

@@ -289,9 +289,59 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s: tuples %d,%d violate row %d on %s", v.ECFD.schema.Name(), v.T1, v.T2, v.Row, attr)
 }
 
-// Detect returns the violations of e in the instance.
+// Detect returns the violations of e in the instance, sorted by
+// (Row, T1, T2, Attr) — relation.Index.Groups iterates buckets in map
+// order, so detection would otherwise be nondeterministic.
 func Detect(in *relation.Instance, e *ECFD) []Violation {
 	return detect(in, e, false)
+}
+
+// DetectAll combines Detect over a set in the canonical reporting order
+// (see SortViolations).
+func DetectAll(in *relation.Instance, set []*ECFD) []Violation {
+	var out []Violation
+	for _, e := range set {
+		out = append(out, Detect(in, e)...)
+	}
+	SortViolations(out)
+	return out
+}
+
+// SortViolations sorts a combined violation slice into the canonical
+// reporting order: (T1, T2, Attr, Row), stably, so violations of
+// distinct eCFDs that tie on all four keys keep the Σ order they were
+// gathered in — the comparator of cfd.SortViolations, and the one the
+// detection engine merges mixed batches with.
+func SortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		if vs[i].T1 != vs[j].T1 {
+			return vs[i].T1 < vs[j].T1
+		}
+		if vs[i].T2 != vs[j].T2 {
+			return vs[i].T2 < vs[j].T2
+		}
+		if vs[i].Attr != vs[j].Attr {
+			return vs[i].Attr < vs[j].Attr
+		}
+		return vs[i].Row < vs[j].Row
+	})
+}
+
+// sortDetectOrder sorts one eCFD's violations into the canonical
+// per-constraint order (Row, T1, T2, Attr), mirroring cfd's detectors.
+func sortDetectOrder(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Row != vs[j].Row {
+			return vs[i].Row < vs[j].Row
+		}
+		if vs[i].T1 != vs[j].T1 {
+			return vs[i].T1 < vs[j].T1
+		}
+		if vs[i].T2 != vs[j].T2 {
+			return vs[i].T2 < vs[j].T2
+		}
+		return vs[i].Attr < vs[j].Attr
+	})
 }
 
 func detect(in *relation.Instance, e *ECFD, firstOnly bool) []Violation {
@@ -368,5 +418,6 @@ func detect(in *relation.Instance, e *ECFD, firstOnly bool) []Violation {
 			return out
 		}
 	}
+	sortDetectOrder(out)
 	return out
 }

@@ -54,9 +54,28 @@ func hashCodes(codes []uint32) uint64 {
 	return h
 }
 
+// testHasher, when non-nil, replaces the production hasher in every
+// index BuildCodeIndex builds afterwards (spliced derivatives inherit
+// it). See SetCodeHasherForTest.
+var testHasher codeHasher
+
+// SetCodeHasherForTest overrides the code hasher — equivalence tests
+// outside this package use a constant hasher to force every probe into
+// one collision chain and exercise the verification path. It returns a
+// restore func and must not be called concurrently with index builds;
+// test-only.
+func SetCodeHasherForTest(h func(codes []uint32) uint64) (restore func()) {
+	prev := testHasher
+	testHasher = h
+	return func() { testHasher = prev }
+}
+
 // BuildCodeIndex builds a code index of the snapshot on the given
 // attribute positions, interning the touched columns if needed.
 func BuildCodeIndex(snap *Snapshot, pos []int) *CodeIndex {
+	if testHasher != nil {
+		return buildCodeIndex(snap, pos, testHasher)
+	}
 	return buildCodeIndex(snap, pos, hashCodes)
 }
 
@@ -175,9 +194,6 @@ func (cx *CodeIndex) GroupOrdinal(row int) int32 { return cx.rowGroup[row] }
 // of t never occurs in its column, no group can match and Lookup returns
 // nil without probing.
 func (cx *CodeIndex) Lookup(t Tuple) []TID {
-	if len(cx.table) == 0 {
-		return nil
-	}
 	codes := make([]uint32, len(cx.pos))
 	for i, p := range cx.pos {
 		c, ok := cx.snap.Dict(p).Code(t[p])
@@ -185,6 +201,58 @@ func (cx *CodeIndex) Lookup(t Tuple) []TID {
 			return nil
 		}
 		codes[i] = c
+	}
+	return cx.LookupCodes(codes)
+}
+
+// LookupValues returns the TIDs whose projection equals the given value
+// sequence (one value per indexed position, in index position order).
+// Unlike Lookup the values need not come from a tuple of the indexed
+// relation — they are translated through the snapshot's dictionaries, so
+// a CIND can probe a target-relation index with source-tuple values (or
+// the reverse). A value that never occurs in its column matches nothing.
+func (cx *CodeIndex) LookupValues(vals []Value) []TID {
+	codes := make([]uint32, len(cx.pos))
+	for i, p := range cx.pos {
+		c, ok := cx.snap.Dict(p).Code(vals[i])
+		if !ok {
+			return nil
+		}
+		codes[i] = c
+	}
+	return cx.LookupCodes(codes)
+}
+
+// LookupCodes returns the TIDs of the group whose projection code
+// sequence equals codes (one code per indexed position, in index
+// position order, drawn from the snapshot's dictionaries). It is the
+// raw probe under Lookup/LookupValues: callers that already hold codes
+// — a cross-relation prober that translated them once per distinct
+// source value — skip the per-probe dictionary work entirely.
+func (cx *CodeIndex) LookupCodes(codes []uint32) []TID {
+	rows := cx.lookupRows(codes)
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]TID, len(rows))
+	for i, r := range rows {
+		out[i] = cx.snap.ids[r]
+	}
+	return out
+}
+
+// HasCodes reports whether some row's projection code sequence equals
+// codes — LookupCodes without materializing the TID slice, the
+// existence probe CIND target matching runs per source group.
+func (cx *CodeIndex) HasCodes(codes []uint32) bool {
+	return len(cx.lookupRows(codes)) > 0
+}
+
+// lookupRows probes the table for the group with the given projection
+// code sequence and returns its member rows (nil when absent).
+func (cx *CodeIndex) lookupRows(codes []uint32) []int32 {
+	if len(cx.table) == 0 {
+		return nil
 	}
 	idx := cx.hash(codes) & cx.mask
 	for {
@@ -209,11 +277,7 @@ func (cx *CodeIndex) Lookup(t Tuple) []TID {
 			}
 		}
 		if match {
-			out := make([]TID, len(rows))
-			for i, r := range rows {
-				out[i] = cx.snap.ids[r]
-			}
-			return out
+			return rows
 		}
 		idx = (idx + 1) & cx.mask
 	}

@@ -30,6 +30,13 @@ func (ix *Index) Lookup(t Tuple) []TID {
 // LookupKey returns the TIDs stored under a precomputed projection key.
 func (ix *Index) LookupKey(key string) []TID { return ix.buckets[key] }
 
+// LookupKeyBytes is LookupKey over a byte buffer: the string(key)
+// conversion happens inside the map index expression, which the
+// compiler recognizes and keeps off the heap, so probe loops can build
+// keys into one reused buffer (Value.AppendKey) without allocating per
+// probe.
+func (ix *Index) LookupKeyBytes(key []byte) []TID { return ix.buckets[string(key)] }
+
 // Groups invokes fn for every bucket with at least minSize members.
 // Iteration order over buckets is unspecified; callers that need
 // determinism should sort the result themselves.

@@ -375,8 +375,16 @@ func (in *Instance) String() string {
 }
 
 // Database is a named collection of instances, one per relation schema.
+// Like Instance it is single-writer: Add must not run concurrently with
+// readers, but the derived-snapshot cache below tolerates concurrent
+// DBSnapshotOf calls.
 type Database struct {
 	instances map[string]*Instance
+
+	// mu guards snapCache, the version-keyed whole-database snapshot
+	// (DBSnapshotOf).
+	mu        sync.Mutex
+	snapCache *DBSnapshot
 }
 
 // NewDatabase returns an empty database.

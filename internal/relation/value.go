@@ -243,6 +243,32 @@ func (v Value) Key() string {
 	}
 }
 
+// AppendKey appends Key(v) to b and returns the extended slice — the
+// allocation-free form probe loops use to build projection keys into a
+// reused buffer instead of materializing a string per value.
+func (v Value) AppendKey(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, "\x00n"...)
+	case KindBool:
+		if v.i != 0 {
+			return append(b, "\x00t"...)
+		}
+		return append(b, "\x00f"...)
+	case KindInt:
+		return strconv.AppendInt(append(b, "\x00i"...), v.i, 10)
+	case KindFloat:
+		f := v.f
+		if f == float64(int64(f)) {
+			// Integral floats share keys with the equal integer value.
+			return strconv.AppendInt(append(b, "\x00i"...), int64(f), 10)
+		}
+		return strconv.AppendFloat(append(b, "\x00r"...), f, 'g', -1, 64)
+	default:
+		return append(append(b, "\x00s"...), v.s...)
+	}
+}
+
 // String renders the value for display. Strings render verbatim; null
 // renders as "⊥".
 func (v Value) String() string {

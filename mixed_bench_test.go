@@ -1,0 +1,161 @@
+package repro_test
+
+// Benchmarks for mixed-class detection on the constraint-agnostic
+// engine (DESIGN.md E24):
+//
+//	cind=legacy       cind.DetectAll — string-keyed target indexes (shared
+//	                  across the set since PR 4) and a per-source-tuple
+//	                  string-key probe per tableau row
+//	cind=engine       Engine.DetectBatch over the CINDs only — columnar
+//	                  DBSnapshot, shared source-group and target-key
+//	                  CodeIndexes, one integer-code probe per source
+//	                  group; the snapshot cache is warm (steady state)
+//	cind=enginecold   cind=engine with the version-keyed caches defeated
+//	                  each iteration: freeze + intern + index from scratch
+//	mixed=legacy      the per-class legacy detectors back to back
+//	                  (cfd.DetectAll + cind.DetectAll + ecfd.DetectAll)
+//	mixed=engine      one Engine.DetectBatch over the whole CFD+CIND+eCFD
+//	                  batch through one shared DBSnapshot (warm)
+//
+// on gen-produced order/book/CD databases of 10k–100k order tuples at a
+// 5% violation rate. The CIND speedup claimed in EXPERIMENTS.md E24 is
+// measured here, not asserted:
+//
+//	go test -run '^$' -bench DetectMixed -benchmem .
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/cind"
+	"repro/internal/detect"
+	"repro/internal/ecfd"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// mixedBenchSigma builds the E24 rule set over the order/book/CD
+// schemas: two CFDs and two eCFDs on order plus the three Figure 4
+// CINDs. The second CFD's LHS position sequence equals ϕ4/ϕ5's source
+// grouping, so the engine plan shares that index across classes.
+func mixedBenchSigma(db *relation.Database) ([]*cfd.CFD, []*cind.CIND, []*ecfd.ECFD) {
+	order := db.MustInstance("order").Schema()
+	book := db.MustInstance("book").Schema()
+	cd := db.MustInstance("CD").Schema()
+	cfds := []*cfd.CFD{
+		cfd.MustFD(order, []string{"title"}, []string{"price"}),
+		cfd.MustFD(order, []string{"title", "price", "type"}, []string{"asin"}),
+	}
+	cinds := []*cind.CIND{
+		cind.MustNew(order, book,
+			[]string{"title", "price"}, []string{"title", "price"},
+			[]string{"type"}, nil,
+			cind.PatternRow{XpVals: []relation.Value{relation.Str("book")}}),
+		cind.MustNew(order, cd,
+			[]string{"title", "price"}, []string{"album", "price"},
+			[]string{"type"}, nil,
+			cind.PatternRow{XpVals: []relation.Value{relation.Str("CD")}}),
+		cind.MustNew(cd, book,
+			[]string{"album", "price"}, []string{"title", "price"},
+			[]string{"genre"}, []string{"format"},
+			cind.PatternRow{
+				XpVals: []relation.Value{relation.Str("a-book")},
+				YpVals: []relation.Value{relation.Str("audio")},
+			}),
+	}
+	ecfds := []*ecfd.ECFD{
+		ecfd.MustNew(order, []string{"type"}, []string{"price"},
+			ecfd.Row{LHS: []ecfd.Cell{ecfd.NotIn(relation.Str("book"), relation.Str("CD"))},
+				RHS: []ecfd.Cell{ecfd.Any()}}),
+		ecfd.MustNew(order, []string{"title"}, []string{"type"},
+			ecfd.Row{LHS: []ecfd.Cell{ecfd.Any()},
+				RHS: []ecfd.Cell{ecfd.In(relation.Str("book"), relation.Str("CD"))}}),
+	}
+	return cfds, cinds, ecfds
+}
+
+// defeatCaches performs a no-op update on every relation so the
+// version-keyed snapshot (and DBSnapshot) caches miss.
+func defeatCaches(b *testing.B, db *relation.Database) {
+	b.Helper()
+	for _, name := range db.Names() {
+		in := db.MustInstance(name)
+		id := in.IDs()[0]
+		t0, _ := in.Tuple(id)
+		if err := in.Update(id, 0, t0[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectMixed(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		db := gen.Orders(gen.OrdersConfig{Books: n / 4, CDs: n / 4, Orders: n, Seed: 17, ViolationRate: 0.05})
+		cfds, cinds, ecfds := mixedBenchSigma(db)
+		cindCs := detect.WrapCINDs(cinds)
+		var all []detect.Constraint
+		all = append(all, detect.WrapCFDs(cfds)...)
+		all = append(all, cindCs...)
+		all = append(all, detect.WrapECFDs(ecfds)...)
+
+		b.Run(fmt.Sprintf("n=%d/cind=legacy", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cind.DetectAll(db, cinds)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/cind=engine", n), func(b *testing.B) {
+			b.ReportAllocs()
+			e := detect.New(1)
+			e.DetectBatch(db, cindCs) // warm the snapshot cache: steady state
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.DetectBatch(db, cindCs)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/cind=enginecold", n), func(b *testing.B) {
+			b.ReportAllocs()
+			// Changelogs disabled: the no-op updates below cannot be
+			// caught up by delta, so every iteration pays the full
+			// freeze + intern + index build — the genuinely cold cost.
+			cold := db.Clone()
+			for _, name := range cold.Names() {
+				cold.MustInstance(name).SetChangelogCap(-1)
+			}
+			e := detect.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				defeatCaches(b, cold)
+				e.DetectBatch(cold, cindCs)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/mixed=legacy", n), func(b *testing.B) {
+			b.ReportAllocs()
+			order := db.MustInstance("order")
+			for i := 0; i < b.N; i++ {
+				cfd.DetectAll(order, cfds)
+				cind.DetectAll(db, cinds)
+				ecfd.DetectAll(order, ecfds)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/mixed=engine", n), func(b *testing.B) {
+			b.ReportAllocs()
+			e := detect.New(1)
+			e.DetectBatch(db, all)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.DetectBatch(db, all)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/mixed=parallel", n), func(b *testing.B) {
+			b.ReportAllocs()
+			e := detect.New(0)
+			e.DetectBatch(db, all)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.DetectBatch(db, all)
+			}
+		})
+	}
+}
