@@ -46,21 +46,20 @@
 package main
 
 import (
-	"bufio"
-	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/cfd"
 	"repro/internal/cind"
 	"repro/internal/detect"
 	"repro/internal/ecfd"
+	"repro/internal/oplog"
 	"repro/internal/relation"
 )
 
@@ -99,7 +98,6 @@ func main() {
 	}
 
 	db := relation.NewDatabase()
-	instances := make(map[string]*relation.Instance)
 	schemas := make(map[string]*relation.Schema)
 	for name, path := range data {
 		f, err := os.Open(path)
@@ -112,7 +110,6 @@ func main() {
 			log.Fatal(err)
 		}
 		db.Add(in)
-		instances[name] = in
 		schemas[name] = in.Schema()
 		fmt.Printf("loaded %s: %d tuples\n", name, in.Len())
 	}
@@ -182,7 +179,7 @@ func main() {
 	fmt.Printf("\ntotal violations: %d\n", total)
 
 	if *follow != "" {
-		outstanding, err := followLog(*follow, monitor, instances, *max)
+		outstanding, err := followLog(*follow, monitor, schemas, *max)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -256,26 +253,35 @@ func sortDetectOrder(vs []detect.Violation) {
 }
 
 // followLog replays the update log through the pre-seeded database
-// monitor — each commit is one multi-relation batch — printing each
-// batch's gained/cleared diff, and returns the number of violations
-// outstanding at EOF.
-func followLog(path string, m *detect.DBMonitor, instances map[string]*relation.Instance, max int) (int, error) {
+// monitor — each commit is one multi-relation batch, decoded by
+// internal/oplog (the wire format cmd/dqserve's POST /batch shares) —
+// printing each batch's gained/cleared diff, and returns the number of
+// violations outstanding at EOF.
+func followLog(path string, m *detect.DBMonitor, schemas map[string]*relation.Schema, max int) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
 
-	var batch []detect.DBOp
+	rd := oplog.NewReader(f, schemas)
 	batchNo := 0
-	commit := func() error {
-		if len(batch) == 0 {
-			return nil
+	for {
+		batch, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			var se *oplog.SyntaxError
+			if errors.As(err, &se) {
+				return 0, fmt.Errorf("%s:%d: %v", path, se.Line, se.Err)
+			}
+			return 0, err
 		}
 		batchNo++
 		gained, cleared, err := m.Apply(batch)
 		if err != nil {
-			return fmt.Errorf("batch %d: %v", batchNo, err)
+			return 0, fmt.Errorf("batch %d: %v", batchNo, err)
 		}
 		rels := make(map[string]bool)
 		for _, op := range batch {
@@ -299,100 +305,7 @@ func followLog(path string, m *detect.DBMonitor, instances map[string]*relation.
 		}
 		printSome("+", gained)
 		printSome("-", cleared)
-		batch = nil
-		return nil
-	}
-
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		if text == "commit" {
-			if err := commit(); err != nil {
-				return 0, err
-			}
-			continue
-		}
-		op, err := parseOp(text, instances)
-		if err != nil {
-			return 0, fmt.Errorf("%s:%d: %v", path, line, err)
-		}
-		batch = append(batch, op)
-	}
-	if err := sc.Err(); err != nil {
-		return 0, err
-	}
-	if err := commit(); err != nil { // implicit commit of the tail
-		return 0, err
 	}
 	fmt.Printf("replayed %d batch(es); %d violation(s) outstanding\n", batchNo, m.Len())
 	return m.Len(), nil
-}
-
-// parseOp parses one update-log line (insert/update/delete) against the
-// loaded relations' schemas.
-func parseOp(text string, instances map[string]*relation.Instance) (detect.DBOp, error) {
-	verb, rest, _ := strings.Cut(text, " ")
-	rel, rest, _ := strings.Cut(strings.TrimSpace(rest), " ")
-	in, ok := instances[rel]
-	if !ok {
-		return detect.DBOp{}, fmt.Errorf("unknown relation %q", rel)
-	}
-	s := in.Schema()
-	rest = strings.TrimSpace(rest)
-	switch verb {
-	case "insert":
-		// The remainder is one CSV record in schema order.
-		cr := csv.NewReader(strings.NewReader(rest))
-		rec, err := cr.Read()
-		if err != nil {
-			return detect.DBOp{}, fmt.Errorf("insert %s: %v", rel, err)
-		}
-		if len(rec) != s.Arity() {
-			return detect.DBOp{}, fmt.Errorf("insert %s: %d fields, want %d", rel, len(rec), s.Arity())
-		}
-		t := make(relation.Tuple, len(rec))
-		for i, cell := range rec {
-			v, err := relation.ParseValue(s.Attr(i).Domain.Kind(), cell)
-			if err != nil {
-				return detect.DBOp{}, fmt.Errorf("insert %s column %s: %v", rel, s.Attr(i).Name, err)
-			}
-			t[i] = v
-		}
-		return detect.InsertInto(rel, t), nil
-	case "delete":
-		id, err := strconv.Atoi(rest)
-		if err != nil {
-			return detect.DBOp{}, fmt.Errorf("delete %s: bad TID %q", rel, rest)
-		}
-		return detect.DeleteFrom(rel, relation.TID(id)), nil
-	case "update":
-		idText, assign, ok := strings.Cut(rest, " ")
-		if !ok {
-			return detect.DBOp{}, fmt.Errorf("update %s: want \"update %s <tid> <attr>=<value>\"", rel, rel)
-		}
-		id, err := strconv.Atoi(idText)
-		if err != nil {
-			return detect.DBOp{}, fmt.Errorf("update %s: bad TID %q", rel, idText)
-		}
-		attr, valText, ok := strings.Cut(assign, "=")
-		if !ok {
-			return detect.DBOp{}, fmt.Errorf("update %s: want <attr>=<value>, got %q", rel, assign)
-		}
-		pos, ok := s.Lookup(strings.TrimSpace(attr))
-		if !ok {
-			return detect.DBOp{}, fmt.Errorf("update %s: no attribute %q", rel, attr)
-		}
-		v, err := relation.ParseValue(s.Attr(pos).Domain.Kind(), valText)
-		if err != nil {
-			return detect.DBOp{}, fmt.Errorf("update %s.%s: %v", rel, attr, err)
-		}
-		return detect.UpdateIn(rel, relation.TID(id), pos, v), nil
-	default:
-		return detect.DBOp{}, fmt.Errorf("unknown op %q (want insert/update/delete/commit)", verb)
-	}
 }

@@ -1,0 +1,192 @@
+// Command dqserve runs violation detection as a long-lived monitoring
+// service: it loads CSV relations and rule files — CFDs, CINDs and
+// eCFDs — like dqdetect, pays one full detection to seed a
+// detect.DBMonitor, and then serves HTTP:
+//
+//	POST /batch       ingest mutations in the dqdetect -follow op-log
+//	                  wire format (internal/oplog); each commit marker
+//	                  closes one atomic batch
+//	GET  /violations  the full current violation list (JSON; one line
+//	                  per violation with ?format=text)
+//	GET  /stream      Server-Sent Events: per-commit gained/cleared
+//	                  deltas ("hello", then "delta" events; a slow
+//	                  consumer is dropped with a terminal "resync")
+//	GET  /stats       tuple/violation counts, per-class and
+//	                  per-constraint breakdowns, ingest counters
+//	POST /check       evaluate posted rule texts against the current
+//	                  snapshot ({"cfds": "...", "cinds": "...",
+//	                  "ecfds": "..."})
+//	GET  /healthz     liveness
+//
+// Usage:
+//
+//	dqserve -addr :8080 -data customer=customer.csv -cfds rules.cfd
+//	dqserve -data order=o.csv -data book=b.csv -cinds rules.cind
+//
+// Ingest is single-writer behind a bounded queue (-queue) that
+// coalesces concurrent POST /batch commits into larger monitor batches
+// (-maxbatch caps the coalesced op count); every read endpoint is
+// served off the immutable snapshot published by the last commit, so
+// reads never block ingest and ingest never blocks reads. SIGINT or
+// SIGTERM stops accepting work, drains the queue and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cfd"
+	"repro/internal/cind"
+	"repro/internal/detect"
+	"repro/internal/ecfd"
+	"repro/internal/relation"
+	"repro/internal/serve"
+)
+
+// dataFlags collects repeated -data rel=path flags.
+type dataFlags map[string]string
+
+func (d dataFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d dataFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want rel=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+func main() {
+	data := dataFlags{}
+	flag.Var(data, "data", "relation=path.csv (repeatable)")
+	cfdsPath := flag.String("cfds", "", "CFD rule file")
+	rulesPath := flag.String("rules", "", "alias of -cfds")
+	cindsPath := flag.String("cinds", "", "CIND rule file")
+	ecfdsPath := flag.String("ecfds", "", "eCFD rule file")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "detection worker pool size (0 = one per CPU)")
+	queueCap := flag.Int("queue", serve.DefaultQueueCap, "bounded ingest queue capacity (pending batches)")
+	maxBatch := flag.Int("maxbatch", serve.DefaultMaxBatchOps, "max ops coalesced into one monitor batch")
+	subBuf := flag.Int("subbuf", serve.DefaultSubBuf, "per-subscriber delta buffer (commits a consumer may lag)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown budget for draining requests and the ingest queue")
+	flag.Parse()
+	if *cfdsPath == "" {
+		*cfdsPath = *rulesPath
+	}
+	if len(data) == 0 || (*cfdsPath == "" && *cindsPath == "" && *ecfdsPath == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := relation.NewDatabase()
+	schemas := make(map[string]*relation.Schema)
+	for name, path := range data {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := relation.ReadCSV(f, name)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.Add(in)
+		schemas[name] = in.Schema()
+		log.Printf("loaded %s: %d tuples", name, in.Len())
+	}
+
+	// Assemble the mixed batch Σ: CFDs, then CINDs, then eCFDs, each in
+	// file order — the same Σ order dqdetect reports in.
+	var rules []detect.Constraint
+	if *cfdsPath != "" {
+		cfds := parseRules(*cfdsPath, schemas, cfd.Parse)
+		log.Printf("loaded %d CFDs", len(cfds))
+		if ok, _ := cfd.Consistent(cfds); !ok {
+			log.Fatal("the CFD set is inconsistent: no nonempty instance can satisfy it (fix the rules first)")
+		}
+		rules = append(rules, detect.WrapCFDs(cfds)...)
+	}
+	if *cindsPath != "" {
+		cinds := parseRules(*cindsPath, schemas, cind.Parse)
+		log.Printf("loaded %d CINDs", len(cinds))
+		rules = append(rules, detect.WrapCINDs(cinds)...)
+	}
+	if *ecfdsPath != "" {
+		ecfds := parseRules(*ecfdsPath, schemas, ecfd.Parse)
+		log.Printf("loaded %d eCFDs", len(ecfds))
+		rules = append(rules, detect.WrapECFDs(ecfds)...)
+	}
+
+	svc, err := serve.New(serve.Config{
+		Engine:      &detect.Engine{Workers: *workers},
+		DB:          db,
+		Constraints: rules,
+		QueueCap:    *queueCap,
+		MaxBatchOps: *maxBatch,
+		SubBuf:      *subBuf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("seeded monitor: %d rule(s), %d violation(s) outstanding", len(rules), len(svc.Violations()))
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewHandler(svc),
+		// /stream responses are unbounded by design, so no WriteTimeout;
+		// header reads are not, and idle header-less connections must
+		// not pin goroutines forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down: draining requests and ingest queue (budget %v)", *drain)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Two-stage graceful shutdown: finish in-flight HTTP requests (each
+	// POST /batch waits for its commits), then drain whatever is still
+	// queued inside the service.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Stop(shutdownCtx); err != nil {
+		log.Printf("service drain: %v", err)
+	}
+	st := svc.State()
+	log.Printf("stopped at seq %d: %d op(s) applied, %d violation(s) outstanding", st.Seq, st.Ops, len(st.Violations))
+}
+
+// parseRules opens and parses one rule file with the class parser.
+func parseRules[T any](path string, schemas map[string]*relation.Schema,
+	parse func(r io.Reader, schemas map[string]*relation.Schema) ([]T, error)) []T {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rules, err := parse(f, schemas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rules
+}

@@ -41,8 +41,10 @@ func (c Class) String() string {
 		return "cfd"
 	case ClassCIND:
 		return "cind"
-	default:
+	case ClassECFD:
 		return "ecfd"
+	default:
+		return "unknown"
 	}
 }
 
@@ -248,7 +250,7 @@ func (e *Engine) DetectBatch(db *relation.Database, cs []Constraint) []Violation
 func (e *Engine) DetectBatchOn(dbs *relation.DBSnapshot, cs []Constraint) []Violation {
 	var out []Violation
 	e.DetectBatchStreamOn(dbs, cs, func(v Violation) { out = append(out, v) })
-	SortViolations(out, sigmaOf(cs))
+	SortViolations(out, SigmaOf(cs))
 	return out
 }
 
@@ -291,7 +293,7 @@ func (e *Engine) DetectBatchTouchedOn(dbs *relation.DBSnapshot, cs []Constraint,
 		}
 		return cs[i].EvalTouched(ctx, touched[i])
 	}, func(vs []Violation) { out = append(out, vs...) })
-	SortViolations(out, sigmaOf(cs))
+	SortViolations(out, SigmaOf(cs))
 	return out
 }
 
@@ -308,16 +310,35 @@ func (e *Engine) SatisfiesBatch(db *relation.Database, cs []Constraint) bool {
 		})
 		return ok
 	}
-	ctx := e.planBatch(relation.DBSnapshotOf(db), cs)
+	return e.SatisfiesBatchOn(relation.DBSnapshotOf(db), cs)
+}
+
+// SatisfiesBatchOn is SatisfiesBatch evaluated on a caller-supplied
+// database snapshot — the entry point for probing a frozen view (a
+// serve-layer published state) without freezing the live database
+// again, and without ever reading the mutable instances: safe to run
+// concurrently with a writer mutating the snapshot's source database.
+// On a Legacy engine the constraints fall back to the string-keyed path
+// against the snapshot's source, which is only equivalent (and only
+// safe) while the snapshot is current and the database quiescent.
+func (e *Engine) SatisfiesBatchOn(dbs *relation.DBSnapshot, cs []Constraint) bool {
+	if e.legacy() {
+		db := dbs.Source()
+		ok, _ := runCancel(e.workers(), len(cs), func(i int) bool {
+			return len(cs[i].EvalLegacy(db)) == 0
+		})
+		return ok
+	}
+	ctx := e.planBatch(dbs, cs)
 	ok, _ := runCancel(e.workers(), len(cs), func(i int) bool {
 		return cs[i].Satisfied(ctx)
 	})
 	return ok
 }
 
-// sigmaOf maps each wrapped dependency to its first batch position —
-// the Σ tie-break of the canonical mixed order.
-func sigmaOf(cs []Constraint) map[any]int {
+// SigmaOf maps each wrapped dependency to its first batch position —
+// the Σ tie-break of the canonical mixed order (see SortViolations).
+func SigmaOf(cs []Constraint) map[any]int {
 	sigma := make(map[any]int, len(cs))
 	for i, c := range cs {
 		if _, ok := sigma[c.Dep()]; !ok {
@@ -327,51 +348,114 @@ func sigmaOf(cs []Constraint) map[any]int {
 	return sigma
 }
 
+// DepOf returns the dependency a violation is attributed to (*cfd.CFD,
+// *cind.CIND, *ecfd.ECFD), or nil for violations of classes this
+// package does not know.
+func DepOf(v Violation) any {
+	switch v := v.(type) {
+	case cfd.Violation:
+		return v.CFD
+	case cind.Violation:
+		return v.CIND
+	case ecfd.Violation:
+		return v.ECFD
+	}
+	return nil
+}
+
+// ClassOf returns a violation's class tag, or ^Class(0) for violations
+// of classes this package does not know (a future Constraint
+// implementation — the same marker SortViolations orders last).
+func ClassOf(v Violation) Class {
+	switch v.(type) {
+	case cfd.Violation:
+		return ClassCFD
+	case cind.Violation:
+		return ClassCIND
+	case ecfd.Violation:
+		return ClassECFD
+	}
+	return ^Class(0)
+}
+
+// RelationOf returns the primary relation a violation's TIDs live in —
+// the violated CFD/eCFD's schema, a CIND's source relation — or ""
+// for violations of unknown classes.
+func RelationOf(v Violation) string {
+	switch v := v.(type) {
+	case cfd.Violation:
+		return v.CFD.Schema().Name()
+	case cind.Violation:
+		return v.CIND.Src().Name()
+	case ecfd.Violation:
+		return v.ECFD.Schema().Name()
+	}
+	return ""
+}
+
+// violationKey is the canonical mixed sort key (see SortViolations).
+type violationKey struct {
+	class          Class
+	t1, t2         relation.TID
+	attr, row, sig int
+}
+
+func keyOfViolation(v Violation, sigma map[any]int) violationKey {
+	switch v := v.(type) {
+	case cfd.Violation:
+		return violationKey{ClassCFD, v.T1, v.T2, v.Attr, v.Row, sigma[v.CFD]}
+	case cind.Violation:
+		return violationKey{ClassCIND, v.TID, 0, 0, v.Row, sigma[v.CIND]}
+	case ecfd.Violation:
+		return violationKey{ClassECFD, v.T1, v.T2, v.Attr, v.Row, sigma[v.ECFD]}
+	default:
+		// A class this package does not know (a future Constraint
+		// implementation): keep its violations after the built-in
+		// classes, in the stable order they streamed in.
+		return violationKey{class: ^Class(0)}
+	}
+}
+
+// CompareViolations orders two mixed violations by the canonical key
+// (-1, 0, +1): the comparator behind SortViolations, exported so
+// maintained sorted violation lists (the serve layer's published state)
+// can merge sorted gained/cleared diffs without re-sorting.
+func CompareViolations(a, b Violation, sigma map[any]int) int {
+	ka, kb := keyOfViolation(a, sigma), keyOfViolation(b, sigma)
+	switch {
+	case ka.class != kb.class:
+		return cmpOrder(ka.class < kb.class)
+	case ka.t1 != kb.t1:
+		return cmpOrder(ka.t1 < kb.t1)
+	case ka.t2 != kb.t2:
+		return cmpOrder(ka.t2 < kb.t2)
+	case ka.attr != kb.attr:
+		return cmpOrder(ka.attr < kb.attr)
+	case ka.row != kb.row:
+		return cmpOrder(ka.row < kb.row)
+	case ka.sig != kb.sig:
+		return cmpOrder(ka.sig < kb.sig)
+	default:
+		return 0
+	}
+}
+
+func cmpOrder(less bool) int {
+	if less {
+		return -1
+	}
+	return 1
+}
+
 // SortViolations sorts a mixed violation slice into the canonical mixed
 // reporting order: class (CFD, CIND, eCFD), then the class's canonical
 // key — (T1, T2, Attr, Row) for CFDs and eCFDs, (TID, Row) for CINDs —
 // with ties broken by Σ position (sigma maps each dependency to its
-// batch index; see sigmaOf). Restricted to one class it reproduces that
+// batch index; see SigmaOf). Restricted to one class it reproduces that
 // class's own SortViolations order, which is what keeps DetectBatch's
 // per-class subsequences byte-identical to the legacy detectors.
 func SortViolations(vs []Violation, sigma map[any]int) {
-	type key struct {
-		class          Class
-		t1, t2         relation.TID
-		attr, row, sig int
-	}
-	keyOf := func(v Violation) key {
-		switch v := v.(type) {
-		case cfd.Violation:
-			return key{ClassCFD, v.T1, v.T2, v.Attr, v.Row, sigma[v.CFD]}
-		case cind.Violation:
-			return key{ClassCIND, v.TID, 0, 0, v.Row, sigma[v.CIND]}
-		case ecfd.Violation:
-			return key{ClassECFD, v.T1, v.T2, v.Attr, v.Row, sigma[v.ECFD]}
-		default:
-			// A class this package does not know (a future Constraint
-			// implementation): keep its violations after the built-in
-			// classes, in the stable order they streamed in.
-			return key{class: ^Class(0)}
-		}
-	}
 	sort.SliceStable(vs, func(i, j int) bool {
-		a, b := keyOf(vs[i]), keyOf(vs[j])
-		if a.class != b.class {
-			return a.class < b.class
-		}
-		if a.t1 != b.t1 {
-			return a.t1 < b.t1
-		}
-		if a.t2 != b.t2 {
-			return a.t2 < b.t2
-		}
-		if a.attr != b.attr {
-			return a.attr < b.attr
-		}
-		if a.row != b.row {
-			return a.row < b.row
-		}
-		return a.sig < b.sig
+		return CompareViolations(vs[i], vs[j], sigma) < 0
 	})
 }

@@ -114,7 +114,7 @@ func TestDetectBatchDeterministic(t *testing.T) {
 	// The stream delivers per-constraint contiguous runs in Σ order.
 	var streamed []Violation
 	e.DetectBatchStream(db, cs, func(v Violation) { streamed = append(streamed, v) })
-	SortViolations(streamed, sigmaOf(cs))
+	SortViolations(streamed, SigmaOf(cs))
 	if !reflect.DeepEqual(first, streamed) {
 		t.Fatal("sorted stream diverges from DetectBatch")
 	}

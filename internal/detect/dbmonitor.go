@@ -82,7 +82,7 @@ func NewDBMonitor(e *Engine, db *relation.Database, cs []Constraint) *DBMonitor 
 		engine:  e,
 		db:      db,
 		cs:      cs,
-		sigma:   sigmaOf(cs),
+		sigma:   SigmaOf(cs),
 		dbs:     relation.DBSnapshotOf(db),
 		current: make(map[Violation]struct{}),
 	}
@@ -108,6 +108,18 @@ func NewDBMonitor(e *Engine, db *relation.Database, cs []Constraint) *DBMonitor 
 // failing op the remaining ops are skipped, the monitor resynchronizes
 // with whatever prefix was applied, and the error is returned alongside
 // the diff.
+//
+// Apply is single-writer: it must not run concurrently with another
+// Apply or Sync, with Violations/Len/Snapshot on the same monitor, or
+// with any other mutation of the watched database — the monitor
+// inherits the instances' own single-writer rule and additionally
+// mutates its stored violation set. Concurrent READERS are safe only
+// against values the writer has already handed off: the *DBSnapshot a
+// previous Apply/Sync returned via Snapshot() stays immutable and
+// readable (COW tuple arrays, append-only dictionaries) while the next
+// Apply derives its successor, which is exactly the hand-off
+// internal/serve's single-writer ingest loop publishes to its
+// concurrent read endpoints. See serve.Service.
 func (m *DBMonitor) Apply(batch []DBOp) (gained, cleared []Violation, err error) {
 	for _, op := range batch {
 		in, ok := m.db.Instance(op.Rel)
@@ -138,6 +150,11 @@ func (m *DBMonitor) Apply(batch []DBOp) (gained, cleared []Violation, err error)
 // Sync brings the monitor up to date with mutations made directly on
 // the database (outside Apply) and returns the violation diff, like
 // Apply without the mutation step.
+//
+// Sync shares Apply's single-writer contract: one goroutine at a time,
+// never concurrent with Apply or with database mutations; concurrent
+// readers must hold a previously returned Snapshot rather than calling
+// into the monitor (see Apply).
 func (m *DBMonitor) Sync() (gained, cleared []Violation) {
 	old := m.dbs
 	deltas := make(map[string]*relation.Delta)

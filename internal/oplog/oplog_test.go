@@ -1,0 +1,266 @@
+package oplog
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+func testSchemas() map[string]*relation.Schema {
+	return map[string]*relation.Schema{
+		"customer": paperdata.CustomerSchema(),
+		"order":    paperdata.OrderSchema(),
+		"book":     paperdata.BookSchema(),
+	}
+}
+
+func TestParseOpLines(t *testing.T) {
+	schemas := testSchemas()
+	op, err := ParseOp("insert customer 44,131,1234567,Mike,Mayfield,NYC,EH4 8LE", schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Rel != "customer" || op.Op.Kind != detect.OpInsert || len(op.Op.Tuple) != 7 {
+		t.Fatalf("bad insert op: %+v", op)
+	}
+	if got := op.Op.Tuple[3].StrVal(); got != "Mike" {
+		t.Fatalf("name = %q, want Mike", got)
+	}
+
+	op, err = ParseOp("update customer 3 city=EDI", schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := schemas["customer"].Lookup("city")
+	if op.Op.Kind != detect.OpUpdate || op.Op.TID != 3 || op.Op.Pos != pos || op.Op.Val.StrVal() != "EDI" {
+		t.Fatalf("bad update op: %+v", op)
+	}
+
+	op, err = ParseOp("delete order 7", schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Rel != "order" || op.Op.Kind != detect.OpDelete || op.Op.TID != 7 {
+		t.Fatalf("bad delete op: %+v", op)
+	}
+}
+
+func TestParseOpErrors(t *testing.T) {
+	schemas := testSchemas()
+	for _, bad := range []string{
+		"insert nosuch 1,2",
+		"insert customer 44,131",           // wrong arity
+		"update customer x city=EDI",       // bad TID
+		"update customer 3 nosuch=EDI",     // unknown attribute
+		"update customer 3 city",           // missing =
+		"delete customer x",                // bad TID
+		"upsert customer 3 city=EDI",       // unknown verb
+		"insert customer 44,131,x,a,b,c,d", // bad int cell (phn)
+	} {
+		if _, err := ParseOp(bad, schemas); err == nil {
+			t.Errorf("ParseOp(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestSyntaxErrorPosition pins parse failures to their 1-based input
+// line, counting comments, blanks and commit markers.
+func TestSyntaxErrorPosition(t *testing.T) {
+	const stream = `# a comment
+insert customer 44,131,1234567,Mike,Mayfield,NYC,EH4 8LE
+commit
+
+update customer 0 city=EDI
+bogus line here
+`
+	_, err := Parse(strings.NewReader(stream), testSchemas())
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SyntaxError", err)
+	}
+	if se.Line != 6 {
+		t.Fatalf("error line = %d, want 6", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 6:") {
+		t.Fatalf("error text %q does not carry the position", se.Error())
+	}
+}
+
+// TestReaderBatching checks commit framing: explicit commits, skipped
+// empty commits, and the implicit commit of the tail.
+func TestReaderBatching(t *testing.T) {
+	const stream = `
+insert order B001,Harry Potter,book,17.99
+update order 0 price=15.99
+commit
+commit
+# tail batch, no trailing commit
+delete order 0
+`
+	batches, err := Parse(strings.NewReader(stream), testSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(batches))
+	}
+	if len(batches[0]) != 2 || len(batches[1]) != 1 {
+		t.Fatalf("batch sizes = %d,%d, want 2,1", len(batches[0]), len(batches[1]))
+	}
+	if batches[1][0].Op.Kind != detect.OpDelete {
+		t.Fatalf("tail op = %+v, want delete", batches[1][0])
+	}
+}
+
+// TestRoundTrip formats randomized multi-relation batches and parses
+// them back, demanding the exact op stream — the contract that lets
+// dqserve clients replay logs dqdetect wrote and vice versa.
+func TestRoundTrip(t *testing.T) {
+	schemas := testSchemas()
+	r := rand.New(rand.NewSource(7))
+	titles := []string{"Harry Potter", "Snow White", "A Tale, Quoted \"Twice\"", "biały"}
+	randOp := func() detect.DBOp {
+		switch r.Intn(4) {
+		case 0:
+			return detect.InsertInto("order", relation.Tuple{
+				relation.Str("B001"), relation.Str(titles[r.Intn(len(titles))]),
+				relation.Str("book"), relation.Float(17.99)})
+		case 1:
+			return detect.InsertInto("customer", relation.Tuple{
+				relation.Int(44), relation.Int(131), relation.Int(1234567),
+				relation.Str("Mike"), relation.Null(), relation.Str("NYC"),
+				relation.Str("EH4 8LE")})
+		case 2:
+			return detect.UpdateIn("order", relation.TID(r.Intn(50)), 1,
+				relation.Str(titles[r.Intn(len(titles))]))
+		default:
+			return detect.DeleteFrom("book", relation.TID(r.Intn(50)))
+		}
+	}
+	var batches [][]detect.DBOp
+	for i := 0; i < 25; i++ {
+		batch := make([]detect.DBOp, 1+r.Intn(6))
+		for j := range batch {
+			batch[j] = randOp()
+		}
+		batches = append(batches, batch)
+	}
+
+	var buf bytes.Buffer
+	if err := Format(&buf, batches, schemas); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()), schemas)
+	if err != nil {
+		t.Fatalf("parse of formatted stream: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, batches) {
+		t.Fatalf("round trip diverged:\nin  %v\nout %v\nwire:\n%s", batches, got, buf.String())
+	}
+
+	// A second format of the parsed stream must reproduce the wire bytes
+	// (the format is canonical, not just equivalence-preserving).
+	var buf2 bytes.Buffer
+	if err := Format(&buf2, got, schemas); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-format diverged:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestFormatOpRejectsUnframeable pins the values the line format cannot
+// carry: line breaks anywhere, and update values the line trim would
+// mangle.
+func TestFormatOpRejectsUnframeable(t *testing.T) {
+	schemas := testSchemas()
+	if _, err := FormatOp(detect.UpdateIn("order", 1, 1, relation.Str("two\nlines")), schemas); err == nil {
+		t.Error("update with a newline formatted, want error")
+	}
+	if _, err := FormatOp(detect.UpdateIn("order", 1, 1, relation.Str(" padded ")), schemas); err == nil {
+		t.Error("update with padded value formatted, want error")
+	}
+	if _, err := FormatOp(detect.InsertInto("order", relation.Tuple{
+		relation.Str("B001"), relation.Str("a\nb"), relation.Str("book"), relation.Float(1)}), schemas); err == nil {
+		t.Error("insert with a newline formatted, want error")
+	}
+	// Trailing whitespace in a record's last cell is not quoted by
+	// csv.Writer and the parser trims whole lines, so Format→Parse
+	// would silently yield a different tuple — reject it instead.
+	if _, err := FormatOp(detect.InsertInto("book", relation.Tuple{
+		relation.Str("b1"), relation.Str("T"), relation.Float(1), relation.Str("audio ")}), schemas); err == nil {
+		t.Error("insert with a trailing-whitespace cell formatted, want error")
+	}
+	if _, err := FormatOp(detect.DeleteFrom("nosuch", 1), schemas); err == nil {
+		t.Error("delete of unknown relation formatted, want error")
+	}
+	// The empty text is the null encoding; an empty *string* value would
+	// come back as Null — a silent type change, so it must be rejected.
+	if _, err := FormatOp(detect.UpdateIn("order", 1, 1, relation.Str("")), schemas); err == nil {
+		t.Error("update with an empty string value formatted, want error")
+	}
+	if _, err := FormatOp(detect.InsertInto("order", relation.Tuple{
+		relation.Str(""), relation.Str("T"), relation.Str("book"), relation.Float(1)}), schemas); err == nil {
+		t.Error("insert with an empty string cell formatted, want error")
+	}
+}
+
+// TestOverlongLinePositioned: a line past MaxLineBytes fails as a
+// positioned SyntaxError, not a bare scanner error.
+func TestOverlongLinePositioned(t *testing.T) {
+	stream := "delete order 1\ncommit\ninsert order " + strings.Repeat("x", MaxLineBytes+1) + ",T,book,1\n"
+	_, err := Parse(strings.NewReader(stream), testSchemas())
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SyntaxError", err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("error line = %d, want 3", se.Line)
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want to wrap bufio.ErrTooLong", err)
+	}
+}
+
+// TestNullRoundTrip: null cells ride as empty text in both insert
+// records and update values.
+func TestNullRoundTrip(t *testing.T) {
+	schemas := testSchemas()
+	ops := [][]detect.DBOp{{
+		detect.InsertInto("customer", relation.Tuple{
+			relation.Int(44), relation.Int(131), relation.Int(1234567),
+			relation.Null(), relation.Null(), relation.Str("NYC"), relation.Str("EH4 8LE")}),
+		detect.UpdateIn("customer", 2, 5, relation.Null()),
+	}}
+	var buf bytes.Buffer
+	if err := Format(&buf, ops, schemas); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf, schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("null round trip diverged: %v vs %v", got, ops)
+	}
+}
+
+// TestReaderAfterError: a Reader that raised a syntax error stays done.
+func TestReaderAfterError(t *testing.T) {
+	r := NewReader(strings.NewReader("bogus\ninsert order B1,T,book,1.0\n"), testSchemas())
+	if _, err := r.Next(); err == nil {
+		t.Fatal("want syntax error")
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after error = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/cfd"
+	"repro/internal/cind"
+	"repro/internal/detect"
+	"repro/internal/ecfd"
+	"repro/internal/oplog"
+	"repro/internal/relation"
+)
+
+// Handler is the HTTP/JSON front end cmd/dqserve mounts:
+//
+//	POST /batch       ingest an op-log stream (internal/oplog wire
+//	                  format); each commit becomes one Submit
+//	GET  /violations  the full published violation list (JSON, or one
+//	                  String() per line with ?format=text)
+//	GET  /stats       counters, per-class/-relation/-constraint counts
+//	GET  /stream      Server-Sent Events of per-commit gained/cleared
+//	                  deltas; a dropped slow consumer gets a final
+//	                  "resync" event
+//	POST /check       SatisfiesBatch probe: rule texts evaluated
+//	                  against the published snapshot
+//	GET  /healthz     liveness
+//
+// Every read is served off the immutable published State; only POST
+// /batch talks to the single-writer ingest loop.
+type Handler struct {
+	Svc *Service
+	// OnEvent, when non-nil, runs after each SSE event is written and
+	// flushed — a test seam: blocking here models a consumer that has
+	// stopped draining its stream.
+	OnEvent func(event string)
+
+	mux *http.ServeMux
+}
+
+// NewHandler mounts the endpoints for a service.
+func NewHandler(svc *Service) *Handler {
+	h := &Handler{Svc: svc}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("POST /batch", h.handleBatch)
+	h.mux.HandleFunc("GET /violations", h.handleViolations)
+	h.mux.HandleFunc("GET /stats", h.handleStats)
+	h.mux.HandleFunc("GET /stream", h.handleStream)
+	h.mux.HandleFunc("POST /check", h.handleCheck)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// writeJSON renders one response object.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Request body ceilings: an op-log ingest is bounded ops, not a bulk
+// load (use the CSV loading path for that); a rule probe is a rule
+// file.
+const (
+	maxBatchBytes = 64 << 20
+	maxCheckBytes = 1 << 20
+)
+
+// handleBatch ingests an op-log stream: parse it all first (a syntax
+// error rejects the whole request with its line position, before any
+// mutation), then Submit each commit batch in order and wait for the
+// acks.
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	batches, err := oplog.Parse(http.MaxBytesReader(w, r.Body, maxBatchBytes), h.Svc.Schemas())
+	if err != nil {
+		var se *oplog.SyntaxError
+		if errors.As(err, &se) {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": se.Err.Error(),
+				"line":  se.Line,
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := struct {
+		Seq     uint64 `json:"seq"`
+		Batches int    `json:"batches"`
+		Ops     int    `json:"ops"`
+		Gained  int    `json:"gained"`
+		Cleared int    `json:"cleared"`
+		Error   string `json:"error,omitempty"`
+	}{Seq: h.Svc.State().Seq}
+	for _, batch := range batches {
+		res, err := h.Svc.Submit(r.Context(), batch)
+		if errors.Is(err, ErrStopped) {
+			writeError(w, http.StatusServiceUnavailable, "service stopping")
+			return
+		}
+		if err != nil && res.Err == nil {
+			// Not a commit verdict but a transport condition (the request
+			// context was cancelled before the ack): the batch may or may
+			// not still be applied, and the client is gone — don't count
+			// it, don't dress it up as an op conflict.
+			return
+		}
+		resp.Seq = res.Seq
+		resp.Batches++
+		resp.Ops += len(batch)
+		resp.Gained += res.Gained
+		resp.Cleared += res.Cleared
+		if err != nil {
+			// An op error: the batch's applied prefix stands and the
+			// service stayed consistent, but the client's stream was not
+			// applied in full — stop here and say so.
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusConflict, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// violationJSON is one violation on the wire.
+type violationJSON struct {
+	Class string        `json:"class"`
+	Rule  string        `json:"rule"`
+	Rel   string        `json:"rel"`
+	Row   int           `json:"row"`
+	T1    relation.TID  `json:"t1"`
+	T2    *relation.TID `json:"t2,omitempty"`
+	Attr  string        `json:"attr,omitempty"`
+	Text  string        `json:"text"`
+}
+
+func violationWire(v detect.Violation) violationJSON {
+	out := violationJSON{
+		Class: detect.ClassOf(v).String(),
+		Rule:  ruleText(detect.DepOf(v)),
+		Rel:   detect.RelationOf(v),
+		Text:  v.String(),
+	}
+	switch v := v.(type) {
+	case cfd.Violation:
+		out.Row, out.T1, out.Attr = v.Row, v.T1, v.CFD.Schema().Attr(v.Attr).Name
+		t2 := v.T2
+		out.T2 = &t2
+	case cind.Violation:
+		out.Row, out.T1 = v.Row, v.TID
+	case ecfd.Violation:
+		out.Row, out.T1, out.Attr = v.Row, v.T1, v.ECFD.Schema().Attr(v.Attr).Name
+		t2 := v.T2
+		out.T2 = &t2
+	}
+	return out
+}
+
+func violationsWire(vs []detect.Violation) []violationJSON {
+	out := make([]violationJSON, len(vs))
+	for i, v := range vs {
+		out[i] = violationWire(v)
+	}
+	return out
+}
+
+// ViolationsText renders a violation list as the canonical plain-text
+// report: one String() per line. GET /violations?format=text returns
+// exactly these bytes, which is what the oracle tests compare against
+// a fresh Engine.DetectBatch.
+func ViolationsText(vs []detect.Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (h *Handler) handleViolations(w http.ResponseWriter, r *http.Request) {
+	st := h.Svc.State()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, ViolationsText(st.Violations))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Seq        uint64          `json:"seq"`
+		Total      int             `json:"total"`
+		Violations []violationJSON `json:"violations"`
+	}{st.Seq, len(st.Violations), violationsWire(st.Violations)})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := h.Svc.State()
+	relations := make(map[string]int)
+	for _, name := range st.Snapshot.Names() {
+		if snap, ok := st.Snapshot.Snapshot(name); ok {
+			relations[name] = snap.Len()
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Seq         uint64         `json:"seq"`
+		Relations   map[string]int `json:"relations"`
+		Constraints int            `json:"constraints"`
+		Violations  int            `json:"violations"`
+		Ops         uint64         `json:"ops"`
+		Gained      uint64         `json:"gained"`
+		Cleared     uint64         `json:"cleared"`
+		Errors      uint64         `json:"errors"`
+		FullSyncs   int            `json:"fullSyncs"`
+		Subscribers int            `json:"subscribers"`
+		QueueDepth  int            `json:"queueDepth"`
+		Counts      Counts         `json:"counts"`
+	}{
+		Seq:         st.Seq,
+		Relations:   relations,
+		Constraints: len(h.Svc.Constraints()),
+		Violations:  len(st.Violations),
+		Ops:         st.Ops,
+		Gained:      st.Gained,
+		Cleared:     st.Cleared,
+		Errors:      st.Errs,
+		FullSyncs:   st.FullSyncs,
+		Subscribers: h.Svc.NumSubscribers(),
+		QueueDepth:  h.Svc.QueueDepth(),
+		Counts:      h.Svc.countsFor(st), // same State as the top-level fields
+	})
+}
+
+// deltaJSON is one commit's diff on the SSE wire.
+type deltaJSON struct {
+	Seq     uint64          `json:"seq"`
+	Gained  []violationJSON `json:"gained"`
+	Cleared []violationJSON `json:"cleared"`
+}
+
+// handleStream serves the delta subscription as Server-Sent Events:
+// a "hello" event naming the subscription Seq (the client's resync
+// anchor: GET /violations at or after that Seq plus the deltas
+// reconstructs every later state), then one "delta" event per commit.
+// A consumer that falls behind the channel buffer is dropped by the
+// ingest loop and gets a terminal "resync" event: reconnect and
+// re-read /violations.
+func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := h.Svc.Subscribe()
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(event string, payload any) bool {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(payload); err != nil {
+			return false
+		}
+		data := bytes.TrimSuffix(buf.Bytes(), []byte("\n"))
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		if h.OnEvent != nil {
+			h.OnEvent(event)
+		}
+		return true
+	}
+
+	if !writeEvent("hello", map[string]uint64{"seq": sub.Seq()}) {
+		return
+	}
+	for {
+		select {
+		case delta, ok := <-sub.Events():
+			if !ok {
+				if sub.Lost() {
+					writeEvent("resync", map[string]any{
+						"seq":    h.Svc.State().Seq,
+						"reason": "slow consumer: delta buffer overflowed",
+					})
+				}
+				return
+			}
+			if !writeEvent("delta", deltaJSON{
+				Seq:     delta.Seq,
+				Gained:  violationsWire(delta.Gained),
+				Cleared: violationsWire(delta.Cleared),
+			}) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// checkRequest carries rule-file texts for a satisfaction probe.
+type checkRequest struct {
+	CFDs  string `json:"cfds,omitempty"`
+	CINDs string `json:"cinds,omitempty"`
+	ECFDs string `json:"ecfds,omitempty"`
+}
+
+// handleCheck parses the posted rules against the served schemas and
+// evaluates them on the published snapshot — a read: it never touches
+// the live database or the ingest loop.
+func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCheckBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	schemas := h.Svc.Schemas()
+	var cs []detect.Constraint
+	if req.CFDs != "" {
+		rules, err := cfd.Parse(strings.NewReader(req.CFDs), schemas)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cfds: %v", err)
+			return
+		}
+		cs = append(cs, detect.WrapCFDs(rules)...)
+	}
+	if req.CINDs != "" {
+		rules, err := cind.Parse(strings.NewReader(req.CINDs), schemas)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cinds: %v", err)
+			return
+		}
+		cs = append(cs, detect.WrapCINDs(rules)...)
+	}
+	if req.ECFDs != "" {
+		rules, err := ecfd.Parse(strings.NewReader(req.ECFDs), schemas)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "ecfds: %v", err)
+			return
+		}
+		cs = append(cs, detect.WrapECFDs(rules)...)
+	}
+	if len(cs) == 0 {
+		writeError(w, http.StatusBadRequest, "no rules in request")
+		return
+	}
+	seq, ok := h.Svc.Check(cs)
+	writeJSON(w, http.StatusOK, struct {
+		Seq       uint64 `json:"seq"`
+		Rules     int    `json:"rules"`
+		Satisfied bool   `json:"satisfied"`
+	}{seq, len(cs), ok})
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Seq    uint64 `json:"seq"`
+	}{"ok", h.Svc.State().Seq})
+}

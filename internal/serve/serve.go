@@ -1,0 +1,541 @@
+// Package serve turns the batch-oriented detection stack into a
+// long-lived, goroutine-safe violation-monitoring service: one
+// detect.DBMonitor owned by a single-writer ingest loop, fed through a
+// bounded queue that coalesces submitted mutation batches into commit
+// batches (amortizing snapshot catch-up), with every read — the full
+// violation list, per-constraint and per-relation counts, satisfaction
+// probes — served off an immutable published State without ever
+// blocking the writer, and gained/cleared deltas fanned out to
+// subscribers over buffered channels under a slow-consumer drop policy.
+//
+// The concurrency design in one paragraph: the DBMonitor (and the
+// relation.Instances under it) is single-writer, so exactly one
+// goroutine — the ingest loop — ever calls Apply or touches the
+// database. After every commit the loop publishes a fresh *State
+// through an atomic pointer: the post-commit DBSnapshot (immutable by
+// construction: COW tuple arrays, append-only dictionaries) plus the
+// full violation list in canonical order (rebuilt by merging the
+// commit's sorted gained/cleared diff into the previous list — O(|V|)
+// copying, no re-sort, never mutated after publication). Readers load
+// the pointer and work on a consistent frozen view while the writer
+// races ahead; subscribers get the same deltas the merge consumed, or
+// — if they fall behind their channel buffer — a closed channel with
+// Lost() set, the signal to resync from Violations().
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/detect"
+	"repro/internal/relation"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultQueueCap    = 256
+	DefaultMaxBatchOps = 4096
+	DefaultSubBuf      = 64
+)
+
+// ErrStopped is returned by Submit once Stop has been called (or for
+// requests stranded in the queue when the loop exits).
+var ErrStopped = errors.New("serve: service stopped")
+
+// Config parameterizes New.
+type Config struct {
+	// Engine runs detection; nil gets the default configuration. A
+	// Legacy engine is upgraded to the columnar path (the monitor and
+	// the reader hand-off require frozen snapshots).
+	Engine *detect.Engine
+	// DB is the watched database. The service owns its mutation from
+	// New on: callers must not write to it directly anymore.
+	DB *relation.Database
+	// Constraints is the monitored mixed batch Σ.
+	Constraints []detect.Constraint
+	// QueueCap bounds the ingest queue in pending Submit requests
+	// (default DefaultQueueCap). A full queue applies backpressure:
+	// Submit blocks until the loop drains or its context expires.
+	QueueCap int
+	// MaxBatchOps caps how many ops the loop coalesces into one commit
+	// batch (default DefaultMaxBatchOps). Larger batches amortize
+	// snapshot catch-up and index splicing; smaller ones bound
+	// per-commit latency and delta size.
+	MaxBatchOps int
+	// SubBuf is the per-subscriber delta channel buffer (default
+	// DefaultSubBuf). A subscriber that falls this many commits behind
+	// is dropped and must resync.
+	SubBuf int
+}
+
+// State is one published, immutable view of the service: everything a
+// read endpoint needs, consistent as of commit Seq. Readers must treat
+// the Violations slice and the Snapshot as read-only; the writer never
+// mutates a published State.
+type State struct {
+	// Seq counts commits: 0 is the seeded initial detection, each
+	// applied commit batch increments it.
+	Seq uint64
+	// Snapshot is the post-commit freeze of the whole database.
+	Snapshot *relation.DBSnapshot
+	// Violations is the full violation set in canonical mixed order —
+	// byte-identical to Engine.DetectBatch of the database at Seq.
+	Violations []detect.Violation
+
+	// Cumulative counters since New.
+	Ops     uint64 // mutation ops accepted into commits (a commit that hit an op error — see Errs — applied only the prefix before the failing op)
+	Gained  uint64 // violations gained
+	Cleared uint64 // violations cleared
+	Errs    uint64 // commits that ended in an op error
+
+	// FullSyncs counts the monitor's changelog-fallback resyncs.
+	FullSyncs int
+}
+
+// Result acknowledges one Submit: the commit that carried the
+// request's ops (possibly coalesced with other requests), its diff
+// sizes, and the first op error of that commit, if any.
+type Result struct {
+	Seq     uint64
+	Gained  int
+	Cleared int
+	Err     error
+}
+
+// Delta is one commit's violation diff, as fanned out to subscribers.
+// The slices are shared with the published State's history: read-only.
+type Delta struct {
+	Seq     uint64
+	Gained  []detect.Violation
+	Cleared []detect.Violation
+}
+
+// request is one Submit in flight to the ingest loop.
+type request struct {
+	ops  []detect.DBOp
+	done chan Result // buffered (1): the loop never blocks on an ack
+}
+
+// Service is the running monitor; construct with New, stop with Stop.
+type Service struct {
+	engine  *detect.Engine
+	monitor *detect.DBMonitor
+	cs      []detect.Constraint
+	sigma   map[any]int
+	schemas map[string]*relation.Schema
+	maxOps  int
+	subBuf  int
+
+	queue chan request
+	state atomic.Pointer[State]
+
+	mu      sync.Mutex
+	subs    map[*Sub]struct{}
+	stopped bool // loop exited; guarded by mu
+
+	stopOnce sync.Once
+	stopping chan struct{} // closed by Stop: no new Submits, loop drains
+	done     chan struct{} // closed when the loop has exited
+}
+
+// New seeds a monitor over the database (paying one full detection),
+// publishes the initial State and starts the ingest loop.
+func New(cfg Config) (*Service, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("serve: Config.DB is required")
+	}
+	if cfg.QueueCap < 0 || cfg.MaxBatchOps < 0 || cfg.SubBuf < 0 {
+		return nil, errors.New("serve: negative Config sizes")
+	}
+	queueCap := cfg.QueueCap
+	if queueCap == 0 {
+		queueCap = DefaultQueueCap
+	}
+	maxOps := cfg.MaxBatchOps
+	if maxOps == 0 {
+		maxOps = DefaultMaxBatchOps
+	}
+	subBuf := cfg.SubBuf
+	if subBuf == 0 {
+		subBuf = DefaultSubBuf
+	}
+	m := detect.NewDBMonitor(cfg.Engine, cfg.DB, cfg.Constraints)
+	schemas := make(map[string]*relation.Schema, len(cfg.DB.Names()))
+	for _, name := range cfg.DB.Names() {
+		schemas[name] = cfg.DB.MustInstance(name).Schema()
+	}
+	s := &Service{
+		engine:   m.Engine(),
+		monitor:  m,
+		cs:       cfg.Constraints,
+		sigma:    detect.SigmaOf(cfg.Constraints),
+		schemas:  schemas,
+		maxOps:   maxOps,
+		subBuf:   subBuf,
+		queue:    make(chan request, queueCap),
+		subs:     make(map[*Sub]struct{}),
+		stopping: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.state.Store(&State{
+		Seq:        0,
+		Snapshot:   m.Snapshot(),
+		Violations: m.Violations(),
+		FullSyncs:  m.FullSyncs(),
+	})
+	go s.run()
+	return s, nil
+}
+
+// run is the single-writer ingest loop: the only goroutine that ever
+// calls monitor.Apply or mutates the database.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		select {
+		case req := <-s.queue:
+			s.coalesce(req)
+		case <-s.stopping:
+			// Graceful drain: apply everything already queued, then shut
+			// the subscriber streams.
+			for {
+				select {
+				case req := <-s.queue:
+					s.coalesce(req)
+				default:
+					s.closeSubs()
+					return
+				}
+			}
+		}
+	}
+}
+
+// coalesce folds queued requests into first's commit batch until the
+// queue runs dry or the batch hits MaxBatchOps, then commits — the
+// amortization knob: under load, snapshot catch-up, index splicing and
+// state publication are paid once per coalesced batch, not once per
+// Submit.
+func (s *Service) coalesce(first request) {
+	reqs := []request{first}
+	n := len(first.ops)
+	for n < s.maxOps {
+		select {
+		case req := <-s.queue:
+			reqs = append(reqs, req)
+			n += len(req.ops)
+		default:
+			s.commit(reqs, n)
+			return
+		}
+	}
+	s.commit(reqs, n)
+}
+
+// commit applies one coalesced batch, publishes the successor State and
+// fans the delta out to subscribers.
+func (s *Service) commit(reqs []request, n int) {
+	ops := make([]detect.DBOp, 0, n)
+	for _, r := range reqs {
+		ops = append(ops, r.ops...)
+	}
+	gained, cleared, err := s.monitor.Apply(ops)
+
+	old := s.state.Load()
+	st := &State{
+		Seq:        old.Seq + 1,
+		Snapshot:   s.monitor.Snapshot(),
+		Violations: mergeDiff(old.Violations, gained, cleared, s.sigma),
+		Ops:        old.Ops + uint64(len(ops)),
+		Gained:     old.Gained + uint64(len(gained)),
+		Cleared:    old.Cleared + uint64(len(cleared)),
+		Errs:       old.Errs,
+		FullSyncs:  s.monitor.FullSyncs(),
+	}
+	if err != nil {
+		st.Errs++
+	}
+	delta := Delta{Seq: st.Seq, Gained: gained, Cleared: cleared}
+
+	// Publication and fan-out under one lock so Subscribe's registration
+	// seq is exact: a subscriber registered at state Seq receives every
+	// delta with Seq' > Seq and none twice.
+	s.mu.Lock()
+	s.state.Store(st)
+	for sub := range s.subs {
+		select {
+		case sub.ch <- delta:
+		default:
+			// Slow consumer: the buffer is full, so rather than block the
+			// writer (or buffer unboundedly), drop the stream. The closed
+			// channel plus Lost() tells the subscriber to resync from
+			// Violations(), which is exactly as current as the deltas it
+			// missed.
+			sub.lost.Store(true)
+			delete(s.subs, sub)
+			close(sub.ch)
+		}
+	}
+	s.mu.Unlock()
+
+	res := Result{Seq: st.Seq, Gained: len(gained), Cleared: len(cleared), Err: err}
+	for _, r := range reqs {
+		r.done <- res // buffered: never blocks
+	}
+}
+
+// mergeDiff derives the successor violation list from the predecessor
+// and a commit's sorted gained/cleared diff: one linear merge, no
+// re-sort, the predecessor list untouched.
+func mergeDiff(cur, gained, cleared []detect.Violation, sigma map[any]int) []detect.Violation {
+	if len(gained) == 0 && len(cleared) == 0 {
+		return cur
+	}
+	dead := make(map[detect.Violation]struct{}, len(cleared))
+	for _, v := range cleared {
+		dead[v] = struct{}{}
+	}
+	out := make([]detect.Violation, 0, len(cur)+len(gained)-len(cleared))
+	gi := 0
+	for _, v := range cur {
+		for gi < len(gained) && detect.CompareViolations(gained[gi], v, sigma) < 0 {
+			out = append(out, gained[gi])
+			gi++
+		}
+		if _, gone := dead[v]; !gone {
+			out = append(out, v)
+		}
+	}
+	out = append(out, gained[gi:]...)
+	if len(out) == 0 {
+		return nil // matches DetectBatch's nil on a clean database
+	}
+	return out
+}
+
+// Submit enqueues one mutation batch and waits for the commit that
+// applies it. The queue is bounded; when it is full Submit blocks
+// (backpressure) until space frees, the context expires, or the
+// service stops. A Result with a non-nil Err means the commit hit a
+// failing op: the failing op's suffix was skipped but the service
+// resynchronized and remains consistent.
+func (s *Service) Submit(ctx context.Context, ops []detect.DBOp) (Result, error) {
+	if len(ops) == 0 {
+		return Result{Seq: s.state.Load().Seq}, nil
+	}
+	req := request{ops: ops, done: make(chan Result, 1)}
+	select {
+	case s.queue <- req:
+	case <-s.stopping:
+		return Result{}, ErrStopped
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	select {
+	case res := <-req.done:
+		return res, res.Err
+	case <-s.done:
+		// The loop exited while our request was queued. The drain makes
+		// this window tiny (an enqueue racing the final queue sweep), but
+		// it exists; one last non-blocking look, then give up.
+		select {
+		case res := <-req.done:
+			return res, res.Err
+		default:
+			return Result{}, ErrStopped
+		}
+	case <-ctx.Done():
+		// The ops may still be applied; the caller only loses the ack.
+		return Result{}, ctx.Err()
+	}
+}
+
+// Stop makes Submit reject new work, waits (up to the context) for the
+// ingest loop to drain the queued requests, and closes every
+// subscriber stream. Idempotent.
+func (s *Service) Stop(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stopping) })
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// State returns the latest published view. Treat it as read-only.
+func (s *Service) State() *State { return s.state.Load() }
+
+// Violations returns the published violation list in canonical mixed
+// order — byte-identical to Engine.DetectBatch of the database as of
+// State().Seq. The slice is shared and must not be mutated.
+func (s *Service) Violations() []detect.Violation { return s.state.Load().Violations }
+
+// Check evaluates a caller-supplied constraint batch against the
+// published snapshot (not the live database): a consistent
+// SatisfiesBatch probe that never blocks or races the writer. It
+// returns the probed Seq alongside the verdict.
+func (s *Service) Check(cs []detect.Constraint) (uint64, bool) {
+	st := s.state.Load()
+	return st.Seq, s.engine.SatisfiesBatchOn(st.Snapshot, cs)
+}
+
+// Constraints returns the monitored batch Σ (read-only).
+func (s *Service) Constraints() []detect.Constraint { return s.cs }
+
+// Sigma returns the Σ-position map of the monitored batch, the
+// tie-break CompareViolations needs (read-only).
+func (s *Service) Sigma() map[any]int { return s.sigma }
+
+// Schemas returns the watched relations' schemas keyed by name
+// (read-only) — what front ends parse ops and rules against.
+func (s *Service) Schemas() map[string]*relation.Schema { return s.schemas }
+
+// Engine returns the service's engine (always the columnar path).
+func (s *Service) Engine() *detect.Engine { return s.engine }
+
+// QueueDepth reports how many Submit requests are pending (racy,
+// informational).
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Counts summarizes the published violation list.
+type Counts struct {
+	Seq          uint64            `json:"seq"`
+	Total        int               `json:"total"`
+	ByClass      map[string]int    `json:"byClass,omitempty"`
+	ByRelation   map[string]int    `json:"byRelation,omitempty"`
+	ByConstraint []ConstraintCount `json:"byConstraint"`
+}
+
+// ConstraintCount is one constraint's slice of the violation set, in Σ
+// order.
+type ConstraintCount struct {
+	Class string `json:"class"`
+	Rule  string `json:"rule"`
+	Count int    `json:"count"`
+}
+
+// Counts aggregates the published violation list per class, relation
+// and constraint — computed from the immutable State, so concurrent
+// with (and unaffected by) the writer.
+func (s *Service) Counts() Counts { return s.countsFor(s.state.Load()) }
+
+// countsFor is Counts over a caller-held State — what a handler that
+// already loaded the state uses to keep one response on one consistent
+// view.
+func (s *Service) countsFor(st *State) Counts {
+	out := Counts{
+		Seq:        st.Seq,
+		Total:      len(st.Violations),
+		ByClass:    make(map[string]int),
+		ByRelation: make(map[string]int),
+	}
+	perDep := make(map[any]int, len(s.cs))
+	for _, v := range st.Violations {
+		out.ByClass[detect.ClassOf(v).String()]++
+		out.ByRelation[detect.RelationOf(v)]++
+		perDep[detect.DepOf(v)]++
+	}
+	seen := make(map[any]bool, len(s.cs))
+	for _, c := range s.cs {
+		if seen[c.Dep()] {
+			continue
+		}
+		seen[c.Dep()] = true
+		out.ByConstraint = append(out.ByConstraint, ConstraintCount{
+			Class: c.Class().String(),
+			Rule:  ruleText(c.Dep()),
+			Count: perDep[c.Dep()],
+		})
+	}
+	return out
+}
+
+// NumSubscribers reports the live subscriber count (racy,
+// informational).
+func (s *Service) NumSubscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Sub is one delta subscription. Receive from Events until it closes;
+// then Lost distinguishes a slow-consumer drop (resync required) from
+// an orderly Close or service stop.
+type Sub struct {
+	svc  *Service
+	ch   chan Delta
+	seq  uint64 // state Seq at registration; deltas start at seq+1
+	lost atomic.Bool
+}
+
+// Events is the delta stream: every commit after Seq(), in order,
+// until the channel closes.
+func (sub *Sub) Events() <-chan Delta { return sub.ch }
+
+// Seq returns the published Seq the subscription started at: the
+// subscriber's copy of Violations at that Seq plus every delivered
+// delta reconstructs the live set.
+func (sub *Sub) Seq() uint64 { return sub.seq }
+
+// Lost reports whether the stream was dropped for falling behind
+// (meaningful once Events is closed). A lost subscriber resyncs by
+// re-reading Violations and resubscribing.
+func (sub *Sub) Lost() bool { return sub.lost.Load() }
+
+// Close unsubscribes. Idempotent; safe concurrently with the writer.
+func (sub *Sub) Close() { sub.svc.unsubscribe(sub) }
+
+// Subscribe registers a delta subscriber with the configured buffer.
+// The registration is exact: deltas for every commit after the
+// returned Sub's Seq will be delivered (or the stream dropped). On a
+// stopped service the returned Sub's stream is already closed.
+func (s *Service) Subscribe() *Sub { return s.SubscribeBuf(s.subBuf) }
+
+// SubscribeBuf is Subscribe with an explicit per-subscriber buffer —
+// the lag budget (in commits) this consumer gets before the drop
+// policy disconnects it.
+func (s *Service) SubscribeBuf(buf int) *Sub {
+	if buf < 1 {
+		buf = 1
+	}
+	sub := &Sub{svc: s, ch: make(chan Delta, buf)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		close(sub.ch)
+		sub.seq = s.state.Load().Seq
+		return sub
+	}
+	sub.seq = s.state.Load().Seq
+	s.subs[sub] = struct{}{}
+	return sub
+}
+
+func (s *Service) unsubscribe(sub *Sub) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[sub]; ok {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// closeSubs ends every stream at loop exit (an orderly close: Lost
+// stays false).
+func (s *Service) closeSubs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// ruleText renders a wrapped dependency for reports (the same %v the
+// command-line reports print).
+func ruleText(dep any) string { return fmt.Sprint(dep) }
