@@ -33,6 +33,13 @@
 // accumulated so far (EOF commits the tail implicitly); values parse
 // like the relation's CSV cells.
 //
+// -shards N hash-partitions the database across N shards and runs the
+// scatter-gather engine paths — DetectBatchSharded one-shot, a
+// ShardedDBMonitor under -follow — producing byte-identical reports.
+// The partition key per relation is derived from the rules (the
+// attributes every CFD/eCFD LHS on that relation shares) or pinned
+// with repeatable -shard-key rel=attr1,attr2 flags.
+//
 // Rule files use the class text formats:
 //
 //	cfd customer: [CC, zip] -> [street]
@@ -77,6 +84,44 @@ func (d dataFlags) Set(v string) error {
 	return nil
 }
 
+// shardKeyFlags collects repeated -shard-key rel=attr1,attr2 flags.
+type shardKeyFlags map[string][]string
+
+func (s shardKeyFlags) String() string { return fmt.Sprint(map[string][]string(s)) }
+
+func (s shardKeyFlags) Set(v string) error {
+	name, attrs, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want rel=attr1,attr2, got %q", v)
+	}
+	s[name] = strings.Split(attrs, ",")
+	return nil
+}
+
+// resolveShardKeys maps -shard-key attribute names to schema positions.
+func resolveShardKeys(keys shardKeyFlags, schemas map[string]*relation.Schema) map[string][]int {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make(map[string][]int, len(keys))
+	for rel, attrs := range keys {
+		sch, ok := schemas[rel]
+		if !ok {
+			log.Fatalf("-shard-key %s: no such relation", rel)
+		}
+		pos := make([]int, 0, len(attrs))
+		for _, a := range attrs {
+			p, ok := sch.Lookup(strings.TrimSpace(a))
+			if !ok {
+				log.Fatalf("-shard-key %s: no attribute %q", rel, a)
+			}
+			pos = append(pos, p)
+		}
+		out[rel] = pos
+	}
+	return out
+}
+
 func main() {
 	data := dataFlags{}
 	flag.Var(data, "data", "relation=path.csv (repeatable)")
@@ -88,6 +133,9 @@ func main() {
 	workers := flag.Int("workers", 0, "detection worker pool size (0 = one per CPU)")
 	legacy := flag.Bool("legacy", false, "use the string-keyed index path instead of columnar snapshots")
 	follow := flag.String("follow", "", "replay an update log through a stateful monitor after the initial report")
+	shards := flag.Int("shards", 1, "hash-partition the database across N shards (scatter-gather detection)")
+	shardKeys := shardKeyFlags{}
+	flag.Var(shardKeys, "shard-key", "relation=attr1,attr2 partition key (repeatable; default: derived from the rules)")
 	flag.Parse()
 	if *cfdsPath == "" {
 		*cfdsPath = *rulesPath
@@ -144,15 +192,58 @@ func main() {
 	// initial report reads its violation set, so the full detection is
 	// paid exactly once.
 	engine := &detect.Engine{Workers: *workers, Legacy: *legacy}
+
+	// -shards hash-partitions the database up front; detection and the
+	// -follow monitor then run the scatter-gather paths, byte-identical
+	// to the single-partition engine.
+	var sdb *relation.ShardedDB
+	if *shards > 1 {
+		keys := resolveShardKeys(shardKeys, schemas)
+		if keys == nil {
+			derived, err := detect.DeriveShardKeys(rules)
+			if err != nil {
+				log.Fatal(err)
+			}
+			keys = derived
+		}
+		p := relation.NewPartitioner(*shards)
+		for rel, pos := range keys {
+			p.SetKey(rel, pos)
+		}
+		sdb = relation.Partition(db, p)
+		fmt.Printf("partitioned into %d shards\n", *shards)
+	} else if *shards < 1 {
+		log.Fatal("-shards must be at least 1")
+	}
+
 	perDep := make(map[any][]detect.Violation)
-	var monitor *detect.DBMonitor
+	var monitor batchMonitor
 	if *follow != "" {
-		monitor = detect.NewDBMonitor(engine, db, rules)
+		if sdb != nil {
+			m, err := detect.NewShardedDBMonitor(engine, sdb, rules)
+			if err != nil {
+				log.Fatal(err)
+			}
+			monitor = m
+		} else {
+			monitor = detect.NewDBMonitor(engine, db, rules)
+		}
 		for _, v := range monitor.Violations() {
 			perDep[depOf(v)] = append(perDep[depOf(v)], v)
 		}
 		// Match the batch-mode report: each rule's run in per-rule detect
 		// order, as the stream delivers it.
+		for _, vs := range perDep {
+			sortDetectOrder(vs)
+		}
+	} else if sdb != nil {
+		vs, err := engine.DetectBatchSharded(sdb, rules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range vs {
+			perDep[depOf(v)] = append(perDep[depOf(v)], v)
+		}
 		for _, vs := range perDep {
 			sortDetectOrder(vs)
 		}
@@ -191,6 +282,15 @@ func main() {
 	if total > 0 {
 		os.Exit(1)
 	}
+}
+
+// batchMonitor is the -follow surface both monitor flavours share:
+// detect.DBMonitor over one database, detect.ShardedDBMonitor over a
+// hash-partitioned one.
+type batchMonitor interface {
+	Apply(batch []detect.DBOp) (gained, cleared []detect.Violation, err error)
+	Violations() []detect.Violation
+	Len() int
 }
 
 // parseRules opens and parses one rule file with the class parser.
@@ -257,7 +357,7 @@ func sortDetectOrder(vs []detect.Violation) {
 // internal/oplog (the wire format cmd/dqserve's POST /batch shares) —
 // printing each batch's gained/cleared diff, and returns the number of
 // violations outstanding at EOF.
-func followLog(path string, m *detect.DBMonitor, schemas map[string]*relation.Schema, max int) (int, error) {
+func followLog(path string, m batchMonitor, schemas map[string]*relation.Schema, max int) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err

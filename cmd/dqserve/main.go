@@ -66,6 +66,44 @@ func (d dataFlags) Set(v string) error {
 	return nil
 }
 
+// shardKeyFlags collects repeated -shard-key rel=attr1,attr2 flags.
+type shardKeyFlags map[string][]string
+
+func (s shardKeyFlags) String() string { return fmt.Sprint(map[string][]string(s)) }
+
+func (s shardKeyFlags) Set(v string) error {
+	name, attrs, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want rel=attr1,attr2, got %q", v)
+	}
+	s[name] = strings.Split(attrs, ",")
+	return nil
+}
+
+// resolveShardKeys maps -shard-key attribute names to schema positions.
+func resolveShardKeys(keys shardKeyFlags, schemas map[string]*relation.Schema) map[string][]int {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make(map[string][]int, len(keys))
+	for rel, attrs := range keys {
+		sch, ok := schemas[rel]
+		if !ok {
+			log.Fatalf("-shard-key %s: no such relation", rel)
+		}
+		pos := make([]int, 0, len(attrs))
+		for _, a := range attrs {
+			p, ok := sch.Lookup(strings.TrimSpace(a))
+			if !ok {
+				log.Fatalf("-shard-key %s: no attribute %q", rel, a)
+			}
+			pos = append(pos, p)
+		}
+		out[rel] = pos
+	}
+	return out
+}
+
 func main() {
 	data := dataFlags{}
 	flag.Var(data, "data", "relation=path.csv (repeatable)")
@@ -79,6 +117,9 @@ func main() {
 	maxBatch := flag.Int("maxbatch", serve.DefaultMaxBatchOps, "max ops coalesced into one monitor batch")
 	subBuf := flag.Int("subbuf", serve.DefaultSubBuf, "per-subscriber delta buffer (commits a consumer may lag)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown budget for draining requests and the ingest queue")
+	shards := flag.Int("shards", 1, "hash-partition the database across N shards (per-shard writers, scatter-gather detection)")
+	shardKeys := shardKeyFlags{}
+	flag.Var(shardKeys, "shard-key", "relation=attr1,attr2 partition key (repeatable; default: derived from the rules)")
 	flag.Parse()
 	if *cfdsPath == "" {
 		*cfdsPath = *rulesPath
@@ -134,9 +175,14 @@ func main() {
 		QueueCap:    *queueCap,
 		MaxBatchOps: *maxBatch,
 		SubBuf:      *subBuf,
+		Shards:      *shards,
+		ShardKeys:   resolveShardKeys(shardKeys, schemas),
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shards > 1 {
+		log.Printf("sharding across %d shards", *shards)
 	}
 	log.Printf("seeded monitor: %d rule(s), %d violation(s) outstanding", len(rules), len(svc.Violations()))
 

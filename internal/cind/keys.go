@@ -1,0 +1,157 @@
+// Sharded CIND evaluation. A CIND is never shard-local under hash
+// partitioning — a source tuple's match can live in any shard of the
+// target relation — so the sharded engine evaluates it scatter-gather:
+// each source shard scans its own tuples and probes a small replicated
+// KeyIndex holding the Y ∪ Yp projection keys of EVERY shard's target
+// tuples (the "broadcast" side of the seam: target-side changes update
+// the replica, and the changed keys are broadcast to all source
+// shards' touched lists). Keys are the exact bytes the legacy detector
+// probes with (Value.AppendKey + '\x01' per position), so the
+// key-index path reports byte-identical violations.
+
+package cind
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// KeyIndex is a multiset of target-relation projection keys (Y then Yp
+// positions, in TargetKeyPos order). One KeyIndex is shared by every
+// CIND with the same (target relation, key positions) shape, exactly
+// like the engine planner shares target indexes. It is a plain map —
+// the caller (the sharded monitor) owns synchronization: maintenance is
+// single-writer between detection phases, reads are concurrent.
+type KeyIndex struct {
+	counts map[string]int
+}
+
+// NewKeyIndex returns an empty key multiset.
+func NewKeyIndex() *KeyIndex {
+	return &KeyIndex{counts: make(map[string]int)}
+}
+
+// Add records one target tuple's key.
+func (k *KeyIndex) Add(key []byte) { k.counts[string(key)]++ }
+
+// Remove drops one count of the key.
+func (k *KeyIndex) Remove(key []byte) {
+	s := string(key)
+	if n := k.counts[s]; n <= 1 {
+		delete(k.counts, s)
+	} else {
+		k.counts[s] = n - 1
+	}
+}
+
+// Has reports whether at least one target tuple carries the key.
+func (k *KeyIndex) Has(key []byte) bool {
+	_, ok := k.counts[string(key)]
+	return ok
+}
+
+// Len returns the number of distinct keys.
+func (k *KeyIndex) Len() int { return len(k.counts) }
+
+// AppendRowKey appends the projection key of snapshot row onto buf: the
+// values at pos in order, each terminated by '\x01' — the same bytes
+// Tuple.KeyOn and the legacy probe build, so keys made from any
+// representation of the same tuple are equal.
+func AppendRowKey(buf []byte, snap *relation.Snapshot, row int, pos []int) []byte {
+	for _, p := range pos {
+		buf = append(snap.Value(row, p).AppendKey(buf), '\x01')
+	}
+	return buf
+}
+
+// AppendTupleKey is AppendRowKey for a materialized tuple.
+func AppendTupleKey(buf []byte, t relation.Tuple, pos []int) []byte {
+	for _, p := range pos {
+		buf = append(t[p].AppendKey(buf), '\x01')
+	}
+	return buf
+}
+
+// appendProbeKey builds the probe for source row r under pattern row:
+// t[X] values then the row's Yp constants, matching the target key
+// layout of TargetKeyPos.
+func appendProbeKey(buf []byte, src *relation.Snapshot, r int, c *CIND, row PatternRow) []byte {
+	for _, p := range c.x {
+		buf = append(src.Value(r, p).AppendKey(buf), '\x01')
+	}
+	for _, v := range row.YpVals {
+		buf = append(v.AppendKey(buf), '\x01')
+	}
+	return buf
+}
+
+// DetectWithKeys returns all violations of c whose source tuple lies in
+// the given source snapshot, resolving target matches through the
+// replicated key multiset instead of a target snapshot. Output is in
+// (Row, TID) order like DetectWithSnapshot; the caller merges across
+// shards and re-sorts canonically.
+func DetectWithKeys(src *relation.Snapshot, c *CIND, keys *KeyIndex) []Violation {
+	if src == nil || src.Len() == 0 {
+		return nil
+	}
+	var out []Violation
+	buf := make([]byte, 0, 64)
+	for rowIdx, row := range c.tableau {
+		for r := 0; r < src.Len(); r++ {
+			match := true
+			for j, p := range c.xp {
+				if !src.Value(r, p).Equal(row.XpVals[j]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			buf = appendProbeKey(buf[:0], src, r, c, row)
+			if !keys.Has(buf) {
+				out = append(out, Violation{CIND: c, Row: rowIdx, TID: src.TID(r)})
+			}
+		}
+	}
+	return out
+}
+
+// DetectTouchedWithKeys is DetectWithKeys restricted to the touched
+// source TIDs — the sharded counterpart of DetectTouchedWithSnapshot.
+// TIDs absent from the snapshot are skipped; each row's segment is
+// sorted ascending by TID.
+func DetectTouchedWithKeys(src *relation.Snapshot, c *CIND, keys *KeyIndex, touched []relation.TID) []Violation {
+	if src == nil || len(touched) == 0 {
+		return nil
+	}
+	var out []Violation
+	buf := make([]byte, 0, 64)
+	for rowIdx, row := range c.tableau {
+		rowStart := len(out)
+		for _, id := range touched {
+			r, ok := src.Row(id)
+			if !ok {
+				continue
+			}
+			match := true
+			for j, p := range c.xp {
+				if !src.Value(r, p).Equal(row.XpVals[j]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			buf = appendProbeKey(buf[:0], src, r, c, row)
+			if !keys.Has(buf) {
+				out = append(out, Violation{CIND: c, Row: rowIdx, TID: id})
+			}
+		}
+		seg := out[rowStart:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i].TID < seg[j].TID })
+	}
+	return out
+}

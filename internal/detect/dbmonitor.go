@@ -299,6 +299,14 @@ type TouchCtx struct {
 	new    *relation.DBSnapshot
 	deltas map[string]*relation.Delta
 	co     map[string][]relation.TID
+
+	// coverInserts widens CoMembers to inserted TIDs. The unsharded
+	// monitor never needs it — fresh TIDs sort after every group member,
+	// so an insert cannot change a group's representative — but a
+	// sharded delta's inserts include cross-shard moves carrying old
+	// TIDs, which can steal representativeship of the group they join;
+	// the joined group then needs an old-side co-member too.
+	coverInserts bool
 }
 
 // Delta returns the net delta of the named relation, or nil when the
@@ -368,6 +376,19 @@ func (tc *TouchCtx) CoMembers(rel string, pos []int) []relation.TID {
 			if t, ok := in.Tuple(id); ok {
 				if ids := cx.Lookup(t); len(ids) > 0 {
 					co = append(co, ids[0])
+				}
+			}
+		}
+		if tc.coverInserts {
+			// An inserted TID below the group's members (a cross-shard
+			// move) may become the new representative; re-derive the
+			// joined group on the old side via its old representative,
+			// exactly like the update-join path above.
+			for _, id := range d.Inserted {
+				if t, ok := in.Tuple(id); ok {
+					if ids := cx.Lookup(t); len(ids) > 0 {
+						co = append(co, ids[0])
+					}
 				}
 			}
 		}

@@ -1,0 +1,743 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfd"
+	"repro/internal/cind"
+	"repro/internal/ecfd"
+	"repro/internal/relation"
+)
+
+// Sharded scatter-gather detection: the engine and monitor variants
+// that run over a relation.ShardedDB instead of one Database. The
+// cross-shard seam is explicit and small:
+//
+//   - CFDs and eCFDs must be shard-local: the relation's partition key
+//     must be contained in the LHS, so every LHS group lies wholly
+//     inside one shard and per-shard evaluation is exactly the
+//     restriction of the global one. CheckShardable rejects batches
+//     that violate this (pick the key with DeriveShardKeys, or pass
+//     -shard-key so every LHS contains it).
+//   - CINDs are never shard-local — a source tuple's match may live in
+//     any target shard — so target membership is replicated: one small
+//     cind.KeyIndex per (target relation, Y ∪ Yp positions) holds every
+//     shard's target keys, source shards probe it locally, and
+//     target-side changes are broadcast (the replica is updated and the
+//     changed Y projections are probed against every shard's source
+//     index to find the flipped source tuples).
+//
+// Because TIDs are global (the ShardedDB allocates them) and the
+// per-shard results are merged through the same SortViolations
+// comparator, sharded output is byte-identical to the single-partition
+// engine — the randomized oracle tests assert exactly that.
+
+// CheckShardable reports why a constraint batch cannot run sharded
+// under the partitioner, nil when it can. CFDs and eCFDs require the
+// primary relation's partition key to be a subset of their LHS; CINDs
+// always shard (via the replicated target-key index); constraint
+// classes beyond the built-ins are rejected.
+func CheckShardable(p *relation.Partitioner, cs []Constraint) error {
+	for _, c := range cs {
+		var lhs []int
+		var sch *relation.Schema
+		switch d := c.Dep().(type) {
+		case *cfd.CFD:
+			lhs, sch = d.LHS(), d.Schema()
+		case *ecfd.ECFD:
+			lhs, sch = d.LHS(), d.Schema()
+		case *cind.CIND:
+			continue
+		default:
+			return fmt.Errorf("detect: sharded evaluation supports CFD/CIND/eCFD constraints only, got %T", c.Dep())
+		}
+		key := p.Key(c.Primary())
+		if key == nil {
+			return fmt.Errorf("detect: %s on %s is not shard-local: relation %s hashes on the whole tuple; set a shard key contained in the LHS %s (see DeriveShardKeys)",
+				c.Class(), c.Primary(), c.Primary(), attrNames(sch, lhs))
+		}
+		if !subsetOf(key, lhs) {
+			return fmt.Errorf("detect: %s on %s is not shard-local: partition key %s is not contained in the LHS %s; choose a shard key every CFD/eCFD LHS of %s contains",
+				c.Class(), c.Primary(), attrNames(sch, key), attrNames(sch, lhs), c.Primary())
+		}
+	}
+	return nil
+}
+
+func subsetOf(sub, super []int) bool {
+	for _, p := range sub {
+		found := false
+		for _, q := range super {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func attrNames(sch *relation.Schema, pos []int) string {
+	parts := make([]string, len(pos))
+	for i, p := range pos {
+		parts[i] = sch.Attr(p).Name
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// DeriveShardKeys computes a partition key per relation that makes the
+// batch shardable: for a relation with CFDs/eCFDs, the intersection of
+// their LHS position sets (every group-defining attribute set contains
+// it, so all constraints stay shard-local); a relation appearing only
+// as a CIND side keys on the first CIND's X (source) or Y (target)
+// positions, which co-locates same-key source tuples without being
+// required for correctness. Relations whose LHSs share no attribute
+// cannot be derived — the caller must pick a key (and possibly split
+// the rule set).
+func DeriveShardKeys(cs []Constraint) (map[string][]int, error) {
+	type relInfo struct {
+		hasFD   bool
+		inter   map[int]bool // LHS intersection so far
+		cindPos []int
+	}
+	infos := make(map[string]*relInfo)
+	get := func(rel string) *relInfo {
+		ri, ok := infos[rel]
+		if !ok {
+			ri = &relInfo{}
+			infos[rel] = ri
+		}
+		return ri
+	}
+	mergeLHS := func(rel string, lhs []int) {
+		ri := get(rel)
+		if !ri.hasFD {
+			ri.hasFD = true
+			ri.inter = make(map[int]bool, len(lhs))
+			for _, p := range lhs {
+				ri.inter[p] = true
+			}
+			return
+		}
+		for p := range ri.inter {
+			if !containsPos(lhs, p) {
+				delete(ri.inter, p)
+			}
+		}
+	}
+	for _, c := range cs {
+		switch d := c.Dep().(type) {
+		case *cfd.CFD:
+			mergeLHS(c.Primary(), d.LHS())
+		case *ecfd.ECFD:
+			mergeLHS(c.Primary(), d.LHS())
+		case *cind.CIND:
+			if ri := get(d.Src().Name()); ri.cindPos == nil {
+				ri.cindPos = dedupSorted(d.X())
+			}
+			if ri := get(d.Dst().Name()); ri.cindPos == nil {
+				ri.cindPos = dedupSorted(d.Y())
+			}
+		default:
+			return nil, fmt.Errorf("detect: sharded evaluation supports CFD/CIND/eCFD constraints only, got %T", c.Dep())
+		}
+	}
+	rels := make([]string, 0, len(infos))
+	for rel := range infos {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	out := make(map[string][]int, len(infos))
+	for _, rel := range rels {
+		ri := infos[rel]
+		if ri.hasFD {
+			if len(ri.inter) == 0 {
+				return nil, fmt.Errorf("detect: cannot derive a shard key for %s: its CFD/eCFD LHSs share no attribute; pass an explicit shard key", rel)
+			}
+			key := make([]int, 0, len(ri.inter))
+			for p := range ri.inter {
+				key = append(key, p)
+			}
+			sort.Ints(key)
+			out[rel] = key
+			continue
+		}
+		if ri.cindPos != nil {
+			out[rel] = ri.cindPos
+		}
+	}
+	return out, nil
+}
+
+func containsPos(pos []int, p int) bool {
+	for _, q := range pos {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupSorted(pos []int) []int {
+	out := append([]int(nil), pos...)
+	sort.Ints(out)
+	w := 0
+	for i, p := range out {
+		if i == 0 || p != out[w-1] {
+			out[w] = p
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// tkKey is the map key replicated target-key indexes share: one index
+// per distinct (target relation, Y ∪ Yp positions) across the batch,
+// mirroring the planner's target-index sharing.
+func tkKey(c *cind.CIND) string { return relPosKey(c.Dst().Name(), c.TargetKeyPos()) }
+
+// buildTargetKeys scans every shard's target snapshots into the
+// replicated key multisets.
+func buildTargetKeys(snaps []*relation.DBSnapshot, cs []Constraint) map[string]*cind.KeyIndex {
+	tk := make(map[string]*cind.KeyIndex)
+	for _, c := range cs {
+		cc, ok := c.(cindConstraint)
+		if !ok {
+			continue
+		}
+		key := tkKey(cc.c)
+		if _, ok := tk[key]; ok {
+			continue
+		}
+		idx := cind.NewKeyIndex()
+		keyPos := cc.c.TargetKeyPos()
+		buf := make([]byte, 0, 64)
+		for _, ds := range snaps {
+			snap, ok := ds.Snapshot(cc.c.Dst().Name())
+			if !ok {
+				continue
+			}
+			for r := 0; r < snap.Len(); r++ {
+				buf = cind.AppendRowKey(buf[:0], snap, r, keyPos)
+				idx.Add(buf)
+			}
+		}
+		tk[key] = idx
+	}
+	return tk
+}
+
+// shardedEvalAll evaluates the full batch over per-shard snapshots:
+// every (constraint, shard) pair is one task on the worker pool —
+// CFDs/eCFDs through their ordinary per-shard Eval (shard-locality
+// makes that exact), CINDs through the replicated key index — and the
+// merged stream is sorted canonically. Each source tuple lives on
+// exactly one shard, so the concatenation has exactly the unsharded
+// multiplicities and the final stable sort makes the output
+// byte-identical to DetectBatch.
+func (e *Engine) shardedEvalAll(snaps []*relation.DBSnapshot, cs []Constraint, tk map[string]*cind.KeyIndex) []Violation {
+	S := len(snaps)
+	ctxs := make([]*Ctx, S)
+	for s := range ctxs {
+		ctxs[s] = e.planBatch(snaps[s], cs)
+	}
+	var out []Violation
+	runOrdered(e.workers(), len(cs)*S, func(k int) []Violation {
+		ci, s := k/S, k%S
+		if cc, ok := cs[ci].(cindConstraint); ok {
+			src, _ := snaps[s].Snapshot(cc.c.Src().Name())
+			return box(cind.DetectWithKeys(src, cc.c, tk[tkKey(cc.c)]))
+		}
+		return cs[ci].Eval(ctxs[s])
+	}, func(vs []Violation) { out = append(out, vs...) })
+	SortViolations(out, SigmaOf(cs))
+	return out
+}
+
+// DetectBatchSharded is DetectBatch over a sharded database:
+// scatter-gather evaluation of the mixed batch, byte-identical to the
+// single-partition engine on the equivalent Database. It fails when the
+// batch is not shardable under the database's partitioner (see
+// CheckShardable). A Legacy engine silently evaluates on the columnar
+// path, like the monitors.
+func (e *Engine) DetectBatchSharded(sdb *relation.ShardedDB, cs []Constraint) ([]Violation, error) {
+	if err := CheckShardable(sdb.Partitioner(), cs); err != nil {
+		return nil, err
+	}
+	snaps := sdb.Snapshots()
+	return e.shardedEvalAll(snaps, cs, buildTargetKeys(snaps, cs)), nil
+}
+
+// ShardedDBMonitor is DBMonitor over a ShardedDB: it owns the per-shard
+// snapshots, the replicated target-key indexes and the global violation
+// set, and keeps all of them consistent under routed update batches.
+// The maintained invariant is the sharded twin of DBMonitor's: after
+// every Apply, Violations() is byte-identical to what DetectBatch would
+// report on the equivalent unsharded database.
+//
+// The monitor is single-writer with an explicit two-phase commit for
+// callers that apply shards concurrently (the serve layer's shard
+// writers):
+//
+//	r, err := m.Route(batch)   // sequential: validate, allocate, route
+//	...apply r's sub-batches, one goroutine per shard...
+//	gained, cleared := m.Sync() // sequential: diff + publish
+//
+// Apply bundles the three steps with a bounded worker pool for callers
+// without their own writers.
+type ShardedDBMonitor struct {
+	engine    *Engine
+	sdb       *relation.ShardedDB
+	cs        []Constraint
+	reads     []string
+	sigma     map[any]int
+	snaps     []*relation.DBSnapshot
+	tkeys     map[string]*cind.KeyIndex
+	current   map[Violation]struct{}
+	fullSyncs int
+}
+
+// NewShardedDBMonitor builds the monitor and pays one full sharded
+// detection to seed the violation set. It fails when the batch is not
+// shardable under sdb's partitioner.
+func NewShardedDBMonitor(e *Engine, sdb *relation.ShardedDB, cs []Constraint) (*ShardedDBMonitor, error) {
+	if e == nil {
+		e = New(0)
+	}
+	if e.Legacy {
+		e = &Engine{Workers: e.Workers}
+	}
+	if err := CheckShardable(sdb.Partitioner(), cs); err != nil {
+		return nil, err
+	}
+	m := &ShardedDBMonitor{
+		engine:  e,
+		sdb:     sdb,
+		cs:      cs,
+		sigma:   SigmaOf(cs),
+		snaps:   sdb.Snapshots(),
+		current: make(map[Violation]struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		for _, rel := range c.Reads() {
+			if !seen[rel] {
+				seen[rel] = true
+				m.reads = append(m.reads, rel)
+			}
+		}
+	}
+	sort.Strings(m.reads)
+	m.tkeys = buildTargetKeys(m.snaps, cs)
+	for _, v := range e.shardedEvalAll(m.snaps, cs, m.tkeys) {
+		m.current[v] = struct{}{}
+	}
+	return m, nil
+}
+
+// Route validates and routes a logical batch into per-shard sub-batches
+// (sequential, single-writer). Semantics match DBMonitor.Apply's
+// mutation step exactly: ops route in order, the first failing op stops
+// the batch (the routed prefix stands) and returns the identical
+// wrapped error. The returned routing MUST be applied — ApplyRouting,
+// or ShardedDB.ApplyShard per sub-batch — before the next Route.
+func (m *ShardedDBMonitor) Route(batch []DBOp) (*relation.Routing, error) {
+	r := m.sdb.NewRouting()
+	for _, op := range batch {
+		if _, ok := m.sdb.Schema(op.Rel); !ok {
+			return r, fmt.Errorf("dbmonitor: no relation %q", op.Rel)
+		}
+		switch op.Op.Kind {
+		case OpInsert:
+			if _, err := r.Insert(op.Rel, op.Op.Tuple); err != nil {
+				return r, fmt.Errorf("dbmonitor: %v", err)
+			}
+		case OpDelete:
+			r.Delete(op.Rel, op.Op.TID)
+		case OpUpdate:
+			if err := r.Update(op.Rel, op.Op.TID, op.Op.Pos, op.Op.Val); err != nil {
+				return r, fmt.Errorf("dbmonitor: %v", err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// ApplyRouting applies every routed sub-batch, fanning shards out over
+// the engine's worker pool (each shard is applied by exactly one
+// goroutine, in routed order).
+func (m *ShardedDBMonitor) ApplyRouting(r *relation.Routing) {
+	per := r.PerShard()
+	runOrdered(m.engine.workers(), len(per), func(s int) struct{} {
+		if len(per[s]) > 0 {
+			m.sdb.ApplyShard(s, per[s])
+		}
+		return struct{}{}
+	}, func(struct{}) {})
+}
+
+// Apply routes the batch, applies the sub-batches concurrently, and
+// syncs — the sharded counterpart of DBMonitor.Apply, with the same
+// error-prefix semantics and the same gained/cleared contract.
+func (m *ShardedDBMonitor) Apply(batch []DBOp) (gained, cleared []Violation, err error) {
+	r, err := m.Route(batch)
+	m.ApplyRouting(r)
+	gained, cleared = m.Sync()
+	return gained, cleared, err
+}
+
+// Sync brings the monitor up to date with applied routings (or any
+// direct single-writer mutation of the shard instances) and returns the
+// canonical violation diff. The phases, in order:
+//
+//  1. per-shard, per-relation deltas from the instance changelogs
+//     (truncation → full resync);
+//  2. per-shard snapshot catch-up (each shard pays O(|its Δ|));
+//  3. touched lists per (constraint, shard) — shard-local reasoning for
+//     CFDs/eCFDs, and for CINDs the union of the shard's own source
+//     delta with the broadcast probes of every shard's target-side
+//     changes against this shard's old source index;
+//  4. old-side evaluation of the touched lists (against the replicated
+//     key state the old violations were computed under);
+//  5. the target-key replica absorbs the batch's target-side deltas;
+//  6. new-side evaluation, then the same stored-set diff as DBMonitor.
+func (m *ShardedDBMonitor) Sync() (gained, cleared []Violation) {
+	S := m.sdb.Shards()
+	deltas := make([]map[string]*relation.Delta, S)
+	changed := false
+	for s := 0; s < S; s++ {
+		db := m.sdb.Shard(s)
+		for _, name := range m.reads {
+			in, ok := db.Instance(name)
+			if !ok {
+				continue // never existed: nothing to diff
+			}
+			oldSnap, ok := m.snaps[s].Snapshot(name)
+			if !ok || oldSnap.Source() != in {
+				return m.fullResync() // relation added or replaced
+			}
+			entries, ok := in.ChangesSince(oldSnap.Version())
+			if !ok {
+				return m.fullResync() // changelog truncated past the snapshot
+			}
+			if len(entries) == 0 {
+				continue
+			}
+			d := relation.NetDelta(entries)
+			if deltas[s] == nil {
+				deltas[s] = make(map[string]*relation.Delta)
+			}
+			deltas[s][name] = &d
+			changed = true
+		}
+	}
+	if !changed {
+		return nil, nil
+	}
+	newSnaps := m.sdb.Snapshots()
+
+	tcs := make([]*TouchCtx, S)
+	for s := 0; s < S; s++ {
+		tcs[s] = &TouchCtx{
+			db: m.sdb.Shard(s), old: m.snaps[s], new: newSnaps[s],
+			deltas: deltas[s], coverInserts: true,
+		}
+	}
+	yChanges := m.collectYChanges(deltas, newSnaps)
+	touched := make([][][]relation.TID, len(m.cs))
+	for i, c := range m.cs {
+		touched[i] = make([][]relation.TID, S)
+		if cc, ok := c.(cindConstraint); ok {
+			for s := 0; s < S; s++ {
+				touched[i][s] = cindShardTouched(cc.c, tcs[s], yChanges[i])
+			}
+			continue
+		}
+		for s := 0; s < S; s++ {
+			if deltas[s] == nil {
+				continue
+			}
+			touched[i][s] = c.Touched(tcs[s])
+		}
+	}
+
+	// Old side first: the stored set was computed against the replica's
+	// pre-batch state, so re-deriving its touched restriction must probe
+	// that same state; only then does the replica absorb the deltas.
+	oldTouched := m.evalTouched(m.snaps, touched)
+	m.applyKeyDeltas(deltas, m.snaps, newSnaps)
+	newTouched := m.evalTouched(newSnaps, touched)
+
+	oldSet := make(map[Violation]struct{}, len(oldTouched))
+	for _, v := range oldTouched {
+		oldSet[v] = struct{}{}
+		delete(m.current, v)
+	}
+	for _, v := range newTouched {
+		if _, had := m.current[v]; !had {
+			if _, had := oldSet[v]; !had {
+				gained = append(gained, v)
+			}
+		}
+		m.current[v] = struct{}{}
+	}
+	newSet := make(map[Violation]struct{}, len(newTouched))
+	for _, v := range newTouched {
+		newSet[v] = struct{}{}
+	}
+	for _, v := range oldTouched {
+		if _, still := newSet[v]; !still {
+			cleared = append(cleared, v)
+		}
+	}
+	m.snaps = newSnaps
+	SortViolations(gained, m.sigma)
+	SortViolations(cleared, m.sigma)
+	return gained, cleared
+}
+
+// collectYChanges gathers, per CIND constraint, the Y projections of
+// every target tuple that entered, left, or changed its Y ∪ Yp
+// projection on ANY shard — the broadcast payload probed against every
+// shard's source index in phase 3.
+func (m *ShardedDBMonitor) collectYChanges(deltas []map[string]*relation.Delta, newSnaps []*relation.DBSnapshot) [][][]relation.Value {
+	out := make([][][]relation.Value, len(m.cs))
+	for i, c := range m.cs {
+		cc, ok := c.(cindConstraint)
+		if !ok {
+			continue
+		}
+		dstRel := cc.c.Dst().Name()
+		keyPos := cc.c.TargetKeyPos()
+		y := cc.c.Y()
+		var changes [][]relation.Value
+		grab := func(snap *relation.Snapshot, id relation.TID) {
+			if snap == nil {
+				return
+			}
+			r, ok := snap.Row(id)
+			if !ok {
+				return
+			}
+			vals := make([]relation.Value, len(y))
+			for j, p := range y {
+				vals[j] = snap.Value(r, p)
+			}
+			changes = append(changes, vals)
+		}
+		for s, ds := range deltas {
+			d := ds[dstRel]
+			if d == nil || d.Empty() {
+				continue
+			}
+			oldDst, _ := m.snaps[s].Snapshot(dstRel)
+			newDst, _ := newSnaps[s].Snapshot(dstRel)
+			for _, id := range d.Inserted {
+				grab(newDst, id)
+			}
+			for _, id := range d.Deleted {
+				grab(oldDst, id)
+			}
+			for id := range d.Updated {
+				if d.Touches(id, keyPos) {
+					grab(oldDst, id)
+					grab(newDst, id)
+				}
+			}
+		}
+		out[i] = changes
+	}
+	return out
+}
+
+// cindShardTouched mirrors cindConstraint.Touched for one shard: the
+// shard's own source-side delta, plus the broadcast target-side changes
+// probed against this shard's pre-batch source X index.
+func cindShardTouched(c *cind.CIND, tc *TouchCtx, yChanges [][]relation.Value) []relation.TID {
+	srcRel := c.Src().Name()
+	set := make(map[relation.TID]struct{})
+	srcPos := c.SourceGroupPos()
+	if d := tc.Delta(srcRel); d != nil {
+		for _, id := range d.Inserted {
+			set[id] = struct{}{}
+		}
+		for _, id := range d.Deleted {
+			set[id] = struct{}{}
+		}
+		for id := range d.Updated {
+			if d.Touches(id, srcPos) {
+				set[id] = struct{}{}
+			}
+		}
+	}
+	if len(yChanges) > 0 {
+		if oldSrc := tc.Old(srcRel); oldSrc != nil {
+			srcX := oldSrc.CodeIndexOn(c.X())
+			for _, vals := range yChanges {
+				for _, sid := range srcX.LookupValues(vals) {
+					set[sid] = struct{}{}
+				}
+			}
+		}
+	}
+	return sortedTIDs(set)
+}
+
+// evalTouched evaluates the per-(constraint, shard) touched lists over
+// the given per-shard snapshots, probing the replica's CURRENT key
+// state for CINDs (the caller sequences the replica update between the
+// old- and new-side calls). Results feed set diffs, so no sort.
+func (m *ShardedDBMonitor) evalTouched(snaps []*relation.DBSnapshot, touched [][][]relation.TID) []Violation {
+	S := len(snaps)
+	// Plan only the shards with touched work: a small batch lands on one
+	// shard, and paying the per-shard plan (maps, lazy index handles) for
+	// every idle shard twice per commit would dominate the steady state.
+	ctxs := make([]*Ctx, S)
+	for ci := range touched {
+		for s, tl := range touched[ci] {
+			if len(tl) > 0 && ctxs[s] == nil {
+				ctxs[s] = m.engine.planBatch(snaps[s], m.cs)
+			}
+		}
+	}
+	var out []Violation
+	runOrdered(m.engine.workers(), len(m.cs)*S, func(k int) []Violation {
+		ci, s := k/S, k%S
+		tl := touched[ci][s]
+		if len(tl) == 0 {
+			return nil
+		}
+		if cc, ok := m.cs[ci].(cindConstraint); ok {
+			src, _ := snaps[s].Snapshot(cc.c.Src().Name())
+			return box(cind.DetectTouchedWithKeys(src, cc.c, m.tkeys[tkKey(cc.c)], tl))
+		}
+		return m.cs[ci].EvalTouched(ctxs[s], tl)
+	}, func(vs []Violation) { out = append(out, vs...) })
+	return out
+}
+
+// applyKeyDeltas folds the batch's target-side deltas into every
+// replicated key index: one Remove per departed key, one Add per
+// arrived key, Yp-only changes included (TargetKeyPos covers them).
+func (m *ShardedDBMonitor) applyKeyDeltas(deltas []map[string]*relation.Delta, oldSnaps, newSnaps []*relation.DBSnapshot) {
+	done := make(map[string]bool, len(m.tkeys))
+	buf := make([]byte, 0, 64)
+	for _, c := range m.cs {
+		cc, ok := c.(cindConstraint)
+		if !ok {
+			continue
+		}
+		key := tkKey(cc.c)
+		if done[key] {
+			continue
+		}
+		done[key] = true
+		idx := m.tkeys[key]
+		dstRel := cc.c.Dst().Name()
+		keyPos := cc.c.TargetKeyPos()
+		for s, ds := range deltas {
+			d := ds[dstRel]
+			if d == nil || d.Empty() {
+				continue
+			}
+			oldDst, _ := oldSnaps[s].Snapshot(dstRel)
+			newDst, _ := newSnaps[s].Snapshot(dstRel)
+			rowKey := func(snap *relation.Snapshot, id relation.TID) ([]byte, bool) {
+				if snap == nil {
+					return nil, false
+				}
+				r, ok := snap.Row(id)
+				if !ok {
+					return nil, false
+				}
+				buf = cind.AppendRowKey(buf[:0], snap, r, keyPos)
+				return buf, true
+			}
+			for _, id := range d.Inserted {
+				if k, ok := rowKey(newDst, id); ok {
+					idx.Add(k)
+				}
+			}
+			for _, id := range d.Deleted {
+				if k, ok := rowKey(oldDst, id); ok {
+					idx.Remove(k)
+				}
+			}
+			for id := range d.Updated {
+				if !d.Touches(id, keyPos) {
+					continue
+				}
+				if k, ok := rowKey(oldDst, id); ok {
+					idx.Remove(k)
+				}
+				if k, ok := rowKey(newDst, id); ok {
+					idx.Add(k)
+				}
+			}
+		}
+	}
+}
+
+// fullResync rebuilds everything — per-shard snapshots, replicated key
+// indexes, the violation set — and diffs against the stored set, so the
+// gained/cleared contract holds on the fallback path too.
+func (m *ShardedDBMonitor) fullResync() (gained, cleared []Violation) {
+	m.fullSyncs++
+	m.snaps = m.sdb.Snapshots()
+	m.tkeys = buildTargetKeys(m.snaps, m.cs)
+	fresh := m.engine.shardedEvalAll(m.snaps, m.cs, m.tkeys)
+	freshSet := make(map[Violation]struct{}, len(fresh))
+	for _, v := range fresh {
+		freshSet[v] = struct{}{}
+		if _, had := m.current[v]; !had {
+			gained = append(gained, v)
+		}
+	}
+	for v := range m.current {
+		if _, still := freshSet[v]; !still {
+			cleared = append(cleared, v)
+		}
+	}
+	m.current = freshSet
+	SortViolations(gained, m.sigma)
+	SortViolations(cleared, m.sigma)
+	return gained, cleared
+}
+
+// Violations returns the current violation set in the canonical mixed
+// order — byte-identical to DetectBatch of the equivalent unsharded
+// database.
+func (m *ShardedDBMonitor) Violations() []Violation {
+	if len(m.current) == 0 {
+		return nil
+	}
+	out := make([]Violation, 0, len(m.current))
+	for v := range m.current {
+		out = append(out, v)
+	}
+	SortViolations(out, m.sigma)
+	return out
+}
+
+// Len returns the size of the current violation set.
+func (m *ShardedDBMonitor) Len() int { return len(m.current) }
+
+// ShardSnapshots returns the maintained per-shard snapshots (current as
+// of the last Apply/Sync). The slice is shared; callers must not modify
+// it.
+func (m *ShardedDBMonitor) ShardSnapshots() []*relation.DBSnapshot { return m.snaps }
+
+// Sharded returns the watched sharded database.
+func (m *ShardedDBMonitor) Sharded() *relation.ShardedDB { return m.sdb }
+
+// Engine returns the monitor's engine (always on the columnar path).
+func (m *ShardedDBMonitor) Engine() *Engine { return m.engine }
+
+// FullSyncs reports how many times the monitor fell back to a full
+// sharded re-detection.
+func (m *ShardedDBMonitor) FullSyncs() int { return m.fullSyncs }

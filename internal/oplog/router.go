@@ -1,0 +1,120 @@
+package oplog
+
+import (
+	"repro/internal/detect"
+	"repro/internal/relation"
+)
+
+// Router splits parsed op batches into per-shard sub-batches for
+// sharded front ends: pre-partitioning an update log into per-shard
+// files, or fanning one POST /batch commit out to shard writers. The
+// split is purely positional — ops keep their relative order inside
+// each sub-batch, and a SplitBatch remembers the original interleaving,
+// so Join reconstructs the input exactly (the round-trip the tests
+// pin). One input batch maps to at most one sub-batch per shard, never
+// more: a commit stays one commit on every shard it touches, which is
+// what keeps cross-shard batches atomic end to end.
+//
+// The assign function sees ops before they are applied, so it must
+// route by CURRENT placement; an op it cannot place (an insert's shard
+// depends on the tuple's key, a delete's on the directory) goes to the
+// shard it returns regardless — the authoritative placement, including
+// cross-shard moves and same-batch overlays, happens later in
+// relation.Routing. For a live ShardedDB, DBRouter wires that up.
+type Router struct {
+	shards int
+	assign func(detect.DBOp) int
+}
+
+// NewRouter returns a Router over the given shard count. assign maps an
+// op to its shard; out-of-range assignments are clamped to shard 0.
+func NewRouter(shards int, assign func(detect.DBOp) int) *Router {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Router{shards: shards, assign: assign}
+}
+
+// DBRouter returns a Router that places ops where the sharded database
+// currently holds (or would hash) them: inserts by partition key,
+// deletes and updates by the tuple directory. Unknown TIDs and unknown
+// relations route to shard 0, where application will surface the same
+// error the unsharded path reports.
+func DBRouter(s *relation.ShardedDB) *Router {
+	return NewRouter(s.Shards(), func(op detect.DBOp) int {
+		if op.Op.Kind == detect.OpInsert {
+			if _, ok := s.Schema(op.Rel); !ok {
+				return 0
+			}
+			return s.Partitioner().ShardOf(op.Rel, op.Op.Tuple)
+		}
+		if shard, ok := s.ShardOfTID(op.Rel, op.Op.TID); ok {
+			return shard
+		}
+		return 0
+	})
+}
+
+// Shards returns the router's shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// SplitBatch is one commit batch cut into per-shard sub-batches plus
+// the interleaving needed to reassemble it.
+type SplitBatch struct {
+	perShard [][]detect.DBOp
+	order    []int // shard of each original op, in input order
+}
+
+// Split routes one commit batch. The result holds every op exactly
+// once; sub-batches of shards the batch never touches are nil.
+func (r *Router) Split(batch []detect.DBOp) *SplitBatch {
+	s := &SplitBatch{
+		perShard: make([][]detect.DBOp, r.shards),
+		order:    make([]int, 0, len(batch)),
+	}
+	for _, op := range batch {
+		shard := r.assign(op)
+		if shard < 0 || shard >= r.shards {
+			shard = 0
+		}
+		s.perShard[shard] = append(s.perShard[shard], op)
+		s.order = append(s.order, shard)
+	}
+	return s
+}
+
+// PerShard returns the sub-batches, indexed by shard. Callers must not
+// modify the slices.
+func (s *SplitBatch) PerShard() [][]detect.DBOp { return s.perShard }
+
+// Shard returns one shard's sub-batch (nil when untouched).
+func (s *SplitBatch) Shard(i int) []detect.DBOp { return s.perShard[i] }
+
+// Ops returns the total op count across sub-batches.
+func (s *SplitBatch) Ops() int { return len(s.order) }
+
+// Touched returns the shards with non-empty sub-batches, ascending.
+func (s *SplitBatch) Touched() []int {
+	var out []int
+	for i, ops := range s.perShard {
+		if len(ops) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Join reassembles the original batch: ops interleave back into input
+// order, so Split followed by Join is the identity on every batch.
+func (s *SplitBatch) Join() []detect.DBOp {
+	if len(s.order) == 0 {
+		return nil
+	}
+	next := make([]int, len(s.perShard))
+	out := make([]detect.DBOp, 0, len(s.order))
+	for _, shard := range s.order {
+		out = append(out, s.perShard[shard][next[shard]])
+		next[shard]++
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package oplog
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/relation"
+)
+
+// randomBatch draws random ops over the customer/order schemas —
+// contents do not matter to the router, only positions do.
+func randomBatch(r *rand.Rand, n int) []detect.DBOp {
+	batch := make([]detect.DBOp, n)
+	for i := range batch {
+		rel := []string{"customer", "order"}[r.Intn(2)]
+		switch r.Intn(3) {
+		case 0:
+			batch[i] = detect.DeleteFrom(rel, relation.TID(r.Intn(100)))
+		case 1:
+			pos := 1 // order title
+			if rel == "customer" {
+				pos = 5 // city
+			}
+			batch[i] = detect.UpdateIn(rel, relation.TID(r.Intn(100)), pos, relation.Str(fmt.Sprintf("v%d", i)))
+		default:
+			batch[i] = detect.InsertInto("order", relation.Tuple{
+				relation.Str(fmt.Sprintf("a%d", i)), relation.Str("T"),
+				relation.Str("book"), relation.Float(1.99)})
+		}
+	}
+	return batch
+}
+
+// TestRouterRoundTrip: Split followed by Join is the identity on random
+// batches under random assignments, every op lands on exactly one
+// shard, and relative order inside each sub-batch is preserved.
+func TestRouterRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, shards := range []int{1, 2, 4, 8} {
+		router := NewRouter(shards, func(detect.DBOp) int { return r.Intn(shards) })
+		for trial := 0; trial < 50; trial++ {
+			batch := randomBatch(r, 1+r.Intn(30))
+			split := router.Split(batch)
+			if split.Ops() != len(batch) {
+				t.Fatalf("shards %d: split holds %d ops, want %d", shards, split.Ops(), len(batch))
+			}
+			total := 0
+			for _, sub := range split.PerShard() {
+				total += len(sub)
+			}
+			if total != len(batch) {
+				t.Fatalf("shards %d: sub-batches hold %d ops, want %d", shards, total, len(batch))
+			}
+			if got := split.Join(); !reflect.DeepEqual(got, batch) {
+				t.Fatalf("shards %d trial %d: Join does not reconstruct the batch:\ngot  %v\nwant %v",
+					shards, trial, got, batch)
+			}
+		}
+	}
+}
+
+// TestRouterCommitAtomicity: a stream of commits, split per batch and
+// re-encoded per shard, yields per-shard streams whose k-th commit
+// contains exactly the k-th input commit's ops for that shard (batches
+// a shard does not participate in vanish rather than appearing as empty
+// commits), and joining the k-th sub-batches reassembles the k-th input
+// commit.
+func TestRouterCommitAtomicity(t *testing.T) {
+	schemas := testSchemas()
+	r := rand.New(rand.NewSource(23))
+	const shards = 3
+	router := NewRouter(shards, func(op detect.DBOp) int {
+		return int(op.Op.TID) % shards
+	})
+	var batches [][]detect.DBOp
+	for i := 0; i < 10; i++ {
+		batches = append(batches, randomBatch(r, 1+r.Intn(12)))
+	}
+	perShardBatches := make([][][]detect.DBOp, shards)
+	for k, batch := range batches {
+		split := router.Split(batch)
+		for s := 0; s < shards; s++ {
+			if sub := split.Shard(s); len(sub) > 0 {
+				perShardBatches[s] = append(perShardBatches[s], sub)
+			}
+		}
+		if got := split.Join(); !reflect.DeepEqual(got, batches[k]) {
+			t.Fatalf("commit %d does not reassemble", k)
+		}
+	}
+	// Each shard's stream must survive the wire format: one commit in,
+	// at most one commit out per shard.
+	for s := 0; s < shards; s++ {
+		var buf bytes.Buffer
+		if err := Format(&buf, perShardBatches[s], schemas); err != nil {
+			t.Fatalf("shard %d: Format: %v", s, err)
+		}
+		got, err := Parse(&buf, schemas)
+		if err != nil {
+			t.Fatalf("shard %d: Parse: %v", s, err)
+		}
+		if !reflect.DeepEqual(got, perShardBatches[s]) {
+			t.Fatalf("shard %d: wire round trip diverges", s)
+		}
+	}
+}
+
+// TestRouterTouchedAndClamp: Touched lists exactly the non-empty
+// shards; out-of-range assignments clamp to shard 0.
+func TestRouterTouchedAndClamp(t *testing.T) {
+	router := NewRouter(4, func(op detect.DBOp) int {
+		if op.Op.Kind == detect.OpDelete {
+			return 99 // out of range: clamps to 0
+		}
+		return 2
+	})
+	split := router.Split([]detect.DBOp{
+		detect.DeleteFrom("customer", 1),
+		detect.UpdateIn("customer", 2, 1, relation.Str("x")),
+	})
+	if got := split.Touched(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Touched = %v, want [0 2]", got)
+	}
+	if len(split.Shard(0)) != 1 || len(split.Shard(2)) != 1 {
+		t.Fatal("clamped op must land on shard 0")
+	}
+}
+
+// TestDBRouterPlacement: the ShardedDB-backed router agrees with the
+// database's directory for existing tuples and with the partitioner for
+// inserts.
+func TestDBRouterPlacement(t *testing.T) {
+	schemas := testSchemas()
+	db := relation.NewDatabase()
+	in := relation.NewInstance(schemas["order"])
+	db.Add(in)
+	var ids []relation.TID
+	for i := 0; i < 20; i++ {
+		ids = append(ids, in.MustInsert(
+			relation.Str(fmt.Sprintf("a%d", i)), relation.Str(fmt.Sprintf("Title %d", i%7)),
+			relation.Str("book"), relation.Float(float64(i)+0.99)))
+	}
+	p := relation.NewPartitioner(4)
+	p.SetKey("order", []int{1})
+	sdb := relation.Partition(db, p)
+	router := DBRouter(sdb)
+	for _, id := range ids {
+		want, _ := sdb.ShardOfTID("order", id)
+		split := router.Split([]detect.DBOp{detect.DeleteFrom("order", id)})
+		if got := split.Touched(); len(got) != 1 || got[0] != want {
+			t.Fatalf("delete of %d routed to %v, directory says %d", id, got, want)
+		}
+	}
+	t2 := relation.Tuple{relation.Str("zz"), relation.Str("Title 3"), relation.Str("book"), relation.Float(3.99)}
+	split := router.Split([]detect.DBOp{detect.InsertInto("order", t2)})
+	if got, want := split.Touched()[0], p.ShardOf("order", t2); got != want {
+		t.Fatalf("insert routed to %d, partitioner says %d", got, want)
+	}
+	// Unknown TIDs and relations fall back to shard 0.
+	split = router.Split([]detect.DBOp{detect.DeleteFrom("order", 9999), detect.InsertInto("nosuch", t2)})
+	if got := split.Touched(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("fallback ops should land on shard 0, got %v", got)
+	}
+}

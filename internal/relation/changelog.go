@@ -1,6 +1,9 @@
 package relation
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // The instance changelog — the substrate of incremental snapshot and
 // index maintenance. Every mutation of tuple data appends one
@@ -53,10 +56,40 @@ type ChangeEntry struct {
 // the oldest half is dropped, so amortized append stays O(1).
 const defaultChangelogCap = 4096
 
-// SetChangelogCap bounds the changelog to at most n entries (n <= 0
-// disables logging entirely: every ChangesSince call reports "too far
-// behind" and derived caches always rebuild in full). The default is
-// defaultChangelogCap. Shrinking the cap truncates immediately.
+// changelogCapDefault overrides defaultChangelogCap process-wide when
+// nonzero (see SetChangelogCap, the deprecated global setter). It only
+// affects instances that never had a per-instance cap set.
+var changelogCapDefault atomic.Int64
+
+// ChangelogCapDefault returns the cap used by instances without a
+// per-instance override.
+func ChangelogCapDefault() int {
+	if n := changelogCapDefault.Load(); n != 0 {
+		return int(n)
+	}
+	return defaultChangelogCap
+}
+
+// SetChangelogCap sets the process-wide default changelog cap (n <= 0
+// disables logging by default). It exists so legacy callers that sized
+// "the" changelog globally keep working; it cannot size shards
+// independently, which is exactly the footgun per-instance caps fix.
+//
+// Deprecated: use (*Instance).SetChangelogCap — or
+// (*ShardedDB).SetChangelogCap for a whole shard set — so each
+// instance/shard sizes its log for its own write rate.
+func SetChangelogCap(n int) {
+	if n <= 0 {
+		n = -1
+	}
+	changelogCapDefault.Store(int64(n))
+}
+
+// SetChangelogCap bounds this instance's changelog to at most n entries
+// (n <= 0 disables logging entirely: every ChangesSince call reports
+// "too far behind" and derived caches always rebuild in full). The
+// default is ChangelogCapDefault. Shrinking the cap truncates
+// immediately.
 func (in *Instance) SetChangelogCap(n int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -78,7 +111,7 @@ func (in *Instance) SetChangelogCap(n int) {
 func (in *Instance) logAppend(op ChangeOp, id TID, pos int) {
 	cap := in.logCap
 	if cap == 0 {
-		cap = defaultChangelogCap
+		cap = ChangelogCapDefault()
 	}
 	if cap < 0 {
 		in.logStart = in.version

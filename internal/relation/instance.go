@@ -127,17 +127,27 @@ func (in *Instance) Schema() *Schema { return in.schema }
 // Len returns the number of tuples.
 func (in *Instance) Len() int { return len(in.tuples) }
 
-// Insert adds a tuple and returns its TID. The tuple is validated against
-// the schema's arity and domains.
-func (in *Instance) Insert(t Tuple) (TID, error) {
+// CheckTuple validates t against the schema's arity and domains without
+// inserting it. Insert and the sharded router (ShardedDB) share it so
+// both reject a bad tuple with the identical error.
+func (in *Instance) CheckTuple(t Tuple) error {
 	if len(t) != in.schema.Arity() {
-		return 0, fmt.Errorf("relation: %s: tuple arity %d, want %d", in.schema.Name(), len(t), in.schema.Arity())
+		return fmt.Errorf("relation: %s: tuple arity %d, want %d", in.schema.Name(), len(t), in.schema.Arity())
 	}
 	for i, v := range t {
 		if !in.schema.Attr(i).Domain.Contains(v) {
-			return 0, fmt.Errorf("relation: %s: value %v not in dom(%s)=%v",
+			return fmt.Errorf("relation: %s: value %v not in dom(%s)=%v",
 				in.schema.Name(), v, in.schema.Attr(i).Name, in.schema.Attr(i).Domain)
 		}
+	}
+	return nil
+}
+
+// Insert adds a tuple and returns its TID. The tuple is validated against
+// the schema's arity and domains.
+func (in *Instance) Insert(t Tuple) (TID, error) {
+	if err := in.CheckTuple(t); err != nil {
+		return 0, err
 	}
 	id := in.nextID
 	in.nextID++
@@ -154,6 +164,53 @@ func (in *Instance) Insert(t Tuple) (TID, error) {
 	in.mu.Unlock()
 	return id, nil
 }
+
+// InsertWithTID adds a tuple under a caller-chosen TID. It is the
+// primitive behind sharding: a ShardedDB allocates TIDs globally and
+// each shard instance stores a sparse subset of them, so a tuple keeps
+// its identity when a partition-key update moves it between shards.
+// The TID must be free; nextID advances past it so a later Insert
+// never collides with routed IDs. Unlike Insert the new TID may sort below
+// existing ones, which invalidates the sorted-ID cache and (via the
+// changelog) makes snapshot catch-up fall back to a rebuild when the
+// delta contains such an out-of-order insert (see SnapshotOf).
+func (in *Instance) InsertWithTID(id TID, t Tuple) error {
+	if err := in.CheckTuple(t); err != nil {
+		return err
+	}
+	return in.insertShared(id, t.Clone())
+}
+
+// insertShared is InsertWithTID without the defensive clone: the tuple
+// is installed as-is, aliasing the caller's storage. Safe only when the
+// caller guarantees the tuple is never mutated in place afterward — the
+// instance itself never does (Update replaces tuples copy-on-write).
+// Partition bulk-loads use it so a sharded replica shares tuple storage
+// with the source instance instead of doubling the heap.
+func (in *Instance) insertShared(id TID, t Tuple) error {
+	if _, ok := in.tuples[id]; ok {
+		return fmt.Errorf("relation: %s: tuple %d already exists", in.schema.Name(), id)
+	}
+	if id >= in.nextID {
+		in.nextID = id + 1
+	}
+	in.tuples[id] = t
+	in.version++
+	in.mu.Lock()
+	if in.ids != nil {
+		if n := len(in.ids); n == 0 || id > in.ids[n-1] {
+			in.ids = append(in.ids, id)
+		} else {
+			in.ids = nil // out-of-order TID: rebuild lazily
+		}
+	}
+	in.logAppend(ChangeInsert, id, -1)
+	in.mu.Unlock()
+	return nil
+}
+
+// NextTID returns the TID the next Insert would allocate.
+func (in *Instance) NextTID() TID { return in.nextID }
 
 // MustInsert is Insert that panics on error; for tests and fixtures.
 func (in *Instance) MustInsert(vals ...Value) TID {
@@ -257,7 +314,7 @@ func SnapshotOf(in *Instance) *Snapshot {
 		return s
 	}
 	if s != nil {
-		if entries, ok := in.ChangesSince(s.version); ok && catchUpWorthwhile(len(entries), len(s.ids)) {
+		if entries, ok := in.ChangesSince(s.version); ok && catchUpWorthwhile(len(entries), len(s.ids)) && insertsMonotonic(s, entries) {
 			s = s.Apply(entries)
 		} else {
 			s = NewSnapshot(in)
@@ -277,6 +334,31 @@ func SnapshotOf(in *Instance) *Snapshot {
 // rides the bulk intern on the build path).
 func catchUpWorthwhile(deltaLen, rows int) bool {
 	return deltaLen <= rows/2+64
+}
+
+// insertsMonotonic reports whether every insert in the delta carries a
+// TID above the snapshot's largest row and above every earlier insert in
+// the delta. Snapshot.Apply splices inserted rows at the tail, which is
+// only correct under that invariant; plain Insert always satisfies it,
+// but InsertWithTID (a cross-shard move landing an old TID) can break
+// it, in which case catch-up must fall back to a full rebuild. The scan
+// is conservative: an out-of-order insert that nets out (deleted again
+// within the delta) still forces the rebuild.
+func insertsMonotonic(s *Snapshot, entries []ChangeEntry) bool {
+	last := TID(-1)
+	if n := len(s.ids); n > 0 {
+		last = s.ids[n-1]
+	}
+	for _, e := range entries {
+		if e.Op != ChangeInsert {
+			continue
+		}
+		if e.TID <= last {
+			return false
+		}
+		last = e.TID
+	}
+	return true
 }
 
 // Tuples returns the tuples in TID order.

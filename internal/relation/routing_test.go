@@ -1,0 +1,214 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardedFixture partitions a two-attribute relation keyed on attribute
+// 0 across the given number of shards.
+func shardedFixture(t *testing.T, shards int, rows ...Tuple) (*ShardedDB, *Instance) {
+	t.Helper()
+	sch := MustSchema("r", Attr("k", KindString), Attr("v", KindString))
+	in := NewInstance(sch)
+	for _, row := range rows {
+		if _, err := in.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := NewDatabase()
+	db.Add(in)
+	p := NewPartitioner(shards)
+	p.SetKey("r", []int{0})
+	return Partition(db, p), in
+}
+
+// applyAll routes nothing further; it just applies every routed
+// sub-batch, like one sequencer commit.
+func applyAll(s *ShardedDB, r *Routing) {
+	for shard, ops := range r.PerShard() {
+		if len(ops) > 0 {
+			s.ApplyShard(shard, ops)
+		}
+	}
+}
+
+func shardTuple(t *testing.T, s *ShardedDB, id TID) (int, Tuple) {
+	t.Helper()
+	shard, ok := s.ShardOfTID("r", id)
+	if !ok {
+		t.Fatalf("tuple %d not in directory", id)
+	}
+	tu, ok := s.Shard(shard).MustInstance("r").Tuple(id)
+	if !ok {
+		t.Fatalf("directory says shard %d but tuple %d is not there", shard, id)
+	}
+	return shard, tu
+}
+
+// TestRoutingComposesDeferredUpdatesAcrossMove is the regression test
+// for the non-key fast path: a batch that updates a non-key cell and
+// THEN rewrites the key of the same tuple must carry the composed
+// value through the cross-shard move, even though the non-key update
+// was routed without materializing the tuple.
+func TestRoutingComposesDeferredUpdatesAcrossMove(t *testing.T) {
+	s, _ := shardedFixture(t, 4, Tuple{Str("alpha"), Str("old")})
+	oldShard, _ := shardTuple(t, s, 0)
+
+	// Pick a replacement key that actually changes the shard.
+	newKey := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("beta%d", i)
+		if s.Partitioner().ShardOf("r", Tuple{Str(k), Str("x")}) != oldShard {
+			newKey = k
+			break
+		}
+	}
+
+	r := s.NewRouting()
+	if err := r.Update("r", 0, 1, Str("new")); err != nil { // non-key: fast path
+		t.Fatal(err)
+	}
+	if r.Moves() != 0 {
+		t.Fatalf("non-key update counted as a move")
+	}
+	if err := r.Update("r", 0, 0, Str(newKey)); err != nil { // key: move
+		t.Fatal(err)
+	}
+	if r.Moves() != 1 {
+		t.Fatalf("Moves = %d, want 1", r.Moves())
+	}
+	applyAll(s, r)
+
+	gotShard, tu := shardTuple(t, s, 0)
+	if gotShard == oldShard {
+		t.Fatalf("tuple did not move off shard %d", oldShard)
+	}
+	if want := (Tuple{Str(newKey), Str("new")}); !tu[0].Equal(want[0]) || !tu[1].Equal(want[1]) {
+		t.Fatalf("moved tuple = %v, want %v (deferred non-key update lost?)", tu, want)
+	}
+	if old, ok := s.Shard(oldShard).MustInstance("r").Tuple(0); ok {
+		t.Fatalf("old shard still holds %v", old)
+	}
+}
+
+// TestRoutingComposesInsertThenUpdates covers the same-batch chain
+// insert → non-key update → key update: the move must start from the
+// inserted tuple with the patch applied, not from any instance state
+// (the insert has not been applied yet while routing).
+func TestRoutingComposesInsertThenUpdates(t *testing.T) {
+	s, _ := shardedFixture(t, 4)
+
+	r := s.NewRouting()
+	id, err := r.Insert("r", Tuple{Str("alpha"), Str("v0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update("r", id, 1, Str("v1")); err != nil {
+		t.Fatal(err)
+	}
+	insShard, _ := s.ShardOfTID("r", id)
+	newKey := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("gamma%d", i)
+		if s.Partitioner().ShardOf("r", Tuple{Str(k), Str("x")}) != insShard {
+			newKey = k
+			break
+		}
+	}
+	if err := r.Update("r", id, 0, Str(newKey)); err != nil {
+		t.Fatal(err)
+	}
+	applyAll(s, r)
+
+	_, tu := shardTuple(t, s, id)
+	if !tu[0].Equal(Str(newKey)) || !tu[1].Equal(Str("v1")) {
+		t.Fatalf("tuple = %v, want [%s v1]", tu, newKey)
+	}
+}
+
+// TestRoutingDeleteDropsDeferredPatches makes sure a delete forgets
+// pending patches: re-inserting under the same TID later in the batch
+// must not resurrect them.
+func TestRoutingDeleteDropsDeferredPatches(t *testing.T) {
+	s, _ := shardedFixture(t, 4, Tuple{Str("alpha"), Str("old")})
+
+	r := s.NewRouting()
+	if err := r.Update("r", 0, 1, Str("patched")); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delete("r", 0) {
+		t.Fatal("delete of live tuple reported missing")
+	}
+	applyAll(s, r)
+	if _, ok := s.ShardOfTID("r", 0); ok {
+		t.Fatal("deleted tuple still in directory")
+	}
+
+	// A fresh routed insert must see clean state.
+	r2 := s.NewRouting()
+	id, err := r2.Insert("r", Tuple{Str("alpha"), Str("fresh")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll(s, r2)
+	_, tu := shardTuple(t, s, id)
+	if !tu[1].Equal(Str("fresh")) {
+		t.Fatalf("tuple = %v, want fresh", tu)
+	}
+}
+
+// TestRoutingMatchesFlatApplication routes a mixed batch and checks
+// the union of the shards equals the same batch applied to a flat
+// instance, tuple for tuple.
+func TestRoutingMatchesFlatApplication(t *testing.T) {
+	rows := make([]Tuple, 0, 8)
+	for i := 0; i < 8; i++ {
+		rows = append(rows, Tuple{Str(fmt.Sprintf("k%d", i)), Str(fmt.Sprintf("v%d", i))})
+	}
+	s, _ := shardedFixture(t, 3, rows...)
+
+	flat := NewInstance(MustSchema("r", Attr("k", KindString), Attr("v", KindString)))
+	for _, row := range rows {
+		flat.MustInsert(row...)
+	}
+
+	r := s.NewRouting()
+	step := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(r.Update("r", 2, 1, Str("v2b")))  // fast path
+	step(r.Update("r", 2, 0, Str("k2b")))  // possible move, composed
+	step(r.Update("r", 5, 1, Str("v5b")))  // fast path only
+	r.Delete("r", 7)
+	id, err := r.Insert("r", Tuple{Str("k8"), Str("v8")})
+	step(err)
+	step(r.Update("r", id, 1, Str("v8b")))
+	applyAll(s, r)
+
+	step(flat.Update(2, 1, Str("v2b")))
+	step(flat.Update(2, 0, Str("k2b")))
+	step(flat.Update(5, 1, Str("v5b")))
+	flat.Delete(7)
+	fid, err := flat.Insert(Tuple{Str("k8"), Str("v8")})
+	step(err)
+	if fid != id {
+		t.Fatalf("TID divergence: sharded %d flat %d", id, fid)
+	}
+	step(flat.Update(id, 1, Str("v8b")))
+
+	if got, want := s.Size(), flat.Len(); got != want {
+		t.Fatalf("size %d, want %d", got, want)
+	}
+	for _, fid := range flat.IDs() {
+		want, _ := flat.Tuple(fid)
+		_, got := shardTuple(t, s, fid)
+		for p := range want {
+			if !got[p].Equal(want[p]) {
+				t.Fatalf("tuple %d = %v, want %v", fid, got, want)
+			}
+		}
+	}
+}

@@ -169,6 +169,20 @@ func violationWire(v detect.Violation) violationJSON {
 	return out
 }
 
+// primaryTID extracts the violation's primary-relation tuple — the TID
+// shard placement is accounted by.
+func primaryTID(v detect.Violation) relation.TID {
+	switch v := v.(type) {
+	case cfd.Violation:
+		return v.T1
+	case cind.Violation:
+		return v.TID
+	case ecfd.Violation:
+		return v.T1
+	}
+	return 0
+}
+
 func violationsWire(vs []detect.Violation) []violationJSON {
 	out := make([]violationJSON, len(vs))
 	for i, v := range vs {
@@ -204,27 +218,75 @@ func (h *Handler) handleViolations(w http.ResponseWriter, r *http.Request) {
 	}{st.Seq, len(st.Violations), violationsWire(st.Violations)})
 }
 
+// shardStatsJSON is one shard's slice of /stats: its tuple count
+// (summed over relations), its violation count (violations whose
+// primary tuple it holds), and the ops in flight to its writer.
+type shardStatsJSON struct {
+	Shard      int `json:"shard"`
+	Tuples     int `json:"tuples"`
+	Violations int `json:"violations"`
+	QueueDepth int `json:"queueDepth"`
+}
+
+// shardStatsFor assembles the per-shard section from an immutable
+// State: tuples from the published shard snapshots, violations from
+// the sequencer's tally, queue depths from the writer gauges.
+func (h *Handler) shardStatsFor(st *State) []shardStatsJSON {
+	if st.Shards == nil {
+		return nil
+	}
+	depths := h.Svc.ShardQueueDepths()
+	out := make([]shardStatsJSON, len(st.Shards))
+	for i, ds := range st.Shards {
+		out[i].Shard = i
+		for _, name := range ds.Names() {
+			if snap, ok := ds.Snapshot(name); ok {
+				out[i].Tuples += snap.Len()
+			}
+		}
+		if i < len(st.ShardViolations) {
+			out[i].Violations = st.ShardViolations[i]
+		}
+		if i < len(depths) {
+			out[i].QueueDepth = depths[i]
+		}
+	}
+	return out
+}
+
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := h.Svc.State()
 	relations := make(map[string]int)
-	for _, name := range st.Snapshot.Names() {
-		if snap, ok := st.Snapshot.Snapshot(name); ok {
-			relations[name] = snap.Len()
+	if st.Snapshot != nil {
+		for _, name := range st.Snapshot.Names() {
+			if snap, ok := st.Snapshot.Snapshot(name); ok {
+				relations[name] = snap.Len()
+			}
+		}
+	} else {
+		for _, ds := range st.Shards {
+			for _, name := range ds.Names() {
+				if snap, ok := ds.Snapshot(name); ok {
+					relations[name] += snap.Len()
+				}
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Seq         uint64         `json:"seq"`
-		Relations   map[string]int `json:"relations"`
-		Constraints int            `json:"constraints"`
-		Violations  int            `json:"violations"`
-		Ops         uint64         `json:"ops"`
-		Gained      uint64         `json:"gained"`
-		Cleared     uint64         `json:"cleared"`
-		Errors      uint64         `json:"errors"`
-		FullSyncs   int            `json:"fullSyncs"`
-		Subscribers int            `json:"subscribers"`
-		QueueDepth  int            `json:"queueDepth"`
-		Counts      Counts         `json:"counts"`
+		Seq         uint64           `json:"seq"`
+		Relations   map[string]int   `json:"relations"`
+		Constraints int              `json:"constraints"`
+		Violations  int              `json:"violations"`
+		Ops         uint64           `json:"ops"`
+		Gained      uint64           `json:"gained"`
+		Cleared     uint64           `json:"cleared"`
+		Errors      uint64           `json:"errors"`
+		FullSyncs   int              `json:"fullSyncs"`
+		Subscribers int              `json:"subscribers"`
+		QueueDepth  int              `json:"queueDepth"`
+		ShardCount  int              `json:"shardCount"`
+		Shards      []shardStatsJSON `json:"shards,omitempty"`
+		Counts      Counts           `json:"counts"`
 	}{
 		Seq:         st.Seq,
 		Relations:   relations,
@@ -237,6 +299,8 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		FullSyncs:   st.FullSyncs,
 		Subscribers: h.Svc.NumSubscribers(),
 		QueueDepth:  h.Svc.QueueDepth(),
+		ShardCount:  h.Svc.Shards(),
+		Shards:      h.shardStatsFor(st),
 		Counts:      h.Svc.countsFor(st), // same State as the top-level fields
 	})
 }
@@ -372,5 +436,6 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 		Seq    uint64 `json:"seq"`
-	}{"ok", h.Svc.State().Seq})
+		Shards int    `json:"shards"`
+	}{"ok", h.Svc.State().Seq, h.Svc.Shards()})
 }

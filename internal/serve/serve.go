@@ -69,6 +69,17 @@ type Config struct {
 	// DefaultSubBuf). A subscriber that falls this many commits behind
 	// is dropped and must resync.
 	SubBuf int
+	// Shards > 1 runs the service sharded: DB is hash-partitioned into
+	// that many shards at New, each commit is routed once by the
+	// sequencer and applied by per-shard writer goroutines, and one
+	// merged State is published per commit — byte-identical to the
+	// single-partition service. 0 or 1 keeps the single-writer path.
+	Shards int
+	// ShardKeys sets the partition key (attribute positions) per
+	// relation when Shards > 1. Nil derives keys from the constraint
+	// batch (detect.DeriveShardKeys); New fails when no key keeps every
+	// CFD/eCFD shard-local.
+	ShardKeys map[string][]int
 }
 
 // State is one published, immutable view of the service: everything a
@@ -79,8 +90,17 @@ type State struct {
 	// Seq counts commits: 0 is the seeded initial detection, each
 	// applied commit batch increments it.
 	Seq uint64
-	// Snapshot is the post-commit freeze of the whole database.
+	// Snapshot is the post-commit freeze of the whole database. Nil on
+	// a sharded service, which publishes Shards instead.
 	Snapshot *relation.DBSnapshot
+	// Shards holds the per-shard post-commit freezes when the service
+	// runs sharded; nil in single-partition mode. Cross-partition
+	// readers merge them with relation.GatherSnapshots.
+	Shards []*relation.DBSnapshot
+	// ShardViolations counts the published violations per shard (by the
+	// shard holding each violation's primary tuple at Seq); nil in
+	// single-partition mode.
+	ShardViolations []int
 	// Violations is the full violation set in canonical mixed order —
 	// byte-identical to Engine.DetectBatch of the database at Seq.
 	Violations []detect.Violation
@@ -119,15 +139,37 @@ type request struct {
 	done chan Result // buffered (1): the loop never blocks on an ack
 }
 
+// shardWork is one commit's sub-batch for one shard writer.
+type shardWork struct {
+	ops []relation.ShardedOp
+	wg  *sync.WaitGroup
+}
+
 // Service is the running monitor; construct with New, stop with Stop.
 type Service struct {
 	engine  *detect.Engine
-	monitor *detect.DBMonitor
+	monitor *detect.DBMonitor // single-partition mode; nil when sharded
 	cs      []detect.Constraint
 	sigma   map[any]int
 	schemas map[string]*relation.Schema
 	maxOps  int
 	subBuf  int
+
+	// Sharded mode (Config.Shards > 1): the sequencer (the run loop)
+	// routes each commit, the shard writers apply the sub-batches behind
+	// a WaitGroup barrier, and the sequencer syncs and publishes one
+	// merged State. shardPending are racy per-shard in-flight op gauges
+	// for /stats.
+	smonitor     *detect.ShardedDBMonitor
+	shardedDB    *relation.ShardedDB
+	shardCh      []chan shardWork
+	shardPending []atomic.Int64
+	// Per-shard violation attribution, maintained incrementally from
+	// each commit's gained/cleared diff (O(|Δ|), not O(V)) and rebuilt
+	// from scratch only when a commit moved tuples across shards.
+	// Sequencer-only: both read the live tuple directory.
+	shardViol []int
+	violShard map[detect.Violation]int
 
 	queue chan request
 	state atomic.Pointer[State]
@@ -162,14 +204,11 @@ func New(cfg Config) (*Service, error) {
 	if subBuf == 0 {
 		subBuf = DefaultSubBuf
 	}
-	m := detect.NewDBMonitor(cfg.Engine, cfg.DB, cfg.Constraints)
 	schemas := make(map[string]*relation.Schema, len(cfg.DB.Names()))
 	for _, name := range cfg.DB.Names() {
 		schemas[name] = cfg.DB.MustInstance(name).Schema()
 	}
 	s := &Service{
-		engine:   m.Engine(),
-		monitor:  m,
 		cs:       cfg.Constraints,
 		sigma:    detect.SigmaOf(cfg.Constraints),
 		schemas:  schemas,
@@ -180,20 +219,109 @@ func New(cfg Config) (*Service, error) {
 		stopping: make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	s.state.Store(&State{
-		Seq:        0,
-		Snapshot:   m.Snapshot(),
-		Violations: m.Violations(),
-		FullSyncs:  m.FullSyncs(),
-	})
+	seed := &State{Seq: 0}
+	if cfg.Shards > 1 {
+		keys := cfg.ShardKeys
+		if keys == nil {
+			derived, err := detect.DeriveShardKeys(cfg.Constraints)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %v", err)
+			}
+			keys = derived
+		}
+		p := relation.NewPartitioner(cfg.Shards)
+		for rel, pos := range keys {
+			p.SetKey(rel, pos)
+		}
+		sdb := relation.Partition(cfg.DB, p)
+		m, err := detect.NewShardedDBMonitor(cfg.Engine, sdb, cfg.Constraints)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %v", err)
+		}
+		s.engine = m.Engine()
+		s.smonitor = m
+		s.shardedDB = sdb
+		s.shardCh = make([]chan shardWork, cfg.Shards)
+		s.shardPending = make([]atomic.Int64, cfg.Shards)
+		for i := range s.shardCh {
+			s.shardCh[i] = make(chan shardWork, 1)
+			go s.shardWriter(i)
+		}
+		seed.Shards = m.ShardSnapshots()
+		seed.Violations = m.Violations()
+		s.rebuildShardViol(seed.Violations)
+		seed.ShardViolations = append([]int(nil), s.shardViol...)
+		seed.FullSyncs = m.FullSyncs()
+	} else {
+		if cfg.Shards < 0 {
+			return nil, errors.New("serve: negative Config.Shards")
+		}
+		m := detect.NewDBMonitor(cfg.Engine, cfg.DB, cfg.Constraints)
+		s.engine = m.Engine()
+		s.monitor = m
+		seed.Snapshot = m.Snapshot()
+		seed.Violations = m.Violations()
+		seed.FullSyncs = m.FullSyncs()
+	}
+	s.state.Store(seed)
 	go s.run()
 	return s, nil
+}
+
+// shardWriter applies routed sub-batches for one shard, in commit
+// order; the sequencer's WaitGroup barrier keeps commits atomic across
+// writers.
+func (s *Service) shardWriter(shard int) {
+	for w := range s.shardCh[shard] {
+		s.shardedDB.ApplyShard(shard, w.ops)
+		s.shardPending[shard].Add(-int64(len(w.ops)))
+		w.wg.Done()
+	}
+}
+
+// rebuildShardViol recomputes the per-shard violation attribution from
+// scratch: each violation counts toward the shard holding its primary
+// tuple. Sequencer-only: it reads the live tuple directory, which the
+// route phase mutates.
+func (s *Service) rebuildShardViol(vs []detect.Violation) {
+	s.shardViol = make([]int, s.shardedDB.Shards())
+	s.violShard = make(map[detect.Violation]int, len(vs))
+	for _, v := range vs {
+		if shard, ok := s.shardedDB.ShardOfTID(detect.RelationOf(v), primaryTID(v)); ok {
+			s.shardViol[shard]++
+			s.violShard[v] = shard
+		}
+	}
+}
+
+// applyShardViol folds one commit's diff into the per-shard violation
+// attribution. Only valid when the commit moved no tuple across shards
+// — a move can re-home a persisting violation the diff never mentions,
+// which is commitSharded's cue to rebuild instead. Sequencer-only.
+func (s *Service) applyShardViol(gained, cleared []detect.Violation) {
+	for _, v := range cleared {
+		if shard, ok := s.violShard[v]; ok {
+			s.shardViol[shard]--
+			delete(s.violShard, v)
+		}
+	}
+	for _, v := range gained {
+		if shard, ok := s.shardedDB.ShardOfTID(detect.RelationOf(v), primaryTID(v)); ok {
+			s.shardViol[shard]++
+			s.violShard[v] = shard
+		}
+	}
 }
 
 // run is the single-writer ingest loop: the only goroutine that ever
 // calls monitor.Apply or mutates the database.
 func (s *Service) run() {
-	defer close(s.done)
+	defer func() {
+		for _, ch := range s.shardCh {
+			close(ch)
+		}
+		close(s.done)
+	}()
 	for {
 		select {
 		case req := <-s.queue:
@@ -242,18 +370,30 @@ func (s *Service) commit(reqs []request, n int) {
 	for _, r := range reqs {
 		ops = append(ops, r.ops...)
 	}
-	gained, cleared, err := s.monitor.Apply(ops)
+	var gained, cleared []detect.Violation
+	var err error
+	if s.smonitor != nil {
+		gained, cleared, err = s.commitSharded(ops)
+	} else {
+		gained, cleared, err = s.monitor.Apply(ops)
+	}
 
 	old := s.state.Load()
 	st := &State{
 		Seq:        old.Seq + 1,
-		Snapshot:   s.monitor.Snapshot(),
 		Violations: mergeDiff(old.Violations, gained, cleared, s.sigma),
 		Ops:        old.Ops + uint64(len(ops)),
 		Gained:     old.Gained + uint64(len(gained)),
 		Cleared:    old.Cleared + uint64(len(cleared)),
 		Errs:       old.Errs,
-		FullSyncs:  s.monitor.FullSyncs(),
+	}
+	if s.smonitor != nil {
+		st.Shards = s.smonitor.ShardSnapshots()
+		st.ShardViolations = append([]int(nil), s.shardViol...)
+		st.FullSyncs = s.smonitor.FullSyncs()
+	} else {
+		st.Snapshot = s.monitor.Snapshot()
+		st.FullSyncs = s.monitor.FullSyncs()
 	}
 	if err != nil {
 		st.Errs++
@@ -285,6 +425,33 @@ func (s *Service) commit(reqs []request, n int) {
 	for _, r := range reqs {
 		r.done <- res // buffered: never blocks
 	}
+}
+
+// commitSharded is the sequencer's half of a sharded commit: one
+// sequential route pass (validation, TID allocation, move decisions),
+// a scatter to the shard writers with a barrier, then the merged
+// incremental sync. Error semantics match DBMonitor.Apply: the routed
+// prefix before a failing op is applied and the error returned with
+// the diff.
+func (s *Service) commitSharded(ops []detect.DBOp) (gained, cleared []detect.Violation, err error) {
+	r, err := s.smonitor.Route(ops)
+	var wg sync.WaitGroup
+	for shard, sub := range r.PerShard() {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		s.shardPending[shard].Add(int64(len(sub)))
+		s.shardCh[shard] <- shardWork{ops: sub, wg: &wg}
+	}
+	wg.Wait()
+	gained, cleared = s.smonitor.Sync()
+	if r.Moves() > 0 {
+		s.rebuildShardViol(s.smonitor.Violations())
+	} else {
+		s.applyShardViol(gained, cleared)
+	}
+	return gained, cleared, err
 }
 
 // mergeDiff derives the successor violation list from the predecessor
@@ -380,7 +547,35 @@ func (s *Service) Violations() []detect.Violation { return s.state.Load().Violat
 // returns the probed Seq alongside the verdict.
 func (s *Service) Check(cs []detect.Constraint) (uint64, bool) {
 	st := s.state.Load()
+	if st.Shards != nil {
+		// Cross-partition read: merge the per-shard freezes into one
+		// detached database and probe that — the caller's rules need not
+		// be shardable.
+		return st.Seq, s.engine.SatisfiesBatch(relation.GatherSnapshots(st.Shards), cs)
+	}
 	return st.Seq, s.engine.SatisfiesBatchOn(st.Snapshot, cs)
+}
+
+// Shards returns the shard count the service runs with (1 when
+// single-partition).
+func (s *Service) Shards() int {
+	if s.shardedDB == nil {
+		return 1
+	}
+	return s.shardedDB.Shards()
+}
+
+// ShardQueueDepths reports the ops currently in flight to each shard
+// writer (racy, informational); nil on a single-partition service.
+func (s *Service) ShardQueueDepths() []int {
+	if s.shardPending == nil {
+		return nil
+	}
+	out := make([]int, len(s.shardPending))
+	for i := range s.shardPending {
+		out[i] = int(s.shardPending[i].Load())
+	}
+	return out
 }
 
 // Constraints returns the monitored batch Σ (read-only).
