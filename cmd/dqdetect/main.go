@@ -40,6 +40,11 @@
 // attributes every CFD/eCFD LHS on that relation shares) or pinned
 // with repeatable -shard-key rel=attr1,attr2 flags.
 //
+// -checkpoint DIR loads the database from a dqserve checkpoint
+// directory instead of -data CSVs: the manifest supplies the schemas,
+// the columnar files the tuples, so offline audits run over exactly
+// the state the service checkpointed.
+//
 // Rule files use the class text formats:
 //
 //	cfd customer: [CC, zip] -> [street]
@@ -125,6 +130,7 @@ func resolveShardKeys(keys shardKeyFlags, schemas map[string]*relation.Schema) m
 func main() {
 	data := dataFlags{}
 	flag.Var(data, "data", "relation=path.csv (repeatable)")
+	checkpoint := flag.String("checkpoint", "", "load the database from a dqserve checkpoint directory instead of -data CSVs")
 	cfdsPath := flag.String("cfds", "", "CFD rule file")
 	rulesPath := flag.String("rules", "", "alias of -cfds")
 	cindsPath := flag.String("cinds", "", "CIND rule file")
@@ -140,13 +146,31 @@ func main() {
 	if *cfdsPath == "" {
 		*cfdsPath = *rulesPath
 	}
-	if len(data) == 0 || (*cfdsPath == "" && *cindsPath == "" && *ecfdsPath == "") {
+	if (len(data) == 0 && *checkpoint == "") || (*cfdsPath == "" && *cindsPath == "" && *ecfdsPath == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if len(data) > 0 && *checkpoint != "" {
+		log.Fatal("-data and -checkpoint are mutually exclusive: the checkpoint carries the full database")
 	}
 
 	db := relation.NewDatabase()
 	schemas := make(map[string]*relation.Schema)
+	if *checkpoint != "" {
+		// Schemas come out of the checkpoint manifest; rules are then
+		// parsed against the recovered schemas exactly as against CSVs.
+		loaded, info, err := relation.LoadCheckpoint(*checkpoint, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db = loaded
+		for _, name := range db.Names() {
+			in := db.MustInstance(name)
+			schemas[name] = in.Schema()
+			fmt.Printf("loaded %s: %d tuples\n", name, in.Len())
+		}
+		fmt.Printf("checkpoint covers commit seq %d\n", info.Seq)
+	}
 	for name, path := range data {
 		f, err := os.Open(path)
 		if err != nil {
@@ -210,7 +234,11 @@ func main() {
 		for rel, pos := range keys {
 			p.SetKey(rel, pos)
 		}
-		sdb = relation.Partition(db, p)
+		var err error
+		sdb, err = relation.Partition(db, p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("partitioned into %d shards\n", *shards)
 	} else if *shards < 1 {
 		log.Fatal("-shards must be at least 1")

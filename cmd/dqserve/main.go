@@ -29,6 +29,17 @@
 // served off the immutable snapshot published by the last commit, so
 // reads never block ingest and ingest never blocks reads. SIGINT or
 // SIGTERM stops accepting work, drains the queue and exits.
+//
+// With -data-dir the service is durable: every commit is appended to a
+// write-ahead log and fsynced before its ack (-sync-every widens the
+// group-commit window, -sync-interval bounds how long acks are held),
+// and a background checkpointer persists snapshots every
+// -checkpoint-every commits so restarts replay only the WAL tail. On
+// startup dqserve loads the CSVs as the base state, then recovers the
+// checkpoint and WAL from -data-dir — after a crash, every
+// acknowledged commit is recovered exactly. -submit-timeout bounds how
+// long POST /batch waits for queue space before shedding load with
+// 503 + Retry-After.
 package main
 
 import (
@@ -120,6 +131,11 @@ func main() {
 	shards := flag.Int("shards", 1, "hash-partition the database across N shards (per-shard writers, scatter-gather detection)")
 	shardKeys := shardKeyFlags{}
 	flag.Var(shardKeys, "shard-key", "relation=attr1,attr2 partition key (repeatable; default: derived from the rules)")
+	dataDir := flag.String("data-dir", "", "durable data directory: WAL + checkpoints; restart recovers every acknowledged commit")
+	syncEvery := flag.Int("sync-every", 1, "WAL group-commit window in commits (1 = fsync every commit before its ack)")
+	syncInterval := flag.Duration("sync-interval", 0, "max time an ack is held for group commit when -sync-every > 1 (0 = 5ms default)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "commits between checkpoints (0 = default, negative disables checkpointing)")
+	submitTimeout := flag.Duration("submit-timeout", 0, "how long POST /batch waits for queue space before 503 (0 = wait indefinitely)")
 	flag.Parse()
 	if *cfdsPath == "" {
 		*cfdsPath = *rulesPath
@@ -168,21 +184,39 @@ func main() {
 		rules = append(rules, detect.WrapECFDs(ecfds)...)
 	}
 
+	var durable *serve.DurableConfig
+	if *dataDir != "" {
+		durable = &serve.DurableConfig{
+			Dir:             *dataDir,
+			SyncEvery:       *syncEvery,
+			SyncInterval:    *syncInterval,
+			CheckpointEvery: *ckptEvery,
+		}
+	}
 	svc, err := serve.New(serve.Config{
-		Engine:      &detect.Engine{Workers: *workers},
-		DB:          db,
-		Constraints: rules,
-		QueueCap:    *queueCap,
-		MaxBatchOps: *maxBatch,
-		SubBuf:      *subBuf,
-		Shards:      *shards,
-		ShardKeys:   resolveShardKeys(shardKeys, schemas),
+		Engine:        &detect.Engine{Workers: *workers},
+		DB:            db,
+		Constraints:   rules,
+		QueueCap:      *queueCap,
+		MaxBatchOps:   *maxBatch,
+		SubBuf:        *subBuf,
+		SubmitTimeout: *submitTimeout,
+		Shards:        *shards,
+		ShardKeys:     resolveShardKeys(shardKeys, schemas),
+		Durable:       durable,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *shards > 1 {
 		log.Printf("sharding across %d shards", *shards)
+	}
+	if durable != nil {
+		st := svc.State()
+		if ds, ok := svc.Durability(); ok {
+			log.Printf("durable: %s — recovered to seq %d (checkpoint covers seq %d, %d op(s) total)",
+				*dataDir, st.Seq, ds.LastCheckpointSeq, st.Ops)
+		}
 	}
 	log.Printf("seeded monitor: %d rule(s), %d violation(s) outstanding", len(rules), len(svc.Violations()))
 

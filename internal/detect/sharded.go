@@ -370,23 +370,40 @@ func (m *ShardedDBMonitor) Route(batch []DBOp) (*relation.Routing, error) {
 
 // ApplyRouting applies every routed sub-batch, fanning shards out over
 // the engine's worker pool (each shard is applied by exactly one
-// goroutine, in routed order).
-func (m *ShardedDBMonitor) ApplyRouting(r *relation.Routing) {
+// goroutine, in routed order). A failing shard — routing invariants
+// broken by a poisoned batch — is reported (first shard's error, shard
+// order) instead of panicking; the caller must then RebuildDir and Sync
+// to restore a consistent view of whatever did apply.
+func (m *ShardedDBMonitor) ApplyRouting(r *relation.Routing) error {
 	per := r.PerShard()
-	runOrdered(m.engine.workers(), len(per), func(s int) struct{} {
+	var firstErr error
+	runOrdered(m.engine.workers(), len(per), func(s int) error {
 		if len(per[s]) > 0 {
-			m.sdb.ApplyShard(s, per[s])
+			return m.sdb.ApplyShard(s, per[s])
 		}
-		return struct{}{}
-	}, func(struct{}) {})
+		return nil
+	}, func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
 }
 
 // Apply routes the batch, applies the sub-batches concurrently, and
 // syncs — the sharded counterpart of DBMonitor.Apply, with the same
-// error-prefix semantics and the same gained/cleared contract.
+// error-prefix semantics and the same gained/cleared contract. An
+// apply-phase failure (as opposed to a routed op error) degrades: the
+// directory is rebuilt from the shards and Sync restores consistency
+// with what actually applied.
 func (m *ShardedDBMonitor) Apply(batch []DBOp) (gained, cleared []Violation, err error) {
 	r, err := m.Route(batch)
-	m.ApplyRouting(r)
+	if aerr := m.ApplyRouting(r); aerr != nil {
+		m.sdb.RebuildDir()
+		if err == nil {
+			err = aerr
+		}
+	}
 	gained, cleared = m.Sync()
 	return gained, cleared, err
 }

@@ -33,7 +33,11 @@ func shardOrders(t *testing.T, db *relation.Database, shards int, cs []Constrain
 	for rel, pos := range keys {
 		p.SetKey(rel, pos)
 	}
-	return relation.Partition(db, p)
+	sdb, err := relation.Partition(db, p)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	return sdb
 }
 
 func TestDeriveShardKeysOrders(t *testing.T) {
@@ -198,7 +202,10 @@ func shardedOracleRounds(t *testing.T, seed int64, shards, orders, rounds, maxBa
 			if got, err := New(1).DetectBatchSharded(sdb, cs); err != nil || !reflect.DeepEqual(got, m.Violations()) {
 				t.Fatalf("seed %d round %d: DetectBatchSharded diverges from monitor (err %v)", seed, round, err)
 			}
-			gathered := relation.GatherSnapshots(m.ShardSnapshots())
+			gathered, err := relation.GatherSnapshots(m.ShardSnapshots())
+				if err != nil {
+					t.Fatalf("seed %d round %d: GatherSnapshots: %v", seed, round, err)
+				}
 			if got := New(1).DetectBatch(gathered, cs); !reflect.DeepEqual(got, m.Violations()) {
 				t.Fatalf("seed %d round %d: gathered snapshot detection diverges", seed, round)
 			}
@@ -365,7 +372,11 @@ func TestNewShardedDBMonitorRejectsUnshardable(t *testing.T) {
 	db := gen.Orders(gen.OrdersConfig{Books: 5, CDs: 5, Orders: 20, Seed: 1})
 	p := relation.NewPartitioner(2)
 	p.SetKey("order", []int{1})
-	if _, err := NewShardedDBMonitor(nil, relation.Partition(db, p), cs); err == nil {
+	sdb, err := relation.Partition(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedDBMonitor(nil, sdb, cs); err == nil {
 		t.Fatal("unshardable batch must be rejected at construction")
 	}
 }

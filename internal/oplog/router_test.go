@@ -146,7 +146,10 @@ func TestDBRouterPlacement(t *testing.T) {
 	}
 	p := relation.NewPartitioner(4)
 	p.SetKey("order", []int{1})
-	sdb := relation.Partition(db, p)
+	sdb, err := relation.Partition(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	router := DBRouter(sdb)
 	for _, id := range ids {
 		want, _ := sdb.ShardOfTID("order", id)

@@ -1,0 +1,624 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Checkpoint persistence: a goclaims-style on-disk layout for the
+// columnar snapshot model. A checkpoint is one directory
+//
+//	checkpoint-<seq>/
+//	  MANIFEST.json     schema, row counts, next TIDs, shard keys, seq
+//	  <rel>.tids        row -> TID, uvarint delta-coded, ascending
+//	  <rel>.col<i>      row -> dictionary code of attribute i, uvarint
+//	  <rel>.dict<i>     code -> value for attribute i (kind byte + payload)
+//
+// mirroring goclaims' one-binary-file-per-variable buckets with a JSON
+// dtypes manifest: the snapshot's per-attribute code columns serialize
+// as uvarint code streams against a compacted per-attribute dictionary
+// (only codes the column actually uses are written, renumbered densely
+// in first-use order), so the dominant on-disk cost is one short varint
+// per cell. Cell confidence weights are not persisted — the serve layer
+// never sets them; a checkpoint restores tuples, TIDs and schemas.
+//
+// Atomicity follows the temp-dir-plus-rename protocol: the directory is
+// written and fsynced under a .tmp name, renamed into place, and only
+// then does the CURRENT pointer file move to it (itself via write-tmp +
+// rename + directory fsync). A crash at any point leaves CURRENT naming
+// a complete checkpoint or absent; partial directories are garbage
+// collected on the next successful write.
+
+// checkpointFormatVersion is bumped on incompatible layout changes.
+const checkpointFormatVersion = 1
+
+const (
+	manifestName = "MANIFEST.json"
+	currentName  = "CURRENT"
+)
+
+// ErrNoCheckpoint is returned by LoadCheckpoint when the directory has
+// no CURRENT pointer (a fresh data dir, or one that never completed a
+// checkpoint).
+var ErrNoCheckpoint = errors.New("relation: no checkpoint")
+
+// CheckpointInfo is the metadata stored alongside (and recovered with)
+// a checkpoint.
+type CheckpointInfo struct {
+	// Seq is the WAL sequence the checkpoint covers: replay resumes at
+	// Seq+1.
+	Seq uint64
+	// NextTIDs records each relation's next-TID allocator so recovered
+	// inserts reuse no TID that ever existed — required for replay to be
+	// byte-identical when the highest tuples were deleted before the
+	// checkpoint.
+	NextTIDs map[string]TID
+	// ShardKeys records the partition key (attribute positions) per
+	// relation when the writing service ran sharded; nil otherwise.
+	ShardKeys map[string][]int
+}
+
+type checkpointManifest struct {
+	FormatVersion int                `json:"formatVersion"`
+	Seq           uint64             `json:"seq"`
+	Relations     []relationManifest `json:"relations"`
+}
+
+type relationManifest struct {
+	Name     string         `json:"name"`
+	Attrs    []attrManifest `json:"attrs"`
+	Rows     int            `json:"rows"`
+	NextTID  TID            `json:"nextTID"`
+	ShardKey []int          `json:"shardKey,omitempty"`
+}
+
+type attrManifest struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Finite lists a finite domain's values as ParseValue-compatible
+	// text; nil means an infinite domain. (A finite string domain
+	// containing the empty string would round-trip it to null — such
+	// domains do not occur here, as ParseValue can never produce that
+	// value either.)
+	Finite []string `json:"finite,omitempty"`
+}
+
+// WriteCheckpoint atomically installs a checkpoint of the snapshot
+// under dataDir and points CURRENT at it, then garbage-collects older
+// checkpoint directories. Writing is safe concurrently with readers of
+// the snapshot (snapshots are immutable; lazy column interning is
+// internally synchronized).
+func WriteCheckpoint(dataDir string, dbs *DBSnapshot, info CheckpointInfo) error {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	name := fmt.Sprintf("checkpoint-%016d", info.Seq)
+	final := filepath.Join(dataDir, name)
+	if _, err := os.Stat(final); err == nil {
+		// A checkpoint at this seq is already installed (e.g. the final
+		// checkpoint at Stop when nothing committed since the last one).
+		return ensureCurrent(dataDir, name)
+	}
+	tmp := final + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	man := checkpointManifest{FormatVersion: checkpointFormatVersion, Seq: info.Seq}
+	for _, rel := range dbs.Names() {
+		if err := checkRelationFilename(rel); err != nil {
+			return err
+		}
+		snap, _ := dbs.Snapshot(rel)
+		rm, err := writeRelation(tmp, rel, snap, info)
+		if err != nil {
+			return err
+		}
+		man.Relations = append(man.Relations, rm)
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	}); err != nil {
+		return err
+	}
+	if err := fsyncDir(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	if err := fsyncDir(dataDir); err != nil {
+		return err
+	}
+	if err := ensureCurrent(dataDir, name); err != nil {
+		return err
+	}
+	gcCheckpoints(dataDir, name)
+	return nil
+}
+
+// ensureCurrent atomically points the CURRENT file at name.
+func ensureCurrent(dataDir, name string) error {
+	cur := filepath.Join(dataDir, currentName)
+	if data, err := os.ReadFile(cur); err == nil && strings.TrimSpace(string(data)) == name {
+		return nil
+	}
+	tmp := cur + ".tmp"
+	if err := writeFileSync(tmp, func(w io.Writer) error {
+		_, err := io.WriteString(w, name+"\n")
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	return fsyncDir(dataDir)
+}
+
+// gcCheckpoints removes every checkpoint-* directory except keep.
+// Best-effort: a leftover directory costs disk, not correctness.
+func gcCheckpoints(dataDir, keep string) {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(n, "checkpoint-") || n == keep {
+			continue
+		}
+		os.RemoveAll(filepath.Join(dataDir, n))
+	}
+}
+
+// writeRelation serializes one relation's snapshot into dir and returns
+// its manifest entry.
+func writeRelation(dir, rel string, snap *Snapshot, info CheckpointInfo) (relationManifest, error) {
+	sch := snap.Schema()
+	rm := relationManifest{Name: rel, Rows: snap.Len()}
+	for i := 0; i < sch.Arity(); i++ {
+		a := sch.Attr(i)
+		am := attrManifest{Name: a.Name, Kind: a.Domain.Kind().String()}
+		if a.Domain.Finite() {
+			am.Finite = make([]string, 0, len(a.Domain.Values()))
+			for _, v := range a.Domain.Values() {
+				am.Finite = append(am.Finite, valueText(v))
+			}
+		}
+		rm.Attrs = append(rm.Attrs, am)
+	}
+	if info.NextTIDs != nil {
+		rm.NextTID = info.NextTIDs[rel]
+	}
+	maxID := TID(-1)
+	if n := snap.Len(); n > 0 {
+		maxID = snap.TID(n - 1)
+	}
+	if rm.NextTID <= maxID {
+		rm.NextTID = maxID + 1
+	}
+	if info.ShardKeys != nil {
+		rm.ShardKey = info.ShardKeys[rel]
+	}
+
+	// TIDs: uvarint deltas over the ascending row order.
+	if err := writeFileSync(filepath.Join(dir, rel+".tids"), func(w io.Writer) error {
+		bw := bufio.NewWriter(w)
+		prev := TID(-1)
+		for row := 0; row < snap.Len(); row++ {
+			id := snap.TID(row)
+			if err := putUvarint(bw, uint64(id-prev)); err != nil {
+				return err
+			}
+			prev = id
+		}
+		return bw.Flush()
+	}); err != nil {
+		return rm, err
+	}
+
+	// Per-attribute code column + compacted dictionary.
+	for p := 0; p < sch.Arity(); p++ {
+		col := snap.Col(p)
+		dict := snap.Dict(p)
+		remap := make(map[uint32]uint32)
+		var vals []Value
+		if err := writeFileSync(filepath.Join(dir, fmt.Sprintf("%s.col%d", rel, p)), func(w io.Writer) error {
+			bw := bufio.NewWriter(w)
+			for _, code := range col {
+				local, ok := remap[code]
+				if !ok {
+					local = uint32(len(vals))
+					remap[code] = local
+					vals = append(vals, dict.Value(code))
+				}
+				if err := putUvarint(bw, uint64(local)); err != nil {
+					return err
+				}
+			}
+			return bw.Flush()
+		}); err != nil {
+			return rm, err
+		}
+		if err := writeFileSync(filepath.Join(dir, fmt.Sprintf("%s.dict%d", rel, p)), func(w io.Writer) error {
+			bw := bufio.NewWriter(w)
+			if err := putUvarint(bw, uint64(len(vals))); err != nil {
+				return err
+			}
+			for _, v := range vals {
+				if err := encodeValue(bw, v); err != nil {
+					return err
+				}
+			}
+			return bw.Flush()
+		}); err != nil {
+			return rm, err
+		}
+	}
+	return rm, nil
+}
+
+// LoadCheckpoint opens the checkpoint CURRENT points at and rebuilds
+// the database. When schemas is non-nil the recovered instances are
+// built over those exact *Schema values (so constraints parsed against
+// them keep working) after validating the manifest structurally matches
+// — same relations, attribute names and kinds; nil reconstructs schemas
+// from the manifest.
+func LoadCheckpoint(dataDir string, schemas map[string]*Schema) (*Database, CheckpointInfo, error) {
+	data, err := os.ReadFile(filepath.Join(dataDir, currentName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, CheckpointInfo{}, ErrNoCheckpoint
+		}
+		return nil, CheckpointInfo{}, fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	name := strings.TrimSpace(string(data))
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, CheckpointInfo{}, fmt.Errorf("relation: checkpoint: bad CURRENT pointer %q", name)
+	}
+	dir := filepath.Join(dataDir, name)
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, CheckpointInfo{}, fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	var man checkpointManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, CheckpointInfo{}, fmt.Errorf("relation: checkpoint manifest: %w", err)
+	}
+	if man.FormatVersion != checkpointFormatVersion {
+		return nil, CheckpointInfo{}, fmt.Errorf("relation: checkpoint format version %d, want %d", man.FormatVersion, checkpointFormatVersion)
+	}
+	if schemas != nil {
+		if err := validateManifestSchemas(man, schemas); err != nil {
+			return nil, CheckpointInfo{}, err
+		}
+	}
+	info := CheckpointInfo{Seq: man.Seq, NextTIDs: make(map[string]TID, len(man.Relations))}
+	db := NewDatabase()
+	for _, rm := range man.Relations {
+		sch := schemas[rm.Name] // nil map lookup is fine
+		if sch == nil {
+			sch, err = schemaFromManifest(rm)
+			if err != nil {
+				return nil, CheckpointInfo{}, err
+			}
+		}
+		in, err := loadRelation(dir, rm, sch)
+		if err != nil {
+			return nil, CheckpointInfo{}, err
+		}
+		db.Add(in)
+		info.NextTIDs[rm.Name] = in.nextID
+		if rm.ShardKey != nil {
+			if info.ShardKeys == nil {
+				info.ShardKeys = make(map[string][]int)
+			}
+			info.ShardKeys[rm.Name] = rm.ShardKey
+		}
+	}
+	return db, info, nil
+}
+
+// validateManifestSchemas checks the manifest names the same relations
+// with the same attribute names and kinds as the caller's schemas.
+func validateManifestSchemas(man checkpointManifest, schemas map[string]*Schema) error {
+	if len(man.Relations) != len(schemas) {
+		return fmt.Errorf("relation: checkpoint has %d relations, database has %d", len(man.Relations), len(schemas))
+	}
+	for _, rm := range man.Relations {
+		sch, ok := schemas[rm.Name]
+		if !ok {
+			return fmt.Errorf("relation: checkpoint has relation %q, database does not", rm.Name)
+		}
+		if len(rm.Attrs) != sch.Arity() {
+			return fmt.Errorf("relation: checkpoint %s has arity %d, schema has %d", rm.Name, len(rm.Attrs), sch.Arity())
+		}
+		for i, am := range rm.Attrs {
+			a := sch.Attr(i)
+			if am.Name != a.Name {
+				return fmt.Errorf("relation: checkpoint %s attribute %d is %q, schema has %q", rm.Name, i, am.Name, a.Name)
+			}
+			kind, err := ParseKind(am.Kind)
+			if err != nil || kind != a.Domain.Kind() {
+				return fmt.Errorf("relation: checkpoint %s.%s has kind %q, schema has %q", rm.Name, am.Name, am.Kind, a.Domain.Kind())
+			}
+		}
+	}
+	return nil
+}
+
+// schemaFromManifest reconstructs a schema when the caller supplied
+// none (cold batch loads, e.g. dqdetect -checkpoint).
+func schemaFromManifest(rm relationManifest) (*Schema, error) {
+	attrs := make([]Attribute, len(rm.Attrs))
+	for i, am := range rm.Attrs {
+		kind, err := ParseKind(am.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("relation: checkpoint %s.%s: %w", rm.Name, am.Name, err)
+		}
+		if am.Finite == nil {
+			attrs[i] = Attr(am.Name, kind)
+			continue
+		}
+		vals := make([]Value, len(am.Finite))
+		for j, text := range am.Finite {
+			v, err := ParseValue(kind, text)
+			if err != nil {
+				return nil, fmt.Errorf("relation: checkpoint %s.%s: %w", rm.Name, am.Name, err)
+			}
+			vals[j] = v
+		}
+		attrs[i] = FiniteAttr(am.Name, FiniteDom(kind, vals...))
+	}
+	return NewSchema(rm.Name, attrs...)
+}
+
+// loadRelation reads one relation's column files and bulk-builds its
+// instance: tuples installed directly (no per-insert validation — the
+// checkpoint is this process's own prior output), version advanced past
+// an empty changelog, next-TID allocator restored from the manifest.
+func loadRelation(dir string, rm relationManifest, sch *Schema) (*Instance, error) {
+	badf := func(file string, err error) error {
+		return fmt.Errorf("relation: checkpoint %s: %w", file, err)
+	}
+	ids := make([]TID, rm.Rows)
+	{
+		file := rm.Name + ".tids"
+		r, closef, err := openBuf(filepath.Join(dir, file))
+		if err != nil {
+			return nil, badf(file, err)
+		}
+		prev := TID(-1)
+		for row := range ids {
+			d, err := binary.ReadUvarint(r)
+			if err != nil {
+				closef()
+				return nil, badf(file, err)
+			}
+			prev += TID(d)
+			ids[row] = prev
+		}
+		closef()
+	}
+	cols := make([][]Value, sch.Arity()) // cols[p][row], decoded
+	for p := 0; p < sch.Arity(); p++ {
+		dictFile := fmt.Sprintf("%s.dict%d", rm.Name, p)
+		r, closef, err := openBuf(filepath.Join(dir, dictFile))
+		if err != nil {
+			return nil, badf(dictFile, err)
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			closef()
+			return nil, badf(dictFile, err)
+		}
+		if n > uint64(rm.Rows) {
+			closef()
+			return nil, badf(dictFile, fmt.Errorf("dictionary of %d values for %d rows", n, rm.Rows))
+		}
+		vals := make([]Value, n)
+		for i := range vals {
+			if vals[i], err = decodeValue(r); err != nil {
+				closef()
+				return nil, badf(dictFile, err)
+			}
+		}
+		closef()
+		colFile := fmt.Sprintf("%s.col%d", rm.Name, p)
+		r, closef, err = openBuf(filepath.Join(dir, colFile))
+		if err != nil {
+			return nil, badf(colFile, err)
+		}
+		col := make([]Value, rm.Rows)
+		for row := range col {
+			code, err := binary.ReadUvarint(r)
+			if err != nil {
+				closef()
+				return nil, badf(colFile, err)
+			}
+			if code >= uint64(len(vals)) {
+				closef()
+				return nil, badf(colFile, fmt.Errorf("code %d out of range (dictionary has %d)", code, len(vals)))
+			}
+			col[row] = vals[code]
+		}
+		closef()
+		cols[p] = col
+	}
+	in := NewInstance(sch)
+	arity := sch.Arity()
+	for row, id := range ids {
+		t := make(Tuple, arity)
+		for p := 0; p < arity; p++ {
+			t[p] = cols[p][row]
+		}
+		in.tuples[id] = t
+	}
+	in.nextID = rm.NextTID
+	if n := len(ids); n > 0 && ids[n-1] >= in.nextID {
+		in.nextID = ids[n-1] + 1
+	}
+	in.version = uint64(len(ids))
+	in.logStart = in.version
+	return in, nil
+}
+
+// valueText renders v so ParseValue(kind, text) round-trips it. Null is
+// the empty string; floats use the shortest exact representation.
+func valueText(v Value) string {
+	if v.IsNull() {
+		return ""
+	}
+	return v.String()
+}
+
+// Value wire encoding inside dictionary files: one kind byte, then a
+// kind-specific payload. Independent of the column's schema kind — a
+// column may hold nulls (any kind) or integral values in a real column.
+func encodeValue(w *bufio.Writer, v Value) error {
+	if err := w.WriteByte(byte(v.Kind())); err != nil {
+		return err
+	}
+	switch v.Kind() {
+	case KindNull:
+		return nil
+	case KindBool:
+		b := byte(0)
+		if v.BoolVal() {
+			b = 1
+		}
+		return w.WriteByte(b)
+	case KindInt:
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], v.IntVal())
+		_, err := w.Write(buf[:n])
+		return err
+	case KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.FloatVal()))
+		_, err := w.Write(buf[:])
+		return err
+	case KindString:
+		s := v.StrVal()
+		if err := putUvarint(w, uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := w.WriteString(s)
+		return err
+	default:
+		return fmt.Errorf("unknown value kind %d", v.Kind())
+	}
+}
+
+func decodeValue(r *bufio.Reader) (Value, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch Kind(kb) {
+	case KindNull:
+		return Null(), nil
+	case KindBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(b != 0), nil
+	case KindInt:
+		i, err := binary.ReadVarint(r)
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(i), nil
+	case KindFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Value{}, err
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case KindString:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Value{}, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, err
+		}
+		return Str(string(buf)), nil
+	default:
+		return Value{}, fmt.Errorf("unknown value kind %d", kb)
+	}
+}
+
+func putUvarint(w *bufio.Writer, x uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// checkRelationFilename rejects relation names that cannot be file name
+// stems.
+func checkRelationFilename(rel string) error {
+	if rel == "" || rel == "." || rel == ".." ||
+		strings.ContainsAny(rel, "/\\\x00") || strings.HasPrefix(rel, ".") {
+		return fmt.Errorf("relation: checkpoint: relation name %q is not file-safe", rel)
+	}
+	return nil
+}
+
+// writeFileSync creates path, streams content through write, and
+// fsyncs before closing — no partially-durable file survives a clean
+// return.
+func writeFileSync(path string, write func(w io.Writer) error) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("relation: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func openBuf(path string) (*bufio.Reader, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bufio.NewReaderSize(f, 1<<16), func() { f.Close() }, nil
+}
+
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("relation: checkpoint: %w", err)
+	}
+	return nil
+}

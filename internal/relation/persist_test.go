@@ -1,0 +1,219 @@
+package relation
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func persistFixture(t *testing.T) (*Database, map[string]*Schema) {
+	t.Helper()
+	order := MustSchema("order",
+		Attr("id", KindInt),
+		Attr("title", KindString),
+		Attr("price", KindFloat),
+		FiniteAttr("type", FiniteDom(KindString, Str("book"), Str("CD"))),
+		FiniteAttr("paid", BoolDom()),
+	)
+	city := MustSchema("city",
+		Attr("name", KindString),
+		Attr("pop", KindInt),
+	)
+	ordIn := NewInstance(order)
+	ordIn.MustInsert(Int(1), Str("Harry Potter"), Float(17.99), Str("book"), Bool(true))
+	ordIn.MustInsert(Int(2), Str("Kind of Blue"), Float(9), Str("CD"), Bool(false))
+	ordIn.MustInsert(Int(3), Null(), Float(math.Inf(1)), Null(), Null())
+	ordIn.MustInsert(Int(4), Str("Harry Potter"), Float(17.99), Str("book"), Bool(true)) // duplicate values share codes
+	cityIn := NewInstance(city)
+	cityIn.MustInsert(Str("Edinburgh"), Int(470000))
+	cityIn.MustInsert(Str(`a,b "quoted"`), Int(0)) // a string cell holding punctuation
+	db := NewDatabase()
+	db.Add(ordIn)
+	db.Add(cityIn)
+	return db, map[string]*Schema{"order": order, "city": city}
+}
+
+func checkRoundTrip(t *testing.T, got, want *Database) {
+	t.Helper()
+	if gn, wn := got.Names(), want.Names(); len(gn) != len(wn) {
+		t.Fatalf("relations %v, want %v", gn, wn)
+	}
+	for _, name := range want.Names() {
+		wi := want.MustInstance(name)
+		gi, ok := got.Instance(name)
+		if !ok {
+			t.Fatalf("missing relation %q", name)
+		}
+		if gi.Len() != wi.Len() {
+			t.Fatalf("%s: %d tuples, want %d", name, gi.Len(), wi.Len())
+		}
+		for _, id := range wi.IDs() {
+			wt, _ := wi.Tuple(id)
+			gt, ok := gi.Tuple(id)
+			if !ok {
+				t.Fatalf("%s: missing TID %d", name, id)
+			}
+			if !gt.Equal(wt) {
+				t.Fatalf("%s t%d: %v, want %v", name, id, gt, wt)
+			}
+			// Kind-exact, not just Equal (9 vs 9.0 matter for rendering).
+			for p := range wt {
+				if gt[p].Kind() != wt[p].Kind() {
+					t.Fatalf("%s t%d[%d]: kind %v, want %v", name, id, p, gt[p].Kind(), wt[p].Kind())
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	db, schemas := persistFixture(t)
+	// A deletion leaves a TID gap, and deleting the top tuple makes the
+	// preserved NextTID observable.
+	ord := db.MustInstance("order")
+	top := ord.MustInsert(Int(9), Str("doomed"), Float(1), Str("book"), Bool(false))
+	ord.Delete(top)
+	ord.Delete(TID(1))
+	nextTIDs := map[string]TID{"order": ord.NextTID(), "city": db.MustInstance("city").NextTID()}
+
+	dir := t.TempDir()
+	info := CheckpointInfo{
+		Seq:       42,
+		NextTIDs:  nextTIDs,
+		ShardKeys: map[string][]int{"order": {1}},
+	}
+	if err := WriteCheckpoint(dir, NewDBSnapshot(db), info); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, withSchemas := range []bool{true, false} {
+		var arg map[string]*Schema
+		if withSchemas {
+			arg = schemas
+		}
+		got, gotInfo, err := LoadCheckpoint(dir, arg)
+		if err != nil {
+			t.Fatalf("LoadCheckpoint(withSchemas=%v): %v", withSchemas, err)
+		}
+		checkRoundTrip(t, got, db)
+		if gotInfo.Seq != 42 {
+			t.Fatalf("Seq = %d, want 42", gotInfo.Seq)
+		}
+		if got := gotInfo.NextTIDs["order"]; got != nextTIDs["order"] {
+			t.Fatalf("order NextTID = %d, want %d (deleted-top TID must not be reused)", got, nextTIDs["order"])
+		}
+		if ks := gotInfo.ShardKeys["order"]; len(ks) != 1 || ks[0] != 1 {
+			t.Fatalf("ShardKeys[order] = %v, want [1]", ks)
+		}
+		if withSchemas {
+			if got.MustInstance("order").Schema() != schemas["order"] {
+				t.Fatal("caller-provided schema pointer not used")
+			}
+		} else {
+			// Reconstructed finite domains still enforce membership.
+			sch := got.MustInstance("order").Schema()
+			if d := sch.Attr(3).Domain; !d.Finite() || d.Contains(Str("vinyl")) {
+				t.Fatalf("finite domain not reconstructed: %v", d)
+			}
+		}
+		// The recovered instance is live: inserts allocate fresh TIDs and
+		// snapshots build cleanly.
+		in := got.MustInstance("order")
+		id, err := in.Insert(Tuple{Int(5), Str("new"), Float(2), Str("CD"), Bool(true)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != nextTIDs["order"] {
+			t.Fatalf("post-recovery insert got TID %d, want %d", id, nextTIDs["order"])
+		}
+		if snap := SnapshotOf(in); snap.Len() != in.Len() {
+			t.Fatalf("snapshot of recovered instance has %d rows, want %d", snap.Len(), in.Len())
+		}
+	}
+}
+
+func TestCheckpointNoCheckpoint(t *testing.T) {
+	_, _, err := LoadCheckpoint(t.TempDir(), nil)
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointSchemaMismatch(t *testing.T) {
+	db, _ := persistFixture(t)
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, NewDBSnapshot(db), CheckpointInfo{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]*Schema{
+		"order": MustSchema("order", Attr("id", KindInt)), // wrong arity
+		"city":  MustSchema("city", Attr("name", KindString), Attr("pop", KindInt)),
+	}
+	if _, _, err := LoadCheckpoint(dir, bad); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	bad["order"] = MustSchema("order",
+		Attr("id", KindInt), Attr("title", KindString), Attr("price", KindString), // kind flip
+		Attr("type", KindString), Attr("paid", KindBool),
+	)
+	if _, _, err := LoadCheckpoint(dir, bad); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+// TestCheckpointSupersede: a newer checkpoint replaces CURRENT and the
+// old directory is garbage-collected; a leftover .tmp from a simulated
+// crash is invisible to loads.
+func TestCheckpointSupersede(t *testing.T) {
+	db, _ := persistFixture(t)
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, NewDBSnapshot(db), CheckpointInfo{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustInstance("city").MustInsert(Str("Oban"), Int(8000))
+	// Simulate a crash mid-write of checkpoint 2: only a partial tmp dir.
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoint-0000000000000002.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := LoadCheckpoint(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 1 || got.MustInstance("city").Len() != 2 {
+		t.Fatalf("load with stale tmp: seq %d, city %d rows", info.Seq, got.MustInstance("city").Len())
+	}
+	// The real checkpoint 2 lands and supersedes.
+	if err := WriteCheckpoint(dir, NewDBSnapshot(db), CheckpointInfo{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err = LoadCheckpoint(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 2 || got.MustInstance("city").Len() != 3 {
+		t.Fatalf("after supersede: seq %d, city %d rows", info.Seq, got.MustInstance("city").Len())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "checkpoint-") && e.Name() != "checkpoint-0000000000000002" {
+			t.Fatalf("old checkpoint dir %s not garbage-collected", e.Name())
+		}
+	}
+}
+
+func TestCheckpointRejectsUnsafeRelationName(t *testing.T) {
+	sch := MustSchema("../evil", Attr("x", KindInt))
+	in := NewInstance(sch)
+	in.MustInsert(Int(1))
+	db := NewDatabase()
+	db.Add(in)
+	if err := WriteCheckpoint(t.TempDir(), NewDBSnapshot(db), CheckpointInfo{}); err == nil {
+		t.Fatal("path-traversing relation name accepted")
+	}
+}

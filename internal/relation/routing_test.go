@@ -20,7 +20,11 @@ func shardedFixture(t *testing.T, shards int, rows ...Tuple) (*ShardedDB, *Insta
 	db.Add(in)
 	p := NewPartitioner(shards)
 	p.SetKey("r", []int{0})
-	return Partition(db, p), in
+	sdb, err := Partition(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sdb, in
 }
 
 // applyAll routes nothing further; it just applies every routed
@@ -28,7 +32,9 @@ func shardedFixture(t *testing.T, shards int, rows ...Tuple) (*ShardedDB, *Insta
 func applyAll(s *ShardedDB, r *Routing) {
 	for shard, ops := range r.PerShard() {
 		if len(ops) > 0 {
-			s.ApplyShard(shard, ops)
+			if err := s.ApplyShard(shard, ops); err != nil {
+				panic(err)
+			}
 		}
 	}
 }

@@ -44,12 +44,14 @@ func NewShardedDB(p *Partitioner) *ShardedDB {
 
 // Partition builds a ShardedDB from an existing database: every
 // instance is cut across the partitioner's shards with AddInstance.
-func Partition(db *Database, p *Partitioner) *ShardedDB {
+func Partition(db *Database, p *Partitioner) (*ShardedDB, error) {
 	s := NewShardedDB(p)
 	for _, name := range db.Names() {
-		s.AddInstance(db.MustInstance(name))
+		if err := s.AddInstance(db.MustInstance(name)); err != nil {
+			return nil, err
+		}
 	}
-	return s
+	return s, nil
 }
 
 // Partitioner returns the partitioner the database was cut by.
@@ -92,7 +94,7 @@ func (s *ShardedDB) ShardOfTID(rel string, id TID) (int, bool) {
 // shard (a shard with no tuples still gets an empty instance, so
 // per-shard snapshots cover the full relation set). Tuples of the
 // source instance are copied; it is not retained.
-func (s *ShardedDB) AddInstance(in *Instance) {
+func (s *ShardedDB) AddInstance(in *Instance) error {
 	name := in.Schema().Name()
 	s.schemas[name] = in.Schema()
 	insts := make([]*Instance, len(s.shards))
@@ -110,7 +112,7 @@ func (s *ShardedDB) AddInstance(in *Instance) {
 		// on update (copy-on-write), so replicas alias its storage — a
 		// partition must not double the tuple heap.
 		if err := insts[shard].insertShared(id, t); err != nil {
-			panic(fmt.Sprintf("relation: partitioning %s: %v", name, err))
+			return fmt.Errorf("relation: partitioning %s: %w", name, err)
 		}
 		if ws, ok := in.weights[id]; ok {
 			insts[shard].weights[id] = append([]float64(nil), ws...)
@@ -119,6 +121,29 @@ func (s *ShardedDB) AddInstance(in *Instance) {
 	}
 	if s.nextID[name] < in.nextID {
 		s.nextID[name] = in.nextID
+	}
+	return nil
+}
+
+// NextTID returns the TID the next routed insert into the relation
+// would allocate. Single-writer like all mutation state: read it from
+// the sequencer (the goroutine that creates Routings).
+func (s *ShardedDB) NextTID(rel string) TID { return s.nextID[rel] }
+
+// RebuildDir reconstructs the tuple directory by scanning every shard —
+// the recovery step after a partially-applied sub-batch left the routed
+// directory ahead of (or behind) what the shards actually hold.
+func (s *ShardedDB) RebuildDir() {
+	for rel := range s.schemas {
+		dir := make(map[TID]int)
+		for shard, db := range s.shards {
+			if in, ok := db.Instance(rel); ok {
+				for _, id := range in.IDs() {
+					dir[id] = shard
+				}
+			}
+		}
+		s.dir[rel] = dir
 	}
 }
 
@@ -232,12 +257,12 @@ func (r *Routing) anyInstance(rel string) *Instance {
 // overlay first, then the owning shard's instance, with any deferred
 // single-cell patches composed on top (and folded into the overlay, so
 // repeated reads pay the clone once).
-func (r *Routing) tupleOf(rel string, id TID, shard int) Tuple {
+func (r *Routing) tupleOf(rel string, id TID, shard int) (Tuple, error) {
 	t, ok := r.over[rel][id]
 	if !ok {
 		t, ok = r.s.shards[shard].MustInstance(rel).Tuple(id)
 		if !ok {
-			panic(fmt.Sprintf("relation: sharded %s: directory has tuple %d but shard %d does not (unapplied routing?)", rel, id, shard))
+			return nil, fmt.Errorf("relation: sharded %s: directory has tuple %d but shard %d does not (unapplied routing?)", rel, id, shard)
 		}
 	}
 	if ps := r.pend[rel][id]; len(ps) > 0 {
@@ -248,7 +273,7 @@ func (r *Routing) tupleOf(rel string, id TID, shard int) Tuple {
 		r.setOver(rel, id, t)
 		delete(r.pend[rel], id)
 	}
-	return t
+	return t, nil
 }
 
 func (r *Routing) setOver(rel string, id TID, t Tuple) {
@@ -320,7 +345,11 @@ func (r *Routing) Update(rel string, id TID, pos int, v Value) error {
 		r.push(shard, ShardedOp{Rel: rel, Kind: ChangeUpdate, TID: id, Pos: pos, Val: v})
 		return nil
 	}
-	nt := r.tupleOf(rel, id, shard).Clone()
+	cur, err := r.tupleOf(rel, id, shard)
+	if err != nil {
+		return err
+	}
+	nt := cur.Clone()
 	nt[pos] = v
 	r.setOver(rel, id, nt)
 	newShard := r.s.part.ShardOf(rel, nt)
@@ -346,15 +375,23 @@ func (r *Routing) Update(rel string, id TID, pos int, v Value) error {
 // ApplyShard applies one shard's routed sub-batch, in order. Sub-batches
 // of distinct shards touch disjoint instances and may be applied
 // concurrently (one goroutine per shard). Ops were fully validated at
-// route time, so application cannot fail.
-func (s *ShardedDB) ApplyShard(shard int, ops []ShardedOp) {
+// route time, so an error here means the routing invariants broke (a
+// poisoned batch, a directory out of step with a shard): ApplyShard
+// stops at the failing op and returns the error instead of killing the
+// process, leaving the caller to degrade — reject the commit, rebuild
+// the directory (RebuildDir) and resynchronize via the monitor's
+// changelog-driven Sync.
+func (s *ShardedDB) ApplyShard(shard int, ops []ShardedOp) error {
 	db := s.shards[shard]
 	for _, op := range ops {
-		in := db.MustInstance(op.Rel)
+		in, ok := db.Instance(op.Rel)
+		if !ok {
+			return fmt.Errorf("relation: sharded apply: shard %d has no relation %q", shard, op.Rel)
+		}
 		switch op.Kind {
 		case ChangeInsert:
 			if err := in.InsertWithTID(op.TID, op.Tuple); err != nil {
-				panic(fmt.Sprintf("relation: sharded apply: %v", err))
+				return fmt.Errorf("relation: sharded apply: %w", err)
 			}
 			if op.weights != nil {
 				in.weights[op.TID] = op.weights
@@ -363,21 +400,26 @@ func (s *ShardedDB) ApplyShard(shard int, ops []ShardedOp) {
 			in.Delete(op.TID)
 		case ChangeUpdate:
 			if err := in.Update(op.TID, op.Pos, op.Val); err != nil {
-				panic(fmt.Sprintf("relation: sharded apply: %v", err))
+				return fmt.Errorf("relation: sharded apply: %w", err)
 			}
 		}
 	}
+	return nil
 }
 
-// Apply applies every routed sub-batch sequentially (shard order). The
-// concurrent path is ApplyShard per shard; Apply is the convenience for
-// callers without their own workers.
-func (s *ShardedDB) Apply(r *Routing) {
+// Apply applies every routed sub-batch sequentially (shard order),
+// stopping at the first shard whose application fails. The concurrent
+// path is ApplyShard per shard; Apply is the convenience for callers
+// without their own workers.
+func (s *ShardedDB) Apply(r *Routing) error {
 	for shard, ops := range r.perShard {
 		if len(ops) > 0 {
-			s.ApplyShard(shard, ops)
+			if err := s.ApplyShard(shard, ops); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // GatherSnapshots merges per-shard snapshots back into one Database:
@@ -386,10 +428,12 @@ func (s *ShardedDB) Apply(r *Routing) {
 // neither the snapshots nor the sharded database — and is what
 // cross-partition readers (the /check endpoint) run the ordinary
 // engine on.
-func GatherSnapshots(snaps []*DBSnapshot) *Database {
+// An error (two shards claiming one TID — shard state diverged from the
+// routing invariants) aborts the gather rather than killing the server.
+func GatherSnapshots(snaps []*DBSnapshot) (*Database, error) {
 	db := NewDatabase()
 	if len(snaps) == 0 {
-		return db
+		return db, nil
 	}
 	for _, name := range snaps[0].Names() {
 		first, _ := snaps[0].Snapshot(name)
@@ -402,10 +446,10 @@ func GatherSnapshots(snaps []*DBSnapshot) *Database {
 			}
 			for row := 0; row < snap.Len(); row++ {
 				if err := in.InsertWithTID(snap.TID(row), snap.TupleAt(row)); err != nil {
-					panic(fmt.Sprintf("relation: gather %s: %v", name, err))
+					return nil, fmt.Errorf("relation: gather %s: %w", name, err)
 				}
 			}
 		}
 	}
-	return db
+	return db, nil
 }

@@ -111,6 +111,14 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "service stopping")
 			return
 		}
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrWAL) {
+			// Overload or a durability failure: the client should back off
+			// and retry (against this process for ErrBusy, against the
+			// restarted one for ErrWAL — either way reads keep working).
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		if err != nil && res.Err == nil {
 			// Not a commit verdict but a transport condition (the request
 			// context was cancelled before the ack): the batch may or may
@@ -272,6 +280,10 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var durability *DurabilityStats
+	if ds, ok := h.Svc.Durability(); ok {
+		durability = &ds
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Seq         uint64           `json:"seq"`
 		Relations   map[string]int   `json:"relations"`
@@ -286,6 +298,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth  int              `json:"queueDepth"`
 		ShardCount  int              `json:"shardCount"`
 		Shards      []shardStatsJSON `json:"shards,omitempty"`
+		Durability  *DurabilityStats `json:"durability,omitempty"`
 		Counts      Counts           `json:"counts"`
 	}{
 		Seq:         st.Seq,
@@ -301,6 +314,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:  h.Svc.QueueDepth(),
 		ShardCount:  h.Svc.Shards(),
 		Shards:      h.shardStatsFor(st),
+		Durability:  durability,
 		Counts:      h.Svc.countsFor(st), // same State as the top-level fields
 	})
 }
@@ -424,7 +438,11 @@ func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no rules in request")
 		return
 	}
-	seq, ok := h.Svc.Check(cs)
+	seq, ok, err := h.Svc.Check(cs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Seq       uint64 `json:"seq"`
 		Rules     int    `json:"rules"`

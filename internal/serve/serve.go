@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/detect"
 	"repro/internal/relation"
+	"repro/internal/wal"
 )
 
 // Defaults for Config's zero fields.
@@ -80,6 +82,19 @@ type Config struct {
 	// batch (detect.DeriveShardKeys); New fails when no key keeps every
 	// CFD/eCFD shard-local.
 	ShardKeys map[string][]int
+	// SubmitTimeout bounds how long Submit waits for queue space before
+	// shedding the load with ErrBusy (front ends turn it into 503 +
+	// Retry-After). 0 waits indefinitely — until the context expires or
+	// the service stops.
+	SubmitTimeout time.Duration
+	// Durable, when non-nil, turns on the durability layer: every
+	// commit is appended to a write-ahead log and fsynced before it is
+	// acknowledged or published, and a background checkpointer persists
+	// snapshots so a restart replays only the WAL tail. When
+	// Durable.Dir holds a previous run's state, New recovers from it —
+	// Config.DB then only supplies the schemas (its tuples are
+	// ignored).
+	Durable *DurableConfig
 }
 
 // State is one published, immutable view of the service: everything a
@@ -104,6 +119,11 @@ type State struct {
 	// Violations is the full violation set in canonical mixed order —
 	// byte-identical to Engine.DetectBatch of the database at Seq.
 	Violations []detect.Violation
+	// NextTIDs snapshots each relation's next TID as of Seq — what a
+	// checkpoint must preserve so post-recovery inserts allocate the
+	// same TIDs the uninterrupted run would have. Durable services
+	// only; nil otherwise.
+	NextTIDs map[string]relation.TID
 
 	// Cumulative counters since New.
 	Ops     uint64 // mutation ops accepted into commits (a commit that hit an op error — see Errs — applied only the prefix before the failing op)
@@ -143,6 +163,18 @@ type request struct {
 type shardWork struct {
 	ops []relation.ShardedOp
 	wg  *sync.WaitGroup
+	err *error // the writer's error slot; the sequencer reads it after wg.Wait
+}
+
+// pendingCommit is a committed-but-unsynced batch: applied to the
+// monitor and the writer-local tip, but its WAL frame is not yet on
+// stable storage, so it is neither published nor acknowledged. The
+// group-commit flush releases held commits in order.
+type pendingCommit struct {
+	st    *State
+	delta Delta
+	reqs  []request
+	res   Result
 }
 
 // Service is the running monitor; construct with New, stop with Stop.
@@ -174,6 +206,30 @@ type Service struct {
 	queue chan request
 	state atomic.Pointer[State]
 
+	// Durability (Config.Durable != nil). tip is the writer-local
+	// latest committed State — ahead of the published one while commits
+	// sit in the group-commit window — and pending holds those
+	// committed-but-unsynced batches. Non-durable services keep tip ==
+	// published (every commit flushes immediately).
+	db            *relation.Database // flat-mode live database (sequencer-owned)
+	shardKeys     map[string][]int   // resolved partition keys (sharded mode)
+	wal           *wal.Log
+	dataDir       string
+	tip           *State
+	pending       []pendingCommit
+	syncTicker    *time.Ticker
+	syncCh        <-chan time.Time
+	submitTimeout time.Duration
+
+	// Checkpointer configuration and stats.
+	ckptEvery    int
+	ckptInterval time.Duration
+	ckptDone     chan struct{} // closed when the checkpointer's final pass is done
+	ckptSeq      atomic.Uint64
+	ckptCount    atomic.Uint64
+	ckptErrs     atomic.Uint64
+	walClose     sync.Once
+
 	mu      sync.Mutex
 	subs    map[*Sub]struct{}
 	stopped bool // loop exited; guarded by mu
@@ -184,13 +240,20 @@ type Service struct {
 }
 
 // New seeds a monitor over the database (paying one full detection),
-// publishes the initial State and starts the ingest loop.
+// publishes the initial State and starts the ingest loop. With
+// Config.Durable set, New first recovers: load the latest checkpoint,
+// open the WAL (truncating a torn tail), and replay every record past
+// the checkpoint — reconstructing exactly the acknowledged commits —
+// before the monitor seeds and the loop starts.
 func New(cfg Config) (*Service, error) {
 	if cfg.DB == nil {
 		return nil, errors.New("serve: Config.DB is required")
 	}
 	if cfg.QueueCap < 0 || cfg.MaxBatchOps < 0 || cfg.SubBuf < 0 {
 		return nil, errors.New("serve: negative Config sizes")
+	}
+	if cfg.Shards < 0 {
+		return nil, errors.New("serve: negative Config.Shards")
 	}
 	queueCap := cfg.QueueCap
 	if queueCap == 0 {
@@ -209,34 +272,63 @@ func New(cfg Config) (*Service, error) {
 		schemas[name] = cfg.DB.MustInstance(name).Schema()
 	}
 	s := &Service{
-		cs:       cfg.Constraints,
-		sigma:    detect.SigmaOf(cfg.Constraints),
-		schemas:  schemas,
-		maxOps:   maxOps,
-		subBuf:   subBuf,
-		queue:    make(chan request, queueCap),
-		subs:     make(map[*Sub]struct{}),
-		stopping: make(chan struct{}),
-		done:     make(chan struct{}),
+		cs:            cfg.Constraints,
+		sigma:         detect.SigmaOf(cfg.Constraints),
+		schemas:       schemas,
+		maxOps:        maxOps,
+		subBuf:        subBuf,
+		submitTimeout: cfg.SubmitTimeout,
+		queue:         make(chan request, queueCap),
+		subs:          make(map[*Sub]struct{}),
+		stopping:      make(chan struct{}),
+		done:          make(chan struct{}),
 	}
-	seed := &State{Seq: 0}
+
+	// Durable recovery phase one: resolve the database the monitor is
+	// built over — the loaded checkpoint when one exists, cfg.DB
+	// otherwise — and open the WAL.
+	db := cfg.DB
+	var ckptInfo relation.CheckpointInfo
+	haveCkpt := false
+	if cfg.Durable != nil {
+		var err error
+		db, ckptInfo, haveCkpt, err = s.openDurable(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.db = db
+	fail := func(err error) (*Service, error) {
+		for _, ch := range s.shardCh {
+			close(ch)
+		}
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		return nil, err
+	}
+
 	if cfg.Shards > 1 {
 		keys := cfg.ShardKeys
 		if keys == nil {
 			derived, err := detect.DeriveShardKeys(cfg.Constraints)
 			if err != nil {
-				return nil, fmt.Errorf("serve: %v", err)
+				return fail(fmt.Errorf("serve: %v", err))
 			}
 			keys = derived
 		}
+		s.shardKeys = keys
 		p := relation.NewPartitioner(cfg.Shards)
 		for rel, pos := range keys {
 			p.SetKey(rel, pos)
 		}
-		sdb := relation.Partition(cfg.DB, p)
+		sdb, err := relation.Partition(db, p)
+		if err != nil {
+			return fail(fmt.Errorf("serve: %v", err))
+		}
 		m, err := detect.NewShardedDBMonitor(cfg.Engine, sdb, cfg.Constraints)
 		if err != nil {
-			return nil, fmt.Errorf("serve: %v", err)
+			return fail(fmt.Errorf("serve: %v", err))
 		}
 		s.engine = m.Engine()
 		s.smonitor = m
@@ -247,24 +339,58 @@ func New(cfg Config) (*Service, error) {
 			s.shardCh[i] = make(chan shardWork, 1)
 			go s.shardWriter(i)
 		}
-		seed.Shards = m.ShardSnapshots()
-		seed.Violations = m.Violations()
-		s.rebuildShardViol(seed.Violations)
-		seed.ShardViolations = append([]int(nil), s.shardViol...)
-		seed.FullSyncs = m.FullSyncs()
+		s.rebuildShardViol(m.Violations())
 	} else {
-		if cfg.Shards < 0 {
-			return nil, errors.New("serve: negative Config.Shards")
-		}
-		m := detect.NewDBMonitor(cfg.Engine, cfg.DB, cfg.Constraints)
+		m := detect.NewDBMonitor(cfg.Engine, db, cfg.Constraints)
 		s.engine = m.Engine()
 		s.monitor = m
-		seed.Snapshot = m.Snapshot()
-		seed.Violations = m.Violations()
-		seed.FullSyncs = m.FullSyncs()
 	}
+
+	// Recovery phase two: replay the WAL tail through the seeded
+	// monitor, then capture the post-replay state as the seed.
+	seed := &State{Seq: ckptInfo.Seq}
+	if s.wal != nil {
+		if err := s.replayWAL(seed); err != nil {
+			return fail(err)
+		}
+	}
+	if s.smonitor != nil {
+		seed.Shards = s.smonitor.ShardSnapshots()
+		seed.Violations = s.smonitor.Violations()
+		seed.ShardViolations = append([]int(nil), s.shardViol...)
+		seed.FullSyncs = s.smonitor.FullSyncs()
+	} else {
+		seed.Snapshot = s.monitor.Snapshot()
+		seed.Violations = s.monitor.Violations()
+		seed.FullSyncs = s.monitor.FullSyncs()
+	}
+	if s.wal != nil {
+		seed.NextTIDs = s.captureNextTIDs()
+	}
+	s.tip = seed
 	s.state.Store(seed)
+
+	if s.wal != nil && cfg.Durable.SyncEvery > 1 {
+		iv := cfg.Durable.SyncInterval
+		if iv <= 0 {
+			iv = 5 * time.Millisecond
+		}
+		s.syncTicker = time.NewTicker(iv)
+		s.syncCh = s.syncTicker.C
+	}
 	go s.run()
+	if s.wal != nil {
+		s.ckptEvery = cfg.Durable.CheckpointEvery
+		if s.ckptEvery == 0 {
+			s.ckptEvery = DefaultCheckpointEvery
+		}
+		s.ckptInterval = cfg.Durable.CheckpointInterval
+		s.ckptDone = make(chan struct{})
+		if haveCkpt {
+			s.ckptSeq.Store(ckptInfo.Seq)
+		}
+		go s.checkpointer(haveCkpt, ckptInfo.Seq)
+	}
 	return s, nil
 }
 
@@ -273,7 +399,9 @@ func New(cfg Config) (*Service, error) {
 // writers.
 func (s *Service) shardWriter(shard int) {
 	for w := range s.shardCh[shard] {
-		s.shardedDB.ApplyShard(shard, w.ops)
+		if err := s.shardedDB.ApplyShard(shard, w.ops); err != nil && w.err != nil {
+			*w.err = err
+		}
 		s.shardPending[shard].Add(-int64(len(w.ops)))
 		w.wg.Done()
 	}
@@ -317,6 +445,9 @@ func (s *Service) applyShardViol(gained, cleared []detect.Violation) {
 // calls monitor.Apply or mutates the database.
 func (s *Service) run() {
 	defer func() {
+		if s.syncTicker != nil {
+			s.syncTicker.Stop()
+		}
 		for _, ch := range s.shardCh {
 			close(ch)
 		}
@@ -326,14 +457,24 @@ func (s *Service) run() {
 		select {
 		case req := <-s.queue:
 			s.coalesce(req)
+			if len(s.queue) == 0 {
+				// Idle: no batch is on its way to fill the group-commit
+				// window, so sync now rather than hold acks for the timer.
+				s.flushWAL()
+			}
+		case <-s.syncCh:
+			// SyncInterval tick (durable mode with SyncEvery > 1): bound
+			// how long an ack can be held. Spurious ticks are no-ops.
+			s.flushWAL()
 		case <-s.stopping:
-			// Graceful drain: apply everything already queued, then shut
-			// the subscriber streams.
+			// Graceful drain: apply everything already queued, release
+			// the group-commit window, then shut the subscriber streams.
 			for {
 				select {
 				case req := <-s.queue:
 					s.coalesce(req)
 				default:
+					s.flushWAL()
 					s.closeSubs()
 					return
 				}
@@ -363,13 +504,33 @@ func (s *Service) coalesce(first request) {
 	s.commit(reqs, n)
 }
 
-// commit applies one coalesced batch, publishes the successor State and
-// fans the delta out to subscribers.
+// commit applies one coalesced batch against the writer-local tip. In
+// durable mode the batch is WAL-logged first — a batch the log cannot
+// take is rejected without being applied, so memory and log always
+// agree — and the successor State is published and acknowledged only
+// once its frame is fsynced: immediately when the append synced,
+// otherwise from the group-commit flush.
 func (s *Service) commit(reqs []request, n int) {
 	ops := make([]detect.DBOp, 0, n)
 	for _, r := range reqs {
 		ops = append(ops, r.ops...)
 	}
+
+	synced := true
+	if s.wal != nil {
+		payload, err := encodeBatch(ops, s.schemas)
+		if err != nil {
+			s.reject(reqs, err)
+			return
+		}
+		ok, err := s.wal.Append(s.tip.Seq+1, payload)
+		if err != nil {
+			s.reject(reqs, fmt.Errorf("%w: %v", ErrWAL, err))
+			return
+		}
+		synced = ok
+	}
+
 	var gained, cleared []detect.Violation
 	var err error
 	if s.smonitor != nil {
@@ -378,7 +539,7 @@ func (s *Service) commit(reqs []request, n int) {
 		gained, cleared, err = s.monitor.Apply(ops)
 	}
 
-	old := s.state.Load()
+	old := s.tip
 	st := &State{
 		Seq:        old.Seq + 1,
 		Violations: mergeDiff(old.Violations, gained, cleared, s.sigma),
@@ -395,36 +556,92 @@ func (s *Service) commit(reqs []request, n int) {
 		st.Snapshot = s.monitor.Snapshot()
 		st.FullSyncs = s.monitor.FullSyncs()
 	}
+	if s.wal != nil {
+		st.NextTIDs = s.captureNextTIDs()
+	}
 	if err != nil {
 		st.Errs++
 	}
-	delta := Delta{Seq: st.Seq, Gained: gained, Cleared: cleared}
+	s.tip = st
+	s.pending = append(s.pending, pendingCommit{
+		st:    st,
+		delta: Delta{Seq: st.Seq, Gained: gained, Cleared: cleared},
+		reqs:  reqs,
+		res:   Result{Seq: st.Seq, Gained: len(gained), Cleared: len(cleared), Err: err},
+	})
+	if synced {
+		s.flushPending(nil)
+	}
+}
+
+// reject refuses one coalesced batch without applying it: every
+// request is acknowledged with the error at the unchanged tip
+// sequence.
+func (s *Service) reject(reqs []request, err error) {
+	res := Result{Seq: s.tip.Seq, Err: err}
+	for _, r := range reqs {
+		r.done <- res // buffered: never blocks
+	}
+}
+
+// flushWAL drains the group-commit window: fsync whatever the WAL has
+// buffered, then release the held commits. Called after a synced
+// append, when the queue runs idle, on the SyncInterval tick and at
+// drain.
+func (s *Service) flushWAL() {
+	if len(s.pending) == 0 {
+		return
+	}
+	var err error
+	if s.wal != nil {
+		err = s.wal.Sync()
+	}
+	s.flushPending(err)
+}
+
+// flushPending publishes and acknowledges every held commit, in order.
+// A sync failure still publishes — the in-memory state is consistent
+// and reads keep working — but every held ack reports ErrWAL: the
+// commits are not on stable storage, and the broken log makes the
+// service fail-stop for subsequent writes.
+func (s *Service) flushPending(syncErr error) {
+	if len(s.pending) == 0 {
+		return
+	}
 
 	// Publication and fan-out under one lock so Subscribe's registration
 	// seq is exact: a subscriber registered at state Seq receives every
 	// delta with Seq' > Seq and none twice.
 	s.mu.Lock()
-	s.state.Store(st)
-	for sub := range s.subs {
-		select {
-		case sub.ch <- delta:
-		default:
-			// Slow consumer: the buffer is full, so rather than block the
-			// writer (or buffer unboundedly), drop the stream. The closed
-			// channel plus Lost() tells the subscriber to resync from
-			// Violations(), which is exactly as current as the deltas it
-			// missed.
-			sub.lost.Store(true)
-			delete(s.subs, sub)
-			close(sub.ch)
+	s.state.Store(s.pending[len(s.pending)-1].st)
+	for _, p := range s.pending {
+		for sub := range s.subs {
+			select {
+			case sub.ch <- p.delta:
+			default:
+				// Slow consumer: the buffer is full, so rather than block the
+				// writer (or buffer unboundedly), drop the stream. The closed
+				// channel plus Lost() tells the subscriber to resync from
+				// Violations(), which is exactly as current as the deltas it
+				// missed.
+				sub.lost.Store(true)
+				delete(s.subs, sub)
+				close(sub.ch)
+			}
 		}
 	}
 	s.mu.Unlock()
 
-	res := Result{Seq: st.Seq, Gained: len(gained), Cleared: len(cleared), Err: err}
-	for _, r := range reqs {
-		r.done <- res // buffered: never blocks
+	for _, p := range s.pending {
+		res := p.res
+		if syncErr != nil {
+			res.Err = fmt.Errorf("%w: %v", ErrWAL, syncErr)
+		}
+		for _, r := range p.reqs {
+			r.done <- res // buffered: never blocks
+		}
 	}
+	s.pending = s.pending[:0]
 }
 
 // commitSharded is the sequencer's half of a sharded commit: one
@@ -435,6 +652,7 @@ func (s *Service) commit(reqs []request, n int) {
 // the diff.
 func (s *Service) commitSharded(ops []detect.DBOp) (gained, cleared []detect.Violation, err error) {
 	r, err := s.smonitor.Route(ops)
+	errs := make([]error, len(s.shardCh))
 	var wg sync.WaitGroup
 	for shard, sub := range r.PerShard() {
 		if len(sub) == 0 {
@@ -442,11 +660,28 @@ func (s *Service) commitSharded(ops []detect.DBOp) (gained, cleared []detect.Vio
 		}
 		wg.Add(1)
 		s.shardPending[shard].Add(int64(len(sub)))
-		s.shardCh[shard] <- shardWork{ops: sub, wg: &wg}
+		s.shardCh[shard] <- shardWork{ops: sub, wg: &wg, err: &errs[shard]}
 	}
 	wg.Wait()
+	var aerr error
+	for _, e := range errs {
+		if e != nil {
+			aerr = e
+			break
+		}
+	}
+	if aerr != nil {
+		// A sub-batch stopped mid-way: the tuple directory no longer
+		// matches the shard instances. Rebuild it before syncing so the
+		// monitor resynchronizes against the applied prefix. The route
+		// error keeps precedence — it names the op the caller sent wrong.
+		s.shardedDB.RebuildDir()
+		if err == nil {
+			err = aerr
+		}
+	}
 	gained, cleared = s.smonitor.Sync()
-	if r.Moves() > 0 {
+	if r.Moves() > 0 || aerr != nil {
 		s.rebuildShardViol(s.smonitor.Violations())
 	} else {
 		s.applyShardViol(gained, cleared)
@@ -494,8 +729,18 @@ func (s *Service) Submit(ctx context.Context, ops []detect.DBOp) (Result, error)
 		return Result{Seq: s.state.Load().Seq}, nil
 	}
 	req := request{ops: ops, done: make(chan Result, 1)}
+	var timeout <-chan time.Time
+	if s.submitTimeout > 0 {
+		t := time.NewTimer(s.submitTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case s.queue <- req:
+	case <-timeout:
+		// The queue stayed full for the whole SubmitTimeout: shed the
+		// load instead of stacking blocked submitters without bound.
+		return Result{}, ErrBusy
 	case <-s.stopping:
 		return Result{}, ErrStopped
 	case <-ctx.Done():
@@ -522,15 +767,25 @@ func (s *Service) Submit(ctx context.Context, ops []detect.DBOp) (Result, error)
 
 // Stop makes Submit reject new work, waits (up to the context) for the
 // ingest loop to drain the queued requests, and closes every
-// subscriber stream. Idempotent.
+// subscriber stream. On a durable service it then waits for the
+// checkpointer's final pass and closes the WAL. Idempotent.
 func (s *Service) Stop(ctx context.Context) error {
 	s.stopOnce.Do(func() { close(s.stopping) })
 	select {
 	case <-s.done:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	if s.wal == nil {
+		return nil
+	}
+	select {
+	case <-s.ckptDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.walClose.Do(func() { s.wal.Close() })
+	return nil
 }
 
 // State returns the latest published view. Treat it as read-only.
@@ -545,15 +800,19 @@ func (s *Service) Violations() []detect.Violation { return s.state.Load().Violat
 // published snapshot (not the live database): a consistent
 // SatisfiesBatch probe that never blocks or races the writer. It
 // returns the probed Seq alongside the verdict.
-func (s *Service) Check(cs []detect.Constraint) (uint64, bool) {
+func (s *Service) Check(cs []detect.Constraint) (uint64, bool, error) {
 	st := s.state.Load()
 	if st.Shards != nil {
 		// Cross-partition read: merge the per-shard freezes into one
 		// detached database and probe that — the caller's rules need not
 		// be shardable.
-		return st.Seq, s.engine.SatisfiesBatch(relation.GatherSnapshots(st.Shards), cs)
+		db, err := relation.GatherSnapshots(st.Shards)
+		if err != nil {
+			return st.Seq, false, err
+		}
+		return st.Seq, s.engine.SatisfiesBatch(db, cs), nil
 	}
-	return st.Seq, s.engine.SatisfiesBatchOn(st.Snapshot, cs)
+	return st.Seq, s.engine.SatisfiesBatchOn(st.Snapshot, cs), nil
 }
 
 // Shards returns the shard count the service runs with (1 when

@@ -123,7 +123,11 @@ func TestServiceShardedOracle(t *testing.T) {
 				}
 				// The cross-partition read path: /check's gather must agree
 				// with the shadow on the monitored rules.
-				if _, ok := svc.Check(cs); ok != (len(want) == 0) {
+				_, ok, err := svc.Check(cs)
+				if err != nil {
+					t.Fatalf("round %d: Check: %v", round, err)
+				}
+				if ok != (len(want) == 0) {
 					t.Fatalf("round %d: sharded Check = %v with %d violations", round, ok, len(want))
 				}
 			}

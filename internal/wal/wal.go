@@ -1,0 +1,593 @@
+// Package wal is the durable write-ahead log behind serve's ingest
+// loop: every committed batch is appended as one CRC-framed record and
+// fsynced before the commit is acknowledged, so an acknowledged commit
+// survives kill -9.
+//
+// On disk a log is a directory of segment files, each a magic header
+// followed by back-to-back frames:
+//
+//	offset 0:  uint32 LE  payload length N
+//	offset 4:  uint32 LE  CRC32C over bytes [8, 16+N) (seq + payload)
+//	offset 8:  uint64 LE  sequence number (strictly increasing)
+//	offset 16: payload    (oplog wire text of one commit batch)
+//
+// Open scans every segment: a frame that is short, oversized, fails its
+// CRC, or regresses the sequence marks a torn tail. A torn tail is legal
+// only in the final segment (a crash mid-append); there it is truncated
+// away and appending resumes after the last good frame. The same damage
+// in an earlier segment means acknowledged history is unreachable, so
+// Open refuses with a CorruptError instead of silently dropping it.
+//
+// Group commit: Append fsyncs once every SyncEvery records (default 1 —
+// sync before every append returns), or when SyncInterval has elapsed
+// since the oldest unsynced record. Append reports whether the record
+// is durable yet; callers holding acknowledgements until durability
+// call Sync to flush the remainder (serve does so whenever its queue
+// goes idle).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	magic      = "DQWAL001"
+	headerSize = 16
+
+	// MaxRecordBytes bounds one frame's payload; a length field above it
+	// is treated as corruption, which keeps a bit-flipped length from
+	// swallowing the rest of the segment as one absurd record.
+	MaxRecordBytes = 64 << 20
+
+	// DefaultSegmentBytes is the rotation threshold for Options.SegmentBytes.
+	DefaultSegmentBytes = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrBroken is returned once the log has failed a sync or could not
+// repair a failed append: the file state is unknown, so the log goes
+// fail-stop and refuses further writes (reads and Close still work).
+var ErrBroken = errors.New("wal: log broken")
+
+// CorruptError reports unrecoverable damage: a bad frame somewhere
+// other than the tail of the final segment.
+type CorruptError struct {
+	Segment string // file path
+	Offset  int64  // byte offset of the bad frame
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt segment %s at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// Options parameterizes Open. The zero value syncs every append and
+// rotates segments at DefaultSegmentBytes.
+type Options struct {
+	// SyncEvery is the group-commit window in records: Append fsyncs
+	// once this many records have accumulated since the last sync.
+	// <= 1 syncs on every append (full durability before ack).
+	SyncEvery int
+	// SyncInterval bounds how long an unsynced record may wait when
+	// SyncEvery > 1: an Append past the deadline syncs regardless of
+	// count. 0 means no time trigger (callers use Sync instead).
+	SyncInterval time.Duration
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes):
+	// an Append that would grow the active segment past it starts a new
+	// segment first, so TruncateTo can drop checkpointed prefixes.
+	SegmentBytes int64
+	// Wrap, when non-nil, wraps the active segment's writer — the
+	// failpoint seam fault-injection tests use to return errors, short
+	// writes, or silently drop bytes ("crash at byte N"). Production
+	// leaves it nil.
+	Wrap func(io.Writer) io.Writer
+}
+
+// Stats is a point-in-time summary of the log for monitoring.
+type Stats struct {
+	Segments int    // live segment files
+	Bytes    int64  // valid bytes across them (headers included)
+	LastSeq  uint64 // last appended (or recovered) sequence
+	Torn     int64  // bytes truncated from the tail at Open
+}
+
+// segment is one log file's scan summary.
+type segment struct {
+	path  string
+	first uint64 // first seq in the file; 0 when empty
+	last  uint64 // last seq in the file; 0 when empty
+	n     int    // records
+	size  int64  // valid bytes (magic + whole frames)
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; appends are serialized internally.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	segs      []*segment
+	f         *os.File // active (last) segment
+	w         io.Writer
+	lastSeq   uint64
+	unsynced  int
+	oldestAt  time.Time // arrival of the oldest unsynced record
+	torn      int64
+	broken    error
+	closed    bool
+	headerBuf [headerSize]byte
+}
+
+// Open opens (creating if needed) the log directory, scans every
+// segment, truncates a torn tail from the final segment, and positions
+// the log to append after the last good record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	var prevSeq uint64
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		seg, reason, err := scanSegment(path, prevSeq)
+		if err != nil {
+			return nil, err
+		}
+		if reason != "" && i < len(names)-1 {
+			// Damage before the final segment: records after it were
+			// acknowledged and are now unreachable. Refuse.
+			return nil, &CorruptError{Segment: path, Offset: seg.size, Reason: reason}
+		}
+		l.segs = append(l.segs, seg)
+		if seg.n > 0 {
+			prevSeq = seg.last
+		}
+	}
+	l.lastSeq = prevSeq
+	if len(l.segs) == 0 {
+		if err := l.newSegmentLocked(); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Truncate the final segment to its valid size and open it for
+	// appending.
+	seg := l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > seg.size {
+		l.torn = fi.Size() - seg.size
+		if err := f.Truncate(seg.size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(seg.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = l.wrap(f)
+	return l, nil
+}
+
+func (l *Log) wrap(w io.Writer) io.Writer {
+	if l.opts.Wrap != nil {
+		return l.opts.Wrap(w)
+	}
+	return w
+}
+
+// segmentNames lists *.wal files in lexical (== seq) order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scanSegment validates one file frame by frame. It returns the scan
+// summary (size = valid prefix length), and a non-empty reason when the
+// file has a torn/invalid tail after that prefix. Sequence numbers must
+// strictly increase from prevSeq; a duplicate or regressing seq is
+// treated as tail damage at that frame.
+func scanSegment(path string, prevSeq uint64) (*segment, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	seg := &segment{path: path}
+	var head [len(magic)]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		// Shorter than the magic: a crash during segment creation. Valid
+		// prefix is empty; the tail (whatever bytes exist) is torn.
+		return seg, "short magic header", nil
+	}
+	if string(head[:]) != magic {
+		return seg, "bad magic header", nil
+	}
+	seg.size = int64(len(magic))
+	var hdr [headerSize]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return seg, "", nil // clean end
+			}
+			return seg, "short frame header", nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if n > MaxRecordBytes {
+			return seg, "oversized frame length", nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return seg, "short frame payload", nil
+		}
+		crc := crc32.Update(crc32.Checksum(hdr[8:16], castagnoli), castagnoli, payload)
+		if crc != sum {
+			return seg, "crc mismatch", nil
+		}
+		if seq <= prevSeq {
+			return seg, fmt.Sprintf("sequence %d not above %d", seq, prevSeq), nil
+		}
+		prevSeq = seq
+		if seg.n == 0 {
+			seg.first = seq
+		}
+		seg.last = seq
+		seg.n++
+		seg.size += headerSize + int64(n)
+	}
+}
+
+// newSegmentLocked closes the active segment (syncing it) and starts a
+// fresh one named for the next expected sequence. Callers hold l.mu.
+func (l *Log) newSegmentLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+			return l.broken
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("%020d.wal", l.lastSeq+1))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = l.wrap(f)
+	l.segs = append(l.segs, &segment{path: path, size: int64(len(magic))})
+	return nil
+}
+
+// Append writes one record and applies the sync policy. It returns
+// whether the record (and every record before it) is fsynced; when
+// false the caller must treat the record as volatile until a later
+// Append or Sync reports durability. On a write error Append truncates
+// the partial frame away so the log stays clean; if that repair fails
+// the log goes fail-stop (ErrBroken).
+func (l *Log) Append(seq uint64, payload []byte) (synced bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return false, ErrClosed
+	case l.broken != nil:
+		return false, l.broken
+	case seq <= l.lastSeq:
+		return false, fmt.Errorf("wal: sequence %d not above %d", seq, l.lastSeq)
+	case len(payload) > MaxRecordBytes:
+		return false, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+	}
+	seg := l.segs[len(l.segs)-1]
+	frame := int64(headerSize + len(payload))
+	if seg.n > 0 && seg.size+frame > l.opts.SegmentBytes {
+		if err := l.newSegmentLocked(); err != nil {
+			return false, err
+		}
+		seg = l.segs[len(l.segs)-1]
+	}
+	hdr := l.headerBuf[:]
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Update(crc32.Checksum(hdr[8:16], castagnoli), castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	// One Write call per frame: a short write can then only ever leave a
+	// single partial frame at the tail, which repair (or recovery)
+	// removes in one truncate.
+	buf := make([]byte, 0, frame)
+	buf = append(buf, hdr...)
+	buf = append(buf, payload...)
+	if n, werr := l.w.Write(buf); werr != nil || n < len(buf) {
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		if rerr := l.repairLocked(seg.size); rerr != nil {
+			return false, l.broken
+		}
+		return false, fmt.Errorf("wal: append: %w", werr)
+	}
+	seg.size += frame
+	if seg.n == 0 {
+		seg.first = seq
+	}
+	seg.last = seq
+	seg.n++
+	l.lastSeq = seq
+	if l.unsynced == 0 {
+		l.oldestAt = time.Now()
+	}
+	l.unsynced++
+	if l.opts.SyncEvery <= 1 ||
+		l.unsynced >= l.opts.SyncEvery ||
+		(l.opts.SyncInterval > 0 && time.Since(l.oldestAt) >= l.opts.SyncInterval) {
+		if err := l.syncLocked(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// repairLocked truncates the active segment back to off after a failed
+// append. Failure to repair marks the log broken.
+func (l *Log) repairLocked(off int64) error {
+	if err := l.f.Truncate(off); err != nil {
+		l.broken = fmt.Errorf("%w: repair failed: %v", ErrBroken, err)
+		return l.broken
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		l.broken = fmt.Errorf("%w: repair failed: %v", ErrBroken, err)
+		return l.broken
+	}
+	return nil
+}
+
+// Sync flushes any unsynced records to stable storage. A no-op when
+// everything appended is already durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	if l.unsynced == 0 {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		// After a failed fsync the kernel may have dropped the dirty
+		// pages; retrying could silently "succeed" over lost data. Fail
+		// stop.
+		l.broken = fmt.Errorf("%w: fsync: %v", ErrBroken, err)
+		return l.broken
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Replay streams every durable record with sequence above after, in
+// order, to fn. It re-verifies CRCs as it reads (catching rot between
+// Open and Replay) and stops with fn's error if fn fails.
+func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	segs := make([]segment, len(l.segs))
+	for i, s := range l.segs {
+		segs[i] = *s
+	}
+	l.mu.Unlock()
+	for _, seg := range segs {
+		if seg.n == 0 || seg.last <= after {
+			continue
+		}
+		if err := replaySegment(seg, after, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(seg segment, after uint64, fn func(seq uint64, payload []byte) error) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := io.LimitReader(f, seg.size)
+	var head [len(magic)]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil || string(head[:]) != magic {
+		return &CorruptError{Segment: seg.path, Offset: 0, Reason: "bad magic header"}
+	}
+	off := int64(len(magic))
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return &CorruptError{Segment: seg.path, Offset: off, Reason: "short frame header"}
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if n > MaxRecordBytes {
+			return &CorruptError{Segment: seg.path, Offset: off, Reason: "oversized frame length"}
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return &CorruptError{Segment: seg.path, Offset: off, Reason: "short frame payload"}
+		}
+		crc := crc32.Update(crc32.Checksum(hdr[8:16], castagnoli), castagnoli, payload)
+		if crc != sum {
+			return &CorruptError{Segment: seg.path, Offset: off, Reason: "crc mismatch"}
+		}
+		if seq > after {
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+		}
+		off += headerSize + int64(n)
+	}
+}
+
+// TruncateTo removes whole segments whose records are all at or below
+// seq — the prefix a checkpoint at seq has made redundant. The active
+// segment is rotated first if it qualifies, so a fully-checkpointed log
+// shrinks to one empty segment. Records above seq are always retained.
+func (l *Log) TruncateTo(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	active := l.segs[len(l.segs)-1]
+	if active.n > 0 && active.last <= seq {
+		if l.broken != nil {
+			return l.broken // rotation needs a healthy writer
+		}
+		if err := l.newSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	kept := l.segs[:0]
+	removed := false
+	for i, s := range l.segs {
+		if i < len(l.segs)-1 && s.last <= seq {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// LastSeq returns the sequence of the last appended (or recovered)
+// record; 0 when the log is empty.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Stats summarizes the log for monitoring endpoints.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{Segments: len(l.segs), LastSeq: l.lastSeq, Torn: l.torn}
+	for _, s := range l.segs {
+		st.Bytes += s.size
+	}
+	return st
+}
+
+// Close syncs outstanding records and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.unsynced > 0 && l.broken == nil {
+		if serr := l.f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: %w", serr)
+		}
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
