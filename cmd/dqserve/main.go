@@ -136,6 +136,7 @@ func main() {
 	syncInterval := flag.Duration("sync-interval", 0, "max time an ack is held for group commit when -sync-every > 1 (0 = 5ms default)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "commits between checkpoints (0 = default, negative disables checkpointing)")
 	submitTimeout := flag.Duration("submit-timeout", 0, "how long POST /batch waits for queue space before 503 (0 = wait indefinitely)")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBatchBytes, "POST /batch body cap in bytes (over the cap = 413)")
 	flag.Parse()
 	if *cfdsPath == "" {
 		*cfdsPath = *rulesPath
@@ -220,13 +221,19 @@ func main() {
 	}
 	log.Printf("seeded monitor: %d rule(s), %d violation(s) outstanding", len(rules), len(svc.Violations()))
 
+	handler := serve.NewHandler(svc)
+	handler.MaxBatchBytes = *maxBody
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.NewHandler(svc),
-		// /stream responses are unbounded by design, so no WriteTimeout;
-		// header reads are not, and idle header-less connections must
-		// not pin goroutines forever.
+		Handler: handler,
+		// /stream responses are unbounded by design, so no WriteTimeout
+		// (the stream handler clears its own deadlines); request reads
+		// are bounded so a slow-drip client cannot pin a goroutine — a
+		// capped /batch body always fits inside ReadTimeout on any
+		// non-adversarial link.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -1,0 +1,346 @@
+// Package fault is the deterministic fault-injection layer behind the
+// chaos and fault-matrix tests: an injectable filesystem seam (FS/File)
+// that internal/wal and relation.WriteCheckpoint write through, plus an
+// Injector that wraps the real filesystem and fires scripted faults —
+// fail the Nth write, short-write a frame, ENOSPC, EIO on fsync, added
+// latency — exactly where a scenario spec says to.
+//
+// The design splits "where faults can happen" from "which faults
+// happen". The seam is the FS interface: production code takes an FS
+// (defaulting to OS, a thin passthrough to package os) and never calls
+// os.* directly on its durability paths. Faults are data: a Scenario is
+// a named list of Fault rules, each matching an operation class and a
+// path substring and firing on a counted occurrence. Tests enumerate a
+// fault matrix by iterating scenarios instead of hand-rolling one-off
+// mock writers; the Injector records every fired fault so a test can
+// assert the schedule actually happened (a scenario whose trigger never
+// matched is a broken test, not a passing one).
+//
+// Errors are injected as real errno values (syscall.ENOSPC, syscall.EIO)
+// wrapped in *os.PathError, so production classification — retryable
+// ENOSPC vs fail-stop EIO — exercises the same errors.Is paths a real
+// kernel failure would.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op is the class of filesystem operation a Fault matches.
+type Op string
+
+const (
+	OpOpen     Op = "open"     // OpenFile (any flags)
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "sync"     // File.Sync
+	OpTruncate Op = "truncate" // File.Truncate
+	OpClose    Op = "close"    // File.Close
+	OpRename   Op = "rename"   // FS.Rename (matched on the new path)
+	OpRemove   Op = "remove"   // FS.Remove / FS.RemoveAll
+	OpMkdir    Op = "mkdir"    // FS.MkdirAll
+	OpRead     Op = "read"     // File.Read
+)
+
+// Errors commonly injected; real errnos so errors.Is classification in
+// production code sees exactly what a kernel failure would produce.
+var (
+	ENOSPC = syscall.ENOSPC
+	EIO    = syscall.EIO
+)
+
+// File is the subset of *os.File the durability paths use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem seam. OS is the passthrough implementation;
+// NewInjector wraps any FS with scripted faults.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+
+// Fault is one injection rule. A rule matches calls by operation class
+// and path substring; occurrences of matching calls are counted per
+// rule, and the rule fires on occurrences [Nth, Nth+Count-1] (Nth == 0
+// means every occurrence; Count == 0 with Nth > 0 means exactly once).
+// What firing does:
+//
+//   - Delay > 0: sleep before the operation proceeds (with Err == nil
+//     and Short == 0 the operation then runs normally — a pure latency
+//     fault).
+//   - Short > 0 (OpWrite only): write only the first Short bytes to the
+//     underlying file, then report Err (io.ErrShortWrite when Err is
+//     nil) — a torn write: the partial bytes ARE on the file.
+//   - Err != nil: return Err wrapped in *os.PathError without invoking
+//     the underlying operation.
+type Fault struct {
+	Op    Op
+	Path  string // substring the path must contain; "" matches any
+	Nth   int    // 1-based first matching occurrence to fire on; 0 = all
+	Count int    // occurrences to fire for from Nth on; 0 = once (or all when Nth == 0)
+	Err   error
+	Short int
+	Delay time.Duration
+}
+
+// matches reports whether the rule covers this call at all (class and
+// path), independent of the occurrence count.
+func (f *Fault) matches(op Op, path string) bool {
+	return f.Op == op && (f.Path == "" || strings.Contains(path, f.Path))
+}
+
+// Scenario is a named fault schedule — the unit the fault-matrix tests
+// enumerate.
+type Scenario struct {
+	Name   string
+	Faults []Fault
+}
+
+// Event records one fired fault for test assertions.
+type Event struct {
+	Op   Op
+	Path string
+	N    int // the occurrence number that fired
+	Err  error
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s #%d -> %v", e.Op, e.Path, e.N, e.Err)
+}
+
+// Injector is an FS that fires a Scenario's faults over a base FS. All
+// methods are safe for concurrent use.
+type Injector struct {
+	base FS
+
+	mu    sync.Mutex
+	rules []*rule
+	log   []Event
+}
+
+type rule struct {
+	Fault
+	seen int // matching occurrences so far
+}
+
+// NewInjector wraps base with the scenario's fault schedule.
+func NewInjector(base FS, sc Scenario) *Injector {
+	inj := &Injector{base: base}
+	for _, f := range sc.Faults {
+		inj.rules = append(inj.rules, &rule{Fault: f})
+	}
+	return inj
+}
+
+// Fired returns the events injected so far, in firing order.
+func (inj *Injector) Fired() []Event {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Event(nil), inj.log...)
+}
+
+// FiredCount returns how many faults have fired.
+func (inj *Injector) FiredCount() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return len(inj.log)
+}
+
+// Disarm clears the remaining schedule: subsequent calls pass through
+// untouched. The fired log is kept.
+func (inj *Injector) Disarm() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.rules = nil
+}
+
+// hit consults the schedule for one call. It returns the fault to apply
+// (nil = proceed normally) after any injected latency has elapsed.
+func (inj *Injector) hit(op Op, path string) *Fault {
+	inj.mu.Lock()
+	var fired *Fault
+	var delay time.Duration
+	var n int
+	for _, r := range inj.rules {
+		if !r.matches(op, path) {
+			continue
+		}
+		r.seen++
+		fire := false
+		switch {
+		case r.Nth == 0:
+			fire = true
+		case r.seen >= r.Nth:
+			count := r.Count
+			if count == 0 {
+				count = 1
+			}
+			fire = r.seen < r.Nth+count
+		}
+		if fire {
+			f := r.Fault
+			fired, delay, n = &f, r.Delay, r.seen
+			break
+		}
+	}
+	if fired != nil && (fired.Err != nil || fired.Short > 0) {
+		inj.log = append(inj.log, Event{Op: op, Path: path, N: n, Err: fired.Err})
+	}
+	inj.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fired
+}
+
+// pathErr wraps an injected errno the way the os package would.
+func pathErr(op Op, path string, err error) error {
+	return &os.PathError{Op: string(op), Path: path, Err: err}
+}
+
+func (inj *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := inj.hit(OpOpen, name); f != nil && f.Err != nil {
+		return nil, pathErr(OpOpen, name, f.Err)
+	}
+	file, err := inj.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: inj, f: file, name: name}, nil
+}
+
+func (inj *Injector) Open(name string) (File, error) {
+	return inj.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (inj *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if f := inj.hit(OpMkdir, path); f != nil && f.Err != nil {
+		return pathErr(OpMkdir, path, f.Err)
+	}
+	return inj.base.MkdirAll(path, perm)
+}
+
+func (inj *Injector) Rename(oldpath, newpath string) error {
+	if f := inj.hit(OpRename, newpath); f != nil && f.Err != nil {
+		return pathErr(OpRename, newpath, f.Err)
+	}
+	return inj.base.Rename(oldpath, newpath)
+}
+
+func (inj *Injector) Remove(name string) error {
+	if f := inj.hit(OpRemove, name); f != nil && f.Err != nil {
+		return pathErr(OpRemove, name, f.Err)
+	}
+	return inj.base.Remove(name)
+}
+
+func (inj *Injector) RemoveAll(path string) error {
+	if f := inj.hit(OpRemove, path); f != nil && f.Err != nil {
+		return pathErr(OpRemove, path, f.Err)
+	}
+	return inj.base.RemoveAll(path)
+}
+
+func (inj *Injector) ReadDir(name string) ([]os.DirEntry, error) { return inj.base.ReadDir(name) }
+func (inj *Injector) ReadFile(name string) ([]byte, error)       { return inj.base.ReadFile(name) }
+func (inj *Injector) Stat(name string) (os.FileInfo, error)      { return inj.base.Stat(name) }
+
+// injFile applies write/sync/truncate/read faults on one open file.
+type injFile struct {
+	inj  *Injector
+	f    File
+	name string
+}
+
+func (w *injFile) Write(p []byte) (int, error) {
+	switch f := w.inj.hit(OpWrite, w.name); {
+	case f == nil:
+		return w.f.Write(p)
+	case f.Short > 0:
+		short := f.Short
+		if short > len(p) {
+			short = len(p)
+		}
+		n, err := w.f.Write(p[:short])
+		if err != nil {
+			return n, err
+		}
+		if f.Err != nil {
+			return n, pathErr(OpWrite, w.name, f.Err)
+		}
+		return n, io.ErrShortWrite
+	case f.Err != nil:
+		return 0, pathErr(OpWrite, w.name, f.Err)
+	default: // pure latency
+		return w.f.Write(p)
+	}
+}
+
+func (w *injFile) Read(p []byte) (int, error) {
+	if f := w.inj.hit(OpRead, w.name); f != nil && f.Err != nil {
+		return 0, pathErr(OpRead, w.name, f.Err)
+	}
+	return w.f.Read(p)
+}
+
+func (w *injFile) Sync() error {
+	if f := w.inj.hit(OpSync, w.name); f != nil && f.Err != nil {
+		return pathErr(OpSync, w.name, f.Err)
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Truncate(size int64) error {
+	if f := w.inj.hit(OpTruncate, w.name); f != nil && f.Err != nil {
+		return pathErr(OpTruncate, w.name, f.Err)
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *injFile) Close() error {
+	if f := w.inj.hit(OpClose, w.name); f != nil && f.Err != nil {
+		w.f.Close() // still release the descriptor
+		return pathErr(OpClose, w.name, f.Err)
+	}
+	return w.f.Close()
+}
+
+func (w *injFile) Seek(offset int64, whence int) (int64, error) { return w.f.Seek(offset, whence) }
+func (w *injFile) Stat() (os.FileInfo, error)                   { return w.f.Stat() }

@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeThrough(t *testing.T, fs FS, path string, chunks ...[]byte) error {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, c := range chunks {
+		if _, err := f.Write(c); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// TestFailNthWrite: only the scheduled occurrence fails; the file keeps
+// the bytes of the writes around it.
+func TestFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Scenario{Name: "nth", Faults: []Fault{
+		{Op: OpWrite, Nth: 2, Err: ENOSPC},
+	}})
+	path := filepath.Join(dir, "f")
+	f, err := inj.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("aa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("bb")); !errors.Is(err, ENOSPC) {
+		t.Fatalf("write 2: err = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("cc")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "aacc" {
+		t.Fatalf("file = %q, want %q", data, "aacc")
+	}
+	if got := inj.FiredCount(); got != 1 {
+		t.Fatalf("fired %d, want 1", got)
+	}
+}
+
+// TestShortWrite: the partial prefix lands on disk and the caller sees
+// a short-write error.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Scenario{Faults: []Fault{
+		{Op: OpWrite, Nth: 1, Short: 3},
+	}})
+	path := filepath.Join(dir, "f")
+	f, _ := inj.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	defer f.Close()
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "abc" {
+		t.Fatalf("file = %q, want %q", data, "abc")
+	}
+}
+
+// TestCountWindow: Nth+Count fires a contiguous window then stops.
+func TestCountWindow(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Scenario{Faults: []Fault{
+		{Op: OpSync, Nth: 2, Count: 2, Err: EIO},
+	}})
+	path := filepath.Join(dir, "f")
+	f, _ := inj.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	defer f.Close()
+	got := []bool{}
+	for i := 0; i < 5; i++ {
+		got = append(got, f.Sync() != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sync %d failed=%v, want %v (all %v)", i+1, got[i], want[i], got)
+		}
+	}
+}
+
+// TestPathFilter: faults only fire on paths containing the substring.
+func TestPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Scenario{Faults: []Fault{
+		{Op: OpSync, Path: ".wal", Nth: 0, Err: EIO},
+	}})
+	if err := writeThrough(t, inj, filepath.Join(dir, "plain.dat"), []byte("x")); err != nil {
+		t.Fatalf("plain file hit the fault: %v", err)
+	}
+	err := writeThrough(t, inj, filepath.Join(dir, "0001.wal"), []byte("x"))
+	if !errors.Is(err, EIO) {
+		t.Fatalf("wal sync err = %v, want EIO", err)
+	}
+}
+
+// TestErrnoWrapping: injected errors come wrapped as *os.PathError over
+// the real errno, like a kernel failure.
+func TestErrnoWrapping(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Scenario{Faults: []Fault{
+		{Op: OpWrite, Nth: 1, Err: ENOSPC},
+	}})
+	f, _ := inj.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	defer f.Close()
+	_, err := f.Write([]byte("x"))
+	var pe *os.PathError
+	if !errors.As(err, &pe) || !errors.Is(err, ENOSPC) {
+		t.Fatalf("err = %#v, want *os.PathError wrapping ENOSPC", err)
+	}
+}
+
+// TestLatencyOnly: a Delay-only fault slows the call but does not fail
+// it or log an event.
+func TestLatencyOnly(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Scenario{Faults: []Fault{
+		{Op: OpWrite, Nth: 1, Delay: 20 * time.Millisecond},
+	}})
+	f, _ := inj.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	defer f.Close()
+	start := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("latency fault failed the write: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("write took %v, want >= 20ms of injected latency", d)
+	}
+	if inj.FiredCount() != 0 {
+		t.Fatal("latency-only fault logged an error event")
+	}
+}
+
+// TestDisarm: after Disarm the schedule is inert.
+func TestDisarm(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, Scenario{Faults: []Fault{
+		{Op: OpWrite, Nth: 0, Err: EIO},
+	}})
+	inj.Disarm()
+	if err := writeThrough(t, inj, filepath.Join(dir, "f"), []byte("x")); err != nil {
+		t.Fatalf("disarmed injector still fired: %v", err)
+	}
+}

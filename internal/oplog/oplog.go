@@ -186,6 +186,13 @@ type Reader struct {
 // reasonable tuple, far below the default ingest body limits.
 const MaxLineBytes = 1 << 20
 
+// MaxBatchOps is the per-batch op ceiling a Reader accepts: a stream
+// that accumulates more ops without a commit marker is rejected with a
+// SyntaxError instead of buffering without bound. (The WAL encodes one
+// commit per record, so this is also the widest batch the durability
+// layer will round-trip.)
+const MaxBatchOps = 1 << 16
+
 // NewReader returns a Reader decoding ops against the given schemas.
 func NewReader(r io.Reader, schemas map[string]*relation.Schema) *Reader {
 	sc := bufio.NewScanner(r)
@@ -216,7 +223,19 @@ func (r *Reader) Next() ([]detect.DBOp, error) {
 		op, err := ParseOp(text, r.schemas)
 		if err != nil {
 			r.done = true
+			// A read error (body-size cap, broken connection) makes the
+			// scanner deliver whatever it buffered as a final partial
+			// line; a parse failure there is a symptom, not the cause —
+			// report the I/O error so callers can tell 413 from 400.
+			if rerr := r.sc.Err(); rerr != nil {
+				return nil, &SyntaxError{Line: r.line, Err: rerr}
+			}
 			return nil, &SyntaxError{Line: r.line, Err: err}
+		}
+		if len(batch) >= MaxBatchOps {
+			r.done = true
+			return nil, &SyntaxError{Line: r.line,
+				Err: fmt.Errorf("batch exceeds %d ops without a commit marker", MaxBatchOps)}
 		}
 		batch = append(batch, op)
 	}
@@ -224,6 +243,9 @@ func (r *Reader) Next() ([]detect.DBOp, error) {
 	if err := r.sc.Err(); err != nil {
 		// Scanner failures (an over-long line, an I/O error) happen on
 		// the line after the last delivered one — position them too.
+		if errors.Is(err, bufio.ErrTooLong) {
+			err = fmt.Errorf("op line exceeds %d bytes: %w", MaxLineBytes, err)
+		}
 		return nil, &SyntaxError{Line: r.line + 1, Err: err}
 	}
 	if len(batch) > 0 {

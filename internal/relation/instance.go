@@ -254,6 +254,10 @@ func (in *Instance) Update(id TID, pos int, v Value) error {
 	if !ok {
 		return fmt.Errorf("relation: %s: no tuple %d", in.schema.Name(), id)
 	}
+	if pos < 0 || pos >= in.schema.Arity() {
+		return fmt.Errorf("relation: %s: position %d out of range (arity %d)",
+			in.schema.Name(), pos, in.schema.Arity())
+	}
 	if !in.schema.Attr(pos).Domain.Contains(v) {
 		return fmt.Errorf("relation: %s: value %v not in dom(%s)", in.schema.Name(), v, in.schema.Attr(pos).Name)
 	}
@@ -375,6 +379,10 @@ func (in *Instance) Tuples() []Tuple {
 func (in *Instance) SetWeight(id TID, pos int, w float64) error {
 	if _, ok := in.tuples[id]; !ok {
 		return fmt.Errorf("relation: %s: no tuple %d", in.schema.Name(), id)
+	}
+	if pos < 0 || pos >= in.schema.Arity() {
+		return fmt.Errorf("relation: %s: position %d out of range (arity %d)",
+			in.schema.Name(), pos, in.schema.Arity())
 	}
 	if w < 0 || w > 1 {
 		return fmt.Errorf("relation: weight %v out of [0,1]", w)

@@ -11,6 +11,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // Checkpoint persistence: a goclaims-style on-disk layout for the
@@ -97,21 +99,29 @@ type attrManifest struct {
 // the snapshot (snapshots are immutable; lazy column interning is
 // internally synchronized).
 func WriteCheckpoint(dataDir string, dbs *DBSnapshot, info CheckpointInfo) error {
-	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+	return WriteCheckpointFS(fault.OS, dataDir, dbs, info)
+}
+
+// WriteCheckpointFS is WriteCheckpoint over an explicit filesystem seam.
+// The fault-matrix and chaos tests pass a fault.Injector to script
+// ENOSPC and torn-write failures at exact points in the install
+// protocol; production uses fault.OS via WriteCheckpoint.
+func WriteCheckpointFS(fs fault.FS, dataDir string, dbs *DBSnapshot, info CheckpointInfo) error {
+	if err := fs.MkdirAll(dataDir, 0o755); err != nil {
 		return fmt.Errorf("relation: checkpoint: %w", err)
 	}
 	name := fmt.Sprintf("checkpoint-%016d", info.Seq)
 	final := filepath.Join(dataDir, name)
-	if _, err := os.Stat(final); err == nil {
+	if _, err := fs.Stat(final); err == nil {
 		// A checkpoint at this seq is already installed (e.g. the final
 		// checkpoint at Stop when nothing committed since the last one).
-		return ensureCurrent(dataDir, name)
+		return ensureCurrent(fs, dataDir, name)
 	}
 	tmp := final + ".tmp"
-	if err := os.RemoveAll(tmp); err != nil {
+	if err := fs.RemoveAll(tmp); err != nil {
 		return fmt.Errorf("relation: checkpoint: %w", err)
 	}
-	if err := os.MkdirAll(tmp, 0o755); err != nil {
+	if err := fs.MkdirAll(tmp, 0o755); err != nil {
 		return fmt.Errorf("relation: checkpoint: %w", err)
 	}
 	man := checkpointManifest{FormatVersion: checkpointFormatVersion, Seq: info.Seq}
@@ -120,58 +130,58 @@ func WriteCheckpoint(dataDir string, dbs *DBSnapshot, info CheckpointInfo) error
 			return err
 		}
 		snap, _ := dbs.Snapshot(rel)
-		rm, err := writeRelation(tmp, rel, snap, info)
+		rm, err := writeRelation(fs, tmp, rel, snap, info)
 		if err != nil {
 			return err
 		}
 		man.Relations = append(man.Relations, rm)
 	}
-	if err := writeFileSync(filepath.Join(tmp, manifestName), func(w io.Writer) error {
+	if err := writeFileSync(fs, filepath.Join(tmp, manifestName), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(man)
 	}); err != nil {
 		return err
 	}
-	if err := fsyncDir(tmp); err != nil {
+	if err := fsyncDir(fs, tmp); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := fs.Rename(tmp, final); err != nil {
 		return fmt.Errorf("relation: checkpoint: %w", err)
 	}
-	if err := fsyncDir(dataDir); err != nil {
+	if err := fsyncDir(fs, dataDir); err != nil {
 		return err
 	}
-	if err := ensureCurrent(dataDir, name); err != nil {
+	if err := ensureCurrent(fs, dataDir, name); err != nil {
 		return err
 	}
-	gcCheckpoints(dataDir, name)
+	gcCheckpoints(fs, dataDir, name)
 	return nil
 }
 
 // ensureCurrent atomically points the CURRENT file at name.
-func ensureCurrent(dataDir, name string) error {
+func ensureCurrent(fs fault.FS, dataDir, name string) error {
 	cur := filepath.Join(dataDir, currentName)
-	if data, err := os.ReadFile(cur); err == nil && strings.TrimSpace(string(data)) == name {
+	if data, err := fs.ReadFile(cur); err == nil && strings.TrimSpace(string(data)) == name {
 		return nil
 	}
 	tmp := cur + ".tmp"
-	if err := writeFileSync(tmp, func(w io.Writer) error {
+	if err := writeFileSync(fs, tmp, func(w io.Writer) error {
 		_, err := io.WriteString(w, name+"\n")
 		return err
 	}); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, cur); err != nil {
+	if err := fs.Rename(tmp, cur); err != nil {
 		return fmt.Errorf("relation: checkpoint: %w", err)
 	}
-	return fsyncDir(dataDir)
+	return fsyncDir(fs, dataDir)
 }
 
 // gcCheckpoints removes every checkpoint-* directory except keep.
 // Best-effort: a leftover directory costs disk, not correctness.
-func gcCheckpoints(dataDir, keep string) {
-	entries, err := os.ReadDir(dataDir)
+func gcCheckpoints(fs fault.FS, dataDir, keep string) {
+	entries, err := fs.ReadDir(dataDir)
 	if err != nil {
 		return
 	}
@@ -180,13 +190,13 @@ func gcCheckpoints(dataDir, keep string) {
 		if !e.IsDir() || !strings.HasPrefix(n, "checkpoint-") || n == keep {
 			continue
 		}
-		os.RemoveAll(filepath.Join(dataDir, n))
+		fs.RemoveAll(filepath.Join(dataDir, n))
 	}
 }
 
 // writeRelation serializes one relation's snapshot into dir and returns
 // its manifest entry.
-func writeRelation(dir, rel string, snap *Snapshot, info CheckpointInfo) (relationManifest, error) {
+func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info CheckpointInfo) (relationManifest, error) {
 	sch := snap.Schema()
 	rm := relationManifest{Name: rel, Rows: snap.Len()}
 	for i := 0; i < sch.Arity(); i++ {
@@ -215,7 +225,7 @@ func writeRelation(dir, rel string, snap *Snapshot, info CheckpointInfo) (relati
 	}
 
 	// TIDs: uvarint deltas over the ascending row order.
-	if err := writeFileSync(filepath.Join(dir, rel+".tids"), func(w io.Writer) error {
+	if err := writeFileSync(fs, filepath.Join(dir, rel+".tids"), func(w io.Writer) error {
 		bw := bufio.NewWriter(w)
 		prev := TID(-1)
 		for row := 0; row < snap.Len(); row++ {
@@ -236,7 +246,7 @@ func writeRelation(dir, rel string, snap *Snapshot, info CheckpointInfo) (relati
 		dict := snap.Dict(p)
 		remap := make(map[uint32]uint32)
 		var vals []Value
-		if err := writeFileSync(filepath.Join(dir, fmt.Sprintf("%s.col%d", rel, p)), func(w io.Writer) error {
+		if err := writeFileSync(fs, filepath.Join(dir, fmt.Sprintf("%s.col%d", rel, p)), func(w io.Writer) error {
 			bw := bufio.NewWriter(w)
 			for _, code := range col {
 				local, ok := remap[code]
@@ -253,7 +263,7 @@ func writeRelation(dir, rel string, snap *Snapshot, info CheckpointInfo) (relati
 		}); err != nil {
 			return rm, err
 		}
-		if err := writeFileSync(filepath.Join(dir, fmt.Sprintf("%s.dict%d", rel, p)), func(w io.Writer) error {
+		if err := writeFileSync(fs, filepath.Join(dir, fmt.Sprintf("%s.dict%d", rel, p)), func(w io.Writer) error {
 			bw := bufio.NewWriter(w)
 			if err := putUvarint(bw, uint64(len(vals))); err != nil {
 				return err
@@ -584,8 +594,8 @@ func checkRelationFilename(rel string) error {
 // writeFileSync creates path, streams content through write, and
 // fsyncs before closing — no partially-durable file survives a clean
 // return.
-func writeFileSync(path string, write func(w io.Writer) error) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeFileSync(fs fault.FS, path string, write func(w io.Writer) error) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("relation: checkpoint: %w", err)
 	}
@@ -611,8 +621,8 @@ func openBuf(path string) (*bufio.Reader, func(), error) {
 	return bufio.NewReaderSize(f, 1<<16), func() { f.Close() }, nil
 }
 
-func fsyncDir(dir string) error {
-	d, err := os.Open(dir)
+func fsyncDir(fs fault.FS, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return fmt.Errorf("relation: checkpoint: %w", err)
 	}

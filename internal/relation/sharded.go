@@ -1,6 +1,9 @@
 package relation
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // ShardedDB partitions a Database horizontally: every relation exists in
 // every shard, each shard holding the tuples the Partitioner hashes to
@@ -132,13 +135,22 @@ func (s *ShardedDB) NextTID(rel string) TID { return s.nextID[rel] }
 
 // RebuildDir reconstructs the tuple directory by scanning every shard —
 // the recovery step after a partially-applied sub-batch left the routed
-// directory ahead of (or behind) what the shards actually hold.
+// directory ahead of (or behind) what the shards actually hold. A TID
+// found in more than one shard (a cross-shard move whose insert applied
+// but whose delete did not, because that writer failed mid-commit) is
+// repaired on the spot: the lowest shard's copy is kept and the others
+// deleted — through Instance.Delete, so the monitor's next sync sees
+// the repair — restoring a valid (if partial) partition.
 func (s *ShardedDB) RebuildDir() {
 	for rel := range s.schemas {
 		dir := make(map[TID]int)
 		for shard, db := range s.shards {
 			if in, ok := db.Instance(rel); ok {
 				for _, id := range in.IDs() {
+					if _, dup := dir[id]; dup {
+						in.Delete(id)
+						continue
+					}
 					dir[id] = shard
 				}
 			}
@@ -329,6 +341,10 @@ func (r *Routing) Update(rel string, id TID, pos int, v Value) error {
 		return fmt.Errorf("relation: %s: no tuple %d", rel, id)
 	}
 	in := r.anyInstance(rel)
+	if pos < 0 || pos >= in.Schema().Arity() {
+		return fmt.Errorf("relation: %s: position %d out of range (arity %d)",
+			rel, pos, in.Schema().Arity())
+	}
 	if !in.Schema().Attr(pos).Domain.Contains(v) {
 		return fmt.Errorf("relation: %s: value %v not in dom(%s)", rel, v, in.Schema().Attr(pos).Name)
 	}
@@ -431,10 +447,24 @@ func (s *ShardedDB) Apply(r *Routing) error {
 // An error (two shards claiming one TID — shard state diverged from the
 // routing invariants) aborts the gather rather than killing the server.
 func GatherSnapshots(snaps []*DBSnapshot) (*Database, error) {
+	return GatherSnapshotsCtx(context.Background(), snaps)
+}
+
+// gatherCheckEvery is how many gathered rows pass between context
+// checks: cheap enough to keep cancellation latency in the tens of
+// microseconds without a per-row atomic load.
+const gatherCheckEvery = 4096
+
+// GatherSnapshotsCtx is GatherSnapshots under a deadline: a gather over
+// large shards is O(total rows), so request-scoped readers pass their
+// context and a cancelled request stops copying instead of finishing a
+// merge nobody will read.
+func GatherSnapshotsCtx(ctx context.Context, snaps []*DBSnapshot) (*Database, error) {
 	db := NewDatabase()
 	if len(snaps) == 0 {
 		return db, nil
 	}
+	rows := 0
 	for _, name := range snaps[0].Names() {
 		first, _ := snaps[0].Snapshot(name)
 		in := NewInstance(first.Schema())
@@ -445,6 +475,12 @@ func GatherSnapshots(snaps []*DBSnapshot) (*Database, error) {
 				continue
 			}
 			for row := 0; row < snap.Len(); row++ {
+				if rows%gatherCheckEvery == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, fmt.Errorf("relation: gather %s: %w", name, err)
+					}
+				}
+				rows++
 				if err := in.InsertWithTID(snap.TID(row), snap.TupleAt(row)); err != nil {
 					return nil, fmt.Errorf("relation: gather %s: %w", name, err)
 				}

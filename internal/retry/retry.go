@@ -1,0 +1,110 @@
+// Package retry implements capped exponential backoff for transient
+// failures on the durability paths — most prominently checkpoint writes
+// hitting a full disk (ENOSPC), which an operator can fix while the
+// service keeps answering reads. The policy is deliberately small:
+// deterministic delays (no jitter — single-writer loops have no
+// thundering herd to spread), a hard cap, and an errno-based
+// transience classifier so fail-stop conditions (EIO after a failed
+// fsync) are never retried into silent data loss.
+package retry
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"time"
+)
+
+// Default policy values (used by Policy's zero fields).
+const (
+	DefaultBase   = 50 * time.Millisecond
+	DefaultMax    = 5 * time.Second
+	DefaultFactor = 2.0
+)
+
+// Policy is a capped exponential backoff schedule.
+type Policy struct {
+	// Base is the delay before the first retry (default DefaultBase).
+	Base time.Duration
+	// Max caps every delay (default DefaultMax).
+	Max time.Duration
+	// Factor multiplies the delay per attempt (default DefaultFactor;
+	// values <= 1 make the schedule constant at Base).
+	Factor float64
+}
+
+// Delay returns the backoff before retry number attempt (0-based): Base
+// × Factor^attempt, capped at Max.
+func (p Policy) Delay(attempt int) time.Duration {
+	base := p.Base
+	if base <= 0 {
+		base = DefaultBase
+	}
+	max := p.Max
+	if max <= 0 {
+		max = DefaultMax
+	}
+	factor := p.Factor
+	if factor <= 1 {
+		factor = DefaultFactor
+	}
+	if p.Factor > 0 && p.Factor <= 1 {
+		return min(base, max)
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			return max
+		}
+	}
+	return min(time.Duration(d), max)
+}
+
+// Transient reports whether err is worth retrying: out-of-space and
+// interruption conditions that operator action or time can clear.
+// Media and memory errors (EIO and friends) are NOT transient — on the
+// write path they mean the file state is unknown, which is a fail-stop
+// condition, not a retry loop.
+func Transient(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EBUSY)
+}
+
+// Do runs f until it succeeds, sleeping the policy's delay between
+// attempts. It stops early — returning f's last error — when f fails
+// attempts times (attempts <= 0 means unlimited), when the error is not
+// transient by the classifier (nil classifier retries every error), or
+// when ctx is done (returning ctx.Err() wrapped over the last f error,
+// if any).
+func Do(ctx context.Context, p Policy, attempts int, transient func(error) bool, f func() error) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return errors.Join(err, last)
+			}
+			return err
+		}
+		last = f()
+		if last == nil {
+			return nil
+		}
+		if transient != nil && !transient(last) {
+			return last
+		}
+		if attempts > 0 && attempt+1 >= attempts {
+			return last
+		}
+		t := time.NewTimer(p.Delay(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return errors.Join(ctx.Err(), last)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Delay(i); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0); got != DefaultBase {
+		t.Fatalf("zero policy Delay(0) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Delay(1000); got != DefaultMax {
+		t.Fatalf("zero policy Delay(1000) = %v, want %v", got, DefaultMax)
+	}
+}
+
+func TestDelayConstantFactor(t *testing.T) {
+	p := Policy{Base: 7 * time.Millisecond, Factor: 1}
+	for i := 0; i < 4; i++ {
+		if got := p.Delay(i); got != 7*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want constant 7ms", i, got)
+		}
+	}
+}
+
+func TestTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{syscall.ENOSPC, true},
+		{&os.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}, true},
+		{fmt.Errorf("checkpoint: %w", syscall.ENOSPC), true},
+		{syscall.EINTR, true},
+		{syscall.EIO, false},
+		{&os.PathError{Op: "sync", Path: "x", Err: syscall.EIO}, false},
+		{errors.New("opaque"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Fatalf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	n := 0
+	err := Do(context.Background(), Policy{Base: time.Millisecond}, 10, Transient, func() error {
+		n++
+		if n < 3 {
+			return syscall.ENOSPC
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("err=%v n=%d, want nil/3", err, n)
+	}
+}
+
+func TestDoStopsOnNonTransient(t *testing.T) {
+	n := 0
+	err := Do(context.Background(), Policy{Base: time.Millisecond}, 10, Transient, func() error {
+		n++
+		return syscall.EIO
+	})
+	if !errors.Is(err, syscall.EIO) || n != 1 {
+		t.Fatalf("err=%v n=%d, want EIO after exactly 1 attempt", err, n)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	n := 0
+	err := Do(context.Background(), Policy{Base: time.Millisecond}, 3, Transient, func() error {
+		n++
+		return syscall.ENOSPC
+	})
+	if !errors.Is(err, syscall.ENOSPC) || n != 3 {
+		t.Fatalf("err=%v n=%d, want ENOSPC after 3 attempts", err, n)
+	}
+}
+
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := Do(ctx, Policy{Base: time.Hour}, 0, Transient, func() error {
+		n++
+		return syscall.ENOSPC
+	})
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err=%v, want Canceled joined with last ENOSPC", err)
+	}
+	if n != 1 {
+		t.Fatalf("n=%d, want 1 attempt before the hour-long backoff", n)
+	}
+}

@@ -13,14 +13,17 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/oplog"
 	"repro/internal/relation"
+	"repro/internal/retry"
 	"repro/internal/wal"
 )
 
@@ -72,6 +75,11 @@ type DurableConfig struct {
 	// tests wrap the segment writer to return errors, short writes, or
 	// silently drop bytes ("crash at byte N"). Production leaves it nil.
 	Wrap func(io.Writer) io.Writer
+	// FS is the filesystem the WAL and checkpoints are written through
+	// (default fault.OS). The fault-matrix and chaos tests pass a
+	// fault.Injector to script ENOSPC, EIO-on-fsync, short writes and
+	// latency at exact call counts. Production leaves it nil.
+	FS fault.FS
 }
 
 // openDurable loads the checkpoint (if any) and opens the WAL. It
@@ -83,6 +91,10 @@ func (s *Service) openDurable(cfg Config) (*relation.Database, relation.Checkpoi
 		return nil, relation.CheckpointInfo{}, false, errors.New("serve: DurableConfig.Dir is required")
 	}
 	s.dataDir = d.Dir
+	s.fsys = d.FS
+	if s.fsys == nil {
+		s.fsys = fault.OS
+	}
 	db := cfg.DB
 	var info relation.CheckpointInfo
 	have := false
@@ -102,6 +114,7 @@ func (s *Service) openDurable(cfg Config) (*relation.Database, relation.Checkpoi
 		SyncInterval: d.SyncInterval,
 		SegmentBytes: d.SegmentBytes,
 		Wrap:         d.Wrap,
+		FS:           d.FS,
 	})
 	if err != nil {
 		return nil, info, false, fmt.Errorf("serve: recover: %v", err)
@@ -173,19 +186,29 @@ func (s *Service) captureNextTIDs() map[string]relation.TID {
 	return out
 }
 
+// finalCheckpointAttempts bounds the retry loop of the final
+// checkpoint pass at Stop — a few tries for a condition the operator
+// may be fixing right now, not an unbounded stall of shutdown.
+const finalCheckpointAttempts = 3
+
 // checkpointer is the background persistence loop: whenever enough
 // commits (CheckpointEvery) or time (CheckpointInterval) accumulated
 // past the last checkpoint — or none exists yet, or the service is
 // stopping with unpersisted commits — it writes the published State as
 // a checkpoint and truncates the covered WAL prefix. Checkpoints read
 // only immutable published snapshots, so the loop never blocks or
-// races the writer; a failed attempt is counted and retried on the
-// next poll.
+// races the writer. A failed attempt is counted and retried with
+// capped exponential backoff (retry.Policy defaults): transient
+// conditions like a full disk heal without hammering the device, and a
+// recovered condition resumes checkpointing automatically.
 func (s *Service) checkpointer(have bool, last uint64) {
 	defer close(s.ckptDone)
 	ticker := time.NewTicker(checkpointPoll)
 	defer ticker.Stop()
 	lastAt := time.Now()
+	var pol retry.Policy // zero value: DefaultBase/DefaultMax/DefaultFactor
+	fails := 0
+	var notBefore time.Time
 	for {
 		final := false
 		select {
@@ -201,11 +224,28 @@ func (s *Service) checkpointer(have bool, last uint64) {
 		if s.ckptEvery < 0 {
 			due = false
 		}
+		if due && !final && time.Now().Before(notBefore) {
+			due = false // backing off after a failed attempt
+		}
 		if due {
-			if err := s.writeCheckpoint(st); err != nil {
+			var err error
+			if final {
+				// Last chance before the WAL closes: retry transient
+				// failures (an ENOSPC the operator may be clearing) a few
+				// times instead of losing the pass to one bad attempt.
+				err = retry.Do(context.Background(), pol, finalCheckpointAttempts,
+					retry.Transient, func() error { return s.writeCheckpoint(st) })
+			} else {
+				err = s.writeCheckpoint(st)
+			}
+			if err != nil {
 				s.ckptErrs.Add(1)
+				fails++
+				notBefore = time.Now().Add(pol.Delay(fails - 1))
 			} else {
 				have, last, lastAt = true, st.Seq, time.Now()
+				fails = 0
+				notBefore = time.Time{}
 			}
 		}
 		if final {
@@ -226,7 +266,7 @@ func (s *Service) writeCheckpoint(st *State) error {
 		dbs = relation.NewDBSnapshot(db)
 	}
 	info := relation.CheckpointInfo{Seq: st.Seq, NextTIDs: st.NextTIDs, ShardKeys: s.shardKeys}
-	if err := relation.WriteCheckpoint(s.dataDir, dbs, info); err != nil {
+	if err := relation.WriteCheckpointFS(s.fsys, s.dataDir, dbs, info); err != nil {
 		return err
 	}
 	if err := s.wal.TruncateTo(st.Seq); err != nil {

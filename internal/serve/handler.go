@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/cfd"
 	"repro/internal/cind"
@@ -39,6 +40,9 @@ type Handler struct {
 	// flushed — a test seam: blocking here models a consumer that has
 	// stopped draining its stream.
 	OnEvent func(event string)
+	// MaxBatchBytes overrides the POST /batch body cap (default
+	// DefaultMaxBatchBytes). A body over the cap is rejected with 413.
+	MaxBatchBytes int64
 
 	mux *http.ServeMux
 }
@@ -75,7 +79,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // load (use the CSV loading path for that); a rule probe is a rule
 // file.
 const (
-	maxBatchBytes = 64 << 20
+	// DefaultMaxBatchBytes is the POST /batch body cap when
+	// Handler.MaxBatchBytes is unset.
+	DefaultMaxBatchBytes = 64 << 20
+
 	maxCheckBytes = 1 << 20
 )
 
@@ -84,8 +91,21 @@ const (
 // mutation), then Submit each commit batch in order and wait for the
 // acks.
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
-	batches, err := oplog.Parse(http.MaxBytesReader(w, r.Body, maxBatchBytes), h.Svc.Schemas())
+	maxBody := h.MaxBatchBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBatchBytes
+	}
+	batches, err := oplog.Parse(http.MaxBytesReader(w, r.Body, maxBody), h.Svc.Schemas())
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// The cap tripped mid-read: the client sent more than the
+			// server will buffer for one ingest. 413, not 400 — the stream
+			// may be perfectly well-formed, just too large.
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return
+		}
 		var se *oplog.SyntaxError
 		if errors.As(err, &se) {
 			writeJSON(w, http.StatusBadRequest, map[string]any{
@@ -107,6 +127,30 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}{Seq: h.Svc.State().Seq}
 	for _, batch := range batches {
 		res, err := h.Svc.Submit(r.Context(), batch)
+		var oe *OpError
+		if errors.As(err, &oe) {
+			// The request failed validation: nothing of this batch was
+			// applied (the earlier batches' commits stand) and the service
+			// state is untouched. 400 with the op position and reason.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": oe.Reason,
+				"op":    oe.Index,
+				"batch": resp.Batches, // index of the rejected batch in the stream
+				"seq":   resp.Seq,
+			})
+			return
+		}
+		if errors.Is(err, ErrReadOnly) {
+			// Degraded: writes refused, reads still served. Structured
+			// reason so clients and probes can tell this from overload.
+			hs, reason := h.Svc.Health()
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":  "service is read-only",
+				"status": hs.String(),
+				"reason": reason,
+			})
+			return
+		}
 		if errors.Is(err, ErrStopped) {
 			writeError(w, http.StatusServiceUnavailable, "service stopping")
 			return
@@ -342,6 +386,15 @@ func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
 	sub := h.Svc.Subscribe()
 	defer sub.Close()
 
+	// The server's global Read/Write timeouts are sized for one-shot
+	// requests; an SSE stream is long-lived by design. Clear the
+	// per-connection deadlines for this response only (best-effort: a
+	// middleware wrapper without the controller seam keeps the global
+	// policy).
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Time{})
+	rc.SetWriteDeadline(time.Time{})
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -438,8 +491,11 @@ func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no rules in request")
 		return
 	}
-	seq, ok, err := h.Svc.Check(cs)
+	seq, ok, err := h.Svc.CheckContext(r.Context(), cs)
 	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone: the gather was cancelled, nobody is reading
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -450,10 +506,22 @@ func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}{seq, len(cs), ok})
 }
 
+// handleHealthz reports the health state machine: "ok" while writes
+// are accepted, "read-only" (still 200 — reads work, probes must not
+// kill the process over a degraded disk) once durability failed, and
+// "broken" with 503 once the ingest loop is gone and a restart is the
+// only way forward.
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Seq    uint64 `json:"seq"`
-		Shards int    `json:"shards"`
-	}{"ok", h.Svc.State().Seq, h.Svc.Shards()})
+	hs, reason := h.Svc.Health()
+	status := http.StatusOK
+	if hs == Broken {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		Status   string `json:"status"`
+		Writable bool   `json:"writable"`
+		Reason   string `json:"reason,omitempty"`
+		Seq      uint64 `json:"seq"`
+		Shards   int    `json:"shards"`
+	}{hs.String(), hs == Healthy, reason, h.Svc.State().Seq, h.Svc.Shards()})
 }

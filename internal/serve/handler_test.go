@@ -486,3 +486,43 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatalf("POST /batch after stop: %s, want 503", resp.Status)
 	}
 }
+
+// TestBatchBodyCap413: a POST /batch body over Handler.MaxBatchBytes
+// is refused with 413 whether the truncated prefix is well-formed or
+// garbage — the size cap must win over the parse error the truncation
+// itself causes (the scanner hands the parser a partial final line) —
+// and a body under the cap commits normally.
+func TestBatchBodyCap413(t *testing.T) {
+	svc := mustNew(t, Config{DB: ordersDB(31, 50), Constraints: serveSigma()})
+	h := NewHandler(svc)
+	h.MaxBatchBytes = 512
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL+"/batch", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	valid := strings.Repeat("update order 0 price=9.99\n", 40) + "commit\n"
+	if code, body := post(valid); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("well-formed oversized body: %d %s, want 413", code, body)
+	}
+	if code, body := post(strings.Repeat("a", 2048)); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("garbage oversized body: %d %s, want 413", code, body)
+	}
+	if got := svc.State().Seq; got != 0 {
+		t.Fatalf("an oversized body committed: seq %d", got)
+	}
+	if code, body := post("update order 0 price=9.99\ncommit\n"); code != http.StatusOK {
+		t.Fatalf("under-cap body: %d %s, want 200", code, body)
+	}
+	if got := svc.State().Seq; got != 1 {
+		t.Fatalf("seq %d after the good commit, want 1", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Health state machine: healthy → read-only (degraded) → broken, one
+// way only. Durability failures demote the service rather than kill it:
+// a WAL fsync failure means new commits cannot be made durable, so
+// writes stop being accepted (read-only) while every read endpoint
+// keeps serving the last published State; a panic escaping the ingest
+// loop means even the in-memory state can no longer advance (broken).
+// An operator repairs the underlying condition and restarts — recovery
+// replays checkpoint + WAL, which is exactly the acknowledged history.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Health is the service's write-availability state.
+type Health int32
+
+const (
+	// Healthy: reads and writes both served.
+	Healthy Health = iota
+	// ReadOnly: a durability failure stopped writes; reads keep serving
+	// the last published State. Submit fails fast with ErrReadOnly.
+	ReadOnly
+	// Broken: the ingest loop is gone (a panic escaped it); the last
+	// published State still serves reads, but nothing will ever advance
+	// it. /healthz reports failure so an orchestrator restarts the
+	// process.
+	Broken
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "ok"
+	case ReadOnly:
+		return "read-only"
+	case Broken:
+		return "broken"
+	default:
+		return fmt.Sprintf("Health(%d)", int32(h))
+	}
+}
+
+// ErrReadOnly is returned by Submit once the service has degraded:
+// writes are refused, reads keep working. The error text carries the
+// degradation reason.
+var ErrReadOnly = errors.New("serve: service is read-only")
+
+// healthState is the atomically-published (state, reason) pair.
+type healthState struct {
+	h      Health
+	reason string
+}
+
+// Health returns the current state and, when degraded, the reason for
+// the first demotion (later demotions to a worse state replace it).
+func (s *Service) Health() (Health, string) {
+	hs := s.health.Load()
+	if hs == nil {
+		return Healthy, ""
+	}
+	return hs.h, hs.reason
+}
+
+// degrade demotes the service to h. Transitions are one-way: a demotion
+// to a state no worse than the current one is ignored, so the first
+// reason at each severity wins and the service can never silently heal.
+func (s *Service) degrade(h Health, reason string) {
+	for {
+		old := s.health.Load()
+		cur := Healthy
+		if old != nil {
+			cur = old.h
+		}
+		if h <= cur {
+			return
+		}
+		if s.health.CompareAndSwap(old, &healthState{h: h, reason: reason}) {
+			return
+		}
+	}
+}
+
+// healthErr renders the degraded state as the error Submit returns.
+func (s *Service) healthErr() error {
+	h, reason := s.Health()
+	switch h {
+	case Broken:
+		return fmt.Errorf("%w: %s", ErrStopped, reason)
+	case ReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, reason)
+	default:
+		return nil
+	}
+}

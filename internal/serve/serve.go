@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/relation"
 	"repro/internal/wal"
 )
@@ -95,6 +96,12 @@ type Config struct {
 	// Config.DB then only supplies the schemas (its tuples are
 	// ignored).
 	Durable *DurableConfig
+
+	// shardHook, when non-nil, runs in each shard writer just before it
+	// applies a sub-batch — the scheduling-fault seam: chaos tests stall
+	// one writer (latency) or panic in it (crash isolation). Unexported:
+	// only package-internal tests can set it.
+	shardHook func(shard int, ops []relation.ShardedOp)
 }
 
 // State is one published, immutable view of the service: everything a
@@ -215,6 +222,7 @@ type Service struct {
 	shardKeys     map[string][]int   // resolved partition keys (sharded mode)
 	wal           *wal.Log
 	dataDir       string
+	fsys          fault.FS // checkpoint/WAL filesystem (fault.OS in production)
 	tip           *State
 	pending       []pendingCommit
 	syncTicker    *time.Ticker
@@ -229,6 +237,13 @@ type Service struct {
 	ckptCount    atomic.Uint64
 	ckptErrs     atomic.Uint64
 	walClose     sync.Once
+
+	// Health state machine (health.go): healthy → read-only → broken,
+	// one-way. shardPanics counts shard-writer panics recovered into
+	// per-shard errors.
+	health      atomic.Pointer[healthState]
+	shardPanics atomic.Uint64
+	shardHook   func(shard int, ops []relation.ShardedOp)
 
 	mu      sync.Mutex
 	subs    map[*Sub]struct{}
@@ -278,6 +293,7 @@ func New(cfg Config) (*Service, error) {
 		maxOps:        maxOps,
 		subBuf:        subBuf,
 		submitTimeout: cfg.SubmitTimeout,
+		shardHook:     cfg.shardHook,
 		queue:         make(chan request, queueCap),
 		subs:          make(map[*Sub]struct{}),
 		stopping:      make(chan struct{}),
@@ -399,13 +415,38 @@ func New(cfg Config) (*Service, error) {
 // writers.
 func (s *Service) shardWriter(shard int) {
 	for w := range s.shardCh[shard] {
-		if err := s.shardedDB.ApplyShard(shard, w.ops); err != nil && w.err != nil {
-			*w.err = err
+		s.applyShardWork(shard, w)
+	}
+}
+
+// applyShardWork applies one sub-batch with panic isolation: a panic in
+// the apply (or the test hook) is recovered into the commit's per-shard
+// error slot instead of crashing the process, and the sequencer's
+// existing partial-failure path (RebuildDir + resync) restores
+// consistency against whatever prefix actually applied. The barrier is
+// always released exactly once.
+func (s *Service) applyShardWork(shard int, w shardWork) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.shardPanics.Add(1)
+			if w.err != nil {
+				*w.err = fmt.Errorf("serve: shard %d writer panic: %v", shard, r)
+			}
 		}
 		s.shardPending[shard].Add(-int64(len(w.ops)))
 		w.wg.Done()
+	}()
+	if s.shardHook != nil {
+		s.shardHook(shard, w.ops)
+	}
+	if err := s.shardedDB.ApplyShard(shard, w.ops); err != nil && w.err != nil {
+		*w.err = err
 	}
 }
+
+// ShardPanics reports how many shard-writer panics have been recovered
+// since New (racy, informational).
+func (s *Service) ShardPanics() uint64 { return s.shardPanics.Load() }
 
 // rebuildShardViol recomputes the per-shard violation attribution from
 // scratch: each violation counts toward the shard holding its primary
@@ -445,6 +486,14 @@ func (s *Service) applyShardViol(gained, cleared []detect.Violation) {
 // calls monitor.Apply or mutates the database.
 func (s *Service) run() {
 	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaped the ingest loop: nothing will ever advance
+			// the published State again. Mark the service broken (reads
+			// keep serving the last State), end the subscriber streams,
+			// and let the closed done channel fail queued Submits.
+			s.degrade(Broken, fmt.Sprintf("ingest loop panic: %v", r))
+			s.closeSubs()
+		}
 		if s.syncTicker != nil {
 			s.syncTicker.Stop()
 		}
@@ -504,17 +553,37 @@ func (s *Service) coalesce(first request) {
 	s.commit(reqs, n)
 }
 
-// commit applies one coalesced batch against the writer-local tip. In
-// durable mode the batch is WAL-logged first — a batch the log cannot
-// take is rejected without being applied, so memory and log always
-// agree — and the successor State is published and acknowledged only
-// once its frame is fsynced: immediately when the append synced,
+// commit applies one coalesced batch against the writer-local tip.
+// Each request is validated upfront against the tip plus the accepted
+// requests before it: an invalid request is acknowledged with its
+// *OpError at the unchanged tip sequence — nothing of it logged or
+// applied — while the valid requests around it commit normally. In
+// durable mode the surviving batch is WAL-logged first — a batch the
+// log cannot take is rejected without being applied, so memory and log
+// always agree — and the successor State is published and acknowledged
+// only once its frame is fsynced: immediately when the append synced,
 // otherwise from the group-commit flush.
 func (s *Service) commit(reqs []request, n int) {
+	if err := s.healthErr(); err != nil {
+		s.reject(reqs, err)
+		return
+	}
+
+	v := s.newValidator()
+	valid := make([]request, 0, len(reqs))
 	ops := make([]detect.DBOp, 0, n)
 	for _, r := range reqs {
+		if verr := v.validate(r.ops); verr != nil {
+			r.done <- Result{Seq: s.tip.Seq, Err: verr} // buffered: never blocks
+			continue
+		}
+		valid = append(valid, r)
 		ops = append(ops, r.ops...)
 	}
+	if len(valid) == 0 {
+		return
+	}
+	reqs = valid
 
 	synced := true
 	if s.wal != nil {
@@ -525,6 +594,12 @@ func (s *Service) commit(reqs []request, n int) {
 		}
 		ok, err := s.wal.Append(s.tip.Seq+1, payload)
 		if err != nil {
+			if errors.Is(err, wal.ErrBroken) {
+				// The log cannot take any further writes: degrade to
+				// read-only. Reads keep serving the published State; every
+				// later Submit fails fast with ErrReadOnly.
+				s.degrade(ReadOnly, fmt.Sprintf("write-ahead log broken: %v", err))
+			}
 			s.reject(reqs, fmt.Errorf("%w: %v", ErrWAL, err))
 			return
 		}
@@ -607,6 +682,13 @@ func (s *Service) flushWAL() {
 func (s *Service) flushPending(syncErr error) {
 	if len(s.pending) == 0 {
 		return
+	}
+	if syncErr != nil {
+		// The held commits are applied in memory but not on stable
+		// storage, and the log is now fail-stop: no future commit can be
+		// made durable either. Degrade to read-only — reads keep serving
+		// the (consistent) published state, writes are refused.
+		s.degrade(ReadOnly, fmt.Sprintf("write-ahead log sync failed: %v", syncErr))
 	}
 
 	// Publication and fan-out under one lock so Subscribe's registration
@@ -725,6 +807,11 @@ func mergeDiff(cur, gained, cleared []detect.Violation, sigma map[any]int) []det
 // failing op: the failing op's suffix was skipped but the service
 // resynchronized and remains consistent.
 func (s *Service) Submit(ctx context.Context, ops []detect.DBOp) (Result, error) {
+	if err := s.healthErr(); err != nil {
+		// Degraded: fail fast instead of queueing work the loop will
+		// reject anyway (or never drain, when broken).
+		return Result{}, err
+	}
 	if len(ops) == 0 {
 		return Result{Seq: s.state.Load().Seq}, nil
 	}
@@ -801,12 +888,20 @@ func (s *Service) Violations() []detect.Violation { return s.state.Load().Violat
 // SatisfiesBatch probe that never blocks or races the writer. It
 // returns the probed Seq alongside the verdict.
 func (s *Service) Check(cs []detect.Constraint) (uint64, bool, error) {
+	return s.CheckContext(context.Background(), cs)
+}
+
+// CheckContext is Check under a deadline: on a sharded service the
+// probe first gathers every shard snapshot — O(total rows) — so
+// request-scoped callers pass their context and a cancelled request
+// stops the merge early instead of finishing work nobody will read.
+func (s *Service) CheckContext(ctx context.Context, cs []detect.Constraint) (uint64, bool, error) {
 	st := s.state.Load()
 	if st.Shards != nil {
 		// Cross-partition read: merge the per-shard freezes into one
 		// detached database and probe that — the caller's rules need not
 		// be shardable.
-		db, err := relation.GatherSnapshots(st.Shards)
+		db, err := relation.GatherSnapshotsCtx(ctx, st.Shards)
 		if err != nil {
 			return st.Seq, false, err
 		}

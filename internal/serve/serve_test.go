@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -569,12 +570,15 @@ func TestCoalescing(t *testing.T) {
 	}
 }
 
-// TestSubmitOpError: a failing op mid-batch surfaces in the Result,
-// the applied prefix stands, and the service stays consistent.
+// TestSubmitOpError: a request with an invalid op is rejected upfront
+// with a structured *OpError naming the op index and reason, nothing of
+// it is applied (not even the valid prefix), and the published state is
+// untouched.
 func TestSubmitOpError(t *testing.T) {
 	cs := serveSigma()
 	db := ordersDB(37, 100)
 	svc := mustNew(t, Config{DB: db, Constraints: cs})
+	seq0 := svc.State().Seq
 
 	bad := []detect.DBOp{
 		detect.InsertInto("order", relation.Tuple{
@@ -585,18 +589,40 @@ func TestSubmitOpError(t *testing.T) {
 	}
 	res, err := svc.Submit(context.Background(), bad)
 	if err == nil {
-		t.Fatal("Submit with a failing op succeeded")
+		t.Fatal("Submit with an invalid op succeeded")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v (%T), want *OpError", err, err)
+	}
+	if oe.Index != 1 {
+		t.Fatalf("OpError.Index = %d, want 1 (the bad update)", oe.Index)
 	}
 	if res.Err == nil {
 		t.Fatal("Result.Err unset on op error")
 	}
-	// The service must still be consistent with its own database.
+	if res.Seq != seq0 {
+		t.Fatalf("rejected request acknowledged at seq %d, want unchanged tip %d", res.Seq, seq0)
+	}
+	// Nothing was applied: the service still matches a fresh detection
+	// of the untouched database, and the counters never moved.
 	want := detect.New(2).DetectBatch(db, cs)
 	if !reflect.DeepEqual(svc.Violations(), want) {
-		t.Fatal("violation list diverges after op error")
+		t.Fatal("violation list diverges after rejected request")
 	}
-	if svc.State().Errs != 1 {
-		t.Fatalf("Errs = %d, want 1", svc.State().Errs)
+	st := svc.State()
+	if st.Seq != seq0 || st.Ops != 0 || st.Errs != 0 {
+		t.Fatalf("state moved on a rejected request: seq=%d ops=%d errs=%d", st.Seq, st.Ops, st.Errs)
+	}
+
+	// A valid request right after still commits normally.
+	good := []detect.DBOp{detect.InsertInto("order", relation.Tuple{
+		relation.Str("aZ"), relation.Str("Fresh Title Z"), relation.Str("book"), relation.Float(9.99)})}
+	if _, err := svc.Submit(context.Background(), good); err != nil {
+		t.Fatalf("valid submit after rejection: %v", err)
+	}
+	if got := svc.State().Seq; got != seq0+1 {
+		t.Fatalf("seq after valid submit = %d, want %d", got, seq0+1)
 	}
 }
 

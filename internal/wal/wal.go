@@ -38,6 +38,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 const (
@@ -95,6 +97,11 @@ type Options struct {
 	// writes, or silently drop bytes ("crash at byte N"). Production
 	// leaves it nil.
 	Wrap func(io.Writer) io.Writer
+	// FS is the filesystem the log lives on (default fault.OS). The
+	// fault-matrix and chaos tests pass a fault.Injector to script
+	// ENOSPC, EIO-on-fsync, short writes and latency at exact call
+	// counts. Production leaves it nil.
+	FS fault.FS
 }
 
 // Stats is a point-in-time summary of the log for monitoring.
@@ -119,10 +126,11 @@ type segment struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   fault.FS
 
 	mu        sync.Mutex
 	segs      []*segment
-	f         *os.File // active (last) segment
+	f         fault.File // active (last) segment
 	w         io.Writer
 	lastSeq   uint64
 	unsynced  int
@@ -140,18 +148,22 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = fault.OS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	names, err := segmentNames(dir)
+	names, err := segmentNames(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, fs: fs}
 	var prevSeq uint64
 	for i, name := range names {
 		path := filepath.Join(dir, name)
-		seg, reason, err := scanSegment(path, prevSeq)
+		seg, reason, err := scanSegment(fs, path, prevSeq)
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +187,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	// Truncate the final segment to its valid size and open it for
 	// appending.
 	seg := l.segs[len(l.segs)-1]
-	f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(seg.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -207,8 +219,8 @@ func (l *Log) wrap(w io.Writer) io.Writer {
 }
 
 // segmentNames lists *.wal files in lexical (== seq) order.
-func segmentNames(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func segmentNames(fs fault.FS, dir string) ([]string, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -227,8 +239,8 @@ func segmentNames(dir string) ([]string, error) {
 // file has a torn/invalid tail after that prefix. Sequence numbers must
 // strictly increase from prevSeq; a duplicate or regressing seq is
 // treated as tail damage at that frame.
-func scanSegment(path string, prevSeq uint64) (*segment, string, error) {
-	f, err := os.Open(path)
+func scanSegment(fs fault.FS, path string, prevSeq uint64) (*segment, string, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, "", fmt.Errorf("wal: %w", err)
 	}
@@ -297,7 +309,7 @@ func (l *Log) newSegmentLocked() error {
 		l.f = nil
 	}
 	path := filepath.Join(l.dir, fmt.Sprintf("%020d.wal", l.lastSeq+1))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -309,7 +321,7 @@ func (l *Log) newSegmentLocked() error {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -449,15 +461,15 @@ func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) er
 		if seg.n == 0 || seg.last <= after {
 			continue
 		}
-		if err := replaySegment(seg, after, fn); err != nil {
+		if err := replaySegment(l.fs, seg, after, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func replaySegment(seg segment, after uint64, fn func(seq uint64, payload []byte) error) error {
-	f, err := os.Open(seg.path)
+func replaySegment(fs fault.FS, seg segment, after uint64, fn func(seq uint64, payload []byte) error) error {
+	f, err := fs.Open(seg.path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -522,7 +534,7 @@ func (l *Log) TruncateTo(seq uint64) error {
 	removed := false
 	for i, s := range l.segs {
 		if i < len(l.segs)-1 && s.last <= seq {
-			if err := os.Remove(s.path); err != nil {
+			if err := l.fs.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
 			removed = true
@@ -532,7 +544,7 @@ func (l *Log) TruncateTo(seq uint64) error {
 	}
 	l.segs = kept
 	if removed {
-		return syncDir(l.dir)
+		return syncDir(l.fs, l.dir)
 	}
 	return nil
 }
@@ -580,8 +592,8 @@ func (l *Log) Close() error {
 }
 
 // syncDir fsyncs a directory so entry creation/removal is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fs fault.FS, dir string) error {
+	d, err := fs.Open(dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}

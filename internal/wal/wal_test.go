@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // appendAll writes records 1..n with deterministic payloads and returns
@@ -107,7 +109,7 @@ func frame(seq uint64, payload []byte) []byte {
 
 func onlySegment(t *testing.T, dir string) string {
 	t.Helper()
-	names, err := segmentNames(dir)
+	names, err := segmentNames(fault.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +262,7 @@ func TestCorruptMiddleSegmentRefused(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	names, err := segmentNames(dir)
+	names, err := segmentNames(fault.OS, dir)
 	if err != nil || len(names) < 2 {
 		t.Fatalf("expected multiple segments, got %v (%v)", names, err)
 	}
