@@ -7,13 +7,21 @@
 //
 // Usage:
 //
-//	dqbench [-experiment E5] [-quick]
+//	dqbench [-experiment E5] [-quick] [-json] [-cpuprofile f] [-memprofile f]
+//
+// -json emits one machine-readable envelope (host parallelism, per-
+// experiment status and timing) instead of the text report, for CI
+// artifact diffing. The profile flags write pprof data covering the
+// selected experiments, for chasing where an experiment's time goes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 )
@@ -26,11 +34,48 @@ type experiment struct {
 	run   func(quick bool) (measured string, pass bool)
 }
 
+// result is one experiment's outcome in the -json envelope.
+type result struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Claim    string `json:"claim"`
+	Measured string `json:"measured"`
+	Pass     bool   `json:"pass"`
+	Millis   int64  `json:"ms"`
+}
+
+// envelope is the -json output: host parallelism up front so a CI
+// artifact records what the timings ran on.
+type envelope struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"numcpu"`
+	Quick      bool     `json:"quick"`
+	Results    []result `json:"results"`
+}
+
 func main() {
 	only := flag.String("experiment", "", "run only this experiment id (e.g. E5)")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
+	jsonOut := flag.Bool("json", false, "emit a JSON envelope instead of the text report")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqbench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dqbench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	env := envelope{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Quick: *quick}
 	failures := 0
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -38,20 +83,53 @@ func main() {
 		}
 		start := time.Now()
 		measured, pass := e.run(*quick)
+		elapsed := time.Since(start)
+		if !pass {
+			failures++
+		}
+		if *jsonOut {
+			env.Results = append(env.Results, result{
+				ID: e.id, Title: e.title, Claim: e.claim,
+				Measured: measured, Pass: pass, Millis: elapsed.Milliseconds(),
+			})
+			continue
+		}
 		status := "ok"
 		if !pass {
 			status = "FAIL"
-			failures++
 		}
-		fmt.Printf("%-4s %-52s [%s, %v]\n", e.id, e.title, status, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%-4s %-52s [%s, %v]\n", e.id, e.title, status, elapsed.Round(time.Millisecond))
 		fmt.Printf("     paper:    %s\n", e.claim)
 		for _, line := range strings.Split(measured, "\n") {
 			fmt.Printf("     measured: %s\n", line)
 		}
 		fmt.Println()
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(env); err != nil {
+			fmt.Fprintf(os.Stderr, "dqbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqbench: memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dqbench: memprofile: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if failures > 0 {
-		fmt.Printf("%d experiment(s) FAILED\n", failures)
+		if !*jsonOut {
+			fmt.Printf("%d experiment(s) FAILED\n", failures)
+		}
 		os.Exit(1)
 	}
 }

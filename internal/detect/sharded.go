@@ -425,10 +425,20 @@ func (m *ShardedDBMonitor) Apply(batch []DBOp) (gained, cleared []Violation, err
 //  6. new-side evaluation, then the same stored-set diff as DBMonitor.
 func (m *ShardedDBMonitor) Sync() (gained, cleared []Violation) {
 	S := m.sdb.Shards()
-	deltas := make([]map[string]*relation.Delta, S)
-	changed := false
-	for s := 0; s < S; s++ {
+	// Phase 1 fans per shard across the worker pool: shards are
+	// disjoint Databases, so the changelog scans and delta netting
+	// share nothing. The full-resync triggers (relation replaced,
+	// changelog truncated) are gathered as per-shard flags and decided
+	// sequentially after the barrier, so the fallback still runs on the
+	// sequencer's goroutine.
+	type shardScan struct {
+		deltas map[string]*relation.Delta
+		resync bool
+	}
+	scans := make([]shardScan, S)
+	scanShard := func(s int) shardScan {
 		db := m.sdb.Shard(s)
+		var sc shardScan
 		for _, name := range m.reads {
 			in, ok := db.Instance(name)
 			if !ok {
@@ -436,26 +446,44 @@ func (m *ShardedDBMonitor) Sync() (gained, cleared []Violation) {
 			}
 			oldSnap, ok := m.snaps[s].Snapshot(name)
 			if !ok || oldSnap.Source() != in {
-				return m.fullResync() // relation added or replaced
+				sc.resync = true // relation added or replaced
+				return sc
 			}
 			entries, ok := in.ChangesSince(oldSnap.Version())
 			if !ok {
-				return m.fullResync() // changelog truncated past the snapshot
+				sc.resync = true // changelog truncated past the snapshot
+				return sc
 			}
 			if len(entries) == 0 {
 				continue
 			}
 			d := relation.NetDelta(entries)
-			if deltas[s] == nil {
-				deltas[s] = make(map[string]*relation.Delta)
+			if sc.deltas == nil {
+				sc.deltas = make(map[string]*relation.Delta)
 			}
-			deltas[s][name] = &d
-			changed = true
+			sc.deltas[name] = &d
 		}
+		return sc
+	}
+	next := 0
+	runOrdered(m.engine.workers(), S, scanShard, func(sc shardScan) {
+		scans[next] = sc
+		next++
+	})
+	deltas := make([]map[string]*relation.Delta, S)
+	changed := false
+	for s, sc := range scans {
+		if sc.resync {
+			return m.fullResync()
+		}
+		deltas[s] = sc.deltas
+		changed = changed || sc.deltas != nil
 	}
 	if !changed {
 		return nil, nil
 	}
+	// Phase 2: per-shard snapshot catch-up, concurrent inside
+	// ShardedDB.Snapshots (each shard pays O(|its Δ|) on its own core).
 	newSnaps := m.sdb.Snapshots()
 
 	tcs := make([]*TouchCtx, S)
@@ -466,22 +494,26 @@ func (m *ShardedDBMonitor) Sync() (gained, cleared []Violation) {
 		}
 	}
 	yChanges := m.collectYChanges(deltas, newSnaps)
+	// Phase 3 fans per shard, not per constraint: a TouchCtx memoizes
+	// CoMembers lazily, so every constraint of one shard must run on
+	// one goroutine, while distinct shards touch disjoint contexts and
+	// snapshots. Results land in disjoint [i][s] slots and each list is
+	// a pure function of per-shard pre-batch state, so scheduling
+	// cannot change the outcome.
 	touched := make([][][]relation.TID, len(m.cs))
-	for i, c := range m.cs {
+	for i := range m.cs {
 		touched[i] = make([][]relation.TID, S)
-		if cc, ok := c.(cindConstraint); ok {
-			for s := 0; s < S; s++ {
-				touched[i][s] = cindShardTouched(cc.c, tcs[s], yChanges[i])
-			}
-			continue
-		}
-		for s := 0; s < S; s++ {
-			if deltas[s] == nil {
-				continue
-			}
-			touched[i][s] = c.Touched(tcs[s])
-		}
 	}
+	runOrdered(m.engine.workers(), S, func(s int) struct{} {
+		for i, c := range m.cs {
+			if cc, ok := c.(cindConstraint); ok {
+				touched[i][s] = cindShardTouched(cc.c, tcs[s], yChanges[i])
+			} else if deltas[s] != nil {
+				touched[i][s] = c.Touched(tcs[s])
+			}
+		}
+		return struct{}{}
+	}, func(struct{}) {})
 
 	// Old side first: the stored set was computed against the replica's
 	// pre-batch state, so re-deriving its touched restriction must probe

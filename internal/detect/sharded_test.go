@@ -380,3 +380,74 @@ func TestNewShardedDBMonitorRejectsUnshardable(t *testing.T) {
 		t.Fatal("unshardable batch must be rejected at construction")
 	}
 }
+
+// randomInsertOp draws one insert-only op over the order/book/CD
+// database — the batch shape that drives the append-only snapshot fast
+// path end to end through the sharded monitor's parallel sync.
+func randomInsertOp(r *rand.Rand, fresh *int) DBOp {
+	*fresh++
+	title := func() relation.Value {
+		if r.Intn(4) == 0 {
+			return relation.Str(fmt.Sprintf("Fresh Title %d", *fresh))
+		}
+		return relation.Str(fmt.Sprintf("Book Title %d", r.Intn(40)))
+	}
+	price := func() relation.Value { return relation.Float(float64(5+r.Intn(8)) + 0.99) }
+	switch r.Intn(4) {
+	case 0, 1:
+		return InsertInto("order", relation.Tuple{
+			relation.Str(fmt.Sprintf("a%d", *fresh)), title(),
+			relation.Str([]string{"book", "CD"}[r.Intn(2)]), price()})
+	case 2:
+		return InsertInto("book", relation.Tuple{
+			relation.Str(fmt.Sprintf("b%d", *fresh)), title(), price(),
+			relation.Str([]string{"hard-cover", "audio"}[r.Intn(2)])})
+	default:
+		return InsertInto("CD", relation.Tuple{
+			relation.Str(fmt.Sprintf("c%d", *fresh)), title(), price(),
+			relation.Str([]string{"rock", "a-book"}[r.Intn(2)])})
+	}
+}
+
+// TestShardedDBMonitorInsertOnlyOracle chains large insert-only batches
+// — every per-shard delta takes the append fast path, every sync fans
+// the shards across the worker pool — and asserts the sharded monitor
+// stays byte-identical to an unsharded shadow the whole way. Run with
+// -race this also exercises the parallel scan/touch phases for data
+// races on the shared snapshots.
+func TestShardedDBMonitorInsertOnlyOracle(t *testing.T) {
+	for _, tc := range []struct {
+		seed   int64
+		shards int
+	}{{101, 4}, {113, 8}} {
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", tc.seed, tc.shards), func(t *testing.T) {
+			r := rand.New(rand.NewSource(tc.seed))
+			db := gen.Orders(gen.OrdersConfig{Books: 40, CDs: 30, Orders: 300, Seed: tc.seed, ViolationRate: 0.1})
+			cs := shardableSigma()
+			sdb := shardOrders(t, db, tc.shards, cs)
+			shadow := NewDBMonitor(New(1), db, cs)
+			m, err := NewShardedDBMonitor(New(4), sdb, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := 0
+			for round := 0; round < 25; round++ {
+				batch := make([]DBOp, 8+r.Intn(56))
+				for i := range batch {
+					batch[i] = randomInsertOp(r, &fresh)
+				}
+				sg, sc, serr := shadow.Apply(batch)
+				g, c, err := m.Apply(batch)
+				if (err == nil) != (serr == nil) {
+					t.Fatalf("round %d: sharded err %v, shadow err %v", round, err, serr)
+				}
+				if !reflect.DeepEqual(g, sg) || !reflect.DeepEqual(c, sc) {
+					t.Fatalf("round %d: diff diverges:\nsharded +%v -%v\nshadow  +%v -%v", round, g, c, sg, sc)
+				}
+				if got, want := m.Violations(), shadow.Violations(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("round %d: violations diverge (%d vs %d)", round, len(got), len(want))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// insertRandom appends n fresh tuples to the instance — the insert-only
+// batch shape the append fast path (Snapshot.applyAppend and
+// CodeIndex.applyAppend) exists for. Values mix collision-heavy small
+// domains with brand-new ones so dictionaries and group indexes keep
+// growing.
+func insertRandom(r *rand.Rand, in *Instance, n int, fresh *int) {
+	for i := 0; i < n; i++ {
+		*fresh++
+		in.MustInsert(
+			Int(int64(r.Intn(3))), Int(int64(r.Intn(4))), Int(int64(*fresh)),
+			Str(fmt.Sprintf("n%d", r.Intn(6))), Str(fmt.Sprintf("s%d", r.Intn(3))),
+			Str(fmt.Sprintf("c%d", r.Intn(2))), Str(fmt.Sprintf("z%d", r.Intn(4))),
+		)
+	}
+}
+
+// TestSnapshotApplyAppendChains chains insert-only deltas through
+// Snapshot.Apply and asserts (a) every derived snapshot is
+// cell-identical to a fresh build, (b) the O(|Δ|) tail-append path
+// actually engages — after the first reallocation leaves spare
+// capacity, successive appends extend the shared backing array in
+// place — and (c) snapshots already handed out never observe rows
+// appended behind them.
+func TestSnapshotApplyAppendChains(t *testing.T) {
+	for _, seed := range []int64{3, 19, 57} {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(40, seed)
+		snap := NewSnapshot(in)
+		snap.Col(0)
+		snap.Col(4)
+		frozen := snap            // immutability witness
+		frozenLen := frozen.Len() // must never change
+		frozenCell := frozen.Value(0, 4)
+		fresh := 0
+		shared := 0
+		for round := 0; round < 30; round++ {
+			v0 := snap.Version()
+			insertRandom(r, in, 1+r.Intn(8), &fresh)
+			entries, ok := in.ChangesSince(v0)
+			if !ok {
+				t.Fatalf("seed %d round %d: changelog truncated", seed, round)
+			}
+			prev := snap
+			snap = snap.Apply(entries)
+			if snap.Stale() {
+				t.Fatalf("seed %d round %d: applied snapshot stale", seed, round)
+			}
+			if len(prev.tuples) > 0 && len(snap.tuples) > 0 && &snap.tuples[0] == &prev.tuples[0] {
+				shared++ // in-place tail extension of the shared backing
+			}
+			assertSnapshotsEqual(t, round, snap, NewSnapshot(in))
+		}
+		if shared == 0 {
+			t.Fatalf("seed %d: append fast path never extended in place over 30 insert-only rounds", seed)
+		}
+		if frozen.Len() != frozenLen || !frozen.Value(0, 4).Equal(frozenCell) {
+			t.Fatalf("seed %d: frozen snapshot mutated by appends behind it", seed)
+		}
+	}
+}
+
+// TestCodeIndexAppendChains drives the migrated group indexes through
+// long insert-only chains — deep enough to cross the probe-table grow
+// threshold and the fold-back threshold — interleaved with occasional
+// delete/update batches (which must fold the appended tail before
+// splicing) and occasional oversized batches (which take the rebuild
+// branch). Runs under the real hasher and a constant hasher that forces
+// every probe into one collision chain; every round must match the
+// string-keyed Index oracle.
+func TestCodeIndexAppendChains(t *testing.T) {
+	posSets := [][]int{{0}, {3, 4}, {1, 2, 5}}
+	hashers := map[string]codeHasher{
+		"fnv":     hashCodes,
+		"collide": func([]uint32) uint64 { return 42 },
+	}
+	for hname, h := range hashers {
+		for _, seed := range []int64{31, 77} {
+			t.Run(fmt.Sprintf("%s/seed=%d", hname, seed), func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed))
+				in := randomInstance(30, seed)
+				snap := NewSnapshot(in)
+				for _, pos := range posSets {
+					cx := buildCodeIndex(snap, pos, h)
+					snap.cxMu.Lock()
+					if snap.cxCache == nil {
+						snap.cxCache = make(map[string]*CodeIndex)
+					}
+					snap.cxCache[posKey(pos)] = cx
+					snap.cxMu.Unlock()
+				}
+				fresh := 0
+				for round := 0; round < 50; round++ {
+					v0 := snap.Version()
+					switch {
+					case round%13 == 12:
+						// Oversized batch relative to the base: the append
+						// path's rebuild branch.
+						insertRandom(r, in, in.Len()/2+8, &fresh)
+					case round%7 == 6:
+						// Mixed batch: deletes/updates force the appended
+						// tail to fold before the splice path runs.
+						mutateRandom(r, in, 2+r.Intn(5), &fresh)
+					default:
+						insertRandom(r, in, 1+r.Intn(12), &fresh)
+					}
+					entries, ok := in.ChangesSince(v0)
+					if !ok {
+						t.Fatalf("round %d: changelog truncated", round)
+					}
+					snap = snap.Apply(entries)
+					for _, pos := range posSets {
+						cx := snap.CodeIndexOn(pos)
+						ix := BuildIndex(in, pos)
+						if got, want := codeIndexGroupSets(cx), indexGroupSets(ix); !reflect.DeepEqual(got, want) {
+							t.Fatalf("round %d pos %v: groups diverge:\n got %v\nwant %v", round, pos, got, want)
+						}
+						live := 0
+						cx.Groups(1, func([]int32) { live++ })
+						if live != ix.Len() {
+							t.Fatalf("round %d pos %v: %d live groups, want %d", round, pos, live, ix.Len())
+						}
+						ids := in.IDs()
+						for i := 0; i < 8; i++ {
+							tup, _ := in.Tuple(ids[r.Intn(len(ids))])
+							if got, want := cx.Lookup(tup), ix.Lookup(tup); !reflect.DeepEqual(got, want) {
+								t.Fatalf("round %d pos %v: Lookup(%v) = %v, want %v", round, pos, tup, got, want)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotOfInsertOnlyAlwaysCatchesUp pins the SnapshotOf change:
+// an insert-only delta catches the cached snapshot up through the
+// append path even when it is far larger than the catch-up heuristic
+// would otherwise allow, and the result is cell-identical to a fresh
+// build.
+func TestSnapshotOfInsertOnlyAlwaysCatchesUp(t *testing.T) {
+	in := randomInstance(20, 5)
+	s1 := SnapshotOf(in)
+	for p := 0; p < in.Schema().Arity(); p++ {
+		s1.Col(p)
+	}
+	// 10x the base size: way past catchUpWorthwhile, but insert-only.
+	fresh := 0
+	insertRandom(rand.New(rand.NewSource(8)), in, 200, &fresh)
+	s2 := SnapshotOf(in)
+	if s2 == s1 || s2.Stale() {
+		t.Fatal("SnapshotOf did not return a fresh-versioned snapshot")
+	}
+	if s2.dicts[0] != s1.dicts[0] {
+		t.Fatal("insert-only catch-up rebuilt instead of extending (dictionary not shared)")
+	}
+	assertSnapshotsEqual(t, 0, s2, NewSnapshot(in))
+}

@@ -1,6 +1,9 @@
 package relation
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // CodeIndex is the columnar counterpart of Index: a hash index over a
 // list of attribute positions of a Snapshot, grouping rows that share a
@@ -29,6 +32,20 @@ type CodeIndex struct {
 	rowGroup []int32
 	table    []int32
 	mask     uint64
+
+	// Append absorption (applyAppend): rows appended to the snapshot
+	// since the arena was last laid out live in extra (group ordinal ->
+	// appended member rows, ascending) instead of the arena; ngroups
+	// counts every group, including ones that exist only in extra and
+	// therefore lie beyond starts. nExtra is the total appended-row
+	// count — once it stops being small relative to the snapshot the
+	// index folds back into a flat arena (fold). extend arbitrates
+	// in-place tail extension of rowGroup and the extra member slices,
+	// exactly like Snapshot.extend does for columns.
+	extra   map[int32][]int32
+	nExtra  int
+	ngroups int
+	extend  *atomic.Bool
 }
 
 // codeHasher hashes a projected code sequence; injectable so tests can
@@ -82,9 +99,10 @@ func BuildCodeIndex(snap *Snapshot, pos []int) *CodeIndex {
 func buildCodeIndex(snap *Snapshot, pos []int, hash codeHasher) *CodeIndex {
 	n := snap.Len()
 	cx := &CodeIndex{
-		snap: snap,
-		pos:  append([]int(nil), pos...),
-		hash: hash,
+		snap:   snap,
+		pos:    append([]int(nil), pos...),
+		hash:   hash,
+		extend: new(atomic.Bool),
 	}
 	cols := make([][]uint32, len(cx.pos))
 	for i, p := range cx.pos {
@@ -140,6 +158,7 @@ func buildCodeIndex(snap *Snapshot, pos []int, hash codeHasher) *CodeIndex {
 	// Lay the groups out contiguously: prefix-sum the counts into span
 	// starts, then fill the arena in row order (groups stay ascending).
 	g := len(reps)
+	cx.ngroups = g
 	cx.starts = make([]int32, g+1)
 	for i, c := range counts {
 		cx.starts[i+1] = cx.starts[i] + c
@@ -155,9 +174,30 @@ func buildCodeIndex(snap *Snapshot, pos []int, hash codeHasher) *CodeIndex {
 	return cx
 }
 
-// group returns the member rows of group ordinal gi.
+// group returns the member rows of group ordinal gi: its arena span
+// when it has one, merged with any rows appended since the last arena
+// layout. With no appended rows (the steady state after fold) this is
+// a pure slice of the arena; a group with both an arena span and an
+// extra tail pays one merge copy, preserving the ascending invariant
+// because appended rows carry the highest indexes.
 func (cx *CodeIndex) group(gi int32) []int32 {
-	return cx.arena[cx.starts[gi]:cx.starts[gi+1]]
+	var base []int32
+	if int(gi)+1 < len(cx.starts) {
+		base = cx.arena[cx.starts[gi]:cx.starts[gi+1]]
+	}
+	if cx.nExtra == 0 {
+		return base
+	}
+	ext := cx.extra[gi]
+	if len(ext) == 0 {
+		return base
+	}
+	if len(base) == 0 {
+		return ext
+	}
+	out := make([]int32, 0, len(base)+len(ext))
+	out = append(out, base...)
+	return append(out, ext...)
 }
 
 // Groups invokes fn for every group with at least minSize members. Rows
@@ -165,7 +205,7 @@ func (cx *CodeIndex) group(gi int32) []int32 {
 // in first-appearance order — deterministic, unlike Index.Groups' map
 // order.
 func (cx *CodeIndex) Groups(minSize int, fn func(rows []int32)) {
-	for gi := 0; gi+1 < len(cx.starts); gi++ {
+	for gi := 0; gi < cx.ngroups; gi++ {
 		if rows := cx.group(int32(gi)); len(rows) >= minSize {
 			fn(rows)
 		}
@@ -175,7 +215,7 @@ func (cx *CodeIndex) Groups(minSize int, fn func(rows []int32)) {
 // GroupsWhile is Groups with early termination: iteration stops as soon
 // as fn returns false.
 func (cx *CodeIndex) GroupsWhile(minSize int, fn func(rows []int32) bool) {
-	for gi := 0; gi+1 < len(cx.starts); gi++ {
+	for gi := 0; gi < cx.ngroups; gi++ {
 		if rows := cx.group(int32(gi)); len(rows) >= minSize && !fn(rows) {
 			return
 		}
@@ -306,6 +346,12 @@ func (cx *CodeIndex) lookupRows(codes []uint32) []int32 {
 // member's (codes are comparable across the two snapshots because
 // Snapshot.Apply shares the append-only dictionaries).
 func (cx *CodeIndex) apply(ns *Snapshot, d *Delta, rowMap []int32, firstNew int) *CodeIndex {
+	// The splice below reads group membership straight off starts/arena
+	// (and uses span widths as counts); fold any append-absorbed rows
+	// into a flat arena first so that assumption holds.
+	if cx.nExtra > 0 {
+		cx = cx.fold()
+	}
 	// movedOld: old rows leaving their group because an indexed position
 	// was updated (deleted rows are handled via rowMap).
 	var movedOld map[int32]bool
@@ -341,10 +387,12 @@ func (cx *CodeIndex) apply(ns *Snapshot, d *Delta, rowMap []int32, firstNew int)
 		}
 	}
 	if len(d.Inserted) == 0 && len(d.Deleted) == 0 && len(movedNew) == 0 {
-		// Nothing the index can see changed: share everything.
+		// Nothing the index can see changed: share everything (including
+		// the extension claim — the arrays are the same backing).
 		return &CodeIndex{snap: ns, pos: cx.pos, hash: cx.hash,
 			arena: cx.arena, starts: cx.starts, rowGroup: cx.rowGroup,
-			table: cx.table, mask: cx.mask}
+			table: cx.table, mask: cx.mask,
+			ngroups: cx.ngroups, extend: cx.extend}
 	}
 	nNew := ns.Len()
 	if len(cx.table) == 0 || len(movedNew)+len(d.Inserted)+len(d.Deleted) > nNew/4 {
@@ -511,14 +559,175 @@ func (cx *CodeIndex) apply(ns *Snapshot, d *Delta, rowMap []int32, firstNew int)
 		cur[gi]++
 	}
 	return &CodeIndex{snap: ns, pos: cx.pos, hash: cx.hash,
-		arena: arena, starts: starts, rowGroup: rg, table: table, mask: mask}
+		arena: arena, starts: starts, rowGroup: rg, table: table, mask: mask,
+		ngroups: G2, extend: new(atomic.Bool)}
+}
+
+// applyAppend derives the group index of ns — produced by the
+// append-only Snapshot fast path, with rows firstNew..ns.Len() newly
+// appended — without re-laying the arena. Each appended row is hashed
+// and probed (O(|Δ|)); matched rows land in the extra tail of their
+// group, new groups take ordinals beyond starts with their members
+// held entirely in extra. The probe table is shared copy-on-write and
+// grown when the load factor demands it, exactly like the splice
+// path. Once the absorbed tail stops being small relative to the
+// snapshot the result folds back into a flat arena, so the per-batch
+// cost stays O(|Δ|) amortized with an O(n) layout every O(n/|Δ|)
+// batches — never the per-batch O(n) the splice pays.
+func (cx *CodeIndex) applyAppend(ns *Snapshot, firstNew int) *CodeIndex {
+	nNew := ns.Len()
+	k := nNew - firstNew
+	if len(cx.table) == 0 || k > nNew/4 {
+		// Empty base (no probe table to extend) or a batch so large the
+		// O(n) rebuild is within a constant of the absorb: rebuild.
+		return buildCodeIndex(ns, cx.pos, cx.hash)
+	}
+	cols := make([][]uint32, len(cx.pos))
+	for i, p := range cx.pos {
+		cols[i] = ns.Col(p) // shared prefix: valid for old and appended rows
+	}
+	claimed := cx.extend.CompareAndSwap(false, true)
+	rg := cx.rowGroup
+	if !claimed {
+		rg = make([]int32, len(cx.rowGroup), nNew)
+		copy(rg, cx.rowGroup)
+	}
+	// The extra map is copied per derivation (readers of the old index
+	// walk their own version); the member slices are extended in place
+	// under the claim, or copied when it was lost.
+	extra := make(map[int32][]int32, len(cx.extra)+k)
+	for g, rows := range cx.extra {
+		if claimed {
+			extra[g] = rows
+		} else {
+			extra[g] = append([]int32(nil), rows...)
+		}
+	}
+	ngroups := cx.ngroups
+	table := cx.table
+	tableOwned := false
+	mask := cx.mask
+	G0 := len(cx.starts) - 1
+	// repOf returns a representative row of group gi, or -1 for a dead
+	// group (no arena span, no extra members) — dead groups keep their
+	// probe slot but can never match.
+	repOf := func(gi int32) int32 {
+		if int(gi) < G0 {
+			if s0, s1 := cx.starts[gi], cx.starts[gi+1]; s1 > s0 {
+				return cx.arena[s0]
+			}
+		}
+		if ext := extra[gi]; len(ext) > 0 {
+			return ext[0]
+		}
+		return -1
+	}
+	codes := make([]uint32, len(cx.pos))
+	for nr := firstNew; nr < nNew; nr++ {
+		for i := range cols {
+			codes[i] = cols[i][nr]
+		}
+		// Load factor <= 1/2 counting every slot ever assigned.
+		if uint64(ngroups+1)*2 > uint64(len(table)) {
+			size := uint64(len(table)) * 2
+			grown := make([]int32, size)
+			tableOwned = true
+			mask = size - 1
+			reseat := make([]uint32, len(cx.pos))
+			for gi := 0; gi < ngroups; gi++ {
+				rep := repOf(int32(gi))
+				if rep < 0 {
+					continue // dead: drop from the grown table
+				}
+				for i := range reseat {
+					reseat[i] = cols[i][rep]
+				}
+				idx := cx.hash(reseat) & mask
+				for grown[idx] != 0 {
+					idx = (idx + 1) & mask
+				}
+				grown[idx] = int32(gi) + 1
+			}
+			table = grown
+		}
+		idx := cx.hash(codes) & mask
+		for {
+			e := table[idx]
+			if e == 0 {
+				if !tableOwned {
+					table = append([]int32(nil), table...)
+					tableOwned = true
+				}
+				gi := int32(ngroups)
+				table[idx] = gi + 1
+				ngroups++
+				extra[gi] = append(extra[gi], int32(nr))
+				rg = append(rg, gi)
+				break
+			}
+			gi := e - 1
+			rep := repOf(gi)
+			same := rep >= 0
+			if same {
+				for i := range cols {
+					if cols[i][rep] != codes[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				extra[gi] = append(extra[gi], int32(nr))
+				rg = append(rg, gi)
+				break
+			}
+			idx = (idx + 1) & mask
+		}
+	}
+	out := &CodeIndex{snap: ns, pos: cx.pos, hash: cx.hash,
+		arena: cx.arena, starts: cx.starts, rowGroup: rg,
+		table: table, mask: mask,
+		extra: extra, nExtra: cx.nExtra + k,
+		ngroups: ngroups, extend: new(atomic.Bool)}
+	if out.nExtra > nNew/8+256 {
+		return out.fold()
+	}
+	return out
+}
+
+// fold re-lays the arena from rowGroup so every group is a contiguous
+// span again — O(n) with no hashing (the probe table, mask and group
+// ordinals all carry over). It is the amortization step of the append
+// fast path and the normalization apply runs before splicing.
+func (cx *CodeIndex) fold() *CodeIndex {
+	n := len(cx.rowGroup)
+	counts := make([]int32, cx.ngroups)
+	for _, gi := range cx.rowGroup {
+		counts[gi]++
+	}
+	starts := make([]int32, cx.ngroups+1)
+	for i, c := range counts {
+		starts[i+1] = starts[i] + c
+	}
+	cur := counts // reuse as fill cursors
+	copy(cur, starts[:cx.ngroups])
+	arena := make([]int32, n)
+	for row := 0; row < n; row++ {
+		gi := cx.rowGroup[row]
+		arena[cur[gi]] = int32(row)
+		cur[gi]++
+	}
+	return &CodeIndex{snap: cx.snap, pos: cx.pos, hash: cx.hash,
+		arena: arena, starts: starts, rowGroup: cx.rowGroup,
+		table: cx.table, mask: cx.mask,
+		ngroups: cx.ngroups, extend: cx.extend}
 }
 
 // Positions returns the indexed attribute positions.
 func (cx *CodeIndex) Positions() []int { return cx.pos }
 
 // Len returns the number of distinct projection groups.
-func (cx *CodeIndex) Len() int { return len(cx.starts) - 1 }
+func (cx *CodeIndex) Len() int { return cx.ngroups }
 
 // Snapshot returns the snapshot the index was built over.
 func (cx *CodeIndex) Snapshot() *Snapshot { return cx.snap }

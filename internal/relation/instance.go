@@ -318,7 +318,8 @@ func SnapshotOf(in *Instance) *Snapshot {
 		return s
 	}
 	if s != nil {
-		if entries, ok := in.ChangesSince(s.version); ok && catchUpWorthwhile(len(entries), len(s.ids)) && insertsMonotonic(s, entries) {
+		if entries, ok := in.ChangesSince(s.version); ok && insertsMonotonic(s, entries) &&
+			(catchUpWorthwhile(len(entries), len(s.ids)) || allInserts(entries)) {
 			s = s.Apply(entries)
 		} else {
 			s = NewSnapshot(in)
@@ -338,6 +339,19 @@ func SnapshotOf(in *Instance) *Snapshot {
 // rides the bulk intern on the build path).
 func catchUpWorthwhile(deltaLen, rows int) bool {
 	return deltaLen <= rows/2+64
+}
+
+// allInserts reports whether the delta is pure inserts — the shape
+// Apply absorbs through its O(|Δ|) append-only fast path, which beats
+// a full rebuild at any delta size (a bulk load doubles the instance
+// for one tail append instead of a fresh freeze-intern-index pass).
+func allInserts(entries []ChangeEntry) bool {
+	for _, e := range entries {
+		if e.Op != ChangeInsert {
+			return false
+		}
+	}
+	return true
 }
 
 // insertsMonotonic reports whether every insert in the delta carries a

@@ -3,6 +3,9 @@ package relation
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // ShardedDB partitions a Database horizontally: every relation exists in
@@ -133,6 +136,27 @@ func (s *ShardedDB) AddInstance(in *Instance) error {
 // the sequencer (the goroutine that creates Routings).
 func (s *ShardedDB) NextTID(rel string) TID { return s.nextID[rel] }
 
+// NextTIDs captures every relation's TID allocator position. Together
+// with RebuildDir it lets the sequencer undo a Routing that was never
+// applied (a commit whose log append failed): restoring the counters
+// keeps TID allocation identical to a recovery replay that never saw
+// the rejected batch. Single-writer, like NextTID.
+func (s *ShardedDB) NextTIDs() map[string]TID {
+	out := make(map[string]TID, len(s.nextID))
+	for rel, id := range s.nextID {
+		out[rel] = id
+	}
+	return out
+}
+
+// SetNextTIDs restores allocator positions captured by NextTIDs.
+func (s *ShardedDB) SetNextTIDs(m map[string]TID) {
+	s.nextID = make(map[string]TID, len(m))
+	for rel, id := range m {
+		s.nextID[rel] = id
+	}
+}
+
 // RebuildDir reconstructs the tuple directory by scanning every shard —
 // the recovery step after a partially-applied sub-batch left the routed
 // directory ahead of (or behind) what the shards actually hold. A TID
@@ -172,11 +196,39 @@ func (s *ShardedDB) SetChangelogCap(n int) {
 
 // Snapshots freezes every shard (via DBSnapshotOf, so unchanged shards
 // reuse their cached snapshots) and returns one DBSnapshot per shard.
+// Shards catch up concurrently, bounded by GOMAXPROCS: each shard is a
+// disjoint Database, so the per-shard snapshot builds (column interning,
+// changelog catch-up, index splicing) share nothing. Writers must be
+// quiescent, as for any snapshot build — the usual single-writer
+// barrier the sequencer already provides.
 func (s *ShardedDB) Snapshots() []*DBSnapshot {
 	out := make([]*DBSnapshot, len(s.shards))
-	for i, db := range s.shards {
-		out[i] = DBSnapshotOf(db)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.shards) {
+		workers = len(s.shards)
 	}
+	if workers <= 1 {
+		for i, db := range s.shards {
+			out[i] = DBSnapshotOf(db)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				out[i] = DBSnapshotOf(s.shards[i])
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

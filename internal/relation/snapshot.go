@@ -39,6 +39,16 @@ type Snapshot struct {
 	cols    [][]uint32    // cols[attr][row], nil until interned
 	dicts   []*Dict       // one per attribute, nil until interned
 
+	// extend arbitrates the spare capacity past the visible length of
+	// the row-shaped backing arrays (tuples and interned cols): Apply's
+	// append-only fast path extends them in place, which is safe for
+	// exactly one derivation per backing — readers of this snapshot
+	// never look past their own length, but two extenders would write
+	// the same tail. The first derivation to CAS the flag wins the
+	// tail; later ones copy. Snapshots that share backing arrays
+	// (structural Apply children) share the flag.
+	extend *atomic.Bool
+
 	// cxMu guards cxCache, the per-position-set CodeIndex cache
 	// (CodeIndexOn). Snapshots are immutable, so a group index never
 	// goes stale while its snapshot is live; batches and repeated runs
@@ -67,6 +77,7 @@ func NewSnapshot(in *Instance) *Snapshot {
 		built:   make([]atomic.Bool, arity),
 		cols:    make([][]uint32, arity),
 		dicts:   make([]*Dict, arity),
+		extend:  new(atomic.Bool),
 	}
 	for row, id := range s.ids {
 		t, _ := in.Tuple(id)
@@ -234,6 +245,14 @@ func (s *Snapshot) Apply(entries []ChangeEntry) *Snapshot {
 	// stable and everything row-shaped can be shared or memcpy'd.
 	structural := len(d.Inserted) == 0 && len(d.Deleted) == 0
 
+	// Insert-only deltas — the dominant ingest shape — take the
+	// append-only fast path: O(|Δ|) instead of an O(n) column splice.
+	if !structural && len(d.Deleted) == 0 && len(d.Updated) == 0 {
+		if ns := s.applyAppend(&d, entries[len(entries)-1].Version); ns != nil {
+			return ns
+		}
+	}
+
 	ns := &Snapshot{
 		source:  in,
 		schema:  s.schema,
@@ -251,6 +270,10 @@ func (s *Snapshot) Apply(entries []ChangeEntry) *Snapshot {
 	var rowMap []int32
 	firstNew := nOld
 	if structural {
+		// The child shares row-shaped backing arrays (untouched columns,
+		// possibly tuples) with its parent, so they share the extension
+		// claim too; a splice child gets fresh arrays and a fresh claim.
+		ns.extend = s.extend
 		ns.ids = s.ids // shared: immutable
 		// Updated tuples ride a sparse overlay over the shared tuples
 		// array (the instance replaces tuples copy-on-write, so the
@@ -283,6 +306,7 @@ func (s *Snapshot) Apply(entries []ChangeEntry) *Snapshot {
 			ns.over = over
 		}
 	} else {
+		ns.extend = new(atomic.Bool)
 		deleted := make(map[TID]bool, len(d.Deleted))
 		for _, id := range d.Deleted {
 			deleted[id] = true
@@ -391,4 +415,98 @@ func (s *Snapshot) Apply(entries []ChangeEntry) *Snapshot {
 		}
 	}
 	return ns
+}
+
+// applyAppend is Apply's fast path for insert-only deltas. Inserted
+// TIDs are strictly above every pre-existing one, so the new rows are
+// a pure tail: instead of splicing every interned column (an O(n)
+// copy per batch) the old snapshot's backing arrays are extended in
+// place — the spare capacity past the old length is invisible to the
+// old snapshot's readers, and the extend claim guarantees a single
+// writer per backing. A batch then costs O(|Δ|) interning plus a tail
+// append; when the claim is lost (a concurrent double-derivation, or
+// a second child of the same base) or capacity runs out, append's
+// geometric growth pays one amortized copy. Cached group indexes are
+// absorbed without re-laying the arena (CodeIndex applyAppend).
+//
+// Returns nil when the instance's current TID set is not exactly
+// old-prefix + inserted-tail — the caller falls back to the splice.
+func (s *Snapshot) applyAppend(d *Delta, version uint64) *Snapshot {
+	in := s.source
+	nOld := len(s.ids)
+	ids := in.IDs()
+	if len(ids) != nOld+len(d.Inserted) ||
+		(nOld > 0 && (ids[nOld-1] != s.ids[nOld-1] || d.Inserted[0] <= s.ids[nOld-1])) {
+		return nil
+	}
+	arity := s.schema.Arity()
+	ns := &Snapshot{
+		source:  in,
+		schema:  s.schema,
+		version: version,
+		ids:     ids,
+		over:    s.over, // shared read-only; appended rows are never overlaid
+		once:    make([]sync.Once, arity),
+		built:   make([]atomic.Bool, arity),
+		cols:    make([][]uint32, arity),
+		dicts:   make([]*Dict, arity),
+		extend:  new(atomic.Bool),
+	}
+	ins := make([]Tuple, len(d.Inserted))
+	for i, id := range d.Inserted {
+		t, _ := in.Tuple(id)
+		ins[i] = t
+	}
+	claimed := s.extend.CompareAndSwap(false, true)
+	ns.tuples = extendTuples(s.tuples, ins, claimed)
+	codes := make([]uint32, len(ins))
+	for p := 0; p < arity; p++ {
+		if !s.built[p].Load() {
+			continue
+		}
+		dict := s.dicts[p]
+		for i, t := range ins {
+			codes[i] = dict.Intern(t[p])
+		}
+		ns.cols[p] = extendCodes(s.cols[p], codes, claimed)
+		ns.dicts[p] = dict
+		ns.once[p].Do(func() {})
+		ns.built[p].Store(true)
+	}
+	s.cxMu.Lock()
+	oldCache := make(map[string]*CodeIndex, len(s.cxCache))
+	for k, cx := range s.cxCache {
+		oldCache[k] = cx
+	}
+	s.cxMu.Unlock()
+	if len(oldCache) > 0 {
+		ns.cxCache = make(map[string]*CodeIndex, len(oldCache))
+		for k, cx := range oldCache {
+			ns.cxCache[k] = cx.applyAppend(ns, nOld)
+		}
+	}
+	return ns
+}
+
+// extendTuples appends ins to old. With the claim won the append may
+// land in old's spare capacity (writes past the old visible length,
+// which no old-snapshot reader sees); without it the base is copied
+// first so the parent's tail is never touched.
+func extendTuples(old, ins []Tuple, claimed bool) []Tuple {
+	if !claimed {
+		cp := make([]Tuple, len(old), len(old)+len(ins))
+		copy(cp, old)
+		old = cp
+	}
+	return append(old, ins...)
+}
+
+// extendCodes is extendTuples for code columns.
+func extendCodes(old, codes []uint32, claimed bool) []uint32 {
+	if !claimed {
+		cp := make([]uint32, len(old), len(old)+len(codes))
+		copy(cp, old)
+		old = cp
+	}
+	return append(old, codes...)
 }

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/detect"
@@ -80,6 +81,11 @@ type DurableConfig struct {
 	// fault.Injector to script ENOSPC, EIO-on-fsync, short writes and
 	// latency at exact call counts. Production leaves it nil.
 	FS fault.FS
+	// Preallocate reserves each WAL segment at SegmentBytes when it is
+	// created, so steady-state appends overwrite reserved blocks instead
+	// of growing the file (and its metadata) on every frame. Best-effort;
+	// see wal.Options.Preallocate.
+	Preallocate bool
 }
 
 // openDurable loads the checkpoint (if any) and opens the WAL. It
@@ -113,6 +119,7 @@ func (s *Service) openDurable(cfg Config) (*relation.Database, relation.Checkpoi
 		SyncEvery:    d.SyncEvery,
 		SyncInterval: d.SyncInterval,
 		SegmentBytes: d.SegmentBytes,
+		Preallocate:  d.Preallocate,
 		Wrap:         d.Wrap,
 		FS:           d.FS,
 	})
@@ -159,10 +166,17 @@ func decodeBatch(payload []byte, schemas map[string]*relation.Schema) ([]detect.
 	return oplog.NewReader(bytes.NewReader(payload), schemas).Next()
 }
 
-// encodeBatch renders one commit batch as a WAL record payload.
-func encodeBatch(ops []detect.DBOp, schemas map[string]*relation.Schema) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := oplog.Format(&buf, [][]detect.DBOp{ops}, schemas); err != nil {
+// encBufs pools the wire-encode scratch buffers: one commit encode per
+// Get/Put, so steady-state ingest stops allocating a fresh buffer (and
+// its doublings) per batch. The returned payload aliases the buffer —
+// Put only after the WAL append consumed it.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeBatchInto renders one commit batch as a WAL record payload into
+// buf (reset first). The returned slice aliases buf's storage.
+func encodeBatchInto(buf *bytes.Buffer, ops []detect.DBOp, schemas map[string]*relation.Schema) ([]byte, error) {
+	buf.Reset()
+	if err := oplog.Format(buf, [][]detect.DBOp{ops}, schemas); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

@@ -24,6 +24,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -585,14 +586,24 @@ func (s *Service) commit(reqs []request, n int) {
 	}
 	reqs = valid
 
+	if s.wal != nil && s.smonitor != nil {
+		// Sharded durable commits overlap the WAL work with the shard
+		// machinery instead of running the phases back to back.
+		s.commitShardedDurable(reqs, ops)
+		return
+	}
+
 	synced := true
 	if s.wal != nil {
-		payload, err := encodeBatch(ops, s.schemas)
+		buf := encBufs.Get().(*bytes.Buffer)
+		payload, err := encodeBatchInto(buf, ops, s.schemas)
 		if err != nil {
+			encBufs.Put(buf)
 			s.reject(reqs, err)
 			return
 		}
 		ok, err := s.wal.Append(s.tip.Seq+1, payload)
+		encBufs.Put(buf)
 		if err != nil {
 			if errors.Is(err, wal.ErrBroken) {
 				// The log cannot take any further writes: degrade to
@@ -613,7 +624,17 @@ func (s *Service) commit(reqs []request, n int) {
 	} else {
 		gained, cleared, err = s.monitor.Apply(ops)
 	}
+	s.enqueueCommit(reqs, ops, gained, cleared, err)
+	if synced {
+		s.flushPending(nil)
+	}
+}
 
+// enqueueCommit builds the successor State from the applied batch,
+// advances the writer-local tip and holds the commit for publication
+// (flushPending releases it once its frame is durable — or
+// immediately, when there is no WAL).
+func (s *Service) enqueueCommit(reqs []request, ops []detect.DBOp, gained, cleared []detect.Violation, err error) {
 	old := s.tip
 	st := &State{
 		Seq:        old.Seq + 1,
@@ -644,8 +665,66 @@ func (s *Service) commit(reqs []request, n int) {
 		reqs:  reqs,
 		res:   Result{Seq: st.Seq, Gained: len(gained), Cleared: len(cleared), Err: err},
 	})
-	if synced {
-		s.flushPending(nil)
+}
+
+// commitShardedDurable is the sharded commit path with a WAL: the wire
+// encode runs concurrently with the sequential route pass, the append
+// (without its fsync) gates the apply exactly as on the flat path —
+// a batch the log cannot take is rejected with the routing undone, so
+// memory and log still agree — and when the group-commit window is due
+// the fsync overlaps the scatter and incremental sync, joining only at
+// publication time.
+func (s *Service) commitShardedDurable(reqs []request, ops []detect.DBOp) {
+	buf := encBufs.Get().(*bytes.Buffer)
+	type encoded struct {
+		payload []byte
+		err     error
+	}
+	encCh := make(chan encoded, 1)
+	go func() {
+		p, err := encodeBatchInto(buf, ops, s.schemas)
+		encCh <- encoded{p, err}
+	}()
+
+	// Route eagerly mutates only the TID allocators and the tuple
+	// directory; capture the allocators so a failed append can revert
+	// both (RebuildDir restores the directory from the instances, which
+	// are untouched until the scatter below).
+	tids := s.shardedDB.NextTIDs()
+	r, rerr := s.smonitor.Route(ops)
+
+	enc := <-encCh
+	var syncDue bool
+	err := enc.err
+	if err == nil {
+		syncDue, err = s.wal.AppendNoSync(s.tip.Seq+1, enc.payload)
+	}
+	encBufs.Put(buf)
+	if err != nil {
+		s.shardedDB.SetNextTIDs(tids)
+		s.shardedDB.RebuildDir()
+		if enc.err == nil {
+			if errors.Is(err, wal.ErrBroken) {
+				s.degrade(ReadOnly, fmt.Sprintf("write-ahead log broken: %v", err))
+			}
+			err = fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		s.reject(reqs, err)
+		return
+	}
+
+	var syncCh chan error
+	if syncDue {
+		syncCh = make(chan error, 1)
+		go func() { syncCh <- s.wal.Sync() }()
+	}
+	gained, cleared, aerr := s.applyRouted(r, rerr)
+	s.enqueueCommit(reqs, ops, gained, cleared, aerr)
+	if syncCh != nil {
+		// A failed fsync here has group-commit-failure semantics: the
+		// batch is applied in memory, flushPending publishes it, every
+		// held ack reports ErrWAL, and the service degrades to read-only.
+		s.flushPending(<-syncCh)
 	}
 }
 
@@ -733,7 +812,16 @@ func (s *Service) flushPending(syncErr error) {
 // prefix before a failing op is applied and the error returned with
 // the diff.
 func (s *Service) commitSharded(ops []detect.DBOp) (gained, cleared []detect.Violation, err error) {
-	r, err := s.smonitor.Route(ops)
+	r, rerr := s.smonitor.Route(ops)
+	return s.applyRouted(r, rerr)
+}
+
+// applyRouted scatters an already-routed batch to the shard writers,
+// waits out the barrier, runs the merged incremental sync and
+// maintains the per-shard violation attribution. Factored out of
+// commitSharded so the durable path can route before the WAL append
+// and apply after it.
+func (s *Service) applyRouted(r *relation.Routing, err error) (gained, cleared []detect.Violation, _ error) {
 	errs := make([]error, len(s.shardCh))
 	var wg sync.WaitGroup
 	for shard, sub := range r.PerShard() {

@@ -92,6 +92,15 @@ type Options struct {
 	// an Append that would grow the active segment past it starts a new
 	// segment first, so TruncateTo can drop checkpointed prefixes.
 	SegmentBytes int64
+	// Preallocate extends each fresh segment to SegmentBytes at creation
+	// (and trims it back to its valid size at rotation), so steady-state
+	// appends overwrite reserved blocks instead of growing the file — one
+	// metadata update per segment instead of one per fsync. The zero
+	// filler scans as a torn tail, so a reopened active segment is
+	// trimmed like any crash tail (Stats.Torn counts it) and re-extends
+	// lazily. A filesystem that cannot extend simply falls back to
+	// growing appends.
+	Preallocate bool
 	// Wrap, when non-nil, wraps the active segment's writer — the
 	// failpoint seam fault-injection tests use to return errors, short
 	// writes, or silently drop bytes ("crash at byte N"). Production
@@ -139,6 +148,7 @@ type Log struct {
 	broken    error
 	closed    bool
 	headerBuf [headerSize]byte
+	frameBuf  []byte // reusable frame scratch; appends serialize under mu
 }
 
 // Open opens (creating if needed) the log directory, scans every
@@ -299,6 +309,17 @@ func scanSegment(fs fault.FS, path string, prevSeq uint64) (*segment, string, er
 // fresh one named for the next expected sequence. Callers hold l.mu.
 func (l *Log) newSegmentLocked() error {
 	if l.f != nil {
+		if l.opts.Preallocate && len(l.segs) > 0 {
+			// Trim the preallocated filler before the segment is sealed: a
+			// zero tail is legal only in the final segment, so leaving it
+			// on a rotated one would make the next Open refuse the log.
+			// A failed trim is as fatal as a failed sync — the sealed
+			// segment would be unreadable.
+			if err := l.f.Truncate(l.segs[len(l.segs)-1].size); err != nil {
+				l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+				return l.broken
+			}
+		}
 		if err := l.f.Sync(); err != nil {
 			l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
 			return l.broken
@@ -321,6 +342,14 @@ func (l *Log) newSegmentLocked() error {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
+	if l.opts.Preallocate {
+		// Reserve the full segment up front; appends then overwrite the
+		// filler at the current offset (Truncate does not move it)
+		// instead of growing the file on every frame. Best-effort: a
+		// filesystem that cannot extend keeps the growing-append
+		// behavior.
+		_ = f.Truncate(l.opts.SegmentBytes)
+	}
 	if err := syncDir(l.fs, l.dir); err != nil {
 		f.Close()
 		return err
@@ -340,6 +369,34 @@ func (l *Log) newSegmentLocked() error {
 func (l *Log) Append(seq uint64, payload []byte) (synced bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	due, err := l.appendLocked(seq, payload)
+	if err != nil {
+		return false, err
+	}
+	if due {
+		if err := l.syncLocked(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// AppendNoSync writes one record without ever syncing, returning
+// whether the sync policy is due. The caller owns the fsync: it may
+// overlap other work and then call Sync (which fail-stops the log on
+// error exactly like Append would have). Records are volatile until
+// that Sync returns nil.
+func (l *Log) AppendNoSync(seq uint64, payload []byte) (syncDue bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(seq, payload)
+}
+
+// appendLocked performs the write and bookkeeping shared by Append and
+// AppendNoSync and reports whether the sync policy calls for an fsync
+// now, without performing it.
+func (l *Log) appendLocked(seq uint64, payload []byte) (syncDue bool, err error) {
 	switch {
 	case l.closed:
 		return false, ErrClosed
@@ -365,8 +422,13 @@ func (l *Log) Append(seq uint64, payload []byte) (synced bool, err error) {
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	// One Write call per frame: a short write can then only ever leave a
 	// single partial frame at the tail, which repair (or recovery)
-	// removes in one truncate.
-	buf := make([]byte, 0, frame)
+	// removes in one truncate. The scratch buffer is reused across
+	// appends; the lock is held for the whole write, so no other frame
+	// can alias it (Wrap writers must not retain the slice).
+	if int64(cap(l.frameBuf)) < frame {
+		l.frameBuf = make([]byte, 0, frame)
+	}
+	buf := l.frameBuf[:0]
 	buf = append(buf, hdr...)
 	buf = append(buf, payload...)
 	if n, werr := l.w.Write(buf); werr != nil || n < len(buf) {
@@ -389,15 +451,10 @@ func (l *Log) Append(seq uint64, payload []byte) (synced bool, err error) {
 		l.oldestAt = time.Now()
 	}
 	l.unsynced++
-	if l.opts.SyncEvery <= 1 ||
+	due := l.opts.SyncEvery <= 1 ||
 		l.unsynced >= l.opts.SyncEvery ||
-		(l.opts.SyncInterval > 0 && time.Since(l.oldestAt) >= l.opts.SyncInterval) {
-		if err := l.syncLocked(); err != nil {
-			return false, err
-		}
-		return true, nil
-	}
-	return false, nil
+		(l.opts.SyncInterval > 0 && time.Since(l.oldestAt) >= l.opts.SyncInterval)
+	return due, nil
 }
 
 // repairLocked truncates the active segment back to off after a failed
@@ -580,6 +637,11 @@ func (l *Log) Close() error {
 		return nil
 	}
 	var err error
+	if l.opts.Preallocate && l.broken == nil && len(l.segs) > 0 {
+		// Trim the reserved filler on a clean close so a restart does not
+		// count it as a torn tail. Best-effort: Open trims it anyway.
+		_ = l.f.Truncate(l.segs[len(l.segs)-1].size)
+	}
 	if l.unsynced > 0 && l.broken == nil {
 		if serr := l.f.Sync(); serr != nil {
 			err = fmt.Errorf("wal: %w", serr)

@@ -544,3 +544,142 @@ func BenchmarkWALAppend(b *testing.B) {
 		})
 	}
 }
+
+// TestPreallocate checks the segment reservation lifecycle: the active
+// segment is extended to SegmentBytes at creation, rotation trims the
+// sealed segment back to its valid bytes (so recovery never sees a
+// zero-filled tail on a non-final segment), and a reopen over the
+// reserved filler of the final segment treats it as a torn tail and
+// resumes cleanly.
+func TestPreallocate(t *testing.T) {
+	dir := t.TempDir()
+	const segBytes = 128
+	l, err := Open(dir, Options{SegmentBytes: segBytes, Preallocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeOf := func(path string) int64 {
+		t.Helper()
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	segPaths := func() []string {
+		t.Helper()
+		m, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if _, err := l.Append(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	paths := segPaths()
+	if len(paths) != 1 {
+		t.Fatalf("segments = %v, want 1", paths)
+	}
+	if got := sizeOf(paths[0]); got != segBytes {
+		t.Fatalf("active segment size = %d, want reserved %d", got, segBytes)
+	}
+	// Force rotations: each sealed segment must be trimmed back to its
+	// valid bytes, only the active one keeps the reservation.
+	appendAll2 := func(from, to int) {
+		for i := from; i <= to; i++ {
+			if _, err := l.Append(uint64(i), []byte(fmt.Sprintf("record-%03d payload", i))); err != nil {
+				t.Fatalf("Append(%d): %v", i, err)
+			}
+		}
+	}
+	appendAll2(2, 12)
+	paths = segPaths()
+	if len(paths) < 2 {
+		t.Fatalf("expected rotation, segments = %v", paths)
+	}
+	valid := make(map[string]int64)
+	for _, s := range l.segs {
+		valid[s.path] = s.size
+	}
+	for i, p := range paths {
+		got := sizeOf(p)
+		if i == len(paths)-1 {
+			if got != segBytes {
+				t.Fatalf("active segment %s size = %d, want reserved %d", p, got, segBytes)
+			}
+			continue
+		}
+		if want := valid[p]; got != want {
+			t.Fatalf("sealed segment %s size = %d, want trimmed %d", p, got, want)
+		}
+	}
+	// Clean close trims the active segment too.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths = segPaths()
+	last := paths[len(paths)-1]
+	if got, want := sizeOf(last), valid[last]; got != want {
+		t.Fatalf("closed active segment size = %d, want trimmed %d", got, want)
+	}
+	// Reopen (as after a crash mid-reservation: simulate by re-extending
+	// the final segment) and verify every record replays and appends
+	// resume.
+	if err := os.Truncate(last, segBytes); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: segBytes, Preallocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := replayAll(t, l2, 0)
+	if len(recs) != 12 || recs[0].Seq != 1 || recs[11].Seq != 12 {
+		t.Fatalf("replay after reopen = %d records, want 12 (1..12)", len(recs))
+	}
+	if _, err := l2.Append(13, []byte("resumed")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendNoSync checks the split append/fsync API the sharded
+// durable commit path uses: records stay volatile (and the policy
+// reports due) until the caller's own Sync, which then covers the
+// whole window.
+func TestAppendNoSync(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	due, err := l.AppendNoSync(1, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if due {
+		t.Fatal("policy due after 1 append with SyncEvery=2")
+	}
+	due, err = l.AppendNoSync(2, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !due {
+		t.Fatal("policy not due after 2 appends with SyncEvery=2")
+	}
+	// AppendNoSync never synced: the window is still open.
+	if l.unsynced != 2 {
+		t.Fatalf("unsynced = %d, want 2", l.unsynced)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.unsynced != 0 {
+		t.Fatalf("unsynced after Sync = %d, want 0", l.unsynced)
+	}
+	recs := replayAll(t, l, 0)
+	if len(recs) != 2 {
+		t.Fatalf("replay = %d records, want 2", len(recs))
+	}
+}

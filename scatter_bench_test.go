@@ -1,0 +1,113 @@
+package repro_test
+
+// Benchmarks for the parallel scatter-gather sync and the append-only
+// snapshot fast path (DESIGN.md "Parallel scatter-gather",
+// EXPERIMENTS.md E29):
+//
+//	BenchmarkShardSync/n=100k/shards=8/batch=B/workers=W
+//
+// One iteration applies a batch of B insert-only ops through a
+// ShardedDBMonitor over an n-tuple customer base monitored by the
+// constant-pattern halves of ϕ2, then syncs. Insert-only batches are
+// the shape the append fast path serves: each shard's snapshot
+// catch-up is an O(|Δ-shard|) tail append (shared columns, claim-based
+// in-place extension, probe-table absorption) instead of an
+// O(n/S) column splice, so per-batch cost should stay flat as n grows
+// — that flatness across the n tiers is the O(|Δ|) claim under test.
+// The workers axis pins the scatter parallelism: workers=1 runs the
+// per-shard scan/apply/touch phases sequentially (the pre-change
+// behavior), workers=max fans them across the engine pool. On a
+// multi-core box the ratio is the scatter speedup; on the 1-CPU CI box
+// the two lanes bound the coordination overhead instead. The 1M tier
+// only runs without -short:
+//
+//	go test -run '^$' -bench ShardSync -benchmem .
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/detect"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// syncBenchInserts pregenerates pattern-free customer rows ((99, 555):
+// no ϕ2 pattern matches, so the violation set stays empty and the
+// measurement isolates sync work, not diff publication).
+func syncBenchInserts(count int, seed int64) []detect.DBOp {
+	pool := shardBenchOps(count, 1, count*2, seed)
+	ops := make([]detect.DBOp, 0, count)
+	for _, op := range pool {
+		if op.Op.Kind == detect.OpInsert {
+			ops = append(ops, op)
+		}
+		if len(ops) == count {
+			break
+		}
+	}
+	return ops
+}
+
+func BenchmarkShardSync(b *testing.B) {
+	sizes := []struct {
+		n    int
+		name string
+	}{{100_000, "100k"}}
+	if !testing.Short() {
+		sizes = append(sizes, struct {
+			n    int
+			name string
+		}{1_000_000, "1M"})
+	}
+	workerLanes := []struct {
+		w    int
+		name string
+	}{{1, "1"}, {runtime.GOMAXPROCS(0), "max"}}
+	for _, size := range sizes {
+		pool := syncBenchInserts(1<<15, 23)
+		for _, batch := range []int{64, 1024} {
+			for _, lane := range workerLanes {
+				name := fmt.Sprintf("n=%s/shards=8/batch=%d/workers=%s", size.name, batch, lane.name)
+				b.Run(name, func(b *testing.B) {
+					in := gen.Customers(gen.CustomerConfig{N: size.n, Seed: 7, ErrorRate: 0})
+					db := relation.NewDatabase()
+					db.Add(in)
+					s := in.Schema()
+					phi := cfd.MustNew(s, []string{"CC", "AC", "phn"}, []string{"city"},
+						cfd.Row([]cfd.Cell{cfd.Const(relation.Int(44)), cfd.Const(relation.Int(131)), cfd.Any()},
+							[]cfd.Cell{cfd.Const(relation.Str("EDI"))}),
+						cfd.Row([]cfd.Cell{cfd.Const(relation.Int(1)), cfd.Const(relation.Int(908)), cfd.Any()},
+							[]cfd.Cell{cfd.Const(relation.Str("MH"))}))
+					cs := detect.WrapCFDs([]*cfd.CFD{phi})
+					p := relation.NewPartitioner(8)
+					p.SetKey("customer", []int{2}) // phn: in the LHS, no migrations
+					sdb, err := relation.Partition(db, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					m, err := detect.NewShardedDBMonitor(detect.New(lane.w), sdb, cs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					at := 0
+					for i := 0; i < b.N; i++ {
+						ops := make([]detect.DBOp, batch)
+						for j := range ops {
+							ops[j] = pool[at]
+							at = (at + 1) % len(pool)
+						}
+						if _, _, err := m.Apply(ops); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ops/sec")
+				})
+			}
+		}
+	}
+}
