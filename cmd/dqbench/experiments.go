@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,13 +14,16 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/ecfd"
 	"repro/internal/gen"
+	"repro/internal/gen/drift"
 	"repro/internal/match"
 	"repro/internal/md"
+	"repro/internal/obs"
 	"repro/internal/paperdata"
 	"repro/internal/propagate"
 	"repro/internal/relation"
 	"repro/internal/repair"
 	"repro/internal/repr"
+	"repro/internal/serve"
 	"repro/internal/similarity"
 )
 
@@ -366,6 +370,23 @@ var experiments = []experiment{
 			// the measured speedup tables).
 			return fmt.Sprintf("n=%d orders: mixed engine batch %v, per-class legacy detectors %v (%.1fx); per-class streams byte-identical: %v",
 				n, engineT.Round(time.Microsecond), legacyT.Round(time.Microsecond), ratio, identical), identical
+		},
+	},
+	{
+		id:    "E30",
+		title: "Observability: change-point detection on a drifting violation rate",
+		claim: "an 8× violation-rate step is flagged within 5 commits with ≥0.95 confidence; a stationary control stream fires nothing",
+		run: func(bool) (string, bool) {
+			latency, conf, ctrlCPs, err := driftDetectProbe()
+			if err != nil {
+				return err.Error(), false
+			}
+			// Overhead is benchmarked, not gated here (E24 precedent:
+			// one-shot wall clock on a shared runner is noise) —
+			// BenchmarkMetricsOverhead carries the ops/sec table.
+			pass := latency >= 0 && latency <= 5 && conf >= 0.95 && ctrlCPs == 0
+			return fmt.Sprintf("8× step at commit 21: detected %d commit(s) later (confidence %.3f); control change points: %d",
+				latency, conf, ctrlCPs), pass
 		},
 	},
 }
@@ -997,4 +1018,62 @@ func monitorIncrProbe(n, batches, batchSize int) (monitor, rebuild time.Duration
 		rebuild += time.Since(start)
 	}
 	return monitor, rebuild, exact
+}
+
+// driftDetectProbe is the E30 acceptance probe: drive the synthetic
+// drift workload (internal/gen) through an observability-enabled
+// service and read the change points back off the trend tracker.
+// latency is detection seq minus first-post-change seq on the stepped
+// stream; ctrlCPs counts change points (false positives) on a
+// stationary control stream of the same length.
+func driftDetectProbe() (latency int64, conf float64, ctrlCPs int, err error) {
+	run := func(cfg drift.Config) ([]obs.ChangePoint, error) {
+		in := drift.Customers(200, 1)
+		db := relation.NewDatabase()
+		db.Add(in)
+		s := in.Schema()
+		svc, err := serve.New(serve.Config{
+			DB:          db,
+			Constraints: detect.WrapCFDs([]*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s)}),
+			Obs:         &serve.ObsConfig{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		defer svc.Stop(ctx)
+		for _, ops := range drift.Batches(cfg) {
+			if _, err := svc.Submit(ctx, ops); err != nil {
+				return nil, err
+			}
+		}
+		var cps []obs.ChangePoint
+		for _, tr := range svc.Trends(0) {
+			cps = append(cps, tr.ChangePoints...)
+		}
+		return cps, nil
+	}
+
+	step := drift.Config{
+		Seed: 7, Batches: 40, OpsPerBatch: 25,
+		BaseRate: 0.1, ChangeAt: 20, Factor: 8,
+	}
+	cps, err := run(step)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(cps) != 1 {
+		return 0, 0, 0, fmt.Errorf("stepped stream: %d change points, want exactly 1", len(cps))
+	}
+	const changeSeq = 21 // ChangeAt is 0-based; seed state is seq 0
+	latency = int64(cps[0].DetectedSeq) - changeSeq
+	conf = cps[0].Confidence
+
+	control := step
+	control.Seed, control.ChangeAt = 19, step.Batches // never shifts
+	ctrl, err := run(control)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return latency, conf, len(ctrl), nil
 }

@@ -16,7 +16,13 @@
 //	POST /check       evaluate posted rule texts against the current
 //	                  snapshot ({"cfds": "...", "cinds": "...",
 //	                  "ecfds": "..."})
-//	GET  /healthz     liveness
+//	GET  /healthz     liveness (durable runs add checkpoint lag and
+//	                  WAL size)
+//	GET  /metrics     Prometheus text exposition: pipeline stage
+//	                  latencies, commit/op/violation counters, WAL and
+//	                  checkpoint gauges
+//	GET  /trends      per-constraint violation time series with
+//	                  change-point detections and window rates
 //
 // Usage:
 //
@@ -40,6 +46,10 @@
 // acknowledged commit is recovered exactly. -submit-timeout bounds how
 // long POST /batch waits for queue space before shedding load with
 // 503 + Retry-After.
+//
+// Logs are structured (log/slog) on stderr; -log-format json switches
+// to JSON lines for log shippers. -pprof mounts net/http/pprof under
+// /debug/pprof/ for CPU/heap profiling of a live instance.
 package main
 
 import (
@@ -47,8 +57,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -62,6 +73,17 @@ import (
 	"repro/internal/relation"
 	"repro/internal/serve"
 )
+
+// logger is the process-wide structured logger, configured from
+// -log-format before any load work starts.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// fatalf logs at error level and exits: slog has no Fatal, and dqserve
+// treats every startup failure as terminal.
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
 
 // dataFlags collects repeated -data rel=path flags.
 type dataFlags map[string]string
@@ -100,13 +122,13 @@ func resolveShardKeys(keys shardKeyFlags, schemas map[string]*relation.Schema) m
 	for rel, attrs := range keys {
 		sch, ok := schemas[rel]
 		if !ok {
-			log.Fatalf("-shard-key %s: no such relation", rel)
+			fatalf("-shard-key %s: no such relation", rel)
 		}
 		pos := make([]int, 0, len(attrs))
 		for _, a := range attrs {
 			p, ok := sch.Lookup(strings.TrimSpace(a))
 			if !ok {
-				log.Fatalf("-shard-key %s: no attribute %q", rel, a)
+				fatalf("-shard-key %s: no attribute %q", rel, a)
 			}
 			pos = append(pos, p)
 		}
@@ -137,7 +159,18 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "commits between checkpoints (0 = default, negative disables checkpointing)")
 	submitTimeout := flag.Duration("submit-timeout", 0, "how long POST /batch waits for queue space before 503 (0 = wait indefinitely)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBatchBytes, "POST /batch body cap in bytes (over the cap = 413)")
+	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
+	switch *logFormat {
+	case "text":
+		// the package default
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatalf("-log-format %q: want text or json", *logFormat)
+	}
+	slog.SetDefault(logger)
 	if *cfdsPath == "" {
 		*cfdsPath = *rulesPath
 	}
@@ -151,16 +184,16 @@ func main() {
 	for name, path := range data {
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		in, err := relation.ReadCSV(f, name)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		db.Add(in)
 		schemas[name] = in.Schema()
-		log.Printf("loaded %s: %d tuples", name, in.Len())
+		logger.Info("loaded relation", "rel", name, "tuples", in.Len())
 	}
 
 	// Assemble the mixed batch Σ: CFDs, then CINDs, then eCFDs, each in
@@ -168,20 +201,20 @@ func main() {
 	var rules []detect.Constraint
 	if *cfdsPath != "" {
 		cfds := parseRules(*cfdsPath, schemas, cfd.Parse)
-		log.Printf("loaded %d CFDs", len(cfds))
+		logger.Info("loaded rules", "class", "cfd", "count", len(cfds))
 		if ok, _ := cfd.Consistent(cfds); !ok {
-			log.Fatal("the CFD set is inconsistent: no nonempty instance can satisfy it (fix the rules first)")
+			fatalf("the CFD set is inconsistent: no nonempty instance can satisfy it (fix the rules first)")
 		}
 		rules = append(rules, detect.WrapCFDs(cfds)...)
 	}
 	if *cindsPath != "" {
 		cinds := parseRules(*cindsPath, schemas, cind.Parse)
-		log.Printf("loaded %d CINDs", len(cinds))
+		logger.Info("loaded rules", "class", "cind", "count", len(cinds))
 		rules = append(rules, detect.WrapCINDs(cinds)...)
 	}
 	if *ecfdsPath != "" {
 		ecfds := parseRules(*ecfdsPath, schemas, ecfd.Parse)
-		log.Printf("loaded %d eCFDs", len(ecfds))
+		logger.Info("loaded rules", "class", "ecfd", "count", len(ecfds))
 		rules = append(rules, detect.WrapECFDs(ecfds)...)
 	}
 
@@ -205,27 +238,41 @@ func main() {
 		Shards:        *shards,
 		ShardKeys:     resolveShardKeys(shardKeys, schemas),
 		Durable:       durable,
+		Obs:           &serve.ObsConfig{},
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	if *shards > 1 {
-		log.Printf("sharding across %d shards", *shards)
+		logger.Info("sharding enabled", "shards", *shards)
 	}
 	if durable != nil {
 		st := svc.State()
 		if ds, ok := svc.Durability(); ok {
-			log.Printf("durable: %s — recovered to seq %d (checkpoint covers seq %d, %d op(s) total)",
-				*dataDir, st.Seq, ds.LastCheckpointSeq, st.Ops)
+			logger.Info("durable mode", "dir", *dataDir, "seq", st.Seq,
+				"checkpointSeq", ds.LastCheckpointSeq, "ops", st.Ops)
 		}
 	}
-	log.Printf("seeded monitor: %d rule(s), %d violation(s) outstanding", len(rules), len(svc.Violations()))
+	logger.Info("seeded monitor", "rules", len(rules), "violations", len(svc.Violations()))
 
 	handler := serve.NewHandler(svc)
 	handler.MaxBatchBytes = *maxBody
+	// The service handler owns "/"; pprof mounts beside it so profiling
+	// never shadows an API route unless asked for.
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: handler,
+		Handler: mux,
 		// /stream responses are unbounded by design, so no WriteTimeout
 		// (the stream handler clears its own deadlines); request reads
 		// are bounded so a slow-drip client cannot pin a goroutine — a
@@ -237,15 +284,15 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	logger.Info("serving", "addr", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down: draining requests and ingest queue (budget %v)", *drain)
+		logger.Info("shutting down", "drainBudget", *drain)
 	case err := <-errc:
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 
 	// Two-stage graceful shutdown: finish in-flight HTTP requests (each
@@ -254,13 +301,13 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := svc.Stop(shutdownCtx); err != nil {
-		log.Printf("service drain: %v", err)
+		logger.Warn("service drain", "err", err)
 	}
 	st := svc.State()
-	log.Printf("stopped at seq %d: %d op(s) applied, %d violation(s) outstanding", st.Seq, st.Ops, len(st.Violations))
+	logger.Info("stopped", "seq", st.Seq, "ops", st.Ops, "violations", len(st.Violations))
 }
 
 // parseRules opens and parses one rule file with the class parser.
@@ -268,12 +315,12 @@ func parseRules[T any](path string, schemas map[string]*relation.Schema,
 	parse func(r io.Reader, schemas map[string]*relation.Schema) ([]T, error)) []T {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	defer f.Close()
 	rules, err := parse(f, schemas)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%s: %v", path, err)
 	}
 	return rules
 }

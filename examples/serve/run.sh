@@ -56,6 +56,18 @@ curl -s -X POST -H 'Content-Type: application/json' \
   -d '{"cfds": "cfd customer: [CC, AC] -> [city]\n  _, _ || _\n"}' \
   "$BASE/check"; echo
 
+echo
+echo "== metrics: the dq_ core series (Prometheus text exposition)"
+curl -s "$BASE/metrics" | grep -E '^dq_(commits_total|ops_total|violations|violations_gained_total|violations_cleared_total|seq|alerts_total) '
+
+echo
+echo "== stage latencies: p-ish view of the pipeline (bucketed histogram)"
+curl -s "$BASE/metrics" | grep '^dq_stage_seconds_count'
+
+echo
+echo "== trends: per-constraint violation series and window rates"
+curl -s "$BASE/trends?points=8"; echo
+
 sleep 0.3
 kill "$STREAM" 2>/dev/null || true
 wait "$STREAM" 2>/dev/null || true

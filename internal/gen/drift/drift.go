@@ -1,0 +1,128 @@
+// Package drift generates synthetic drift workloads: op streams whose
+// violation rate shifts at a known change point, for testing and
+// demonstrating the change-point detector. Scored against Σ = {ϕ1, ϕ2}:
+// every drift zip and phone is globally unique (disjoint from the base
+// instance's), so neither ϕ1's (44, zip → street) nor ϕ2's FD row can
+// ever pair a drift insert with another tuple; a violating insert is an
+// Edinburgh customer (CC=44, AC=131) filed under city NYC — exactly one
+// fresh ϕ2 constant-pattern violation per op, never cleared. (ϕ3, the
+// unconditional FD [CC, AC] → [city], is excluded: even a clean
+// Customers base violates it, and it would pair clean EDI inserts
+// against violating NYC ones.) The per-commit gained series is
+// therefore a Bernoulli stream at the configured rate: flat before the
+// change point, stepped (or ramped) after it — the ground truth the
+// detector tests score against.
+//
+// A separate package (not part of gen) because it emits detect.DBOp
+// streams: gen itself must stay import-free of detect, whose own tests
+// consume gen.
+package drift
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/detect"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// Config parameterizes a drift op stream.
+type Config struct {
+	// Seed seeds the stream's RNG.
+	Seed int64
+	// Batches is the number of commit batches to generate.
+	Batches int
+	// OpsPerBatch is the inserts per batch.
+	OpsPerBatch int
+	// BaseRate is the per-op probability of a violating insert before
+	// the change point.
+	BaseRate float64
+	// ChangeAt is the 0-based batch index of the first post-change
+	// batch; Batches <= ChangeAt never shifts (a stationary control
+	// stream).
+	ChangeAt int
+	// Factor multiplies BaseRate from ChangeAt on (e.g. 8 for the 8×
+	// jump the acceptance test injects).
+	Factor float64
+	// Gradual ramps the rate linearly from BaseRate at ChangeAt to
+	// BaseRate*Factor over RampBatches instead of stepping.
+	Gradual bool
+	// RampBatches is the ramp length when Gradual (default 20).
+	RampBatches int
+}
+
+// Customers builds the clean base instance drift streams insert into:
+// n ϕ1–ϕ3-satisfying customers (generator gen.Customers at zero error
+// rate).
+func Customers(n int, seed int64) *relation.Instance {
+	return gen.Customers(gen.CustomerConfig{N: n, Seed: seed})
+}
+
+// Batches generates the op stream: Batches batches of OpsPerBatch
+// inserts each, violating with the batch's configured rate. Ops are
+// inserts into the customer relation; each violating op adds exactly
+// one ϕ2 violation, each clean op adds none.
+func Batches(cfg Config) [][]detect.DBOp {
+	if cfg.RampBatches == 0 {
+		cfg.RampBatches = 20
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	rel := paperdata.CustomerSchema().Name()
+	out := make([][]detect.DBOp, cfg.Batches)
+	n := 0
+	for b := range out {
+		rate := cfg.BaseRate
+		if b >= cfg.ChangeAt {
+			if cfg.Gradual {
+				frac := float64(b-cfg.ChangeAt+1) / float64(cfg.RampBatches)
+				if frac > 1 {
+					frac = 1
+				}
+				rate = cfg.BaseRate * (1 + (cfg.Factor-1)*frac)
+			} else {
+				rate = cfg.BaseRate * cfg.Factor
+			}
+		}
+		ops := make([]detect.DBOp, cfg.OpsPerBatch)
+		for i := range ops {
+			ops[i] = insert(rel, r, n, r.Float64() < rate)
+			n++
+		}
+		out[b] = ops
+	}
+	return out
+}
+
+// Name pools for generated tuples; cosmetic only — no constraint reads
+// name or street on a drift insert (the unique zips keep ϕ1 from ever
+// pairing one).
+var (
+	firstNames = []string{"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda"}
+	lastNames  = []string{"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis"}
+	streets    = []string{"Mayfield", "Crichton", "Mtn Ave", "Preston", "High St", "Port Rd"}
+)
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+// insert builds one customer insert. The zip "DR<n> X" and the phone
+// 90000000+n are globally unique across the stream and disjoint from
+// anything gen.Customers generates (base phones live in [1e6, 1e7)),
+// so no insert can ever pair with another tuple under ϕ1 or ϕ2's FD
+// row; the only constraint a violating insert can (and always does)
+// trip is ϕ2's (44, 131 ⇒ EDI) constant pattern.
+func insert(rel string, r *rand.Rand, n int, violate bool) detect.DBOp {
+	city := "EDI"
+	if violate {
+		city = "NYC"
+	}
+	return detect.InsertInto(rel, relation.Tuple{
+		relation.Int(44), relation.Int(131),
+		relation.Int(int64(90000000 + n)),
+		relation.Str(pick(r, firstNames) + " " + pick(r, lastNames)),
+		relation.Str(pick(r, streets)),
+		relation.Str(city),
+		relation.Str(fmt.Sprintf("DR%07d X", n)),
+	})
+}

@@ -1,0 +1,152 @@
+// Package obs is the runtime observability core: zero-dependency,
+// low-overhead metrics primitives (atomic counters, gauges and
+// fixed-bucket latency histograms) collected in a named Registry with
+// Prometheus text exposition, plus streaming quality analytics —
+// per-constraint violation-count time series over ring buffers, a
+// bootstrap change-point detector in the CUSUM style, and
+// sliding-window rate summaries (trend.go).
+//
+// Design constraints, in order: (1) a disabled or absent metric costs
+// nothing on the hot path (callers nil-check one pointer); (2) an
+// enabled metric costs one atomic RMW (Counter/Gauge) or one binary
+// search plus two atomic RMWs (Histogram) — safe to call from the
+// single-writer ingest loop and from every reader goroutine at once;
+// (3) exposition never blocks collection: scraping reads the atomics
+// while writers race ahead, yielding a momentary (not point-in-time
+// consistent) view, which is what Prometheus semantics ask for.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value
+// is ready to use. All methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 metric. The zero value is ready to use.
+// All methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefLatencyBuckets is the default histogram bucketing for stage
+// timings in seconds: 1µs to 10s, roughly 2.5× per step — wide enough
+// for an fsync window and fine enough to separate a 50µs validate from
+// a 500µs detect.
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets is the default bucketing for size-like distributions
+// (coalesced batch ops, delta sizes): powers of two to 8192.
+var DefSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// Histogram is a fixed-bucket distribution metric: cumulative counts
+// per upper bound plus a running sum, all atomics, so Observe is
+// lock-free and wait-free apart from the sum's CAS loop. Quantiles are
+// estimated by linear interpolation inside the covering bucket.
+type Histogram struct {
+	bounds []float64 // sorted ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which
+// must be sorted ascending. The +Inf bucket is implicit. The bounds
+// slice is retained; callers must not mutate it.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the stage
+// timing idiom: stamp time.Now before the stage, ObserveSince after.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by bucket
+// interpolation: find the bucket holding the q·count-th observation and
+// interpolate linearly between its bounds. Observations in the +Inf
+// bucket clamp to the highest finite bound (the histogram cannot say
+// more). Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if cum+c >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: clamp to the last finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}

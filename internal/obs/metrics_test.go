@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Uniform observations over [0, 100) against fine bucketing: bucket
+	// interpolation should land within one bucket width of the exact
+	// quantile.
+	bounds := make([]float64, 100)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h := NewHistogram(bounds)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i%100) + 0.5)
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{
+		{0.50, 50}, {0.95, 95}, {0.99, 99},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1.0 {
+			t.Errorf("Quantile(%v) = %v, want %v ± 1", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// Everything in the +Inf bucket clamps to the last finite bound.
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 4", got)
+	}
+	if h.Count() != 2 || h.Sum() != 300 {
+		t.Fatalf("count/sum = %d/%v, want 2/300", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestExpositionGolden locks the exposition format byte-for-byte:
+// family ordering, HELP/TYPE lines, label rendering, cumulative
+// histogram buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dq_ops_total", "Total ops.", nil)
+	c.Add(12)
+	g := r.Gauge("dq_queue_depth", "Queue depth.", nil)
+	g.Set(3)
+	r.GaugeFunc("dq_uptime_seconds", "Uptime.", nil, func() float64 { return 1.5 })
+	h := r.Histogram("dq_stage_seconds", "Stage timings.", Labels{"stage": "wal_append"}, []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+	cb := r.Counter("dq_commits_total", "Commits.", Labels{"shard": "0"})
+	cb.Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dq_commits_total Commits.
+# TYPE dq_commits_total counter
+dq_commits_total{shard="0"} 1
+# HELP dq_ops_total Total ops.
+# TYPE dq_ops_total counter
+dq_ops_total 12
+# HELP dq_queue_depth Queue depth.
+# TYPE dq_queue_depth gauge
+dq_queue_depth 3
+# HELP dq_stage_seconds Stage timings.
+# TYPE dq_stage_seconds histogram
+dq_stage_seconds_bucket{stage="wal_append",le="0.001"} 1
+dq_stage_seconds_bucket{stage="wal_append",le="0.01"} 1
+dq_stage_seconds_bucket{stage="wal_append",le="0.1"} 2
+dq_stage_seconds_bucket{stage="wal_append",le="+Inf"} 3
+dq_stage_seconds_sum{stage="wal_append"} 5.0505
+dq_stage_seconds_count{stage="wal_append"} 3
+# HELP dq_uptime_seconds Uptime.
+# TYPE dq_uptime_seconds gauge
+dq_uptime_seconds 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.Counter("x_total", "", nil)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc_total", "", Labels{"rule": "a\"b\\c\nd"})
+	c.Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `esc_total{rule="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label missing: got %q, want substring %q", b.String(), want)
+	}
+}
+
+// TestMetricsConcurrent exercises collection racing exposition; run
+// under -race this asserts the whole surface is data-race-free.
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "", nil)
+	g := r.Gauge("gg", "", nil)
+	h := r.Histogram("hh_seconds", "", nil, nil)
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%1000) * 1e-6)
+			}
+		}()
+	}
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			r.WritePrometheus(&b)
+			h.Quantile(0.95)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-scraperDone
+	if c.Value() != 20000 {
+		t.Fatalf("counter = %d, want 20000", c.Value())
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("histogram count = %d, want 20000", h.Count())
+	}
+}

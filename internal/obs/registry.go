@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels are constant labels attached to one metric at registration —
+// the variant key within a family (e.g. stage="wal_append"). Nil means
+// no labels.
+type Labels map[string]string
+
+// Registry collects named metrics and renders them in the Prometheus
+// text exposition format. Metrics within one name (a family) share
+// HELP/TYPE and differ by labels. Registration is typically done once
+// at startup; collection and exposition are safe concurrently.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted family names
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	metrics []*labeledMetric // sorted by rendered label string
+}
+
+type labeledMetric struct {
+	labels  string // rendered {k="v",...}; "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels renders a deterministic {k="v",...} string, keys sorted.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register adds one labeled metric, creating the family as needed.
+// Duplicate (name, labels) or a kind clash within a family panics:
+// both are programmer errors a test catches on first run.
+func (r *Registry) register(name, help string, kind metricKind, labels Labels, m *labeledMetric) {
+	m.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	for _, ex := range f.metrics {
+		if ex.labels == m.labels {
+			panic(fmt.Sprintf("obs: duplicate metric %s%s", name, m.labels))
+		}
+	}
+	i := sort.Search(len(f.metrics), func(i int) bool { return f.metrics[i].labels >= m.labels })
+	f.metrics = append(f.metrics, nil)
+	copy(f.metrics[i+1:], f.metrics[i:])
+	f.metrics[i] = m
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, labels, &labeledMetric{counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, labels, &labeledMetric{gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — the idiom for values already maintained elsewhere (queue
+// depths, WAL bytes, health state): zero hot-path cost, fn must be safe
+// to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, kindGauge, labels, &labeledMetric{fn: fn})
+}
+
+// Histogram registers and returns a histogram over bounds (nil uses
+// DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	h := NewHistogram(bounds)
+	r.register(name, help, kindHistogram, labels, &labeledMetric{hist: h})
+	return h
+}
+
+// formatFloat renders a sample value; integral values print without an
+// exponent so counters read naturally.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), families sorted by name,
+// variants sorted by label string — deterministic output, which is what
+// the golden test locks down.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.metrics {
+			switch {
+			case m.counter != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, m.labels, formatFloat(float64(m.counter.Value())))
+			case m.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, m.labels, formatFloat(float64(m.gauge.Value())))
+			case m.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, m.labels, formatFloat(m.fn()))
+			case m.hist != nil:
+				writeHistogram(&b, f.name, m.labels, m.hist)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram's _bucket/_sum/_count series.
+// Bucket counts are cumulative, as the format requires. The le label is
+// appended to the metric's own labels.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%sle=\"%s\"} %d\n", name, open, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	// _count repeats the +Inf cumulative count rather than re-loading
+	// h.count: under a concurrent Observe the two can differ by the
+	// in-flight observation, and the format requires them equal.
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,504 @@
+// Streaming quality analytics: per-constraint violation-count time
+// series over fixed-capacity ring buffers, sliding-window rate
+// summaries, and a bootstrap change-point detector in the CUSUM style
+// (Taylor's change-point analysis): a regime change in the
+// gained-per-commit series is located at the CUSUM extremum and scored
+// by how often random shuffles of the window reproduce an excursion as
+// large — the confidence. Magnitude guards (minimum mean shift and
+// before/after factor) keep stationary noise from alerting, and the
+// cheap guard runs before the bootstrap so the steady-state cost per
+// commit is one O(window) pass per constraint.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Series is a fixed-capacity ring buffer of (seq, value) points,
+// oldest first. Not safe for concurrent use; the Tracker serializes
+// access.
+type Series struct {
+	seqs  []uint64
+	vals  []float64
+	start int
+	n     int
+}
+
+// NewSeries returns an empty series holding at most capacity points;
+// appending past capacity evicts the oldest.
+func NewSeries(capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{seqs: make([]uint64, capacity), vals: make([]float64, capacity)}
+}
+
+// Append records one point, evicting the oldest when full.
+func (s *Series) Append(seq uint64, v float64) {
+	i := (s.start + s.n) % len(s.vals)
+	s.seqs[i] = seq
+	s.vals[i] = v
+	if s.n < len(s.vals) {
+		s.n++
+	} else {
+		s.start = (s.start + 1) % len(s.vals)
+	}
+}
+
+// Len returns the number of held points.
+func (s *Series) Len() int { return s.n }
+
+// At returns the i-th point, oldest first (0 <= i < Len).
+func (s *Series) At(i int) (seq uint64, v float64) {
+	j := (s.start + i) % len(s.vals)
+	return s.seqs[j], s.vals[j]
+}
+
+// after appends to dst the values of every point with seq > anchor,
+// capped to the most recent max points (0 = uncapped), alongside the
+// matching seqs. Helper for the detector window.
+func (s *Series) after(anchor uint64, max int, seqs []uint64, vals []float64) ([]uint64, []float64) {
+	first := 0
+	for ; first < s.n; first++ {
+		if seq, _ := s.At(first); seq > anchor {
+			break
+		}
+	}
+	if max > 0 && s.n-first > max {
+		first = s.n - max
+	}
+	for i := first; i < s.n; i++ {
+		seq, v := s.At(i)
+		seqs = append(seqs, seq)
+		vals = append(vals, v)
+	}
+	return seqs, vals
+}
+
+// DetectorConfig tunes the bootstrap change-point detector. The zero
+// value gets usable defaults.
+type DetectorConfig struct {
+	// MinSegment is the minimum points required on each side of a
+	// candidate change point (default 3): the floor on detection
+	// latency and the guard against one-sample "regimes".
+	MinSegment int
+	// MaxWindow caps how many trailing points the detector examines per
+	// commit (default 128) — bounds the per-commit cost.
+	MaxWindow int
+	// Bootstraps is the number of random shuffles scoring a candidate
+	// (default 199). Only candidates that pass the magnitude guards pay
+	// this cost.
+	Bootstraps int
+	// Confidence is the minimum bootstrap confidence to flag a change
+	// point (default 0.95).
+	Confidence float64
+	// MinFactor is the minimum before/after (or after/before) mean
+	// ratio (default 2.0): a regime change must at least double or
+	// halve the rate. Guards stationary noise.
+	MinFactor float64
+	// MinDelta is the minimum absolute mean shift (default 1.0):
+	// a doubling from 0.01 to 0.02 violations/commit is not a regime.
+	MinDelta float64
+	// Seed seeds the bootstrap shuffles (default 1); fixed so runs are
+	// reproducible.
+	Seed int64
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.MinSegment == 0 {
+		c.MinSegment = 3
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 128
+	}
+	if c.Bootstraps == 0 {
+		c.Bootstraps = 199
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.MinFactor == 0 {
+		c.MinFactor = 2.0
+	}
+	if c.MinDelta == 0 {
+		c.MinDelta = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ChangePoint is one detected regime change in a constraint's
+// gained-per-commit series.
+type ChangePoint struct {
+	// Seq is the first commit of the new regime.
+	Seq uint64 `json:"seq"`
+	// DetectedSeq is the commit at which the detector flagged it; the
+	// difference is the detection latency in commits.
+	DetectedSeq uint64 `json:"detectedSeq"`
+	// Confidence is the bootstrap score in [0, 1].
+	Confidence float64 `json:"confidence"`
+	// Before and After are the segment means (violations gained per
+	// commit) on each side of the change.
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+}
+
+// Factor is the rate multiple of the change: After/Before, with a zero
+// Before reported as +Inf.
+func (cp ChangePoint) Factor() float64 {
+	if cp.Before == 0 {
+		return math.Inf(1)
+	}
+	return cp.After / cp.Before
+}
+
+// cusumDiff computes the CUSUM excursion of vals around their mean:
+// Sdiff = max(S) − min(S), plus the index of the extreme |S| restricted
+// to splits leaving minSeg points on each side (−1 when none allowed).
+func cusumDiff(vals []float64, minSeg int) (sdiff float64, split int) {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var s, minS, maxS, bestAbs float64
+	split = -1
+	for i, v := range vals {
+		s += v - mean
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+		// Split after index i: [0..i] | [i+1..n-1].
+		if i >= minSeg-1 && i <= len(vals)-1-minSeg && math.Abs(s) >= bestAbs {
+			bestAbs = math.Abs(s)
+			split = i
+		}
+	}
+	return maxS - minS, split
+}
+
+// detectStep runs one detection pass over vals. It returns the split
+// index (last point of the old regime), the bootstrap confidence, and
+// whether a change point passing every guard was found.
+func detectStep(vals []float64, cfg DetectorConfig, rng *rand.Rand, scratch []float64) (int, float64, bool) {
+	n := len(vals)
+	if n < 2*cfg.MinSegment {
+		return 0, 0, false
+	}
+	sdiff, split := cusumDiff(vals, cfg.MinSegment)
+	if split < 0 || sdiff == 0 {
+		return 0, 0, false
+	}
+	// Magnitude guards first — they are O(n) and reject stationary
+	// noise before the O(n·B) bootstrap runs.
+	var a, b float64
+	for _, v := range vals[:split+1] {
+		a += v
+	}
+	for _, v := range vals[split+1:] {
+		b += v
+	}
+	before := a / float64(split+1)
+	after := b / float64(n-split-1)
+	if math.Abs(after-before) < cfg.MinDelta {
+		return 0, 0, false
+	}
+	lo, hi := before, after
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo > 0 && hi/lo < cfg.MinFactor {
+		return 0, 0, false
+	}
+	// Bootstrap: how often does a random reordering of the same values
+	// produce an excursion as large? Rarely ⇒ the ordering carries the
+	// signal ⇒ high confidence.
+	scratch = append(scratch[:0], vals...)
+	under := 0
+	for i := 0; i < cfg.Bootstraps; i++ {
+		rng.Shuffle(len(scratch), func(a, b int) { scratch[a], scratch[b] = scratch[b], scratch[a] })
+		d, _ := cusumDiff(scratch, cfg.MinSegment)
+		if d < sdiff {
+			under++
+		}
+	}
+	conf := float64(under) / float64(cfg.Bootstraps)
+	if conf < cfg.Confidence {
+		return 0, 0, false
+	}
+	return split, conf, true
+}
+
+// Alert is one fired change-point notification, as fanned out over the
+// service's delta stream ("alert" SSE events).
+type Alert struct {
+	// Seq is the commit the alert fired at.
+	Seq uint64 `json:"seq"`
+	// Constraint labels the affected rule.
+	Constraint string `json:"constraint"`
+	// ChangePoint carries the detected regime change.
+	ChangePoint ChangePoint `json:"changePoint"`
+	// Message is the human-readable one-liner.
+	Message string `json:"message"`
+}
+
+// Stat is one constraint's contribution to one commit: the outstanding
+// violation count after the commit and the commit's gained/cleared
+// deltas.
+type Stat struct {
+	Count   int
+	Gained  int
+	Cleared int
+}
+
+// TrackerConfig tunes a Tracker. The zero value gets usable defaults.
+type TrackerConfig struct {
+	// Window is the per-constraint ring capacity in commits (default
+	// 512) — how much history /trends can serve.
+	Window int
+	// SummaryWindow is the sliding window for rate summaries in commits
+	// (default 32).
+	SummaryWindow int
+	// Detector tunes the change-point detector.
+	Detector DetectorConfig
+}
+
+// Tracker maintains per-constraint violation time series fed from
+// commit deltas, runs the change-point detector on every observation,
+// and serves consistent snapshots for /trends. Safe for concurrent use:
+// the sequencer Observes, any number of readers call Trends.
+type Tracker struct {
+	mu      sync.Mutex
+	window  int
+	summary int
+	det     DetectorConfig
+	rng     *rand.Rand
+	order   []string
+	keys    map[string]*keySeries
+
+	// detection scratch, reused across Observe calls
+	seqBuf  []uint64
+	valBuf  []float64
+	bootBuf []float64
+}
+
+type keySeries struct {
+	counts  *Series // outstanding violations after each commit
+	gained  *Series // violations gained per commit (the detector input)
+	cleared *Series
+	anchor  uint64 // detector only examines points with seq > anchor
+	cps     []ChangePoint
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	if cfg.Window == 0 {
+		cfg.Window = 512
+	}
+	if cfg.SummaryWindow == 0 {
+		cfg.SummaryWindow = 32
+	}
+	det := cfg.Detector.withDefaults()
+	return &Tracker{
+		window:  cfg.Window,
+		summary: cfg.SummaryWindow,
+		det:     det,
+		rng:     rand.New(rand.NewSource(det.Seed)),
+		keys:    make(map[string]*keySeries),
+	}
+}
+
+// Track registers a constraint key. Keys observe in registration
+// order; observing an unregistered key registers it implicitly.
+func (t *Tracker) Track(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trackLocked(key)
+}
+
+func (t *Tracker) trackLocked(key string) *keySeries {
+	if ks, ok := t.keys[key]; ok {
+		return ks
+	}
+	ks := &keySeries{
+		counts:  NewSeries(t.window),
+		gained:  NewSeries(t.window),
+		cleared: NewSeries(t.window),
+	}
+	t.keys[key] = ks
+	t.order = append(t.order, key)
+	return ks
+}
+
+// Observe records one commit's per-constraint stats (a key absent from
+// stats observes zero gained/cleared at its previous count — quiet
+// constraints keep aligned series) and returns any alerts the detector
+// fired at this commit.
+func (t *Tracker) Observe(seq uint64, stats map[string]Stat) []Alert {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var alerts []Alert
+	for _, key := range t.order {
+		ks := t.keys[key]
+		st, ok := stats[key]
+		if !ok {
+			// Quiet commit for this constraint: count carries over.
+			if n := ks.counts.Len(); n > 0 {
+				_, last := ks.counts.At(n - 1)
+				st.Count = int(last)
+			}
+		}
+		ks.counts.Append(seq, float64(st.Count))
+		ks.gained.Append(seq, float64(st.Gained))
+		ks.cleared.Append(seq, float64(st.Cleared))
+
+		t.seqBuf, t.valBuf = ks.gained.after(ks.anchor, t.det.MaxWindow, t.seqBuf[:0], t.valBuf[:0])
+		split, conf, ok := detectStep(t.valBuf, t.det, t.rng, t.bootBuf)
+		if !ok {
+			continue
+		}
+		cp := ChangePoint{
+			Seq:         t.seqBuf[split+1],
+			DetectedSeq: seq,
+			Confidence:  conf,
+			Before:      mean(t.valBuf[:split+1]),
+			After:       mean(t.valBuf[split+1:]),
+		}
+		ks.cps = append(ks.cps, cp)
+		// Anchor past the old regime so the detector now watches the new
+		// one — the same shift is never re-flagged.
+		ks.anchor = t.seqBuf[split]
+		alerts = append(alerts, Alert{
+			Seq:         seq,
+			Constraint:  key,
+			ChangePoint: cp,
+			Message:     alertMessage(key, cp),
+		})
+	}
+	return alerts
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// alertMessage renders the one-liner: "violations for φ3 jumped 8.0× at
+// seq 41872 (0.5 → 4.0 gained/commit, confidence 0.97)".
+func alertMessage(key string, cp ChangePoint) string {
+	verb := "jumped"
+	if cp.After < cp.Before {
+		verb = "dropped"
+	}
+	factor := cp.Factor()
+	fs := "∞"
+	if !math.IsInf(factor, 1) {
+		if factor < 1 && factor > 0 {
+			factor = 1 / factor
+		}
+		fs = fmt.Sprintf("%.1f×", factor)
+	}
+	return fmt.Sprintf("violations for %s %s %s at seq %d (%.2f → %.2f gained/commit, confidence %.2f)",
+		key, verb, fs, cp.Seq, cp.Before, cp.After, cp.Confidence)
+}
+
+// Point is one commit's sample of a constraint's series.
+type Point struct {
+	Seq     uint64 `json:"seq"`
+	Count   int    `json:"count"`
+	Gained  int    `json:"gained"`
+	Cleared int    `json:"cleared"`
+}
+
+// WindowStats summarizes the sliding window's rates for one constraint.
+type WindowStats struct {
+	Commits          int     `json:"commits"`
+	GainedPerCommit  float64 `json:"gainedPerCommit"`
+	ClearedPerCommit float64 `json:"clearedPerCommit"`
+	MeanCount        float64 `json:"meanCount"`
+	LastCount        int     `json:"lastCount"`
+}
+
+// Trend is one constraint's exported time series: ring-buffer points
+// (oldest first), detected change points, and the sliding-window
+// summary.
+type Trend struct {
+	Constraint   string        `json:"constraint"`
+	Points       []Point       `json:"points"`
+	ChangePoints []ChangePoint `json:"changePoints,omitempty"`
+	Window       WindowStats   `json:"window"`
+}
+
+// Trends snapshots every tracked constraint, in registration (Σ)
+// order. maxPoints caps the points returned per constraint (0 = the
+// whole ring) — the knob /trends uses to bound response size.
+func (t *Tracker) Trends(maxPoints int) []Trend {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trend, 0, len(t.order))
+	for _, key := range t.order {
+		ks := t.keys[key]
+		n := ks.counts.Len()
+		first := 0
+		if maxPoints > 0 && n > maxPoints {
+			first = n - maxPoints
+		}
+		tr := Trend{Constraint: key, Points: make([]Point, 0, n-first)}
+		for i := first; i < n; i++ {
+			seq, c := ks.counts.At(i)
+			_, g := ks.gained.At(i)
+			_, cl := ks.cleared.At(i)
+			tr.Points = append(tr.Points, Point{Seq: seq, Count: int(c), Gained: int(g), Cleared: int(cl)})
+		}
+		tr.ChangePoints = append([]ChangePoint(nil), ks.cps...)
+		w := t.summary
+		if w > n {
+			w = n
+		}
+		if w > 0 {
+			var g, cl, c float64
+			for i := n - w; i < n; i++ {
+				_, gv := ks.gained.At(i)
+				_, cv := ks.cleared.At(i)
+				_, cc := ks.counts.At(i)
+				g, cl, c = g+gv, cl+cv, c+cc
+			}
+			_, last := ks.counts.At(n - 1)
+			tr.Window = WindowStats{
+				Commits:          w,
+				GainedPerCommit:  g / float64(w),
+				ClearedPerCommit: cl / float64(w),
+				MeanCount:        c / float64(w),
+				LastCount:        int(last),
+			}
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// Alerts returns every change point detected so far, flattened in
+// detection order across constraints (by DetectedSeq).
+func (t *Tracker) ChangePointCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, ks := range t.keys {
+		n += len(ks.cps)
+	}
+	return n
+}

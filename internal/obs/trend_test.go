@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeriesRing(t *testing.T) {
+	s := NewSeries(3)
+	for i := uint64(1); i <= 5; i++ {
+		s.Append(i, float64(i)*10)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	wantSeqs := []uint64{3, 4, 5}
+	for i, want := range wantSeqs {
+		seq, v := s.At(i)
+		if seq != want || v != float64(want)*10 {
+			t.Errorf("At(%d) = (%d, %v), want (%d, %v)", i, seq, v, want, float64(want)*10)
+		}
+	}
+}
+
+// stepStats builds a per-commit stats stream for one key with a known
+// step change: rate base before changeAt, base*factor from changeAt on,
+// Poisson-ish noise via a seeded rng.
+func stepStats(key string, commits int, changeAt int, base, factor float64, seed int64) []map[string]Stat {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]map[string]Stat, commits)
+	count := 0
+	for i := range out {
+		rate := base
+		if i >= changeAt {
+			rate *= factor
+		}
+		// Small integer noise around the rate, like real gained-per-commit
+		// series: floor(rate) plus a Bernoulli for the fraction.
+		g := int(rate)
+		if rng.Float64() < rate-float64(g) {
+			g++
+		}
+		count += g
+		out[i] = map[string]Stat{key: {Count: count, Gained: g}}
+	}
+	return out
+}
+
+// TestDetectorTruePositive: an 8x jump in gained-per-commit must be
+// flagged within 5 commits of the injected change point.
+func TestDetectorTruePositive(t *testing.T) {
+	const changeAt = 30
+	stats := stepStats("phi2", 60, changeAt, 0.5, 8, 42)
+	tr := NewTracker(TrackerConfig{})
+	tr.Track("phi2")
+	var got []Alert
+	for i, st := range stats {
+		got = append(got, tr.Observe(uint64(i+1), st)...)
+	}
+	if len(got) == 0 {
+		t.Fatal("8x step change not detected")
+	}
+	a := got[0]
+	// Commit seq is 1-based: the change point's first new-regime commit
+	// is changeAt+1.
+	// Localization wanders a few commits when boundary noise leans the
+	// CUSUM; the hard requirement is detection latency, below.
+	wantSeq := uint64(changeAt + 1)
+	if a.ChangePoint.Seq < wantSeq-4 || a.ChangePoint.Seq > wantSeq+4 {
+		t.Errorf("located change at seq %d, want ~%d", a.ChangePoint.Seq, wantSeq)
+	}
+	latency := int(a.Seq) - (changeAt + 1)
+	if latency > 5 {
+		t.Errorf("detection latency = %d commits, want <= 5 (alerted at seq %d)", latency, a.Seq)
+	}
+	if a.ChangePoint.Confidence < 0.95 {
+		t.Errorf("confidence = %v, want >= 0.95", a.ChangePoint.Confidence)
+	}
+	if a.ChangePoint.After <= a.ChangePoint.Before {
+		t.Errorf("means: before %v, after %v — want a jump", a.ChangePoint.Before, a.ChangePoint.After)
+	}
+	if a.Message == "" {
+		t.Error("empty alert message")
+	}
+}
+
+// TestDetectorNoFalsePositives: a stationary stream must never alert.
+func TestDetectorNoFalsePositives(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		stats := stepStats("phi1", 200, 200, 0.5, 1, seed)
+		tr := NewTracker(TrackerConfig{})
+		tr.Track("phi1")
+		for i, st := range stats {
+			if alerts := tr.Observe(uint64(i+1), st); len(alerts) > 0 {
+				t.Fatalf("seed %d: false positive at commit %d: %+v", seed, i+1, alerts[0])
+			}
+		}
+	}
+}
+
+// TestDetectorAnchoring: after an alert fires the same shift must not
+// re-fire, but a later second shift must.
+func TestDetectorAnchoring(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tr.Track("k")
+	rng := rand.New(rand.NewSource(7))
+	seq := uint64(0)
+	emit := func(commits int, rate float64) []Alert {
+		var all []Alert
+		for i := 0; i < commits; i++ {
+			seq++
+			g := int(rate)
+			if rng.Float64() < rate-float64(g) {
+				g++
+			}
+			all = append(all, tr.Observe(seq, map[string]Stat{"k": {Count: int(seq), Gained: g}})...)
+		}
+		return all
+	}
+	emit(30, 0.5)
+	first := emit(20, 4) // 8x jump
+	if len(first) != 1 {
+		t.Fatalf("first shift: got %d alerts, want exactly 1 (no re-fires)", len(first))
+	}
+	second := emit(20, 16) // 4x jump on top
+	if len(second) != 1 {
+		t.Fatalf("second shift: got %d alerts, want exactly 1, got %+v", len(second), second)
+	}
+	if second[0].ChangePoint.Seq <= first[0].ChangePoint.Seq {
+		t.Errorf("second change at seq %d not after first at %d", second[0].ChangePoint.Seq, first[0].ChangePoint.Seq)
+	}
+}
+
+// TestDetectorGradualDrift: a slow ramp should eventually flag without
+// demanding the precision of a step.
+func TestDetectorGradualDrift(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tr.Track("k")
+	rng := rand.New(rand.NewSource(3))
+	var alerts []Alert
+	for i := 1; i <= 100; i++ {
+		rate := 0.5
+		if i > 40 {
+			// Ramp from 0.5 to 4.5 over 40 commits.
+			rate = 0.5 + float64(min(i-40, 40))*0.1
+		}
+		g := int(rate)
+		if rng.Float64() < rate-float64(g) {
+			g++
+		}
+		alerts = append(alerts, tr.Observe(uint64(i), map[string]Stat{"k": {Gained: g}})...)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("gradual drift never detected")
+	}
+}
+
+func TestTrackerQuietKeyCarriesCount(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tr.Track("a")
+	tr.Track("b")
+	tr.Observe(1, map[string]Stat{"a": {Count: 5, Gained: 5}})
+	tr.Observe(2, map[string]Stat{"b": {Count: 2, Gained: 2}})
+	trends := tr.Trends(0)
+	if len(trends) != 2 {
+		t.Fatalf("trends = %d keys, want 2", len(trends))
+	}
+	// Key "a" was quiet at commit 2: its count must carry over, gained 0.
+	a := trends[0]
+	if a.Constraint != "a" || len(a.Points) != 2 {
+		t.Fatalf("unexpected first trend: %+v", a)
+	}
+	if p := a.Points[1]; p.Seq != 2 || p.Count != 5 || p.Gained != 0 {
+		t.Errorf("quiet point = %+v, want seq 2 count 5 gained 0", p)
+	}
+	if a.Window.LastCount != 5 || a.Window.Commits != 2 {
+		t.Errorf("window = %+v, want lastCount 5 over 2 commits", a.Window)
+	}
+}
+
+func TestTrendsMaxPoints(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tr.Track("k")
+	for i := 1; i <= 50; i++ {
+		tr.Observe(uint64(i), map[string]Stat{"k": {Count: i, Gained: 1}})
+	}
+	trends := tr.Trends(10)
+	if n := len(trends[0].Points); n != 10 {
+		t.Fatalf("points = %d, want 10", n)
+	}
+	if trends[0].Points[0].Seq != 41 {
+		t.Fatalf("first capped point seq = %d, want 41", trends[0].Points[0].Seq)
+	}
+}
+
+// BenchmarkTrendsIngest measures the per-commit analytics cost on a
+// stationary stream (the steady-state path: CUSUM + guards, no
+// bootstrap) across 3 tracked constraints.
+func BenchmarkTrendsIngest(b *testing.B) {
+	tr := NewTracker(TrackerConfig{})
+	keys := []string{"phi1", "phi2", "phi3"}
+	for _, k := range keys {
+		tr.Track(k)
+	}
+	rng := rand.New(rand.NewSource(1))
+	stats := map[string]Stat{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			g := 0
+			if rng.Float64() < 0.5 {
+				g = 1
+			}
+			stats[k] = Stat{Count: i, Gained: g}
+		}
+		tr.Observe(uint64(i+1), stats)
+	}
+}

@@ -99,64 +99,71 @@ type attrManifest struct {
 // the snapshot (snapshots are immutable; lazy column interning is
 // internally synchronized).
 func WriteCheckpoint(dataDir string, dbs *DBSnapshot, info CheckpointInfo) error {
-	return WriteCheckpointFS(fault.OS, dataDir, dbs, info)
+	_, err := WriteCheckpointFS(fault.OS, dataDir, dbs, info)
+	return err
 }
 
 // WriteCheckpointFS is WriteCheckpoint over an explicit filesystem seam.
 // The fault-matrix and chaos tests pass a fault.Injector to script
 // ENOSPC and torn-write failures at exact points in the install
-// protocol; production uses fault.OS via WriteCheckpoint.
-func WriteCheckpointFS(fs fault.FS, dataDir string, dbs *DBSnapshot, info CheckpointInfo) error {
+// protocol; production uses fault.OS via WriteCheckpoint. It returns the
+// checkpoint's data size in bytes (0 when an existing checkpoint at this
+// seq was reused) for monitoring.
+func WriteCheckpointFS(fs fault.FS, dataDir string, dbs *DBSnapshot, info CheckpointInfo) (int64, error) {
 	if err := fs.MkdirAll(dataDir, 0o755); err != nil {
-		return fmt.Errorf("relation: checkpoint: %w", err)
+		return 0, fmt.Errorf("relation: checkpoint: %w", err)
 	}
 	name := fmt.Sprintf("checkpoint-%016d", info.Seq)
 	final := filepath.Join(dataDir, name)
 	if _, err := fs.Stat(final); err == nil {
 		// A checkpoint at this seq is already installed (e.g. the final
 		// checkpoint at Stop when nothing committed since the last one).
-		return ensureCurrent(fs, dataDir, name)
+		return 0, ensureCurrent(fs, dataDir, name)
 	}
 	tmp := final + ".tmp"
 	if err := fs.RemoveAll(tmp); err != nil {
-		return fmt.Errorf("relation: checkpoint: %w", err)
+		return 0, fmt.Errorf("relation: checkpoint: %w", err)
 	}
 	if err := fs.MkdirAll(tmp, 0o755); err != nil {
-		return fmt.Errorf("relation: checkpoint: %w", err)
+		return 0, fmt.Errorf("relation: checkpoint: %w", err)
 	}
+	var bytes int64
 	man := checkpointManifest{FormatVersion: checkpointFormatVersion, Seq: info.Seq}
 	for _, rel := range dbs.Names() {
 		if err := checkRelationFilename(rel); err != nil {
-			return err
+			return 0, err
 		}
 		snap, _ := dbs.Snapshot(rel)
-		rm, err := writeRelation(fs, tmp, rel, snap, info)
+		rm, n, err := writeRelation(fs, tmp, rel, snap, info)
 		if err != nil {
-			return err
+			return 0, err
 		}
+		bytes += n
 		man.Relations = append(man.Relations, rm)
 	}
-	if err := writeFileSync(fs, filepath.Join(tmp, manifestName), func(w io.Writer) error {
+	n, err := writeFileSync(fs, filepath.Join(tmp, manifestName), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(man)
-	}); err != nil {
-		return err
+	})
+	if err != nil {
+		return 0, err
 	}
+	bytes += n
 	if err := fsyncDir(fs, tmp); err != nil {
-		return err
+		return 0, err
 	}
 	if err := fs.Rename(tmp, final); err != nil {
-		return fmt.Errorf("relation: checkpoint: %w", err)
+		return 0, fmt.Errorf("relation: checkpoint: %w", err)
 	}
 	if err := fsyncDir(fs, dataDir); err != nil {
-		return err
+		return 0, err
 	}
 	if err := ensureCurrent(fs, dataDir, name); err != nil {
-		return err
+		return 0, err
 	}
 	gcCheckpoints(fs, dataDir, name)
-	return nil
+	return bytes, nil
 }
 
 // ensureCurrent atomically points the CURRENT file at name.
@@ -166,7 +173,7 @@ func ensureCurrent(fs fault.FS, dataDir, name string) error {
 		return nil
 	}
 	tmp := cur + ".tmp"
-	if err := writeFileSync(fs, tmp, func(w io.Writer) error {
+	if _, err := writeFileSync(fs, tmp, func(w io.Writer) error {
 		_, err := io.WriteString(w, name+"\n")
 		return err
 	}); err != nil {
@@ -195,8 +202,9 @@ func gcCheckpoints(fs fault.FS, dataDir, keep string) {
 }
 
 // writeRelation serializes one relation's snapshot into dir and returns
-// its manifest entry.
-func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info CheckpointInfo) (relationManifest, error) {
+// its manifest entry and serialized size in bytes.
+func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info CheckpointInfo) (relationManifest, int64, error) {
+	var bytes int64
 	sch := snap.Schema()
 	rm := relationManifest{Name: rel, Rows: snap.Len()}
 	for i := 0; i < sch.Arity(); i++ {
@@ -225,7 +233,7 @@ func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info Checkpoint
 	}
 
 	// TIDs: uvarint deltas over the ascending row order.
-	if err := writeFileSync(fs, filepath.Join(dir, rel+".tids"), func(w io.Writer) error {
+	n, err := writeFileSync(fs, filepath.Join(dir, rel+".tids"), func(w io.Writer) error {
 		bw := bufio.NewWriter(w)
 		prev := TID(-1)
 		for row := 0; row < snap.Len(); row++ {
@@ -236,9 +244,11 @@ func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info Checkpoint
 			prev = id
 		}
 		return bw.Flush()
-	}); err != nil {
-		return rm, err
+	})
+	if err != nil {
+		return rm, 0, err
 	}
+	bytes += n
 
 	// Per-attribute code column + compacted dictionary.
 	for p := 0; p < sch.Arity(); p++ {
@@ -246,7 +256,7 @@ func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info Checkpoint
 		dict := snap.Dict(p)
 		remap := make(map[uint32]uint32)
 		var vals []Value
-		if err := writeFileSync(fs, filepath.Join(dir, fmt.Sprintf("%s.col%d", rel, p)), func(w io.Writer) error {
+		n, err := writeFileSync(fs, filepath.Join(dir, fmt.Sprintf("%s.col%d", rel, p)), func(w io.Writer) error {
 			bw := bufio.NewWriter(w)
 			for _, code := range col {
 				local, ok := remap[code]
@@ -260,10 +270,12 @@ func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info Checkpoint
 				}
 			}
 			return bw.Flush()
-		}); err != nil {
-			return rm, err
+		})
+		if err != nil {
+			return rm, 0, err
 		}
-		if err := writeFileSync(fs, filepath.Join(dir, fmt.Sprintf("%s.dict%d", rel, p)), func(w io.Writer) error {
+		bytes += n
+		n, err = writeFileSync(fs, filepath.Join(dir, fmt.Sprintf("%s.dict%d", rel, p)), func(w io.Writer) error {
 			bw := bufio.NewWriter(w)
 			if err := putUvarint(bw, uint64(len(vals))); err != nil {
 				return err
@@ -274,11 +286,13 @@ func writeRelation(fs fault.FS, dir, rel string, snap *Snapshot, info Checkpoint
 				}
 			}
 			return bw.Flush()
-		}); err != nil {
-			return rm, err
+		})
+		if err != nil {
+			return rm, 0, err
 		}
+		bytes += n
 	}
-	return rm, nil
+	return rm, bytes, nil
 }
 
 // LoadCheckpoint opens the checkpoint CURRENT points at and rebuilds
@@ -593,24 +607,37 @@ func checkRelationFilename(rel string) error {
 
 // writeFileSync creates path, streams content through write, and
 // fsyncs before closing — no partially-durable file survives a clean
-// return.
-func writeFileSync(fs fault.FS, path string, write func(w io.Writer) error) error {
+// return. It returns the number of bytes written.
+func writeFileSync(fs fault.FS, path string, write func(w io.Writer) error) (int64, error) {
 	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("relation: checkpoint: %w", err)
+		return 0, fmt.Errorf("relation: checkpoint: %w", err)
 	}
-	if err := write(f); err != nil {
+	cw := &countingWriter{w: f}
+	if err := write(cw); err != nil {
 		f.Close()
-		return fmt.Errorf("relation: checkpoint %s: %w", filepath.Base(path), err)
+		return 0, fmt.Errorf("relation: checkpoint %s: %w", filepath.Base(path), err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("relation: checkpoint: %w", err)
+		return 0, fmt.Errorf("relation: checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("relation: checkpoint: %w", err)
+		return 0, fmt.Errorf("relation: checkpoint: %w", err)
 	}
-	return nil
+	return cw.n, nil
+}
+
+// countingWriter counts bytes as they pass through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func openBuf(path string) (*bufio.Reader, func(), error) {

@@ -108,12 +108,14 @@ func (s *Service) openDurable(cfg Config) (*relation.Database, relation.Checkpoi
 	switch {
 	case errors.Is(err, relation.ErrNoCheckpoint):
 		// First boot: start from Config.DB as given.
+		s.logger.Info("recovery: no checkpoint, starting fresh", "dir", d.Dir)
 	case err != nil:
 		return nil, info, false, fmt.Errorf("serve: recover: %v", err)
 	default:
 		db = recovered
 		info = ckinfo
 		have = true
+		s.logger.Info("recovery: checkpoint loaded", "dir", d.Dir, "seq", ckinfo.Seq)
 	}
 	w, err := wal.Open(walDir(d.Dir), wal.Options{
 		SyncEvery:    d.SyncEvery,
@@ -137,7 +139,11 @@ func (s *Service) openDurable(cfg Config) (*relation.Database, relation.Checkpoi
 // applied, the suffix skipped), so the replayed state matches the
 // acknowledged one byte for byte.
 func (s *Service) replayWAL(seed *State) error {
-	return s.wal.Replay(seed.Seq, func(seq uint64, payload []byte) error {
+	start := time.Now()
+	from := seed.Seq
+	records := 0
+	err := s.wal.Replay(seed.Seq, func(seq uint64, payload []byte) error {
+		records++
 		ops, err := decodeBatch(payload, s.schemas)
 		if err != nil {
 			return fmt.Errorf("serve: recover: wal record %d: %v", seq, err)
@@ -158,6 +164,12 @@ func (s *Service) replayWAL(seed *State) error {
 		}
 		return nil
 	})
+	if err == nil && records > 0 {
+		s.logger.Info("recovery: wal tail replayed",
+			"fromSeq", from, "toSeq", seed.Seq, "records", records,
+			"elapsed", time.Since(start))
+	}
+	return err
 }
 
 // decodeBatch parses one WAL record back into the commit batch it
@@ -256,6 +268,9 @@ func (s *Service) checkpointer(have bool, last uint64) {
 				s.ckptErrs.Add(1)
 				fails++
 				notBefore = time.Now().Add(pol.Delay(fails - 1))
+				s.logger.Error("checkpoint failed",
+					"seq", st.Seq, "attempt", fails, "err", err,
+					"retryAt", notBefore)
 			} else {
 				have, last, lastAt = true, st.Seq, time.Now()
 				fails = 0
@@ -280,7 +295,9 @@ func (s *Service) writeCheckpoint(st *State) error {
 		dbs = relation.NewDBSnapshot(db)
 	}
 	info := relation.CheckpointInfo{Seq: st.Seq, NextTIDs: st.NextTIDs, ShardKeys: s.shardKeys}
-	if err := relation.WriteCheckpointFS(s.fsys, s.dataDir, dbs, info); err != nil {
+	start := time.Now()
+	n, err := relation.WriteCheckpointFS(s.fsys, s.dataDir, dbs, info)
+	if err != nil {
 		return err
 	}
 	if err := s.wal.TruncateTo(st.Seq); err != nil {
@@ -288,6 +305,9 @@ func (s *Service) writeCheckpoint(st *State) error {
 	}
 	s.ckptSeq.Store(st.Seq)
 	s.ckptCount.Add(1)
+	s.ckptBytes.Add(n)
+	s.logger.Info("checkpoint written",
+		"seq", st.Seq, "bytes", n, "elapsed", time.Since(start))
 	return nil
 }
 
@@ -297,6 +317,7 @@ type DurabilityStats struct {
 	LastCheckpointSeq uint64    `json:"lastCheckpointSeq"`
 	Checkpoints       uint64    `json:"checkpoints"`
 	CheckpointErrs    uint64    `json:"checkpointErrs"`
+	CheckpointBytes   int64     `json:"checkpointBytes"`
 }
 
 // Durability reports the WAL and checkpoint state; ok is false on a
@@ -310,5 +331,6 @@ func (s *Service) Durability() (DurabilityStats, bool) {
 		LastCheckpointSeq: s.ckptSeq.Load(),
 		Checkpoints:       s.ckptCount.Load(),
 		CheckpointErrs:    s.ckptErrs.Load(),
+		CheckpointBytes:   s.ckptBytes.Load(),
 	}, true
 }

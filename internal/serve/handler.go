@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cind"
 	"repro/internal/detect"
 	"repro/internal/ecfd"
+	"repro/internal/obs"
 	"repro/internal/oplog"
 	"repro/internal/relation"
 )
@@ -31,6 +33,10 @@ import (
 //	POST /check       SatisfiesBatch probe: rule texts evaluated
 //	                  against the published snapshot
 //	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text exposition (404 when the service
+//	                  was built without an ObsConfig)
+//	GET  /trends      per-constraint violation time series, change
+//	                  points and window rates (?points=N caps points)
 //
 // Every read is served off the immutable published State; only POST
 // /batch talks to the single-writer ingest loop.
@@ -57,6 +63,8 @@ func NewHandler(svc *Service) *Handler {
 	h.mux.HandleFunc("GET /stream", h.handleStream)
 	h.mux.HandleFunc("POST /check", h.handleCheck)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /trends", h.handleTrends)
 	return h
 }
 
@@ -329,37 +337,41 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		durability = &ds
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Seq         uint64           `json:"seq"`
-		Relations   map[string]int   `json:"relations"`
-		Constraints int              `json:"constraints"`
-		Violations  int              `json:"violations"`
-		Ops         uint64           `json:"ops"`
-		Gained      uint64           `json:"gained"`
-		Cleared     uint64           `json:"cleared"`
-		Errors      uint64           `json:"errors"`
-		FullSyncs   int              `json:"fullSyncs"`
-		Subscribers int              `json:"subscribers"`
-		QueueDepth  int              `json:"queueDepth"`
-		ShardCount  int              `json:"shardCount"`
-		Shards      []shardStatsJSON `json:"shards,omitempty"`
-		Durability  *DurabilityStats `json:"durability,omitempty"`
-		Counts      Counts           `json:"counts"`
+		Seq           uint64           `json:"seq"`
+		UptimeSeconds float64          `json:"uptimeSeconds"`
+		Relations     map[string]int   `json:"relations"`
+		Constraints   int              `json:"constraints"`
+		Violations    int              `json:"violations"`
+		Ops           uint64           `json:"ops"`
+		Gained        uint64           `json:"gained"`
+		Cleared       uint64           `json:"cleared"`
+		Errors        uint64           `json:"errors"`
+		FullSyncs     int              `json:"fullSyncs"`
+		Subscribers   int              `json:"subscribers"`
+		QueueDepth    int              `json:"queueDepth"`
+		QueueCap      int              `json:"queueCap"`
+		ShardCount    int              `json:"shardCount"`
+		Shards        []shardStatsJSON `json:"shards,omitempty"`
+		Durability    *DurabilityStats `json:"durability,omitempty"`
+		Counts        Counts           `json:"counts"`
 	}{
-		Seq:         st.Seq,
-		Relations:   relations,
-		Constraints: len(h.Svc.Constraints()),
-		Violations:  len(st.Violations),
-		Ops:         st.Ops,
-		Gained:      st.Gained,
-		Cleared:     st.Cleared,
-		Errors:      st.Errs,
-		FullSyncs:   st.FullSyncs,
-		Subscribers: h.Svc.NumSubscribers(),
-		QueueDepth:  h.Svc.QueueDepth(),
-		ShardCount:  h.Svc.Shards(),
-		Shards:      h.shardStatsFor(st),
-		Durability:  durability,
-		Counts:      h.Svc.countsFor(st), // same State as the top-level fields
+		Seq:           st.Seq,
+		UptimeSeconds: h.Svc.Uptime().Seconds(),
+		Relations:     relations,
+		Constraints:   len(h.Svc.Constraints()),
+		Violations:    len(st.Violations),
+		Ops:           st.Ops,
+		Gained:        st.Gained,
+		Cleared:       st.Cleared,
+		Errors:        st.Errs,
+		FullSyncs:     st.FullSyncs,
+		Subscribers:   h.Svc.NumSubscribers(),
+		QueueDepth:    h.Svc.QueueDepth(),
+		QueueCap:      h.Svc.QueueCap(),
+		ShardCount:    h.Svc.Shards(),
+		Shards:        h.shardStatsFor(st),
+		Durability:    durability,
+		Counts:        h.Svc.countsFor(st), // same State as the top-level fields
 	})
 }
 
@@ -439,6 +451,14 @@ func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
 			}) {
 				return
 			}
+			// Change-point alerts ride the same commit's Delta; emit them
+			// after the delta event so a consumer sees the diff that fired
+			// the alert before the alert itself.
+			for _, a := range delta.Alerts {
+				if !writeEvent("alert", a) {
+					return
+				}
+			}
 		case <-r.Context().Done():
 			return
 		}
@@ -517,11 +537,71 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if hs == Broken {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, struct {
+	st := h.Svc.State()
+	resp := struct {
 		Status   string `json:"status"`
 		Writable bool   `json:"writable"`
 		Reason   string `json:"reason,omitempty"`
 		Seq      uint64 `json:"seq"`
 		Shards   int    `json:"shards"`
-	}{hs.String(), hs == Healthy, reason, h.Svc.State().Seq, h.Svc.Shards()})
+		// Durable services only: how far the WAL tail has grown past the
+		// last checkpoint — the replay cost a restart would pay right now.
+		CheckpointLagSeqs *uint64 `json:"checkpointLagSeqs,omitempty"`
+		WALBytes          *int64  `json:"walBytes,omitempty"`
+	}{Status: hs.String(), Writable: hs == Healthy, Reason: reason,
+		Seq: st.Seq, Shards: h.Svc.Shards()}
+	if ds, ok := h.Svc.Durability(); ok {
+		lag := st.Seq - ds.LastCheckpointSeq
+		resp.CheckpointLagSeqs = &lag
+		resp.WALBytes = &ds.WAL.Bytes
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics serves the observability registry in Prometheus text
+// exposition format. A service built without an ObsConfig has nothing
+// to scrape: 404, so a scraper config error is loud rather than an
+// empty-but-200 page.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := h.Svc.Metrics()
+	if reg == nil {
+		writeError(w, http.StatusNotFound, "observability disabled: service built without ObsConfig")
+		return
+	}
+	reg.Handler().ServeHTTP(w, r)
+}
+
+// handleTrends serves the quality analytics: one entry per constraint
+// with its violation-count time series, detected change points and
+// sliding-window rates. ?points=N caps the points per constraint
+// (default 128, 0 or "all" returns the whole ring).
+func (h *Handler) handleTrends(w http.ResponseWriter, r *http.Request) {
+	if h.Svc.Metrics() == nil {
+		writeError(w, http.StatusNotFound, "observability disabled: service built without ObsConfig")
+		return
+	}
+	points := 128
+	if q := r.URL.Query().Get("points"); q != "" {
+		if q == "all" {
+			points = 0
+		} else {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad points=%q: want a non-negative integer or \"all\"", q)
+				return
+			}
+			points = n
+		}
+	}
+	trends := h.Svc.Trends(points)
+	changePoints := 0
+	for _, tr := range trends {
+		changePoints += len(tr.ChangePoints)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Seq           uint64      `json:"seq"`
+		UptimeSeconds float64     `json:"uptimeSeconds"`
+		ChangePoints  int         `json:"changePoints"`
+		Trends        []obs.Trend `json:"trends"`
+	}{h.Svc.State().Seq, h.Svc.Uptime().Seconds(), changePoints, trends})
 }

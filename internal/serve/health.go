@@ -77,6 +77,7 @@ func (s *Service) degrade(h Health, reason string) {
 			return
 		}
 		if s.health.CompareAndSwap(old, &healthState{h: h, reason: reason}) {
+			s.logger.Error("service degraded", "state", h.String(), "reason", reason)
 			return
 		}
 	}

@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cfd"
+	"repro/internal/detect"
+	"repro/internal/gen/drift"
+	"repro/internal/obs"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+)
+
+// driftService builds an observability-enabled service over the drift
+// workload's clean customer base with its Σ = {ϕ1, ϕ2}.
+func driftService(t *testing.T, extra Config) *Service {
+	t.Helper()
+	in := drift.Customers(200, 1)
+	db := relation.NewDatabase()
+	db.Add(in)
+	s := in.Schema()
+	extra.DB = db
+	extra.Constraints = detect.WrapCFDs([]*cfd.CFD{paperdata.Phi1(s), paperdata.Phi2(s)})
+	if extra.Obs == nil {
+		extra.Obs = &ObsConfig{}
+	}
+	return mustNew(t, extra)
+}
+
+// submitDrift pushes every drift batch as one commit and returns the
+// sequence of the first post-change commit.
+func submitDrift(t *testing.T, svc *Service, cfg drift.Config) uint64 {
+	t.Helper()
+	base := svc.State().Seq
+	for _, ops := range drift.Batches(cfg) {
+		if _, err := svc.Submit(context.Background(), ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return base + uint64(cfg.ChangeAt) + 1
+}
+
+// expositionLine matches one Prometheus text sample: a metric name, an
+// optional label set, and a value.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$`)
+
+// checkExposition validates the scrape is well-formed line by line and
+// returns the set of sample names seen (bucket/sum/count suffixes
+// included).
+func checkExposition(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	names := make(map[string]bool)
+	for i, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("line %d: malformed exposition line %q", i+1, line)
+		}
+		name := line
+		if j := strings.IndexAny(name, "{ "); j >= 0 {
+			name = name[:j]
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil && val != "+Inf" && val != "-Inf" && val != "NaN" {
+			t.Fatalf("line %d: unparseable value %q in %q", i+1, val, line)
+		}
+		names[name] = true
+	}
+	return names
+}
+
+// TestMetricsEndpointE2E scrapes GET /metrics after real commits: the
+// exposition must be well-formed and every core pipeline series
+// present, and /stats must carry the new uptime and queue gauges.
+func TestMetricsEndpointE2E(t *testing.T) {
+	svc := driftService(t, Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	submitDrift(t, svc, drift.Config{
+		Seed: 7, Batches: 10, OpsPerBatch: 20,
+		BaseRate: 0.2, ChangeAt: 10, // stationary: never shifts
+	})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s: %s", resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	names := checkExposition(t, string(body))
+	for _, want := range []string{
+		"dq_commits_total", "dq_ops_total",
+		"dq_violations_gained_total", "dq_violations_cleared_total",
+		"dq_batch_ops_bucket", "dq_batch_ops_sum", "dq_batch_ops_count",
+		"dq_stage_seconds_bucket", "dq_stage_seconds_count",
+		"dq_seq", "dq_violations", "dq_uptime_seconds",
+		"dq_ingest_queue_depth", "dq_ingest_queue_cap",
+		"dq_subscribers", "dq_health_state", "dq_alerts_total",
+	} {
+		if !names[want] {
+			t.Errorf("scrape missing core series %s", want)
+		}
+	}
+	// The counters must reflect the ingest: 10 commits of 20 ops each.
+	if !strings.Contains(string(body), "dq_commits_total 10\n") {
+		t.Errorf("dq_commits_total != 10 in scrape")
+	}
+	if !strings.Contains(string(body), "dq_ops_total 200\n") {
+		t.Errorf("dq_ops_total != 200 in scrape")
+	}
+
+	var stats struct {
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+		QueueCap      int     `json:"queueCap"`
+		Seq           uint64  `json:"seq"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.UptimeSeconds <= 0 {
+		t.Errorf("stats uptimeSeconds = %v, want > 0", stats.UptimeSeconds)
+	}
+	if stats.QueueCap != DefaultQueueCap {
+		t.Errorf("stats queueCap = %d, want %d", stats.QueueCap, DefaultQueueCap)
+	}
+	if stats.Seq != 10 {
+		t.Errorf("stats seq = %d, want 10", stats.Seq)
+	}
+}
+
+// TestMetricsDisabled: a service built without ObsConfig serves 404 on
+// /metrics and /trends — a scraper misconfiguration is loud, not an
+// empty 200.
+func TestMetricsDisabled(t *testing.T) {
+	cs := serveSigma()
+	svc := mustNew(t, Config{DB: ordersDB(11, 80), Constraints: cs})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/trends"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on obs-less service: %s, want 404", path, resp.Status)
+		}
+	}
+}
+
+// TestTrendsChangePointE2E drives the acceptance workload through the
+// full service: an 8× violation-rate step at a known commit must be
+// flagged within 5 commits, and a stationary control stream must fire
+// nothing.
+func TestTrendsChangePointE2E(t *testing.T) {
+	svc := driftService(t, Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	changeSeq := submitDrift(t, svc, drift.Config{
+		Seed: 7, Batches: 40, OpsPerBatch: 25,
+		BaseRate: 0.1, ChangeAt: 20, Factor: 8,
+	})
+
+	var trends struct {
+		Seq          uint64      `json:"seq"`
+		ChangePoints int         `json:"changePoints"`
+		Trends       []obs.Trend `json:"trends"`
+	}
+	getJSON(t, ts.URL+"/trends", &trends)
+	if trends.Seq != 40 {
+		t.Fatalf("trends seq = %d, want 40", trends.Seq)
+	}
+	if len(trends.Trends) != 2 {
+		t.Fatalf("got %d tracked constraints, want 2 (ϕ1, ϕ2)", len(trends.Trends))
+	}
+	var cps []obs.ChangePoint
+	for _, tr := range trends.Trends {
+		cps = append(cps, tr.ChangePoints...)
+	}
+	if len(cps) != 1 {
+		t.Fatalf("detected %d change points, want exactly 1 (got %+v)", len(cps), cps)
+	}
+	cp := cps[0]
+	if latency := int64(cp.DetectedSeq) - int64(changeSeq); latency < 0 || latency > 5 {
+		t.Errorf("detected at seq %d, change at seq %d: latency %d commits, want <= 5",
+			cp.DetectedSeq, changeSeq, latency)
+	}
+	if cp.Confidence < 0.95 {
+		t.Errorf("confidence %.3f, want >= 0.95", cp.Confidence)
+	}
+	if cp.After <= cp.Before {
+		t.Errorf("change point means not a jump: before %.2f, after %.2f", cp.Before, cp.After)
+	}
+
+	// ?points caps the series length; garbage is a 400.
+	getJSON(t, ts.URL+"/trends?points=5", &trends)
+	for _, tr := range trends.Trends {
+		if len(tr.Points) > 5 {
+			t.Errorf("points=5 returned %d points for %s", len(tr.Points), tr.Constraint)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/trends?points=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("points=bogus: %s, want 400", resp.Status)
+	}
+
+	// Control: a fresh stationary run must stay silent end to end.
+	ctrl := driftService(t, Config{})
+	submitDrift(t, ctrl, drift.Config{
+		Seed: 19, Batches: 40, OpsPerBatch: 25,
+		BaseRate: 0.1, ChangeAt: 40, // never shifts
+	})
+	for _, tr := range ctrl.Trends(0) {
+		if len(tr.ChangePoints) != 0 {
+			t.Errorf("control stream: false positive change point on %s: %+v",
+				tr.Constraint, tr.ChangePoints)
+		}
+	}
+}
+
+// TestStreamAlertSSE: the change-point alert rides the SSE stream as an
+// "alert" event right after the delta that fired it.
+func TestStreamAlertSSE(t *testing.T) {
+	svc := driftService(t, Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := make(chan sseEvent, 512)
+	go readSSE(resp.Body, events)
+	if ev := <-events; ev.Event != "hello" {
+		t.Fatalf("first event %q, want hello", ev.Event)
+	}
+
+	changeSeq := submitDrift(t, svc, drift.Config{
+		Seed: 7, Batches: 40, OpsPerBatch: 25,
+		BaseRate: 0.1, ChangeAt: 20, Factor: 8,
+	})
+
+	deadline := time.After(10 * time.Second)
+	var prevDeltaSeq uint64
+	for {
+		select {
+		case ev := <-events:
+			switch ev.Event {
+			case "delta":
+				var d wireDelta
+				if err := json.Unmarshal([]byte(ev.Data), &d); err != nil {
+					t.Fatal(err)
+				}
+				prevDeltaSeq = d.Seq
+			case "alert":
+				var a obs.Alert
+				if err := json.Unmarshal([]byte(ev.Data), &a); err != nil {
+					t.Fatal(err)
+				}
+				if a.Seq != prevDeltaSeq {
+					t.Errorf("alert seq %d did not follow its delta (last delta seq %d)", a.Seq, prevDeltaSeq)
+				}
+				if latency := int64(a.ChangePoint.DetectedSeq) - int64(changeSeq); latency < 0 || latency > 5 {
+					t.Errorf("alert detected at seq %d, change at %d: latency %d, want <= 5",
+						a.ChangePoint.DetectedSeq, changeSeq, latency)
+				}
+				if a.Constraint == "" || a.Message == "" {
+					t.Errorf("alert missing constraint/message: %+v", a)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no alert event within 10s")
+		}
+	}
+}
+
+// TestHealthzDurableFields: on a durable service /healthz reports the
+// checkpoint lag and WAL size; a memory-only service omits both.
+func TestHealthzDurableFields(t *testing.T) {
+	svc := driftService(t, Config{Durable: &DurableConfig{Dir: t.TempDir()}})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	submitDrift(t, svc, drift.Config{
+		Seed: 7, Batches: 5, OpsPerBatch: 10, BaseRate: 0.2, ChangeAt: 5,
+	})
+
+	var hz map[string]any
+	getJSON(t, ts.URL+"/healthz", &hz)
+	lag, ok := hz["checkpointLagSeqs"].(float64)
+	if !ok {
+		t.Fatalf("durable /healthz missing checkpointLagSeqs: %v", hz)
+	}
+	if lag > 5 {
+		t.Errorf("checkpointLagSeqs = %v, want <= 5", lag)
+	}
+	if wb, ok := hz["walBytes"].(float64); !ok || wb <= 0 {
+		t.Errorf("durable /healthz walBytes = %v, want > 0", hz["walBytes"])
+	}
+
+	mem := driftService(t, Config{})
+	ts2 := httptest.NewServer(NewHandler(mem))
+	defer ts2.Close()
+	hz = nil
+	getJSON(t, ts2.URL+"/healthz", &hz)
+	if _, present := hz["checkpointLagSeqs"]; present {
+		t.Error("memory-only /healthz leaked checkpointLagSeqs")
+	}
+	if _, present := hz["walBytes"]; present {
+		t.Error("memory-only /healthz leaked walBytes")
+	}
+}
+
+// TestMetricsRace hammers ingest while scraping /metrics and /trends —
+// the -race job's proof that the observability layer is safe under
+// concurrent readers.
+func TestMetricsRace(t *testing.T) {
+	svc := driftService(t, Config{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	done := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for _, path := range []string{"/metrics", "/trends", "/stats"} {
+		scrapers.Add(1)
+		go func(path string) {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+	submitDrift(t, svc, drift.Config{
+		Seed: 7, Batches: 30, OpsPerBatch: 20,
+		BaseRate: 0.2, ChangeAt: 15, Factor: 8,
+	})
+	close(done)
+	scrapers.Wait()
+}

@@ -28,12 +28,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/wal"
 )
@@ -97,6 +99,14 @@ type Config struct {
 	// Config.DB then only supplies the schemas (its tuples are
 	// ignored).
 	Durable *DurableConfig
+	// Obs, when non-nil, turns on the observability layer: pipeline
+	// metrics collected in a Registry (Service.Metrics) and
+	// per-constraint violation trend analytics with change-point alerts
+	// (Service.Trends; alerts ride each commit's Delta).
+	Obs *ObsConfig
+	// Logger receives structured events — recovery, checkpoints, health
+	// degradation, change-point alerts. Nil discards.
+	Logger *slog.Logger
 
 	// shardHook, when non-nil, runs in each shard writer just before it
 	// applies a sub-batch — the scheduling-fault seam: chaos tests stall
@@ -159,12 +169,17 @@ type Delta struct {
 	Seq     uint64
 	Gained  []detect.Violation
 	Cleared []detect.Violation
+	// Alerts are the change-point alerts the quality analytics fired at
+	// this commit; nil on most commits, and always nil with
+	// observability off.
+	Alerts []obs.Alert
 }
 
 // request is one Submit in flight to the ingest loop.
 type request struct {
 	ops  []detect.DBOp
 	done chan Result // buffered (1): the loop never blocks on an ack
+	at   time.Time   // enqueue time; zero with observability off
 }
 
 // shardWork is one commit's sub-batch for one shard writer.
@@ -237,7 +252,17 @@ type Service struct {
 	ckptSeq      atomic.Uint64
 	ckptCount    atomic.Uint64
 	ckptErrs     atomic.Uint64
+	ckptBytes    atomic.Int64
 	walClose     sync.Once
+
+	// Observability (Config.Obs != nil). met/tracker are nil when off;
+	// trendCounts and depKey are sequencer-only.
+	met         *serveMetrics
+	tracker     *obs.Tracker
+	trendCounts map[string]int
+	depKey      map[any]string
+	started     time.Time
+	logger      *slog.Logger
 
 	// Health state machine (health.go): healthy → read-only → broken,
 	// one-way. shardPanics counts shard-writer panics recovered into
@@ -299,6 +324,10 @@ func New(cfg Config) (*Service, error) {
 		subs:          make(map[*Sub]struct{}),
 		stopping:      make(chan struct{}),
 		done:          make(chan struct{}),
+	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = discardLogger()
 	}
 
 	// Durable recovery phase one: resolve the database the monitor is
@@ -386,6 +415,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.tip = seed
 	s.state.Store(seed)
+	if cfg.Obs != nil {
+		s.setupObs(cfg.Obs, queueCap, seed)
+	}
 
 	if s.wal != nil && cfg.Durable.SyncEvery > 1 {
 		iv := cfg.Durable.SyncInterval
@@ -569,7 +601,15 @@ func (s *Service) commit(reqs []request, n int) {
 		s.reject(reqs, err)
 		return
 	}
+	if s.met != nil {
+		now := time.Now()
+		for _, r := range reqs {
+			s.met.stages[stageQueueWait].Observe(now.Sub(r.at).Seconds())
+		}
+		s.met.batchOps.Observe(float64(n))
+	}
 
+	vt := s.met.now()
 	v := s.newValidator()
 	valid := make([]request, 0, len(reqs))
 	ops := make([]detect.DBOp, 0, n)
@@ -581,6 +621,7 @@ func (s *Service) commit(reqs []request, n int) {
 		valid = append(valid, r)
 		ops = append(ops, r.ops...)
 	}
+	s.met.observeStage(stageValidate, vt)
 	if len(valid) == 0 {
 		return
 	}
@@ -602,7 +643,9 @@ func (s *Service) commit(reqs []request, n int) {
 			s.reject(reqs, err)
 			return
 		}
+		at := s.met.now()
 		ok, err := s.wal.Append(s.tip.Seq+1, payload)
+		s.met.observeStage(stageWALAppend, at)
 		encBufs.Put(buf)
 		if err != nil {
 			if errors.Is(err, wal.ErrBroken) {
@@ -622,7 +665,9 @@ func (s *Service) commit(reqs []request, n int) {
 	if s.smonitor != nil {
 		gained, cleared, err = s.commitSharded(ops)
 	} else {
+		dt := s.met.now()
 		gained, cleared, err = s.monitor.Apply(ops)
+		s.met.observeStage(stageDetect, dt)
 	}
 	s.enqueueCommit(reqs, ops, gained, cleared, err)
 	if synced {
@@ -636,9 +681,12 @@ func (s *Service) commit(reqs []request, n int) {
 // immediately, when there is no WAL).
 func (s *Service) enqueueCommit(reqs []request, ops []detect.DBOp, gained, cleared []detect.Violation, err error) {
 	old := s.tip
+	mt := s.met.now()
+	merged := mergeDiff(old.Violations, gained, cleared, s.sigma)
+	s.met.observeStage(stageMerge, mt)
 	st := &State{
 		Seq:        old.Seq + 1,
-		Violations: mergeDiff(old.Violations, gained, cleared, s.sigma),
+		Violations: merged,
 		Ops:        old.Ops + uint64(len(ops)),
 		Gained:     old.Gained + uint64(len(gained)),
 		Cleared:    old.Cleared + uint64(len(cleared)),
@@ -658,10 +706,20 @@ func (s *Service) enqueueCommit(reqs []request, ops []detect.DBOp, gained, clear
 	if err != nil {
 		st.Errs++
 	}
+	if s.met != nil {
+		s.met.commits.Inc()
+		s.met.ops.Add(uint64(len(ops)))
+		s.met.gained.Add(uint64(len(gained)))
+		s.met.cleared.Add(uint64(len(cleared)))
+		if err != nil {
+			s.met.opErrs.Inc()
+		}
+	}
+	alerts := s.observeTrends(st.Seq, gained, cleared)
 	s.tip = st
 	s.pending = append(s.pending, pendingCommit{
 		st:    st,
-		delta: Delta{Seq: st.Seq, Gained: gained, Cleared: cleared},
+		delta: Delta{Seq: st.Seq, Gained: gained, Cleared: cleared, Alerts: alerts},
 		reqs:  reqs,
 		res:   Result{Seq: st.Seq, Gained: len(gained), Cleared: len(cleared), Err: err},
 	})
@@ -691,14 +749,18 @@ func (s *Service) commitShardedDurable(reqs []request, ops []detect.DBOp) {
 	// both (RebuildDir restores the directory from the instances, which
 	// are untouched until the scatter below).
 	tids := s.shardedDB.NextTIDs()
+	rt := s.met.now()
 	r, rerr := s.smonitor.Route(ops)
+	s.met.observeStage(stageRoute, rt)
 
 	enc := <-encCh
 	var syncDue bool
 	err := enc.err
+	at := s.met.now()
 	if err == nil {
 		syncDue, err = s.wal.AppendNoSync(s.tip.Seq+1, enc.payload)
 	}
+	s.met.observeStage(stageWALAppend, at)
 	encBufs.Put(buf)
 	if err != nil {
 		s.shardedDB.SetNextTIDs(tids)
@@ -716,7 +778,12 @@ func (s *Service) commitShardedDurable(reqs []request, ops []detect.DBOp) {
 	var syncCh chan error
 	if syncDue {
 		syncCh = make(chan error, 1)
-		go func() { syncCh <- s.wal.Sync() }()
+		go func() {
+			st := s.met.now()
+			err := s.wal.Sync()
+			s.met.observeStage(stageWALSync, st)
+			syncCh <- err
+		}()
 	}
 	gained, cleared, aerr := s.applyRouted(r, rerr)
 	s.enqueueCommit(reqs, ops, gained, cleared, aerr)
@@ -732,6 +799,9 @@ func (s *Service) commitShardedDurable(reqs []request, ops []detect.DBOp) {
 // request is acknowledged with the error at the unchanged tip
 // sequence.
 func (s *Service) reject(reqs []request, err error) {
+	if s.met != nil {
+		s.met.rejects.Inc()
+	}
 	res := Result{Seq: s.tip.Seq, Err: err}
 	for _, r := range reqs {
 		r.done <- res // buffered: never blocks
@@ -748,7 +818,9 @@ func (s *Service) flushWAL() {
 	}
 	var err error
 	if s.wal != nil {
+		st := s.met.now()
 		err = s.wal.Sync()
+		s.met.observeStage(stageWALSync, st)
 	}
 	s.flushPending(err)
 }
@@ -773,6 +845,7 @@ func (s *Service) flushPending(syncErr error) {
 	// Publication and fan-out under one lock so Subscribe's registration
 	// seq is exact: a subscriber registered at state Seq receives every
 	// delta with Seq' > Seq and none twice.
+	pt := s.met.now()
 	s.mu.Lock()
 	s.state.Store(s.pending[len(s.pending)-1].st)
 	for _, p := range s.pending {
@@ -792,6 +865,7 @@ func (s *Service) flushPending(syncErr error) {
 		}
 	}
 	s.mu.Unlock()
+	s.met.observeStage(stagePublish, pt)
 
 	for _, p := range s.pending {
 		res := p.res
@@ -812,7 +886,9 @@ func (s *Service) flushPending(syncErr error) {
 // prefix before a failing op is applied and the error returned with
 // the diff.
 func (s *Service) commitSharded(ops []detect.DBOp) (gained, cleared []detect.Violation, err error) {
+	rt := s.met.now()
 	r, rerr := s.smonitor.Route(ops)
+	s.met.observeStage(stageRoute, rt)
 	return s.applyRouted(r, rerr)
 }
 
@@ -822,6 +898,7 @@ func (s *Service) commitSharded(ops []detect.DBOp) (gained, cleared []detect.Vio
 // commitSharded so the durable path can route before the WAL append
 // and apply after it.
 func (s *Service) applyRouted(r *relation.Routing, err error) (gained, cleared []detect.Violation, _ error) {
+	st := s.met.now()
 	errs := make([]error, len(s.shardCh))
 	var wg sync.WaitGroup
 	for shard, sub := range r.PerShard() {
@@ -833,6 +910,7 @@ func (s *Service) applyRouted(r *relation.Routing, err error) (gained, cleared [
 		s.shardCh[shard] <- shardWork{ops: sub, wg: &wg, err: &errs[shard]}
 	}
 	wg.Wait()
+	s.met.observeStage(stageScatter, st)
 	var aerr error
 	for _, e := range errs {
 		if e != nil {
@@ -850,7 +928,9 @@ func (s *Service) applyRouted(r *relation.Routing, err error) (gained, cleared [
 			err = aerr
 		}
 	}
+	dt := s.met.now()
 	gained, cleared = s.smonitor.Sync()
+	s.met.observeStage(stageDetect, dt)
 	if r.Moves() > 0 || aerr != nil {
 		s.rebuildShardViol(s.smonitor.Violations())
 	} else {
@@ -904,6 +984,9 @@ func (s *Service) Submit(ctx context.Context, ops []detect.DBOp) (Result, error)
 		return Result{Seq: s.state.Load().Seq}, nil
 	}
 	req := request{ops: ops, done: make(chan Result, 1)}
+	if s.met != nil {
+		req.at = time.Now()
+	}
 	var timeout <-chan time.Time
 	if s.submitTimeout > 0 {
 		t := time.NewTimer(s.submitTimeout)
@@ -1037,6 +1120,9 @@ func (s *Service) Engine() *detect.Engine { return s.engine }
 // QueueDepth reports how many Submit requests are pending (racy,
 // informational).
 func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// QueueCap reports the ingest queue capacity.
+func (s *Service) QueueCap() int { return cap(s.queue) }
 
 // Counts summarizes the published violation list.
 type Counts struct {

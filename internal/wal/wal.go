@@ -119,6 +119,12 @@ type Stats struct {
 	Bytes    int64  // valid bytes across them (headers included)
 	LastSeq  uint64 // last appended (or recovered) sequence
 	Torn     int64  // bytes truncated from the tail at Open
+	// AppendedBytes counts every frame byte written since Open —
+	// unlike Bytes it survives TruncateTo, so rate-of-change is the
+	// write bandwidth the log consumes.
+	AppendedBytes int64
+	// Syncs counts fsyncs of the active segment since Open.
+	Syncs int64
 }
 
 // segment is one log file's scan summary.
@@ -145,6 +151,8 @@ type Log struct {
 	unsynced  int
 	oldestAt  time.Time // arrival of the oldest unsynced record
 	torn      int64
+	appended  int64
+	syncs     int64
 	broken    error
 	closed    bool
 	headerBuf [headerSize]byte
@@ -441,6 +449,7 @@ func (l *Log) appendLocked(seq uint64, payload []byte) (syncDue bool, err error)
 		return false, fmt.Errorf("wal: append: %w", werr)
 	}
 	seg.size += frame
+	l.appended += frame
 	if seg.n == 0 {
 		seg.first = seq
 	}
@@ -497,6 +506,7 @@ func (l *Log) syncLocked() error {
 		return l.broken
 	}
 	l.unsynced = 0
+	l.syncs++
 	return nil
 }
 
@@ -618,7 +628,7 @@ func (l *Log) LastSeq() uint64 {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	st := Stats{Segments: len(l.segs), LastSeq: l.lastSeq, Torn: l.torn}
+	st := Stats{Segments: len(l.segs), LastSeq: l.lastSeq, Torn: l.torn, AppendedBytes: l.appended, Syncs: l.syncs}
 	for _, s := range l.segs {
 		st.Bytes += s.size
 	}

@@ -1,0 +1,101 @@
+package repro_test
+
+// Benchmarks for the observability layer's hot-path cost (DESIGN.md
+// E30):
+//
+//	BenchmarkMetricsOverhead/n=20k/batch=B/obs={off,on}
+//
+// The same single-writer ingest loop as BenchmarkServeIngest, run once
+// without an ObsConfig and once with the full metrics + trend tracker
+// enabled while a background scraper renders the registry — the pair
+// whose ops/sec ratio is the "within 3% of uninstrumented" acceptance
+// claim:
+//
+//	go test -run '^$' -bench MetricsOverhead -benchmem .
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/cfd"
+	"repro/internal/detect"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/serve"
+)
+
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const n = 20_000
+	pool := serveBenchOps(n, 1<<16, 11)
+	for _, batch := range []int{1, 10, 1000} {
+		for _, obsOn := range []bool{false, true} {
+			name := fmt.Sprintf("n=20k/batch=%d/obs=%v", batch, obsOn)
+			b.Run(name, func(b *testing.B) {
+				in := gen.Customers(gen.CustomerConfig{N: n, Seed: 3, ErrorRate: 0.02})
+				db := relation.NewDatabase()
+				db.Add(in)
+				s := in.Schema()
+				cfg := serve.Config{
+					DB: db,
+					Constraints: detect.WrapCFDs([]*cfd.CFD{
+						paperdata.Phi1(s), paperdata.Phi2(s), paperdata.Phi3(s),
+					}),
+				}
+				if obsOn {
+					cfg.Obs = &serve.ObsConfig{}
+				}
+				svc, err := serve.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				defer svc.Stop(ctx)
+
+				// A scraper pulls the full exposition at a realistic 1s
+				// cadence — scrape cost must not perturb the writer.
+				stop := make(chan struct{})
+				scraperDone := make(chan struct{})
+				if obsOn {
+					reg := svc.Metrics()
+					go func() {
+						defer close(scraperDone)
+						tick := time.NewTicker(time.Second)
+						defer tick.Stop()
+						for {
+							select {
+							case <-stop:
+								return
+							case <-tick.C:
+								reg.WritePrometheus(io.Discard)
+							}
+						}
+					}()
+				} else {
+					close(scraperDone)
+				}
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				at := 0
+				for i := 0; i < b.N; i++ {
+					ops := make([]detect.DBOp, batch)
+					for j := range ops {
+						ops[j] = pool[at]
+						at = (at + 1) % len(pool)
+					}
+					if _, err := svc.Submit(ctx, ops); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ops/sec")
+				close(stop)
+				<-scraperDone
+				svc.Stop(ctx)
+			})
+		}
+	}
+}
